@@ -1,0 +1,27 @@
+//! # ft-algebra — exact linear algebra over ℚ and multivariate polynomials
+//!
+//! Substrate for the Toom-Cook reproduction:
+//!
+//! - [`Rational`] — exact rationals over [`ft_bigint::BigInt`];
+//! - [`Matrix`] — dense matrices over any [`Scalar`] ring, with Gaussian
+//!   inversion over fields and fraction-free (Bareiss) determinants over ℤ;
+//! - [`ScaledIntMatrix`] — a rational matrix held as `(integer matrix)/denom`
+//!   so it can be applied to big-integer vectors with one exact division per
+//!   entry (how interpolation and erasure decoding are actually executed);
+//! - [`MPoly`] — dense multivariate polynomials with bounded per-variable
+//!   degree (the `Poly_{r,l}` family of Definition 2.4);
+//! - [`points`] — homogeneous evaluation points, evaluation matrices, the
+//!   `(r,l)`-general-position predicate (Definition 6.1 / Claim 6.1) and the
+//!   §6.2 heuristic for finding redundant evaluation points.
+
+pub mod matrix;
+pub mod mpoly;
+pub mod points;
+pub mod rational;
+pub mod scaled;
+
+pub use matrix::{Matrix, Scalar};
+pub use mpoly::MPoly;
+pub use points::{HPoint, MPoint};
+pub use rational::Rational;
+pub use scaled::ScaledIntMatrix;

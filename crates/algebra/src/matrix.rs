@@ -1,0 +1,504 @@
+//! Dense matrices over an arbitrary exact scalar ring.
+//!
+//! Two scalar types matter here: [`BigInt`] (evaluation matrices, Bareiss
+//! determinants for general-position checks) and [`Rational`] (interpolation
+//! and decode matrices, Gaussian inversion).
+
+use crate::rational::Rational;
+use ft_bigint::BigInt;
+use std::fmt;
+
+/// An exact commutative ring element usable as a matrix scalar.
+pub trait Scalar: Clone + PartialEq + fmt::Debug {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// `self + rhs`.
+    fn add(&self, rhs: &Self) -> Self;
+    /// `self - rhs`.
+    fn sub(&self, rhs: &Self) -> Self;
+    /// `self * rhs`.
+    fn mul(&self, rhs: &Self) -> Self;
+    /// `-self`.
+    fn neg(&self) -> Self;
+    /// `true` iff additive identity.
+    fn is_zero(&self) -> bool;
+}
+
+impl Scalar for BigInt {
+    fn zero() -> Self {
+        BigInt::zero()
+    }
+    fn one() -> Self {
+        BigInt::one()
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        self + rhs
+    }
+    fn sub(&self, rhs: &Self) -> Self {
+        self - rhs
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        self * rhs
+    }
+    fn neg(&self) -> Self {
+        -self
+    }
+    fn is_zero(&self) -> bool {
+        BigInt::is_zero(self)
+    }
+}
+
+impl Scalar for Rational {
+    fn zero() -> Self {
+        Rational::zero()
+    }
+    fn one() -> Self {
+        Rational::one()
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        self + rhs
+    }
+    fn sub(&self, rhs: &Self) -> Self {
+        self - rhs
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        self * rhs
+    }
+    fn neg(&self) -> Self {
+        -self
+    }
+    fn is_zero(&self) -> bool {
+        Rational::is_zero(self)
+    }
+}
+
+/// A dense row-major matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// Zero matrix of the given shape.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Matrix<T> {
+        Matrix { rows, cols, data: vec![T::zero(); rows * cols] }
+    }
+
+    /// Identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Matrix<T> {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = T::one();
+        }
+        m
+    }
+
+    /// Build from nested rows.
+    ///
+    /// # Panics
+    /// Panics on ragged input or zero rows.
+    #[must_use]
+    pub fn from_rows(rows: Vec<Vec<T>>) -> Matrix<T> {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        let r = rows.len();
+        Matrix { rows: r, cols, data: rows.into_iter().flatten().collect() }
+    }
+
+    /// Build from a function of `(row, col)`.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Matrix<T> {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` iff square.
+    #[must_use]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix<T> {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)].clone())
+    }
+
+    /// Matrix product.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn matmul(&self, rhs: &Matrix<T>) -> Matrix<T> {
+        assert_eq!(self.cols, rhs.rows, "shape mismatch in matmul");
+        Matrix::from_fn(self.rows, rhs.cols, |i, j| {
+            let mut acc = T::zero();
+            for t in 0..self.cols {
+                acc = acc.add(&self[(i, t)].mul(&rhs[(t, j)]));
+            }
+            acc
+        })
+    }
+
+    /// Matrix–vector product over any type that supports scalar-weighted
+    /// accumulation: `out[i] = Σ_j self[i][j] · v[j]`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn matvec(&self, v: &[T]) -> Vec<T> {
+        assert_eq!(self.cols, v.len(), "shape mismatch in matvec");
+        (0..self.rows)
+            .map(|i| {
+                let mut acc = T::zero();
+                for j in 0..self.cols {
+                    acc = acc.add(&self[(i, j)].mul(&v[j]));
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Select a subset of rows (in the given order).
+    #[must_use]
+    pub fn select_rows(&self, idx: &[usize]) -> Matrix<T> {
+        Matrix::from_fn(idx.len(), self.cols, |i, j| self[(idx[i], j)].clone())
+    }
+
+    /// Select a subset of columns (in the given order).
+    #[must_use]
+    pub fn select_cols(&self, idx: &[usize]) -> Matrix<T> {
+        Matrix::from_fn(self.rows, idx.len(), |i, j| self[(i, idx[j])].clone())
+    }
+
+    /// Elementwise map to another scalar type.
+    #[must_use]
+    pub fn map<U: Scalar>(&self, f: impl Fn(&T) -> U) -> Matrix<U> {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(f).collect() }
+    }
+}
+
+impl Matrix<BigInt> {
+    /// Determinant by the Bareiss fraction-free algorithm (exact over ℤ,
+    /// no rationals needed). `O(n³)` big-integer operations.
+    ///
+    /// # Panics
+    /// Panics if not square.
+    #[must_use]
+    pub fn det_bareiss(&self) -> BigInt {
+        assert!(self.is_square(), "determinant of non-square matrix");
+        let n = self.rows;
+        if n == 0 {
+            return BigInt::one();
+        }
+        let mut m = self.clone();
+        let mut sign = 1i64;
+        let mut prev = BigInt::one();
+        for k in 0..n - 1 {
+            if m[(k, k)].is_zero() {
+                // Pivot: find a row below with non-zero entry in column k.
+                match (k + 1..n).find(|&r| !m[(r, k)].is_zero()) {
+                    Some(r) => {
+                        for c in 0..n {
+                            let tmp = m[(k, c)].clone();
+                            m[(k, c)] = m[(r, c)].clone();
+                            m[(r, c)] = tmp;
+                        }
+                        sign = -sign;
+                    }
+                    None => return BigInt::zero(),
+                }
+            }
+            for i in k + 1..n {
+                for j in k + 1..n {
+                    let t = &(&m[(i, j)] * &m[(k, k)]) - &(&m[(i, k)] * &m[(k, j)]);
+                    m[(i, j)] = t.div_exact(&prev);
+                }
+                m[(i, k)] = BigInt::zero();
+            }
+            prev = m[(k, k)].clone();
+        }
+        m[(n - 1, n - 1)].mul_small(sign)
+    }
+
+    /// Promote to a rational matrix.
+    #[must_use]
+    pub fn to_rational(&self) -> Matrix<Rational> {
+        self.map(|x| Rational::from_int(x.clone()))
+    }
+}
+
+impl Matrix<Rational> {
+    /// Inverse by Gauss–Jordan elimination with partial (first non-zero)
+    /// pivoting; `None` if singular.
+    #[must_use]
+    pub fn inverse(&self) -> Option<Matrix<Rational>> {
+        assert!(self.is_square(), "inverse of non-square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::<Rational>::identity(n);
+        for col in 0..n {
+            let pivot = (col..n).find(|&r| !a[(r, col)].is_zero())?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            let p = a[(col, col)].clone();
+            let pinv = p.recip();
+            for j in 0..n {
+                a[(col, j)] = (&a[(col, j)] * &pinv).clone();
+                inv[(col, j)] = (&inv[(col, j)] * &pinv).clone();
+            }
+            for r in 0..n {
+                if r == col || a[(r, col)].is_zero() {
+                    continue;
+                }
+                let factor = a[(r, col)].clone();
+                for j in 0..n {
+                    let t = &a[(r, j)] - &(&factor * &a[(col, j)]);
+                    a[(r, j)] = t;
+                    let t = &inv[(r, j)] - &(&factor * &inv[(col, j)]);
+                    inv[(r, j)] = t;
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    /// Solve `self · x = rhs` for a single right-hand side; `None` if
+    /// singular.
+    #[must_use]
+    pub fn solve(&self, rhs: &[Rational]) -> Option<Vec<Rational>> {
+        Some(self.inverse()?.matvec(rhs))
+    }
+
+    /// Swap two rows in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for j in 0..self.cols {
+            let x = self[(a, j)].clone();
+            self[(a, j)] = self[(b, j)].clone();
+            self[(b, j)] = x;
+        }
+    }
+
+    /// Determinant over ℚ (Gaussian elimination).
+    #[must_use]
+    pub fn det(&self) -> Rational {
+        assert!(self.is_square());
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut det = Rational::one();
+        for col in 0..n {
+            let Some(pivot) = (col..n).find(|&r| !a[(r, col)].is_zero()) else {
+                return Rational::zero();
+            };
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                det = -det;
+            }
+            let p = a[(col, col)].clone();
+            det = &det * &p;
+            let pinv = p.recip();
+            for r in col + 1..n {
+                if a[(r, col)].is_zero() {
+                    continue;
+                }
+                let factor = &a[(r, col)] * &pinv;
+                for j in col..n {
+                    let t = &a[(r, j)] - &(&factor * &a[(col, j)]);
+                    a[(r, j)] = t;
+                }
+            }
+        }
+        det
+    }
+}
+
+impl<T> std::ops::Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl<T> std::ops::IndexMut<(usize, usize)> for Matrix<T> {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:?} ", self.data[i * self.cols + j])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zi(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    fn zmat(rows: Vec<Vec<i64>>) -> Matrix<BigInt> {
+        Matrix::from_rows(rows.into_iter().map(|r| r.into_iter().map(zi).collect()).collect())
+    }
+
+    #[test]
+    fn identity_matmul() {
+        let a = zmat(vec![vec![1, 2], vec![3, 4]]);
+        let i = Matrix::<BigInt>::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = zmat(vec![vec![1, 2], vec![3, 4]]);
+        let b = zmat(vec![vec![5, 6], vec![7, 8]]);
+        assert_eq!(a.matmul(&b), zmat(vec![vec![19, 22], vec![43, 50]]));
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = zmat(vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        let v = vec![zi(1), zi(0), zi(-1)];
+        assert_eq!(a.matvec(&v), vec![zi(-2), zi(-2)]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = zmat(vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().rows(), 3);
+    }
+
+    #[test]
+    fn bareiss_determinants() {
+        assert_eq!(zmat(vec![vec![3]]).det_bareiss(), zi(3));
+        assert_eq!(zmat(vec![vec![1, 2], vec![3, 4]]).det_bareiss(), zi(-2));
+        assert_eq!(
+            zmat(vec![vec![2, 0, 1], vec![1, 1, 0], vec![0, 3, 1]]).det_bareiss(),
+            zi(5)
+        );
+        // Singular
+        assert_eq!(zmat(vec![vec![1, 2], vec![2, 4]]).det_bareiss(), zi(0));
+        // Needs pivoting
+        assert_eq!(zmat(vec![vec![0, 1], vec![1, 0]]).det_bareiss(), zi(-1));
+    }
+
+    #[test]
+    fn bareiss_matches_rational_det() {
+        let m = zmat(vec![
+            vec![2, -1, 3, 0],
+            vec![4, 2, -2, 1],
+            vec![0, 5, 1, -3],
+            vec![1, 1, 1, 1],
+        ]);
+        let d1 = m.det_bareiss();
+        let d2 = m.to_rational().det();
+        assert_eq!(Rational::from_int(d1), d2);
+    }
+
+    #[test]
+    fn vandermonde_det_formula() {
+        // det V(x0..x3) = Π_{i<j} (xj - xi)
+        let xs = [2i64, 3, 5, 7];
+        let v = Matrix::from_fn(4, 4, |i, j| zi(xs[i]).pow(j as u32));
+        let mut expected = zi(1);
+        for i in 0..4 {
+            for j in i + 1..4 {
+                expected = &expected * &zi(xs[j] - xs[i]);
+            }
+        }
+        assert_eq!(v.det_bareiss(), expected);
+    }
+
+    #[test]
+    fn rational_inverse_roundtrip() {
+        let m = zmat(vec![vec![2, 1], vec![7, 4]]).to_rational();
+        let inv = m.inverse().unwrap();
+        assert_eq!(m.matmul(&inv), Matrix::<Rational>::identity(2));
+        assert_eq!(inv.matmul(&m), Matrix::<Rational>::identity(2));
+    }
+
+    #[test]
+    fn singular_inverse_is_none() {
+        let m = zmat(vec![vec![1, 2], vec![2, 4]]).to_rational();
+        assert!(m.inverse().is_none());
+        assert_eq!(m.det(), Rational::zero());
+    }
+
+    #[test]
+    fn inverse_needs_pivot() {
+        let m = zmat(vec![vec![0, 1], vec![1, 0]]).to_rational();
+        let inv = m.inverse().unwrap();
+        assert_eq!(inv, m, "permutation matrix is its own inverse");
+    }
+
+    #[test]
+    fn solve_linear_system() {
+        // x + 2y = 5; 3x - y = 1  =>  x = 1, y = 2
+        let m = zmat(vec![vec![1, 2], vec![3, -1]]).to_rational();
+        let rhs = vec![Rational::from(5i64), Rational::from(1i64)];
+        let sol = m.solve(&rhs).unwrap();
+        assert_eq!(sol, vec![Rational::from(1i64), Rational::from(2i64)]);
+    }
+
+    #[test]
+    fn row_col_selection() {
+        let a = zmat(vec![vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]]);
+        assert_eq!(a.select_rows(&[2, 0]), zmat(vec![vec![7, 8, 9], vec![1, 2, 3]]));
+        assert_eq!(a.select_cols(&[1]), zmat(vec![vec![2], vec![5], vec![8]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = zmat(vec![vec![1, 2], vec![3]]);
+    }
+}

@@ -1,0 +1,297 @@
+//! Dense multivariate polynomials with bounded per-variable degree — the
+//! family `Poly_{r,l}` of Definition 2.4 (each of the `l` variables appears
+//! with exponent at most `r−1`).
+//!
+//! Coefficients are indexed mixed-radix: the coefficient of
+//! `x_0^{e_0}···x_{l-1}^{e_{l-1}}` lives at `Σ_v e_v · r^v`.
+//!
+//! Used to state and test Claims 2.1–2.3: Toom-Cook-k with lazy
+//! interpolation at recursion depth `l` *is* multiplication in `Poly_{k,l}`.
+
+use crate::points::MPoint;
+use ft_bigint::BigInt;
+use std::fmt;
+
+/// A polynomial in `Poly_{r,l}`: `l` variables, per-variable degree `< r`.
+#[derive(Clone, PartialEq)]
+pub struct MPoly {
+    r: usize,
+    l: usize,
+    coeffs: Vec<BigInt>,
+}
+
+impl MPoly {
+    /// The zero polynomial of shape `(r, l)`.
+    #[must_use]
+    pub fn zero(r: usize, l: usize) -> MPoly {
+        assert!(r >= 1);
+        MPoly { r, l, coeffs: vec![BigInt::zero(); r.pow(l as u32)] }
+    }
+
+    /// Build from a dense coefficient vector of length `r^l`.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn from_coeffs(r: usize, l: usize, coeffs: Vec<BigInt>) -> MPoly {
+        assert_eq!(coeffs.len(), r.pow(l as u32), "coefficient count must be r^l");
+        MPoly { r, l, coeffs }
+    }
+
+    /// A univariate polynomial (`l = 1`) from its coefficients, low first.
+    #[must_use]
+    pub fn univariate(coeffs: Vec<BigInt>) -> MPoly {
+        let r = coeffs.len().max(1);
+        MPoly { r, l: 1, coeffs }
+    }
+
+    /// Per-variable degree bound `r` (exponents are `< r`).
+    #[must_use]
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn vars(&self) -> usize {
+        self.l
+    }
+
+    /// Dense coefficients, mixed-radix order.
+    #[must_use]
+    pub fn coeffs(&self) -> &[BigInt] {
+        &self.coeffs
+    }
+
+    /// Decode a flat index into its exponent vector.
+    #[must_use]
+    pub fn exponents_of(&self, mut idx: usize) -> Vec<usize> {
+        let mut e = Vec::with_capacity(self.l);
+        for _ in 0..self.l {
+            e.push(idx % self.r);
+            idx /= self.r;
+        }
+        e
+    }
+
+    /// Coefficient of the monomial with exponent vector `e`.
+    ///
+    /// # Panics
+    /// Panics if `e` has the wrong arity or an exponent `>= r`.
+    #[must_use]
+    pub fn coeff(&self, e: &[usize]) -> &BigInt {
+        assert_eq!(e.len(), self.l);
+        let mut idx = 0usize;
+        for (v, &ev) in e.iter().enumerate().rev() {
+            assert!(ev < self.r, "exponent {ev} out of range (< {})", self.r);
+            idx = idx * self.r + ev;
+            let _ = v;
+        }
+        &self.coeffs[idx]
+    }
+
+    /// Polynomial sum (shapes must match).
+    #[must_use]
+    pub fn add(&self, rhs: &MPoly) -> MPoly {
+        assert_eq!((self.r, self.l), (rhs.r, rhs.l), "shape mismatch");
+        MPoly {
+            r: self.r,
+            l: self.l,
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&rhs.coeffs)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Full product: `Poly_{r,l} × Poly_{r,l} → Poly_{2r−1,l}` by direct
+    /// convolution (the reference semantics the fast algorithms must match).
+    #[must_use]
+    pub fn mul(&self, rhs: &MPoly) -> MPoly {
+        assert_eq!((self.r, self.l), (rhs.r, rhs.l), "shape mismatch");
+        let rr = 2 * self.r - 1;
+        let mut out = MPoly::zero(rr, self.l);
+        for (i, a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            let ei = self.exponents_of(i);
+            for (j, b) in rhs.coeffs.iter().enumerate() {
+                if b.is_zero() {
+                    continue;
+                }
+                let ej = rhs.exponents_of(j);
+                let mut idx = 0usize;
+                for v in (0..self.l).rev() {
+                    idx = idx * rr + (ei[v] + ej[v]);
+                }
+                out.coeffs[idx] += &(a * b);
+            }
+        }
+        out
+    }
+
+    /// Homogeneous evaluation at a multivariate point: each variable `v`
+    /// contributes `h_v^{(r−1)−e_v} · x_v^{e_v}` (Zanoni's homogeneous
+    /// notation, Remark 2.2 — `h = 0` encodes the ∞ point).
+    ///
+    /// # Panics
+    /// Panics if the point arity differs from `l`.
+    #[must_use]
+    pub fn eval(&self, p: &MPoint) -> BigInt {
+        assert_eq!(p.coords().len(), self.l, "point arity mismatch");
+        let mut acc = BigInt::zero();
+        for (idx, c) in self.coeffs.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            let e = self.exponents_of(idx);
+            let mut term = c.clone();
+            for (v, hp) in p.coords().iter().enumerate() {
+                term = &term * &hp.monomial(self.r - 1, e[v]);
+            }
+            acc += &term;
+        }
+        acc
+    }
+
+    /// Substitute `x_v = base^{k^v}`-style values: evaluate all variables at
+    /// affine integer values (`h = 1`). Convenience over [`MPoly::eval`].
+    #[must_use]
+    pub fn eval_affine(&self, xs: &[BigInt]) -> BigInt {
+        assert_eq!(xs.len(), self.l);
+        let mut acc = BigInt::zero();
+        for (idx, c) in self.coeffs.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            let e = self.exponents_of(idx);
+            let mut term = c.clone();
+            for v in 0..self.l {
+                term = &term * &xs[v].pow(e[v] as u32);
+            }
+            acc += &term;
+        }
+        acc
+    }
+
+    /// `true` iff every coefficient is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.iter().all(BigInt::is_zero)
+    }
+}
+
+impl fmt::Debug for MPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MPoly(r={}, l={}, ", self.r, self.l)?;
+        let mut first = true;
+        for (idx, c) in self.coeffs.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            write!(f, "{c}·x^{:?}", self.exponents_of(idx))?;
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::points::HPoint;
+
+    fn b(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn indexing_mixed_radix() {
+        // r=3, l=2: index of x0^2 x1^1 is 2 + 1*3 = 5
+        let mut c = vec![BigInt::zero(); 9];
+        c[5] = b(7);
+        let p = MPoly::from_coeffs(3, 2, c);
+        assert_eq!(p.coeff(&[2, 1]), &b(7));
+        assert_eq!(p.exponents_of(5), vec![2, 1]);
+    }
+
+    #[test]
+    fn univariate_mul_is_convolution() {
+        // (1 + 2x)(3 + x) = 3 + 7x + 2x^2
+        let a = MPoly::univariate(vec![b(1), b(2)]);
+        let c = MPoly::univariate(vec![b(3), b(1)]);
+        let p = a.mul(&c);
+        assert_eq!(p.coeffs(), &[b(3), b(7), b(2)]);
+    }
+
+    #[test]
+    fn bivariate_mul() {
+        // (x0 + x1)^2 = x0^2 + 2 x0 x1 + x1^2  (r=2 -> rr=3)
+        let mut c = vec![BigInt::zero(); 4];
+        c[1] = b(1); // x0
+        c[2] = b(1); // x1
+        let a = MPoly::from_coeffs(2, 2, c);
+        let p = a.mul(&a);
+        assert_eq!(p.coeff(&[2, 0]), &b(1));
+        assert_eq!(p.coeff(&[1, 1]), &b(2));
+        assert_eq!(p.coeff(&[0, 2]), &b(1));
+        assert_eq!(p.coeff(&[0, 0]), &b(0));
+    }
+
+    #[test]
+    fn eval_affine_matches_direct() {
+        // p = 1 + 2 x0 + 3 x1 + 4 x0 x1 at (5, 7): 1 + 10 + 21 + 140 = 172
+        let p = MPoly::from_coeffs(2, 2, vec![b(1), b(2), b(3), b(4)]);
+        assert_eq!(p.eval_affine(&[b(5), b(7)]), b(172));
+    }
+
+    #[test]
+    fn homogeneous_eval_infinity_picks_top_coeff() {
+        // Univariate r=3: p = c0 h^2 + c1 h x + c2 x^2; at ∞=(1,0) -> c2.
+        let p = MPoly::univariate(vec![b(10), b(20), b(30)]);
+        let inf = MPoint::new(vec![HPoint::infinity()]);
+        assert_eq!(p.eval(&inf), b(30));
+        let at2 = MPoint::new(vec![HPoint::affine(2)]);
+        assert_eq!(p.eval(&at2), b(10 + 40 + 120));
+    }
+
+    #[test]
+    fn eval_multiplicative_on_products() {
+        // E(a·b) = E(a)·E(b) pointwise for homogeneous evaluation.
+        let a = MPoly::from_coeffs(2, 2, vec![b(1), b(-2), b(3), b(4)]);
+        let c = MPoly::from_coeffs(2, 2, vec![b(5), b(1), b(0), b(-1)]);
+        let prod = a.mul(&c);
+        for pt in [
+            MPoint::new(vec![HPoint::affine(0), HPoint::affine(1)]),
+            MPoint::new(vec![HPoint::affine(-1), HPoint::affine(2)]),
+            MPoint::new(vec![HPoint::infinity(), HPoint::affine(3)]),
+            MPoint::new(vec![HPoint::infinity(), HPoint::infinity()]),
+        ] {
+            assert_eq!(prod.eval(&pt), &a.eval(&pt) * &c.eval(&pt), "{pt:?}");
+        }
+    }
+
+    #[test]
+    fn add_and_zero() {
+        let a = MPoly::from_coeffs(2, 1, vec![b(1), b(2)]);
+        let z = MPoly::zero(2, 1);
+        assert_eq!(a.add(&z), a);
+        assert!(z.is_zero());
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "r^l")]
+    fn wrong_len_rejected() {
+        let _ = MPoly::from_coeffs(3, 2, vec![BigInt::zero(); 8]);
+    }
+}

@@ -1,0 +1,399 @@
+//! Evaluation points, evaluation matrices, and general position.
+//!
+//! - [`HPoint`] — a homogeneous (projective) evaluation point `(x, h)` per
+//!   Zanoni's notation (Remark 2.2): `h = 0` is the classic `∞` point.
+//! - [`MPoint`] — an `l`-tuple of homogeneous points, the evaluation points
+//!   of multivariate (multi-step) Toom-Cook (Claim 2.1).
+//! - Evaluation matrices for `Poly_{r,l}` (Definition 2.4).
+//! - The `(r,l)`-general-position predicate (Definition 6.1 via Claim 6.1:
+//!   every `r^l × r^l` sub-matrix of the evaluation matrix is invertible).
+//! - The §6.2 heuristic for finding redundant evaluation points.
+
+use crate::matrix::Matrix;
+use ft_bigint::BigInt;
+
+/// A homogeneous evaluation point `(x : h)`. `h = 0` encodes `∞`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct HPoint {
+    /// Numerator coordinate.
+    pub x: i64,
+    /// Homogenizing coordinate (1 for affine points, 0 for infinity).
+    pub h: i64,
+}
+
+impl HPoint {
+    /// The affine point `x` (i.e. `(x : 1)`).
+    #[must_use]
+    pub fn affine(x: i64) -> HPoint {
+        HPoint { x, h: 1 }
+    }
+
+    /// The point at infinity `(1 : 0)`.
+    #[must_use]
+    pub fn infinity() -> HPoint {
+        HPoint { x: 1, h: 0 }
+    }
+
+    /// `true` iff this is the infinity point.
+    #[must_use]
+    pub fn is_infinity(&self) -> bool {
+        self.h == 0
+    }
+
+    /// The monomial value `h^{deg−e} · x^e` used when evaluating a
+    /// degree-`deg` homogeneous polynomial's `x^e` coefficient slot.
+    ///
+    /// # Panics
+    /// Panics if `e > deg`.
+    #[must_use]
+    pub fn monomial(&self, deg: usize, e: usize) -> BigInt {
+        assert!(e <= deg, "exponent {e} exceeds homogeneous degree {deg}");
+        &BigInt::from(self.h).pow((deg - e) as u32) * &BigInt::from(self.x).pow(e as u32)
+    }
+
+    /// `true` iff the two points are projectively equal (same line through
+    /// the origin).
+    #[must_use]
+    pub fn proj_eq(&self, other: &HPoint) -> bool {
+        (self.x as i128) * (other.h as i128) == (other.x as i128) * (self.h as i128)
+    }
+}
+
+/// A multivariate evaluation point: one homogeneous point per variable.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MPoint {
+    coords: Vec<HPoint>,
+}
+
+impl MPoint {
+    /// Build from per-variable homogeneous coordinates.
+    #[must_use]
+    pub fn new(coords: Vec<HPoint>) -> MPoint {
+        MPoint { coords }
+    }
+
+    /// An all-affine point from integer coordinates.
+    #[must_use]
+    pub fn affine(xs: &[i64]) -> MPoint {
+        MPoint { coords: xs.iter().map(|&x| HPoint::affine(x)).collect() }
+    }
+
+    /// Per-variable coordinates.
+    #[must_use]
+    pub fn coords(&self) -> &[HPoint] {
+        &self.coords
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Cartesian power `S^l` of a univariate point set (Claim 2.1: the
+    /// evaluation points of `l`-step Toom-Cook). Ordered with variable 0
+    /// fastest, matching [`crate::MPoly`]'s mixed-radix coefficient order.
+    #[must_use]
+    pub fn cartesian_power(s: &[HPoint], l: usize) -> Vec<MPoint> {
+        let n = s.len().pow(l as u32);
+        (0..n)
+            .map(|mut idx| {
+                let coords = (0..l)
+                    .map(|_| {
+                        let c = s[idx % s.len()];
+                        idx /= s.len();
+                        c
+                    })
+                    .collect();
+                MPoint { coords }
+            })
+            .collect()
+    }
+}
+
+/// Evaluation matrix of univariate homogeneous points for polynomials with
+/// `width` coefficients (degree `width − 1`): row `i`, column `j` holds
+/// `h_i^{width−1−j} · x_i^j`. This is the `U`/`V` matrix of §2.2 when
+/// `width = k` and the product-evaluation matrix when `width = 2k−1`.
+#[must_use]
+pub fn eval_matrix(points: &[HPoint], width: usize) -> Matrix<BigInt> {
+    Matrix::from_fn(points.len(), width, |i, j| points[i].monomial(width - 1, j))
+}
+
+/// Evaluation matrix of multivariate points for `Poly_{r,l}`: row per point,
+/// column per mixed-radix exponent vector, entry `Π_v h^{r−1−e_v} x^{e_v}`.
+#[must_use]
+pub fn eval_matrix_multi(points: &[MPoint], r: usize, l: usize) -> Matrix<BigInt> {
+    let cols = r.pow(l as u32);
+    Matrix::from_fn(points.len(), cols, |i, mut idx| {
+        let mut acc = BigInt::one();
+        for v in 0..l {
+            let e = idx % r;
+            idx /= r;
+            acc = &acc * &points[i].coords()[v].monomial(r - 1, e);
+        }
+        acc
+    })
+}
+
+/// Visit every `k`-combination of `0..n` (lexicographic); abort early when
+/// `f` returns `false`.
+pub fn for_each_combination(n: usize, k: usize, mut f: impl FnMut(&[usize]) -> bool) -> bool {
+    fn rec(
+        n: usize,
+        k: usize,
+        start: usize,
+        cur: &mut Vec<usize>,
+        f: &mut impl FnMut(&[usize]) -> bool,
+    ) -> bool {
+        if cur.len() == k {
+            return f(cur);
+        }
+        let remaining = k - cur.len();
+        for i in start..=n.saturating_sub(remaining) {
+            cur.push(i);
+            if !rec(n, k, i + 1, cur, f) {
+                return false;
+            }
+            cur.pop();
+        }
+        true
+    }
+    if k > n {
+        return true;
+    }
+    rec(n, k, 0, &mut Vec::with_capacity(k), &mut f)
+}
+
+/// Claim 6.1 test: `points` is a valid evaluation set for fault-tolerant
+/// `l`-step Toom-Cook with product width `r` iff every `r^l`-subset's square
+/// evaluation matrix is invertible — i.e. the points are in
+/// `(r,l)`-general position.
+#[must_use]
+pub fn in_general_position(points: &[MPoint], r: usize, l: usize) -> bool {
+    let n = r.pow(l as u32);
+    if points.len() < n {
+        return false;
+    }
+    let full = eval_matrix_multi(points, r, l);
+    for_each_combination(points.len(), n, |subset| {
+        !full.select_rows(subset).det_bareiss().is_zero()
+    })
+}
+
+/// Incremental version (Claim 6.2): given `base` already in `(r,l)`-general
+/// position, is `base ∪ {x}` still in general position? Only subsets
+/// containing `x` need checking.
+#[must_use]
+pub fn extends_general_position(base: &[MPoint], x: &MPoint, r: usize, l: usize) -> bool {
+    let n = r.pow(l as u32);
+    let mut all: Vec<MPoint> = base.to_vec();
+    all.push(x.clone());
+    if all.len() < n {
+        // Not enough points for any square subset yet — vacuously fine.
+        return true;
+    }
+    let full = eval_matrix_multi(&all, r, l);
+    let xi = all.len() - 1;
+    // Choose n−1 rows from base, always adjoin x's row.
+    for_each_combination(base.len(), n - 1, |subset| {
+        let mut rows: Vec<usize> = subset.to_vec();
+        rows.push(xi);
+        !full.select_rows(&rows).det_bareiss().is_zero()
+    })
+}
+
+/// §6.2 heuristic: find `count` redundant evaluation points extending `base`
+/// while keeping `(r,l)`-general position, searching small integer affine
+/// points (Claim 6.5 guarantees integer candidates always exist).
+///
+/// # Panics
+/// Panics if the search space (coordinates bounded by `bound`) is exhausted —
+/// raise `bound` in that case.
+#[must_use]
+pub fn find_redundant_points(
+    base: &[MPoint],
+    r: usize,
+    l: usize,
+    count: usize,
+    bound: i64,
+) -> Vec<MPoint> {
+    let mut have: Vec<MPoint> = base.to_vec();
+    let mut found = Vec::with_capacity(count);
+    // Candidate scan order: spiral outwards through small integers so
+    // chosen points stay small (cheap arithmetic, Discussion §7).
+    let candidates = candidate_grid(l, bound);
+    'next_point: while found.len() < count {
+        for cand in &candidates {
+            if have.iter().any(|p| p == cand) {
+                continue;
+            }
+            if extends_general_position(&have, cand, r, l) {
+                have.push(cand.clone());
+                found.push(cand.clone());
+                continue 'next_point;
+            }
+        }
+        panic!(
+            "no candidate within coordinate bound {bound} extends the point set \
+             (found {}/{count})",
+            found.len()
+        );
+    }
+    found
+}
+
+/// All affine integer points with coordinates in `[-bound, bound]`, ordered
+/// by max-norm (small points first).
+fn candidate_grid(l: usize, bound: i64) -> Vec<MPoint> {
+    let side = (2 * bound + 1) as usize;
+    let mut pts: Vec<Vec<i64>> = (0..side.pow(l as u32))
+        .map(|mut idx| {
+            (0..l)
+                .map(|_| {
+                    let c = (idx % side) as i64 - bound;
+                    idx /= side;
+                    c
+                })
+                .collect()
+        })
+        .collect();
+    pts.sort_by_key(|p| (p.iter().map(|c| c.abs()).max().unwrap_or(0), p.clone()));
+    pts.into_iter().map(|p| MPoint::affine(&p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monomial_values() {
+        let p = HPoint::affine(2);
+        assert_eq!(p.monomial(2, 0), BigInt::one()); // h^2 x^0 = 1
+        assert_eq!(p.monomial(2, 2), BigInt::from(4u64));
+        let inf = HPoint::infinity();
+        assert_eq!(inf.monomial(2, 2), BigInt::one());
+        assert_eq!(inf.monomial(2, 0), BigInt::zero());
+    }
+
+    #[test]
+    fn proj_equality() {
+        assert!(HPoint { x: 2, h: 1 }.proj_eq(&HPoint { x: 4, h: 2 }));
+        assert!(!HPoint { x: 2, h: 1 }.proj_eq(&HPoint { x: 4, h: 1 }));
+        assert!(HPoint::infinity().proj_eq(&HPoint { x: 5, h: 0 }));
+    }
+
+    #[test]
+    fn interpolation_theorem_for_distinct_points() {
+        // Theorem 2.1: the k-evaluation matrix of k distinct points is
+        // invertible. Check k = 5 with the classic TC-3 set.
+        let pts = vec![
+            HPoint::affine(0),
+            HPoint::affine(1),
+            HPoint::affine(-1),
+            HPoint::affine(2),
+            HPoint::infinity(),
+        ];
+        let m = eval_matrix(&pts, 5);
+        assert!(!m.det_bareiss().is_zero());
+    }
+
+    #[test]
+    fn eval_matrix_rows_match_point_eval() {
+        use crate::mpoly::MPoly;
+        let pts = vec![HPoint::affine(3), HPoint::infinity(), HPoint::affine(-2)];
+        let coeffs: Vec<BigInt> = [7i64, -4, 9].iter().map(|&v| BigInt::from(v)).collect();
+        let p = MPoly::univariate(coeffs.clone());
+        let m = eval_matrix(&pts, 3);
+        let vals = m.matvec(&coeffs);
+        for (i, pt) in pts.iter().enumerate() {
+            assert_eq!(vals[i], p.eval(&MPoint::new(vec![*pt])), "point {i}");
+        }
+    }
+
+    #[test]
+    fn cartesian_power_order_matches_mpoly_indexing() {
+        let s = vec![HPoint::affine(0), HPoint::affine(1)];
+        let pts = MPoint::cartesian_power(&s, 2);
+        assert_eq!(pts.len(), 4);
+        // Index 1 = (s[1], s[0]): variable 0 fastest.
+        assert_eq!(pts[1].coords()[0], HPoint::affine(1));
+        assert_eq!(pts[1].coords()[1], HPoint::affine(0));
+    }
+
+    #[test]
+    fn combinations_enumerated() {
+        let mut seen = Vec::new();
+        for_each_combination(4, 2, |c| {
+            seen.push(c.to_vec());
+            true
+        });
+        assert_eq!(seen.len(), 6);
+        assert_eq!(seen[0], vec![0, 1]);
+        assert_eq!(seen[5], vec![2, 3]);
+    }
+
+    #[test]
+    fn combination_early_abort() {
+        let mut count = 0;
+        let completed = for_each_combination(5, 2, |_| {
+            count += 1;
+            count < 3
+        });
+        assert!(!completed);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn distinct_univariate_points_are_general_position() {
+        // (r,1)-general position for distinct points = Vandermonde.
+        let pts: Vec<MPoint> =
+            [-2i64, -1, 0, 1, 2].iter().map(|&x| MPoint::affine(&[x])).collect();
+        assert!(in_general_position(&pts, 3, 1));
+        // Repeated point breaks it.
+        let mut bad = pts.clone();
+        bad[0] = bad[1].clone();
+        assert!(!in_general_position(&bad, 3, 1));
+    }
+
+    #[test]
+    fn grid_points_not_in_general_position_bivariate() {
+        // 4 points on a 2x2 grid ARE in (2,2)-general position? The product
+        // polynomial family Poly_{2,2} has dimension 4; the grid {0,1}² is
+        // exactly the tensor Vandermonde — invertible. But 4 collinear
+        // points are NOT (a bilinear polynomial vanishes on a line).
+        let grid = MPoint::cartesian_power(&[HPoint::affine(0), HPoint::affine(1)], 2);
+        assert!(in_general_position(&grid, 2, 2));
+        let line: Vec<MPoint> =
+            (0..4).map(|i| MPoint::affine(&[i, 0])).collect();
+        assert!(!in_general_position(&line, 2, 2));
+    }
+
+    #[test]
+    fn extends_matches_full_check() {
+        let grid = MPoint::cartesian_power(&[HPoint::affine(0), HPoint::affine(1)], 2);
+        let good = MPoint::affine(&[2, 3]);
+        let bad = MPoint::affine(&[2, 0]); // collinear with a grid row? check both ways
+        assert_eq!(extends_general_position(&grid, &good, 2, 2), {
+            let mut all = grid.clone();
+            all.push(good.clone());
+            in_general_position(&all, 2, 2)
+        });
+        assert_eq!(extends_general_position(&grid, &bad, 2, 2), {
+            let mut all = grid.clone();
+            all.push(bad.clone());
+            in_general_position(&all, 2, 2)
+        });
+    }
+
+    #[test]
+    fn heuristic_finds_redundant_points() {
+        // Base: {0,1}² grid (valid for 1-step-combined TC-2 with l=2).
+        let grid = MPoint::cartesian_power(&[HPoint::affine(0), HPoint::affine(1)], 2);
+        let extra = find_redundant_points(&grid, 2, 2, 2, 4);
+        assert_eq!(extra.len(), 2);
+        let mut all = grid.clone();
+        all.extend(extra);
+        assert!(in_general_position(&all, 2, 2));
+    }
+}

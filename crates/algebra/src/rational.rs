@@ -1,0 +1,287 @@
+//! Exact rational numbers over [`BigInt`].
+//!
+//! Invariants: denominator strictly positive, fraction fully reduced,
+//! zero is `0/1`. All operations are exact — this is what lets
+//! interpolation matrices and erasure-decode coefficients be applied with
+//! provably exact divisions.
+
+use ft_bigint::BigInt;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number `num/den` with `den > 0` and `gcd(num,den) = 1`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rational {
+    /// `0/1`.
+    #[must_use]
+    pub fn zero() -> Rational {
+        Rational { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// `1/1`.
+    #[must_use]
+    pub fn one() -> Rational {
+        Rational { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// Construct and normalize `num/den`.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn new(num: BigInt, den: BigInt) -> Rational {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        if num.is_zero() {
+            return Rational::zero();
+        }
+        let g = num.gcd(&den);
+        let mut num = num.div_exact(&g);
+        let mut den = den.div_exact(&g);
+        if den.is_negative() {
+            num = -num;
+            den = -den;
+        }
+        Rational { num, den }
+    }
+
+    /// The integer `n` as a rational.
+    #[must_use]
+    pub fn from_int(n: impl Into<BigInt>) -> Rational {
+        Rational { num: n.into(), den: BigInt::one() }
+    }
+
+    /// Numerator (sign-carrying).
+    #[must_use]
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    #[must_use]
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// `true` iff zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// `true` iff the denominator is one.
+    #[must_use]
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Extract the integer value.
+    ///
+    /// # Panics
+    /// Panics if not an integer.
+    #[must_use]
+    pub fn to_integer(&self) -> BigInt {
+        assert!(self.is_integer(), "rational {self} is not an integer");
+        self.num.clone()
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on zero.
+    #[must_use]
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Integer power (negative exponents allowed for non-zero values).
+    #[must_use]
+    pub fn pow(&self, e: i32) -> Rational {
+        if e < 0 {
+            return self.recip().pow(-e);
+        }
+        Rational::new(self.num.pow(e as u32), self.den.pow(e as u32))
+    }
+
+    /// Exact product with a big integer.
+    #[must_use]
+    pub fn mul_int(&self, n: &BigInt) -> Rational {
+        Rational::new(&self.num * n, self.den.clone())
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+impl From<BigInt> for Rational {
+    fn from(n: BigInt) -> Rational {
+        Rational::from_int(n)
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Rational {
+        Rational::from_int(BigInt::from(n))
+    }
+}
+
+impl Add for &Rational {
+    type Output = Rational;
+    fn add(self, rhs: &Rational) -> Rational {
+        Rational::new(
+            &(&self.num * &rhs.den) + &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Sub for &Rational {
+    type Output = Rational;
+    fn sub(self, rhs: &Rational) -> Rational {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &Rational {
+    type Output = Rational;
+    fn mul(self, rhs: &Rational) -> Rational {
+        Rational::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div for &Rational {
+    type Output = Rational;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division by reciprocal
+    fn div(self, rhs: &Rational) -> Rational {
+        self * &rhs.recip()
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -&self.num, den: self.den.clone() }
+    }
+}
+
+macro_rules! forward_owned {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                (&self).$method(&rhs)
+            }
+        }
+    };
+}
+forward_owned!(Add, add);
+forward_owned!(Sub, sub);
+forward_owned!(Mul, mul);
+forward_owned!(Div, div);
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        -&self
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // den > 0 on both sides, so cross-multiplication preserves order.
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(n: i64, d: i64) -> Rational {
+        Rational::new(BigInt::from(n), BigInt::from(d))
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(q(2, 4), q(1, 2));
+        assert_eq!(q(-2, -4), q(1, 2));
+        assert_eq!(q(2, -4), q(-1, 2));
+        assert_eq!(q(0, -7), Rational::zero());
+        assert!(q(6, 3).is_integer());
+        assert_eq!(q(6, 3).to_integer(), BigInt::from(2u64));
+    }
+
+    #[test]
+    fn field_ops() {
+        assert_eq!(&q(1, 2) + &q(1, 3), q(5, 6));
+        assert_eq!(&q(1, 2) - &q(1, 3), q(1, 6));
+        assert_eq!(&q(2, 3) * &q(3, 4), q(1, 2));
+        assert_eq!(&q(2, 3) / &q(4, 9), q(3, 2));
+        assert_eq!(-&q(1, 2), q(-1, 2));
+    }
+
+    #[test]
+    fn recip_and_pow() {
+        assert_eq!(q(2, 3).recip(), q(3, 2));
+        assert_eq!(q(2, 3).pow(3), q(8, 27));
+        assert_eq!(q(2, 3).pow(-2), q(9, 4));
+        assert_eq!(q(5, 7).pow(0), Rational::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_rejected() {
+        let _ = q(1, 0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(q(1, 3) < q(1, 2));
+        assert!(q(-1, 2) < q(-1, 3));
+        assert!(q(-1, 2) < Rational::zero());
+        assert_eq!(q(3, 9), q(1, 3));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(q(1, 2).to_string(), "1/2");
+        assert_eq!(q(-4, 2).to_string(), "-2");
+        assert_eq!(Rational::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn mul_int_exact() {
+        assert_eq!(q(5, 6).mul_int(&BigInt::from(12u64)), q(10, 1));
+    }
+}

@@ -1,0 +1,148 @@
+//! [`ScaledIntMatrix`]: a rational matrix stored as `(integer matrix) / denom`.
+//!
+//! Interpolation (Alg. 1 line 15) multiplies a vector of big integers by the
+//! rational matrix `W^T`; erasure decoding does the same with an inverted
+//! Vandermonde minor. Both results are provably integral, so we clear
+//! denominators once — `W^T = M / d` with `M` integral — apply `M` with pure
+//! integer arithmetic, and finish with one **exact** division by `d` per
+//! entry. This keeps the hot path in `ft-bigint` (where word operations are
+//! tallied for the cost model) instead of in rational arithmetic.
+
+use crate::matrix::Matrix;
+use crate::rational::Rational;
+use ft_bigint::BigInt;
+
+/// A rational matrix `M / denom` with `M` integral and `denom > 0`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScaledIntMatrix {
+    mat: Matrix<BigInt>,
+    denom: BigInt,
+}
+
+impl ScaledIntMatrix {
+    /// Clear denominators of a rational matrix: compute the lcm `d` of all
+    /// entry denominators and store `(d·A, d)`.
+    #[must_use]
+    pub fn from_rational(a: &Matrix<Rational>) -> ScaledIntMatrix {
+        let mut d = BigInt::one();
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                d = d.lcm(a[(i, j)].denom());
+            }
+        }
+        let mat = Matrix::from_fn(a.rows(), a.cols(), |i, j| {
+            let e = &a[(i, j)];
+            e.numer() * &d.div_exact(e.denom())
+        });
+        ScaledIntMatrix { mat, denom: d }
+    }
+
+    /// An integral matrix viewed as scaled (denominator one).
+    #[must_use]
+    pub fn from_integer(mat: Matrix<BigInt>) -> ScaledIntMatrix {
+        ScaledIntMatrix { mat, denom: BigInt::one() }
+    }
+
+    /// The integer matrix `denom · self`.
+    #[must_use]
+    pub fn numerator(&self) -> &Matrix<BigInt> {
+        &self.mat
+    }
+
+    /// The common denominator.
+    #[must_use]
+    pub fn denom(&self) -> &BigInt {
+        &self.denom
+    }
+
+    /// Shape.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.mat.rows()
+    }
+
+    /// Shape.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.mat.cols()
+    }
+
+    /// Apply to an integer vector with exact final division.
+    ///
+    /// # Panics
+    /// Panics if any result entry is not integral — callers use this only
+    /// where integrality is guaranteed (interpolation of integer products,
+    /// erasure decoding of integer codewords).
+    #[must_use]
+    pub fn apply(&self, v: &[BigInt]) -> Vec<BigInt> {
+        self.mat
+            .matvec(v)
+            .into_iter()
+            .map(|x| x.div_exact(&self.denom))
+            .collect()
+    }
+
+    /// Apply to an integer vector, reporting a non-integral result instead
+    /// of panicking — corrupted inputs (soft faults) surface here as
+    /// `Err(NotExact)`, which callers treat as an inconsistency signal.
+    pub fn checked_apply(&self, v: &[BigInt]) -> Result<Vec<BigInt>, ft_bigint::DivisionError> {
+        self.mat
+            .matvec(v)
+            .into_iter()
+            .map(|x| x.checked_div_exact(&self.denom))
+            .collect()
+    }
+
+    /// Reconstruct the rational matrix (for tests / reporting).
+    #[must_use]
+    pub fn to_rational(&self) -> Matrix<Rational> {
+        self.mat
+            .map(|x| Rational::new(x.clone(), self.denom.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(n: i64, d: i64) -> Rational {
+        Rational::new(BigInt::from(n), BigInt::from(d))
+    }
+
+    #[test]
+    fn clears_denominators() {
+        let a = Matrix::from_rows(vec![vec![q(1, 2), q(1, 3)], vec![q(1, 6), q(2, 1)]]);
+        let s = ScaledIntMatrix::from_rational(&a);
+        assert_eq!(s.denom(), &BigInt::from(6u64));
+        assert_eq!(s.numerator()[(0, 0)], BigInt::from(3u64));
+        assert_eq!(s.numerator()[(1, 1)], BigInt::from(12u64));
+        assert_eq!(s.to_rational(), a);
+    }
+
+    #[test]
+    fn apply_matches_rational_matvec() {
+        let a = Matrix::from_rows(vec![vec![q(1, 2), q(-1, 2)], vec![q(3, 4), q(1, 4)]]);
+        let s = ScaledIntMatrix::from_rational(&a);
+        // v chosen so the result is integral: [6, 2] -> [2, 5]
+        let v = vec![BigInt::from(6u64), BigInt::from(2u64)];
+        assert_eq!(s.apply(&v), vec![BigInt::from(2u64), BigInt::from(5u64)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inexact")]
+    fn apply_panics_on_non_integral_result() {
+        let a = Matrix::from_rows(vec![vec![q(1, 2)]]);
+        let s = ScaledIntMatrix::from_rational(&a);
+        let _ = s.apply(&[BigInt::from(3u64)]);
+    }
+
+    #[test]
+    fn integer_matrix_passthrough() {
+        let m = Matrix::from_rows(vec![vec![BigInt::from(2u64), BigInt::from(3u64)]]);
+        let s = ScaledIntMatrix::from_integer(m);
+        assert_eq!(
+            s.apply(&[BigInt::from(10u64), BigInt::from(1u64)]),
+            vec![BigInt::from(23u64)]
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for exact algebra: field axioms for `Rational`,
+//! matrix-algebra identities, determinant multiplicativity, inverse
+//! round-trips, and evaluation/interpolation duality.
+
+use ft_algebra::points::eval_matrix;
+use ft_algebra::{HPoint, Matrix, Rational, ScaledIntMatrix};
+use ft_bigint::BigInt;
+use proptest::prelude::*;
+
+fn rational() -> impl Strategy<Value = Rational> {
+    (any::<i32>(), 1i32..1000, any::<bool>()).prop_map(|(n, d, neg)| {
+        let d = if neg { -(d as i64) } else { d as i64 };
+        Rational::new(BigInt::from(n as i64), BigInt::from(d))
+    })
+}
+
+fn small_matrix(n: usize) -> impl Strategy<Value = Matrix<BigInt>> {
+    proptest::collection::vec(-50i64..50, n * n).prop_map(move |vals| {
+        Matrix::from_fn(n, n, |i, j| BigInt::from(vals[i * n + j]))
+    })
+}
+
+proptest! {
+    #[test]
+    fn rational_field_axioms(a in rational(), b in rational(), c in rational()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a - &a, Rational::zero());
+        if !a.is_zero() {
+            prop_assert_eq!(&a / &a, Rational::one());
+            prop_assert_eq!(&a * &a.recip(), Rational::one());
+        }
+    }
+
+    #[test]
+    fn rational_normalization_canonical(a in rational(), scale in 1i64..500) {
+        // n·s / d·s must normalize to the same representation.
+        let scaled = Rational::new(
+            a.numer() * &BigInt::from(scale),
+            a.denom() * &BigInt::from(scale),
+        );
+        prop_assert_eq!(scaled.numer(), a.numer());
+        prop_assert_eq!(scaled.denom(), a.denom());
+    }
+
+    #[test]
+    fn rational_ordering_consistent_with_f64(a in rational(), b in rational()) {
+        let fa = f64::from(a.numer()) / f64::from(a.denom());
+        let fb = f64::from(b.numer()) / f64::from(b.denom());
+        if (fa - fb).abs() > 1e-6 {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+
+    #[test]
+    fn det_is_multiplicative(a in small_matrix(3), b in small_matrix(3)) {
+        let da = a.det_bareiss();
+        let db = b.det_bareiss();
+        let dab = a.matmul(&b).det_bareiss();
+        prop_assert_eq!(dab, &da * &db);
+    }
+
+    #[test]
+    fn det_transpose_invariant(a in small_matrix(4)) {
+        prop_assert_eq!(a.det_bareiss(), a.transpose().det_bareiss());
+    }
+
+    #[test]
+    fn bareiss_matches_rational_gauss(a in small_matrix(4)) {
+        prop_assert_eq!(
+            Rational::from_int(a.det_bareiss()),
+            a.to_rational().det()
+        );
+    }
+
+    #[test]
+    fn inverse_roundtrip(a in small_matrix(3)) {
+        let r = a.to_rational();
+        match r.inverse() {
+            Some(inv) => {
+                prop_assert_eq!(r.matmul(&inv), Matrix::<Rational>::identity(3));
+                prop_assert_eq!(inv.matmul(&r), Matrix::<Rational>::identity(3));
+            }
+            None => prop_assert!(a.det_bareiss().is_zero()),
+        }
+    }
+
+    #[test]
+    fn solve_satisfies_system(a in small_matrix(3), rhs in proptest::collection::vec(-100i64..100, 3)) {
+        let r = a.to_rational();
+        let b: Vec<Rational> = rhs.iter().map(|&v| Rational::from(v)).collect();
+        if let Some(x) = r.solve(&b) {
+            prop_assert_eq!(r.matvec(&x), b);
+        }
+    }
+
+    #[test]
+    fn matmul_associative(a in small_matrix(2), b in small_matrix(2), c in small_matrix(2)) {
+        prop_assert_eq!(a.matmul(&b).matmul(&c), a.matmul(&b.matmul(&c)));
+    }
+
+    #[test]
+    fn scaled_matrix_is_faithful(a in small_matrix(3), v in proptest::collection::vec(-100i64..100, 3)) {
+        // An integral matrix through ScaledIntMatrix must equal plain matvec.
+        let s = ScaledIntMatrix::from_integer(a.clone());
+        let vv: Vec<BigInt> = v.iter().map(|&x| BigInt::from(x)).collect();
+        prop_assert_eq!(s.apply(&vv), a.matvec(&vv));
+    }
+
+    #[test]
+    fn interpolation_inverts_evaluation(coeffs in proptest::collection::vec(-1000i64..1000, 5)) {
+        // Evaluate a degree-4 polynomial at the classic TC-3 points and
+        // interpolate back through the cleared-denominator inverse.
+        let pts = vec![
+            HPoint::affine(0),
+            HPoint::affine(1),
+            HPoint::affine(-1),
+            HPoint::affine(2),
+            HPoint::infinity(),
+        ];
+        let e = eval_matrix(&pts, 5);
+        let c: Vec<BigInt> = coeffs.iter().map(|&v| BigInt::from(v)).collect();
+        let vals = e.matvec(&c);
+        let inv = ScaledIntMatrix::from_rational(&e.to_rational().inverse().unwrap());
+        prop_assert_eq!(inv.apply(&vals), c);
+    }
+
+    #[test]
+    fn vandermonde_never_singular(xs in proptest::collection::hash_set(-40i64..40, 4)) {
+        let xs: Vec<i64> = xs.into_iter().collect();
+        let pts: Vec<HPoint> = xs.iter().map(|&x| HPoint::affine(x)).collect();
+        let e = eval_matrix(&pts, pts.len());
+        prop_assert!(!e.det_bareiss().is_zero(), "distinct points ⇒ invertible (Thm 2.1)");
+    }
+}

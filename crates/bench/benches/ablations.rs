@@ -1,0 +1,88 @@
+//! Design-choice ablations called out in DESIGN.md:
+//!
+//! - `toomgraph`: interpolation via Bodrato's inversion sequence vs the
+//!   dense scaled-integer matrix (Definition 2.3 / Remark 4.1);
+//! - `lazy`: standard recursion vs lazy-interpolation recursion (§2.3);
+//! - `codes`: Vandermonde erasure encode/recover vs payload size (the
+//!   `o(1)` code-creation term of Theorem 5.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_bench::operands;
+use ft_bigint::BigInt;
+use ft_codes::ErasureCode;
+use ft_toom_core::{lazy, seq, ToomPlan};
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_toomgraph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("toomgraph_interpolation");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let plan = ToomPlan::new(3);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    for bits in [1_000u64, 100_000] {
+        let coeffs: Vec<BigInt> = (0..5)
+            .map(|_| BigInt::random_signed_bits(&mut rng, bits))
+            .collect();
+        let evals = plan.eval_matrix();
+        let _ = evals;
+        let products = ft_algebra::points::eval_matrix(plan.points(), 5).matvec(&coeffs);
+        g.bench_with_input(BenchmarkId::new("bodrato_sequence", bits), &bits, |bch, _| {
+            bch.iter(|| black_box(plan.interpolate(&products)))
+        });
+        g.bench_with_input(BenchmarkId::new("dense_matrix", bits), &bits, |bch, _| {
+            bch.iter(|| black_box(plan.interpolate_dense(&products)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lazy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lazy_vs_standard");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let bits = 1u64 << 15;
+    let (a, b) = operands(bits, 4);
+    g.bench_function("standard_toom3", |bch| {
+        bch.iter(|| black_box(seq::toom_k(&a, &b, 3)))
+    });
+    g.bench_function("lazy_toom3_w64", |bch| {
+        bch.iter(|| {
+            black_box(lazy::toom_lazy(
+                &a,
+                &b,
+                lazy::LazyConfig { k: 3, digit_bits: 64, base_len: 27 },
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_codes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("erasure_code");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let code = ErasureCode::new(5, 2);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    for words in [64usize, 1024] {
+        let data: Vec<Vec<BigInt>> = (0..5)
+            .map(|_| {
+                (0..words)
+                    .map(|_| BigInt::random_bits(&mut rng, 64))
+                    .collect()
+            })
+            .collect();
+        let parity = code.encode_blocks(&data).unwrap();
+        g.bench_with_input(BenchmarkId::new("encode", words), &words, |bch, _| {
+            bch.iter(|| black_box(code.encode_blocks(&data).unwrap()))
+        });
+        let surviving: Vec<(usize, Vec<BigInt>)> =
+            (2..5).map(|i| (i, data[i].clone())).collect();
+        let sp: Vec<(usize, Vec<BigInt>)> = parity.iter().cloned().enumerate().collect();
+        g.bench_with_input(BenchmarkId::new("recover_2_of_5", words), &words, |bch, _| {
+            bch.iter(|| black_box(code.recover(&surviving, &sp, &[0, 1]).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_toomgraph, bench_lazy, bench_codes);
+criterion_main!(benches);

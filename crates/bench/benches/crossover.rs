@@ -1,0 +1,48 @@
+//! A3 — the §1 motivation: Toom-Cook beats schoolbook over a large input
+//! range. Wall-clock sweep of schoolbook vs Karatsuba vs TC-3 vs TC-4
+//! (crossover bench) plus the rayon parallel engine's speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_bench::operands;
+use ft_toom_core::{rayon_engine, seq};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_crossover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crossover");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for bits in [1u64 << 13, 1 << 15, 1 << 17] {
+        let (a, b) = operands(bits, 1);
+        g.bench_with_input(BenchmarkId::new("schoolbook", bits), &bits, |bch, _| {
+            bch.iter(|| black_box(a.mul_schoolbook(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("karatsuba", bits), &bits, |bch, _| {
+            bch.iter(|| black_box(seq::toom_k(&a, &b, 2)))
+        });
+        g.bench_with_input(BenchmarkId::new("toom3", bits), &bits, |bch, _| {
+            bch.iter(|| black_box(seq::toom_k(&a, &b, 3)))
+        });
+        g.bench_with_input(BenchmarkId::new("toom4", bits), &bits, |bch, _| {
+            bch.iter(|| black_box(seq::toom_k(&a, &b, 4)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_speedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_speedup");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let bits = 1u64 << 19;
+    let (a, b) = operands(bits, 2);
+    for depth in [0usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("rayon_toom3_depth", depth),
+            &depth,
+            |bch, &d| bch.iter(|| black_box(rayon_engine::par_toom_k(&a, &b, 3, 2048, d))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_crossover, bench_parallel_speedup);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Regenerate the **§1.2 headline claim**: the coded algorithm reduces the
+//! fault-tolerance overhead (arithmetic + processors) by `Θ(P/(2k−1))`
+//! versus replication. Sweeps `P` and reports measured vs theoretical
+//! ratios.
+//!
+//! ```sh
+//! cargo run --release -p ft-bench --bin overhead_ratio [bits]
+//! ```
+
+use ft_bench::overhead_ratios;
+
+fn main() {
+    let bits: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+    println!("# Overhead reduction vs replication (n = {bits} bits, f = 1)\n");
+    println!(
+        "| {:<4} | {:>4} | {:>16} | {:>16} | {:>14} |",
+        "k", "P", "extra-work ratio", "extra-proc ratio", "theory P/(2k−1)"
+    );
+    println!("|------|------|------------------|------------------|----------------|");
+    for k in [2usize, 3] {
+        for (p, work_ratio, proc_ratio, theory) in overhead_ratios(bits, k, 1) {
+            println!(
+                "| {:<4} | {:>4} | {:>15.1}x | {:>15.1}x | {:>13.1}x |",
+                k, p, work_ratio, proc_ratio, theory
+            );
+        }
+    }
+    println!();
+    println!("Both measured ratios must GROW with P and track Θ(P/(2k−1)) — replication's");
+    println!("overhead scales with the whole machine, the coded algorithm's with one grid row.");
+}

@@ -1,0 +1,244 @@
+//! The [`BigInt`] type: sign-magnitude arbitrary-precision integers.
+
+use crate::ops;
+use crate::Limb;
+use std::cmp::Ordering;
+
+/// Sign of a [`BigInt`]. Zero is its own sign so normalization is unique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+#[allow(clippy::should_implement_trait)] // sign algebra, not std::ops
+impl Sign {
+    /// The opposite sign (zero is its own opposite).
+    #[must_use]
+    pub fn neg(self) -> Sign {
+        match self {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        }
+    }
+
+    /// Product-of-signs rule.
+    #[must_use]
+    pub fn mul(self, other: Sign) -> Sign {
+        match (self, other) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (a, b) if a == b => Sign::Positive,
+            _ => Sign::Negative,
+        }
+    }
+
+    /// `-1`, `0`, or `1`.
+    #[must_use]
+    pub fn signum(self) -> i32 {
+        match self {
+            Sign::Negative => -1,
+            Sign::Zero => 0,
+            Sign::Positive => 1,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// Invariants: `mag` is normalized (no trailing zero limbs) and
+/// `sign == Sign::Zero` iff `mag.is_empty()`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    pub(crate) sign: Sign,
+    pub(crate) mag: Vec<Limb>,
+}
+
+impl BigInt {
+    /// The integer `0`.
+    #[must_use]
+    pub fn zero() -> BigInt {
+        BigInt { sign: Sign::Zero, mag: Vec::new() }
+    }
+
+    /// The integer `1`.
+    #[must_use]
+    pub fn one() -> BigInt {
+        BigInt::from(1u64)
+    }
+
+    /// Build from a sign and raw little-endian limbs (normalizes; sign of a
+    /// zero magnitude is forced to [`Sign::Zero`]).
+    #[must_use]
+    pub fn from_sign_limbs(sign: Sign, mut mag: Vec<Limb>) -> BigInt {
+        ops::normalize(&mut mag);
+        if mag.is_empty() {
+            BigInt::zero()
+        } else {
+            assert!(sign != Sign::Zero, "non-zero magnitude with Sign::Zero");
+            BigInt { sign, mag }
+        }
+    }
+
+    /// Non-negative integer from little-endian limbs.
+    #[must_use]
+    pub fn from_limbs(mag: Vec<Limb>) -> BigInt {
+        let mut mag = mag;
+        ops::normalize(&mut mag);
+        if mag.is_empty() {
+            BigInt::zero()
+        } else {
+            BigInt { sign: Sign::Positive, mag }
+        }
+    }
+
+    /// The sign of this integer.
+    #[must_use]
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// `-1`, `0` or `1`.
+    #[must_use]
+    pub fn signum(&self) -> i32 {
+        self.sign.signum()
+    }
+
+    /// `true` iff this is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// `true` iff this equals one.
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Positive && self.mag == [1]
+    }
+
+    /// `true` iff strictly negative.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// `true` iff the low bit is set (odd magnitude).
+    #[must_use]
+    pub fn is_odd(&self) -> bool {
+        self.mag.first().is_some_and(|l| l & 1 == 1)
+    }
+
+    /// Little-endian limbs of the magnitude (normalized; empty for zero).
+    #[must_use]
+    pub fn limbs(&self) -> &[Limb] {
+        &self.mag
+    }
+
+    /// Number of limbs ("words") in the magnitude. This is the unit in which
+    /// the simulator charges bandwidth for transferring this integer.
+    #[must_use]
+    pub fn word_len(&self) -> usize {
+        self.mag.len()
+    }
+
+    /// Number of significant bits of the magnitude (0 for zero).
+    #[must_use]
+    pub fn bit_length(&self) -> u64 {
+        ops::bit_length(&self.mag)
+    }
+
+    /// Value of bit `i` of the magnitude.
+    #[must_use]
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / 64) as usize;
+        self.mag.get(limb).is_some_and(|l| (l >> (i % 64)) & 1 == 1)
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(&self) -> BigInt {
+        BigInt {
+            sign: if self.sign == Sign::Zero { Sign::Zero } else { Sign::Positive },
+            mag: self.mag.clone(),
+        }
+    }
+
+    /// Compare absolute values.
+    #[must_use]
+    pub fn cmp_abs(&self, other: &BigInt) -> Ordering {
+        ops::cmp_slices(&self.mag, &other.mag)
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Negative, Sign::Negative) => ops::cmp_slices(&other.mag, &self.mag),
+            (Sign::Positive, Sign::Positive) => ops::cmp_slices(&self.mag, &other.mag),
+            (a, b) => a.signum().cmp(&b.signum()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_normalized() {
+        let z = BigInt::from_limbs(vec![0, 0, 0]);
+        assert!(z.is_zero());
+        assert_eq!(z, BigInt::zero());
+        assert_eq!(z.word_len(), 0);
+    }
+
+    #[test]
+    fn ordering_mixed_signs() {
+        let neg = BigInt::from(-5i64);
+        let zero = BigInt::zero();
+        let pos = BigInt::from(3u64);
+        assert!(neg < zero);
+        assert!(zero < pos);
+        assert!(neg < pos);
+        assert!(BigInt::from(-10i64) < BigInt::from(-2i64));
+        assert!(BigInt::from(10i64) > BigInt::from(2i64));
+    }
+
+    #[test]
+    fn sign_algebra() {
+        assert_eq!(Sign::Negative.mul(Sign::Negative), Sign::Positive);
+        assert_eq!(Sign::Negative.mul(Sign::Positive), Sign::Negative);
+        assert_eq!(Sign::Zero.mul(Sign::Negative), Sign::Zero);
+        assert_eq!(Sign::Positive.neg(), Sign::Negative);
+        assert_eq!(Sign::Zero.neg(), Sign::Zero);
+    }
+
+    #[test]
+    fn bit_accessors() {
+        let x = BigInt::from(0b1010u64);
+        assert!(!x.bit(0));
+        assert!(x.bit(1));
+        assert!(!x.bit(2));
+        assert!(x.bit(3));
+        assert!(!x.bit(64));
+        assert_eq!(x.bit_length(), 4);
+        assert!(!x.is_odd());
+        assert!(BigInt::from(7u64).is_odd());
+    }
+}

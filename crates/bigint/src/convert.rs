@@ -1,0 +1,134 @@
+//! Conversions between [`BigInt`] and primitive integers.
+
+use crate::bigint::{BigInt, Sign};
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> BigInt {
+                let v = v as u128;
+                if v == 0 {
+                    BigInt::zero()
+                } else if v <= u64::MAX as u128 {
+                    BigInt { sign: Sign::Positive, mag: vec![v as u64] }
+                } else {
+                    BigInt { sign: Sign::Positive, mag: vec![v as u64, (v >> 64) as u64] }
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> BigInt {
+                let neg = v < 0;
+                let mag = (v as i128).unsigned_abs();
+                let mut out = BigInt::from(mag);
+                if neg {
+                    out.sign = Sign::Negative;
+                }
+                out
+            }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64, usize, u128);
+from_signed!(i8, i16, i32, i64, isize, i128);
+
+/// Error converting a [`BigInt`] into a primitive: out of range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TryFromBigIntError;
+
+impl std::fmt::Display for TryFromBigIntError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BigInt out of range for target integer type")
+    }
+}
+
+impl std::error::Error for TryFromBigIntError {}
+
+impl TryFrom<&BigInt> for u64 {
+    type Error = TryFromBigIntError;
+    fn try_from(v: &BigInt) -> Result<u64, TryFromBigIntError> {
+        match (v.sign, v.mag.as_slice()) {
+            (Sign::Zero, _) => Ok(0),
+            (Sign::Positive, [l]) => Ok(*l),
+            _ => Err(TryFromBigIntError),
+        }
+    }
+}
+
+impl TryFrom<&BigInt> for i64 {
+    type Error = TryFromBigIntError;
+    fn try_from(v: &BigInt) -> Result<i64, TryFromBigIntError> {
+        match (v.sign, v.mag.as_slice()) {
+            (Sign::Zero, _) => Ok(0),
+            (Sign::Positive, [l]) if *l <= i64::MAX as u64 => Ok(*l as i64),
+            (Sign::Negative, [l]) if *l <= 1u64 << 63 => Ok((*l).wrapping_neg() as i64),
+            _ => Err(TryFromBigIntError),
+        }
+    }
+}
+
+impl TryFrom<&BigInt> for u128 {
+    type Error = TryFromBigIntError;
+    fn try_from(v: &BigInt) -> Result<u128, TryFromBigIntError> {
+        match (v.sign, v.mag.as_slice()) {
+            (Sign::Zero, _) => Ok(0),
+            (Sign::Positive, [l]) => Ok(*l as u128),
+            (Sign::Positive, [lo, hi]) => Ok((*hi as u128) << 64 | *lo as u128),
+            _ => Err(TryFromBigIntError),
+        }
+    }
+}
+
+/// Approximate the value as an `f64` (for reporting only; saturates to
+/// `±inf` when out of range).
+impl From<&BigInt> for f64 {
+    fn from(v: &BigInt) -> f64 {
+        let mut acc = 0.0f64;
+        for &l in v.mag.iter().rev() {
+            acc = acc * 2f64.powi(64) + l as f64;
+        }
+        acc * v.signum() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u64::try_from(&BigInt::from(42u64)), Ok(42));
+        assert_eq!(i64::try_from(&BigInt::from(-42i64)), Ok(-42));
+        assert_eq!(i64::try_from(&BigInt::from(i64::MIN)), Ok(i64::MIN));
+        assert_eq!(i64::try_from(&BigInt::from(i64::MAX)), Ok(i64::MAX));
+        assert_eq!(u128::try_from(&BigInt::from(u128::MAX)), Ok(u128::MAX));
+        assert_eq!(u64::try_from(&BigInt::zero()), Ok(0));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(u64::try_from(&BigInt::from(u128::MAX)).is_err());
+        assert!(u64::try_from(&BigInt::from(-1i64)).is_err());
+        assert!(i64::try_from(&BigInt::from(u64::MAX)).is_err());
+    }
+
+    #[test]
+    fn two_limb_unsigned() {
+        let v = BigInt::from(u128::MAX);
+        assert_eq!(v.word_len(), 2);
+        assert_eq!(v.limbs(), &[u64::MAX, u64::MAX]);
+    }
+
+    #[test]
+    fn f64_approximation() {
+        let v = BigInt::from(1u64 << 52);
+        assert_eq!(f64::from(&v), 2f64.powi(52));
+        assert_eq!(f64::from(&BigInt::from(-8i64)), -8.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Base-`2^b` digit splitting and reassembly.
+//!
+//! Toom-Cook-k splits its inputs into `k` digits over a shared power-of-two
+//! base `B = 2^b` (Alg. 1 line 4) and reassembles the product with carries
+//! as `c = Σ c'_i · B^i` (Alg. 1 line 16). Digits produced by splitting are
+//! non-negative and `< B`; digits fed to [`BigInt::join_base_pow2`] may be
+//! arbitrary signed integers wider than `b` bits — the evaluation at `B`
+//! performs the carry propagation.
+
+use crate::bigint::BigInt;
+use crate::ops;
+
+impl BigInt {
+    /// Split `|self|` into exactly `count` digits of `b_bits` bits each,
+    /// least-significant first. Requires `count * b_bits >= bit_length()`
+    /// (high digits pad with zero) and a non-negative value.
+    ///
+    /// # Panics
+    /// Panics if `self` is negative, `b_bits == 0`, or the digits cannot
+    /// hold the value.
+    #[must_use]
+    pub fn split_base_pow2(&self, b_bits: u64, count: usize) -> Vec<BigInt> {
+        assert!(!self.is_negative(), "split_base_pow2 requires a non-negative value");
+        assert!(b_bits > 0, "digit width must be positive");
+        assert!(
+            count as u64 * b_bits >= self.bit_length(),
+            "{count} digits of {b_bits} bits cannot hold a {}-bit value",
+            self.bit_length()
+        );
+        (0..count)
+            .map(|i| {
+                let lo = i as u64 * b_bits;
+                BigInt::from_limbs(ops::bits_range(&self.mag, lo, lo + b_bits))
+            })
+            .collect()
+    }
+
+    /// Evaluate `Σ digits[i] · 2^(b_bits·i)` — reassembly with carry
+    /// propagation. Digits may be signed and wider than `b_bits`.
+    #[must_use]
+    pub fn join_base_pow2(digits: &[BigInt], b_bits: u64) -> BigInt {
+        // Horner evaluation from the most-significant digit: each step is a
+        // shift (cheap) plus an addition.
+        let mut acc = BigInt::zero();
+        for d in digits.iter().rev() {
+            acc = acc.shl_bits(b_bits);
+            acc += d;
+        }
+        acc
+    }
+
+    /// Choose the shared digit width for splitting `a` and `b` into `k`
+    /// digits: the paper's `B = 2^{max(⌊log₂a⌋, ⌊log₂b⌋)/k + 1}` rule,
+    /// i.e. the smallest width `b_bits` with `k·b_bits` covering both
+    /// inputs.
+    #[must_use]
+    pub fn shared_digit_width(a: &BigInt, b: &BigInt, k: usize) -> u64 {
+        let max_bits = a.bit_length().max(b.bit_length()).max(1);
+        max_bits.div_ceil(k as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn split_join_roundtrip() {
+        let v: BigInt = "987654321987654321987654321987654321".parse().unwrap();
+        for k in [2usize, 3, 4, 5, 7] {
+            let b_bits = BigInt::shared_digit_width(&v, &v, k);
+            let digits = v.split_base_pow2(b_bits, k);
+            assert_eq!(digits.len(), k);
+            for d in &digits {
+                assert!(d.bit_length() <= b_bits);
+                assert!(!d.is_negative());
+            }
+            assert_eq!(BigInt::join_base_pow2(&digits, b_bits), v, "k={k}");
+        }
+    }
+
+    #[test]
+    fn join_handles_signed_wide_digits() {
+        // digits = [5, -1, 3] base 2^4: 5 - 16 + 3*256 = 757
+        let digits = [BigInt::from(5u64), BigInt::from(-1i64), BigInt::from(3u64)];
+        assert_eq!(BigInt::join_base_pow2(&digits, 4), BigInt::from(757u64));
+        // digit wider than the base: [20, 1] base 2^4: 20 + 16 = 36
+        let digits = [BigInt::from(20u64), BigInt::from(1u64)];
+        assert_eq!(BigInt::join_base_pow2(&digits, 4), BigInt::from(36u64));
+    }
+
+    #[test]
+    fn zero_splits_to_zeros() {
+        let digits = BigInt::zero().split_base_pow2(8, 3);
+        assert!(digits.iter().all(BigInt::is_zero));
+        assert!(BigInt::join_base_pow2(&digits, 8).is_zero());
+    }
+
+    #[test]
+    fn shared_width_covers_both() {
+        let a = BigInt::from(1u64).shl_bits(100);
+        let b = BigInt::from(1u64).shl_bits(40);
+        let w = BigInt::shared_digit_width(&a, &b, 3);
+        assert!(3 * w >= 101);
+        assert_eq!(w, 34);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn split_rejects_too_narrow() {
+        let _ = BigInt::from(u128::MAX).split_base_pow2(4, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn split_rejects_negative() {
+        let _ = BigInt::from(-5i64).split_base_pow2(4, 3);
+    }
+
+    #[test]
+    fn random_roundtrips() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let v = BigInt::random_bits(&mut rng, 777);
+            let b_bits = BigInt::shared_digit_width(&v, &v, 5);
+            let digits = v.split_base_pow2(b_bits, 5);
+            assert_eq!(BigInt::join_base_pow2(&digits, b_bits), v);
+        }
+    }
+}

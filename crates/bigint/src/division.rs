@@ -1,0 +1,300 @@
+//! Multi-precision division: Knuth's Algorithm D plus exact-division and
+//! floor-mod helpers.
+//!
+//! Toom-Cook interpolation divides by small constants (exactly), erasure
+//! decoding divides by Vandermonde minors (exactly), and the decimal
+//! formatter and modular arithmetic need general `div_rem` — so we implement
+//! the full algorithm rather than special cases.
+
+use crate::bigint::{BigInt, Sign};
+use crate::metrics::tally;
+use crate::ops;
+use crate::Limb;
+use std::cmp::Ordering;
+
+/// Error for checked division entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivisionError {
+    /// The divisor was zero.
+    DivisionByZero,
+    /// `div_exact` was asked for a quotient that leaves a remainder.
+    NotExact,
+}
+
+impl std::fmt::Display for DivisionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DivisionError::DivisionByZero => write!(f, "division by zero"),
+            DivisionError::NotExact => write!(f, "inexact division where exactness was required"),
+        }
+    }
+}
+
+impl std::error::Error for DivisionError {}
+
+/// Knuth Algorithm D on magnitudes. Requires `v` normalized and non-empty.
+/// Returns normalized `(quotient, remainder)`.
+fn div_rem_mag(u: &[Limb], v: &[Limb]) -> (Vec<Limb>, Vec<Limb>) {
+    debug_assert!(!v.is_empty() && *v.last().unwrap() != 0);
+    if ops::cmp_slices(u, v) == Ordering::Less {
+        return (Vec::new(), u.to_vec());
+    }
+    if v.len() == 1 {
+        let (q, r) = ops::div_rem_limb(u, v[0]);
+        return (q, if r == 0 { Vec::new() } else { vec![r] });
+    }
+
+    let n = v.len();
+    let m = u.len() - n; // quotient has m+1 limbs
+    let shift = v.last().unwrap().leading_zeros() as u64;
+
+    let vn = ops::shl_bits(v, shift);
+    debug_assert_eq!(vn.len(), n);
+    let mut un = ops::shl_bits(u, shift);
+    un.resize(u.len() + 1, 0);
+
+    let b: u128 = 1u128 << 64;
+    let mut q = vec![0 as Limb; m + 1];
+    for j in (0..=m).rev() {
+        let top = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+        let mut qhat = top / vn[n - 1] as u128;
+        let mut rhat = top % vn[n - 1] as u128;
+        while qhat >= b
+            || qhat * vn[n - 2] as u128 > ((rhat << 64) | un[j + n - 2] as u128)
+        {
+            qhat -= 1;
+            rhat += vn[n - 1] as u128;
+            if rhat >= b {
+                break;
+            }
+        }
+
+        // un[j..=j+n] -= qhat * vn
+        let mut carry: u128 = 0;
+        let mut borrow: i128 = 0;
+        for i in 0..n {
+            let p = qhat * vn[i] as u128 + carry;
+            carry = p >> 64;
+            let sub = un[i + j] as i128 - (p as u64) as i128 - borrow;
+            un[i + j] = sub as u64;
+            borrow = i128::from(sub < 0);
+        }
+        let sub = un[j + n] as i128 - carry as i128 - borrow;
+        un[j + n] = sub as u64;
+
+        if sub < 0 {
+            // qhat was one too large (rare): add back one multiple of vn.
+            qhat -= 1;
+            let mut c: u128 = 0;
+            for i in 0..n {
+                let t = un[i + j] as u128 + vn[i] as u128 + c;
+                un[i + j] = t as u64;
+                c = t >> 64;
+            }
+            un[j + n] = (un[j + n] as u128 + c) as u64;
+        }
+        q[j] = qhat as u64;
+        tally(n as u64);
+    }
+
+    let rem = ops::shr_bits(&un[..n], shift);
+    ops::normalize(&mut q);
+    (q, rem)
+}
+
+impl BigInt {
+    /// Truncated division: returns `(q, r)` with `self = q*rhs + r`,
+    /// `|r| < |rhs|`, and `sign(r) == sign(self)` (or zero) — the same
+    /// convention as Rust's primitive `/` and `%`.
+    ///
+    /// # Panics
+    /// Panics if `rhs` is zero; use [`BigInt::checked_div_rem`] to avoid.
+    #[must_use]
+    pub fn div_rem(&self, rhs: &BigInt) -> (BigInt, BigInt) {
+        self.checked_div_rem(rhs).expect("division by zero")
+    }
+
+    /// Truncated division that reports division by zero as an error.
+    pub fn checked_div_rem(&self, rhs: &BigInt) -> Result<(BigInt, BigInt), DivisionError> {
+        if rhs.is_zero() {
+            return Err(DivisionError::DivisionByZero);
+        }
+        if self.is_zero() {
+            return Ok((BigInt::zero(), BigInt::zero()));
+        }
+        let (qm, rm) = div_rem_mag(&self.mag, &rhs.mag);
+        let qsign = self.sign.mul(rhs.sign);
+        let q = BigInt::from_sign_limbs(if qm.is_empty() { Sign::Zero } else { qsign }, qm);
+        let r = BigInt::from_sign_limbs(if rm.is_empty() { Sign::Zero } else { self.sign }, rm);
+        Ok((q, r))
+    }
+
+    /// Exact division: `self / rhs` asserting that the remainder is zero.
+    /// Used by interpolation (divisions by interpolation-matrix constants
+    /// are exact by construction) and by erasure decoding.
+    ///
+    /// # Panics
+    /// Panics on a non-zero remainder or zero divisor.
+    #[must_use]
+    pub fn div_exact(&self, rhs: &BigInt) -> BigInt {
+        self.checked_div_exact(rhs).expect("div_exact: inexact or zero division")
+    }
+
+    /// Checked version of [`BigInt::div_exact`].
+    pub fn checked_div_exact(&self, rhs: &BigInt) -> Result<BigInt, DivisionError> {
+        let (q, r) = self.checked_div_rem(rhs)?;
+        if r.is_zero() {
+            Ok(q)
+        } else {
+            Err(DivisionError::NotExact)
+        }
+    }
+
+    /// Exact division by a signed machine integer.
+    ///
+    /// # Panics
+    /// Panics on a non-zero remainder or zero divisor.
+    #[must_use]
+    pub fn div_exact_small(&self, d: i64) -> BigInt {
+        assert!(d != 0, "division by zero");
+        if self.is_zero() {
+            return BigInt::zero();
+        }
+        let (q, r) = ops::div_rem_limb(&self.mag, d.unsigned_abs());
+        assert_eq!(r, 0, "div_exact_small: remainder {r} dividing by {d}");
+        let dsign = if d < 0 { Sign::Negative } else { Sign::Positive };
+        BigInt::from_sign_limbs(self.sign.mul(dsign), q)
+    }
+
+    /// Euclidean (floor) remainder: the unique `r` in `[0, |rhs|)` with
+    /// `self ≡ r (mod rhs)`.
+    #[must_use]
+    pub fn mod_floor(&self, rhs: &BigInt) -> BigInt {
+        let (_, r) = self.div_rem(rhs);
+        if r.is_negative() {
+            &r + &rhs.abs()
+        } else {
+            r
+        }
+    }
+}
+
+impl std::ops::Div for &BigInt {
+    type Output = BigInt;
+    fn div(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).0
+    }
+}
+
+impl std::ops::Rem for &BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn matches_primitive_truncated_division() {
+        for x in [-100i128, -17, -1, 0, 1, 17, 100, 12345] {
+            for y in [-7i128, -3, -1, 1, 3, 7, 100] {
+                let (q, r) = b(x).div_rem(&b(y));
+                assert_eq!(q, b(x / y), "{x}/{y}");
+                assert_eq!(r, b(x % y), "{x}%{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn big_reconstruction() {
+        let u = BigInt::from(u128::MAX).pow(3);
+        let v = BigInt::from(0xfeed_face_dead_beefu64);
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(&(&q * &v) + &r, u);
+        assert!(r.cmp_abs(&v) == Ordering::Less);
+    }
+
+    #[test]
+    fn multi_limb_divisor() {
+        let v = BigInt::from(u128::MAX - 12345);
+        let u = &v * &v * &v + BigInt::from(987654321u64);
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(&(&q * &v) + &r, u);
+        assert_eq!(r, BigInt::from(987654321u64));
+        assert_eq!(q, &v * &v);
+    }
+
+    #[test]
+    fn quotient_smaller_than_divisor() {
+        let (q, r) = b(5).div_rem(&b(100));
+        assert!(q.is_zero());
+        assert_eq!(r, b(5));
+    }
+
+    #[test]
+    fn algorithm_d_add_back_case() {
+        // Constructed so qhat overestimates: u = [0, 2^64-1, 2^64-1],
+        // v = [2^64-1, 2^64-1] triggers the rare add-back branch.
+        let u = BigInt::from_limbs(vec![0, u64::MAX, u64::MAX]);
+        let v = BigInt::from_limbs(vec![u64::MAX, u64::MAX]);
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(&(&q * &v) + &r, u);
+        assert!(r.cmp_abs(&v) == Ordering::Less);
+    }
+
+    #[test]
+    fn div_exact_small_signs() {
+        assert_eq!(b(-12).div_exact_small(4), b(-3));
+        assert_eq!(b(-12).div_exact_small(-4), b(3));
+        assert_eq!(b(0).div_exact_small(-4), b(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "remainder")]
+    fn div_exact_small_panics_on_inexact() {
+        let _ = b(10).div_exact_small(3);
+    }
+
+    #[test]
+    fn div_exact_big() {
+        let a = BigInt::from(u128::MAX).pow(2);
+        let d = BigInt::from(u128::MAX);
+        assert_eq!(a.div_exact(&d), d);
+        assert_eq!(
+            (&a + &BigInt::one()).checked_div_exact(&d),
+            Err(DivisionError::NotExact)
+        );
+    }
+
+    #[test]
+    fn checked_reports_zero_divisor() {
+        assert_eq!(
+            b(1).checked_div_rem(&BigInt::zero()),
+            Err(DivisionError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn mod_floor_always_nonnegative() {
+        for x in [-10i128, -7, -1, 0, 1, 7, 10] {
+            for y in [-3i128, 3, 5] {
+                let m = b(x).mod_floor(&b(y));
+                let yy = y.unsigned_abs() as i128;
+                assert_eq!(m, b(x.rem_euclid(yy)), "{x} mod {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn operator_sugar() {
+        assert_eq!(&b(17) / &b(5), b(3));
+        assert_eq!(&b(17) % &b(5), b(2));
+    }
+}

@@ -1,0 +1,271 @@
+//! Parsing and formatting: decimal `Display`/`FromStr`, `LowerHex`, `Debug`.
+
+use crate::bigint::{BigInt, Sign};
+use crate::ops;
+use crate::Limb;
+use std::fmt;
+use std::str::FromStr;
+
+/// Largest power of ten below 2^64 and its exponent: format/parse in chunks
+/// of 19 decimal digits per limb-division.
+const TEN19: Limb = 10_000_000_000_000_000_000;
+const TEN19_DIGITS: usize = 19;
+
+/// Error parsing a [`BigInt`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::Empty => write!(f, "empty string is not a valid integer"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid digit {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+impl BigInt {
+    /// Parse from a string in the given radix (supported: 2, 10, 16), with
+    /// optional leading `-`/`+` and `_` separators.
+    pub fn from_str_radix(s: &str, radix: u32) -> Result<BigInt, ParseBigIntError> {
+        assert!(
+            radix == 2 || radix == 10 || radix == 16,
+            "supported radixes: 2, 10, 16"
+        );
+        let s = s.trim();
+        let (sign, body) = match s.strip_prefix('-') {
+            Some(rest) => (Sign::Negative, rest),
+            None => (Sign::Positive, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if body.is_empty() {
+            return Err(ParseBigIntError { kind: ParseErrorKind::Empty });
+        }
+        let mut mag: Vec<Limb> = Vec::new();
+        match radix {
+            10 => {
+                let mut chunk: Limb = 0;
+                let mut chunk_len = 0usize;
+                let mut seen = false;
+                let flush = |mag: &mut Vec<Limb>, chunk: Limb, chunk_len: usize| {
+                    let scale = 10u64.pow(chunk_len as u32);
+                    let mut m = ops::mul_limb(mag, scale);
+                    m = ops::add_slices(&m, &[chunk]);
+                    *mag = m;
+                };
+                for c in body.chars() {
+                    if c == '_' {
+                        continue;
+                    }
+                    let d = c
+                        .to_digit(10)
+                        .ok_or(ParseBigIntError { kind: ParseErrorKind::InvalidDigit(c) })?;
+                    seen = true;
+                    chunk = chunk * 10 + d as Limb;
+                    chunk_len += 1;
+                    if chunk_len == TEN19_DIGITS {
+                        flush(&mut mag, chunk, chunk_len);
+                        chunk = 0;
+                        chunk_len = 0;
+                    }
+                }
+                if !seen {
+                    return Err(ParseBigIntError { kind: ParseErrorKind::Empty });
+                }
+                if chunk_len > 0 {
+                    flush(&mut mag, chunk, chunk_len);
+                }
+            }
+            16 | 2 => {
+                let bits_per = if radix == 16 { 4 } else { 1 };
+                let mut seen = false;
+                for c in body.chars() {
+                    if c == '_' {
+                        continue;
+                    }
+                    let d = c
+                        .to_digit(radix)
+                        .ok_or(ParseBigIntError { kind: ParseErrorKind::InvalidDigit(c) })?;
+                    seen = true;
+                    mag = ops::shl_bits(&mag, bits_per);
+                    mag = ops::add_slices(&mag, &[d as Limb]);
+                }
+                if !seen {
+                    return Err(ParseBigIntError { kind: ParseErrorKind::Empty });
+                }
+            }
+            _ => unreachable!(),
+        }
+        Ok(BigInt::from_sign_limbs(
+            if mag.is_empty() { Sign::Zero } else { sign },
+            mag,
+        ))
+    }
+
+    /// Decimal string (same as `Display`).
+    #[must_use]
+    pub fn to_decimal(&self) -> String {
+        format!("{self}")
+    }
+
+    /// Lowercase hexadecimal string with sign and `0x` prefix.
+    #[must_use]
+    pub fn to_hex(&self) -> String {
+        format!("{self:#x}")
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Peel 19 decimal digits at a time.
+        let mut chunks: Vec<Limb> = Vec::new();
+        let mut cur = self.mag.clone();
+        while !cur.is_empty() {
+            let (q, r) = ops::div_rem_limb(&cur, TEN19);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = String::with_capacity(chunks.len() * TEN19_DIGITS);
+        s.push_str(&chunks.last().unwrap().to_string());
+        for c in chunks.iter().rev().skip(1) {
+            s.push_str(&format!("{c:019}"));
+        }
+        f.pad_integral(self.sign != Sign::Negative, "", &s)
+    }
+}
+
+impl fmt::LowerHex for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "0x", "0");
+        }
+        let mut s = format!("{:x}", self.mag.last().unwrap());
+        for l in self.mag.iter().rev().skip(1) {
+            s.push_str(&format!("{l:016x}"));
+        }
+        f.pad_integral(self.sign != Sign::Negative, "0x", &s)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Decimal for small values, hex limb count summary for huge ones.
+        if self.mag.len() <= 4 {
+            write!(f, "BigInt({self})")
+        } else {
+            write!(
+                f,
+                "BigInt({} limbs, {} bits, top=0x{:x}…)",
+                self.mag.len(),
+                self.bit_length(),
+                self.mag.last().unwrap()
+            )
+        }
+    }
+}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+    fn from_str(s: &str) -> Result<BigInt, ParseBigIntError> {
+        if let Some(rest) = s.strip_prefix("0x") {
+            BigInt::from_str_radix(rest, 16)
+        } else if let Some(rest) = s.strip_prefix("-0x") {
+            Ok(-BigInt::from_str_radix(rest, 16)?)
+        } else {
+            BigInt::from_str_radix(s, 10)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_small() {
+        assert_eq!(BigInt::from(0u64).to_string(), "0");
+        assert_eq!(BigInt::from(12345u64).to_string(), "12345");
+        assert_eq!(BigInt::from(-12345i64).to_string(), "-12345");
+    }
+
+    #[test]
+    fn display_multi_chunk() {
+        // 2^128 = 340282366920938463463374607431768211456 (39 digits, 3 chunks)
+        let v = BigInt::from(1u64).shl_bits(128);
+        assert_eq!(v.to_string(), "340282366920938463463374607431768211456");
+    }
+
+    #[test]
+    fn parse_roundtrip_decimal() {
+        for s in [
+            "0",
+            "7",
+            "-7",
+            "18446744073709551616",
+            "-340282366920938463463374607431768211455",
+            "99999999999999999999999999999999999999999999999999",
+        ] {
+            let v: BigInt = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_separators_and_plus() {
+        let v: BigInt = "+1_000_000".parse().unwrap();
+        assert_eq!(v, BigInt::from(1_000_000u64));
+    }
+
+    #[test]
+    fn parse_hex() {
+        let v = BigInt::from_str_radix("ff", 16).unwrap();
+        assert_eq!(v, BigInt::from(255u64));
+        let v: BigInt = "0xdeadbeefdeadbeefdeadbeef".parse().unwrap();
+        assert_eq!(format!("{v:#x}"), "0xdeadbeefdeadbeefdeadbeef");
+        assert_eq!(v.to_hex(), "0xdeadbeefdeadbeefdeadbeef");
+        let v: BigInt = "-0x10".parse().unwrap();
+        assert_eq!(v, BigInt::from(-16i64));
+    }
+
+    #[test]
+    fn parse_binary() {
+        let v = BigInt::from_str_radix("101101", 2).unwrap();
+        assert_eq!(v, BigInt::from(45u64));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<BigInt>().is_err());
+        assert!("-".parse::<BigInt>().is_err());
+        assert!("12a".parse::<BigInt>().is_err());
+        assert!("_".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn hex_zero_padding_between_limbs() {
+        let v = BigInt::from_limbs(vec![0x1, 0xa]);
+        assert_eq!(format!("{v:x}"), "a0000000000000001");
+        assert_eq!(format!("{v:#x}"), "0xa0000000000000001");
+        assert_eq!(format!("{:#x}", -&v), "-0xa0000000000000001");
+    }
+
+    #[test]
+    fn debug_forms() {
+        assert_eq!(format!("{:?}", BigInt::from(5u64)), "BigInt(5)");
+        let huge = BigInt::from(1u64).shl_bits(1000);
+        let dbg = format!("{huge:?}");
+        assert!(dbg.contains("limbs"), "{dbg}");
+    }
+}

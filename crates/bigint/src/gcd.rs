@@ -1,0 +1,135 @@
+//! Greatest common divisor (binary GCD) and extended Euclid.
+//!
+//! Needed by `ft-algebra`'s rational normalization (interpolation matrices
+//! over ℚ) and by modular inversion in the crypto example.
+
+use crate::bigint::{BigInt, Sign};
+
+impl BigInt {
+    /// Greatest common divisor of `|self|` and `|other|` (non-negative;
+    /// `gcd(0, x) = |x|`). Binary (Stein) algorithm — shift/subtract only.
+    #[must_use]
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let az = a.trailing_zeros();
+        let bz = b.trailing_zeros();
+        let common = az.min(bz);
+        a = a.shr_bits(az);
+        b = b.shr_bits(bz);
+        // Invariant: a, b odd.
+        loop {
+            if a.cmp_abs(&b) == std::cmp::Ordering::Less {
+                std::mem::swap(&mut a, &mut b);
+            }
+            a = &a - &b; // even (odd - odd)
+            if a.is_zero() {
+                return b.shl_bits(common);
+            }
+            a = a.shr_bits(a.trailing_zeros());
+        }
+    }
+
+    /// Number of trailing zero bits of the magnitude (0 for zero).
+    #[must_use]
+    pub fn trailing_zeros(&self) -> u64 {
+        for (i, &l) in self.mag.iter().enumerate() {
+            if l != 0 {
+                return i as u64 * 64 + l.trailing_zeros() as u64;
+            }
+        }
+        0
+    }
+
+    /// Extended GCD: returns `(g, x, y)` with `g = gcd(self, other) >= 0`
+    /// and `self*x + other*y = g`.
+    #[must_use]
+    pub fn extended_gcd(&self, other: &BigInt) -> (BigInt, BigInt, BigInt) {
+        // Classic iterative extended Euclid on signed values.
+        let (mut old_r, mut r) = (self.clone(), other.clone());
+        let (mut old_s, mut s) = (BigInt::one(), BigInt::zero());
+        let (mut old_t, mut t) = (BigInt::zero(), BigInt::one());
+        while !r.is_zero() {
+            let (q, rem) = old_r.div_rem(&r);
+            old_r = std::mem::replace(&mut r, rem);
+            let ns = &old_s - &(&q * &s);
+            old_s = std::mem::replace(&mut s, ns);
+            let nt = &old_t - &(&q * &t);
+            old_t = std::mem::replace(&mut t, nt);
+        }
+        if old_r.sign() == Sign::Negative {
+            (-old_r, -old_s, -old_t)
+        } else {
+            (old_r, old_s, old_t)
+        }
+    }
+
+    /// Least common multiple of `|self|` and `|other|` (`lcm(0, x) = 0`).
+    #[must_use]
+    pub fn lcm(&self, other: &BigInt) -> BigInt {
+        if self.is_zero() || other.is_zero() {
+            return BigInt::zero();
+        }
+        let g = self.gcd(other);
+        self.abs().div_exact(&g).mul_schoolbook(&other.abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn gcd_small_table() {
+        assert_eq!(b(12).gcd(&b(18)), b(6));
+        assert_eq!(b(-12).gcd(&b(18)), b(6));
+        assert_eq!(b(12).gcd(&b(-18)), b(6));
+        assert_eq!(b(0).gcd(&b(-5)), b(5));
+        assert_eq!(b(5).gcd(&b(0)), b(5));
+        assert_eq!(b(0).gcd(&b(0)), b(0));
+        assert_eq!(b(17).gcd(&b(13)), b(1));
+        assert_eq!(b(1 << 40).gcd(&b(1 << 20)), b(1 << 20));
+    }
+
+    #[test]
+    fn gcd_big() {
+        let a = BigInt::from(u128::MAX).pow(2).mul_small(12);
+        let c = BigInt::from(u128::MAX).pow(2).mul_small(18);
+        assert_eq!(a.gcd(&c), BigInt::from(u128::MAX).pow(2).mul_small(6));
+    }
+
+    #[test]
+    fn extended_gcd_bezout() {
+        for (x, y) in [(240i128, 46), (-240, 46), (240, -46), (0, 7), (7, 0), (12, 12)] {
+            let (g, s, t) = b(x).extended_gcd(&b(y));
+            assert_eq!(g, b(x).gcd(&b(y)), "gcd({x},{y})");
+            assert_eq!(&(&b(x) * &s) + &(&b(y) * &t), g, "bezout({x},{y})");
+        }
+    }
+
+    #[test]
+    fn lcm_cases() {
+        assert_eq!(b(4).lcm(&b(6)), b(12));
+        assert_eq!(b(-4).lcm(&b(6)), b(12));
+        assert_eq!(b(0).lcm(&b(6)), b(0));
+        assert_eq!(b(7).lcm(&b(13)), b(91));
+    }
+
+    #[test]
+    fn trailing_zeros_counts() {
+        assert_eq!(b(0).trailing_zeros(), 0);
+        assert_eq!(b(1).trailing_zeros(), 0);
+        assert_eq!(b(8).trailing_zeros(), 3);
+        assert_eq!(BigInt::from(1u64).shl_bits(100).trailing_zeros(), 100);
+    }
+}

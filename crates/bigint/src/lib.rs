@@ -1,0 +1,52 @@
+//! # ft-bigint — arbitrary-precision signed integers, from scratch
+//!
+//! This crate is the arithmetic substrate for the fault-tolerant parallel
+//! Toom-Cook reproduction. It deliberately implements **only schoolbook
+//! multiplication** (`Θ(n²)`): the fast algorithms live in `ft-toom-core`
+//! and are benchmarked *against* this baseline, exactly as the paper
+//! compares Toom-Cook against naïve multiplication.
+//!
+//! Representation: sign-magnitude, little-endian `u64` limbs, normalized
+//! (no trailing zero limbs; the empty magnitude is zero).
+//!
+//! Every limb-level inner loop reports work to a thread-local counter
+//! ([`metrics`]) so the distributed-machine simulator can account the
+//! arithmetic cost `F` of each simulated processor (the paper's unit-cost
+//! word model, §2.1).
+//!
+//! ```
+//! use ft_bigint::BigInt;
+//! let a: BigInt = "123456789012345678901234567890".parse().unwrap();
+//! let b: BigInt = "-987654321098765432109876543210".parse().unwrap();
+//! let c = &a * &b;
+//! assert_eq!(c.to_string(),
+//!     "-121932631137021795226185032733622923332237463801111263526900");
+//! ```
+
+pub mod digits;
+pub mod fmt;
+pub mod montgomery;
+pub mod gcd;
+pub mod metrics;
+pub mod modular;
+pub mod ops;
+pub mod random;
+
+mod arith;
+mod bigint;
+mod convert;
+mod division;
+mod square;
+
+pub use bigint::{BigInt, Sign};
+pub use division::DivisionError;
+pub use montgomery::MontgomeryCtx;
+
+/// Number of bits in one limb.
+pub const LIMB_BITS: u32 = 64;
+
+/// One machine limb (the "word" of the paper's cost model).
+pub type Limb = u64;
+
+/// Double-width type used for carry/borrow propagation.
+pub(crate) type DoubleLimb = u128;

@@ -1,0 +1,76 @@
+//! Thread-local arithmetic-work accounting.
+//!
+//! The paper's machine model (§2.1) charges `γ` per word-level arithmetic
+//! operation; `F` is the number of such operations along the critical path.
+//! Each simulated processor in `ft-machine` runs on its own OS thread, so a
+//! thread-local counter gives exact per-processor `F` with zero sharing.
+//!
+//! All limb-level inner loops in this crate call [`tally`]. Higher layers
+//! read deltas with [`ops_performed`] or scoped via [`measure`].
+
+use std::cell::Cell;
+
+thread_local! {
+    static OPS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Record `n` word operations performed by the current thread.
+#[inline(always)]
+pub fn tally(n: u64) {
+    OPS.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+/// Total word operations performed by the current thread since it started
+/// (or since the counter last wrapped; it is a free-running counter — take
+/// deltas, do not compare across threads).
+#[inline]
+pub fn ops_performed() -> u64 {
+    OPS.with(|c| c.get())
+}
+
+/// Reset this thread's counter to zero. Mostly useful in tests.
+#[inline]
+pub fn reset() {
+    OPS.with(|c| c.set(0));
+}
+
+/// Run `f` and return `(result, word-ops performed by f on this thread)`.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = ops_performed();
+    let out = f();
+    let after = ops_performed();
+    (out, after.wrapping_sub(before))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_accumulates() {
+        let base = ops_performed();
+        tally(5);
+        tally(7);
+        assert_eq!(ops_performed().wrapping_sub(base), 12);
+    }
+
+    #[test]
+    fn measure_reports_delta() {
+        let ((), n) = measure(|| tally(42));
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn counters_are_per_thread() {
+        reset();
+        tally(3);
+        let other = std::thread::spawn(|| {
+            tally(1000);
+            ops_performed()
+        })
+        .join()
+        .unwrap();
+        assert!(other >= 1000);
+        assert_eq!(ops_performed(), 3);
+    }
+}

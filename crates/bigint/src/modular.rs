@@ -1,0 +1,115 @@
+//! Modular arithmetic with a pluggable multiplication kernel.
+//!
+//! The crypto example performs RSA-style modular exponentiation; the whole
+//! point of the reproduction is that the *multiplication kernel* is
+//! swappable (schoolbook vs Toom-Cook-k), so `mod_pow_with` takes the
+//! multiplier as a closure. `ft-toom-core` plugs its fast multipliers in.
+
+use crate::bigint::BigInt;
+
+/// A multiplication kernel: computes the full product of two integers.
+pub type Multiplier<'a> = dyn Fn(&BigInt, &BigInt) -> BigInt + 'a;
+
+impl BigInt {
+    /// Modular multiplication using the supplied multiplication kernel.
+    #[must_use]
+    pub fn mod_mul_with(&self, other: &BigInt, modulus: &BigInt, mul: &Multiplier) -> BigInt {
+        mul(self, other).mod_floor(modulus)
+    }
+
+    /// `self^exponent mod modulus` by square-and-multiply, with all products
+    /// computed by `mul`. `exponent` must be non-negative.
+    ///
+    /// # Panics
+    /// Panics if `exponent` is negative or `modulus` is zero.
+    #[must_use]
+    pub fn mod_pow_with(&self, exponent: &BigInt, modulus: &BigInt, mul: &Multiplier) -> BigInt {
+        assert!(!exponent.is_negative(), "negative exponent");
+        assert!(!modulus.is_zero(), "zero modulus");
+        if modulus.is_one() {
+            return BigInt::zero();
+        }
+        let mut result = BigInt::one();
+        let mut base = self.mod_floor(modulus);
+        let nbits = exponent.bit_length();
+        for i in 0..nbits {
+            if exponent.bit(i) {
+                result = result.mod_mul_with(&base, modulus, mul);
+            }
+            if i + 1 < nbits {
+                base = base.mod_mul_with(&base.clone(), modulus, mul);
+            }
+        }
+        result
+    }
+
+    /// `self^exponent mod modulus` with the schoolbook kernel.
+    #[must_use]
+    pub fn mod_pow(&self, exponent: &BigInt, modulus: &BigInt) -> BigInt {
+        self.mod_pow_with(exponent, modulus, &|a, b| a.mul_schoolbook(b))
+    }
+
+    /// Modular inverse: `x` with `self*x ≡ 1 (mod modulus)`, if it exists.
+    #[must_use]
+    pub fn mod_inverse(&self, modulus: &BigInt) -> Option<BigInt> {
+        let (g, x, _) = self.extended_gcd(modulus);
+        if g.is_one() {
+            Some(x.mod_floor(modulus))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn mod_pow_small() {
+        assert_eq!(b(2).mod_pow(&b(10), &b(1000)), b(24));
+        assert_eq!(b(3).mod_pow(&b(0), &b(7)), b(1));
+        assert_eq!(b(0).mod_pow(&b(5), &b(7)), b(0));
+        assert_eq!(b(5).mod_pow(&b(3), &b(1)), b(0));
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        let p = b(1_000_000_007);
+        for a in [2i128, 3, 65537, 123456789] {
+            assert_eq!(b(a).mod_pow(&(&p - &b(1)), &p), b(1), "a={a}");
+        }
+    }
+
+    #[test]
+    fn negative_base_normalized() {
+        assert_eq!(b(-2).mod_pow(&b(3), &b(7)), b((-8i128).rem_euclid(7)));
+    }
+
+    #[test]
+    fn mod_inverse_roundtrip() {
+        let m = b(97);
+        for a in 1..97i128 {
+            let inv = b(a).mod_inverse(&m).unwrap();
+            assert_eq!((&b(a) * &inv).mod_floor(&m), b(1), "a={a}");
+        }
+        assert!(b(6).mod_inverse(&b(9)).is_none(), "gcd(6,9)=3 has no inverse");
+    }
+
+    #[test]
+    fn custom_kernel_is_used() {
+        use std::cell::Cell;
+        let calls = Cell::new(0u32);
+        let kernel = |a: &BigInt, bb: &BigInt| {
+            calls.set(calls.get() + 1);
+            a.mul_schoolbook(bb)
+        };
+        let r = b(7).mod_pow_with(&b(5), &b(100), &kernel);
+        assert_eq!(r, b(7));
+        assert!(calls.get() > 0, "kernel must be invoked");
+    }
+}

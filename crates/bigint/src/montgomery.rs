@@ -1,0 +1,238 @@
+//! Montgomery modular arithmetic — the production way to run the RSA-style
+//! workloads of the crypto example without per-step long division.
+//!
+//! A [`MontgomeryCtx`] fixes an odd modulus `n` of `L` limbs; values live
+//! in Montgomery form `x·R mod n` with `R = 2^{64L}`, and `mont_mul`
+//! performs multiply + word-by-word REDC in `O(L²)` limb operations. The
+//! *plain multiplier* used inside (`a·b` before reduction) is pluggable,
+//! so Toom-Cook kernels accelerate Montgomery exponentiation too.
+
+use crate::bigint::BigInt;
+use crate::metrics::tally;
+use crate::ops;
+use crate::{DoubleLimb, Limb};
+
+/// Precomputed context for Montgomery arithmetic modulo an odd `n`.
+#[derive(Debug, Clone)]
+pub struct MontgomeryCtx {
+    n: BigInt,
+    limbs: usize,
+    /// `-n⁻¹ mod 2^64`.
+    n0_inv: Limb,
+    /// `R² mod n` (to enter Montgomery form).
+    rr: BigInt,
+}
+
+impl MontgomeryCtx {
+    /// Build a context.
+    ///
+    /// # Panics
+    /// Panics if `n` is even or not positive.
+    #[must_use]
+    pub fn new(n: &BigInt) -> MontgomeryCtx {
+        assert!(n.signum() > 0, "modulus must be positive");
+        assert!(n.is_odd(), "Montgomery arithmetic needs an odd modulus");
+        let limbs = n.word_len();
+        // Newton iteration for the 64-bit inverse of n0 (odd ⇒ invertible).
+        let n0 = n.limbs()[0];
+        let mut inv: Limb = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n0_inv = inv.wrapping_neg();
+        // R² mod n with R = 2^{64·limbs}.
+        let rr = BigInt::one()
+            .shl_bits(128 * limbs as u64)
+            .mod_floor(n);
+        MontgomeryCtx { n: n.clone(), limbs, n0_inv, rr }
+    }
+
+    /// The modulus.
+    #[must_use]
+    pub fn modulus(&self) -> &BigInt {
+        &self.n
+    }
+
+    /// REDC: given `t < n·R`, compute `t·R⁻¹ mod n` (word-by-word).
+    fn redc(&self, t: &BigInt) -> BigInt {
+        let l = self.limbs;
+        let mut buf: Vec<Limb> = t.limbs().to_vec();
+        buf.resize(2 * l + 1, 0);
+        let n = self.n.limbs();
+        for i in 0..l {
+            let m = buf[i].wrapping_mul(self.n0_inv);
+            // buf += m · n · 2^{64 i}
+            let mut carry: Limb = 0;
+            for (j, &nj) in n.iter().enumerate() {
+                let s = buf[i + j] as DoubleLimb
+                    + m as DoubleLimb * nj as DoubleLimb
+                    + carry as DoubleLimb;
+                buf[i + j] = s as Limb;
+                carry = (s >> 64) as Limb;
+            }
+            // Propagate the carry.
+            let mut idx = i + l;
+            let mut c = carry;
+            while c != 0 {
+                let (v, o) = buf[idx].overflowing_add(c);
+                buf[idx] = v;
+                c = Limb::from(o);
+                idx += 1;
+            }
+            tally(l as u64);
+        }
+        let mut out: Vec<Limb> = buf[l..].to_vec();
+        ops::normalize(&mut out);
+        let mut r = BigInt::from_limbs(out);
+        if r.cmp_abs(&self.n) != std::cmp::Ordering::Less {
+            r = &r - &self.n;
+        }
+        r
+    }
+
+    /// Enter Montgomery form: `x·R mod n`.
+    #[must_use]
+    pub fn to_mont(&self, x: &BigInt) -> BigInt {
+        let x = x.mod_floor(&self.n);
+        self.redc(&x.mul_schoolbook(&self.rr))
+    }
+
+    /// Leave Montgomery form: `x̄·R⁻¹ mod n`.
+    #[must_use]
+    pub fn from_mont(&self, x: &BigInt) -> BigInt {
+        self.redc(x)
+    }
+
+    /// Montgomery product of two Montgomery-form values, with a pluggable
+    /// plain multiplier for the `a·b` step.
+    #[must_use]
+    pub fn mont_mul_with(
+        &self,
+        a: &BigInt,
+        b: &BigInt,
+        mul: &dyn Fn(&BigInt, &BigInt) -> BigInt,
+    ) -> BigInt {
+        self.redc(&mul(a, b))
+    }
+
+    /// Montgomery product with the schoolbook multiplier.
+    #[must_use]
+    pub fn mont_mul(&self, a: &BigInt, b: &BigInt) -> BigInt {
+        self.mont_mul_with(a, b, &|x, y| x.mul_schoolbook(y))
+    }
+
+    /// `base^exp mod n` via Montgomery square-and-multiply.
+    #[must_use]
+    pub fn mod_pow(&self, base: &BigInt, exp: &BigInt) -> BigInt {
+        self.mod_pow_with(base, exp, &|x, y| x.mul_schoolbook(y))
+    }
+
+    /// `base^exp mod n` with a pluggable plain multiplier.
+    ///
+    /// # Panics
+    /// Panics on a negative exponent.
+    #[must_use]
+    pub fn mod_pow_with(
+        &self,
+        base: &BigInt,
+        exp: &BigInt,
+        mul: &dyn Fn(&BigInt, &BigInt) -> BigInt,
+    ) -> BigInt {
+        assert!(!exp.is_negative(), "negative exponent");
+        let mut acc = self.to_mont(&BigInt::one());
+        let mut b = self.to_mont(base);
+        let bits = exp.bit_length();
+        for i in 0..bits {
+            if exp.bit(i) {
+                acc = self.mont_mul_with(&acc, &b, mul);
+            }
+            if i + 1 < bits {
+                b = self.mont_mul_with(&b.clone(), &b, mul);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn b(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn roundtrip_mont_form() {
+        let n = b(1_000_003);
+        let ctx = MontgomeryCtx::new(&n);
+        for v in [0i64, 1, 2, 999_999, 123_456] {
+            let m = ctx.to_mont(&b(v));
+            assert_eq!(ctx.from_mont(&m), b(v).mod_floor(&n), "v={v}");
+        }
+    }
+
+    #[test]
+    fn mont_mul_matches_plain() {
+        let n = b(104_729); // prime
+        let ctx = MontgomeryCtx::new(&n);
+        for (x, y) in [(3i64, 5i64), (104_728, 104_728), (54_321, 9_876)] {
+            let mx = ctx.to_mont(&b(x));
+            let my = ctx.to_mont(&b(y));
+            let got = ctx.from_mont(&ctx.mont_mul(&mx, &my));
+            assert_eq!(got, (&b(x) * &b(y)).mod_floor(&n), "{x}*{y}");
+        }
+    }
+
+    #[test]
+    fn mod_pow_matches_generic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut n = BigInt::random_bits(&mut rng, 512);
+        if !n.is_odd() {
+            n += &BigInt::one();
+        }
+        let ctx = MontgomeryCtx::new(&n);
+        for _ in 0..5 {
+            let base = BigInt::random_below(&mut rng, &n);
+            let exp = BigInt::random_bits(&mut rng, 40);
+            assert_eq!(ctx.mod_pow(&base, &exp), base.mod_pow(&exp, &n));
+        }
+    }
+
+    #[test]
+    fn multi_limb_modulus() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let mut n = BigInt::random_bits(&mut rng, 1024);
+        if !n.is_odd() {
+            n += &BigInt::one();
+        }
+        let ctx = MontgomeryCtx::new(&n);
+        let x = BigInt::random_below(&mut rng, &n);
+        let y = BigInt::random_below(&mut rng, &n);
+        let got = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&x), &ctx.to_mont(&y)));
+        assert_eq!(got, (&x * &y).mod_floor(&n));
+    }
+
+    #[test]
+    fn custom_multiplier_is_used() {
+        use std::cell::Cell;
+        let calls = Cell::new(0u32);
+        let n = b(1_000_003);
+        let ctx = MontgomeryCtx::new(&n);
+        let mul = |x: &BigInt, y: &BigInt| {
+            calls.set(calls.get() + 1);
+            x.mul_schoolbook(y)
+        };
+        let r = ctx.mod_pow_with(&b(7), &b(65_537), &mul);
+        assert_eq!(r, b(7).mod_pow(&b(65_537), &n));
+        assert!(calls.get() > 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_modulus_rejected() {
+        let _ = MontgomeryCtx::new(&b(100));
+    }
+}

@@ -1,0 +1,306 @@
+//! Low-level limb-slice primitives.
+//!
+//! All functions operate on little-endian `u64` limb slices. Magnitudes are
+//! *normalized* when they carry no trailing (most-significant) zero limbs;
+//! functions document whether they require or produce normalized slices.
+//!
+//! These are the word operations the paper's cost model charges for; each
+//! inner loop tallies one unit per limb touched arithmetically.
+
+use crate::metrics::tally;
+use crate::{DoubleLimb, Limb};
+use std::cmp::Ordering;
+
+/// Strip trailing zero limbs in place, leaving a normalized magnitude.
+pub fn normalize(v: &mut Vec<Limb>) {
+    while v.last() == Some(&0) {
+        v.pop();
+    }
+}
+
+/// Compare two normalized magnitudes.
+pub fn cmp_slices(a: &[Limb], b: &[Limb]) -> Ordering {
+    debug_assert!(a.last() != Some(&0) && b.last() != Some(&0));
+    match a.len().cmp(&b.len()) {
+        Ordering::Equal => {
+            for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+                match x.cmp(y) {
+                    Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            Ordering::Equal
+        }
+        other => other,
+    }
+}
+
+/// `a + b`, magnitudes in any normalization state; result normalized.
+#[allow(clippy::needless_range_loop)] // index drives two slices at once
+pub fn add_slices(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry: Limb = 0;
+    for i in 0..long.len() {
+        let s = long[i] as DoubleLimb + *short.get(i).unwrap_or(&0) as DoubleLimb + carry as DoubleLimb;
+        out.push(s as Limb);
+        carry = (s >> 64) as Limb;
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    tally(long.len() as u64);
+    normalize(&mut out);
+    out
+}
+
+/// `a - b` for normalized `a >= b`; result normalized.
+///
+/// # Panics
+/// Debug-panics if `a < b`.
+#[allow(clippy::needless_range_loop)] // index drives two slices at once
+pub fn sub_slices(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    debug_assert!(cmp_slices(a, b) != Ordering::Less, "sub_slices requires a >= b");
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow: Limb = 0;
+    for i in 0..a.len() {
+        let bi = *b.get(i).unwrap_or(&0);
+        let (d1, o1) = a[i].overflowing_sub(bi);
+        let (d2, o2) = d1.overflowing_sub(borrow);
+        out.push(d2);
+        borrow = (o1 | o2) as Limb;
+    }
+    debug_assert_eq!(borrow, 0);
+    tally(a.len() as u64);
+    normalize(&mut out);
+    out
+}
+
+/// Schoolbook product of two magnitudes (`Θ(|a|·|b|)` word ops); result
+/// normalized. Empty inputs yield the empty (zero) magnitude.
+pub fn mul_schoolbook(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0 as Limb; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry: Limb = 0;
+        for (j, &bj) in b.iter().enumerate() {
+            let t = out[i + j] as DoubleLimb + ai as DoubleLimb * bj as DoubleLimb + carry as DoubleLimb;
+            out[i + j] = t as Limb;
+            carry = (t >> 64) as Limb;
+        }
+        out[i + b.len()] = carry;
+        tally(b.len() as u64);
+    }
+    normalize(&mut out);
+    out
+}
+
+/// `a * m` for a single limb multiplier; result normalized.
+pub fn mul_limb(a: &[Limb], m: Limb) -> Vec<Limb> {
+    if m == 0 || a.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(a.len() + 1);
+    let mut carry: Limb = 0;
+    for &ai in a {
+        let t = ai as DoubleLimb * m as DoubleLimb + carry as DoubleLimb;
+        out.push(t as Limb);
+        carry = (t >> 64) as Limb;
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    tally(a.len() as u64);
+    normalize(&mut out);
+    out
+}
+
+/// Divide a magnitude by a single non-zero limb: returns `(quotient, remainder)`,
+/// quotient normalized.
+pub fn div_rem_limb(a: &[Limb], d: Limb) -> (Vec<Limb>, Limb) {
+    assert!(d != 0, "division by zero limb");
+    let mut q = vec![0 as Limb; a.len()];
+    let mut rem: Limb = 0;
+    for i in (0..a.len()).rev() {
+        let cur = ((rem as DoubleLimb) << 64) | a[i] as DoubleLimb;
+        q[i] = (cur / d as DoubleLimb) as Limb;
+        rem = (cur % d as DoubleLimb) as Limb;
+    }
+    tally(a.len() as u64);
+    normalize(&mut q);
+    (q, rem)
+}
+
+/// Left shift by `bits`; result normalized.
+pub fn shl_bits(a: &[Limb], bits: u64) -> Vec<Limb> {
+    if a.is_empty() {
+        return Vec::new();
+    }
+    let limb_shift = (bits / 64) as usize;
+    let bit_shift = (bits % 64) as u32;
+    let mut out = vec![0 as Limb; limb_shift];
+    if bit_shift == 0 {
+        out.extend_from_slice(a);
+    } else {
+        let mut carry: Limb = 0;
+        for &ai in a {
+            out.push((ai << bit_shift) | carry);
+            carry = ai >> (64 - bit_shift);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+    }
+    tally(a.len() as u64);
+    normalize(&mut out);
+    out
+}
+
+/// Logical right shift by `bits`; result normalized.
+pub fn shr_bits(a: &[Limb], bits: u64) -> Vec<Limb> {
+    let limb_shift = (bits / 64) as usize;
+    if limb_shift >= a.len() {
+        return Vec::new();
+    }
+    let bit_shift = (bits % 64) as u32;
+    let src = &a[limb_shift..];
+    let mut out = Vec::with_capacity(src.len());
+    if bit_shift == 0 {
+        out.extend_from_slice(src);
+    } else {
+        for i in 0..src.len() {
+            let hi = if i + 1 < src.len() { src[i + 1] << (64 - bit_shift) } else { 0 };
+            out.push((src[i] >> bit_shift) | hi);
+        }
+    }
+    tally(src.len() as u64);
+    normalize(&mut out);
+    out
+}
+
+/// Extract the bit range `[lo, hi)` of a magnitude as a new normalized
+/// magnitude (bits beyond the magnitude's length read as zero).
+///
+/// This is the primitive behind base-`2^b` digit splitting (Toom-Cook input
+/// splitting, Alg. 1 line 4).
+pub fn bits_range(a: &[Limb], lo: u64, hi: u64) -> Vec<Limb> {
+    assert!(lo <= hi);
+    let shifted = shr_bits(a, lo);
+    let width = hi - lo;
+    // Mask to `width` bits.
+    let keep_limbs = width.div_ceil(64) as usize;
+    let mut out: Vec<Limb> = shifted.into_iter().take(keep_limbs).collect();
+    let rem_bits = (width % 64) as u32;
+    if rem_bits != 0 && out.len() == keep_limbs {
+        if let Some(last) = out.last_mut() {
+            *last &= (1u64 << rem_bits) - 1;
+        }
+    }
+    normalize(&mut out);
+    out
+}
+
+/// Number of significant bits of a normalized magnitude (0 for zero).
+pub fn bit_length(a: &[Limb]) -> u64 {
+    match a.last() {
+        None => 0,
+        Some(&top) => (a.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = vec![u64::MAX, u64::MAX, 7];
+        let b = vec![1, 0, u64::MAX];
+        let s = add_slices(&a, &b);
+        assert_eq!(sub_slices(&s, &b), a);
+        assert_eq!(sub_slices(&s, &a), b);
+    }
+
+    #[test]
+    fn add_carry_chain() {
+        let a = vec![u64::MAX, u64::MAX];
+        let s = add_slices(&a, &[1]);
+        assert_eq!(s, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn cmp_orders_by_length_then_lexicographic() {
+        assert_eq!(cmp_slices(&[1, 2], &[5]), Ordering::Greater);
+        assert_eq!(cmp_slices(&[9], &[1, 1]), Ordering::Less);
+        assert_eq!(cmp_slices(&[3, 2], &[4, 2]), Ordering::Less);
+        assert_eq!(cmp_slices(&[3, 2], &[3, 2]), Ordering::Equal);
+    }
+
+    #[test]
+    fn schoolbook_small_products() {
+        assert_eq!(mul_schoolbook(&[3], &[4]), vec![12]);
+        assert_eq!(mul_schoolbook(&[], &[4]), Vec::<u64>::new());
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let p = mul_schoolbook(&[u64::MAX], &[u64::MAX]);
+        assert_eq!(p, vec![1, u64::MAX - 1]);
+    }
+
+    #[test]
+    fn mul_limb_matches_schoolbook() {
+        let a = vec![0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210, 42];
+        assert_eq!(mul_limb(&a, 12345), mul_schoolbook(&a, &[12345]));
+    }
+
+    #[test]
+    fn div_rem_limb_inverts_mul() {
+        let a = vec![0xdead_beef, 0xcafe_babe, 99];
+        let m = 0x1234_5678_9abc_def1;
+        let prod = mul_limb(&a, m);
+        let (q, r) = div_rem_limb(&prod, m);
+        assert_eq!(q, a);
+        assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let a = vec![0x8000_0000_0000_0001, 0xf0f0];
+        for bits in [0u64, 1, 13, 64, 65, 130] {
+            let up = shl_bits(&a, bits);
+            assert_eq!(shr_bits(&up, bits), a, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn shr_to_zero() {
+        assert_eq!(shr_bits(&[5], 3), Vec::<u64>::new());
+        assert_eq!(shr_bits(&[5, 7], 200), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn bits_range_extracts_digits() {
+        // value = 0b_1011_0110, digits of width 4: lo=0110, hi=1011
+        let a = vec![0b1011_0110u64];
+        assert_eq!(bits_range(&a, 0, 4), vec![0b0110]);
+        assert_eq!(bits_range(&a, 4, 8), vec![0b1011]);
+        assert_eq!(bits_range(&a, 8, 12), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn bits_range_across_limb_boundary() {
+        let a = vec![u64::MAX, 0b101];
+        assert_eq!(bits_range(&a, 60, 68), vec![0b0101_1111]);
+    }
+
+    #[test]
+    fn bit_length_cases() {
+        assert_eq!(bit_length(&[]), 0);
+        assert_eq!(bit_length(&[1]), 1);
+        assert_eq!(bit_length(&[u64::MAX]), 64);
+        assert_eq!(bit_length(&[0, 1]), 65);
+    }
+}

@@ -1,0 +1,134 @@
+//! Squaring — the asymmetric special case (`a·a`) with roughly half the
+//! limb products of a general multiplication (cf. Zuras, "On squaring and
+//! multiplying large integers", the paper's reference [86]).
+
+use crate::bigint::{BigInt, Sign};
+use crate::metrics::tally;
+use crate::ops;
+use crate::{DoubleLimb, Limb};
+
+/// Schoolbook squaring of a magnitude: diagonal terms once, cross terms
+/// doubled — `n(n+1)/2` limb products instead of `n²`.
+#[must_use]
+pub fn sqr_schoolbook(a: &[Limb]) -> Vec<Limb> {
+    if a.is_empty() {
+        return Vec::new();
+    }
+    let n = a.len();
+    let mut out = vec![0 as Limb; 2 * n];
+
+    // Cross products a[i]·a[j] for i < j, accumulated once.
+    for i in 0..n {
+        if a[i] == 0 {
+            continue;
+        }
+        let mut carry: Limb = 0;
+        for j in i + 1..n {
+            let t = out[i + j] as DoubleLimb + a[i] as DoubleLimb * a[j] as DoubleLimb
+                + carry as DoubleLimb;
+            out[i + j] = t as Limb;
+            carry = (t >> 64) as Limb;
+        }
+        out[i + n] = carry;
+        tally((n - i) as u64);
+    }
+
+    // Double the cross products (shift left by one bit).
+    let mut carry_bit: Limb = 0;
+    for limb in out.iter_mut() {
+        let new_carry = *limb >> 63;
+        *limb = (*limb << 1) | carry_bit;
+        carry_bit = new_carry;
+    }
+    tally(2 * n as u64);
+    debug_assert_eq!(carry_bit, 0, "top cross product cannot overflow 2n limbs");
+
+    // Add the diagonal a[i]².
+    let mut carry: Limb = 0;
+    for i in 0..n {
+        let sq = a[i] as DoubleLimb * a[i] as DoubleLimb;
+        let lo = sq as Limb;
+        let hi = (sq >> 64) as Limb;
+        let t = out[2 * i] as DoubleLimb + lo as DoubleLimb + carry as DoubleLimb;
+        out[2 * i] = t as Limb;
+        let c1 = (t >> 64) as Limb;
+        let t = out[2 * i + 1] as DoubleLimb + hi as DoubleLimb + c1 as DoubleLimb;
+        out[2 * i + 1] = t as Limb;
+        carry = (t >> 64) as Limb;
+        debug_assert!(carry <= 1);
+        // Propagate the (rare) carry into higher limbs.
+        let mut idx = 2 * i + 2;
+        while carry != 0 && idx < 2 * n {
+            let (v, o) = out[idx].overflowing_add(carry);
+            out[idx] = v;
+            carry = Limb::from(o);
+            idx += 1;
+        }
+    }
+    tally(2 * n as u64);
+
+    ops::normalize(&mut out);
+    out
+}
+
+impl BigInt {
+    /// `self²` by schoolbook squaring (≈ half the limb products of
+    /// [`BigInt::mul_schoolbook`] with itself). Always non-negative.
+    #[must_use]
+    pub fn square(&self) -> BigInt {
+        if self.is_zero() {
+            return BigInt::zero();
+        }
+        BigInt { sign: Sign::Positive, mag: sqr_schoolbook(&self.mag) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_squares() {
+        for v in [0i64, 1, 2, -3, 255, -256, i64::MAX] {
+            let x = BigInt::from(v);
+            assert_eq!(x.square(), x.mul_schoolbook(&x), "v={v}");
+        }
+    }
+
+    #[test]
+    fn carry_heavy_squares() {
+        let cases = [
+            BigInt::from(u64::MAX),
+            BigInt::from(u128::MAX),
+            BigInt::from_limbs(vec![u64::MAX; 5]),
+            BigInt::from_limbs(vec![u64::MAX, 0, u64::MAX]),
+            BigInt::from_limbs(vec![0, 0, 1]),
+        ];
+        for x in &cases {
+            assert_eq!(x.square(), x.mul_schoolbook(x), "{x:?}");
+        }
+    }
+
+    #[test]
+    fn random_squares_match_general_multiply() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for bits in [63u64, 64, 65, 500, 4_000] {
+            let x = BigInt::random_signed_bits(&mut rng, bits);
+            assert_eq!(x.square(), x.mul_schoolbook(&x), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn squaring_does_fewer_ops() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(78);
+        let x = BigInt::random_bits(&mut rng, 64 * 256);
+        let (_, sq_ops) = metrics::measure(|| x.square());
+        let (_, mul_ops) = metrics::measure(|| x.mul_schoolbook(&x));
+        assert!(
+            (sq_ops as f64) < 0.75 * mul_ops as f64,
+            "square {sq_ops} ops should be well under multiply {mul_ops}"
+        );
+    }
+}

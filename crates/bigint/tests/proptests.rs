@@ -1,0 +1,180 @@
+//! Property-based tests: ring axioms, division invariants, radix and digit
+//! round-trips — checked against both `i128` reference semantics and
+//! self-consistency on arbitrarily large values.
+
+use ft_bigint::{BigInt, Sign};
+use proptest::prelude::*;
+
+/// Arbitrary signed big integer up to ~4 limbs.
+fn bigint() -> impl Strategy<Value = BigInt> {
+    (any::<Vec<u64>>(), any::<bool>()).prop_map(|(mut limbs, neg)| {
+        limbs.truncate(4);
+        let v = BigInt::from_limbs(limbs);
+        if neg {
+            -v
+        } else {
+            v
+        }
+    })
+}
+
+/// Larger integers (up to ~16 limbs) for stress paths.
+fn bigint_wide() -> impl Strategy<Value = BigInt> {
+    (proptest::collection::vec(any::<u64>(), 0..16), any::<bool>()).prop_map(|(limbs, neg)| {
+        let v = BigInt::from_limbs(limbs);
+        if neg {
+            -v
+        } else {
+            v
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn i128_addition_model(a in any::<i64>(), b in any::<i64>()) {
+        let (x, y) = (BigInt::from(a), BigInt::from(b));
+        prop_assert_eq!(&x + &y, BigInt::from(a as i128 + b as i128));
+        prop_assert_eq!(&x - &y, BigInt::from(a as i128 - b as i128));
+        prop_assert_eq!(&x * &y, BigInt::from(a as i128 * b as i128));
+    }
+
+    #[test]
+    fn i128_division_model(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |v| *v != 0)) {
+        let (q, r) = BigInt::from(a).div_rem(&BigInt::from(b));
+        prop_assert_eq!(q, BigInt::from(a as i128 / b as i128));
+        prop_assert_eq!(r, BigInt::from(a as i128 % b as i128));
+    }
+
+    #[test]
+    fn add_commutes(a in bigint(), b in bigint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associates(a in bigint(), b in bigint(), c in bigint()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_commutes(a in bigint(), b in bigint()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_associates(a in bigint(), b in bigint(), c in bigint()) {
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn mul_distributes(a in bigint(), b in bigint(), c in bigint()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn sub_is_add_neg(a in bigint(), b in bigint()) {
+        prop_assert_eq!(&a - &b, &a + &(-&b));
+        prop_assert!((&a - &a).is_zero());
+    }
+
+    #[test]
+    fn division_invariant(a in bigint_wide(), b in bigint().prop_filter("nonzero", |v| !v.is_zero())) {
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a.clone());
+        prop_assert!(r.cmp_abs(&b) == std::cmp::Ordering::Less);
+        // sign(r) == sign(a) or r == 0 (truncated division)
+        prop_assert!(r.is_zero() || r.signum() == a.signum());
+    }
+
+    #[test]
+    fn exact_division_of_products(a in bigint_wide(), b in bigint().prop_filter("nonzero", |v| !v.is_zero())) {
+        let p = &a * &b;
+        prop_assert_eq!(p.div_exact(&b), a);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in bigint_wide()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<BigInt>().unwrap(), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in bigint_wide()) {
+        let s = a.to_hex();
+        prop_assert_eq!(s.parse::<BigInt>().unwrap(), a);
+    }
+
+    #[test]
+    fn shift_is_pow2_mul(a in bigint(), bits in 0u64..200) {
+        let shifted = a.shl_bits(bits);
+        let pow = BigInt::from(1u64).shl_bits(bits);
+        prop_assert_eq!(shifted.clone(), &a * &pow);
+        prop_assert_eq!(shifted.shr_bits(bits), a);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in bigint(), b in bigint()) {
+        let g = a.gcd(&b);
+        if !g.is_zero() {
+            prop_assert!(a.div_rem(&g).1.is_zero());
+            prop_assert!(b.div_rem(&g).1.is_zero());
+            prop_assert!(g.signum() > 0);
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    #[test]
+    fn extended_gcd_bezout(a in bigint(), b in bigint()) {
+        let (g, x, y) = a.extended_gcd(&b);
+        prop_assert_eq!(&(&a * &x) + &(&b * &y), g.clone());
+        prop_assert_eq!(g, a.gcd(&b));
+    }
+
+    #[test]
+    fn digit_split_roundtrip(a in bigint_wide().prop_map(|v| v.abs()), k in 2usize..8) {
+        let width = BigInt::shared_digit_width(&a, &a, k);
+        let digits = a.split_base_pow2(width, k);
+        prop_assert_eq!(digits.len(), k);
+        prop_assert_eq!(BigInt::join_base_pow2(&digits, width), a);
+    }
+
+    #[test]
+    fn mod_floor_in_range(a in bigint(), m in bigint().prop_filter("nonzero", |v| !v.is_zero())) {
+        let r = a.mod_floor(&m);
+        prop_assert!(!r.is_negative());
+        prop_assert!(r.cmp_abs(&m) == std::cmp::Ordering::Less);
+        // a ≡ r (mod m)
+        prop_assert!((&a - &r).div_rem(&m).1.is_zero());
+    }
+
+    #[test]
+    fn mod_pow_matches_naive(base in any::<i32>(), e in 0u32..24, m in 2u64..10_000) {
+        let m_big = BigInt::from(m);
+        let expected = {
+            let mut acc = BigInt::one();
+            for _ in 0..e {
+                acc = (&acc * &BigInt::from(base)).mod_floor(&m_big);
+            }
+            acc
+        };
+        let got = BigInt::from(base).mod_pow(&BigInt::from(e), &m_big);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn normalization_invariants(a in bigint_wide()) {
+        // No trailing zero limbs; sign Zero iff empty magnitude.
+        prop_assert!(a.limbs().last() != Some(&0));
+        prop_assert_eq!(a.sign() == Sign::Zero, a.limbs().is_empty());
+    }
+
+    #[test]
+    fn mul_schoolbook_cost_is_quadratic_bounded(a in bigint_wide(), b in bigint_wide()) {
+        let (_, ops) = ft_bigint::metrics::measure(|| a.mul_schoolbook(&b));
+        let (la, lb) = (a.word_len() as u64, b.word_len() as u64);
+        // One tally of |b| per non-zero limb of a (plus normalize slack).
+        prop_assert!(ops <= (la + 1) * (lb + 1) + la + lb + 2,
+            "ops={} la={} lb={}", ops, la, lb);
+    }
+}

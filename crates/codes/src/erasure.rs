@@ -1,0 +1,428 @@
+//! Systematic Vandermonde erasure codes (Definition 2.7).
+
+use ft_algebra::{Matrix, Rational, ScaledIntMatrix};
+use ft_bigint::BigInt;
+
+/// Errors from encoding / recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeError {
+    /// More erasures than parity symbols.
+    TooManyErasures {
+        /// Number of erased data symbols.
+        erased: usize,
+        /// Parity symbols available.
+        parity: usize,
+    },
+    /// A symbol index was out of range or duplicated.
+    BadSymbolIndex(usize),
+    /// Payload blocks had inconsistent lengths.
+    RaggedBlocks,
+}
+
+impl std::fmt::Display for CodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodeError::TooManyErasures { erased, parity } => {
+                write!(f, "{erased} erasures exceed the {parity} available parity symbols")
+            }
+            CodeError::BadSymbolIndex(i) => write!(f, "bad symbol index {i}"),
+            CodeError::RaggedBlocks => write!(f, "payload blocks have differing lengths"),
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}
+
+/// A systematic `(k + f, k, f + 1)` Vandermonde erasure code.
+///
+/// Generator `G = [ I_k ; E ]` with `E[i][j] = η_i^j`, `η_i = i + 1`
+/// (strictly increasing positive seeds ⇒ `E` totally positive ⇒ MDS).
+#[derive(Clone, Debug)]
+pub struct ErasureCode {
+    data_len: usize,
+    parity_len: usize,
+    /// Parity matrix `E` (`f × k`).
+    parity: Matrix<BigInt>,
+}
+
+impl ErasureCode {
+    /// Create a code for `data_len` data symbols and `parity_len` parity
+    /// symbols, using seeds `η_i = i + 1`.
+    ///
+    /// # Panics
+    /// Panics if `data_len == 0`.
+    #[must_use]
+    pub fn new(data_len: usize, parity_len: usize) -> ErasureCode {
+        Self::with_seeds(data_len, &(1..=parity_len as i64).collect::<Vec<_>>())
+    }
+
+    /// Create a code with explicit distinct positive seeds `η`.
+    ///
+    /// # Panics
+    /// Panics on zero data length or non-distinct / non-positive seeds.
+    #[must_use]
+    pub fn with_seeds(data_len: usize, etas: &[i64]) -> ErasureCode {
+        assert!(data_len > 0, "code needs at least one data symbol");
+        for (i, &e) in etas.iter().enumerate() {
+            assert!(e > 0, "seeds must be positive for total positivity");
+            assert!(!etas[..i].contains(&e), "seeds must be distinct");
+        }
+        let parity = Matrix::from_fn(etas.len(), data_len, |i, j| {
+            BigInt::from(etas[i]).pow(j as u32)
+        });
+        ErasureCode { data_len, parity_len: etas.len(), parity }
+    }
+
+    /// Number of data symbols `k`.
+    #[must_use]
+    pub fn data_len(&self) -> usize {
+        self.data_len
+    }
+
+    /// Number of parity symbols `f`.
+    #[must_use]
+    pub fn parity_len(&self) -> usize {
+        self.parity_len
+    }
+
+    /// Code length `n = k + f`.
+    #[must_use]
+    pub fn code_len(&self) -> usize {
+        self.data_len + self.parity_len
+    }
+
+    /// Minimum distance `d = f + 1` (MDS).
+    #[must_use]
+    pub fn distance(&self) -> usize {
+        self.parity_len + 1
+    }
+
+    /// The parity matrix `E`.
+    #[must_use]
+    pub fn parity_matrix(&self) -> &Matrix<BigInt> {
+        &self.parity
+    }
+
+    /// Encode scalar symbols: returns the `f` parity scalars
+    /// `p_i = Σ_j η_i^j · data_j`.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != k`.
+    #[must_use]
+    pub fn encode_scalars(&self, data: &[BigInt]) -> Vec<BigInt> {
+        assert_eq!(data.len(), self.data_len);
+        self.parity.matvec(data)
+    }
+
+    /// Encode block payloads: `data` is `k` equal-length blocks; returns the
+    /// `f` parity blocks (entrywise weighted sums).
+    pub fn encode_blocks(&self, data: &[Vec<BigInt>]) -> Result<Vec<Vec<BigInt>>, CodeError> {
+        if data.len() != self.data_len {
+            return Err(CodeError::BadSymbolIndex(data.len()));
+        }
+        let width = data.first().map_or(0, Vec::len);
+        if data.iter().any(|b| b.len() != width) {
+            return Err(CodeError::RaggedBlocks);
+        }
+        Ok((0..self.parity_len)
+            .map(|i| {
+                (0..width)
+                    .map(|w| {
+                        let mut acc = BigInt::zero();
+                        for (j, block) in data.iter().enumerate() {
+                            acc += &(&self.parity[(i, j)] * &block[w]);
+                        }
+                        acc
+                    })
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// Recover erased **data** symbols.
+    ///
+    /// * `surviving_data` — `(index, block)` pairs with `index < k`;
+    /// * `surviving_parity` — `(parity index, block)` pairs with
+    ///   `parity index < f`;
+    /// * `erased` — the data indices to reconstruct.
+    ///
+    /// Solves the `e × e` Vandermonde-minor system over ℚ exactly; all
+    /// divisions are exact because the true solution is integral.
+    pub fn recover(
+        &self,
+        surviving_data: &[(usize, Vec<BigInt>)],
+        surviving_parity: &[(usize, Vec<BigInt>)],
+        erased: &[usize],
+    ) -> Result<Vec<Vec<BigInt>>, CodeError> {
+        let e = erased.len();
+        if e == 0 {
+            return Ok(Vec::new());
+        }
+        if e > surviving_parity.len() {
+            return Err(CodeError::TooManyErasures {
+                erased: e,
+                parity: surviving_parity.len(),
+            });
+        }
+        for &i in erased {
+            if i >= self.data_len {
+                return Err(CodeError::BadSymbolIndex(i));
+            }
+        }
+        for &(i, _) in surviving_data {
+            if i >= self.data_len || erased.contains(&i) {
+                return Err(CodeError::BadSymbolIndex(i));
+            }
+        }
+        let width = surviving_parity[0].1.len();
+        if surviving_parity.iter().any(|(_, b)| b.len() != width)
+            || surviving_data.iter().any(|(_, b)| b.len() != width)
+        {
+            return Err(CodeError::RaggedBlocks);
+        }
+
+        // Use the first `e` surviving parity rows.
+        let rows: Vec<usize> = surviving_parity.iter().take(e).map(|&(i, _)| i).collect();
+        for &i in &rows {
+            if i >= self.parity_len {
+                return Err(CodeError::BadSymbolIndex(self.data_len + i));
+            }
+        }
+
+        // rhs_i = parity_i − Σ_{j surviving} η_i^j · data_j   (blockwise)
+        let rhs: Vec<Vec<BigInt>> = rows
+            .iter()
+            .zip(surviving_parity.iter().take(e))
+            .map(|(&ri, (_, pblock))| {
+                (0..width)
+                    .map(|w| {
+                        let mut acc = pblock[w].clone();
+                        for (j, dblock) in surviving_data {
+                            acc -= &(&self.parity[(ri, *j)] * &dblock[w]);
+                        }
+                        acc
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Minor M[i][t] = η_{rows[i]}^{erased[t]}; solve M · x = rhs.
+        let minor = Matrix::from_fn(e, e, |i, t| self.parity[(rows[i], erased[t])].clone());
+        let inv = minor
+            .to_rational()
+            .inverse()
+            .expect("Vandermonde minor is invertible by total positivity");
+        let scaled = ScaledIntMatrix::from_rational(&inv);
+
+        // Apply the inverse blockwise: x_t[w] = Σ_i inv[t][i] · rhs_i[w].
+        let mut out = vec![vec![BigInt::zero(); width]; e];
+        for w in 0..width {
+            let col: Vec<BigInt> = rhs.iter().map(|b| b[w].clone()).collect();
+            let sol = scaled.apply(&col);
+            for (t, v) in sol.into_iter().enumerate() {
+                out[t][w] = v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Check the MDS property exhaustively: every square minor of `E`
+    /// obtained by choosing `e ≤ min(f, k)` rows and `e` columns is
+    /// invertible. Exponential — use in tests on small codes only.
+    #[must_use]
+    pub fn verify_mds(&self) -> bool {
+        use ft_algebra::points::for_each_combination;
+        for e in 1..=self.parity_len.min(self.data_len) {
+            let ok = for_each_combination(self.parity_len, e, |rows| {
+                for_each_combination(self.data_len, e, |cols| {
+                    !self
+                        .parity
+                        .select_rows(rows)
+                        .select_cols(cols)
+                        .det_bareiss()
+                        .is_zero()
+                })
+            });
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The decode coefficients (over ℚ) a *reduce-based* recovery applies:
+    /// for erased set `erased` and chosen parity rows, each surviving symbol
+    /// contributes a rational multiple. Exposed for the cost model — the
+    /// recovery reduce in §4.1 moves `O(f · M)` words.
+    #[must_use]
+    pub fn recovery_weights(
+        &self,
+        surviving_data: &[usize],
+        parity_rows: &[usize],
+        erased: &[usize],
+    ) -> Matrix<Rational> {
+        let e = erased.len();
+        assert_eq!(parity_rows.len(), e);
+        let minor = Matrix::from_fn(e, e, |i, t| self.parity[(parity_rows[i], erased[t])].clone());
+        let inv = minor.to_rational().inverse().expect("invertible minor");
+        // weight of parity row i on erased t = inv[t][i]; weight of data j:
+        // −Σ_i inv[t][i]·η_{row_i}^j.
+        Matrix::from_fn(e, parity_rows.len() + surviving_data.len(), |t, c| {
+            if c < parity_rows.len() {
+                inv[(t, c)].clone()
+            } else {
+                let j = surviving_data[c - parity_rows.len()];
+                let mut acc = Rational::zero();
+                for (i, &ri) in parity_rows.iter().enumerate() {
+                    let w = &inv[(t, i)]
+                        * &Rational::from_int(self.parity[(ri, j)].clone());
+                    acc = &acc - &w;
+                }
+                acc
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blocks(vals: &[&[i64]]) -> Vec<Vec<BigInt>> {
+        vals.iter()
+            .map(|b| b.iter().map(|&v| BigInt::from(v)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn parity_is_weighted_sums() {
+        let code = ErasureCode::new(3, 2);
+        // η = [1, 2]; data = [10, 20, 30]
+        let p = code.encode_scalars(&[10, 20, 30].map(BigInt::from));
+        assert_eq!(p[0], BigInt::from(60u64)); // 10 + 20 + 30
+        assert_eq!(p[1], BigInt::from(10 + 40 + 120u64)); // η=2: 10+2·20+4·30
+    }
+
+    #[test]
+    fn mds_property_small_codes() {
+        for (k, f) in [(2, 1), (3, 2), (4, 3), (5, 2), (8, 4)] {
+            assert!(ErasureCode::new(k, f).verify_mds(), "k={k} f={f}");
+        }
+    }
+
+    #[test]
+    fn recover_single_erasure() {
+        let code = ErasureCode::new(3, 1);
+        let data = blocks(&[&[1, 100], &[2, 200], &[3, 300]]);
+        let parity = code.encode_blocks(&data).unwrap();
+        for lost in 0..3 {
+            let surviving: Vec<(usize, Vec<BigInt>)> = (0..3)
+                .filter(|&i| i != lost)
+                .map(|i| (i, data[i].clone()))
+                .collect();
+            let rec = code
+                .recover(&surviving, &[(0, parity[0].clone())], &[lost])
+                .unwrap();
+            assert_eq!(rec[0], data[lost], "lost={lost}");
+        }
+    }
+
+    #[test]
+    fn recover_all_double_erasures() {
+        let code = ErasureCode::new(4, 2);
+        let data = blocks(&[&[7, -3], &[0, 11], &[-5, 5], &[123456, -654321]]);
+        let parity = code.encode_blocks(&data).unwrap();
+        for a in 0..4 {
+            for b in a + 1..4 {
+                let surviving: Vec<(usize, Vec<BigInt>)> = (0..4)
+                    .filter(|&i| i != a && i != b)
+                    .map(|i| (i, data[i].clone()))
+                    .collect();
+                let sp: Vec<(usize, Vec<BigInt>)> =
+                    parity.iter().cloned().enumerate().collect();
+                let rec = code.recover(&surviving, &sp, &[a, b]).unwrap();
+                assert_eq!(rec[0], data[a], "a={a} b={b}");
+                assert_eq!(rec[1], data[b], "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn recover_with_partial_parity() {
+        // 2 parity symbols, only the second survives, one erasure.
+        let code = ErasureCode::new(3, 2);
+        let data = blocks(&[&[5], &[6], &[7]]);
+        let parity = code.encode_blocks(&data).unwrap();
+        let rec = code
+            .recover(
+                &[(0, data[0].clone()), (2, data[2].clone())],
+                &[(1, parity[1].clone())],
+                &[1],
+            )
+            .unwrap();
+        assert_eq!(rec[0], data[1]);
+    }
+
+    #[test]
+    fn too_many_erasures_rejected() {
+        let code = ErasureCode::new(3, 1);
+        let err = code
+            .recover(&[], &[(0, vec![BigInt::zero()])], &[0, 1])
+            .unwrap_err();
+        assert_eq!(err, CodeError::TooManyErasures { erased: 2, parity: 1 });
+    }
+
+    #[test]
+    fn ragged_blocks_rejected() {
+        let code = ErasureCode::new(2, 1);
+        let data = vec![vec![BigInt::zero()], vec![BigInt::zero(), BigInt::one()]];
+        assert_eq!(code.encode_blocks(&data).unwrap_err(), CodeError::RaggedBlocks);
+    }
+
+    #[test]
+    fn code_parameters() {
+        let code = ErasureCode::new(5, 3);
+        assert_eq!(code.code_len(), 8);
+        assert_eq!(code.distance(), 4);
+        assert_eq!(code.data_len(), 5);
+        assert_eq!(code.parity_len(), 3);
+    }
+
+    #[test]
+    fn linearity_of_encoding() {
+        // parity(x + y) = parity(x) + parity(y): the property that makes the
+        // code survive the (linear) evaluation and interpolation stages.
+        let code = ErasureCode::new(3, 2);
+        let x = [3i64, -1, 4].map(BigInt::from);
+        let y = [10i64, 20, -30].map(BigInt::from);
+        let sum: Vec<BigInt> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let px = code.encode_scalars(&x);
+        let py = code.encode_scalars(&y);
+        let psum = code.encode_scalars(&sum);
+        for i in 0..2 {
+            assert_eq!(psum[i], &px[i] + &py[i]);
+        }
+    }
+
+    #[test]
+    fn recovery_weights_reconstruct() {
+        // Weighted-sum form of recovery (as executed by the reduce): check
+        // the weights matrix against direct recovery.
+        let code = ErasureCode::new(3, 1);
+        let data = [2i64, 9, -4].map(BigInt::from);
+        let parity = code.encode_scalars(&data);
+        let weights = code.recovery_weights(&[0, 2], &[0], &[1]);
+        // x_1 = w_p·parity0 + w_0·data0 + w_2·data2
+        let got = &(&weights[(0, 0)].mul_int(&parity[0])
+            + &weights[(0, 1)].mul_int(&data[0]))
+            + &weights[(0, 2)].mul_int(&data[2]);
+        assert!(got.is_integer());
+        assert_eq!(got.to_integer(), data[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_seeds_rejected() {
+        let _ = ErasureCode::with_seeds(3, &[1, 1]);
+    }
+}

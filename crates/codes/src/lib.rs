@@ -1,0 +1,18 @@
+//! # ft-codes — systematic linear erasure codes over big-integer payloads
+//!
+//! Implements §2.5 of the paper: a systematic `(n, k, d)` code whose parity
+//! part is a Vandermonde matrix `E` with `E[i][j] = η_i^j` for distinct
+//! positive integers `η_i`. With `0 < η_0 < η_1 < …`, `E` is totally
+//! positive, so **every minor is invertible** — the code is MDS with
+//! distance `f + 1` where `f = n − k` is the parity count, and any `≤ f`
+//! erasures are recoverable.
+//!
+//! Payloads are *blocks* of big integers (`[BigInt]`): in the fault-tolerant
+//! algorithm each code processor stores one weighted sum of the data
+//! blocks held by the `P/(2k−1)` processors in its grid column (§4.1), and
+//! recovery of a failed processor solves a small Vandermonde minor system
+//! exactly over ℚ.
+
+pub mod erasure;
+
+pub use erasure::{CodeError, ErasureCode};

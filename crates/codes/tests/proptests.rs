@@ -1,0 +1,111 @@
+//! Property tests for the erasure code: any `≤ f` erasures recover, any
+//! parity subset works, linearity holds, and block payloads of arbitrary
+//! big integers round-trip.
+
+use ft_bigint::BigInt;
+use ft_codes::ErasureCode;
+use proptest::prelude::*;
+
+fn blocks(k: usize, width: usize) -> impl Strategy<Value = Vec<Vec<BigInt>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(any::<i64>(), width),
+        k,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|r| r.into_iter().map(BigInt::from).collect())
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn any_f_erasures_recover(
+        data in blocks(5, 3),
+        erased in proptest::collection::hash_set(0usize..5, 1..=2),
+    ) {
+        let code = ErasureCode::new(5, 2);
+        let parity = code.encode_blocks(&data).unwrap();
+        let erased: Vec<usize> = {
+            let mut v: Vec<usize> = erased.into_iter().collect();
+            v.sort_unstable();
+            v
+        };
+        let surviving: Vec<(usize, Vec<BigInt>)> = (0..5)
+            .filter(|i| !erased.contains(i))
+            .map(|i| (i, data[i].clone()))
+            .collect();
+        let sp: Vec<(usize, Vec<BigInt>)> = parity.iter().cloned().enumerate().collect();
+        let rec = code.recover(&surviving, &sp, &erased).unwrap();
+        for (t, &i) in erased.iter().enumerate() {
+            prop_assert_eq!(&rec[t], &data[i]);
+        }
+    }
+
+    #[test]
+    fn recovery_works_with_any_parity_subset(
+        data in blocks(4, 2),
+        lost in 0usize..4,
+        parity_pick in 0usize..3,
+    ) {
+        let code = ErasureCode::new(4, 3);
+        let parity = code.encode_blocks(&data).unwrap();
+        let surviving: Vec<(usize, Vec<BigInt>)> = (0..4)
+            .filter(|&i| i != lost)
+            .map(|i| (i, data[i].clone()))
+            .collect();
+        // Offer only one parity symbol — any single one must suffice.
+        let sp = vec![(parity_pick, parity[parity_pick].clone())];
+        let rec = code.recover(&surviving, &sp, &[lost]).unwrap();
+        prop_assert_eq!(&rec[0], &data[lost]);
+    }
+
+    #[test]
+    fn encoding_is_linear(x in blocks(3, 2), y in blocks(3, 2)) {
+        let code = ErasureCode::new(3, 2);
+        let px = code.encode_blocks(&x).unwrap();
+        let py = code.encode_blocks(&y).unwrap();
+        let sum: Vec<Vec<BigInt>> = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| a.iter().zip(b).map(|(u, v)| u + v).collect())
+            .collect();
+        let psum = code.encode_blocks(&sum).unwrap();
+        for i in 0..2 {
+            for w in 0..2 {
+                prop_assert_eq!(&psum[i][w], &(&px[i][w] + &py[i][w]));
+            }
+        }
+    }
+
+    #[test]
+    fn big_payloads_roundtrip(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let code = ErasureCode::new(3, 1);
+        let data: Vec<Vec<BigInt>> = (0..3)
+            .map(|_| (0..2).map(|_| BigInt::random_signed_bits(&mut rng, 500)).collect())
+            .collect();
+        let parity = code.encode_blocks(&data).unwrap();
+        let rec = code
+            .recover(
+                &[(0, data[0].clone()), (2, data[2].clone())],
+                &[(0, parity[0].clone())],
+                &[1],
+            )
+            .unwrap();
+        prop_assert_eq!(&rec[0], &data[1]);
+    }
+
+    #[test]
+    fn scalar_and_block_encodings_agree(vals in proptest::collection::vec(any::<i32>(), 4)) {
+        let code = ErasureCode::new(4, 2);
+        let scalars: Vec<BigInt> = vals.iter().map(|&v| BigInt::from(v as i64)).collect();
+        let as_blocks: Vec<Vec<BigInt>> = scalars.iter().map(|s| vec![s.clone()]).collect();
+        let ps = code.encode_scalars(&scalars);
+        let pb = code.encode_blocks(&as_blocks).unwrap();
+        for i in 0..2 {
+            prop_assert_eq!(&ps[i], &pb[i][0]);
+        }
+    }
+}

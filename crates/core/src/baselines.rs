@@ -1,0 +1,418 @@
+//! General-purpose fault-tolerance baselines the paper compares against
+//! (§1, §5.3): **replication** and **checkpoint-restart**.
+//!
+//! Replication (Theorem 5.3) runs `f+1` independent copies of Parallel
+//! Toom-Cook (`f·P` *additional* processors): arithmetic and bandwidth are
+//! multiplied by `f+1` in total (the per-copy critical path is unchanged,
+//! `F' = F`), and any `f` faults are tolerated because at least one copy
+//! finishes untouched. Input replication costs `(1+o(1))·BW`.
+//!
+//! Checkpoint-restart (diskless, peer-memory — cf. Plank et al.) has each
+//! rank copy its state to a partner at every BFS boundary; a victim
+//! restores from its partner. Cheap in processors (none extra) but the
+//! checkpoint traffic is `Θ(M)` per rank per step — `Θ(P/(2k−1))`-fold
+//! more total traffic than the paper's `f·(2k−1)`-processor linear code —
+//! and a multiplication-phase fault still forces recomputation.
+
+use crate::bilinear::ToomPlan;
+use crate::parallel::{
+    assemble_product, local_digit_slice, solve, tags, ParallelConfig, ParallelOutcome,
+};
+use ft_bigint::BigInt;
+use ft_machine::{Env, Fate, FaultPlan, Machine, MachineConfig};
+
+/// Configuration of the replication baseline.
+#[derive(Debug, Clone)]
+pub struct ReplicationConfig {
+    /// The underlying parallel configuration.
+    pub base: ParallelConfig,
+    /// Number of tolerated faults `f` (runs `f+1` copies).
+    pub f: usize,
+}
+
+impl ReplicationConfig {
+    /// Total machine size `(f+1)·P`.
+    #[must_use]
+    pub fn processors(&self) -> usize {
+        (self.f + 1) * self.base.processors()
+    }
+
+    /// Additional processors `f·P` (the Table 1/2 column).
+    #[must_use]
+    pub fn extra_processors(&self) -> usize {
+        self.f * self.base.processors()
+    }
+}
+
+/// Run the replication baseline. Faults may hit any rank at the standard
+/// `bfs-*` / `leaf-mult` labels; the affected copies are discarded and the
+/// result is taken from the first copy with no planned faults.
+///
+/// # Panics
+/// Panics if every copy contains a victim (more than `f` copies hit).
+#[must_use]
+pub fn run_replicated(
+    a: &BigInt,
+    b: &BigInt,
+    cfg: &ReplicationConfig,
+    faults: FaultPlan,
+) -> ParallelOutcome {
+    let p = cfg.base.processors();
+    let copies = cfg.f + 1;
+    let total = cfg.processors();
+    let n_bits = a.bit_length().max(b.bit_length()).max(1);
+    let digits = cfg.base.digits_for(n_bits);
+    let sign = a.sign().mul(b.sign());
+    let (aa, bb) = (a.abs(), b.abs());
+
+    // The surviving copy every rank agrees on (statically, from the plan).
+    let clean_copy = (0..copies)
+        .find(|c| {
+            !faults
+                .specs()
+                .iter()
+                .any(|s| s.rank / p == *c)
+        })
+        .expect("all replicas faulted — replication tolerance exceeded");
+
+    let mut mcfg = MachineConfig::new(total).with_faults(faults);
+    mcfg.cost = cfg.base.cost;
+    mcfg.memory_limit = cfg.base.memory_limit;
+    mcfg.trace = cfg.base.trace;
+    let machine = Machine::new(mcfg);
+    let _ = ToomPlan::shared(cfg.base.k); // pre-warm (cost accounting)
+
+    let report = machine.run(|env| {
+        let plan = ToomPlan::shared(cfg.base.k);
+        let rank = env.rank();
+        let copy = rank / p;
+        let local = rank % p;
+        let group: Vec<usize> = (copy * p..(copy + 1) * p).collect();
+
+        // Input replication: copy 0 owns the distributed input and ships
+        // each further copy its slice (the (1+o(1))·BW term).
+        let (my_a, my_b) = if copy == 0 {
+            let my_a = local_digit_slice(&aa, cfg.base.digit_bits, digits, local, p);
+            let my_b = local_digit_slice(&bb, cfg.base.digit_bits, digits, local, p);
+            for c in 1..copies {
+                let mut payload = my_a.clone();
+                payload.extend_from_slice(&my_b);
+                env.send(c * p + local, tags::CODE + c as u64, &payload);
+            }
+            (my_a, my_b)
+        } else {
+            let mut payload = env.recv(local, tags::CODE + copy as u64);
+            let my_b = payload.split_off(payload.len() / 2);
+            (payload, my_b)
+        };
+
+        solve(env, &cfg.base, &plan, &group, my_a, my_b, digits, 0)
+    });
+
+    let clean_slices = &report.results[clean_copy * p..(clean_copy + 1) * p];
+    let product = assemble_product(clean_slices, digits, cfg.base.digit_bits, sign, p);
+    ParallelOutcome { product, report, digits }
+}
+
+/// Configuration of the checkpoint-restart baseline.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// The underlying parallel configuration.
+    pub base: ParallelConfig,
+}
+
+/// Run the checkpoint-restart baseline: at every BFS step entry each rank
+/// checkpoints its `(a, b)` state to a partner (`rank + P/2 mod P`); a
+/// victim planned at label `cr-{depth}` restores from the partner's copy.
+/// Tolerates any faults where victim and partner are not hit at the same
+/// boundary. No extra processors, but `Θ(M)` checkpoint words per rank per
+/// step — the overhead Table 1/2 contrasts with coded approaches.
+#[must_use]
+pub fn run_checkpointed(
+    a: &BigInt,
+    b: &BigInt,
+    cfg: &CheckpointConfig,
+    faults: FaultPlan,
+) -> ParallelOutcome {
+    let p = cfg.base.processors();
+    assert!(p >= 2, "checkpointing needs a partner rank");
+    let n_bits = a.bit_length().max(b.bit_length()).max(1);
+    let digits = cfg.base.digits_for(n_bits);
+    let sign = a.sign().mul(b.sign());
+    let (aa, bb) = (a.abs(), b.abs());
+    let m = cfg.base.bfs_steps;
+    let q = cfg.base.q();
+
+    let mut mcfg = MachineConfig::new(p).with_faults(faults);
+    mcfg.cost = cfg.base.cost;
+    mcfg.memory_limit = cfg.base.memory_limit;
+    mcfg.trace = cfg.base.trace;
+    let machine = Machine::new(mcfg);
+
+    assert!(cfg.base.dfs_steps == 0, "checkpoint baseline runs the BFS-only layout");
+    let report = machine.run(|env| {
+        let plan = ToomPlan::shared(cfg.base.k);
+        let rank = env.rank();
+        // I checkpoint to `partner`; `ward` checkpoints to me.
+        let partner = (rank + p / 2) % p;
+        let ward = (rank + p - p / 2) % p;
+        let group: Vec<usize> = (0..p).collect();
+        let my_a = local_digit_slice(&aa, cfg.base.digit_bits, digits, rank, p);
+        let my_b = local_digit_slice(&bb, cfg.base.digit_bits, digits, rank, p);
+
+        // Recursive traversal with a checkpoint boundary at each BFS step.
+        // We reuse the plain solver per *step* so the checkpoint can wrap
+        // each level: implemented by checkpointing at depth 0..m entries
+        // before calling into the stock solver for the remaining levels.
+        // (Checkpoint depth granularity = BFS steps, like the coded runs.)
+        checkpointed_solve(
+            env, cfg, &plan, &group, my_a, my_b, digits, 0, (partner, ward), m, q,
+        )
+    });
+
+    let product = assemble_product(&report.results, digits, cfg.base.digit_bits, sign, p);
+    ParallelOutcome { product, report, digits }
+}
+
+/// One checkpoint boundary then one BFS level, recursively; below the BFS
+/// levels, defers to the stock solver.
+#[allow(clippy::too_many_arguments)]
+fn checkpointed_solve(
+    env: &Env,
+    cfg: &CheckpointConfig,
+    plan: &ToomPlan,
+    group: &[usize],
+    mut a: Vec<BigInt>,
+    mut b: Vec<BigInt>,
+    level_len: usize,
+    depth: usize,
+    partners: (usize, usize),
+    m: usize,
+    q: usize,
+) -> Vec<BigInt> {
+    if depth >= m {
+        return solve(env, &cfg.base, plan, &[env.rank()], a, b, level_len, depth);
+    }
+    let (partner, ward) = partners;
+    // --- Checkpoint to partner, restore victims.
+    let alen = a.len();
+    let mut state = a.clone();
+    state.extend_from_slice(&b);
+    let tag = tags::CODE + 1_000 + depth as u64;
+    env.send(partner, tag, &state);
+    let ward_ckpt = env.recv(ward, tag);
+    let label = format!("cr-{depth}");
+    if env.fault_point(&label) == Fate::Reborn {
+        state.iter_mut().for_each(|x| *x = BigInt::zero());
+        a.clear();
+        b.clear();
+    }
+    let victims = env.fault_plan().victims_at(&label);
+    let rtag = tags::RECOVER + 1_000 + depth as u64;
+    if victims.contains(&env.rank()) {
+        // Restore from partner (my partner's partner is me iff P even; the
+        // rank whose partner I am is (rank + p - p/2) % p — the one that
+        // holds MY checkpoint is the one I sent to: `partner`).
+        let mut restored = env.recv(partner, rtag);
+        let bb = restored.split_off(alen);
+        a = restored;
+        b = bb;
+        assert!(
+            !victims.contains(&partner),
+            "checkpoint-restart cannot recover victim+partner pairs"
+        );
+    }
+    // If the rank that checkpoints *to me* is a victim, resend its state.
+    if victims.contains(&ward) {
+        env.send(ward, rtag, &ward_ckpt);
+    }
+    drop(ward_ckpt);
+    drop(state);
+
+    // --- One stock BFS level, then recurse for the next checkpoint.
+    one_bfs_level(env, cfg, plan, group, a, b, level_len, depth, partners, m, q)
+}
+
+/// One BFS level of the stock algorithm with a recursive call back into
+/// [`checkpointed_solve`] for the sub-problem.
+#[allow(clippy::too_many_arguments)]
+fn one_bfs_level(
+    env: &Env,
+    cfg: &CheckpointConfig,
+    plan: &ToomPlan,
+    group: &[usize],
+    a: Vec<BigInt>,
+    b: Vec<BigInt>,
+    level_len: usize,
+    depth: usize,
+    partners: (usize, usize),
+    m: usize,
+    q: usize,
+) -> Vec<BigInt> {
+    use crate::lazy;
+    use crate::parallel::{interp_slices, merge_residue_pieces, residue_subslice};
+    let k = cfg.base.k;
+    let g = group.len();
+    let pos = group.iter().position(|&r| r == env.rank()).unwrap();
+    let gp = g / q;
+    let my_col = pos / gp.max(1);
+    let row: Vec<usize> = (0..q).map(|j| group[j * gp + pos % gp.max(1)]).collect();
+
+    let ea = lazy::eval_step(plan.eval_matrix(), &a, k);
+    let eb = lazy::eval_step(plan.eval_matrix(), &b, k);
+    drop(a);
+    drop(b);
+    for (t, &peer) in row.iter().enumerate() {
+        if t == my_col {
+            continue;
+        }
+        let mut payload = ea[t].clone();
+        payload.extend_from_slice(&eb[t]);
+        env.send(peer, tags::DOWN + depth as u64, &payload);
+    }
+    let lambda = level_len / k;
+    let mut pieces_a: Vec<Vec<BigInt>> = vec![Vec::new(); q];
+    let mut pieces_b: Vec<Vec<BigInt>> = vec![Vec::new(); q];
+    for (t, &peer) in row.iter().enumerate() {
+        let (pa, pb) = if peer == env.rank() {
+            (ea[my_col].clone(), eb[my_col].clone())
+        } else {
+            let mut payload = env.recv(peer, tags::DOWN + depth as u64);
+            let pb = payload.split_off(payload.len() / 2);
+            (payload, pb)
+        };
+        pieces_a[t] = pa;
+        pieces_b[t] = pb;
+    }
+    drop(ea);
+    drop(eb);
+    let next_a = merge_residue_pieces(&pieces_a, lambda.div_ceil(gp.max(1)));
+    let next_b = merge_residue_pieces(&pieces_b, lambda.div_ceil(gp.max(1)));
+    drop(pieces_a);
+    drop(pieces_b);
+
+    let next_group = &group[my_col * gp..(my_col + 1) * gp];
+    let sub_prod = checkpointed_solve(
+        env, cfg, plan, next_group, next_a, next_b, lambda, depth + 1, partners, m, q,
+    );
+
+    for (t, &peer) in row.iter().enumerate() {
+        if t == my_col {
+            continue;
+        }
+        env.send(peer, tags::UP + depth as u64, &residue_subslice(&sub_prod, q, t));
+    }
+    let mut col_slices: Vec<Vec<BigInt>> = vec![Vec::new(); q];
+    for (t, &peer) in row.iter().enumerate() {
+        col_slices[t] = if peer == env.rank() {
+            residue_subslice(&sub_prod, q, my_col)
+        } else {
+            env.recv(peer, tags::UP + depth as u64)
+        };
+    }
+    drop(sub_prod);
+    interp_slices(plan.interp_matrix(), &col_slices, lambda, level_len, pos, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn random_pair(bits: u64, seed: u64) -> (BigInt, BigInt) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (
+            BigInt::random_bits(&mut rng, bits),
+            BigInt::random_bits(&mut rng, bits),
+        )
+    }
+
+    #[test]
+    fn replication_no_faults() {
+        let (a, b) = random_pair(2000, 1);
+        let cfg = ReplicationConfig { base: ParallelConfig::new(2, 1), f: 1 };
+        assert_eq!(cfg.extra_processors(), 3);
+        let out = run_replicated(&a, &b, &cfg, FaultPlan::none());
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn replication_survives_copy_fault() {
+        let (a, b) = random_pair(2000, 2);
+        let cfg = ReplicationConfig { base: ParallelConfig::new(2, 1), f: 1 };
+        // Kill a rank in copy 0 during multiplication: result comes from
+        // copy 1.
+        let plan = FaultPlan::none().kill(1, "leaf-mult");
+        let out = run_replicated(&a, &b, &cfg, plan);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn replication_survives_f_faults_in_different_copies_f2() {
+        let (a, b) = random_pair(2000, 3);
+        let cfg = ReplicationConfig { base: ParallelConfig::new(2, 1), f: 2 };
+        let plan = FaultPlan::none()
+            .kill(0, "leaf-mult") // copy 0
+            .kill(4, "leaf-mult"); // copy 1 (ranks 3..6)
+        let out = run_replicated(&a, &b, &cfg, plan);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+        assert_eq!(out.report.total_deaths(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance exceeded")]
+    fn replication_fails_when_all_copies_hit() {
+        let (a, b) = random_pair(1000, 4);
+        let cfg = ReplicationConfig { base: ParallelConfig::new(2, 1), f: 1 };
+        let plan = FaultPlan::none().kill(0, "leaf-mult").kill(3, "leaf-mult");
+        let _ = run_replicated(&a, &b, &cfg, plan);
+    }
+
+    #[test]
+    fn replication_total_work_is_f_plus_1_times() {
+        let (a, b) = random_pair(20_000, 5);
+        let base = ParallelConfig::new(3, 1);
+        let plain = crate::parallel::run_parallel(&a, &b, &base);
+        let cfg = ReplicationConfig { base, f: 2 };
+        let repl = run_replicated(&a, &b, &cfg, FaultPlan::none());
+        let ratio = repl.report.total_flops() as f64 / plain.report.total_flops() as f64;
+        assert!(
+            (2.5..3.5).contains(&ratio),
+            "replication should triple total work, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_no_faults() {
+        let (a, b) = random_pair(2000, 6);
+        let cfg = CheckpointConfig { base: ParallelConfig::new(2, 2) };
+        let out = run_checkpointed(&a, &b, &cfg, FaultPlan::none());
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn checkpoint_recovers_boundary_fault() {
+        let (a, b) = random_pair(2000, 7);
+        let cfg = CheckpointConfig { base: ParallelConfig::new(2, 2) };
+        for victim in [0usize, 3, 8] {
+            let plan = FaultPlan::none().kill(victim, "cr-0");
+            let out = run_checkpointed(&a, &b, &cfg, plan);
+            assert_eq!(out.product, a.mul_schoolbook(&b), "victim={victim}");
+        }
+        let plan = FaultPlan::none().kill(2, "cr-1");
+        let out = run_checkpointed(&a, &b, &cfg, plan);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn checkpoint_traffic_scales_with_state_not_with_f() {
+        // The overhead motivating coded approaches: checkpoint words per
+        // step ~ whole state.
+        let (a, b) = random_pair(20_000, 8);
+        let base = ParallelConfig::new(3, 1);
+        let plain = crate::parallel::run_parallel(&a, &b, &base);
+        let cfg = CheckpointConfig { base };
+        let ck = run_checkpointed(&a, &b, &cfg, FaultPlan::none());
+        assert!(ck.report.total_words() > plain.report.total_words());
+    }
+}

@@ -1,0 +1,210 @@
+//! Closed-form cost formulas of §5 (Theorems 5.1–5.3) — the "theory"
+//! columns of Tables 1 and 2. All quantities are in words / word-ops /
+//! messages, matching the simulator's counters.
+
+/// Problem/machine parameters for the cost formulas.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModelInput {
+    /// Input size in words.
+    pub n: f64,
+    /// Processors `P`.
+    pub p: f64,
+    /// Split parameter `k`.
+    pub k: f64,
+    /// Local memory in words (`None` = unlimited).
+    pub memory: Option<f64>,
+    /// Fault tolerance `f`.
+    pub f: f64,
+}
+
+/// Theoretical `F`/`BW`/`L` (to constant factors).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TheoryCost {
+    /// Arithmetic operations along the critical path.
+    pub f: f64,
+    /// Words along the critical path.
+    pub bw: f64,
+    /// Messages along the critical path.
+    pub l: f64,
+}
+
+/// `log_b(x)`.
+#[must_use]
+pub fn log_base(b: f64, x: f64) -> f64 {
+    x.ln() / b.ln()
+}
+
+/// The Toom-Cook exponent `ω_k = log_k(2k−1)`.
+#[must_use]
+pub fn toom_exponent(k: f64) -> f64 {
+    log_base(k, 2.0 * k - 1.0)
+}
+
+/// `P^{log_{2k−1} k}` — the memory-threshold scale of Tables 1/2.
+#[must_use]
+pub fn p_pow_logk(p: f64, k: f64) -> f64 {
+    p.powf(log_base(2.0 * k - 1.0, k))
+}
+
+/// Whether the memory is effectively unlimited:
+/// `M = Ω(n / P^{log_{2k−1} k})` (Table 1's regime).
+#[must_use]
+pub fn is_unlimited(input: &CostModelInput) -> bool {
+    match input.memory {
+        None => true,
+        Some(m) => m >= input.n / p_pow_logk(input.p, input.k),
+    }
+}
+
+/// Lemma 3.1: the minimum number of DFS steps under memory `M`:
+/// `⌈log_k(n / (P^{log_{2k−1} k} · M))⌉` (0 when unlimited).
+#[must_use]
+pub fn dfs_steps(input: &CostModelInput) -> usize {
+    match input.memory {
+        None => 0,
+        Some(m) => {
+            let x = input.n / (p_pow_logk(input.p, input.k) * m);
+            if x <= 1.0 {
+                0
+            } else {
+                log_base(input.k, x).ceil() as usize
+            }
+        }
+    }
+}
+
+/// Theorem 5.1: Parallel Toom-Cook costs, unlimited or limited memory.
+#[must_use]
+pub fn parallel_toom(input: &CostModelInput) -> TheoryCost {
+    let w = toom_exponent(input.k);
+    let f = input.n.powf(w) / input.p;
+    if is_unlimited(input) {
+        TheoryCost {
+            f,
+            bw: input.n / p_pow_logk(input.p, input.k),
+            l: input.p.ln().max(1.0),
+        }
+    } else {
+        let m = input.memory.expect("limited case has memory");
+        let t = (input.n / m).powf(w);
+        TheoryCost {
+            f,
+            bw: t * m / input.p,
+            l: t * input.p.ln().max(1.0) / input.p,
+        }
+    }
+}
+
+/// Theorem 5.2: Fault-Tolerant Toom-Cook — `(1+o(1))` cost factors and the
+/// extra-processor count. The `o(1)` terms are the code-creation and
+/// recovery costs relative to the base costs.
+#[must_use]
+pub fn fault_tolerant_toom(input: &CostModelInput) -> (TheoryCost, f64) {
+    let base = parallel_toom(input);
+    let q = 2.0 * input.k - 1.0;
+    let extra = if is_unlimited(input) {
+        // Multi-step traversal note: only f extra processors needed.
+        input.f
+    } else {
+        input.f * q
+    };
+    // Code creation/recovery add O(f·M) F and BW per step — o(base).
+    let m_eff = input
+        .memory
+        .unwrap_or(input.n / p_pow_logk(input.p, input.k));
+    let steps = log_base(q, input.p).max(1.0);
+    let oh = input.f * m_eff * steps;
+    (
+        TheoryCost { f: base.f + oh, bw: base.bw + oh, l: base.l * (1.0 + input.f / steps) },
+        extra,
+    )
+}
+
+/// Theorem 5.3: Toom-Cook with Replication — costs and `f·P` extra
+/// processors.
+#[must_use]
+pub fn replication(input: &CostModelInput) -> (TheoryCost, f64) {
+    let base = parallel_toom(input);
+    // Replicating the distributed input adds O(f·n/P) words.
+    let oh = input.f * input.n / input.p;
+    (
+        TheoryCost { f: base.f, bw: base.bw + oh, l: base.l + input.f },
+        input.f * input.p,
+    )
+}
+
+/// Abstract claim (§1.2): the overhead-reduction factor of the coded
+/// algorithm versus replication, `Θ(P / (2k−1))` — measured as the ratio
+/// of additional processors (and hence of additional total work).
+#[must_use]
+pub fn overhead_reduction_factor(input: &CostModelInput) -> f64 {
+    let q = 2.0 * input.k - 1.0;
+    input.p / q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(n: f64, p: f64, k: f64) -> CostModelInput {
+        CostModelInput { n, p, k, memory: None, f: 1.0 }
+    }
+
+    #[test]
+    fn exponent_values() {
+        assert!((toom_exponent(2.0) - 1.585).abs() < 1e-3); // log2 3
+        assert!((toom_exponent(3.0) - 1.465).abs() < 1e-3); // log3 5
+    }
+
+    #[test]
+    fn dfs_steps_match_lemma() {
+        // n = 3^6 k^... choose n so x is a clean power.
+        let mut inp = input(729.0, 5.0, 3.0);
+        inp.memory = Some(729.0 / p_pow_logk(5.0, 3.0) / 9.0); // forces k^2
+        assert_eq!(dfs_steps(&inp), 2);
+        inp.memory = None;
+        assert_eq!(dfs_steps(&inp), 0);
+    }
+
+    #[test]
+    fn unlimited_memory_boundary() {
+        let mut inp = input(1000.0, 25.0, 3.0);
+        inp.memory = Some(1e9);
+        assert!(is_unlimited(&inp));
+        inp.memory = Some(1.0);
+        assert!(!is_unlimited(&inp));
+    }
+
+    #[test]
+    fn parallel_cost_scales_down_with_p() {
+        let c1 = parallel_toom(&input(1e6, 5.0, 3.0));
+        let c2 = parallel_toom(&input(1e6, 25.0, 3.0));
+        assert!(c2.f < c1.f);
+        assert!(c2.bw < c1.bw);
+    }
+
+    #[test]
+    fn ft_overhead_is_lower_order() {
+        let inp = input(1e8, 25.0, 3.0);
+        let base = parallel_toom(&inp);
+        let (ft, extra) = fault_tolerant_toom(&inp);
+        assert!(ft.f / base.f < 1.01, "F overhead must be o(1)");
+        assert_eq!(extra, 1.0, "unlimited memory: f extra processors");
+        let mut lim = inp;
+        lim.memory = Some(1e8 / p_pow_logk(25.0, 3.0) / 9.0);
+        let (_, extra) = fault_tolerant_toom(&lim);
+        assert_eq!(extra, 5.0, "limited memory: f·(2k−1)");
+    }
+
+    #[test]
+    fn replication_extra_processors() {
+        let (_, extra) = replication(&input(1e6, 25.0, 3.0));
+        assert_eq!(extra, 25.0);
+    }
+
+    #[test]
+    fn reduction_factor_is_p_over_q() {
+        assert_eq!(overhead_reduction_factor(&input(1.0, 125.0, 3.0)), 25.0);
+        assert_eq!(overhead_reduction_factor(&input(1.0, 27.0, 2.0)), 9.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Fault-tolerant parallel Toom-Cook (§4–§6).
+//!
+//! Three coding strategies, composed exactly as the paper composes them:
+//!
+//! - [`linear`] (§4.1, Figure 1) — `f` extra *rows* of code processors
+//!   (`f·(2k−1)` total) carry systematic Vandermonde encodings of each grid
+//!   column. The code survives every linear phase (evaluation, BFS
+//!   exchanges, interpolation), so faults there are repaired on the fly by
+//!   a reduce; faults in the *multiplication* phase require an expensive
+//!   recomputation (the Birnbaum-et-al. limitation the paper improves on).
+//! - [`poly`] (§4.2, Figure 2) — `f` redundant evaluation points add `f`
+//!   extra *columns* (`f·P/(2k−1)` processors). Any `f` column losses —
+//!   including during multiplication — are absorbed by interpolating from
+//!   the surviving `2k−1` columns, with no recovery traffic at all.
+//! - [`multistep`] (§4.3, §6, Figure 3) — all `m` BFS steps combined into
+//!   one traversal: redundant *multivariate* evaluation points in
+//!   `(2k−1, m)`-general position add only `f` extra processors, each
+//!   computing one redundant leaf product.
+//! - [`combined`] (§5.2, Theorem 5.2) — the headline algorithm: linear
+//!   coding for the evaluation/interpolation phases plus multistep
+//!   polynomial coding for the multiplication phase, achieving
+//!   `(1+o(1))` overhead in `F`, `BW`, and `L`.
+
+pub mod combined;
+pub mod softdist;
+pub mod linear;
+pub mod multistep;
+pub mod poly;

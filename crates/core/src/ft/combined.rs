@@ -1,0 +1,327 @@
+//! The headline fault-tolerant algorithm (§5.2, Theorem 5.2): **linear
+//! coding for the evaluation and interpolation phases, polynomial coding
+//! for the multiplication phase**.
+//!
+//! - `f·(2k−1)` code-row processors protect every BFS step's linear phases
+//!   exactly as in [`crate::ft::linear`] (on-the-fly decode, no
+//!   recomputation);
+//! - `f` extra processors compute redundant multivariate leaf products
+//!   exactly as in [`crate::ft::multistep`], so a fault *during
+//!   multiplication* is repaired by a weighted combination of surviving
+//!   leaf products — eliminating the recomputation that a linear-only
+//!   scheme needs there.
+//!
+//! Additional processors: `f·(2k−1) + f`. Overheads stay `(1 + o(1))` in
+//! `F`, `BW`, and `L` (Theorem 5.2) — the Table 1/2 experiments measure
+//! exactly this.
+//!
+//! Fault labels: the linear labels (`lin-entry-{d}`, `lin-eval-{d}`,
+//! `lin-up-{d}`) for eval/interp-phase faults, `leaf-mult` for
+//! multiplication-phase faults on data ranks, and `ms-extra-mult` for the
+//! extra ranks.
+
+use crate::bilinear::ToomPlan;
+use crate::ft::linear::{solve_ft, Ctx, LeafMode, LinearFtConfig, Role};
+use crate::ft::multistep::{leaf_recovery, redundant_eval_slice, MultistepConfig};
+use crate::lazy;
+use crate::parallel::{
+    assemble_product, local_digit_slice, tags, ParallelConfig, ParallelOutcome,
+};
+use ft_algebra::points::eval_matrix_multi;
+use ft_bigint::BigInt;
+use ft_codes::ErasureCode;
+use ft_machine::{Env, Fate, FaultPlan, Machine, MachineConfig, ToomGrid};
+
+/// Configuration of the combined algorithm.
+#[derive(Debug, Clone)]
+pub struct CombinedConfig {
+    /// The underlying parallel configuration (`dfs_steps` must be 0).
+    pub base: ParallelConfig,
+    /// Fault tolerance `f`.
+    pub f: usize,
+    /// Coordinate bound for the §6.2 redundant-point search.
+    pub search_bound: i64,
+}
+
+impl CombinedConfig {
+    /// Build with the default search bound.
+    #[must_use]
+    pub fn new(base: ParallelConfig, f: usize) -> CombinedConfig {
+        CombinedConfig { base, f, search_bound: 6 }
+    }
+
+    /// Total machine size: `P + f·(2k−1) + f`.
+    #[must_use]
+    pub fn processors(&self) -> usize {
+        self.base.processors() + self.extra_processors()
+    }
+
+    /// Additional processors: `f·(2k−1)` linear code ranks + `f` redundant
+    /// leaf ranks.
+    #[must_use]
+    pub fn extra_processors(&self) -> usize {
+        self.f * self.base.q() + self.f
+    }
+
+    /// Machine rank of redundant-leaf processor `x` (`x < f`).
+    #[must_use]
+    pub fn extra_rank(&self, x: usize) -> usize {
+        self.base.processors() + self.f * self.base.q() + x
+    }
+}
+
+/// Run the combined fault-tolerant parallel Toom-Cook.
+#[must_use]
+pub fn run_combined_ft(
+    a: &BigInt,
+    b: &BigInt,
+    cfg: &CombinedConfig,
+    faults: FaultPlan,
+) -> ParallelOutcome {
+    assert!(cfg.base.dfs_steps == 0, "combined coding runs the unlimited-memory layout");
+    assert!(cfg.base.bfs_steps >= 1);
+    let p = cfg.base.processors();
+    let q = cfg.base.q();
+    let k = cfg.base.k;
+    let m = cfg.base.bfs_steps;
+    let total = cfg.processors();
+    let n_bits = a.bit_length().max(b.bit_length()).max(1);
+    let digits = cfg.base.digits_for(n_bits);
+    let sign = a.sign().mul(b.sign());
+    let (aa, bb) = (a.abs(), b.abs());
+
+    // Multistep geometry for the multiplication-phase code.
+    let ms = MultistepConfig {
+        base: cfg.base.clone(),
+        f: cfg.f,
+        search_bound: cfg.search_bound,
+    };
+    let points = ms.all_points();
+    let eval = eval_matrix_multi(&points, q, m);
+    let leaf_len = digits / k.pow(m as u32);
+    let prod_len = 2 * leaf_len - 1;
+
+    // Leaf victims (poly-coded recovery); leaf index space: 0..P are
+    // standard leaves (rank == leaf), P..P+f are the extra leaves.
+    let mut leaf_victims: Vec<usize> = faults
+        .victims_at("leaf-mult")
+        .into_iter()
+        .filter(|&r| r < p)
+        .collect();
+    leaf_victims.extend(
+        faults
+            .victims_at("ms-extra-mult")
+            .into_iter()
+            .filter(|&r| r >= p)
+            .map(|r| p + (r - cfg.extra_rank(0))),
+    );
+    leaf_victims.sort_unstable();
+    leaf_victims.dedup();
+    assert!(leaf_victims.len() <= cfg.f, "more leaf victims than redundancy f");
+    let chosen: Vec<usize> = (0..p + cfg.f)
+        .filter(|l| !leaf_victims.contains(l))
+        .take(p)
+        .collect();
+    let leaf_to_rank = |l: usize| if l < p { l } else { cfg.extra_rank(l - p) };
+
+    // Linear-code context (reuses the §4.1 machinery verbatim).
+    let lin_cfg = LinearFtConfig { base: cfg.base.clone(), f: cfg.f };
+
+    let mut mcfg = MachineConfig::new(total).with_faults(faults);
+    mcfg.cost = cfg.base.cost;
+    mcfg.memory_limit = cfg.base.memory_limit;
+    mcfg.trace = cfg.base.trace;
+    let machine = Machine::new(mcfg);
+    let _ = ToomPlan::shared(k); // pre-warm (cost accounting)
+
+    let report = machine.run(|env| {
+        let ctx = Ctx {
+            cfg: &lin_cfg,
+            grid: ToomGrid::new(p, q),
+            plan: ToomPlan::shared(k),
+            code: ErasureCode::new(p / q, cfg.f),
+        };
+        let rank = env.rank();
+        if rank < p {
+            // Data rank: feed the redundant leaves, then run the
+            // linear-coded traversal with the poly-coded leaf hook.
+            let my_a = local_digit_slice(&aa, cfg.base.digit_bits, digits, rank, p);
+            let my_b = local_digit_slice(&bb, cfg.base.digit_bits, digits, rank, p);
+            for (x, z) in points[p..].iter().enumerate() {
+                let mut payload = redundant_eval_slice(&my_a, z, k, m, leaf_len, rank, p);
+                payload.extend(redundant_eval_slice(&my_b, z, k, m, leaf_len, rank, p));
+                env.send(cfg.extra_rank(x), tags::REDUNDANT + x as u64, &payload);
+            }
+            let hook = |env: &Env, mut prod: Vec<BigInt>| {
+                leaf_recovery(
+                    env,
+                    &eval,
+                    &leaf_victims,
+                    &chosen,
+                    &mut prod,
+                    prod_len,
+                    &leaf_to_rank,
+                );
+                prod
+            };
+            solve_ft(
+                env,
+                &ctx,
+                Role::Data,
+                my_a,
+                my_b,
+                digits,
+                0,
+                &LeafMode::Hook(&hook),
+            )
+        } else if rank < p + cfg.f * q {
+            // Linear code rank.
+            let idx = rank - p;
+            let role = Role::Code { row: idx / q, col: idx % q };
+            let len = digits / p;
+            let hook = |_: &Env, prod: Vec<BigInt>| prod;
+            solve_ft(
+                env,
+                &ctx,
+                role,
+                vec![BigInt::zero(); len],
+                vec![BigInt::zero(); len],
+                digits,
+                0,
+                &LeafMode::Hook(&hook),
+            )
+        } else {
+            // Redundant leaf rank (multistep extra).
+            let x = rank - cfg.extra_rank(0);
+            let mut va = vec![BigInt::zero(); leaf_len];
+            let mut vb = vec![BigInt::zero(); leaf_len];
+            for src in 0..p {
+                let mut payload = env.recv(src, tags::REDUNDANT + x as u64);
+                let half = payload.split_off(payload.len() / 2);
+                for (i, v) in payload.into_iter().enumerate() {
+                    va[i * p + src] = v;
+                }
+                for (i, v) in half.into_iter().enumerate() {
+                    vb[i * p + src] = v;
+                }
+            }
+            let (va, vb) = if env.fault_point("ms-extra-mult") == Fate::Reborn {
+                (vec![BigInt::zero(); leaf_len], vec![BigInt::zero(); leaf_len])
+            } else {
+                (va, vb)
+            };
+            let mut prod = lazy::poly_mul_toom(&va, &vb, &ctx.plan, 1);
+            leaf_recovery(
+                env,
+                &eval,
+                &leaf_victims,
+                &chosen,
+                &mut prod,
+                prod_len,
+                &leaf_to_rank,
+            );
+            Vec::new()
+        }
+    });
+
+    let product = assemble_product(&report.results[..p], digits, cfg.base.digit_bits, sign, p);
+    ParallelOutcome { product, report, digits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn random_pair(bits: u64, seed: u64) -> (BigInt, BigInt) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (
+            BigInt::random_bits(&mut rng, bits),
+            BigInt::random_bits(&mut rng, bits),
+        )
+    }
+
+    fn cfg(k: usize, m: usize, f: usize) -> CombinedConfig {
+        CombinedConfig::new(ParallelConfig::new(k, m), f)
+    }
+
+    #[test]
+    fn processor_accounting() {
+        let c = cfg(3, 2, 2);
+        assert_eq!(c.extra_processors(), 2 * 5 + 2);
+        assert_eq!(c.processors(), 25 + 12);
+    }
+
+    #[test]
+    fn no_faults_still_correct() {
+        let (a, b) = random_pair(2500, 1);
+        let out = run_combined_ft(&a, &b, &cfg(2, 1, 1), FaultPlan::none());
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn eval_phase_fault_uses_linear_code() {
+        let (a, b) = random_pair(2500, 2);
+        let plan = FaultPlan::none().kill(1, "lin-eval-0");
+        let out = run_combined_ft(&a, &b, &cfg(2, 1, 1), plan);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+        assert_eq!(out.report.total_deaths(), 1);
+    }
+
+    #[test]
+    fn mult_phase_fault_uses_polynomial_code() {
+        let (a, b) = random_pair(2500, 3);
+        let plan = FaultPlan::none().kill(2, "leaf-mult");
+        let out = run_combined_ft(&a, &b, &cfg(2, 1, 1), plan);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+        assert_eq!(out.report.total_deaths(), 1);
+    }
+
+    #[test]
+    fn interp_phase_fault_uses_linear_code() {
+        let (a, b) = random_pair(2500, 4);
+        let plan = FaultPlan::none().kill(0, "lin-up-0");
+        let out = run_combined_ft(&a, &b, &cfg(2, 1, 1), plan);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn faults_in_both_phase_families() {
+        // One eval-phase fault (linear recovery) and one mult-phase fault
+        // (polynomial recovery) in the same run, f = 2.
+        let (a, b) = random_pair(3000, 5);
+        let plan = FaultPlan::none()
+            .kill(3, "lin-entry-0")
+            .kill(7, "leaf-mult");
+        let out = run_combined_ft(&a, &b, &cfg(2, 2, 2), plan);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+        assert_eq!(out.report.total_deaths(), 2);
+    }
+
+    #[test]
+    fn two_steps_mult_fault() {
+        let (a, b) = random_pair(3000, 6);
+        let plan = FaultPlan::none().kill(4, "leaf-mult");
+        let out = run_combined_ft(&a, &b, &cfg(2, 2, 1), plan);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn tc3_each_leaf_survivable() {
+        let (a, b) = random_pair(3500, 7);
+        for victim in 0..5 {
+            let plan = FaultPlan::none().kill(victim, "leaf-mult");
+            let out = run_combined_ft(&a, &b, &cfg(3, 1, 1), plan);
+            assert_eq!(out.product, a.mul_schoolbook(&b), "victim={victim}");
+        }
+    }
+
+    #[test]
+    fn extra_rank_fault_tolerated() {
+        let (a, b) = random_pair(2500, 8);
+        let c = cfg(2, 1, 1);
+        let plan = FaultPlan::none().kill(c.extra_rank(0), "ms-extra-mult");
+        let out = run_combined_ft(&a, &b, &c, plan);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+}

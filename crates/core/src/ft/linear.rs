@@ -1,0 +1,778 @@
+//! Linear coding for the evaluation and interpolation phases (§4.1,
+//! Figure 1).
+//!
+//! The grid gains `f` extra rows of code processors — `f·(2k−1)` in total,
+//! code processor `(i, j)` sitting under column `j`. At every BFS step
+//! boundary each column's data is freshly encoded onto its `f` code
+//! processors with the systematic Vandermonde code of §2.5 (a weighted
+//! reduce per code row, cost `O(f·M)` — Lemma 2.5). Because evaluation is
+//! linear and every column member performs the *same* local operations,
+//! code processors that simply mimic those operations keep holding valid
+//! codewords ("the code is preserved"); this module exercises exactly that
+//! property: the post-evaluation fault boundary recovers from *mimicked*
+//! code state with no re-encoding.
+//!
+//! The multiplication phase is **not** protected by the linear code (inner
+//! products break linearity): a fault there is repaired by decoding the
+//! leaf inputs and **recomputing** the whole leaf product — the expensive
+//! recovery of Birnbaum et al. that the paper's polynomial code
+//! eliminates (compare [`crate::ft::poly`] / [`crate::ft::combined`]).
+//!
+//! Fault-point labels (usable in [`FaultPlan`]):
+//! `lin-entry-{depth}` (BFS step entry), `lin-eval-{depth}` (after local
+//! evaluation, recovery from mimicked code), `lin-up-{depth}` (up-step
+//! entry), `lin-leaf` (leaf entry / multiplication phase — survivors
+//! decode, victim recomputes).
+//!
+//! Failure detection is by plan oracle; victim sets are taken as the union
+//! over occurrences of a label, which at worst recovers a live rank with
+//! its own data (a no-op) — see DESIGN.md.
+
+use crate::bilinear::ToomPlan;
+use crate::lazy;
+use crate::parallel::{
+    assemble_product, local_digit_slice, merge_residue_pieces, residue_subslice, slice_words,
+    ParallelConfig, ParallelOutcome,
+};
+use ft_algebra::Rational;
+use ft_bigint::BigInt;
+use ft_codes::ErasureCode;
+use ft_machine::collectives::weighted_reduce_external;
+use ft_machine::{Env, Fate, FaultPlan, Machine, MachineConfig, ToomGrid};
+
+/// Configuration: the underlying parallel run plus the fault tolerance `f`.
+#[derive(Debug, Clone)]
+pub struct LinearFtConfig {
+    /// The underlying parallel Toom-Cook configuration.
+    pub base: ParallelConfig,
+    /// Number of tolerated faults `f` (per column, per phase).
+    pub f: usize,
+}
+
+impl LinearFtConfig {
+    /// Total machine size: `P` data ranks + `f·(2k−1)` code ranks.
+    #[must_use]
+    pub fn processors(&self) -> usize {
+        self.base.processors() + self.extra_processors()
+    }
+
+    /// Additional processors: `f·(2k−1)` (the Table 1/2 column).
+    #[must_use]
+    pub fn extra_processors(&self) -> usize {
+        self.f * self.base.q()
+    }
+
+    /// Rank of code processor `(code_row, col)`.
+    #[must_use]
+    pub fn code_rank(&self, code_row: usize, col: usize) -> usize {
+        self.base.processors() + code_row * self.base.q() + col
+    }
+}
+
+/// This rank's role in the extended grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Role {
+    /// Ordinary data processor.
+    Data,
+    /// Code processor in code row `row` under column `col`.
+    Code {
+        /// Code row index in `0..f`.
+        row: usize,
+        /// Grid column this code processor protects.
+        col: usize,
+    },
+}
+
+/// Per-run immutable context shared by the traversal.
+pub(crate) struct Ctx<'a> {
+    pub(crate) cfg: &'a LinearFtConfig,
+    pub(crate) grid: ToomGrid,
+    pub(crate) plan: std::sync::Arc<ToomPlan>,
+    pub(crate) code: ErasureCode,
+}
+
+impl Ctx<'_> {
+    fn p(&self) -> usize {
+        self.cfg.base.processors()
+    }
+    /// Data members of column `col` at BFS step `step`, ascending.
+    fn col_members(&self, col: usize, step: usize) -> Vec<usize> {
+        (0..self.p())
+            .filter(|&r| self.grid.digit(r, step) == col)
+            .collect()
+    }
+}
+
+/// Boundary kinds (used in tag construction and staleness rules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kind {
+    Entry,
+    Eval,
+    Up,
+    Leaf,
+    /// After the leaf product is computed: a fault here loses the product
+    /// and forces the victim to decode its inputs and recompute.
+    LeafPost,
+}
+
+impl Kind {
+    fn index(self) -> u64 {
+        match self {
+            Kind::Entry => 0,
+            Kind::Eval => 1,
+            Kind::Up => 2,
+            Kind::Leaf => 3,
+            Kind::LeafPost => 4,
+        }
+    }
+    fn label(self, depth: usize) -> String {
+        match self {
+            Kind::Entry => format!("lin-entry-{depth}"),
+            Kind::Eval => format!("lin-eval-{depth}"),
+            Kind::Up => format!("lin-up-{depth}"),
+            Kind::Leaf => "lin-leaf".to_string(),
+            Kind::LeafPost => "lin-leaf-post".to_string(),
+        }
+    }
+}
+
+fn boundary_tag(kind: Kind, depth: usize, code_row: usize, col: usize) -> u64 {
+    crate::parallel::tags::CODE
+        + kind.index() * 1_000_000
+        + depth as u64 * 10_000
+        + code_row as u64 * 100
+        + col as u64
+}
+
+fn recover_tag(kind: Kind, depth: usize, victim: usize) -> u64 {
+    crate::parallel::tags::RECOVER
+        + kind.index() * 1_000_000
+        + depth as u64 * 10_000
+        + victim as u64
+}
+
+/// Code rows of column `col` with valid state at this boundary: all rows
+/// except those that die at this label, and (for the no-re-encode Eval
+/// boundary) those that died at the matching Entry label and hold garbage.
+fn live_parity_rows(env: &Env, ctx: &Ctx, kind: Kind, depth: usize, col: usize) -> Vec<usize> {
+    let dead_here = env.fault_plan().victims_at(&kind.label(depth));
+    let dead_stale: Vec<usize> = match kind {
+        // No re-encode happened since the matching fresh-encode boundary:
+        // code processors that died there hold garbage.
+        Kind::Eval => env.fault_plan().victims_at(&Kind::Entry.label(depth)),
+        Kind::LeafPost => env.fault_plan().victims_at(&Kind::Leaf.label(depth)),
+        _ => Vec::new(),
+    };
+    (0..ctx.cfg.f)
+        .map(|i| (i, ctx.cfg.code_rank(i, col)))
+        .filter(|(_, r)| !dead_here.contains(r) && !dead_stale.contains(r))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// One coded fault boundary: (optionally) encode each column's state onto
+/// its code processors, pass the fault point, then jointly recover every
+/// planned victim in this column by a weighted reduce with exact rational
+/// decode weights.
+///
+/// `state` is this rank's current state (uniform length across the column;
+/// callers pad ragged slices). Data ranks pass their state; code ranks pass
+/// their coded state (`skip_encode` boundaries) or receive a fresh encoding.
+#[allow(clippy::too_many_arguments)]
+fn coded_boundary(
+    env: &Env,
+    ctx: &Ctx,
+    kind: Kind,
+    depth: usize,
+    step: usize,
+    role: Role,
+    col: usize,
+    state: &mut Vec<BigInt>,
+    skip_encode: bool,
+) {
+    let members = ctx.col_members(col, step);
+    let len = state.len();
+
+    // --- 1. Code creation (unless the code is preserved from mimicry).
+    if !skip_encode {
+        for i in 0..ctx.cfg.f {
+            let root = ctx.cfg.code_rank(i, col);
+            let tag = boundary_tag(kind, depth, i, col);
+            match role {
+                Role::Data => {
+                    let _ = weighted_reduce_external(
+                        env,
+                        &members,
+                        root,
+                        Some(&state[..]),
+                        len,
+                        &|pos| BigInt::from(i as u64 + 1).pow(pos as u32),
+                        tag,
+                    );
+                }
+                Role::Code { row, .. } if row == i => {
+                    *state = weighted_reduce_external(
+                        env,
+                        &members,
+                        root,
+                        None,
+                        len,
+                        &|pos| BigInt::from(i as u64 + 1).pow(pos as u32),
+                        tag,
+                    )
+                    .expect("code root receives encoding");
+                }
+                Role::Code { .. } => {}
+            }
+        }
+    }
+
+    // --- 2. The fault point. A victim loses its state.
+    let label = kind.label(depth);
+    if env.fault_point(&label) == Fate::Reborn {
+        state.iter_mut().for_each(|x| *x = BigInt::zero());
+    }
+
+    // --- 3. Recovery of planned victims in this column.
+    let all_victims = env.fault_plan().victims_at(&label);
+    let victims: Vec<usize> = members
+        .iter()
+        .copied()
+        .filter(|r| all_victims.contains(r))
+        .collect();
+    if victims.is_empty() {
+        return;
+    }
+    let parity_rows = live_parity_rows(env, ctx, kind, depth, col);
+    assert!(
+        victims.len() <= parity_rows.len(),
+        "{} faults exceed surviving parity {} in column {col}",
+        victims.len(),
+        parity_rows.len()
+    );
+    let erased: Vec<usize> = victims
+        .iter()
+        .map(|v| members.iter().position(|m| m == v).unwrap())
+        .collect();
+    let surviving_data: Vec<usize> = (0..members.len()).filter(|p| !erased.contains(p)).collect();
+    let parity_used: Vec<usize> = parity_rows[..victims.len()].to_vec();
+    let weights = ctx
+        .code
+        .recovery_weights(&surviving_data, &parity_used, &erased);
+
+    // Sources in weight-column order: parity rows first, then survivors.
+    let sources: Vec<usize> = parity_used
+        .iter()
+        .map(|&i| ctx.cfg.code_rank(i, col))
+        .chain(surviving_data.iter().map(|&p| members[p]))
+        .collect();
+
+    for (t, &victim) in victims.iter().enumerate() {
+        // Common denominator for this victim's weight row.
+        let mut delta = BigInt::one();
+        for c in 0..weights.cols() {
+            delta = delta.lcm(weights[(t, c)].denom());
+        }
+        let int_weights: Vec<BigInt> = (0..weights.cols())
+            .map(|c| {
+                let w: &Rational = &weights[(t, c)];
+                w.numer() * &delta.div_exact(w.denom())
+            })
+            .collect();
+        let tag = recover_tag(kind, depth, victim);
+        if env.rank() == victim {
+            let summed = weighted_reduce_external(
+                env,
+                &sources,
+                victim,
+                None,
+                len,
+                &|pos| int_weights[pos].clone(),
+                tag,
+            )
+            .expect("victim receives recovery");
+            *state = summed.into_iter().map(|x| x.div_exact(&delta)).collect();
+        } else if sources.contains(&env.rank()) {
+            let _ = weighted_reduce_external(
+                env,
+                &sources,
+                victim,
+                Some(&state[..]),
+                len,
+                &|pos| int_weights[pos].clone(),
+                tag,
+            );
+        }
+    }
+}
+
+/// How the multiplication phase is protected.
+pub(crate) enum LeafMode<'h> {
+    /// §4.1 behaviour: encode leaf inputs; a leaf fault decodes them and
+    /// recomputes the product (expensive).
+    LinearRecompute,
+    /// §5.2 behaviour: leaf faults are handled by a polynomial-code hook
+    /// (no linear leaf encoding, no recomputation).
+    Hook(crate::parallel::LeafHook<'h>),
+}
+
+/// Concatenate two equal-role vectors into one boundary state.
+fn concat(a: &[BigInt], b: &[BigInt]) -> Vec<BigInt> {
+    let mut v = Vec::with_capacity(a.len() + b.len());
+    v.extend_from_slice(a);
+    v.extend_from_slice(b);
+    v
+}
+
+/// The fault-tolerant traversal. Mirrors [`crate::parallel::solve`] with
+/// coded boundaries; code processors traverse the same tree, mimicking the
+/// linear phases on coded state.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_ft(
+    env: &Env,
+    ctx: &Ctx,
+    role: Role,
+    mut a: Vec<BigInt>,
+    mut b: Vec<BigInt>,
+    level_len: usize,
+    depth: usize,
+    leaf: &LeafMode,
+) -> Vec<BigInt> {
+    let cfg = &ctx.cfg.base;
+    let k = cfg.k;
+    let q = cfg.q();
+    let dfs = cfg.dfs_steps;
+    let m = cfg.bfs_steps;
+    let p_total = cfg.processors();
+    let plan = &ctx.plan;
+
+    if depth < dfs {
+        // DFS step: local; code processors mimic (linearity preserves the
+        // code through DFS evaluation).
+        env.note_memory(slice_words(&[&a, &b]));
+        let ea = lazy::eval_step(plan.eval_matrix(), &a, k);
+        let eb = lazy::eval_step(plan.eval_matrix(), &b, k);
+        drop(a);
+        drop(b);
+        let lambda = level_len / k;
+        let mut prods: Vec<Vec<BigInt>> = Vec::with_capacity(q);
+        for j in 0..q {
+            prods.push(solve_ft(
+                env, ctx, role, ea[j].clone(), eb[j].clone(), lambda, depth + 1, leaf,
+            ));
+        }
+        drop(ea);
+        drop(eb);
+        let (p, g) = match role {
+            Role::Data => (env.rank() % p_total, p_total),
+            Role::Code { .. } => (0, p_total),
+        };
+        let out = crate::parallel::interp_slices(
+            plan.interp_matrix(),
+            &prods,
+            lambda,
+            level_len,
+            p,
+            g,
+        );
+        return out;
+    }
+
+    if depth < dfs + m {
+        let step = depth - dfs;
+        let g = q.pow((m - step) as u32);
+        let gp = g / q;
+        let (p, my_col, row): (usize, usize, Vec<usize>) = match role {
+            Role::Data => {
+                let p = env.rank() % g;
+                (
+                    p,
+                    p / gp.max(1),
+                    ctx.grid.row_group(env.rank(), step),
+                )
+            }
+            Role::Code { row: crow, col } => {
+                // Code row: the q code processors of this code row.
+                (0, col, (0..q).map(|j| ctx.cfg.code_rank(crow, j)).collect())
+            }
+        };
+        env.note_memory(slice_words(&[&a, &b]));
+
+        // ---- Entry boundary: fresh code creation + fault + recovery.
+        let mut state = concat(&a, &b);
+        let alen = a.len();
+        coded_boundary(env, ctx, Kind::Entry, depth, step, role, my_col, &mut state, false);
+        let bpart = state.split_off(alen);
+        a = state;
+        b = bpart;
+
+        // ---- Evaluation (data and code alike — mimicry).
+        let ea = lazy::eval_step(plan.eval_matrix(), &a, k);
+        let eb = lazy::eval_step(plan.eval_matrix(), &b, k);
+        drop(a);
+        drop(b);
+
+        // ---- Eval boundary: NO re-encoding — the mimicked code is valid.
+        let mut estate: Vec<BigInt> = ea.iter().flatten().cloned().collect();
+        let eb_flat: Vec<BigInt> = eb.iter().flatten().cloned().collect();
+        let ealen = estate.len();
+        let chunk = ea[0].len();
+        estate.extend(eb_flat);
+        drop(ea);
+        drop(eb);
+        coded_boundary(env, ctx, Kind::Eval, depth, step, role, my_col, &mut estate, true);
+        let eb_flat = estate.split_off(ealen);
+        let ea: Vec<Vec<BigInt>> = estate.chunks(chunk).map(<[BigInt]>::to_vec).collect();
+        let eb: Vec<Vec<BigInt>> = eb_flat.chunks(chunk).map(<[BigInt]>::to_vec).collect();
+
+        // ---- Down exchange (data rows only; code rows carry on with
+        // their own coded next-level state being irrelevant — it is
+        // refreshed at the next boundary).
+        let lambda = level_len / k;
+        let (next_a, next_b) = match role {
+            Role::Data => {
+                for (t, &peer) in row.iter().enumerate() {
+                    if t == my_col {
+                        continue;
+                    }
+                    let mut payload = ea[t].clone();
+                    payload.extend_from_slice(&eb[t]);
+                    env.send(peer, crate::parallel::tags::DOWN + depth as u64, &payload);
+                }
+                let mut pieces_a: Vec<Vec<BigInt>> = vec![Vec::new(); q];
+                let mut pieces_b: Vec<Vec<BigInt>> = vec![Vec::new(); q];
+                for (t, &peer) in row.iter().enumerate() {
+                    let (pa, pb) = if peer == env.rank() {
+                        (ea[my_col].clone(), eb[my_col].clone())
+                    } else {
+                        let mut payload =
+                            env.recv(peer, crate::parallel::tags::DOWN + depth as u64);
+                        let pb = payload.split_off(payload.len() / 2);
+                        (payload, pb)
+                    };
+                    pieces_a[t] = pa;
+                    pieces_b[t] = pb;
+                }
+                (
+                    merge_residue_pieces(&pieces_a, lambda.div_ceil(gp.max(1))),
+                    merge_residue_pieces(&pieces_b, lambda.div_ceil(gp.max(1))),
+                )
+            }
+            Role::Code { .. } => {
+                // Structural placeholder with the data ranks' slice length.
+                let next_len = lambda / gp.max(1);
+                (vec![BigInt::zero(); next_len], vec![BigInt::zero(); next_len])
+            }
+        };
+
+        // ---- Recurse.
+        let mut sub_prod = solve_ft(env, ctx, role, next_a, next_b, lambda, depth + 1, leaf);
+
+        // ---- Up boundary: fresh encode of the sub-product (padded to a
+        // uniform per-column length, then truncated back).
+        let pad_len = (2 * lambda - 1).div_ceil(gp.max(1));
+        let true_len = sub_prod.len();
+        sub_prod.resize(pad_len, BigInt::zero());
+        coded_boundary(env, ctx, Kind::Up, depth, step, role, my_col, &mut sub_prod, false);
+        sub_prod.truncate(match role {
+            Role::Data => {
+                let pp = env.rank() % gp.max(1);
+                let full = 2 * lambda - 1;
+                if pp >= full { 0 } else { (full - pp).div_ceil(gp.max(1)) }
+            }
+            Role::Code { .. } => true_len,
+        });
+
+        // ---- Up exchange + interpolation (data only).
+        return match role {
+            Role::Data => {
+                for (t, &peer) in row.iter().enumerate() {
+                    if t == my_col {
+                        continue;
+                    }
+                    env.send(
+                        peer,
+                        crate::parallel::tags::UP + depth as u64,
+                        &residue_subslice(&sub_prod, q, t),
+                    );
+                }
+                let mut col_slices: Vec<Vec<BigInt>> = vec![Vec::new(); q];
+                for (t, &peer) in row.iter().enumerate() {
+                    col_slices[t] = if peer == env.rank() {
+                        residue_subslice(&sub_prod, q, my_col)
+                    } else {
+                        env.recv(peer, crate::parallel::tags::UP + depth as u64)
+                    };
+                }
+                drop(sub_prod);
+                crate::parallel::interp_slices(
+                    plan.interp_matrix(),
+                    &col_slices,
+                    lambda,
+                    level_len,
+                    p,
+                    g,
+                )
+            }
+            Role::Code { .. } => {
+                let full = 2 * level_len - 1;
+                vec![BigInt::zero(); full.div_ceil(g)]
+            }
+        };
+    }
+
+    // ---- Leaf: the multiplication phase.
+    env.note_memory(slice_words(&[&a, &b]));
+    match leaf {
+        LeafMode::LinearRecompute => {
+            // §4.1: encode the leaf inputs; a fault here is recovered by
+            // decoding them and *recomputing* the product.
+            let step = m.saturating_sub(1); // column geometry of the last BFS step
+            let my_col = match role {
+                Role::Data => {
+                    if m == 0 {
+                        0
+                    } else {
+                        ctx.grid.digit(env.rank(), step)
+                    }
+                }
+                Role::Code { col, .. } => col,
+            };
+            let mut state = concat(&a, &b);
+            let alen = a.len();
+            drop(a);
+            drop(b);
+            coded_boundary(env, ctx, Kind::Leaf, depth, step, role, my_col, &mut state, false);
+            let b = state.split_off(alen);
+            let a = state;
+            let prod = match role {
+                Role::Data => lazy::poly_mul_toom(&a, &b, plan, 1),
+                Role::Code { .. } => vec![BigInt::zero(); 2 * level_len - 1],
+            };
+            // Post-multiplication fault: the product AND the inputs are
+            // lost; decode the inputs from the (still valid) leaf code and
+            // RECOMPUTE — the expensive recovery the polynomial code
+            // avoids.
+            let post_victims = env.fault_plan().victims_at("lin-leaf-post");
+            if post_victims.is_empty() {
+                return prod;
+            }
+            let mut state = concat(&a, &b);
+            drop(a);
+            drop(b);
+            coded_boundary(env, ctx, Kind::LeafPost, depth, step, role, my_col, &mut state, true);
+            let reborn_here = post_victims.contains(&env.rank());
+            let b = state.split_off(alen);
+            let a = state;
+            match role {
+                Role::Data if reborn_here => lazy::poly_mul_toom(&a, &b, plan, 1),
+                _ => prod,
+            }
+        }
+        LeafMode::Hook(hook) => match role {
+            Role::Data => {
+                let (a, b) = if env.fault_point("leaf-mult") == ft_machine::Fate::Reborn {
+                    (
+                        vec![BigInt::zero(); a.len()],
+                        vec![BigInt::zero(); b.len()],
+                    )
+                } else {
+                    (a, b)
+                };
+                let prod = lazy::poly_mul_toom(&a, &b, plan, 1);
+                hook(env, prod)
+            }
+            Role::Code { .. } => vec![BigInt::zero(); 2 * level_len - 1],
+        },
+    }
+}
+
+/// Run fault-tolerant parallel Toom-Cook with linear coding.
+///
+/// Inject faults at the `lin-entry-{depth}` / `lin-eval-{depth}` /
+/// `lin-up-{depth}` / `lin-leaf` labels of [`FaultPlan`]. At most `f`
+/// victims per column per boundary.
+#[must_use]
+pub fn run_linear_ft(
+    a: &BigInt,
+    b: &BigInt,
+    cfg: &LinearFtConfig,
+    faults: FaultPlan,
+) -> ParallelOutcome {
+    let p = cfg.base.processors();
+    let q = cfg.base.q();
+    assert!(cfg.base.bfs_steps >= 1, "linear FT needs at least one BFS step (a grid)");
+    let total = cfg.processors();
+    let n_bits = a.bit_length().max(b.bit_length()).max(1);
+    let digits = cfg.base.digits_for(n_bits);
+    let sign = a.sign().mul(b.sign());
+    let (aa, bb) = (a.abs(), b.abs());
+
+    let mut mcfg = MachineConfig::new(total).with_faults(faults);
+    mcfg.cost = cfg.base.cost;
+    mcfg.memory_limit = cfg.base.memory_limit;
+    mcfg.trace = cfg.base.trace;
+    let machine = Machine::new(mcfg);
+    let _ = ToomPlan::shared(cfg.base.k); // pre-warm (cost accounting)
+
+    let report = machine.run(|env| {
+        let ctx = Ctx {
+            cfg,
+            grid: ToomGrid::new(p, q),
+            plan: ToomPlan::shared(cfg.base.k),
+            code: ErasureCode::new(p / q.min(p), cfg.f),
+        };
+        let rank = env.rank();
+        if rank < p {
+            let my_a = local_digit_slice(&aa, cfg.base.digit_bits, digits, rank, p);
+            let my_b = local_digit_slice(&bb, cfg.base.digit_bits, digits, rank, p);
+            solve_ft(env, &ctx, Role::Data, my_a, my_b, digits, 0, &LeafMode::LinearRecompute)
+        } else {
+            let idx = rank - p;
+            let role = Role::Code { row: idx / q, col: idx % q };
+            // Code processors start with zero state of the data slice
+            // length; the first entry boundary provides their encoding.
+            let len = digits / p;
+            solve_ft(
+                env,
+                &ctx,
+                role,
+                vec![BigInt::zero(); len],
+                vec![BigInt::zero(); len],
+                digits,
+                0,
+                &LeafMode::LinearRecompute,
+            )
+        }
+    });
+
+    let product = assemble_product(&report.results[..p], digits, cfg.base.digit_bits, sign, p);
+    ParallelOutcome { product, report, digits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn random_pair(bits: u64, seed: u64) -> (BigInt, BigInt) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (
+            BigInt::random_bits(&mut rng, bits),
+            BigInt::random_bits(&mut rng, bits),
+        )
+    }
+
+    fn cfg(k: usize, m: usize, f: usize) -> LinearFtConfig {
+        LinearFtConfig { base: ParallelConfig::new(k, m), f }
+    }
+
+    #[test]
+    fn no_faults_still_correct() {
+        let (a, b) = random_pair(2000, 1);
+        let out = run_linear_ft(&a, &b, &cfg(2, 1, 1), FaultPlan::none());
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+        assert_eq!(out.report.total_deaths(), 0);
+    }
+
+    #[test]
+    fn extra_processor_count_is_f_times_q() {
+        let c = cfg(3, 2, 2);
+        assert_eq!(c.extra_processors(), 2 * 5);
+        assert_eq!(c.processors(), 25 + 10);
+    }
+
+    #[test]
+    fn recover_fault_at_step_entry() {
+        let (a, b) = random_pair(2000, 2);
+        let plan = FaultPlan::none().kill(1, "lin-entry-0");
+        let out = run_linear_ft(&a, &b, &cfg(2, 1, 1), plan);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+        assert_eq!(out.report.total_deaths(), 1);
+    }
+
+    #[test]
+    fn recover_fault_after_evaluation_from_mimicked_code() {
+        // The §4.1 preservation property: no re-encoding happened between
+        // entry and eval; recovery must come from the mimicked code state.
+        let (a, b) = random_pair(2000, 3);
+        let plan = FaultPlan::none().kill(2, "lin-eval-0");
+        let out = run_linear_ft(&a, &b, &cfg(2, 1, 1), plan);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+        assert_eq!(out.report.total_deaths(), 1);
+    }
+
+    #[test]
+    fn recover_fault_at_up_step() {
+        let (a, b) = random_pair(2000, 4);
+        let plan = FaultPlan::none().kill(0, "lin-up-0");
+        let out = run_linear_ft(&a, &b, &cfg(2, 1, 1), plan);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn recover_mult_phase_fault_by_recomputation() {
+        let (a, b) = random_pair(2000, 5);
+        let plan = FaultPlan::none().kill(1, "lin-leaf");
+        let out = run_linear_ft(&a, &b, &cfg(2, 1, 1), plan);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn tc3_all_ranks_survivable() {
+        let (a, b) = random_pair(3000, 6);
+        for victim in 0..5 {
+            let plan = FaultPlan::none().kill(victim, "lin-entry-0");
+            let out = run_linear_ft(&a, &b, &cfg(3, 1, 1), plan);
+            assert_eq!(out.product, a.mul_schoolbook(&b), "victim={victim}");
+        }
+    }
+
+    #[test]
+    fn two_faults_same_column_with_f2() {
+        // P=9, k=2, columns at step 0 = {ranks ≡ col (digit 0)}: column of
+        // rank 0 at step 0 is {0,1,2} (digit 0 = 0 → ranks 0..3).
+        let (a, b) = random_pair(2500, 7);
+        let plan = FaultPlan::none()
+            .kill(0, "lin-entry-0")
+            .kill(1, "lin-entry-0");
+        let out = run_linear_ft(&a, &b, &cfg(2, 2, 2), plan);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+        assert_eq!(out.report.total_deaths(), 2);
+    }
+
+    #[test]
+    fn faults_in_different_columns_and_depths() {
+        let (a, b) = random_pair(2500, 8);
+        let plan = FaultPlan::none()
+            .kill(0, "lin-entry-0")
+            .kill(4, "lin-entry-1")
+            .kill(7, "lin-up-0");
+        let out = run_linear_ft(&a, &b, &cfg(2, 2, 1), plan);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+        assert_eq!(out.report.total_deaths(), 3);
+    }
+
+    #[test]
+    fn code_processor_death_is_tolerated() {
+        let (a, b) = random_pair(2000, 9);
+        // Rank 3 = first code processor for k=2, m=1 (P=3).
+        let plan = FaultPlan::none().kill(3, "lin-up-0");
+        let out = run_linear_ft(&a, &b, &cfg(2, 1, 1), plan);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn overhead_is_small_without_faults() {
+        let (a, b) = random_pair(30_000, 10);
+        let base = crate::parallel::run_parallel(&a, &b, &ParallelConfig::new(3, 1));
+        let ft = run_linear_ft(&a, &b, &cfg(3, 1, 1), FaultPlan::none());
+        assert_eq!(ft.product, base.product);
+        let f0 = base.report.critical_path().f as f64;
+        let f1 = ft.report.critical_path().f as f64;
+        assert!(
+            f1 < 1.6 * f0,
+            "fault-free arithmetic overhead should be small: base={f0} ft={f1}"
+        );
+    }
+}

@@ -1,0 +1,429 @@
+//! Multi-step traversal polynomial coding (§4.3, §6, Figure 3).
+//!
+//! All `m` BFS steps are combined into one traversal: the `P = (2k−1)^m`
+//! leaf sub-problems correspond to the multivariate evaluation points
+//! `S^m` (Claim 2.1), and the polynomial code adds `f` **redundant
+//! multivariate points** in `(2k−1, m)`-general position (Definition 6.1),
+//! found with the §6.2 heuristic over small integer points (Claim 6.5
+//! guarantees they exist). Each redundant point costs only **one** extra
+//! processor — `f·P/(2k−1)^l` of Figure 3 with `l = m` — realizing the
+//! paper's unlimited-memory note in Theorem 5.2 ("reduces the number of
+//! additional processors to `f`").
+//!
+//! Mechanics:
+//!
+//! - every data rank contributes its locally-owned digit terms of the
+//!   redundant evaluations `v_{a,z}, v_{b,z}` (pure local arithmetic plus
+//!   one slice message per redundant point — `O(f·n/P)` overhead);
+//! - each extra rank assembles its evaluations and computes its leaf
+//!   product alongside the standard leaves;
+//! - a leaf lost to a `leaf-mult` fault is reconstructed as a rational
+//!   combination of any `P` surviving leaf products (standard or
+//!   redundant): `P_dead = E_dead · E_chosen⁻¹ · P_chosen`, executed as a
+//!   weighted reduce with exact scaled-integer weights. **No
+//!   recomputation** — this is precisely the cost the paper's code saves
+//!   versus linear-coding-only schemes;
+//! - the standard BFS up-phase then proceeds unchanged.
+
+use crate::bilinear::ToomPlan;
+use crate::lazy;
+use crate::parallel::{
+    assemble_product, local_digit_slice, slice_words, solve_with_leaf_hook, tags,
+    ParallelConfig, ParallelOutcome,
+};
+use crate::points::classic_points;
+use ft_algebra::points::{eval_matrix_multi, find_redundant_points};
+use ft_algebra::{MPoint, Matrix, Rational};
+use ft_bigint::BigInt;
+use ft_machine::collectives::weighted_reduce_external;
+use ft_machine::{Env, Fate, FaultPlan, Machine, MachineConfig};
+
+/// Configuration for the multistep-coded run.
+#[derive(Debug, Clone)]
+pub struct MultistepConfig {
+    /// The underlying parallel configuration (`dfs_steps` must be 0).
+    pub base: ParallelConfig,
+    /// Number of tolerated leaf faults `f` (= redundant points = extra
+    /// processors).
+    pub f: usize,
+    /// Coordinate bound for the redundant-point search (§6.2 heuristic).
+    pub search_bound: i64,
+}
+
+impl MultistepConfig {
+    /// Default search bound.
+    #[must_use]
+    pub fn new(base: ParallelConfig, f: usize) -> MultistepConfig {
+        MultistepConfig { base, f, search_bound: 6 }
+    }
+
+    /// Total machine size: `P` data ranks + `f` extra ranks.
+    #[must_use]
+    pub fn processors(&self) -> usize {
+        self.base.processors() + self.f
+    }
+
+    /// Additional processors: exactly `f` (Figure 3 with `l = m`).
+    #[must_use]
+    pub fn extra_processors(&self) -> usize {
+        self.f
+    }
+
+    /// The multivariate evaluation point of each leaf: rank `r`'s leaf is
+    /// the evaluation at `(S[digit_0(r)], …, S[digit_{m−1}(r)])`, where
+    /// `digit_v` reads `r` in base `2k−1`, most significant first.
+    #[must_use]
+    pub fn leaf_points(&self) -> Vec<MPoint> {
+        let q = self.base.q();
+        let m = self.base.bfs_steps;
+        let s = classic_points(self.base.k);
+        (0..self.base.processors())
+            .map(|r| {
+                let coords = (0..m)
+                    .map(|v| s[(r / q.pow((m - 1 - v) as u32)) % q])
+                    .collect();
+                MPoint::new(coords)
+            })
+            .collect()
+    }
+
+    /// Leaf points plus the `f` redundant points from the §6.2 heuristic.
+    #[must_use]
+    pub fn all_points(&self) -> Vec<MPoint> {
+        let mut pts = self.leaf_points();
+        let extra = find_redundant_points(
+            &pts,
+            self.base.q(),
+            self.base.bfs_steps,
+            self.f,
+            self.search_bound,
+        );
+        pts.extend(extra);
+        pts
+    }
+}
+
+/// The recovery weights for one dead leaf: `E_dead · E_chosen⁻¹` as exact
+/// rationals over the chosen surviving leaves.
+fn leaf_recovery_weights(
+    eval: &Matrix<BigInt>,
+    chosen: &[usize],
+    dead: usize,
+) -> Vec<Rational> {
+    let e_chosen = eval.select_rows(chosen).to_rational();
+    let inv = e_chosen
+        .inverse()
+        .expect("chosen leaves are in general position");
+    let dead_row: Vec<Rational> = (0..eval.cols())
+        .map(|j| Rational::from_int(eval[(dead, j)].clone()))
+        .collect();
+    // w = dead_row · inv  (row vector times matrix).
+    (0..inv.cols())
+        .map(|c| {
+            let mut acc = Rational::zero();
+            for (j, d) in dead_row.iter().enumerate() {
+                acc = &acc + &(d * &inv[(j, c)]);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Reconstruct dead leaf products (shared by data victims, survivors, and
+/// extra ranks): for each victim, a weighted reduce of the chosen surviving
+/// leaf products with exact scaled-integer weights.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn leaf_recovery(
+    env: &Env,
+    eval: &Matrix<BigInt>,
+    victims: &[usize],
+    chosen: &[usize],
+    my_prod: &mut Vec<BigInt>,
+    prod_len: usize,
+    leaf_to_rank: &dyn Fn(usize) -> usize,
+) {
+    // `victims` and `chosen` are leaf indices; translate to machine ranks.
+    let sources: Vec<usize> = chosen.iter().map(|&l| leaf_to_rank(l)).collect();
+    for &victim_leaf in victims {
+        let victim = leaf_to_rank(victim_leaf);
+        let am_source = sources.contains(&env.rank());
+        let am_victim = env.rank() == victim;
+        if !am_source && !am_victim {
+            continue;
+        }
+        let weights = leaf_recovery_weights(eval, chosen, victim_leaf);
+        let mut delta = BigInt::one();
+        for w in &weights {
+            delta = delta.lcm(w.denom());
+        }
+        let int_weights: Vec<BigInt> = weights
+            .iter()
+            .map(|w| w.numer() * &delta.div_exact(w.denom()))
+            .collect();
+        let tag = tags::RECOVER + victim_leaf as u64;
+        if am_victim {
+            let summed = weighted_reduce_external(
+                env,
+                &sources,
+                victim,
+                None,
+                prod_len,
+                &|pos| int_weights[pos].clone(),
+                tag,
+            )
+            .expect("victim receives recovered leaf product");
+            *my_prod = summed.into_iter().map(|x| x.div_exact(&delta)).collect();
+        } else {
+            let _ = weighted_reduce_external(
+                env,
+                &sources,
+                victim,
+                Some(&my_prod[..]),
+                prod_len,
+                &|pos| int_weights[pos].clone(),
+                tag,
+            );
+        }
+    }
+}
+
+/// Run multistep-coded fault-tolerant parallel Toom-Cook. Inject faults at
+/// `leaf-mult` (standard leaves, ranks `< P`) or `ms-extra-mult` (extra
+/// ranks); at most `f` victims in total.
+#[must_use]
+pub fn run_multistep_ft(
+    a: &BigInt,
+    b: &BigInt,
+    cfg: &MultistepConfig,
+    faults: FaultPlan,
+) -> ParallelOutcome {
+    assert!(cfg.base.dfs_steps == 0, "multistep coding combines all BFS steps");
+    assert!(cfg.base.bfs_steps >= 1, "multistep coding needs at least one BFS step");
+    let p = cfg.base.processors();
+    let k = cfg.base.k;
+    let m = cfg.base.bfs_steps;
+    let total = cfg.processors();
+    let n_bits = a.bit_length().max(b.bit_length()).max(1);
+    let digits = cfg.base.digits_for(n_bits);
+    let sign = a.sign().mul(b.sign());
+    let (aa, bb) = (a.abs(), b.abs());
+
+    // Evaluation geometry, shared by all ranks (computed once, outside the
+    // cost measurement — it depends only on (k, m, f), not on the input).
+    let points = cfg.all_points();
+    let eval = eval_matrix_multi(&points, cfg.base.q(), m);
+    let leaf_len = digits / k.pow(m as u32);
+    let prod_len = 2 * leaf_len - 1;
+
+    // Victim sets (deterministic from the plan).
+    let mut victims: Vec<usize> = faults.specs().iter().map(|s| s.rank).collect();
+    victims.sort_unstable();
+    victims.dedup();
+    assert!(victims.len() <= cfg.f, "more victims than redundancy f");
+    let chosen: Vec<usize> = (0..total)
+        .filter(|r| !victims.contains(r))
+        .take(p)
+        .collect();
+
+    let mut mcfg = MachineConfig::new(total).with_faults(faults);
+    mcfg.cost = cfg.base.cost;
+    mcfg.memory_limit = cfg.base.memory_limit;
+    mcfg.trace = cfg.base.trace;
+    let machine = Machine::new(mcfg);
+    let _ = ToomPlan::shared(k); // pre-warm (cost accounting)
+
+    let report = machine.run(|env| {
+        let plan = ToomPlan::shared(k);
+        let rank = env.rank();
+        if rank < p {
+            // ---- Data rank: contribute to redundant evaluations, then run
+            // the standard BFS traversal with the recovery leaf hook.
+            let my_a = local_digit_slice(&aa, cfg.base.digit_bits, digits, rank, p);
+            let my_b = local_digit_slice(&bb, cfg.base.digit_bits, digits, rank, p);
+            env.note_memory(slice_words(&[&my_a, &my_b]));
+            for (x, z) in points[p..].iter().enumerate() {
+                let extra_rank = p + x;
+                let mut payload =
+                    redundant_eval_slice(&my_a, z, k, m, leaf_len, rank, p);
+                payload.extend(redundant_eval_slice(&my_b, z, k, m, leaf_len, rank, p));
+                env.send(extra_rank, tags::REDUNDANT + x as u64, &payload);
+            }
+            let hook = |env: &Env, mut prod: Vec<BigInt>| {
+                leaf_recovery(env, &eval, &victims, &chosen, &mut prod, prod_len, &|l| l);
+                prod
+            };
+            let group: Vec<usize> = (0..p).collect();
+            solve_with_leaf_hook(
+                env, &cfg.base, &plan, &group, my_a, my_b, digits, 0, Some(&hook),
+            )
+        } else {
+            // ---- Extra rank: assemble my redundant evaluations, multiply,
+            // then serve as a recovery source.
+            let x = rank - p;
+            let mut va = vec![BigInt::zero(); leaf_len];
+            let mut vb = vec![BigInt::zero(); leaf_len];
+            for src in 0..p {
+                let mut payload = env.recv(src, tags::REDUNDANT + x as u64);
+                let half = payload.split_off(payload.len() / 2);
+                for (i, v) in payload.into_iter().enumerate() {
+                    va[i * p + src] = v;
+                }
+                for (i, v) in half.into_iter().enumerate() {
+                    vb[i * p + src] = v;
+                }
+            }
+            env.note_memory(slice_words(&[&va, &vb]));
+            let (va, vb) = if env.fault_point("ms-extra-mult") == Fate::Reborn {
+                (vec![BigInt::zero(); leaf_len], vec![BigInt::zero(); leaf_len])
+            } else {
+                (va, vb)
+            };
+            let mut prod = lazy::poly_mul_toom(&va, &vb, &plan, 1);
+            leaf_recovery(env, &eval, &victims, &chosen, &mut prod, prod_len, &|l| l);
+            Vec::new() // extra ranks hold no share of the final output
+        }
+    });
+
+    let product = assemble_product(&report.results[..p], digits, cfg.base.digit_bits, sign, p);
+    ParallelOutcome { product, report, digits }
+}
+
+/// This rank's contribution to the redundant evaluation `v_z`: for each
+/// owned leaf offset `r ≡ rank (mod P)`, the full sum
+/// `Σ_{i_0..i_{m−1}} Π_v z_v^{i_v} · digits[u(i, r)]` — every term is
+/// locally owned because each block stride `D/k^{v+1}` is divisible by `P`.
+pub(crate) fn redundant_eval_slice(
+    my_slice: &[BigInt],
+    z: &MPoint,
+    k: usize,
+    m: usize,
+    leaf_len: usize,
+    rank: usize,
+    p: usize,
+) -> Vec<BigInt> {
+    let digits_total = my_slice.len() * p; // exact: p | D
+    // Precompute the weight of each block tuple: Π_v monomial(z_v, i_v).
+    let blocks = k.pow(m as u32);
+    let weights: Vec<BigInt> = (0..blocks)
+        .map(|mut idx| {
+            let mut w = BigInt::one();
+            // idx decomposes with i_{m−1} fastest (innermost split).
+            for v in (0..m).rev() {
+                let i_v = idx % k;
+                idx /= k;
+                w = &w * &z.coords()[v].monomial(k - 1, i_v);
+            }
+            w
+        })
+        .collect();
+    let mut out = Vec::with_capacity(leaf_len.div_ceil(p));
+    let mut r = rank;
+    while r < leaf_len {
+        let mut acc = BigInt::zero();
+        for (bidx, w) in weights.iter().enumerate() {
+            if w.is_zero() {
+                continue;
+            }
+            // u = Σ_v i_v · D/k^{v+1} + r, with i_{m−1} the fastest digit
+            // of bidx — equivalently u = bidx·leaf_len + r… only when the
+            // strides nest exactly, which they do: D/k^{v+1} strides are
+            // the mixed-radix places of (i_0…i_{m−1}) over leaf_len.
+            let u = bidx * leaf_len + r;
+            debug_assert!(u < digits_total);
+            // Owned: u ≡ r ≡ rank (mod p).
+            acc += &(w * &my_slice[u / p]);
+        }
+        out.push(acc);
+        r += p;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_algebra::points::in_general_position;
+    use rand::SeedableRng;
+
+    fn random_pair(bits: u64, seed: u64) -> (BigInt, BigInt) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (
+            BigInt::random_bits(&mut rng, bits),
+            BigInt::random_bits(&mut rng, bits),
+        )
+    }
+
+    fn cfg(k: usize, m: usize, f: usize) -> MultistepConfig {
+        MultistepConfig::new(ParallelConfig::new(k, m), f)
+    }
+
+    #[test]
+    fn extra_processors_is_exactly_f() {
+        let c = cfg(2, 2, 2);
+        assert_eq!(c.extra_processors(), 2);
+        assert_eq!(c.processors(), 9 + 2);
+    }
+
+    #[test]
+    fn point_set_is_general_position() {
+        let c = cfg(2, 2, 2);
+        let pts = c.all_points();
+        assert_eq!(pts.len(), 9 + 2);
+        assert!(in_general_position(&pts, 3, 2));
+    }
+
+    #[test]
+    fn no_faults_still_correct() {
+        let (a, b) = random_pair(2500, 1);
+        let out = run_multistep_ft(&a, &b, &cfg(2, 1, 1), FaultPlan::none());
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn no_faults_two_steps() {
+        let (a, b) = random_pair(3000, 2);
+        let out = run_multistep_ft(&a, &b, &cfg(2, 2, 2), FaultPlan::none());
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn leaf_fault_recovered_without_recomputation() {
+        let (a, b) = random_pair(2500, 3);
+        for victim in 0..3 {
+            let plan = FaultPlan::none().kill(victim, "leaf-mult");
+            let out = run_multistep_ft(&a, &b, &cfg(2, 1, 1), plan);
+            assert_eq!(out.product, a.mul_schoolbook(&b), "victim={victim}");
+            assert_eq!(out.report.total_deaths(), 1);
+        }
+    }
+
+    #[test]
+    fn two_leaf_faults_two_steps() {
+        let (a, b) = random_pair(3000, 4);
+        let plan = FaultPlan::none()
+            .kill(1, "leaf-mult")
+            .kill(7, "leaf-mult");
+        let out = run_multistep_ft(&a, &b, &cfg(2, 2, 2), plan);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+        assert_eq!(out.report.total_deaths(), 2);
+    }
+
+    #[test]
+    fn extra_rank_fault_tolerated() {
+        // If an extra rank dies, its redundant product is simply unused
+        // (chosen set picks the P surviving standard leaves).
+        let (a, b) = random_pair(2500, 5);
+        let c = cfg(2, 1, 1);
+        let plan = FaultPlan::none().kill(3, "ms-extra-mult");
+        let out = run_multistep_ft(&a, &b, &c, plan);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn tc3_one_step() {
+        let (a, b) = random_pair(4000, 6);
+        let plan = FaultPlan::none().kill(2, "leaf-mult");
+        let out = run_multistep_ft(&a, &b, &cfg(3, 1, 2), plan);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+}

@@ -1,0 +1,431 @@
+//! Polynomial coding for the multiplication phase (§4.2, Figure 2).
+//!
+//! The first BFS step runs with `f` **redundant evaluation points**
+//! (`2k−1+f` in total): `f` extra columns of `P/(2k−1)` processors each
+//! compute the sub-products at the redundant points, exactly like the
+//! standard columns. Because the point-products *are* evaluations of the
+//! product polynomial, any `2k−1` surviving columns suffice: the final
+//! interpolation matrix is built **on the fly** from the surviving points
+//! (Alg. of §4.2, "the interpolation matrix is calculated on the fly
+//! according to the evaluation points of the finished sub-problems").
+//!
+//! Fault model: when a processor of a column faults anywhere after the
+//! first split — during the nested BFS steps or the local multiplication —
+//! the **whole column is halted** (its members skip the recursion) and no
+//! recovery traffic ever flows; the cost of fault tolerance is only the
+//! redundant columns' work. This is what eliminates the recomputation
+//! penalty of linear-coding-only schemes.
+//!
+//! Inject faults with the single label `poly-halt`: any planned victim
+//! (data or redundant rank) halts its top-level column. At most `f`
+//! distinct columns may be hit.
+
+use crate::bilinear::{interpolation_from_survivors, ToomPlan};
+use crate::lazy;
+use crate::parallel::{
+    interp_slices, local_digit_slice, merge_residue_pieces, residue_subslice, slice_words,
+    solve, tags, ParallelConfig, ParallelOutcome,
+};
+use crate::points::{classic_points, extend_points};
+use ft_algebra::points::eval_matrix;
+use ft_bigint::{BigInt, Sign};
+use ft_machine::{FaultPlan, Machine, MachineConfig};
+
+/// Configuration: the underlying parallel run plus the redundancy `f`.
+#[derive(Debug, Clone)]
+pub struct PolyFtConfig {
+    /// The underlying parallel Toom-Cook configuration (`dfs_steps` must be
+    /// 0: the polynomial code extends the *first* BFS split).
+    pub base: ParallelConfig,
+    /// Number of tolerated column faults `f` (= redundant points).
+    pub f: usize,
+}
+
+impl PolyFtConfig {
+    /// Total machine size: `P` data ranks + `f·P/(2k−1)` redundant ranks.
+    #[must_use]
+    pub fn processors(&self) -> usize {
+        self.base.processors() + self.extra_processors()
+    }
+
+    /// Additional processors: `f·P/(2k−1)` (Figure 2).
+    #[must_use]
+    pub fn extra_processors(&self) -> usize {
+        self.f * self.base.processors() / self.base.q()
+    }
+
+    /// Machine rank of member `t` of redundant column `col` (`col ≥ 2k−1`).
+    #[must_use]
+    pub fn redundant_rank(&self, col: usize, t: usize) -> usize {
+        let gp = self.base.processors() / self.base.q();
+        self.base.processors() + (col - self.base.q()) * gp + t
+    }
+
+    /// The column (in `0..2k−1+f`) a machine rank belongs to.
+    #[must_use]
+    pub fn column_of(&self, rank: usize) -> usize {
+        let p = self.base.processors();
+        let gp = p / self.base.q();
+        if rank < p {
+            rank / gp
+        } else {
+            self.base.q() + (rank - p) / gp
+        }
+    }
+
+    /// Machine ranks of column `col`, ascending.
+    #[must_use]
+    pub fn column_members(&self, col: usize) -> Vec<usize> {
+        let gp = self.base.processors() / self.base.q();
+        if col < self.base.q() {
+            (col * gp..(col + 1) * gp).collect()
+        } else {
+            (0..gp).map(|t| self.redundant_rank(col, t)).collect()
+        }
+    }
+
+    /// Columns halted by the fault plan (any victim kills its column) plus
+    /// any explicitly excluded columns (straggler mitigation: a delayed
+    /// column is simply dropped), and the `2k−1` surviving columns chosen
+    /// for interpolation (lowest indices first — every rank derives the
+    /// same choice from the plan).
+    #[must_use]
+    pub fn dead_and_chosen(
+        &self,
+        faults: &FaultPlan,
+        excluded: &[usize],
+    ) -> (Vec<usize>, Vec<usize>) {
+        let mut dead: Vec<usize> = faults
+            .specs()
+            .iter()
+            .map(|s| self.column_of(s.rank))
+            .chain(excluded.iter().copied())
+            .collect();
+        dead.sort_unstable();
+        dead.dedup();
+        assert!(
+            dead.len() <= self.f,
+            "{} faulty columns exceed redundancy f={}",
+            dead.len(),
+            self.f
+        );
+        let chosen: Vec<usize> = (0..self.base.q() + self.f)
+            .filter(|c| !dead.contains(c))
+            .take(self.base.q())
+            .collect();
+        (dead, chosen)
+    }
+}
+
+/// Run fault-tolerant parallel Toom-Cook with the polynomial code.
+#[must_use]
+pub fn run_poly_ft(
+    a: &BigInt,
+    b: &BigInt,
+    cfg: &PolyFtConfig,
+    faults: FaultPlan,
+) -> ParallelOutcome {
+    run_poly_ft_excluding(a, b, cfg, faults, &[], &[])
+}
+
+/// [`run_poly_ft`] with straggler mitigation and delay faults: columns in
+/// `excluded` are treated as halted (their work is simply not waited for —
+/// the §7 "delay faults" discussion), and `slowdowns` installs machine
+/// delay factors so the modeled time shows what dropping the straggler
+/// saves.
+#[must_use]
+pub fn run_poly_ft_excluding(
+    a: &BigInt,
+    b: &BigInt,
+    cfg: &PolyFtConfig,
+    faults: FaultPlan,
+    excluded: &[usize],
+    slowdowns: &[(usize, u64)],
+) -> ParallelOutcome {
+    assert!(cfg.base.dfs_steps == 0, "polynomial code extends the first BFS split");
+    assert!(cfg.base.bfs_steps >= 1, "polynomial code needs at least one BFS step");
+    let p = cfg.base.processors();
+    let q = cfg.base.q();
+    let k = cfg.base.k;
+    let gp = p / q;
+    let total = cfg.processors();
+    let n_bits = a.bit_length().max(b.bit_length()).max(1);
+    let digits = cfg.base.digits_for(n_bits);
+    let sign = a.sign().mul(b.sign());
+    let (aa, bb) = (a.abs(), b.abs());
+
+    let ext_points = extend_points(&classic_points(k), cfg.f);
+    let ext_eval = eval_matrix(&ext_points, k);
+    let (_, chosen) = cfg.dead_and_chosen(&faults, excluded);
+
+    let mut mcfg = MachineConfig::new(total).with_faults(faults);
+    mcfg.slowdowns = slowdowns.to_vec();
+    mcfg.cost = cfg.base.cost;
+    mcfg.memory_limit = cfg.base.memory_limit;
+    mcfg.trace = cfg.base.trace;
+    let machine = Machine::new(mcfg);
+    let _ = ToomPlan::shared(k); // pre-warm (cost accounting)
+
+    let report = machine.run(|env| {
+        let plan = ToomPlan::shared(k);
+        let rank = env.rank();
+        let my_col = cfg.column_of(rank);
+        let lambda = digits / k;
+        let is_data = rank < p;
+        let sub_pos = if is_data { rank % gp } else { (rank - p) % gp };
+
+        // ---- Step-0 down phase.
+        // Data ranks evaluate their cyclic slice at all 2k−1+f points and
+        // feed both the standard row exchange and the redundant columns.
+        let mut next_a: Vec<BigInt>;
+        let mut next_b: Vec<BigInt>;
+        if is_data {
+            let my_a = local_digit_slice(&aa, cfg.base.digit_bits, digits, rank, p);
+            let my_b = local_digit_slice(&bb, cfg.base.digit_bits, digits, rank, p);
+            env.note_memory(slice_words(&[&my_a, &my_b]));
+            let ea = lazy::eval_step(&ext_eval, &my_a, k);
+            let eb = lazy::eval_step(&ext_eval, &my_b, k);
+            // Standard row = data ranks sharing my sub-position.
+            let row: Vec<usize> = (0..q).map(|j| j * gp + sub_pos).collect();
+            for (t, &peer) in row.iter().enumerate() {
+                if t == my_col {
+                    continue;
+                }
+                let mut payload = ea[t].clone();
+                payload.extend_from_slice(&eb[t]);
+                env.send(peer, tags::DOWN, &payload);
+            }
+            // Redundant columns: member sub_pos of R_j gets my piece of
+            // evaluation j (the extended-grid "row" of Figure 2).
+            for j in q..q + cfg.f {
+                let mut payload = ea[j].clone();
+                payload.extend_from_slice(&eb[j]);
+                env.send(cfg.redundant_rank(j, sub_pos), tags::REDUNDANT + j as u64, &payload);
+            }
+            let mut pieces_a: Vec<Vec<BigInt>> = vec![Vec::new(); q];
+            let mut pieces_b: Vec<Vec<BigInt>> = vec![Vec::new(); q];
+            for (t, &peer) in row.iter().enumerate() {
+                let (pa, pb) = if peer == rank {
+                    (ea[my_col].clone(), eb[my_col].clone())
+                } else {
+                    let mut payload = env.recv(peer, tags::DOWN);
+                    let pb = payload.split_off(payload.len() / 2);
+                    (payload, pb)
+                };
+                pieces_a[t] = pa;
+                pieces_b[t] = pb;
+            }
+            next_a = merge_residue_pieces(&pieces_a, lambda.div_ceil(gp));
+            next_b = merge_residue_pieces(&pieces_b, lambda.div_ceil(gp));
+        } else {
+            // Redundant rank: collect the q pieces of my column's
+            // evaluation from my extended row (data ranks ≡ sub_pos).
+            let mut pieces_a: Vec<Vec<BigInt>> = vec![Vec::new(); q];
+            let mut pieces_b: Vec<Vec<BigInt>> = vec![Vec::new(); q];
+            for c in 0..q {
+                let peer = c * gp + sub_pos;
+                let mut payload = env.recv(peer, tags::REDUNDANT + my_col as u64);
+                let pb = payload.split_off(payload.len() / 2);
+                pieces_a[c] = payload;
+                pieces_b[c] = pb;
+            }
+            next_a = merge_residue_pieces(&pieces_a, lambda.div_ceil(gp));
+            next_b = merge_residue_pieces(&pieces_b, lambda.div_ceil(gp));
+        }
+
+        // ---- Column halting (the §4.2 fault model + excluded stragglers).
+        let (dead_cols, chosen_cols) = cfg.dead_and_chosen(env.fault_plan(), excluded);
+        if env.fault_plan().is_victim(rank) {
+            env.fault_point("poly-halt");
+            next_a.clear();
+            next_b.clear();
+        }
+        if dead_cols.contains(&my_col) {
+            // Halted: skip the recursion and the final interpolation.
+            return Vec::new();
+        }
+
+        // ---- Nested recursion on my column's sub-problem (standard).
+        let group = cfg.column_members(my_col);
+        let sub_prod = solve(env, &cfg.base, &plan, &group, next_a, next_b, lambda, 1);
+
+        // ---- Step-0 up phase among the chosen surviving columns.
+        // Role index i = my column's rank within `chosen`; I produce the
+        // output slice of residue class i·g' + sub_pos (mod P).
+        // Surviving-but-unchosen columns (normally the redundant ones)
+        // have done their redundant work; they take no part in the final
+        // interpolation.
+        let Some(role) = chosen_cols.iter().position(|&c| c == my_col) else {
+            return Vec::new();
+        };
+        let up_row: Vec<usize> = chosen_cols
+            .iter()
+            .map(|&c| cfg.column_members(c)[sub_pos])
+            .collect();
+        for (i, &peer) in up_row.iter().enumerate() {
+            if i == role {
+                continue;
+            }
+            env.send(peer, tags::UP, &residue_subslice(&sub_prod, q, i));
+        }
+        let mut col_slices: Vec<Vec<BigInt>> = vec![Vec::new(); q];
+        for (i, &peer) in up_row.iter().enumerate() {
+            col_slices[i] = if peer == rank {
+                residue_subslice(&sub_prod, q, role)
+            } else {
+                env.recv(peer, tags::UP)
+            };
+        }
+        drop(sub_prod);
+
+        // On-the-fly interpolation from the surviving points.
+        let interp = interpolation_from_survivors(&ext_points, &chosen_cols, q);
+        interp_slices(&interp, &col_slices, lambda, digits, role * gp + sub_pos, p)
+    });
+
+    // ---- Assembly: residue class i·g' + t is held by member t of the
+    // i-th chosen column.
+    let out_len = 2 * digits - 1;
+    let mut vec = vec![BigInt::zero(); out_len];
+    for (u, slot) in vec.iter_mut().enumerate() {
+        let res = u % p;
+        let (i, t) = (res / gp, res % gp);
+        let holder = cfg.column_members(chosen[i])[t];
+        if let Some(v) = report.results[holder].get(u / p) {
+            *slot = v.clone();
+        }
+    }
+    let mag = BigInt::join_base_pow2(&vec, cfg.base.digit_bits);
+    let product = match sign {
+        Sign::Negative => -mag,
+        Sign::Zero => BigInt::zero(),
+        Sign::Positive => mag,
+    };
+    ParallelOutcome { product, report, digits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn random_pair(bits: u64, seed: u64) -> (BigInt, BigInt) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (
+            BigInt::random_bits(&mut rng, bits),
+            BigInt::random_bits(&mut rng, bits),
+        )
+    }
+
+    fn cfg(k: usize, m: usize, f: usize) -> PolyFtConfig {
+        PolyFtConfig { base: ParallelConfig::new(k, m), f }
+    }
+
+    #[test]
+    fn extra_processor_count_is_f_p_over_q() {
+        let c = cfg(3, 2, 2);
+        assert_eq!(c.extra_processors(), 2 * 25 / 5);
+        assert_eq!(c.processors(), 25 + 10);
+    }
+
+    #[test]
+    fn column_geometry() {
+        let c = cfg(2, 2, 1); // P=9, q=3, g'=3, one redundant column
+        assert_eq!(c.column_of(0), 0);
+        assert_eq!(c.column_of(8), 2);
+        assert_eq!(c.column_of(9), 3);
+        assert_eq!(c.column_members(3), vec![9, 10, 11]);
+        assert_eq!(c.column_members(1), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn no_faults_still_correct() {
+        let (a, b) = random_pair(2500, 1);
+        let out = run_poly_ft(&a, &b, &cfg(2, 1, 1), FaultPlan::none());
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn no_faults_tc3_two_steps() {
+        let (a, b) = random_pair(4000, 2);
+        let out = run_poly_ft(&a, &b, &cfg(3, 2, 2), FaultPlan::none());
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn mult_phase_fault_costs_no_recovery() {
+        // A fault during local multiplication: the column halts, the
+        // redundant column's product replaces it via on-the-fly
+        // interpolation — no recomputation, no recovery messages.
+        let (a, b) = random_pair(2500, 3);
+        for victim in 0..3 {
+            let plan = FaultPlan::none().kill(victim, "poly-halt");
+            let out = run_poly_ft(&a, &b, &cfg(2, 1, 1), plan);
+            assert_eq!(out.product, a.mul_schoolbook(&b), "victim={victim}");
+            assert_eq!(out.report.total_deaths(), 1);
+        }
+    }
+
+    #[test]
+    fn redundant_column_fault_is_also_tolerated() {
+        let (a, b) = random_pair(2500, 4);
+        let c = cfg(2, 1, 1);
+        let plan = FaultPlan::none().kill(3, "poly-halt"); // the extra rank
+        let out = run_poly_ft(&a, &b, &c, plan);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn nested_fault_halts_whole_column() {
+        // P = 9 (k=2, m=2): columns have 3 members; kill a member of
+        // column 1 — the interpolation must switch to the redundant column.
+        let (a, b) = random_pair(3000, 5);
+        let plan = FaultPlan::none().kill(4, "poly-halt");
+        let out = run_poly_ft(&a, &b, &cfg(2, 2, 1), plan);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn two_column_faults_with_f2() {
+        let (a, b) = random_pair(3000, 6);
+        let plan = FaultPlan::none()
+            .kill(0, "poly-halt")
+            .kill(2, "poly-halt");
+        let out = run_poly_ft(&a, &b, &cfg(2, 1, 2), plan);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+        assert_eq!(out.report.total_deaths(), 2);
+    }
+
+    #[test]
+    fn tc3_all_five_columns_survivable() {
+        let (a, b) = random_pair(4000, 7);
+        for victim in 0..5 {
+            let plan = FaultPlan::none().kill(victim, "poly-halt");
+            let out = run_poly_ft(&a, &b, &cfg(3, 1, 1), plan);
+            assert_eq!(out.product, a.mul_schoolbook(&b), "victim={victim}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_many_column_faults_rejected() {
+        let (a, b) = random_pair(1000, 8);
+        let plan = FaultPlan::none()
+            .kill(0, "poly-halt")
+            .kill(1, "poly-halt");
+        let _ = run_poly_ft(&a, &b, &cfg(2, 1, 1), plan);
+    }
+
+    #[test]
+    fn no_recovery_messages_on_mult_fault() {
+        // Compare traffic with and without a fault: the faulty run must
+        // not send MORE than the fault-free run (no recovery flows).
+        let (a, b) = random_pair(2500, 9);
+        let mut c = cfg(2, 1, 1);
+        c.base.trace = true;
+        let clean = run_poly_ft(&a, &b, &c, FaultPlan::none());
+        let faulty = run_poly_ft(&a, &b, &c, FaultPlan::none().kill(1, "poly-halt"));
+        assert_eq!(faulty.product, clean.product);
+        assert!(faulty.report.total_words() <= clean.report.total_words());
+    }
+}

@@ -1,0 +1,385 @@
+//! Distributed soft-fault tolerance (§7) on the polynomial-code layout.
+//!
+//! A *soft* fault silently corrupts a processor's output. With the §4.2
+//! layout — `2k−1+f` columns each computing the product evaluation at one
+//! point — the up-phase receives, per digit offset, a length-`(2k−1+f)`
+//! codeword of evaluations. Each output-role processor verifies the
+//! codeword's consistency (interpolate + re-evaluate); on a mismatch it
+//! locates the corrupted column(s) by consensus-subset search and
+//! interpolates from corrected values. Up to `⌊f/2⌋` corrupt columns are
+//! corrected, up to `f` detected — the standard MDS error bounds, here
+//! executed on the live distributed data path.
+//!
+//! Corruption is injected by a `SoftPlan`: the listed ranks add a non-zero
+//! perturbation to every entry of their column's sub-product (a silently
+//! miscalculating processor).
+
+use crate::bilinear::ToomPlan;
+use crate::lazy;
+use crate::parallel::{
+    interp_slices, local_digit_slice, merge_residue_pieces, residue_subslice, solve, tags,
+    ParallelOutcome,
+};
+use crate::points::{classic_points, extend_points};
+use crate::soft::{correct_products, SoftCheck};
+use ft_algebra::points::eval_matrix;
+use ft_bigint::{BigInt, Sign};
+use ft_machine::{FaultPlan, Machine, MachineConfig};
+
+use super::poly::PolyFtConfig;
+
+/// Soft-fault injection plan: each `(rank, delta)` makes that rank corrupt
+/// its sub-product by adding `delta` to every entry.
+#[derive(Debug, Clone, Default)]
+pub struct SoftPlan {
+    corruptions: Vec<(usize, i64)>,
+}
+
+impl SoftPlan {
+    /// No corruption.
+    #[must_use]
+    pub fn none() -> SoftPlan {
+        SoftPlan::default()
+    }
+
+    /// Make `rank` silently mis-compute by `delta ≠ 0`.
+    ///
+    /// # Panics
+    /// Panics if `delta == 0`.
+    #[must_use]
+    pub fn corrupt(mut self, rank: usize, delta: i64) -> SoftPlan {
+        assert!(delta != 0, "a zero perturbation is not a fault");
+        self.corruptions.push((rank, delta));
+        self
+    }
+
+    fn delta_for(&self, rank: usize) -> Option<i64> {
+        self.corruptions
+            .iter()
+            .find(|(r, _)| *r == rank)
+            .map(|(_, d)| *d)
+    }
+
+    /// Number of corrupted ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.corruptions.len()
+    }
+
+    /// `true` iff no corruption is planned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.corruptions.is_empty()
+    }
+}
+
+/// Outcome of a soft-verified distributed run.
+#[derive(Debug)]
+pub struct SoftOutcome {
+    /// The product and machine report.
+    pub outcome: ParallelOutcome,
+    /// Columns flagged as corrupt by at least one output-role processor.
+    pub detected_columns: Vec<usize>,
+    /// `true` iff every offset's codeword was consistent or corrected.
+    pub fully_corrected: bool,
+}
+
+/// Run the polynomial-code algorithm with per-offset soft-fault
+/// verification and correction in the final interpolation.
+#[must_use]
+pub fn run_poly_ft_soft(
+    a: &BigInt,
+    b: &BigInt,
+    cfg: &PolyFtConfig,
+    soft: &SoftPlan,
+) -> SoftOutcome {
+    assert!(cfg.base.dfs_steps == 0 && cfg.base.bfs_steps >= 1);
+    let p = cfg.base.processors();
+    let q = cfg.base.q();
+    let k = cfg.base.k;
+    let gp = p / q;
+    let total = cfg.processors();
+    let n_bits = a.bit_length().max(b.bit_length()).max(1);
+    let digits = cfg.base.digits_for(n_bits);
+    let sign = a.sign().mul(b.sign());
+    let (aa, bb) = (a.abs(), b.abs());
+
+    let ext_points = extend_points(&classic_points(k), cfg.f);
+    let ext_eval = eval_matrix(&ext_points, k);
+
+    let mut mcfg = MachineConfig::new(total).with_faults(FaultPlan::none());
+    mcfg.cost = cfg.base.cost;
+    mcfg.trace = cfg.base.trace;
+    let machine = Machine::new(mcfg);
+    let _ = ToomPlan::shared(k); // pre-warm (cost accounting)
+
+    let report = machine.run(|env| {
+        let plan = ToomPlan::shared(k);
+        let rank = env.rank();
+        let my_col = cfg.column_of(rank);
+        let lambda = digits / k;
+        let is_data = rank < p;
+        let sub_pos = if is_data { rank % gp } else { (rank - p) % gp };
+
+        // ---- Step-0 down phase (same as the hard-fault variant).
+        let (next_a, next_b) = if is_data {
+            let my_a = local_digit_slice(&aa, cfg.base.digit_bits, digits, rank, p);
+            let my_b = local_digit_slice(&bb, cfg.base.digit_bits, digits, rank, p);
+            let ea = lazy::eval_step(&ext_eval, &my_a, k);
+            let eb = lazy::eval_step(&ext_eval, &my_b, k);
+            let row: Vec<usize> = (0..q).map(|j| j * gp + sub_pos).collect();
+            for (t, &peer) in row.iter().enumerate() {
+                if t == my_col {
+                    continue;
+                }
+                let mut payload = ea[t].clone();
+                payload.extend_from_slice(&eb[t]);
+                env.send(peer, tags::DOWN, &payload);
+            }
+            for j in q..q + cfg.f {
+                let mut payload = ea[j].clone();
+                payload.extend_from_slice(&eb[j]);
+                env.send(cfg.redundant_rank(j, sub_pos), tags::REDUNDANT + j as u64, &payload);
+            }
+            let mut pieces_a: Vec<Vec<BigInt>> = vec![Vec::new(); q];
+            let mut pieces_b: Vec<Vec<BigInt>> = vec![Vec::new(); q];
+            for (t, &peer) in row.iter().enumerate() {
+                let (pa, pb) = if peer == rank {
+                    (ea[my_col].clone(), eb[my_col].clone())
+                } else {
+                    let mut payload = env.recv(peer, tags::DOWN);
+                    let pb = payload.split_off(payload.len() / 2);
+                    (payload, pb)
+                };
+                pieces_a[t] = pa;
+                pieces_b[t] = pb;
+            }
+            (
+                merge_residue_pieces(&pieces_a, lambda.div_ceil(gp)),
+                merge_residue_pieces(&pieces_b, lambda.div_ceil(gp)),
+            )
+        } else {
+            let mut pieces_a: Vec<Vec<BigInt>> = vec![Vec::new(); q];
+            let mut pieces_b: Vec<Vec<BigInt>> = vec![Vec::new(); q];
+            for c in 0..q {
+                let peer = c * gp + sub_pos;
+                let mut payload = env.recv(peer, tags::REDUNDANT + my_col as u64);
+                let pb = payload.split_off(payload.len() / 2);
+                pieces_a[c] = payload;
+                pieces_b[c] = pb;
+            }
+            (
+                merge_residue_pieces(&pieces_a, lambda.div_ceil(gp)),
+                merge_residue_pieces(&pieces_b, lambda.div_ceil(gp)),
+            )
+        };
+
+        // ---- Nested recursion; then SOFT corruption of the sub-product.
+        let group = cfg.column_members(my_col);
+        let mut sub_prod = solve(env, &cfg.base, &plan, &group, next_a, next_b, lambda, 1);
+        if let Some(delta) = soft.delta_for(rank) {
+            let d = BigInt::from(delta);
+            for v in &mut sub_prod {
+                *v += &d;
+            }
+        }
+
+        // ---- Soft-verified up phase: ALL q+f columns ship their residue
+        // sub-slices to the q output-role members (the standard columns).
+        let n_cols = q + cfg.f;
+        for i in 0..q {
+            let peer = cfg.column_members(i)[sub_pos];
+            if peer == rank {
+                continue;
+            }
+            env.send(peer, tags::UP + my_col as u64, &residue_subslice(&sub_prod, q, i));
+        }
+        if my_col >= q {
+            // Redundant columns contribute evaluations but hold no output.
+            return (Vec::new(), Vec::new());
+        }
+        let role = my_col;
+        let col_slices: Vec<Vec<BigInt>> = (0..n_cols)
+            .map(|c| {
+                let peer = cfg.column_members(c)[sub_pos];
+                if peer == rank {
+                    residue_subslice(&sub_prod, q, role)
+                } else {
+                    env.recv(peer, tags::UP + c as u64)
+                }
+            })
+            .collect();
+        drop(sub_prod);
+
+        // Per offset: verify / correct the (q+f)-long evaluation codeword.
+        let slice_len = col_slices[0].len();
+        let mut corrected_cols: Vec<usize> = Vec::new();
+        let mut all_ok = true;
+        let mut fixed_slices: Vec<Vec<BigInt>> = vec![Vec::with_capacity(slice_len); q];
+        let mut codeword = vec![BigInt::zero(); n_cols];
+        #[allow(clippy::needless_range_loop)] // e indexes every column's slice
+        for e in 0..slice_len {
+            for (c, slot) in codeword.iter_mut().enumerate() {
+                *slot = col_slices[c][e].clone();
+            }
+            let (fixed, check) = correct_products(&codeword, &ext_points, k);
+            let uncorrectable = match check {
+                SoftCheck::Consistent => false,
+                SoftCheck::Corrected(bad) => {
+                    for c in bad {
+                        if !corrected_cols.contains(&c) {
+                            corrected_cols.push(c);
+                        }
+                    }
+                    false
+                }
+                SoftCheck::Detected => {
+                    all_ok = false;
+                    true
+                }
+            };
+            for (slot, v) in fixed_slices.iter_mut().zip(fixed.iter().take(q)) {
+                // An uncorrectable offset cannot be exactly interpolated
+                // (the corruption breaks integrality); the product is
+                // untrusted anyway — substitute zero and keep the flag.
+                slot.push(if uncorrectable { BigInt::zero() } else { v.clone() });
+            }
+        }
+        corrected_cols.sort_unstable();
+
+        // Standard interpolation from the (corrected) first q columns.
+        let interp = plan.interp_matrix().clone();
+        let out = interp_slices(&interp, &fixed_slices, lambda, digits, role * gp + sub_pos, p);
+        let flags: Vec<BigInt> = corrected_cols
+            .iter()
+            .map(|&c| BigInt::from(c as u64))
+            .chain(std::iter::once(BigInt::from(u64::from(all_ok))))
+            .collect();
+        (out, flags)
+    });
+
+    // ---- Assembly + detection aggregation.
+    let out_len = 2 * digits - 1;
+    let mut vec = vec![BigInt::zero(); out_len];
+    let mut detected: Vec<usize> = Vec::new();
+    let mut fully = true;
+    for (rank, (slice, flags)) in report.results.iter().enumerate() {
+        if rank < p {
+            let res = rank; // role·gp + sub_pos == rank for standard cols
+            let mut u = res;
+            for v in slice {
+                if u < out_len {
+                    vec[u] = v.clone();
+                }
+                u += p;
+            }
+            if let Some((ok, cols)) = flags.split_last() {
+                if ok.is_zero() {
+                    fully = false;
+                }
+                for c in cols {
+                    let c = u64::try_from(c).unwrap() as usize;
+                    if !detected.contains(&c) {
+                        detected.push(c);
+                    }
+                }
+            }
+        }
+    }
+    detected.sort_unstable();
+    let mag = BigInt::join_base_pow2(&vec, cfg.base.digit_bits);
+    let product = match sign {
+        Sign::Negative => -mag,
+        Sign::Zero => BigInt::zero(),
+        Sign::Positive => mag,
+    };
+    SoftOutcome {
+        outcome: ParallelOutcome { product, report: strip_flags(report), digits },
+        detected_columns: detected,
+        fully_corrected: fully,
+    }
+}
+
+/// Convert the flagged report into the standard slice report.
+fn strip_flags(
+    report: ft_machine::RunReport<(Vec<BigInt>, Vec<BigInt>)>,
+) -> ft_machine::RunReport<Vec<BigInt>> {
+    ft_machine::RunReport {
+        results: report.results.into_iter().map(|(s, _)| s).collect(),
+        ranks: report.ranks,
+        trace: report.trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::ParallelConfig;
+    use rand::SeedableRng;
+
+    fn random_pair(bits: u64, seed: u64) -> (BigInt, BigInt) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (
+            BigInt::random_bits(&mut rng, bits),
+            BigInt::random_bits(&mut rng, bits),
+        )
+    }
+
+    fn cfg(k: usize, m: usize, f: usize) -> PolyFtConfig {
+        PolyFtConfig { base: ParallelConfig::new(k, m), f }
+    }
+
+    #[test]
+    fn clean_run_verifies() {
+        let (a, b) = random_pair(3_000, 1);
+        let out = run_poly_ft_soft(&a, &b, &cfg(2, 1, 2), &SoftPlan::none());
+        assert_eq!(out.outcome.product, a.mul_schoolbook(&b));
+        assert!(out.detected_columns.is_empty());
+        assert!(out.fully_corrected);
+    }
+
+    #[test]
+    fn single_corrupt_column_is_located_and_corrected() {
+        let (a, b) = random_pair(3_000, 2);
+        let expected = a.mul_schoolbook(&b);
+        for victim in 0..3 {
+            let soft = SoftPlan::none().corrupt(victim, 12_345);
+            let out = run_poly_ft_soft(&a, &b, &cfg(2, 1, 2), &soft);
+            assert_eq!(out.outcome.product, expected, "victim={victim}");
+            assert_eq!(out.detected_columns, vec![victim], "victim={victim}");
+            assert!(out.fully_corrected);
+        }
+    }
+
+    #[test]
+    fn corrupt_redundant_column_detected() {
+        let (a, b) = random_pair(3_000, 3);
+        let c = cfg(2, 1, 2);
+        let victim = 3; // first redundant rank (column 3)
+        let soft = SoftPlan::none().corrupt(victim, -7);
+        let out = run_poly_ft_soft(&a, &b, &c, &soft);
+        assert_eq!(out.outcome.product, a.mul_schoolbook(&b));
+        assert_eq!(out.detected_columns, vec![3]);
+    }
+
+    #[test]
+    fn detection_without_correction_at_f1() {
+        // f = 1 ⇒ detect but cannot correct: fully_corrected = false and
+        // the product is NOT trusted.
+        let (a, b) = random_pair(3_000, 4);
+        let soft = SoftPlan::none().corrupt(1, 999);
+        let out = run_poly_ft_soft(&a, &b, &cfg(2, 1, 1), &soft);
+        assert!(!out.fully_corrected, "f=1 can only detect");
+    }
+
+    #[test]
+    fn corrupt_column_in_nested_grid() {
+        let (a, b) = random_pair(4_000, 5);
+        let expected = a.mul_schoolbook(&b);
+        // P = 9, columns of 3; corrupt one member of column 1.
+        let soft = SoftPlan::none().corrupt(4, 31_337);
+        let out = run_poly_ft_soft(&a, &b, &cfg(2, 2, 2), &soft);
+        assert_eq!(out.outcome.product, expected);
+        assert_eq!(out.detected_columns, vec![1]);
+    }
+}

@@ -1,0 +1,277 @@
+//! Lazy-interpolation Toom-Cook (§2.3, Algorithm 2) and the digit-vector
+//! kernels shared with the parallel algorithm (§3).
+//!
+//! The inputs are split into `k^l` base-`2^w` digits **up front**; all
+//! recursion levels then operate on *digit vectors* (block polynomials)
+//! with no carry computation, and a single carry pass (`c = Σ c_u·B^u`)
+//! runs at the very end. Bermudo Mera et al. showed this preserves
+//! correctness and arithmetic complexity; it is also what makes the
+//! mid-computation data layout predictable enough to parallelize and to
+//! encode (the paper's §3–4 build directly on it).
+
+use crate::bilinear::ToomPlan;
+use ft_algebra::{Matrix, ScaledIntMatrix};
+use ft_bigint::{BigInt, Sign};
+
+/// Direct convolution of two digit vectors (the base case):
+/// `out[u] = Σ_{i+j=u} a[i]·b[j]`, length `|a|+|b|−1`.
+#[must_use]
+pub fn convolve(a: &[BigInt], b: &[BigInt]) -> Vec<BigInt> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![BigInt::zero(); a.len() + b.len() - 1];
+    for (i, x) in a.iter().enumerate() {
+        if x.is_zero() {
+            continue;
+        }
+        for (j, y) in b.iter().enumerate() {
+            out[i + j] += &(x * y);
+        }
+    }
+    out
+}
+
+/// One evaluation step on a digit vector (Alg. 2 line 6): view `v` as `k`
+/// blocks of `λ = |v|/k` and return, for each matrix row `j`, the block
+/// combination `out_j[r] = Σ_i eval[j,i] · v[i·λ + r]`.
+///
+/// Works for any row count — the polynomial code (§4.2) passes an extended
+/// `(2k−1+f)`-row matrix.
+///
+/// # Panics
+/// Panics unless `k` divides `|v|` and the matrix has `k` columns.
+#[must_use]
+pub fn eval_step(eval: &Matrix<BigInt>, v: &[BigInt], k: usize) -> Vec<Vec<BigInt>> {
+    assert_eq!(eval.cols(), k);
+    assert_eq!(v.len() % k, 0, "vector length must be divisible by k");
+    let lambda = v.len() / k;
+    (0..eval.rows())
+        .map(|j| {
+            // Pre-classify the row's coefficients once per block row.
+            let coeffs: Vec<Option<i64>> =
+                (0..k).map(|i| i64::try_from(&eval[(j, i)]).ok()).collect();
+            (0..lambda)
+                .map(|r| {
+                    let mut acc = BigInt::zero();
+                    for i in 0..k {
+                        let x = &v[i * lambda + r];
+                        if x.is_zero() {
+                            continue;
+                        }
+                        match coeffs[i] {
+                            Some(0) => {}
+                            Some(1) => acc += x,
+                            Some(c) => acc += &x.mul_small(c),
+                            None => acc += &(&eval[(j, i)] * x),
+                        }
+                    }
+                    acc
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One interpolation step (Alg. 2 lines 15–16, minus the final carry):
+/// from the `2k−1` sub-product vectors (each of length `2λ−1`) recover the
+/// block coefficients `C_t` and overlap-add them into the product vector of
+/// length `2kλ−1`.
+///
+/// # Panics
+/// Panics on inconsistent lengths.
+#[must_use]
+pub fn interp_step(interp: &ScaledIntMatrix, prods: &[Vec<BigInt>], k: usize) -> Vec<BigInt> {
+    let q = 2 * k - 1;
+    assert_eq!(prods.len(), q, "need 2k-1 sub-products");
+    assert_eq!(interp.rows(), q);
+    let sub_len = prods[0].len();
+    assert!(prods.iter().all(|p| p.len() == sub_len));
+    let lambda = sub_len.div_ceil(2);
+    assert_eq!(2 * lambda - 1, sub_len, "sub-product length must be odd (2λ−1)");
+    let out_len = 2 * k * lambda - 1;
+    let mut out = vec![BigInt::zero(); out_len];
+    // For each offset e, interpolate the q block coefficients C_t[e] and
+    // overlap-add C_t into out at stride λ.
+    let mut column = vec![BigInt::zero(); q];
+    for e in 0..sub_len {
+        for (j, p) in prods.iter().enumerate() {
+            column[j] = p[e].clone();
+        }
+        let coeffs = interp.apply(&column);
+        for (t, c) in coeffs.into_iter().enumerate() {
+            if !c.is_zero() {
+                out[t * lambda + e] += &c;
+            }
+        }
+    }
+    out
+}
+
+/// Recursive lazy Toom-Cook on digit vectors: recurse while the length is
+/// divisible by `k` and longer than `base_len`, otherwise convolve
+/// directly. The result is the plain polynomial product of the two digit
+/// vectors (no carries).
+#[must_use]
+pub fn poly_mul_toom(a: &[BigInt], b: &[BigInt], plan: &ToomPlan, base_len: usize) -> Vec<BigInt> {
+    assert_eq!(a.len(), b.len(), "lazy recursion needs equal-length vectors");
+    let k = plan.k();
+    if a.len() <= base_len.max(1) || !a.len().is_multiple_of(k) {
+        return convolve(a, b);
+    }
+    let ea = eval_step(plan.eval_matrix(), a, k);
+    let eb = eval_step(plan.eval_matrix(), b, k);
+    let prods: Vec<Vec<BigInt>> = ea
+        .iter()
+        .zip(&eb)
+        .map(|(x, y)| poly_mul_toom(x, y, plan, base_len))
+        .collect();
+    interp_step(plan.interp_matrix(), &prods, k)
+}
+
+/// Parameters for the lazy integer algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct LazyConfig {
+    /// Split parameter `k`.
+    pub k: usize,
+    /// Base digit width in bits (the shared base is `2^w`).
+    pub digit_bits: u64,
+    /// Stop recursing at vectors of this length or shorter.
+    pub base_len: usize,
+}
+
+impl Default for LazyConfig {
+    fn default() -> Self {
+        LazyConfig { k: 3, digit_bits: 64, base_len: 8 }
+    }
+}
+
+/// Algorithm 2: full integer multiplication with lazy interpolation.
+/// Splits both inputs into `k^l` digits up front, recurses on digit
+/// vectors, and performs all carries in one final pass.
+#[must_use]
+pub fn toom_lazy(a: &BigInt, b: &BigInt, cfg: LazyConfig) -> BigInt {
+    let sign = a.sign().mul(b.sign());
+    if sign == Sign::Zero {
+        return BigInt::zero();
+    }
+    let (a, b) = (a.abs(), b.abs());
+    let plan = ToomPlan::shared(cfg.k);
+    // l = ⌈log_k(n/w)⌉ so that k^l digits of w bits cover both inputs.
+    let max_bits = a.bit_length().max(b.bit_length());
+    let mut digits = 1usize;
+    while (digits as u64) * cfg.digit_bits < max_bits {
+        digits *= cfg.k;
+    }
+    let da = a.split_base_pow2(cfg.digit_bits, digits);
+    let db = b.split_base_pow2(cfg.digit_bits, digits);
+    let prod = poly_mul_toom(&da, &db, &plan, cfg.base_len);
+    let mag = BigInt::join_base_pow2(&prod, cfg.digit_bits);
+    if sign == Sign::Negative {
+        -mag
+    } else {
+        mag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ints(vs: &[i64]) -> Vec<BigInt> {
+        vs.iter().map(|&v| BigInt::from(v)).collect()
+    }
+
+    #[test]
+    fn convolve_known() {
+        // (1 + 2x + 3x²)(4 + 5x) = 4 + 13x + 22x² + 15x³
+        assert_eq!(
+            convolve(&ints(&[1, 2, 3]), &ints(&[4, 5])),
+            ints(&[4, 13, 22, 15])
+        );
+        assert!(convolve(&[], &ints(&[1])).is_empty());
+    }
+
+    #[test]
+    fn eval_step_blocks() {
+        let plan = ToomPlan::new(2);
+        // v = [a00, a01, a10, a11]: blocks [a00,a01],[a10,a11]
+        let v = ints(&[1, 2, 30, 40]);
+        let e = eval_step(plan.eval_matrix(), &v, 2);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e[0], ints(&[1, 2])); // point 0 → block 0
+        assert_eq!(e[1], ints(&[31, 42])); // point 1 → sum
+        assert_eq!(e[2], ints(&[30, 40])); // ∞ → block 1
+    }
+
+    #[test]
+    fn interp_inverts_eval_pointwise() {
+        // Full round trip at one level: eval both, convolve pointwise,
+        // interp → reference convolution.
+        for k in 2..=4 {
+            let plan = ToomPlan::new(k);
+            let len = k * 3;
+            let a: Vec<BigInt> = (0..len).map(|i| BigInt::from(i as i64 + 1)).collect();
+            let b: Vec<BigInt> = (0..len).map(|i| BigInt::from(2 * i as i64 - 5)).collect();
+            let ea = eval_step(plan.eval_matrix(), &a, k);
+            let eb = eval_step(plan.eval_matrix(), &b, k);
+            let prods: Vec<Vec<BigInt>> =
+                ea.iter().zip(&eb).map(|(x, y)| convolve(x, y)).collect();
+            let got = interp_step(plan.interp_matrix(), &prods, k);
+            assert_eq!(got, convolve(&a, &b), "k={k}");
+        }
+    }
+
+    #[test]
+    fn poly_mul_toom_matches_convolution() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for k in 2..=3 {
+            let plan = ToomPlan::new(k);
+            let len = k * k * k;
+            let a: Vec<BigInt> =
+                (0..len).map(|_| BigInt::random_signed_bits(&mut rng, 40)).collect();
+            let b: Vec<BigInt> =
+                (0..len).map(|_| BigInt::random_signed_bits(&mut rng, 40)).collect();
+            assert_eq!(poly_mul_toom(&a, &b, &plan, 1), convolve(&a, &b), "k={k}");
+        }
+    }
+
+    #[test]
+    fn lazy_integer_multiplication_matches_schoolbook() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for (k, bits) in [(2usize, 3000u64), (3, 5000), (4, 2000)] {
+            let a = BigInt::random_signed_bits(&mut rng, bits);
+            let b = BigInt::random_signed_bits(&mut rng, bits);
+            let cfg = LazyConfig { k, digit_bits: 64, base_len: 2 };
+            assert_eq!(toom_lazy(&a, &b, cfg), a.mul_schoolbook(&b), "k={k}");
+        }
+    }
+
+    #[test]
+    fn lazy_handles_zero_and_signs() {
+        let a = BigInt::from(-12345i64);
+        let b = BigInt::from(67890u64);
+        let cfg = LazyConfig::default();
+        assert_eq!(toom_lazy(&a, &b, cfg), a.mul_schoolbook(&b));
+        assert!(toom_lazy(&BigInt::zero(), &b, cfg).is_zero());
+    }
+
+    #[test]
+    fn lazy_equals_standard_toom() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let a = BigInt::random_bits(&mut rng, 4000);
+        let b = BigInt::random_bits(&mut rng, 4000);
+        assert_eq!(
+            toom_lazy(&a, &b, LazyConfig { k: 3, digit_bits: 32, base_len: 1 }),
+            crate::seq::toom_k(&a, &b, 3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn eval_step_rejects_ragged() {
+        let plan = ToomPlan::new(2);
+        let _ = eval_step(plan.eval_matrix(), &ints(&[1, 2, 3]), 2);
+    }
+}

@@ -1,0 +1,622 @@
+//! Parallel Toom-Cook via BFS-DFS traversal (§3).
+//!
+//! The machine has `P = (2k−1)^m` processors on a `(P/q) × q` grid
+//! (`q = 2k−1`). The algorithm runs on the *lazy interpolation* digit-vector
+//! form (§2.3): both inputs are split into `D` base-`2^w` digits up front,
+//! so every recursion level manipulates vectors of big-integer digits with
+//! no carries until the very end.
+//!
+//! **Distribution invariant.** At a recursion level processed by a group of
+//! `g` processors, the level's digit vector `v` (length `L`) is distributed
+//! cyclically: the group member at position `p` owns `{v[u] : u ≡ p (mod g)}`.
+//! Choosing `D = q^m · k^{m + l_DFS + j}` makes `g | L/k` at every level,
+//! which yields the paper's locality property: **every BFS exchange happens
+//! strictly inside grid rows** (the `q` processors differing only in the
+//! step's digit), and DFS steps need no communication at all.
+//!
+//! - *BFS down-step*: each member evaluates its residue slice at all `2k−1`
+//!   points locally, keeps the slice for its own column's sub-problem, and
+//!   sends each row peer the slice of that peer's sub-problem (`q−1`
+//!   messages).
+//! - *DFS step*: all evaluations are local; the `2k−1` sub-problems are
+//!   solved sequentially by the whole group (Lemma 3.1 gives the number of
+//!   DFS steps forced by a memory limit `M`).
+//! - *Leaf*: one processor owns the whole sub-vector and multiplies it
+//!   locally (sequential lazy Toom-Cook).
+//! - *BFS up-step*: a row all-to-all delivers, for each member, the
+//!   sub-slice of every column's sub-product it needs; interpolation and
+//!   overlap-add are then local.
+//!
+//! The algorithm's output is the distributed product digit vector (the
+//! paper's output convention); [`run_parallel`] additionally reassembles
+//! the full integer outside the cost measurement for verification.
+
+use crate::bilinear::ToomPlan;
+use crate::lazy;
+use ft_bigint::{ops, BigInt, Sign};
+use ft_machine::{CostParams, Env, Fate, FaultPlan, Machine, MachineConfig, RunReport};
+
+/// Tag namespace bases (step-scoped offsets are added).
+pub mod tags {
+    /// BFS down-step exchanges.
+    pub const DOWN: u64 = 1_000;
+    /// BFS up-step exchanges.
+    pub const UP: u64 = 2_000;
+    /// Code creation (linear coding, §4.1).
+    pub const CODE: u64 = 100_000;
+    /// Recovery collectives.
+    pub const RECOVER: u64 = 200_000;
+    /// Redundant-point traffic (polynomial coding, §4.2).
+    pub const REDUNDANT: u64 = 300_000;
+}
+
+/// Configuration of a parallel Toom-Cook run.
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Split parameter `k`.
+    pub k: usize,
+    /// BFS steps `m`; the machine uses `P = (2k−1)^m` processors.
+    pub bfs_steps: usize,
+    /// DFS steps performed before the BFS steps (limited-memory mode,
+    /// Lemma 3.1). Zero in the unlimited-memory case.
+    pub dfs_steps: usize,
+    /// Base digit width `w` (the shared base is `2^w`).
+    pub digit_bits: u64,
+    /// Cost parameters (for time modeling only).
+    pub cost: CostParams,
+    /// Optional per-processor memory limit in words (reporting).
+    pub memory_limit: Option<u64>,
+    /// Record a message trace.
+    pub trace: bool,
+}
+
+impl ParallelConfig {
+    /// A default configuration for Toom-Cook-`k` with `m` BFS steps.
+    #[must_use]
+    pub fn new(k: usize, bfs_steps: usize) -> ParallelConfig {
+        ParallelConfig {
+            k,
+            bfs_steps,
+            dfs_steps: 0,
+            digit_bits: 64,
+            cost: CostParams::default(),
+            memory_limit: None,
+            trace: false,
+        }
+    }
+
+    /// Sub-problem fan-out `q = 2k−1`.
+    #[must_use]
+    pub fn q(&self) -> usize {
+        2 * self.k - 1
+    }
+
+    /// Processor count `P = q^m`.
+    #[must_use]
+    pub fn processors(&self) -> usize {
+        self.q().pow(self.bfs_steps as u32)
+    }
+
+    /// The digit count `D = q^m · k^{m + l_DFS}·k^j`: structurally divisible
+    /// so the cyclic layout is row-local at every level (see module docs),
+    /// scaled up by powers of `k` until `D·w` covers `n_bits`.
+    #[must_use]
+    pub fn digits_for(&self, n_bits: u64) -> usize {
+        let structural =
+            self.processors() * self.k.pow((self.bfs_steps + self.dfs_steps) as u32);
+        let mut d = structural;
+        while (d as u64) * self.digit_bits < n_bits {
+            d *= self.k;
+        }
+        d
+    }
+}
+
+/// Result of a parallel run.
+#[derive(Debug)]
+pub struct ParallelOutcome {
+    /// The reassembled product (verified against the distributed output).
+    pub product: BigInt,
+    /// The machine run report (per-rank costs, critical path, trace).
+    pub report: RunReport<Vec<BigInt>>,
+    /// Number of digits `D` the inputs were split into.
+    pub digits: usize,
+}
+
+/// Extract a rank's cyclic digit slice `{u ≡ pos (mod g)}` from a
+/// non-negative integer. Each rank reads only its own `O(n/P)` words — the
+/// paper's "input is distributed" convention.
+#[must_use]
+pub fn local_digit_slice(
+    a: &BigInt,
+    digit_bits: u64,
+    digits: usize,
+    pos: usize,
+    g: usize,
+) -> Vec<BigInt> {
+    debug_assert!(!a.is_negative());
+    let mut out = Vec::with_capacity(digits.div_ceil(g));
+    let mut u = pos;
+    while u < digits {
+        let lo = u as u64 * digit_bits;
+        out.push(BigInt::from_limbs(ops::bits_range(a.limbs(), lo, lo + digit_bits)));
+        u += g;
+    }
+    out
+}
+
+/// Merge the `q` residue pieces received in a BFS down-step into the next
+/// level's cyclic slice: `pieces[t]` holds entries `{r ≡ t·g' + p' (mod g)}`
+/// ascending; the result holds `{r ≡ p' (mod g')}` ascending.
+#[must_use]
+pub fn merge_residue_pieces(pieces: &[Vec<BigInt>], len_hint: usize) -> Vec<BigInt> {
+    let q = pieces.len();
+    let mut out = Vec::with_capacity(len_hint);
+    let mut s = 0usize;
+    loop {
+        let t = s % q;
+        let idx = s / q;
+        match pieces[t].get(idx) {
+            Some(v) => out.push(v.clone()),
+            None => break,
+        }
+        s += 1;
+    }
+    out
+}
+
+/// Select every `q`-th entry starting at offset `t` — the sub-slice of a
+/// residue-`p'` (mod `g'`) slice lying in residue `t·g' + p'` (mod `g`).
+#[must_use]
+pub fn residue_subslice(slice: &[BigInt], q: usize, t: usize) -> Vec<BigInt> {
+    slice.iter().skip(t).step_by(q).cloned().collect()
+}
+
+/// Total words across slices (memory reporting).
+#[must_use]
+pub fn slice_words(slices: &[&[BigInt]]) -> u64 {
+    slices
+        .iter()
+        .flat_map(|s| s.iter())
+        .map(|b| b.word_len().max(1) as u64)
+        .sum()
+}
+
+/// Interpolation + overlap-add on residue slices (shared by DFS steps and
+/// BFS up-steps): `col_slices[j]` holds sub-product `j`'s entries
+/// `{e ≡ p (mod g)}` ascending (`e = p + s·g`, `e < 2λ−1`); returns the
+/// local slice `{u ≡ p (mod g)}` of the `2L−1` product vector, where
+/// `L = k·λ` is `level_len`.
+///
+/// Correctness relies on the distribution invariant `g | λ`: contribution
+/// `C_t[e]` lands at `u = t·λ + e ≡ e (mod g)`, so slice position
+/// `t·(λ/g) + s` — entirely local.
+#[must_use]
+pub fn interp_slices(
+    interp: &ft_algebra::ScaledIntMatrix,
+    col_slices: &[Vec<BigInt>],
+    lambda: usize,
+    level_len: usize,
+    p: usize,
+    g: usize,
+) -> Vec<BigInt> {
+    let q = col_slices.len();
+    let slice_len = col_slices[0].len();
+    debug_assert!(col_slices.iter().all(|s| s.len() == slice_len));
+    assert_eq!(lambda % g, 0, "distribution invariant g | λ violated");
+    let lam_g = lambda / g;
+    let out_len_full = 2 * level_len - 1;
+    // Exact number of u = p + s·g < 2L−1.
+    let exact_len = if p >= out_len_full { 0 } else { (out_len_full - p).div_ceil(g) };
+    let buf_len = exact_len.max((q - 1) * lam_g + slice_len);
+    let mut out = vec![BigInt::zero(); buf_len];
+    let mut column = vec![BigInt::zero(); q];
+    for s in 0..slice_len {
+        for (j, cslice) in col_slices.iter().enumerate() {
+            column[j] = cslice[s].clone();
+        }
+        let coeffs = interp.apply(&column);
+        for (t, c) in coeffs.into_iter().enumerate() {
+            if !c.is_zero() {
+                out[t * lam_g + s] += &c;
+            }
+        }
+    }
+    debug_assert!(out[exact_len..].iter().all(BigInt::is_zero));
+    out.truncate(exact_len);
+    out
+}
+
+/// The per-rank recursive solver shared by the plain and fault-tolerant
+/// algorithms. Solves one sub-problem held as cyclic slices over the
+/// (ascending) `group` of machine ranks — member at position `p` owns
+/// residue `p` mod `g` — and returns this rank's slice of the
+/// `2·level_len−1` product vector.
+///
+/// Levels `0..dfs_steps` are DFS; the next `bfs_steps − consumed` are BFS
+/// over the group's base-`q` position digits; once the group is a single
+/// rank, it multiplies locally. Taking the group explicitly (instead of a
+/// grid) lets the polynomial code run the same recursion on its redundant
+/// subgroups of extra ranks (§4.2).
+#[allow(clippy::too_many_arguments)]
+pub fn solve(
+    env: &Env,
+    cfg: &ParallelConfig,
+    plan: &ToomPlan,
+    group: &[usize],
+    a: Vec<BigInt>,
+    b: Vec<BigInt>,
+    level_len: usize,
+    depth: usize,
+) -> Vec<BigInt> {
+    solve_with_leaf_hook(env, cfg, plan, group, a, b, level_len, depth, None)
+}
+
+/// Post-leaf hook: receives the leaf product (garbage zeros for a rank that
+/// died at `leaf-mult`) and may replace it — the multistep polynomial code
+/// reconstructs lost leaf products here (§4.3/§6).
+pub type LeafHook<'h> = &'h dyn Fn(&Env, Vec<BigInt>) -> Vec<BigInt>;
+
+/// [`solve`] with an optional post-leaf hook.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_with_leaf_hook(
+    env: &Env,
+    cfg: &ParallelConfig,
+    plan: &ToomPlan,
+    group: &[usize],
+    a: Vec<BigInt>,
+    b: Vec<BigInt>,
+    level_len: usize,
+    depth: usize,
+    leaf_hook: Option<LeafHook>,
+) -> Vec<BigInt> {
+    let k = cfg.k;
+    let q = cfg.q();
+    let dfs = cfg.dfs_steps;
+    let g = group.len();
+    let p = group
+        .iter()
+        .position(|&r| r == env.rank())
+        .expect("rank must be in its own solve group");
+
+    if depth < dfs {
+        // ---- DFS step: no communication.
+        env.note_memory(slice_words(&[&a, &b]));
+        let ea = lazy::eval_step(plan.eval_matrix(), &a, k);
+        let eb = lazy::eval_step(plan.eval_matrix(), &b, k);
+        drop(a);
+        drop(b);
+        let lambda = level_len / k;
+        let mut prods: Vec<Vec<BigInt>> = Vec::with_capacity(q);
+        for j in 0..q {
+            let pa = ea[j].clone();
+            let pb = eb[j].clone();
+            prods.push(solve_with_leaf_hook(
+                env, cfg, plan, group, pa, pb, lambda, depth + 1, leaf_hook,
+            ));
+        }
+        drop(ea);
+        drop(eb);
+        return interp_slices(plan.interp_matrix(), &prods, lambda, level_len, p, g);
+    }
+
+    if g > 1 {
+        // ---- BFS step over this group's leading position digit.
+        let gp = g / q; // next-level group size g'
+        let my_col = p / gp.max(1);
+        // Row: the q members sharing my sub-position p mod g'.
+        let row: Vec<usize> = (0..q).map(|j| group[j * gp + p % gp.max(1)]).collect();
+        env.note_memory(slice_words(&[&a, &b]));
+
+        // Evaluate my residue slice at all 2k−1 points.
+        let ea = lazy::eval_step(plan.eval_matrix(), &a, k);
+        let eb = lazy::eval_step(plan.eval_matrix(), &b, k);
+        drop(a);
+        drop(b);
+        env.fault_point(&format!("bfs-eval-{depth}"));
+
+        // Down exchange: send row peer t its sub-problem's slices.
+        for (t, &peer) in row.iter().enumerate() {
+            if t == my_col {
+                continue;
+            }
+            let mut payload = ea[t].clone();
+            payload.extend_from_slice(&eb[t]);
+            env.send(peer, tags::DOWN + depth as u64, &payload);
+        }
+        let lambda = level_len / k;
+        let mut pieces_a: Vec<Vec<BigInt>> = vec![Vec::new(); q];
+        let mut pieces_b: Vec<Vec<BigInt>> = vec![Vec::new(); q];
+        for (t, &peer) in row.iter().enumerate() {
+            let (pa, pb) = if peer == env.rank() {
+                (ea[my_col].clone(), eb[my_col].clone())
+            } else {
+                let mut payload = env.recv(peer, tags::DOWN + depth as u64);
+                let pb = payload.split_off(payload.len() / 2);
+                (payload, pb)
+            };
+            pieces_a[t] = pa;
+            pieces_b[t] = pb;
+        }
+        drop(ea);
+        drop(eb);
+        let next_a = merge_residue_pieces(&pieces_a, lambda.div_ceil(gp.max(1)));
+        let next_b = merge_residue_pieces(&pieces_b, lambda.div_ceil(gp.max(1)));
+        drop(pieces_a);
+        drop(pieces_b);
+        env.fault_point(&format!("bfs-exchange-{depth}"));
+
+        // Recurse on my column's sub-problem.
+        let next_group = &group[my_col * gp..(my_col + 1) * gp];
+        let sub_prod = solve_with_leaf_hook(
+            env, cfg, plan, next_group, next_a, next_b, lambda, depth + 1, leaf_hook,
+        );
+
+        env.fault_point(&format!("bfs-up-{depth}"));
+        // Up exchange: row all-to-all of residue sub-slices. My sub-product
+        // slice holds {e ≡ p mod g'... ≡ my position (mod g')}; row member
+        // at column t needs the entries in residue t·g' + (p mod g') mod g,
+        // i.e. every q-th entry starting at offset t.
+        for (t, &peer) in row.iter().enumerate() {
+            if t == my_col {
+                continue;
+            }
+            env.send(peer, tags::UP + depth as u64, &residue_subslice(&sub_prod, q, t));
+        }
+        let mut col_slices: Vec<Vec<BigInt>> = vec![Vec::new(); q];
+        for (t, &peer) in row.iter().enumerate() {
+            col_slices[t] = if peer == env.rank() {
+                residue_subslice(&sub_prod, q, my_col)
+            } else {
+                env.recv(peer, tags::UP + depth as u64)
+            };
+        }
+        drop(sub_prod);
+        env.fault_point(&format!("bfs-interp-{depth}"));
+
+        return interp_slices(plan.interp_matrix(), &col_slices, lambda, level_len, p, g);
+    }
+
+    // ---- Leaf: single owner, local multiplication. A hard fault here
+    // loses the inputs; the product becomes garbage until a leaf hook (the
+    // polynomial code) replaces it.
+    env.note_memory(slice_words(&[&a, &b]));
+    let (a, b) = if env.fault_point("leaf-mult") == Fate::Reborn {
+        (vec![BigInt::zero(); a.len()], vec![BigInt::zero(); b.len()])
+    } else {
+        (a, b)
+    };
+    let prod = lazy::poly_mul_toom(&a, &b, plan, 1);
+    match leaf_hook {
+        Some(hook) => hook(env, prod),
+        None => prod,
+    }
+}
+
+/// Run plain parallel Toom-Cook (no fault tolerance) on a fresh machine and
+/// reassemble the product.
+#[must_use]
+pub fn run_parallel(a: &BigInt, b: &BigInt, cfg: &ParallelConfig) -> ParallelOutcome {
+    run_parallel_with_faults(a, b, cfg, FaultPlan::none())
+}
+
+/// Run plain parallel Toom-Cook with a fault plan. The plain algorithm has
+/// **no** recovery — used by tests of the fault machinery and baselines.
+#[must_use]
+pub fn run_parallel_with_faults(
+    a: &BigInt,
+    b: &BigInt,
+    cfg: &ParallelConfig,
+    faults: FaultPlan,
+) -> ParallelOutcome {
+    let p = cfg.processors();
+    let n_bits = a.bit_length().max(b.bit_length()).max(1);
+    let digits = cfg.digits_for(n_bits);
+    let sign = a.sign().mul(b.sign());
+    let (aa, bb) = (a.abs(), b.abs());
+
+    let mut mcfg = MachineConfig::new(p).with_faults(faults);
+    mcfg.cost = cfg.cost;
+    mcfg.memory_limit = cfg.memory_limit;
+    mcfg.trace = cfg.trace;
+    let machine = Machine::new(mcfg);
+
+    // Pre-warm the shared plan on the driver thread so its construction
+    // cost is not charged to the first rank that touches the cache.
+    let _ = ToomPlan::shared(cfg.k);
+
+    let report = machine.run(|env| {
+        let plan = ToomPlan::shared(cfg.k);
+        let group: Vec<usize> = (0..p).collect();
+        let my_a = local_digit_slice(&aa, cfg.digit_bits, digits, env.rank(), p);
+        let my_b = local_digit_slice(&bb, cfg.digit_bits, digits, env.rank(), p);
+        solve(env, cfg, &plan, &group, my_a, my_b, digits, 0)
+    });
+
+    let product = assemble_product(&report.results, digits, cfg.digit_bits, sign, p);
+    ParallelOutcome { product, report, digits }
+}
+
+/// Reassemble the distributed product digit vector (slices indexed by rank,
+/// cyclic modulo `p`) into the final integer — the carry evaluation
+/// `c = Σ c_u · B^u`, performed outside the cost measurement.
+#[must_use]
+pub fn assemble_product(
+    slices: &[Vec<BigInt>],
+    digits: usize,
+    digit_bits: u64,
+    sign: Sign,
+    p: usize,
+) -> BigInt {
+    if sign == Sign::Zero {
+        return BigInt::zero();
+    }
+    let out_len = 2 * digits - 1;
+    let mut vec = vec![BigInt::zero(); out_len];
+    for (u, slot) in vec.iter_mut().enumerate() {
+        let rank = u % p;
+        let idx = u / p;
+        if let Some(v) = slices[rank].get(idx) {
+            *slot = v.clone();
+        }
+    }
+    let mag = BigInt::join_base_pow2(&vec, digit_bits);
+    if sign == Sign::Negative {
+        -mag
+    } else {
+        mag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn random_pair(bits: u64, seed: u64) -> (BigInt, BigInt) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (
+            BigInt::random_bits(&mut rng, bits),
+            BigInt::random_bits(&mut rng, bits),
+        )
+    }
+
+    #[test]
+    fn merge_residue_pieces_interleaves() {
+        let pieces = vec![
+            vec![BigInt::from(0u64), BigInt::from(3u64)],
+            vec![BigInt::from(1u64), BigInt::from(4u64)],
+            vec![BigInt::from(2u64), BigInt::from(5u64)],
+        ];
+        let merged = merge_residue_pieces(&pieces, 6);
+        let want: Vec<BigInt> = (0..6u64).map(BigInt::from).collect();
+        assert_eq!(merged, want);
+    }
+
+    #[test]
+    fn residue_subslice_strides() {
+        let v: Vec<BigInt> = (0..7u64).map(BigInt::from).collect();
+        assert_eq!(
+            residue_subslice(&v, 3, 1),
+            vec![BigInt::from(1u64), BigInt::from(4u64)]
+        );
+        assert_eq!(residue_subslice(&v, 3, 0).len(), 3);
+    }
+
+    #[test]
+    fn single_processor_degenerates_to_sequential() {
+        let (a, b) = random_pair(2000, 1);
+        let cfg = ParallelConfig::new(3, 0);
+        let out = run_parallel(&a, &b, &cfg);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn one_bfs_step_karatsuba() {
+        let (a, b) = random_pair(1500, 2);
+        let cfg = ParallelConfig::new(2, 1); // P = 3
+        let out = run_parallel(&a, &b, &cfg);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn one_bfs_step_tc3() {
+        let (a, b) = random_pair(3000, 3);
+        let cfg = ParallelConfig::new(3, 1); // P = 5
+        let out = run_parallel(&a, &b, &cfg);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn two_bfs_steps_tc3() {
+        let (a, b) = random_pair(6000, 4);
+        let cfg = ParallelConfig::new(3, 2); // P = 25
+        let out = run_parallel(&a, &b, &cfg);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn three_bfs_steps_karatsuba() {
+        let (a, b) = random_pair(4000, 5);
+        let cfg = ParallelConfig::new(2, 3); // P = 27
+        let out = run_parallel(&a, &b, &cfg);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn dfs_then_bfs_limited_memory() {
+        let (a, b) = random_pair(4000, 6);
+        let mut cfg = ParallelConfig::new(3, 1);
+        cfg.dfs_steps = 2;
+        let out = run_parallel(&a, &b, &cfg);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn dfs_only_single_rank() {
+        let (a, b) = random_pair(2000, 7);
+        let mut cfg = ParallelConfig::new(2, 0);
+        cfg.dfs_steps = 2;
+        let out = run_parallel(&a, &b, &cfg);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn signs_propagate() {
+        let (a, b) = random_pair(1200, 8);
+        let cfg = ParallelConfig::new(2, 1);
+        assert_eq!(run_parallel(&-&a, &b, &cfg).product, -(a.mul_schoolbook(&b)));
+    }
+
+    #[test]
+    fn uneven_input_sizes() {
+        let (a, _) = random_pair(5000, 20);
+        let (b, _) = random_pair(700, 21);
+        let cfg = ParallelConfig::new(3, 1);
+        assert_eq!(run_parallel(&a, &b, &cfg).product, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn bfs_communication_is_row_local() {
+        let (a, b) = random_pair(3000, 9);
+        let mut cfg = ParallelConfig::new(3, 2);
+        cfg.trace = true;
+        let out = run_parallel(&a, &b, &cfg);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+        let grid = ft_machine::ToomGrid::new(25, 5);
+        for ev in &out.report.trace {
+            if let Some((src, dst)) = ev.endpoints() {
+                let same_row = (0..2).any(|s| grid.row_group(src, s).contains(&dst));
+                assert!(same_row, "message {src}->{dst} crosses rows");
+            }
+        }
+    }
+
+    #[test]
+    fn dfs_steps_reduce_peak_memory() {
+        let (a, b) = random_pair(20_000, 10);
+        let cfg0 = ParallelConfig::new(2, 1);
+        let mut cfg2 = ParallelConfig::new(2, 1);
+        cfg2.dfs_steps = 2;
+        let out0 = run_parallel(&a, &b, &cfg0);
+        let out2 = run_parallel(&a, &b, &cfg2);
+        assert_eq!(out2.product, a.mul_schoolbook(&b));
+        assert_eq!(out0.product, out2.product);
+        let (m0, m2) = (out0.report.peak_memory(), out2.report.peak_memory());
+        assert!(m2 < m0, "DFS steps should lower peak memory: dfs0={m0} dfs2={m2}");
+    }
+
+    #[test]
+    fn work_is_balanced_across_ranks() {
+        let (a, b) = random_pair(8000, 11);
+        let cfg = ParallelConfig::new(3, 1);
+        let out = run_parallel(&a, &b, &cfg);
+        let flops: Vec<u64> = out.report.ranks.iter().map(|r| r.total_flops).collect();
+        let max = *flops.iter().max().unwrap();
+        let min = *flops.iter().min().unwrap();
+        assert!(
+            max < 3 * min.max(1),
+            "flops should be balanced within 3x: {flops:?}"
+        );
+    }
+}

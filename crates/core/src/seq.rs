@@ -1,0 +1,387 @@
+//! Sequential integer multiplication: schoolbook, Karatsuba, recursive
+//! Toom-Cook-k (Algorithm 1), and unbalanced Toom-Cook-(k₁,k₂).
+
+use crate::bilinear::ToomPlan;
+use crate::points::n_points;
+use ft_algebra::points::eval_matrix;
+use ft_bigint::{BigInt, Sign};
+
+/// Default base-case threshold in bits: below this, multiply schoolbook.
+/// (Alg. 1's `s` parameter; the hardware word would be 64, but recursing
+/// all the way down costs more than it saves — GMP-style tuning.)
+pub const DEFAULT_THRESHOLD_BITS: u64 = 3_072;
+
+/// Schoolbook `Θ(n²)` multiplication — the naïve baseline.
+#[must_use]
+pub fn schoolbook(a: &BigInt, b: &BigInt) -> BigInt {
+    a.mul_schoolbook(b)
+}
+
+/// Karatsuba multiplication (Toom-Cook-2).
+#[must_use]
+pub fn karatsuba(a: &BigInt, b: &BigInt) -> BigInt {
+    toom_k(a, b, 2)
+}
+
+/// Recursive Toom-Cook-`k` with the classic point set and default
+/// threshold (Algorithm 1).
+#[must_use]
+pub fn toom_k(a: &BigInt, b: &BigInt, k: usize) -> BigInt {
+    toom_k_threshold(a, b, k, DEFAULT_THRESHOLD_BITS)
+}
+
+/// Recursive Toom-Cook-`k` with an explicit base-case threshold.
+#[must_use]
+pub fn toom_k_threshold(a: &BigInt, b: &BigInt, k: usize, threshold_bits: u64) -> BigInt {
+    let plan = ToomPlan::shared(k);
+    toom_with_plan(a, b, &plan, threshold_bits)
+}
+
+/// Recursive Toom-Cook with an explicit plan (custom point sets supported).
+#[must_use]
+pub fn toom_with_plan(a: &BigInt, b: &BigInt, plan: &ToomPlan, threshold_bits: u64) -> BigInt {
+    let sign = a.sign().mul(b.sign());
+    if sign == Sign::Zero {
+        return BigInt::zero();
+    }
+    let mag = rec(&a.abs(), &b.abs(), plan, threshold_bits.max(8));
+    if sign == Sign::Negative {
+        -mag
+    } else {
+        mag
+    }
+}
+
+/// Recursion on non-negative inputs.
+fn rec(a: &BigInt, b: &BigInt, plan: &ToomPlan, threshold: u64) -> BigInt {
+    debug_assert!(!a.is_negative() && !b.is_negative());
+    if a.is_zero() || b.is_zero() {
+        return BigInt::zero();
+    }
+    if a.bit_length().min(b.bit_length()) <= threshold {
+        return a.mul_schoolbook(b);
+    }
+    let k = plan.k();
+    // Alg. 1 line 4: split over the shared base B = 2^w.
+    let w = BigInt::shared_digit_width(a, b, k);
+    let da = a.split_base_pow2(w, k);
+    let db = b.split_base_pow2(w, k);
+    // Lines 6–7: evaluate both polynomials.
+    let ea = plan.evaluate(&da);
+    let eb = plan.evaluate(&db);
+    // Lines 8–14: pointwise (recursive) products. Evaluations may be
+    // negative; recurse on magnitudes.
+    let prods: Vec<BigInt> = ea
+        .iter()
+        .zip(&eb)
+        .map(|(x, y)| {
+            let s = x.sign().mul(y.sign());
+            match s {
+                Sign::Zero => BigInt::zero(),
+                _ => {
+                    let m = rec(&x.abs(), &y.abs(), plan, threshold);
+                    if s == Sign::Negative {
+                        -m
+                    } else {
+                        m
+                    }
+                }
+            }
+        })
+        .collect();
+    // Line 15: interpolate.
+    let coeffs = plan.interpolate(&prods);
+    // Line 16: evaluate at (B, 1) — carry propagation.
+    BigInt::join_base_pow2(&coeffs, w)
+}
+
+/// Recursive Toom-Cook-`k` **squaring** (cf. Zuras, ref. 86 of the paper): evaluation
+/// happens once, the point-values are squared, and interpolation is
+/// unchanged — combined with [`ft_bigint`]'s halved schoolbook squaring at
+/// the base case this is the standard `a²` fast path.
+#[must_use]
+pub fn toom_square(a: &BigInt, k: usize) -> BigInt {
+    toom_square_threshold(a, k, DEFAULT_THRESHOLD_BITS)
+}
+
+/// [`toom_square`] with an explicit base-case threshold.
+#[must_use]
+pub fn toom_square_threshold(a: &BigInt, k: usize, threshold_bits: u64) -> BigInt {
+    let plan = ToomPlan::shared(k);
+    sqr_rec(&a.abs(), &plan, threshold_bits.max(8))
+}
+
+fn sqr_rec(a: &BigInt, plan: &ToomPlan, threshold: u64) -> BigInt {
+    debug_assert!(!a.is_negative());
+    if a.is_zero() {
+        return BigInt::zero();
+    }
+    if a.bit_length() <= threshold {
+        return a.square();
+    }
+    let k = plan.k();
+    let w = BigInt::shared_digit_width(a, a, k);
+    let da = a.split_base_pow2(w, k);
+    let ea = plan.evaluate(&da);
+    let prods: Vec<BigInt> = ea.iter().map(|x| sqr_rec(&x.abs(), plan, threshold)).collect();
+    let coeffs = plan.interpolate(&prods);
+    BigInt::join_base_pow2(&coeffs, w)
+}
+
+/// GMP-style size-adaptive multiplier: picks schoolbook / Karatsuba /
+/// TC-3 / TC-4 by operand size (thresholds tuned for this crate's
+/// schoolbook kernel; see the `crossover` bench).
+#[must_use]
+pub fn auto_mul(a: &BigInt, b: &BigInt) -> BigInt {
+    let bits = a.bit_length().min(b.bit_length());
+    match bits {
+        0..=6_000 => a.mul_schoolbook(b),
+        6_001..=40_000 => toom_k(a, b, 2),
+        40_001..=400_000 => toom_k(a, b, 3),
+        _ => toom_k(a, b, 4),
+    }
+}
+
+/// Unbalanced Toom-Cook-(k₁,k₂) (Zanoni 2010): split `a` into `k₁` digits
+/// and `b` into `k₂` digits over a shared base; `k₁+k₂−1` evaluation
+/// points. One unbalanced step, then balanced recursion via `inner`.
+///
+/// # Panics
+/// Panics if `k₁ < k₂` or `k₂ < 1` or `k₁ < 2`.
+#[must_use]
+pub fn toom_unbalanced(
+    a: &BigInt,
+    b: &BigInt,
+    k1: usize,
+    k2: usize,
+    inner: &dyn Fn(&BigInt, &BigInt) -> BigInt,
+) -> BigInt {
+    assert!(k1 >= k2 && k2 >= 1 && k1 + k2 >= 4, "need k1 >= k2 >= 1 and k1+k2 >= 4");
+    let sign = a.sign().mul(b.sign());
+    if sign == Sign::Zero {
+        return BigInt::zero();
+    }
+    let (a, b) = (a.abs(), b.abs());
+    let n = k1 + k2 - 1;
+    let points = n_points(n);
+    let w = {
+        let wa = a.bit_length().max(1).div_ceil(k1 as u64);
+        let wb = b.bit_length().max(1).div_ceil(k2 as u64);
+        wa.max(wb)
+    };
+    let da = a.split_base_pow2(w, k1);
+    let db = b.split_base_pow2(w, k2);
+    let ea = eval_matrix(&points, k1).matvec(&da);
+    let eb = eval_matrix(&points, k2).matvec(&db);
+    let prods: Vec<BigInt> = ea.iter().zip(&eb).map(|(x, y)| inner(x, y)).collect();
+    let interp = crate::bilinear::interpolation_matrix(&points, n);
+    let coeffs = interp.apply(&prods);
+    let mag = BigInt::join_base_pow2(&coeffs, w);
+    if sign == Sign::Negative {
+        -mag
+    } else {
+        mag
+    }
+}
+
+/// Iterative Toom-Cook for *very* unbalanced operands (Zanoni 2010, the
+/// paper's ref. 85): slice the long operand into `|b|`-sized chunks,
+/// multiply each chunk with a balanced kernel, and accumulate with shifts.
+/// Complexity `Θ((|a|/|b|) · M(|b|))` instead of padding `a` up to a
+/// balanced split.
+///
+/// # Panics
+/// Panics if `b` is zero (the degenerate case callers should shortcut).
+#[must_use]
+pub fn toom_iterative_unbalanced(
+    a: &BigInt,
+    b: &BigInt,
+    inner: &dyn Fn(&BigInt, &BigInt) -> BigInt,
+) -> BigInt {
+    assert!(!b.is_zero(), "iterative unbalanced multiply needs b != 0");
+    if a.is_zero() {
+        return BigInt::zero();
+    }
+    let sign = a.sign().mul(b.sign());
+    let (aa, bb) = (a.abs(), b.abs());
+    let chunk_bits = bb.bit_length().max(64);
+    let chunks = aa.bit_length().div_ceil(chunk_bits) as usize;
+    let digits = aa.split_base_pow2(chunk_bits, chunks.max(1));
+    let partials: Vec<BigInt> = digits.iter().map(|d| inner(d, &bb)).collect();
+    let mag = BigInt::join_base_pow2(&partials, chunk_bits);
+    if sign == ft_bigint::Sign::Negative {
+        -mag
+    } else {
+        mag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_bigint::Sign;
+    use rand::SeedableRng;
+
+    fn random_pair(bits_a: u64, bits_b: u64, seed: u64) -> (BigInt, BigInt) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (
+            BigInt::random_signed_bits(&mut rng, bits_a),
+            BigInt::random_signed_bits(&mut rng, bits_b),
+        )
+    }
+
+    #[test]
+    fn toom_matches_schoolbook_all_k() {
+        for k in 2..=5 {
+            for (bits, seed) in [(100u64, 1u64), (1000, 2), (5000, 3)] {
+                let (a, b) = random_pair(bits, bits, seed + k as u64 * 100);
+                assert_eq!(
+                    toom_k_threshold(&a, &b, k, 64),
+                    a.mul_schoolbook(&b),
+                    "k={k} bits={bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deep_recursion_small_threshold() {
+        let (a, b) = random_pair(4096, 4096, 42);
+        assert_eq!(toom_k_threshold(&a, &b, 3, 8), a.mul_schoolbook(&b));
+        assert_eq!(toom_k_threshold(&a, &b, 2, 8), a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn unbalanced_inputs() {
+        // Very different sizes stress the shared-base rule.
+        let (a, b) = random_pair(5000, 300, 7);
+        for k in 2..=4 {
+            assert_eq!(toom_k_threshold(&a, &b, k, 64), a.mul_schoolbook(&b), "k={k}");
+        }
+    }
+
+    #[test]
+    fn signs_and_zero() {
+        let (a, b) = random_pair(600, 600, 9);
+        let (a, b) = (a.abs(), b.abs());
+        assert_eq!(toom_k(&-&a, &b, 3), -&a.mul_schoolbook(&b));
+        assert_eq!(toom_k(&-&a, &-&b, 3), a.mul_schoolbook(&b));
+        assert!(toom_k(&BigInt::zero(), &b, 3).is_zero());
+        assert_eq!(toom_k(&a, &b, 3).sign(), Sign::Positive);
+    }
+
+    #[test]
+    fn karatsuba_named_entry() {
+        let (a, b) = random_pair(2000, 2000, 11);
+        assert_eq!(karatsuba(&a, &b), a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn toom_cook_32_unbalanced() {
+        // Toom-Cook-(3,2), a.k.a. Toom-2.5.
+        let (a, b) = random_pair(3000, 2000, 13);
+        let inner = |x: &BigInt, y: &BigInt| toom_k(x, y, 2);
+        assert_eq!(toom_unbalanced(&a, &b, 3, 2, &inner), a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn toom_cook_43_unbalanced() {
+        let (a, b) = random_pair(4000, 3000, 17);
+        let inner = |x: &BigInt, y: &BigInt| toom_k(x, y, 3);
+        assert_eq!(toom_unbalanced(&a, &b, 4, 3, &inner), a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn unbalanced_with_negative_inputs() {
+        let (a, b) = random_pair(1500, 900, 19);
+        let inner = |x: &BigInt, y: &BigInt| x.mul_schoolbook(y);
+        assert_eq!(
+            toom_unbalanced(&-&a, &b, 3, 2, &inner),
+            (-&a).mul_schoolbook(&b)
+        );
+    }
+
+    #[test]
+    fn iterative_unbalanced_matches() {
+        let (a, _) = random_pair(50_000, 50_000, 41);
+        let (b, _) = random_pair(2_000, 2_000, 43);
+        let inner = |x: &BigInt, y: &BigInt| toom_k_threshold(x, y, 3, 256);
+        assert_eq!(
+            toom_iterative_unbalanced(&a, &b, &inner),
+            a.mul_schoolbook(&b)
+        );
+        assert_eq!(
+            toom_iterative_unbalanced(&-&a.abs(), &b.abs(), &inner),
+            -(a.abs().mul_schoolbook(&b.abs()))
+        );
+        assert!(toom_iterative_unbalanced(&BigInt::zero(), &b, &inner).is_zero());
+    }
+
+    #[test]
+    fn iterative_unbalanced_cheaper_than_padded_toom() {
+        let (a, _) = random_pair(400_000, 400_000, 44);
+        let (b, _) = random_pair(40_000, 40_000, 45);
+        let inner = |x: &BigInt, y: &BigInt| toom_k_threshold(x, y, 3, 3_072);
+        let (_, iter_ops) =
+            ft_bigint::metrics::measure(|| toom_iterative_unbalanced(&a, &b, &inner));
+        let (_, balanced_ops) =
+            ft_bigint::metrics::measure(|| toom_k_threshold(&a, &b, 2, 512));
+        let (_, school_ops) = ft_bigint::metrics::measure(|| a.mul_schoolbook(&b));
+        // The balanced recursion already degrades gracefully on unbalanced
+        // inputs (zero high digits); iterative must stay in the same class
+        // and both must beat schoolbook clearly.
+        assert!(iter_ops < school_ops, "iterative {iter_ops} vs schoolbook {school_ops}");
+        assert!(
+            (iter_ops as f64) < 1.5 * balanced_ops as f64,
+            "iterative {iter_ops} should stay near balanced {balanced_ops}"
+        );
+    }
+
+    #[test]
+    fn toom_square_matches_general_multiply() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+        for k in 2..=4 {
+            for bits in [500u64, 5_000, 20_000] {
+                let a = BigInt::random_signed_bits(&mut rng, bits);
+                assert_eq!(
+                    toom_square_threshold(&a, k, 256),
+                    a.mul_schoolbook(&a),
+                    "k={k} bits={bits}"
+                );
+            }
+        }
+        assert!(toom_square(&BigInt::zero(), 3).is_zero());
+        assert_eq!(toom_square(&BigInt::from(-7i64), 3), BigInt::from(49u64));
+    }
+
+    #[test]
+    fn toom_square_cheaper_than_toom_mul() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let a = BigInt::random_bits(&mut rng, 1 << 16);
+        let (_, sq) = ft_bigint::metrics::measure(|| toom_square_threshold(&a, 3, 1024));
+        let (_, mul) = ft_bigint::metrics::measure(|| toom_k_threshold(&a, &a, 3, 1024));
+        assert!(sq < mul, "square {sq} ops should undercut multiply {mul}");
+    }
+
+    #[test]
+    fn auto_mul_picks_correctly_at_all_sizes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(37);
+        for bits in [100u64, 10_000, 50_000] {
+            let a = BigInt::random_signed_bits(&mut rng, bits);
+            let b = BigInt::random_signed_bits(&mut rng, bits);
+            assert_eq!(auto_mul(&a, &b), a.mul_schoolbook(&b), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn toom_is_asymptotically_cheaper_than_schoolbook() {
+        // Operation-count crossover: at large n, TC-3 does fewer word ops.
+        let (a, b) = random_pair(1 << 17, 1 << 17, 23);
+        let (_, school_ops) = ft_bigint::metrics::measure(|| a.mul_schoolbook(&b));
+        let (_, toom_ops) = ft_bigint::metrics::measure(|| toom_k(&a, &b, 3));
+        assert!(
+            toom_ops < school_ops,
+            "toom {toom_ops} ops should beat schoolbook {school_ops} at 128k bits"
+        );
+    }
+}

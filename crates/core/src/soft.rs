@@ -1,0 +1,223 @@
+//! Soft-fault extension (§7: "Our algorithm can easily be adapted for soft
+//! faults").
+//!
+//! A *soft* fault silently corrupts a processor's output instead of killing
+//! it. The same redundant evaluation points that absorb hard faults give
+//! **detection and correction**: with `f` redundant points there are
+//! `2k−1+f` point-products of a degree-`2k−2` product polynomial, i.e. a
+//! codeword of an MDS code with `f` parity symbols — up to `⌊f/2⌋`
+//! corruptions are correctable, and up to `f` are detectable.
+//!
+//! [`verify_products`] checks consistency: interpolate from the first
+//! `2k−1` products and test that the remaining evaluations match.
+//! [`correct_products`] locates up to `⌊f/2⌋` corrupted products by subset
+//! search (feasible for the small `2k−1+f` involved) and repairs them.
+//! [`toom_soft_verified`] wraps a sequential Toom-Cook step with an
+//! optional corruption injector and end-to-end verification.
+
+use crate::bilinear::interpolation_from_survivors;
+use crate::points::{classic_points, extend_points};
+use ft_algebra::points::{eval_matrix, for_each_combination};
+use ft_algebra::HPoint;
+use ft_bigint::BigInt;
+
+/// Outcome of a soft-fault check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SoftCheck {
+    /// All `2k−1+f` evaluations are consistent.
+    Consistent,
+    /// Inconsistency detected but not locatable within the correction
+    /// radius.
+    Detected,
+    /// Corrupted product indices, located and corrected.
+    Corrected(Vec<usize>),
+}
+
+/// Check that the extended product vector is a consistent evaluation of a
+/// single degree-`2k−2` polynomial: interpolate from `reference` (any
+/// `2k−1` indices) and verify every other product.
+#[must_use]
+pub fn verify_products(products: &[BigInt], points: &[HPoint], k: usize) -> bool {
+    let width = 2 * k - 1;
+    assert!(products.len() >= width);
+    assert_eq!(products.len(), points.len());
+    let base: Vec<usize> = (0..width).collect();
+    let interp = interpolation_from_survivors(points, &base, width);
+    let chosen: Vec<BigInt> = base.iter().map(|&i| products[i].clone()).collect();
+    // A corrupted product typically makes interpolation non-integral —
+    // that alone is an inconsistency; otherwise re-evaluate and compare.
+    match interp.checked_apply(&chosen) {
+        Err(_) => false,
+        Ok(coeffs) => {
+            let eval = eval_matrix(points, width);
+            let re = eval.matvec(&coeffs);
+            re == products
+        }
+    }
+}
+
+/// Locate and correct up to `⌊f/2⌋` corrupted products. Returns the
+/// corrected vector and what happened. Subset search: find a set of
+/// `2k−1 + ⌈f/2⌉` mutually consistent products — unique when at most
+/// `⌊f/2⌋` are corrupted — and re-derive the rest.
+#[must_use]
+pub fn correct_products(
+    products: &[BigInt],
+    points: &[HPoint],
+    k: usize,
+) -> (Vec<BigInt>, SoftCheck) {
+    let width = 2 * k - 1;
+    let n = products.len();
+    let f = n - width;
+    if verify_products(products, points, k) {
+        return (products.to_vec(), SoftCheck::Consistent);
+    }
+    // A consensus set must out-vote the corrupted minority.
+    let need = width + f.div_ceil(2);
+    if need > n {
+        return (products.to_vec(), SoftCheck::Detected);
+    }
+    let eval = eval_matrix(points, width);
+    let mut found: Option<Vec<BigInt>> = None;
+    for_each_combination(n, need, |subset| {
+        // Interpolate from the first `width` of the subset, check the rest
+        // of the subset for consistency.
+        let base: Vec<usize> = subset[..width].to_vec();
+        let interp = interpolation_from_survivors(points, &base, width);
+        let chosen: Vec<BigInt> = base.iter().map(|&i| products[i].clone()).collect();
+        let Ok(coeffs) = interp.checked_apply(&chosen) else {
+            return true; // corrupted subset — keep searching
+        };
+        let re = eval.matvec(&coeffs);
+        let consistent = subset.iter().all(|&i| re[i] == products[i]);
+        if consistent {
+            found = Some(re);
+            false // stop search
+        } else {
+            true
+        }
+    });
+    match found {
+        Some(re) => {
+            let bad: Vec<usize> = (0..n).filter(|&i| re[i] != products[i]).collect();
+            if bad.len() <= f / 2 {
+                (re, SoftCheck::Corrected(bad))
+            } else {
+                (products.to_vec(), SoftCheck::Detected)
+            }
+        }
+        None => (products.to_vec(), SoftCheck::Detected),
+    }
+}
+
+/// One Toom-Cook-`k` multiplication step with `f` redundant evaluations and
+/// soft-fault verification. `corrupt` optionally flips product `idx` by
+/// `delta` (simulating a miscalculating processor). Returns the product and
+/// the check outcome; the product is correct whenever the outcome is not
+/// [`SoftCheck::Detected`].
+#[must_use]
+pub fn toom_soft_verified(
+    a: &BigInt,
+    b: &BigInt,
+    k: usize,
+    f: usize,
+    corrupt: &[(usize, i64)],
+) -> (BigInt, SoftCheck) {
+    let sign = a.sign().mul(b.sign());
+    if sign == ft_bigint::Sign::Zero {
+        return (BigInt::zero(), SoftCheck::Consistent);
+    }
+    let (a, b) = (a.abs(), b.abs());
+    let width = 2 * k - 1;
+    let points = extend_points(&classic_points(k), f);
+    let w = BigInt::shared_digit_width(&a, &b, k);
+    let da = a.split_base_pow2(w, k);
+    let db = b.split_base_pow2(w, k);
+    let u = eval_matrix(&points, k);
+    let ea = u.matvec(&da);
+    let eb = u.matvec(&db);
+    let mut prods: Vec<BigInt> = ea.iter().zip(&eb).map(|(x, y)| x * y).collect();
+    for &(idx, delta) in corrupt {
+        prods[idx] += &BigInt::from(delta);
+    }
+    let (fixed, outcome) = correct_products(&prods, &points, k);
+    let base: Vec<usize> = (0..width).collect();
+    let interp = interpolation_from_survivors(&points, &base, width);
+    // After correction (or in the Detected case, best-effort on the
+    // original data) interpolate from the first 2k−1 products; fall back
+    // to rational-cleared division failure only in the Detected case.
+    let coeffs = match interp.checked_apply(&fixed[..width]) {
+        Ok(c) => c,
+        Err(_) => return (BigInt::zero(), SoftCheck::Detected),
+    };
+    let mag = BigInt::join_base_pow2(&coeffs, w);
+    let product = if sign == ft_bigint::Sign::Negative { -mag } else { mag };
+    (product, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn random_pair(bits: u64, seed: u64) -> (BigInt, BigInt) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (
+            BigInt::random_bits(&mut rng, bits),
+            BigInt::random_bits(&mut rng, bits),
+        )
+    }
+
+    #[test]
+    fn clean_run_is_consistent() {
+        let (a, b) = random_pair(500, 1);
+        let (prod, check) = toom_soft_verified(&a, &b, 3, 2, &[]);
+        assert_eq!(check, SoftCheck::Consistent);
+        assert_eq!(prod, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn single_corruption_detected_with_f1() {
+        // f = 1 can detect but not correct.
+        let (a, b) = random_pair(500, 2);
+        let (_, check) = toom_soft_verified(&a, &b, 3, 1, &[(2, 12345)]);
+        assert_eq!(check, SoftCheck::Detected);
+    }
+
+    #[test]
+    fn single_corruption_corrected_with_f2() {
+        let (a, b) = random_pair(500, 3);
+        for idx in 0..7 {
+            let (prod, check) = toom_soft_verified(&a, &b, 3, 2, &[(idx, -999)]);
+            assert_eq!(check, SoftCheck::Corrected(vec![idx]), "idx={idx}");
+            assert_eq!(prod, a.mul_schoolbook(&b), "idx={idx}");
+        }
+    }
+
+    #[test]
+    fn double_corruption_corrected_with_f4() {
+        let (a, b) = random_pair(400, 4);
+        let (prod, check) = toom_soft_verified(&a, &b, 2, 4, &[(1, 7), (5, -3)]);
+        assert_eq!(check, SoftCheck::Corrected(vec![1, 5]));
+        assert_eq!(prod, a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn verify_accepts_clean_vectors() {
+        let points = extend_points(&classic_points(2), 2);
+        let coeffs: Vec<BigInt> = [3i64, -1, 4].iter().map(|&v| BigInt::from(v)).collect();
+        let prods = eval_matrix(&points, 3).matvec(&coeffs);
+        assert!(verify_products(&prods, &points, 2));
+        let mut bad = prods.clone();
+        bad[4] += &BigInt::one();
+        assert!(!verify_products(&bad, &points, 2));
+    }
+
+    #[test]
+    fn zero_input_short_circuits() {
+        let (a, _) = random_pair(100, 5);
+        let (p, c) = toom_soft_verified(&BigInt::zero(), &a, 3, 2, &[]);
+        assert!(p.is_zero());
+        assert_eq!(c, SoftCheck::Consistent);
+    }
+}

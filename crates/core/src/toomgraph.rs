@@ -1,0 +1,376 @@
+//! The Toom-Graph technique (Definition 2.3, Bodrato–Zanoni): replace the
+//! interpolation matrix–vector product with a short **inversion sequence**
+//! of elementary row operations mapping the evaluated products to the
+//! product coefficients.
+//!
+//! Two ways to obtain a sequence:
+//! - [`bodrato_tc3`] — the hand-optimized 8-operation sequence for
+//!   Toom-Cook-3 on `{0, 1, −1, 2, ∞}` (the GMP `toom_interpolate_5pts`
+//!   schedule), plus the trivial Karatsuba sequence ([`karatsuba_seq`]);
+//! - [`search_sequence`] — a uniform-cost search over the Toom-Graph
+//!   (vertices = matrices reachable from the evaluation matrix by row
+//!   operations; Dijkstra with unit edge costs), practical for small `k`.
+//!
+//! Every sequence is verified against its evaluation matrix: applying the
+//! operations to `E` row-wise must yield the identity (i.e. the sequence
+//! computes `E⁻¹·v` for any `v`). Remark 4.1: the technique applies
+//! unchanged to the fault-tolerant algorithm (the interpolation step is the
+//! same linear solve).
+
+use ft_algebra::{Matrix, Rational};
+use ft_bigint::BigInt;
+use std::collections::{HashMap, VecDeque};
+
+/// One elementary linear operation on a vector of values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowOp {
+    /// `v[dst] += c · v[src]` (for `c = ±1` this is an add/sub).
+    AddMul {
+        /// Destination row.
+        dst: usize,
+        /// Source row.
+        src: usize,
+        /// Small integer multiplier.
+        c: i64,
+    },
+    /// `v[dst] /= d` — exact by construction.
+    DivExact {
+        /// Destination row.
+        dst: usize,
+        /// Small divisor (2 and 3 in practice — shifts and div-by-3).
+        d: i64,
+    },
+    /// `v[dst] *= c`.
+    Scale {
+        /// Destination row.
+        dst: usize,
+        /// Small multiplier.
+        c: i64,
+    },
+}
+
+/// An inversion sequence: row operations (+ a final permutation) that send
+/// the evaluated values to the interpolated coefficients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InversionSequence {
+    n: usize,
+    ops: Vec<RowOp>,
+    /// `perm[i]` = which slot holds output coefficient `i` after the ops.
+    perm: Vec<usize>,
+}
+
+impl InversionSequence {
+    /// Build a sequence. `perm[i]` names the slot holding coefficient `i`
+    /// after applying `ops`.
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a permutation of `0..n`.
+    #[must_use]
+    pub fn new(n: usize, ops: Vec<RowOp>, perm: Vec<usize>) -> InversionSequence {
+        assert_eq!(perm.len(), n);
+        let mut seen = vec![false; n];
+        for &p in &perm {
+            assert!(p < n && !seen[p], "perm must be a permutation");
+            seen[p] = true;
+        }
+        InversionSequence { n, ops, perm }
+    }
+
+    /// Width of the sequence.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.n
+    }
+
+    /// Number of elementary operations (the Toom-Graph path cost under
+    /// unit weights).
+    #[must_use]
+    pub fn cost(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The operations.
+    #[must_use]
+    pub fn ops(&self) -> &[RowOp] {
+        &self.ops
+    }
+
+    /// Apply to a vector of big integers: returns the interpolated
+    /// coefficients (all divisions exact).
+    ///
+    /// # Panics
+    /// Panics on width mismatch or an inexact division.
+    #[must_use]
+    pub fn apply(&self, values: &[BigInt]) -> Vec<BigInt> {
+        assert_eq!(values.len(), self.n);
+        let mut v: Vec<BigInt> = values.to_vec();
+        for op in &self.ops {
+            match *op {
+                RowOp::AddMul { dst, src, c } => {
+                    let t = v[src].mul_small(c);
+                    v[dst] += &t;
+                }
+                RowOp::DivExact { dst, d } => v[dst] = v[dst].div_exact_small(d),
+                RowOp::Scale { dst, c } => v[dst] = v[dst].mul_small(c),
+            }
+        }
+        self.perm.iter().map(|&slot| v[slot].clone()).collect()
+    }
+
+    /// Verify against an evaluation matrix: applying the sequence to the
+    /// rows of `E` must produce the identity (so `apply(E·c) = c` for all
+    /// `c`).
+    #[must_use]
+    pub fn verifies_against(&self, eval: &Matrix<BigInt>) -> bool {
+        if eval.rows() != self.n || eval.cols() != self.n {
+            return false;
+        }
+        let mut m = eval.to_rational();
+        for op in &self.ops {
+            apply_op_to_matrix(&mut m, *op);
+        }
+        // Row perm[i] must equal e_i.
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let want = if i == j { Rational::one() } else { Rational::zero() };
+                if m[(self.perm[i], j)] != want {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+fn apply_op_to_matrix(m: &mut Matrix<Rational>, op: RowOp) {
+    let n = m.cols();
+    match op {
+        RowOp::AddMul { dst, src, c } => {
+            for j in 0..n {
+                let t = &m[(src, j)] * &Rational::from(c);
+                let s = &m[(dst, j)] + &t;
+                m[(dst, j)] = s;
+            }
+        }
+        RowOp::DivExact { dst, d } => {
+            for j in 0..n {
+                let s = &m[(dst, j)] / &Rational::from(d);
+                m[(dst, j)] = s;
+            }
+        }
+        RowOp::Scale { dst, c } => {
+            for j in 0..n {
+                let s = &m[(dst, j)] * &Rational::from(c);
+                m[(dst, j)] = s;
+            }
+        }
+    }
+}
+
+/// The trivial Karatsuba inversion: `c0 = v(0)`, `c2 = v(∞)`,
+/// `c1 = v(1) − v(0) − v(∞)` — 2 operations.
+#[must_use]
+pub fn karatsuba_seq() -> InversionSequence {
+    InversionSequence::new(
+        3,
+        vec![
+            RowOp::AddMul { dst: 1, src: 0, c: -1 },
+            RowOp::AddMul { dst: 1, src: 2, c: -1 },
+        ],
+        vec![0, 1, 2],
+    )
+}
+
+/// Bodrato's optimal Toom-Cook-3 inversion sequence for the points
+/// `{0, 1, −1, 2, ∞}` (slots: `v0, v1, vm1, v2, vinf`) — 8 elementary
+/// operations, the schedule used by GMP's `mpn_toom_interpolate_5pts`.
+#[must_use]
+pub fn bodrato_tc3() -> InversionSequence {
+    // slots:     0    1    2     3    4
+    //           v0   v1   vm1   v2   vinf
+    InversionSequence::new(
+        5,
+        vec![
+            // v2 ← (v2 − vm1)/3
+            RowOp::AddMul { dst: 3, src: 2, c: -1 },
+            RowOp::DivExact { dst: 3, d: 3 },
+            // vm1 ← (v1 − vm1)/2
+            RowOp::AddMul { dst: 2, src: 1, c: -1 },
+            RowOp::Scale { dst: 2, c: -1 },
+            RowOp::DivExact { dst: 2, d: 2 },
+            // v1 ← v1 − v0
+            RowOp::AddMul { dst: 1, src: 0, c: -1 },
+            // v2 ← (v2 − v1)/2
+            RowOp::AddMul { dst: 3, src: 1, c: -1 },
+            RowOp::DivExact { dst: 3, d: 2 },
+            // v1 ← v1 − vm1 − vinf
+            RowOp::AddMul { dst: 1, src: 2, c: -1 },
+            RowOp::AddMul { dst: 1, src: 4, c: -1 },
+            // v2 ← v2 − 2·vinf
+            RowOp::AddMul { dst: 3, src: 4, c: -2 },
+            // vm1 ← vm1 − v2
+            RowOp::AddMul { dst: 2, src: 3, c: -1 },
+        ],
+        // c0..c4 live in slots v0, vm1, v1, v2, vinf.
+        vec![0, 2, 1, 3, 4],
+    )
+}
+
+/// Search the Toom-Graph for an inversion sequence of at most `max_ops`
+/// operations from the evaluation matrix to (a row permutation of) the
+/// identity. Unit edge costs; allowed edges: `AddMul` with `c ∈ {−2,−1,1,2}`
+/// and `DivExact` with `d ∈ {2, 3}`. Breadth-first (= Dijkstra under unit
+/// weights). Exponential — intended for small `k` (the Karatsuba case, and
+/// sanity checks).
+#[must_use]
+pub fn search_sequence(eval: &Matrix<BigInt>, max_ops: usize) -> Option<InversionSequence> {
+    let n = eval.rows();
+    assert!(eval.is_square());
+    let start = eval.to_rational();
+    let key = |m: &Matrix<Rational>| -> String {
+        let mut s = String::new();
+        for i in 0..n {
+            for j in 0..n {
+                s.push_str(&format!("{},", m[(i, j)]));
+            }
+        }
+        s
+    };
+    let id_perm = |m: &Matrix<Rational>| -> Option<Vec<usize>> {
+        // Is m a permutation of identity rows? perm[i] = row holding e_i.
+        let mut perm = vec![usize::MAX; n];
+        for r in 0..n {
+            let mut hot = None;
+            for j in 0..n {
+                if m[(r, j)] == Rational::one() {
+                    if hot.is_some() {
+                        return None;
+                    }
+                    hot = Some(j);
+                } else if !m[(r, j)].is_zero() {
+                    return None;
+                }
+            }
+            let j = hot?;
+            if perm[j] != usize::MAX {
+                return None;
+            }
+            perm[j] = r;
+        }
+        Some(perm)
+    };
+
+    let mut queue: VecDeque<(Matrix<Rational>, Vec<RowOp>)> = VecDeque::new();
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    queue.push_back((start.clone(), Vec::new()));
+    seen.insert(key(&start), 0);
+    while let Some((m, path)) = queue.pop_front() {
+        if let Some(perm) = id_perm(&m) {
+            return Some(InversionSequence::new(n, path, perm));
+        }
+        if path.len() >= max_ops {
+            continue;
+        }
+        let mut candidates: Vec<RowOp> = Vec::new();
+        for dst in 0..n {
+            for src in 0..n {
+                if src != dst {
+                    for c in [-2i64, -1, 1, 2] {
+                        candidates.push(RowOp::AddMul { dst, src, c });
+                    }
+                }
+            }
+            for d in [2i64, 3] {
+                candidates.push(RowOp::DivExact { dst, d });
+            }
+        }
+        for op in candidates {
+            let mut next = m.clone();
+            apply_op_to_matrix(&mut next, op);
+            let k = key(&next);
+            let depth = path.len() + 1;
+            if seen.get(&k).is_none_or(|&d| depth < d) {
+                seen.insert(k, depth);
+                let mut np = path.clone();
+                np.push(op);
+                queue.push_back((next, np));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bilinear::ToomPlan;
+    use crate::points::classic_points;
+    use ft_algebra::points::eval_matrix;
+    use rand::SeedableRng;
+
+    #[test]
+    fn karatsuba_sequence_verifies() {
+        let e = eval_matrix(&classic_points(2), 3);
+        let seq = karatsuba_seq();
+        assert!(seq.verifies_against(&e));
+        assert_eq!(seq.cost(), 2);
+    }
+
+    #[test]
+    fn bodrato_tc3_verifies() {
+        let e = eval_matrix(&classic_points(3), 5);
+        let seq = bodrato_tc3();
+        assert!(seq.verifies_against(&e), "Bodrato sequence must invert E");
+    }
+
+    #[test]
+    fn bodrato_matches_matrix_interpolation() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let plan = ToomPlan::new(3);
+        let seq = bodrato_tc3();
+        for _ in 0..10 {
+            let coeffs: Vec<BigInt> = (0..5)
+                .map(|_| BigInt::random_signed_bits(&mut rng, 100))
+                .collect();
+            let evals = ft_algebra::points::eval_matrix(&classic_points(3), 5).matvec(&coeffs);
+            assert_eq!(seq.apply(&evals), coeffs.clone());
+            assert_eq!(plan.interp_matrix().apply(&evals), coeffs);
+        }
+    }
+
+    #[test]
+    fn apply_rejects_wrong_width() {
+        let seq = karatsuba_seq();
+        let r = std::panic::catch_unwind(|| seq.apply(&[BigInt::one()]));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn search_finds_karatsuba_optimal() {
+        let e = eval_matrix(&classic_points(2), 3);
+        let seq = search_sequence(&e, 3).expect("searchable");
+        assert!(seq.verifies_against(&e));
+        assert_eq!(seq.cost(), 2, "Karatsuba inversion is 2 ops");
+    }
+
+    #[test]
+    fn search_respects_bound() {
+        let e = eval_matrix(&classic_points(3), 5);
+        // TC-3 needs more ops than 1.
+        assert!(search_sequence(&e, 1).is_none());
+    }
+
+    #[test]
+    fn sequence_cost_comparison() {
+        // The Toom-Graph sequence does ~8 linear ops vs 25 multiply-adds
+        // for the dense matrix — the operation advantage Remark 4.1 cites.
+        let seq = bodrato_tc3();
+        assert!(seq.cost() <= 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_perm_rejected() {
+        let _ = InversionSequence::new(2, vec![], vec![0, 0]);
+    }
+}

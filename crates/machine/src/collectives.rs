@@ -1,0 +1,588 @@
+//! Collective communication operations (§2.4).
+//!
+//! Reductions use bandwidth-optimal ring algorithms (reduce-scatter +
+//! gather), following Sanders–Sibeyn: a reduce of `W` words over a group of
+//! `g` processors costs `F = Θ(W)`, `BW = Θ(W)` per critical path and
+//! `L = Θ(g)` messages. (Lemma 2.5 additionally pipelines `t` simultaneous
+//! reduces to reach `L = O(log P + t)`; we run them sequentially — the
+//! bandwidth and arithmetic terms, which dominate the paper's overhead
+//! claims, are identical. See DESIGN.md §4.)
+//!
+//! Broadcast uses a binomial tree (`BW = Θ(W·log g)` worst case, used for
+//! small payloads) — matching Corollary 2.6's `F = 0` property.
+//!
+//! All groups are explicit rank lists that must contain the calling rank;
+//! every member must call the same collective with the same arguments.
+
+use crate::env::Env;
+use ft_bigint::BigInt;
+
+/// Position of the calling rank within `group`.
+///
+/// # Panics
+/// Panics if the caller is not a member.
+fn my_pos(env: &Env, group: &[usize]) -> usize {
+    group
+        .iter()
+        .position(|&r| r == env.rank())
+        .expect("calling rank not in collective group")
+}
+
+/// Split `len` items into `parts` contiguous ranges (first ranges get the
+/// remainder).
+fn chunk_range(len: usize, parts: usize, idx: usize) -> std::ops::Range<usize> {
+    let base = len / parts;
+    let rem = len % parts;
+    let start = idx * base + idx.min(rem);
+    let size = base + usize::from(idx < rem);
+    start..start + size
+}
+
+/// Elementwise sum of two equal-length blocks.
+fn add_blocks(acc: &mut [BigInt], inc: &[BigInt]) {
+    assert_eq!(acc.len(), inc.len(), "reduce blocks of different lengths");
+    for (a, b) in acc.iter_mut().zip(inc) {
+        *a += b;
+    }
+}
+
+/// Ring reduce-scatter over `group`: every member contributes `data`
+/// (same length everywhere); afterwards member at position `i` owns the
+/// fully reduced chunk `(i + 1) mod g`. Returns `(owned chunk index,
+/// owned chunk values)`.
+pub fn ring_reduce_scatter(
+    env: &Env,
+    group: &[usize],
+    data: &[BigInt],
+    tag: u64,
+) -> (usize, Vec<BigInt>) {
+    let g = group.len();
+    let i = my_pos(env, group);
+    if g == 1 {
+        return (0, data.to_vec());
+    }
+    let mut buf: Vec<BigInt> = data.to_vec();
+    let next = group[(i + 1) % g];
+    let prev = group[(i + g - 1) % g];
+    for step in 0..g - 1 {
+        let send_chunk = (i + g - step) % g;
+        let recv_chunk = (i + g - step - 1) % g;
+        let sr = chunk_range(buf.len(), g, send_chunk);
+        env.send(next, tag + step as u64, &buf[sr]);
+        let incoming = env.recv(prev, tag + step as u64);
+        let rr = chunk_range(buf.len(), g, recv_chunk);
+        add_blocks(&mut buf[rr], &incoming);
+    }
+    let own = (i + 1) % g;
+    let r = chunk_range(buf.len(), g, own);
+    (own, buf[r].to_vec())
+}
+
+/// Ring all-gather of reduced chunks (the second half of a ring
+/// all-reduce): member at position `i` starts owning chunk `(i+1) mod g`
+/// and ends with the full vector of length `len`.
+pub fn ring_all_gather_chunks(
+    env: &Env,
+    group: &[usize],
+    len: usize,
+    my_chunk: Vec<BigInt>,
+    tag: u64,
+) -> Vec<BigInt> {
+    let g = group.len();
+    let i = my_pos(env, group);
+    if g == 1 {
+        return my_chunk;
+    }
+    let mut out: Vec<BigInt> = vec![BigInt::zero(); len];
+    let own = (i + 1) % g;
+    out[chunk_range(len, g, own)].clone_from_slice(&my_chunk);
+    let next = group[(i + 1) % g];
+    let prev = group[(i + g - 1) % g];
+    for step in 0..g - 1 {
+        let send_chunk = (i + 1 + g - step) % g;
+        let recv_chunk = (i + g - step) % g;
+        let sr = chunk_range(len, g, send_chunk);
+        env.send(next, tag + step as u64, &out[sr]);
+        let incoming = env.recv(prev, tag + step as u64);
+        let rr = chunk_range(len, g, recv_chunk);
+        out[rr].clone_from_slice(&incoming);
+    }
+    out
+}
+
+/// All-reduce (elementwise sum) over `group`: `BW = Θ(W)`, `L = Θ(g)`,
+/// `F = Θ(W)` — the cost shape of Lemma 2.5's all-reduce.
+pub fn all_reduce(env: &Env, group: &[usize], data: &[BigInt], tag: u64) -> Vec<BigInt> {
+    let g = group.len() as u64;
+    let (_, chunk) = ring_reduce_scatter(env, group, data, tag);
+    ring_all_gather_chunks(env, group, data.len(), chunk, tag + g)
+}
+
+/// Reduce (elementwise sum) to `root` (a member of `group`): ring
+/// reduce-scatter followed by a chunk gather at the root. Non-roots return
+/// `None`.
+pub fn reduce(
+    env: &Env,
+    group: &[usize],
+    root: usize,
+    data: &[BigInt],
+    tag: u64,
+) -> Option<Vec<BigInt>> {
+    let g = group.len();
+    let i = my_pos(env, group);
+    let root_pos = group
+        .iter()
+        .position(|&r| r == root)
+        .expect("root not in group");
+    if g == 1 {
+        return Some(data.to_vec());
+    }
+    let (own, chunk) = ring_reduce_scatter(env, group, data, tag);
+    let gather_tag = tag + g as u64;
+    if i == root_pos {
+        let mut out = vec![BigInt::zero(); data.len()];
+        out[chunk_range(data.len(), g, own)].clone_from_slice(&chunk);
+        for (pos, &r) in group.iter().enumerate() {
+            if pos == root_pos {
+                continue;
+            }
+            let their_chunk = (pos + 1) % g;
+            let incoming = env.recv(r, gather_tag);
+            out[chunk_range(data.len(), g, their_chunk)].clone_from_slice(&incoming);
+        }
+        Some(out)
+    } else {
+        env.send(root, gather_tag, &chunk);
+        None
+    }
+}
+
+/// Weighted reduce onto an *external* root (not a member of `sources`):
+/// each source scales its block by `weight(position)` and the scaled blocks
+/// are summed at `root`. This is the code-creation primitive of §4.1 —
+/// the code processor (root) ends holding `Σ_l η^l · A_l`.
+///
+/// Sources return `None`; the root (which contributes no data and calls
+/// with `data = None`) returns the weighted sum.
+pub fn weighted_reduce_external(
+    env: &Env,
+    sources: &[usize],
+    root: usize,
+    data: Option<&[BigInt]>,
+    len: usize,
+    weight: &dyn Fn(usize) -> BigInt,
+    tag: u64,
+) -> Option<Vec<BigInt>> {
+    let g = sources.len();
+    assert!(!sources.contains(&root), "external root must not be a source");
+    if env.rank() == root {
+        // Receive the g reduced chunks.
+        let gather_tag = tag + g as u64;
+        let mut out = vec![BigInt::zero(); len];
+        for (pos, &r) in sources.iter().enumerate() {
+            let their_chunk = (pos + 1) % g;
+            let incoming = env.recv(r, gather_tag);
+            out[chunk_range(len, g, their_chunk)].clone_from_slice(&incoming);
+        }
+        return Some(out);
+    }
+    let data = data.expect("source rank must supply data");
+    assert_eq!(data.len(), len);
+    let pos = my_pos(env, sources);
+    let w = weight(pos);
+    let scaled: Vec<BigInt> = data.iter().map(|x| x * &w).collect();
+    let (_, chunk) = ring_reduce_scatter(env, sources, &scaled, tag);
+    env.send(root, tag + g as u64, &chunk);
+    None
+}
+
+/// Binomial-tree broadcast from `root` over `group`. Every member returns
+/// the broadcast data (`F = 0`, Corollary 2.6).
+pub fn bcast(env: &Env, group: &[usize], root: usize, data: Option<&[BigInt]>, tag: u64) -> Vec<BigInt> {
+    let g = group.len();
+    let i = my_pos(env, group);
+    let root_pos = group
+        .iter()
+        .position(|&r| r == root)
+        .expect("root not in group");
+    let rel = (i + g - root_pos) % g;
+    let mut have: Vec<BigInt> = if rel == 0 {
+        data.expect("root must supply broadcast data").to_vec()
+    } else {
+        let lsb = rel & rel.wrapping_neg();
+        let src_rel = rel - lsb;
+        let src = group[(src_rel + root_pos) % g];
+        env.recv(src, tag)
+    };
+    // Forward to children: rel + 2^i for i below our lsb (root: below g).
+    let top_bit = if rel == 0 {
+        usize::BITS - g.leading_zeros() // first power of two >= g
+    } else {
+        rel.trailing_zeros()
+    };
+    for b in (0..top_bit).rev() {
+        let child = rel + (1 << b);
+        if child < g {
+            let dst = group[(child + root_pos) % g];
+            env.send(dst, tag, &have);
+        }
+    }
+    if rel == 0 {
+        have = data.unwrap().to_vec();
+    }
+    have
+}
+
+/// All-gather of variable-length blocks over a ring: every member ends
+/// with every member's block, in group order. `BW = Θ(Σ blocks)`,
+/// `L = Θ(g)` per member.
+pub fn ring_all_gather_blocks(
+    env: &Env,
+    group: &[usize],
+    mine: &[BigInt],
+    tag: u64,
+) -> Vec<Vec<BigInt>> {
+    let g = group.len();
+    let i = my_pos(env, group);
+    let mut out: Vec<Vec<BigInt>> = vec![Vec::new(); g];
+    out[i] = mine.to_vec();
+    if g == 1 {
+        return out;
+    }
+    let next = group[(i + 1) % g];
+    let prev = group[(i + g - 1) % g];
+    for step in 0..g - 1 {
+        // Forward the block received in the previous round (ours first).
+        let fwd = (i + g - step) % g;
+        env.send(next, tag + step as u64, &out[fwd]);
+        let incoming = env.recv(prev, tag + step as u64);
+        let slot = (i + g - step - 1) % g;
+        out[slot] = incoming;
+    }
+    out
+}
+
+/// Scatter: the root sends block `i` of `blocks` to group member `i`;
+/// every member returns its own block. Non-roots pass `None`.
+///
+/// # Panics
+/// Panics if the root supplies a wrong number of blocks.
+pub fn scatter(
+    env: &Env,
+    group: &[usize],
+    root: usize,
+    blocks: Option<&[Vec<BigInt>]>,
+    tag: u64,
+) -> Vec<BigInt> {
+    let i = my_pos(env, group);
+    let root_pos = group
+        .iter()
+        .position(|&r| r == root)
+        .expect("root not in group");
+    if i == root_pos {
+        let blocks = blocks.expect("root must supply scatter blocks");
+        assert_eq!(blocks.len(), group.len(), "one block per member");
+        for (pos, &r) in group.iter().enumerate() {
+            if pos != root_pos {
+                env.send(r, tag, &blocks[pos]);
+            }
+        }
+        blocks[i].clone()
+    } else {
+        env.recv(root, tag)
+    }
+}
+
+/// Personalized all-to-all: member `i` sends `blocks[j]` to member `j` and
+/// returns the blocks received, indexed by sender position (its own block
+/// passes through untouched). This is the communication pattern of the
+/// BFS up-step.
+///
+/// # Panics
+/// Panics on a wrong block count.
+pub fn all_to_all(
+    env: &Env,
+    group: &[usize],
+    blocks: &[Vec<BigInt>],
+    tag: u64,
+) -> Vec<Vec<BigInt>> {
+    let g = group.len();
+    assert_eq!(blocks.len(), g, "one block per member");
+    let i = my_pos(env, group);
+    for (pos, &r) in group.iter().enumerate() {
+        if pos != i {
+            env.send(r, tag, &blocks[pos]);
+        }
+    }
+    (0..g)
+        .map(|pos| {
+            if pos == i {
+                blocks[i].clone()
+            } else {
+                env.recv(group[pos], tag)
+            }
+        })
+        .collect()
+}
+
+/// Gather every member's block at `root` (direct sends). The root returns
+/// the blocks in group order; others return `None`.
+pub fn gather(
+    env: &Env,
+    group: &[usize],
+    root: usize,
+    data: &[BigInt],
+    tag: u64,
+) -> Option<Vec<Vec<BigInt>>> {
+    let root_pos = group
+        .iter()
+        .position(|&r| r == root)
+        .expect("root not in group");
+    let i = my_pos(env, group);
+    if i == root_pos {
+        let mut out: Vec<Vec<BigInt>> = vec![Vec::new(); group.len()];
+        out[i] = data.to_vec();
+        for (pos, &r) in group.iter().enumerate() {
+            if pos != root_pos {
+                out[pos] = env.recv(r, tag);
+            }
+        }
+        Some(out)
+    } else {
+        env.send(root, tag, data);
+        None
+    }
+}
+
+/// Barrier over `group`: binomial gather of empty messages to the first
+/// member, then a broadcast back.
+pub fn barrier(env: &Env, group: &[usize], tag: u64) {
+    let _ = gather(env, group, group[0], &[], tag);
+    let _ = bcast(env, group, group[0], Some(&[]), tag + 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{Machine, MachineConfig};
+
+    fn ints(vs: &[i64]) -> Vec<BigInt> {
+        vs.iter().map(|&v| BigInt::from(v)).collect()
+    }
+
+    #[test]
+    fn chunk_ranges_partition() {
+        for (len, parts) in [(10, 3), (3, 5), (0, 2), (8, 8), (7, 1)] {
+            let mut covered = 0;
+            for i in 0..parts {
+                let r = chunk_range(len, parts, i);
+                assert_eq!(r.start, covered, "len={len} parts={parts} i={i}");
+                covered = r.end;
+            }
+            assert_eq!(covered, len);
+        }
+    }
+
+    #[test]
+    fn all_reduce_sums_across_group() {
+        let machine = Machine::new(MachineConfig::new(5));
+        let report = machine.run(|env| {
+            let group: Vec<usize> = (0..5).collect();
+            let mine = ints(&[env.rank() as i64, 10 * env.rank() as i64, 7]);
+            all_reduce(env, &group, &mine, 100)
+        });
+        let expected = ints(&[10, 100, 35]);
+        for r in &report.results {
+            assert_eq!(r, &expected);
+        }
+    }
+
+    #[test]
+    fn all_reduce_bandwidth_is_linear_not_logarithmic() {
+        // BW per rank ~ 2W regardless of group size (ring optimality).
+        let w = 64usize;
+        let machine = Machine::new(MachineConfig::new(8));
+        let report = machine.run(|env| {
+            let group: Vec<usize> = (0..8).collect();
+            let mine: Vec<BigInt> = (0..w).map(|i| BigInt::from(i as u64 + 1)).collect();
+            all_reduce(env, &group, &mine, 0);
+        });
+        let cp = report.critical_path();
+        assert!(
+            cp.bw <= 3 * w as u64,
+            "critical-path BW {} should be Θ(W)≈{}, not W·log g",
+            cp.bw,
+            2 * w
+        );
+    }
+
+    #[test]
+    fn reduce_to_each_root() {
+        for root in 0..4 {
+            let machine = Machine::new(MachineConfig::new(4));
+            let report = machine.run(move |env| {
+                let group: Vec<usize> = (0..4).collect();
+                reduce(env, &group, root, &ints(&[1, 2, 3, 4, 5]), 0)
+            });
+            for (rank, res) in report.results.iter().enumerate() {
+                if rank == root {
+                    assert_eq!(res.as_ref().unwrap(), &ints(&[4, 8, 12, 16, 20]));
+                } else {
+                    assert!(res.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subgroup_collectives() {
+        // Only even ranks participate; odds do unrelated sends.
+        let machine = Machine::new(MachineConfig::new(6));
+        let report = machine.run(|env| {
+            let group = vec![0, 2, 4];
+            if env.rank() % 2 == 0 {
+                Some(all_reduce(env, &group, &ints(&[env.rank() as i64]), 50))
+            } else {
+                None
+            }
+        });
+        for rank in [0usize, 2, 4] {
+            assert_eq!(report.results[rank].as_ref().unwrap(), &ints(&[6]));
+        }
+    }
+
+    #[test]
+    fn bcast_from_all_roots() {
+        for root in 0..5 {
+            let machine = Machine::new(MachineConfig::new(5));
+            let report = machine.run(move |env| {
+                let group: Vec<usize> = (0..5).collect();
+                let data = ints(&[99, -5]);
+                bcast(
+                    env,
+                    &group,
+                    root,
+                    (env.rank() == root).then_some(&data[..]),
+                    7,
+                )
+            });
+            for r in &report.results {
+                assert_eq!(r, &ints(&[99, -5]), "root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_reduce_external_root() {
+        // Sources 0..3 hold blocks; rank 3 is the code processor with
+        // weights η^pos for η = 2.
+        let machine = Machine::new(MachineConfig::new(4));
+        let report = machine.run(|env| {
+            let sources = vec![0, 1, 2];
+            let mine = ints(&[(env.rank() + 1) as i64, 10]);
+            weighted_reduce_external(
+                env,
+                &sources,
+                3,
+                (env.rank() < 3).then_some(&mine[..]),
+                2,
+                &|pos| BigInt::from(2u64).pow(pos as u32),
+                0,
+            )
+        });
+        // Σ 2^pos · block_pos = 1·[1,10] + 2·[2,10] + 4·[3,10] = [17, 70]
+        assert_eq!(report.results[3].as_ref().unwrap(), &ints(&[17, 70]));
+        assert!(report.results[0].is_none());
+    }
+
+    #[test]
+    fn gather_collects_in_order() {
+        let machine = Machine::new(MachineConfig::new(3));
+        let report = machine.run(|env| {
+            let group = vec![0, 1, 2];
+            gather(env, &group, 1, &ints(&[env.rank() as i64 * 11]), 3)
+        });
+        assert_eq!(
+            report.results[1].as_ref().unwrap(),
+            &vec![ints(&[0]), ints(&[11]), ints(&[22])]
+        );
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let machine = Machine::new(MachineConfig::new(7));
+        let report = machine.run(|env| {
+            let group: Vec<usize> = (0..7).collect();
+            barrier(env, &group, 1000);
+            true
+        });
+        assert!(report.results.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn ring_all_gather_blocks_orders_by_member() {
+        let machine = Machine::new(MachineConfig::new(4));
+        let report = machine.run(|env| {
+            let group: Vec<usize> = (0..4).collect();
+            // Variable-length blocks.
+            let mine: Vec<BigInt> =
+                (0..=env.rank()).map(|v| BigInt::from(v as u64)).collect();
+            ring_all_gather_blocks(env, &group, &mine, 0)
+        });
+        for r in &report.results {
+            assert_eq!(r.len(), 4);
+            for (pos, block) in r.iter().enumerate() {
+                assert_eq!(block.len(), pos + 1, "block sizes preserved");
+                assert_eq!(block[pos], BigInt::from(pos as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_blocks() {
+        let machine = Machine::new(MachineConfig::new(3));
+        let report = machine.run(|env| {
+            let group = vec![0, 1, 2];
+            let blocks: Vec<Vec<BigInt>> =
+                (0..3).map(|i| ints(&[i * 100, i * 100 + 1])).collect();
+            scatter(
+                env,
+                &group,
+                0,
+                (env.rank() == 0).then_some(&blocks[..]),
+                9,
+            )
+        });
+        for (rank, r) in report.results.iter().enumerate() {
+            assert_eq!(r, &ints(&[rank as i64 * 100, rank as i64 * 100 + 1]));
+        }
+    }
+
+    #[test]
+    fn all_to_all_transposes() {
+        let machine = Machine::new(MachineConfig::new(3));
+        let report = machine.run(|env| {
+            let group = vec![0, 1, 2];
+            // blocks[j] = [my_rank, j]
+            let blocks: Vec<Vec<BigInt>> =
+                (0..3).map(|j| ints(&[env.rank() as i64, j as i64])).collect();
+            all_to_all(env, &group, &blocks, 40)
+        });
+        for (me, r) in report.results.iter().enumerate() {
+            for (sender, block) in r.iter().enumerate() {
+                assert_eq!(block, &ints(&[sender as i64, me as i64]));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_arithmetic_is_metered() {
+        let machine = Machine::new(MachineConfig::new(4));
+        let report = machine.run(|env| {
+            let group: Vec<usize> = (0..4).collect();
+            let mine: Vec<BigInt> = (0..32).map(|_| BigInt::from(u64::MAX)).collect();
+            all_reduce(env, &group, &mine, 0);
+        });
+        assert!(report.critical_path().f > 0, "reduction additions must be charged");
+    }
+}

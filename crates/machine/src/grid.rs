@@ -1,0 +1,190 @@
+//! The §3 processor grid: `P = (2k−1)^m` processors labelled by
+//! `m`-digit strings in base `q = 2k−1`, arranged per BFS step `s` as a
+//! `(P/q) × q` grid where the `s`-th digit selects the column and the
+//! remaining digits the row.
+
+/// Grid topology helper for BFS-DFS Toom-Cook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ToomGrid {
+    p: usize,
+    q: usize,
+    steps: usize,
+}
+
+impl ToomGrid {
+    /// Create a grid of `p` processors in base `q` (requires `p = q^m`).
+    ///
+    /// # Panics
+    /// Panics if `p` is not a positive power of `q` (or `p != 1` when
+    /// allowing the trivial grid) or `q < 2`.
+    #[must_use]
+    pub fn new(p: usize, q: usize) -> ToomGrid {
+        assert!(q >= 2, "grid base must be at least 2");
+        assert!(p >= 1);
+        let mut steps = 0;
+        let mut acc = 1usize;
+        while acc < p {
+            acc *= q;
+            steps += 1;
+        }
+        assert_eq!(acc, p, "processor count {p} is not a power of {q}");
+        ToomGrid { p, q, steps }
+    }
+
+    /// Total processors `P`.
+    #[must_use]
+    pub fn processors(&self) -> usize {
+        self.p
+    }
+
+    /// Grid base `q = 2k−1`.
+    #[must_use]
+    pub fn base(&self) -> usize {
+        self.q
+    }
+
+    /// Number of BFS steps `m = log_q P`.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Digit `i` (0 = most significant, consumed by the first BFS step) of
+    /// `rank`'s base-`q` label.
+    ///
+    /// # Panics
+    /// Panics if `i >= steps` or rank out of range.
+    #[must_use]
+    pub fn digit(&self, rank: usize, i: usize) -> usize {
+        assert!(rank < self.p && i < self.steps);
+        (rank / self.q.pow((self.steps - 1 - i) as u32)) % self.q
+    }
+
+    /// Column index of `rank` at BFS step `s` — the `s`-th digit; this is
+    /// the sub-problem index the processor works on in that step.
+    #[must_use]
+    pub fn column(&self, rank: usize, s: usize) -> usize {
+        self.digit(rank, s)
+    }
+
+    /// The *row group* of `rank` at step `s`: the `q` processors agreeing
+    /// with `rank` on every digit except the `s`-th, ordered by that digit
+    /// (so index `j` in the group is the processor assigned sub-problem
+    /// `j`). BFS-step communication happens only inside this group.
+    #[must_use]
+    pub fn row_group(&self, rank: usize, s: usize) -> Vec<usize> {
+        assert!(rank < self.p && s < self.steps);
+        let stride = self.q.pow((self.steps - 1 - s) as u32);
+        let base = rank - self.digit(rank, s) * stride;
+        (0..self.q).map(|j| base + j * stride).collect()
+    }
+
+    /// The *column group* of `rank` at step `s`: the `P/q` processors with
+    /// the same `s`-th digit, in ascending rank order. Linear coding (§4.1)
+    /// protects each column with a per-column erasure code.
+    #[must_use]
+    pub fn col_group(&self, rank: usize, s: usize) -> Vec<usize> {
+        let d = self.digit(rank, s);
+        (0..self.p).filter(|&r| self.digit(r, s) == d).collect()
+    }
+
+    /// Row index of `rank` at step `s` (its position within its column
+    /// group), in `0..P/q`.
+    #[must_use]
+    pub fn row(&self, rank: usize, s: usize) -> usize {
+        self.col_group(rank, s)
+            .iter()
+            .position(|&r| r == rank)
+            .expect("rank in own column group")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_steps() {
+        let g = ToomGrid::new(27, 3);
+        assert_eq!(g.steps(), 3);
+        assert_eq!(g.processors(), 27);
+        let g = ToomGrid::new(1, 5);
+        assert_eq!(g.steps(), 0);
+        let g = ToomGrid::new(25, 5);
+        assert_eq!(g.steps(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power")]
+    fn non_power_rejected() {
+        let _ = ToomGrid::new(10, 3);
+    }
+
+    #[test]
+    fn digits_decompose_rank() {
+        let g = ToomGrid::new(27, 3);
+        // rank 14 = 112 base 3
+        assert_eq!(g.digit(14, 0), 1);
+        assert_eq!(g.digit(14, 1), 1);
+        assert_eq!(g.digit(14, 2), 2);
+    }
+
+    #[test]
+    fn row_groups_partition_and_order() {
+        let g = ToomGrid::new(9, 3);
+        // Step 0: digit 0 varies with stride 3.
+        assert_eq!(g.row_group(4, 0), vec![1, 4, 7]);
+        // Step 1: digit 1 varies with stride 1.
+        assert_eq!(g.row_group(4, 1), vec![3, 4, 5]);
+        // Member j of the group has column j.
+        for s in 0..2 {
+            for rank in 0..9 {
+                let grp = g.row_group(rank, s);
+                assert!(grp.contains(&rank));
+                for (j, &r) in grp.iter().enumerate() {
+                    assert_eq!(g.column(r, s), j);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_groups_are_consistent_across_members() {
+        let g = ToomGrid::new(25, 5);
+        for s in 0..2 {
+            for rank in 0..25 {
+                let grp = g.row_group(rank, s);
+                for &other in &grp {
+                    assert_eq!(g.row_group(other, s), grp, "rank={rank} s={s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col_groups_have_p_over_q_members() {
+        let g = ToomGrid::new(27, 3);
+        for s in 0..3 {
+            for rank in 0..27 {
+                let col = g.col_group(rank, s);
+                assert_eq!(col.len(), 9);
+                assert!(col.contains(&rank));
+                for &r in &col {
+                    assert_eq!(g.digit(r, s), g.digit(rank, s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rows_and_columns_coordinate() {
+        let g = ToomGrid::new(9, 3);
+        // At each step every rank is uniquely (row, column)-addressed.
+        for s in 0..2 {
+            let mut seen = std::collections::HashSet::new();
+            for rank in 0..9 {
+                assert!(seen.insert((g.row(rank, s), g.column(rank, s))));
+            }
+        }
+    }
+}

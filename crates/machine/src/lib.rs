@@ -1,0 +1,48 @@
+//! # ft-machine — a simulated distributed-memory parallel machine
+//!
+//! The paper's model (§2.1): `P` identical processors, each with local
+//! memory of `M` words, connected by a peer-to-peer network; costs are
+//! `F` (word-level arithmetic operations), `BW` (words moved), and `L`
+//! (messages), all **counted along the critical path**, with total run time
+//! modeled as `C = α·L + β·BW + γ·F`.
+//!
+//! This crate realizes that model as an executable machine:
+//!
+//! - **SPMD execution** — every simulated processor runs the same program
+//!   closure on its own OS thread (like an MPI rank) with blocking
+//!   point-to-point sends/receives ([`Env::send`] / [`Env::recv`]).
+//! - **Cost accounting** — each rank carries a [`CostVector`]; arithmetic
+//!   is metered automatically through `ft-bigint`'s thread-local counter,
+//!   sends add words/messages, and receives max-join the sender's vector,
+//!   so per-metric critical-path totals fall out of the run (Yang–Miller
+//!   critical-path counting, the paper's ref. 81).
+//! - **Hard faults** — a [`FaultPlan`] kills a chosen rank at a chosen
+//!   [`Env::fault_point`]; the dead rank loses all state (its pending
+//!   messages are purged) and its thread continues as the *replacement*
+//!   processor, which must be re-filled by the algorithm's recovery
+//!   protocol. This matches §2.1: "the affected processor ceases operation,
+//!   loses its data, and is subsequently replaced by an alternative
+//!   processor". Failure detection is by oracle (the plan is visible to
+//!   survivors), standing in for the heartbeat layer real machines use.
+//! - **Collectives** — broadcast / reduce / all-reduce / all-gather built
+//!   from point-to-point messages with bandwidth-optimal algorithms
+//!   (ring reduce-scatter/all-gather), plus the `t`-reduce of Lemma 2.5
+//!   (implemented as sequential reduces; see DESIGN.md for the latency
+//!   caveat).
+//! - **Grid topology** — the `(P/(2k−1)) × (2k−1)` processor grid of §3
+//!   with per-BFS-step row/column groups derived from base-(2k−1) digit
+//!   strings.
+
+pub mod collectives;
+pub mod cost;
+pub mod env;
+pub mod grid;
+pub mod message;
+pub mod stats;
+pub mod trace;
+
+pub use cost::{CostParams, CostVector};
+pub use env::{Env, Fate, FaultPlan, FaultSpec, Machine, MachineConfig, RankReport, RunReport};
+pub use grid::ToomGrid;
+pub use stats::TraceStats;
+pub use trace::TraceEvent;

@@ -1,0 +1,51 @@
+//! Message envelopes exchanged between simulated processors.
+
+use crate::cost::CostVector;
+use ft_bigint::BigInt;
+
+/// Matching key for receives: `(source rank, tag)`.
+pub type MatchKey = (usize, u64);
+
+/// A point-to-point message.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sending rank.
+    pub src: usize,
+    /// Application tag (namespaced by the algorithm layer).
+    pub tag: u64,
+    /// Payload: a block of big integers. The bandwidth charge is the total
+    /// word (limb) count of the payload.
+    pub payload: Vec<BigInt>,
+    /// Sender's critical-path cost snapshot *after* charging the send.
+    pub cost: CostVector,
+    /// Sender incarnation (bumped after each death) — lets receivers drop
+    /// stale messages from a pre-fault incarnation if protocols ever race.
+    pub incarnation: u32,
+}
+
+impl Message {
+    /// Total words (limbs) in the payload — the `BW` charge for this
+    /// message. Zero-limb integers still occupy a word slot (a header word)
+    /// so that vectors of zeros are not free to ship.
+    #[must_use]
+    pub fn word_count(payload: &[BigInt]) -> u64 {
+        payload.iter().map(|b| b.word_len().max(1) as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_count_counts_limbs() {
+        let payload = vec![
+            BigInt::zero(),                     // 1 (header)
+            BigInt::from(5u64),                 // 1
+            BigInt::from(u128::MAX),            // 2
+            BigInt::from(1u64).shl_bits(200),   // 4
+        ];
+        assert_eq!(Message::word_count(&payload), 8);
+        assert_eq!(Message::word_count(&[]), 0);
+    }
+}

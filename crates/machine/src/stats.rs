@@ -1,0 +1,132 @@
+//! Trace analytics: turn a run's message trace into per-edge and per-rank
+//! communication statistics — the tooling behind the Figure-1/2/3
+//! structural verifications and general debugging of communication
+//! patterns.
+
+use crate::trace::TraceEvent;
+use std::collections::HashMap;
+
+/// Aggregated communication statistics for one run trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    /// Messages per `(src, dst)` pair.
+    pub edges: HashMap<(usize, usize), EdgeStats>,
+    /// Total messages.
+    pub messages: u64,
+    /// Total words.
+    pub words: u64,
+    /// Deaths per rank.
+    pub deaths: HashMap<usize, u32>,
+}
+
+/// Per-edge aggregate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeStats {
+    /// Messages sent along this edge.
+    pub messages: u64,
+    /// Words sent along this edge.
+    pub words: u64,
+}
+
+impl TraceStats {
+    /// Aggregate a trace.
+    #[must_use]
+    pub fn from_trace(trace: &[TraceEvent]) -> TraceStats {
+        let mut out = TraceStats::default();
+        for ev in trace {
+            match ev {
+                TraceEvent::Send { src, dst, words, .. } => {
+                    let e = out.edges.entry((*src, *dst)).or_default();
+                    e.messages += 1;
+                    e.words += words;
+                    out.messages += 1;
+                    out.words += words;
+                }
+                TraceEvent::Death { rank, .. } => {
+                    *out.deaths.entry(*rank).or_default() += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Words sent by each rank (sparse; absent = 0).
+    #[must_use]
+    pub fn words_by_sender(&self) -> HashMap<usize, u64> {
+        let mut m: HashMap<usize, u64> = HashMap::new();
+        for (&(src, _), e) in &self.edges {
+            *m.entry(src).or_default() += e.words;
+        }
+        m
+    }
+
+    /// The fraction of messages whose endpoints satisfy `pred` — e.g. the
+    /// Figure-1 row-locality check.
+    #[must_use]
+    pub fn fraction_matching(&self, pred: impl Fn(usize, usize) -> bool) -> f64 {
+        if self.messages == 0 {
+            return 1.0;
+        }
+        let matching: u64 = self
+            .edges
+            .iter()
+            .filter(|(&(s, d), _)| pred(s, d))
+            .map(|(_, e)| e.messages)
+            .sum();
+        matching as f64 / self.messages as f64
+    }
+
+    /// Edges sorted by descending word volume (for reports).
+    #[must_use]
+    pub fn heaviest_edges(&self, top: usize) -> Vec<((usize, usize), EdgeStats)> {
+        let mut v: Vec<((usize, usize), EdgeStats)> =
+            self.edges.iter().map(|(&k, &e)| (k, e)).collect();
+        v.sort_by(|a, b| b.1.words.cmp(&a.1.words).then(a.0.cmp(&b.0)));
+        v.truncate(top);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send(src: usize, dst: usize, words: u64) -> TraceEvent {
+        TraceEvent::Send { src, dst, tag: 0, words }
+    }
+
+    #[test]
+    fn aggregates_edges_and_totals() {
+        let trace = vec![
+            send(0, 1, 10),
+            send(0, 1, 5),
+            send(1, 0, 2),
+            TraceEvent::Death { rank: 1, label: "x".into(), incarnation: 1 },
+        ];
+        let s = TraceStats::from_trace(&trace);
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.words, 17);
+        assert_eq!(s.edges[&(0, 1)], EdgeStats { messages: 2, words: 15 });
+        assert_eq!(s.deaths[&1], 1);
+        assert_eq!(s.words_by_sender()[&0], 15);
+    }
+
+    #[test]
+    fn fraction_matching_predicate() {
+        let trace = vec![send(0, 1, 1), send(2, 3, 1), send(0, 3, 1)];
+        let s = TraceStats::from_trace(&trace);
+        let frac = s.fraction_matching(|a, b| (a < 2) == (b < 2));
+        assert!((frac - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(TraceStats::default().fraction_matching(|_, _| false), 1.0);
+    }
+
+    #[test]
+    fn heaviest_edges_sorted() {
+        let trace = vec![send(0, 1, 1), send(1, 2, 100), send(2, 0, 10)];
+        let s = TraceStats::from_trace(&trace);
+        let top = s.heaviest_edges(2);
+        assert_eq!(top[0].0, (1, 2));
+        assert_eq!(top[1].0, (2, 0));
+        assert_eq!(top.len(), 2);
+    }
+}

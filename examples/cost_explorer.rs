@@ -1,0 +1,98 @@
+//! Cost explorer: sweep `(k, P, f)` on the simulated machine, measure the
+//! critical-path costs `F`, `BW`, `L` of the plain, fault-tolerant, and
+//! replicated algorithms, and print them next to the §5 theory columns —
+//! a miniature interactive version of the Table 1 experiment.
+//!
+//! ```sh
+//! cargo run --release --example cost_explorer [bits]
+//! ```
+
+use ft_bigint::BigInt;
+use ft_toom::ft_machine::FaultPlan;
+use ft_toom::ft_toom_core::baselines::{run_replicated, ReplicationConfig};
+use ft_toom::ft_toom_core::cost::{self, CostModelInput};
+use ft_toom::ft_toom_core::ft::combined::{run_combined_ft, CombinedConfig};
+use ft_toom::ft_toom_core::parallel::{run_parallel, ParallelConfig};
+use rand::SeedableRng;
+
+fn main() {
+    let bits: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let a = BigInt::random_bits(&mut rng, bits);
+    let b = BigInt::random_bits(&mut rng, bits);
+    let expected = a.mul_schoolbook(&b);
+    let f = 1;
+
+    println!("n = {bits} bits, f = {f}");
+    println!(
+        "{:<26} {:>5} {:>12} {:>12} {:>8} {:>7}",
+        "algorithm", "P+", "F (cp)", "BW (cp)", "L (cp)", "extra"
+    );
+
+    for (k, m) in [(2usize, 1usize), (2, 2), (3, 1), (3, 2)] {
+        let base = ParallelConfig::new(k, m);
+        let p = base.processors();
+
+        let plain = run_parallel(&a, &b, &base);
+        assert_eq!(plain.product, expected);
+        let cp = plain.report.critical_path();
+        println!(
+            "{:<26} {:>5} {:>12} {:>12} {:>8} {:>7}",
+            format!("parallel TC-{k} (P={p})"),
+            p,
+            cp.f,
+            cp.bw,
+            cp.l,
+            0
+        );
+
+        let cfg = CombinedConfig::new(base.clone(), f);
+        let ft = run_combined_ft(&a, &b, &cfg, FaultPlan::none());
+        assert_eq!(ft.product, expected);
+        let cpf = ft.report.critical_path();
+        println!(
+            "{:<26} {:>5} {:>12} {:>12} {:>8} {:>7}   F×{:.3} BW×{:.3}",
+            "  + combined FT",
+            cfg.processors(),
+            cpf.f,
+            cpf.bw,
+            cpf.l,
+            cfg.extra_processors(),
+            cpf.f as f64 / cp.f as f64,
+            cpf.bw as f64 / cp.bw.max(1) as f64,
+        );
+
+        let rcfg = ReplicationConfig { base: base.clone(), f };
+        let rep = run_replicated(&a, &b, &rcfg, FaultPlan::none());
+        assert_eq!(rep.product, expected);
+        let cpr = rep.report.critical_path();
+        println!(
+            "{:<26} {:>5} {:>12} {:>12} {:>8} {:>7}   total work ×{:.2}",
+            "  + replication",
+            rcfg.processors(),
+            cpr.f,
+            cpr.bw,
+            cpr.l,
+            rcfg.extra_processors(),
+            rep.report.total_flops() as f64 / plain.report.total_flops() as f64,
+        );
+
+        let inp = CostModelInput {
+            n: bits as f64 / 64.0,
+            p: p as f64,
+            k: k as f64,
+            memory: None,
+            f: f as f64,
+        };
+        let th = cost::parallel_toom(&inp);
+        println!(
+            "{:<26} {:>5} {:>12.0} {:>12.0} {:>8.0}   (Θ-shape, Thm 5.1)",
+            "  theory", "", th.f, th.bw, th.l
+        );
+        println!();
+    }
+    println!("overhead-reduction factor vs replication grows as Θ(P/(2k−1)) — see `cargo run -p ft-bench --bin overhead_ratio`");
+}

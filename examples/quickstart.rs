@@ -1,0 +1,52 @@
+//! Quickstart: multiply two large integers with Toom-Cook-3 and verify
+//! against the schoolbook baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ft_bigint::BigInt;
+use ft_toom::ft_toom_core::{lazy, rayon_engine, seq};
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let bits = 1 << 18; // 256 Kibit operands
+    let a = BigInt::random_bits(&mut rng, bits);
+    let b = BigInt::random_bits(&mut rng, bits);
+    println!("multiplying two {bits}-bit integers\n");
+
+    let t = Instant::now();
+    let school = a.mul_schoolbook(&b);
+    let t_school = t.elapsed();
+    println!("schoolbook  Θ(n²)        {t_school:>12.2?}");
+
+    let t = Instant::now();
+    let kara = seq::karatsuba(&a, &b);
+    println!("Karatsuba   Θ(n^1.585)   {:>12.2?}", t.elapsed());
+
+    let t = Instant::now();
+    let tc3 = seq::toom_k(&a, &b, 3);
+    println!("Toom-Cook-3 Θ(n^1.465)   {:>12.2?}", t.elapsed());
+
+    let t = Instant::now();
+    let tc4 = seq::toom_k(&a, &b, 4);
+    println!("Toom-Cook-4 Θ(n^1.404)   {:>12.2?}", t.elapsed());
+
+    let t = Instant::now();
+    let lazy_prod = lazy::toom_lazy(&a, &b, lazy::LazyConfig::default());
+    println!("lazy TC-3 (Alg. 2)       {:>12.2?}", t.elapsed());
+
+    let t = Instant::now();
+    let par = rayon_engine::par_toom_k(&a, &b, 3, 2048, 4);
+    println!("parallel TC-3 (rayon)    {:>12.2?}", t.elapsed());
+
+    assert_eq!(kara, school);
+    assert_eq!(tc3, school);
+    assert_eq!(tc4, school);
+    assert_eq!(lazy_prod, school);
+    assert_eq!(par, school);
+    println!("\nall five algorithms agree ✓");
+    println!("product has {} bits", school.bit_length());
+}

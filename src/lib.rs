@@ -1,0 +1,19 @@
+//! # ft-toom — facade crate
+//!
+//! Re-exports every subsystem of the fault-tolerant parallel Toom-Cook
+//! reproduction under a single dependency. See the individual crates for
+//! the real APIs:
+//!
+//! - [`ft_bigint`] — from-scratch arbitrary-precision integers
+//! - [`ft_algebra`] — exact rationals, matrices over ℚ, multivariate polynomials
+//! - [`ft_codes`] — systematic Vandermonde erasure codes
+//! - [`ft_machine`] — distributed-machine simulator with cost accounting and fault injection
+//! - [`ft_toom_core`] — sequential, parallel, and fault-tolerant Toom-Cook
+
+pub use ft_algebra;
+pub use ft_bigint;
+pub use ft_codes;
+pub use ft_machine;
+pub use ft_toom_core;
+
+pub use ft_bigint::BigInt;

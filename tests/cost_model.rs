@@ -1,0 +1,157 @@
+//! Measured costs versus the §5 analysis: scaling of the critical-path
+//! counters with `P`, memory behaviour under Lemma 3.1, the `(1+o(1))`
+//! overhead of the coded algorithm, and the `Θ(P/(2k−1))` saving versus
+//! replication.
+
+use ft_toom::ft_machine::FaultPlan;
+use ft_toom::ft_toom_core::baselines::{run_replicated, ReplicationConfig};
+use ft_toom::ft_toom_core::cost::{self, CostModelInput};
+use ft_toom::ft_toom_core::ft::combined::{run_combined_ft, CombinedConfig};
+use ft_toom::ft_toom_core::parallel::{run_parallel, ParallelConfig};
+use ft_toom::BigInt;
+use rand::SeedableRng;
+
+fn random_pair(bits: u64, seed: u64) -> (BigInt, BigInt) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (
+        BigInt::random_bits(&mut rng, bits),
+        BigInt::random_bits(&mut rng, bits),
+    )
+}
+
+#[test]
+fn arithmetic_scales_inversely_with_p() {
+    // Theorem 5.1: F = Θ(n^{ω}/P) — doubling the BFS depth divides the
+    // per-processor arithmetic by ≈ q (up to leaf-granularity effects).
+    let (a, b) = random_pair(60_000, 20);
+    let f1 = run_parallel(&a, &b, &ParallelConfig::new(3, 1))
+        .report
+        .critical_path()
+        .f as f64;
+    let f2 = run_parallel(&a, &b, &ParallelConfig::new(3, 2))
+        .report
+        .critical_path()
+        .f as f64;
+    let ratio = f1 / f2;
+    assert!(
+        (2.0..10.0).contains(&ratio),
+        "5x processors should cut critical-path F by ~5 (leaf-granularity slack): got {ratio}"
+    );
+}
+
+#[test]
+fn bandwidth_matches_unlimited_memory_shape() {
+    // BW = Θ(n / P^{log_{2k−1} k}): ratios across P follow the formula.
+    let (a, b) = random_pair(60_000, 21);
+    let bw1 = run_parallel(&a, &b, &ParallelConfig::new(2, 1))
+        .report
+        .critical_path()
+        .bw as f64;
+    let bw2 = run_parallel(&a, &b, &ParallelConfig::new(2, 2))
+        .report
+        .critical_path()
+        .bw as f64;
+    // Theory ratio: BW(P=3)/BW(P=9)... both include the Θ(n/P^x) term with
+    // x = log_3 2 ≈ 0.631: ratio ≈ 9^x / 3^x = 3^x ≈ 2.0.
+    let ratio = bw1 / bw2;
+    assert!(
+        (1.2..3.5).contains(&ratio),
+        "BW ratio should track P^log_q k ≈ 2.0, got {ratio}"
+    );
+}
+
+#[test]
+fn dfs_steps_satisfy_memory_limit() {
+    // Lemma 3.1: with the right number of DFS steps the per-rank footprint
+    // fits M, while the BFS-only run exceeds it.
+    let (a, b) = random_pair(60_000, 22);
+    let bfs_only = run_parallel(&a, &b, &ParallelConfig::new(2, 1));
+    let peak_bfs = bfs_only.report.peak_memory();
+
+    let mut limited = ParallelConfig::new(2, 1);
+    limited.dfs_steps = 2;
+    // Set the limit between the two footprints.
+    let with_dfs = run_parallel(&a, &b, &limited);
+    let peak_dfs = with_dfs.report.peak_memory();
+    assert!(peak_dfs < peak_bfs);
+
+    let budget = (peak_dfs + peak_bfs) / 2;
+    let mut limited2 = limited.clone();
+    limited2.memory_limit = Some(budget);
+    let checked = run_parallel(&a, &b, &limited2);
+    assert!(
+        checked.report.memory_violations().is_empty(),
+        "DFS run must fit the budget"
+    );
+
+    let mut bfs2 = ParallelConfig::new(2, 1);
+    bfs2.memory_limit = Some(budget);
+    let violated = run_parallel(&a, &b, &bfs2);
+    assert!(
+        !violated.report.memory_violations().is_empty(),
+        "BFS-only run must exceed the same budget"
+    );
+}
+
+#[test]
+fn ft_overhead_shrinks_with_problem_size() {
+    // Theorem 5.2: F' = (1+o(1))·F — the relative arithmetic overhead of
+    // the coded run must DECREASE as n grows.
+    let base = ParallelConfig::new(2, 1);
+    let mut overheads = Vec::new();
+    for (bits, seed) in [(8_000u64, 23u64), (64_000, 24)] {
+        let (a, b) = random_pair(bits, seed);
+        let plain = run_parallel(&a, &b, &base).report.critical_path().f as f64;
+        let cfg = CombinedConfig::new(base.clone(), 1);
+        let ft = run_combined_ft(&a, &b, &cfg, FaultPlan::none())
+            .report
+            .critical_path()
+            .f as f64;
+        overheads.push(ft / plain);
+    }
+    assert!(
+        overheads[1] < overheads[0],
+        "arithmetic overhead factor must shrink with n: {overheads:?}"
+    );
+    assert!(overheads[1] < 1.5, "overhead at 64k bits should be small: {overheads:?}");
+}
+
+#[test]
+fn coded_ft_beats_replication_overhead() {
+    // §1.2: Θ(P/(2k−1)) reduction in overhead costs vs replication —
+    // compare *additional* total arithmetic and additional processors.
+    let (a, b) = random_pair(30_000, 25);
+    let base = ParallelConfig::new(3, 2); // P = 25, q = 5
+    let plain = run_parallel(&a, &b, &base);
+
+    let rep_cfg = ReplicationConfig { base: base.clone(), f: 1 };
+    let rep = run_replicated(&a, &b, &rep_cfg, FaultPlan::none());
+    let rep_extra_flops = rep.report.total_flops() - plain.report.total_flops();
+
+    let ft_cfg = CombinedConfig::new(base, 1);
+    let ft = run_combined_ft(&a, &b, &ft_cfg, FaultPlan::none());
+    let ft_extra_flops = ft.report.total_flops() - plain.report.total_flops();
+
+    assert!(rep_cfg.extra_processors() > ft_cfg.extra_processors());
+    assert!(
+        rep_extra_flops > 2 * ft_extra_flops,
+        "replication extra work {rep_extra_flops} should far exceed coded extra work {ft_extra_flops}"
+    );
+}
+
+#[test]
+fn theory_formulas_are_consistent_with_measurement_trends() {
+    // The closed-form module and the simulator must order algorithms the
+    // same way (sanity link between `cost` and `ft-machine`).
+    let input = CostModelInput { n: 1e4, p: 25.0, k: 3.0, memory: None, f: 1.0 };
+    let (ft, ft_extra) = cost::fault_tolerant_toom(&input);
+    let (_rep, rep_extra) = cost::replication(&input);
+    let base = cost::parallel_toom(&input);
+    assert!(ft.f >= base.f && ft.bw >= base.bw);
+    assert!(rep_extra > ft_extra);
+    assert_eq!(
+        cost::overhead_reduction_factor(&input),
+        5.0,
+        "P/(2k−1) = 25/5"
+    );
+}

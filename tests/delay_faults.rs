@@ -1,0 +1,110 @@
+//! Delay faults (§1/§7's third fault category): a straggling processor
+//! computes at a fraction of full speed. The polynomial code mitigates
+//! stragglers for free — the slow column is simply not waited for — while
+//! the plain algorithm's modeled completion time inflates by the full
+//! delay factor.
+
+use ft_toom::ft_machine::{CostParams, FaultPlan, Machine, MachineConfig};
+use ft_toom::ft_toom_core::ft::poly::{run_poly_ft, run_poly_ft_excluding, PolyFtConfig};
+use ft_toom::ft_toom_core::parallel::ParallelConfig;
+use ft_toom::BigInt;
+use rand::SeedableRng;
+
+fn random_pair(bits: u64, seed: u64) -> (BigInt, BigInt) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (
+        BigInt::random_bits(&mut rng, bits),
+        BigInt::random_bits(&mut rng, bits),
+    )
+}
+
+#[test]
+fn slow_rank_inflates_its_critical_path_clock() {
+    let machine = Machine::new(MachineConfig::new(2).with_slowdown(1, 10));
+    let report = machine.run(|env| {
+        let x = BigInt::from(u64::MAX).pow(30);
+        let _ = x.mul_schoolbook(&x);
+        env.cost()
+    });
+    let healthy = report.results[0].f;
+    let slowed = report.results[1].f;
+    assert_eq!(
+        report.ranks[0].total_flops, report.ranks[1].total_flops,
+        "raw work identical"
+    );
+    assert!(
+        slowed >= 9 * healthy,
+        "delay factor must scale the clock: healthy={healthy} slowed={slowed}"
+    );
+}
+
+#[test]
+fn poly_code_absorbs_a_straggler_column() {
+    let (a, b) = random_pair(20_000, 50);
+    let expected = a.mul_schoolbook(&b);
+    let cfg = PolyFtConfig { base: ParallelConfig::new(3, 1), f: 1 };
+    let slow_rank = 2usize; // column 2 of the P=5 grid
+    let factor = 20u64;
+    let params = CostParams { alpha: 1.0, beta: 1.0, gamma: 1.0 };
+
+    // Plain poly run with the straggler participating: the critical path
+    // waits for the slow column.
+    let waiting = run_poly_ft_excluding(
+        &a,
+        &b,
+        &cfg,
+        FaultPlan::none(),
+        &[],
+        &[(slow_rank, factor)],
+    );
+    assert_eq!(waiting.product, expected);
+    let t_waiting = waiting.report.critical_path().time(&params);
+
+    // Straggler-mitigated run: drop column 2, interpolate from the rest.
+    let mitigated = run_poly_ft_excluding(
+        &a,
+        &b,
+        &cfg,
+        FaultPlan::none(),
+        &[2],
+        &[(slow_rank, factor)],
+    );
+    assert_eq!(mitigated.product, expected);
+    let t_mitigated = mitigated.report.critical_path().time(&params);
+
+    assert!(
+        t_mitigated * 2.0 < t_waiting,
+        "dropping the straggler should at least halve the modeled time: \
+         waiting={t_waiting:.0} mitigated={t_mitigated:.0}"
+    );
+}
+
+#[test]
+fn excluding_a_column_without_slowdown_still_correct() {
+    let (a, b) = random_pair(6_000, 51);
+    let expected = a.mul_schoolbook(&b);
+    let cfg = PolyFtConfig { base: ParallelConfig::new(2, 2), f: 1 };
+    for col in 0..4 {
+        let out = run_poly_ft_excluding(&a, &b, &cfg, FaultPlan::none(), &[col], &[]);
+        assert_eq!(out.product, expected, "col={col}");
+    }
+}
+
+#[test]
+fn hard_fault_and_straggler_interact() {
+    // f = 2: one column dies, another straggles and is dropped.
+    let (a, b) = random_pair(6_000, 52);
+    let expected = a.mul_schoolbook(&b);
+    let cfg = PolyFtConfig { base: ParallelConfig::new(2, 1), f: 2 };
+    let plan = FaultPlan::none().kill(0, "poly-halt");
+    let out = run_poly_ft_excluding(&a, &b, &cfg, plan, &[2], &[(2, 50)]);
+    assert_eq!(out.product, expected);
+}
+
+#[test]
+fn baseline_run_poly_ft_unchanged() {
+    let (a, b) = random_pair(5_000, 53);
+    let cfg = PolyFtConfig { base: ParallelConfig::new(2, 1), f: 1 };
+    let out = run_poly_ft(&a, &b, &cfg, FaultPlan::none());
+    assert_eq!(out.product, a.mul_schoolbook(&b));
+}

@@ -1,0 +1,137 @@
+//! Cross-crate equivalence: every multiplication algorithm in the
+//! repository — sequential, lazy, unbalanced, shared-memory parallel,
+//! distributed parallel, and all four fault-tolerant variants — computes
+//! the same product as the schoolbook baseline.
+
+use ft_toom::ft_machine::FaultPlan;
+use ft_toom::ft_toom_core::baselines::{
+    run_checkpointed, run_replicated, CheckpointConfig, ReplicationConfig,
+};
+use ft_toom::ft_toom_core::ft::combined::{run_combined_ft, CombinedConfig};
+use ft_toom::ft_toom_core::ft::linear::{run_linear_ft, LinearFtConfig};
+use ft_toom::ft_toom_core::ft::multistep::{run_multistep_ft, MultistepConfig};
+use ft_toom::ft_toom_core::ft::poly::{run_poly_ft, PolyFtConfig};
+use ft_toom::ft_toom_core::parallel::{run_parallel, ParallelConfig};
+use ft_toom::ft_toom_core::{lazy, rayon_engine, seq};
+use ft_toom::BigInt;
+use rand::SeedableRng;
+
+fn random_pair(bits: u64, seed: u64) -> (BigInt, BigInt) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (
+        BigInt::random_bits(&mut rng, bits),
+        BigInt::random_bits(&mut rng, bits),
+    )
+}
+
+#[test]
+fn all_sequential_algorithms_agree() {
+    let (a, b) = random_pair(12_000, 1);
+    let expected = a.mul_schoolbook(&b);
+    for k in 2..=5 {
+        assert_eq!(seq::toom_k_threshold(&a, &b, k, 256), expected, "toom-{k}");
+    }
+    assert_eq!(
+        lazy::toom_lazy(&a, &b, lazy::LazyConfig { k: 3, digit_bits: 64, base_len: 4 }),
+        expected
+    );
+    assert_eq!(
+        seq::toom_unbalanced(&a, &b, 3, 2, &|x, y| seq::toom_k_threshold(x, y, 2, 256)),
+        expected
+    );
+    assert_eq!(rayon_engine::par_toom_k(&a, &b, 3, 512, 2), expected);
+}
+
+#[test]
+fn distributed_and_ft_algorithms_agree() {
+    let (a, b) = random_pair(8_000, 2);
+    let expected = a.mul_schoolbook(&b);
+
+    for (k, m) in [(2usize, 1usize), (2, 2), (3, 1)] {
+        let base = ParallelConfig::new(k, m);
+        assert_eq!(run_parallel(&a, &b, &base).product, expected, "parallel k={k} m={m}");
+        assert_eq!(
+            run_linear_ft(&a, &b, &LinearFtConfig { base: base.clone(), f: 1 }, FaultPlan::none())
+                .product,
+            expected,
+            "linear k={k} m={m}"
+        );
+        assert_eq!(
+            run_poly_ft(&a, &b, &PolyFtConfig { base: base.clone(), f: 1 }, FaultPlan::none())
+                .product,
+            expected,
+            "poly k={k} m={m}"
+        );
+        assert_eq!(
+            run_multistep_ft(&a, &b, &MultistepConfig::new(base.clone(), 1), FaultPlan::none())
+                .product,
+            expected,
+            "multistep k={k} m={m}"
+        );
+        assert_eq!(
+            run_combined_ft(&a, &b, &CombinedConfig::new(base.clone(), 1), FaultPlan::none())
+                .product,
+            expected,
+            "combined k={k} m={m}"
+        );
+        assert_eq!(
+            run_replicated(
+                &a,
+                &b,
+                &ReplicationConfig { base: base.clone(), f: 1 },
+                FaultPlan::none()
+            )
+            .product,
+            expected,
+            "replication k={k} m={m}"
+        );
+        if m >= 1 && base.processors() >= 2 {
+            assert_eq!(
+                run_checkpointed(&a, &b, &CheckpointConfig { base }, FaultPlan::none()).product,
+                expected,
+                "checkpoint k={k} m={m}"
+            );
+        }
+    }
+}
+
+#[test]
+fn extreme_shapes() {
+    // Zero, one, single-limb, highly unbalanced.
+    let big = random_pair(9_000, 3).0;
+    let cases = [
+        (BigInt::zero(), big.clone()),
+        (BigInt::one(), big.clone()),
+        (BigInt::from(u64::MAX), big.clone()),
+        (-&big, BigInt::from(3u64)),
+    ];
+    for (x, y) in &cases {
+        let expected = x.mul_schoolbook(y);
+        assert_eq!(seq::toom_k(x, y, 3), expected);
+        assert_eq!(
+            run_parallel(x, y, &ParallelConfig::new(2, 1)).product,
+            expected
+        );
+    }
+}
+
+#[test]
+fn larger_machine_tc3_25_processors() {
+    let (a, b) = random_pair(20_000, 4);
+    let expected = a.mul_schoolbook(&b);
+    let base = ParallelConfig::new(3, 2); // P = 25
+    assert_eq!(run_parallel(&a, &b, &base).product, expected);
+    let cfg = CombinedConfig::new(base, 1);
+    let out = run_combined_ft(&a, &b, &cfg, FaultPlan::none().kill(13, "leaf-mult"));
+    assert_eq!(out.product, expected);
+}
+
+#[test]
+fn karatsuba_27_processors_with_faults() {
+    let (a, b) = random_pair(12_000, 5);
+    let expected = a.mul_schoolbook(&b);
+    let base = ParallelConfig::new(2, 3); // P = 27
+    let cfg = LinearFtConfig { base, f: 1 };
+    let plan = FaultPlan::none().kill(11, "lin-entry-1");
+    assert_eq!(run_linear_ft(&a, &b, &cfg, plan).product, expected);
+}

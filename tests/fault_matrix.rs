@@ -1,0 +1,144 @@
+//! Systematic failure injection: every fault-tolerant algorithm × every
+//! protected phase × representative victim classes. Each cell of the
+//! matrix must recover to the correct product with the planned number of
+//! deaths.
+
+use ft_toom::ft_machine::FaultPlan;
+use ft_toom::ft_toom_core::ft::combined::{run_combined_ft, CombinedConfig};
+use ft_toom::ft_toom_core::ft::linear::{run_linear_ft, LinearFtConfig};
+use ft_toom::ft_toom_core::ft::multistep::{run_multistep_ft, MultistepConfig};
+use ft_toom::ft_toom_core::ft::poly::{run_poly_ft, PolyFtConfig};
+use ft_toom::ft_toom_core::parallel::ParallelConfig;
+use ft_toom::BigInt;
+use rand::SeedableRng;
+
+fn random_pair(bits: u64, seed: u64) -> (BigInt, BigInt) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (
+        BigInt::random_bits(&mut rng, bits),
+        BigInt::random_bits(&mut rng, bits),
+    )
+}
+
+#[test]
+fn linear_ft_every_label_every_data_rank() {
+    let (a, b) = random_pair(3_000, 10);
+    let expected = a.mul_schoolbook(&b);
+    let cfg = LinearFtConfig { base: ParallelConfig::new(2, 1), f: 1 };
+    for label in ["lin-entry-0", "lin-eval-0", "lin-up-0", "lin-leaf"] {
+        for victim in 0..3 {
+            let plan = FaultPlan::none().kill(victim, label);
+            let out = run_linear_ft(&a, &b, &cfg, plan);
+            assert_eq!(out.product, expected, "label={label} victim={victim}");
+            assert_eq!(out.report.total_deaths(), 1, "label={label} victim={victim}");
+        }
+    }
+}
+
+#[test]
+fn linear_ft_nested_depth_labels() {
+    let (a, b) = random_pair(3_000, 11);
+    let expected = a.mul_schoolbook(&b);
+    let cfg = LinearFtConfig { base: ParallelConfig::new(2, 2), f: 1 };
+    for label in ["lin-entry-1", "lin-eval-1", "lin-up-1"] {
+        for victim in [0usize, 4, 8] {
+            let plan = FaultPlan::none().kill(victim, label);
+            let out = run_linear_ft(&a, &b, &cfg, plan);
+            assert_eq!(out.product, expected, "label={label} victim={victim}");
+        }
+    }
+}
+
+#[test]
+fn linear_ft_code_rank_victims_every_boundary() {
+    let (a, b) = random_pair(3_000, 12);
+    let expected = a.mul_schoolbook(&b);
+    let cfg = LinearFtConfig { base: ParallelConfig::new(2, 1), f: 1 };
+    // Code ranks are 3, 4, 5.
+    for label in ["lin-entry-0", "lin-up-0", "lin-leaf"] {
+        for victim in 3..6 {
+            let plan = FaultPlan::none().kill(victim, label);
+            let out = run_linear_ft(&a, &b, &cfg, plan);
+            assert_eq!(out.product, expected, "label={label} victim={victim}");
+        }
+    }
+}
+
+#[test]
+fn poly_ft_every_column() {
+    let (a, b) = random_pair(3_000, 13);
+    let expected = a.mul_schoolbook(&b);
+    let cfg = PolyFtConfig { base: ParallelConfig::new(2, 2), f: 1 };
+    // P = 9 data ranks + 3 redundant; any single column may die.
+    for victim in 0..12 {
+        let plan = FaultPlan::none().kill(victim, "poly-halt");
+        let out = run_poly_ft(&a, &b, &cfg, plan);
+        assert_eq!(out.product, expected, "victim={victim}");
+    }
+}
+
+#[test]
+fn multistep_every_leaf_and_extra() {
+    let (a, b) = random_pair(3_000, 14);
+    let expected = a.mul_schoolbook(&b);
+    let cfg = MultistepConfig::new(ParallelConfig::new(2, 2), 2);
+    for victim in 0..9 {
+        let plan = FaultPlan::none().kill(victim, "leaf-mult");
+        let out = run_multistep_ft(&a, &b, &cfg, plan);
+        assert_eq!(out.product, expected, "victim={victim}");
+    }
+    for extra in 9..11 {
+        let plan = FaultPlan::none().kill(extra, "ms-extra-mult");
+        let out = run_multistep_ft(&a, &b, &cfg, plan);
+        assert_eq!(out.product, expected, "extra={extra}");
+    }
+}
+
+#[test]
+fn multistep_pairs_of_leaf_faults() {
+    let (a, b) = random_pair(2_500, 15);
+    let expected = a.mul_schoolbook(&b);
+    let cfg = MultistepConfig::new(ParallelConfig::new(2, 2), 2);
+    for (x, y) in [(0usize, 8usize), (2, 3), (4, 6)] {
+        let plan = FaultPlan::none().kill(x, "leaf-mult").kill(y, "leaf-mult");
+        let out = run_multistep_ft(&a, &b, &cfg, plan);
+        assert_eq!(out.product, expected, "pair=({x},{y})");
+        assert_eq!(out.report.total_deaths(), 2);
+    }
+}
+
+#[test]
+fn combined_mixed_phase_fault_pairs() {
+    let (a, b) = random_pair(2_500, 16);
+    let expected = a.mul_schoolbook(&b);
+    let cfg = CombinedConfig::new(ParallelConfig::new(2, 2), 2);
+    let pairs = [
+        ("lin-entry-0", 0usize, "leaf-mult", 5usize),
+        ("lin-eval-1", 4, "leaf-mult", 8),
+        ("lin-up-0", 2, "lin-up-1", 7),
+        ("leaf-mult", 1, "leaf-mult", 6),
+    ];
+    for (l1, v1, l2, v2) in pairs {
+        let plan = FaultPlan::none().kill(v1, l1).kill(v2, l2);
+        let out = run_combined_ft(&a, &b, &cfg, plan);
+        assert_eq!(out.product, expected, "{l1}/{v1} + {l2}/{v2}");
+        assert_eq!(out.report.total_deaths(), 2, "{l1}/{v1} + {l2}/{v2}");
+    }
+}
+
+#[test]
+fn repeated_faults_across_dfs_branch_occurrences() {
+    // Labels recur across DFS-branch traversals; occurrence-based kills
+    // exercise the later passes.
+    let (a, b) = random_pair(2_500, 17);
+    let expected = a.mul_schoolbook(&b);
+    let mut base = ParallelConfig::new(2, 1);
+    base.dfs_steps = 1;
+    let cfg = LinearFtConfig { base, f: 1 };
+    for occurrence in 0..3 {
+        let plan = FaultPlan::none().kill_at(1, "lin-entry-1", occurrence);
+        let out = run_linear_ft(&a, &b, &cfg, plan);
+        assert_eq!(out.product, expected, "occurrence={occurrence}");
+        assert_eq!(out.report.total_deaths(), 1);
+    }
+}

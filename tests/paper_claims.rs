@@ -1,0 +1,177 @@
+//! Executable checks of the paper's formal claims (§2, §6): the
+//! lazy-interpolation ↔ multivariate-polynomial equivalence (Claim 2.1),
+//! the injectivity criterion (Claims 2.2/2.3), the general-position
+//! characterization (Claim 6.1), and the redundant-point heuristic
+//! (Claims 6.2–6.5).
+
+use ft_toom::ft_algebra::points::{
+    eval_matrix_multi, extends_general_position, find_redundant_points, in_general_position,
+};
+use ft_toom::ft_algebra::{HPoint, MPoint, MPoly};
+use ft_toom::ft_toom_core::points::classic_points;
+use ft_toom::ft_toom_core::{lazy, ToomPlan};
+use ft_toom::BigInt;
+use rand::SeedableRng;
+
+fn random_coeffs(n: usize, bits: u64, seed: u64) -> Vec<BigInt> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| BigInt::random_signed_bits(&mut rng, bits))
+        .collect()
+}
+
+/// Claim 2.1: `l`-depth lazy Toom-Cook-k computes the product of two
+/// polynomials in `Poly_{k,l}`, with evaluation points `S^l`.
+#[test]
+fn claim_2_1_lazy_recursion_is_multivariate_multiplication() {
+    let k = 2usize;
+    let l = 2usize;
+    let len = k.pow(l as u32);
+    let a = random_coeffs(len, 30, 30);
+    let b = random_coeffs(len, 30, 31);
+    let plan = ToomPlan::new(k);
+
+    // The digit-vector product from the lazy recursion…
+    let lazy_prod = lazy::poly_mul_toom(&a, &b, &plan, 1);
+
+    // …must match the overlap-added multivariate product: interpret the
+    // digit vector as coefficients of Poly_{k,l} with variable l−1 the
+    // *outermost* split (slowest-varying index in block order), i.e.
+    // digit u ↔ exponents (u mod k, …) in MPoly's mixed radix — the block
+    // order of the recursion is variable-(l−1) outermost, which equals
+    // MPoly index with variable l−1 most significant.
+    let pa = MPoly::from_coeffs(k, l, reorder_to_mpoly(&a, k, l));
+    let pb = MPoly::from_coeffs(k, l, reorder_to_mpoly(&b, k, l));
+    let prod = pa.mul(&pb);
+    // Overlap-add the multivariate product back to a digit vector:
+    // digit u of the result = Σ over exponent tuples e with
+    // Σ e_v·λ_v = u of prod coeff, where λ_v = (len/k^{v'+1}) strides.
+    let flat = overlap_add(&prod, k, l, len);
+    assert_eq!(lazy_prod, flat);
+
+    // Evaluation points: the recursion's sub-products at the leaves are
+    // the evaluations of the product at S^l (checked via the bilinear
+    // identity at every multivariate point).
+    let s = classic_points(k);
+    let pts = MPoint::cartesian_power(&s, l);
+    for pt in &pts {
+        assert_eq!(prod.eval(pt), &pa.eval(pt) * &pb.eval(pt));
+    }
+}
+
+/// Reorder a recursion-block-ordered digit vector into MPoly mixed-radix
+/// order. Recursion: u = i_0·k^{l−1}·leaf + … with variable 0 = level 0 =
+/// most significant block; MPoly: idx = Σ e_v·k^v (variable 0 fastest).
+/// For leaf length 1 (len = k^l) the mapping is digit u (base-k digits
+/// d_{l−1}…d_0 with d_{l−1} the level-0 block) ↔ exponents e_v: variable
+/// for level v is y_v with exponent = block index at level v = digit
+/// (l−1−v) of u… both are just base-k digit strings; MPoly idx uses
+/// variable 0 fastest, and level-(l−1) (innermost split) varies fastest in
+/// u — so variable v must map to level l−1−v, giving idx = u read as-is.
+fn reorder_to_mpoly(v: &[BigInt], _k: usize, _l: usize) -> Vec<BigInt> {
+    // With the convention above the orders coincide: the innermost split
+    // level varies fastest in both encodings.
+    v.to_vec()
+}
+
+/// Overlap-add of `Poly_{2k−1,l}` coefficients back to the flat product
+/// digit vector of length `2·k^l − 1` (strides λ_v = k^v).
+fn overlap_add(p: &MPoly, k: usize, l: usize, len: usize) -> Vec<BigInt> {
+    let mut out = vec![BigInt::zero(); 2 * len - 1];
+    let rr = 2 * k - 1;
+    for (idx, c) in p.coeffs().iter().enumerate() {
+        if c.is_zero() {
+            continue;
+        }
+        let mut rest = idx;
+        let mut u = 0usize;
+        for v in 0..l {
+            let e = rest % rr;
+            rest /= rr;
+            u += e * k.pow(v as u32);
+        }
+        out[u] += c;
+    }
+    out
+}
+
+/// Claims 2.2/6.1: a point set is a valid evaluation set iff every
+/// `r^l`-subset's evaluation matrix is invertible (general position) —
+/// checked both ways on small examples.
+#[test]
+fn claims_2_2_and_6_1_injectivity_iff_general_position() {
+    // Valid: the tensor grid S^2 for k=2 plus a good point.
+    let s = classic_points(2);
+    let grid = MPoint::cartesian_power(&s, 2);
+    assert!(in_general_position(&grid, 3, 2));
+
+    // The evaluation matrix of the full set has full column rank
+    // (injective) — Bareiss determinant non-zero on the square case.
+    let e = eval_matrix_multi(&grid, 3, 2);
+    assert!(!e.det_bareiss().is_zero());
+
+    // Invalid: replace a point to create a degenerate subset.
+    let mut bad = grid.clone();
+    bad[0] = bad[1].clone();
+    assert!(!in_general_position(&bad, 3, 2));
+}
+
+/// Claim 6.2: the incremental extension test accepts exactly the points
+/// that keep the set in general position.
+#[test]
+fn claim_6_2_incremental_extension() {
+    let s = classic_points(2);
+    let grid = MPoint::cartesian_power(&s, 2);
+    for cand in [
+        MPoint::affine(&[3, 2]),
+        MPoint::affine(&[-2, 3]),
+        MPoint::new(vec![HPoint::affine(2), HPoint::affine(2)]),
+    ] {
+        let incremental = extends_general_position(&grid, &cand, 3, 2);
+        let mut all = grid.clone();
+        all.push(cand.clone());
+        let full = in_general_position(&all, 3, 2);
+        assert_eq!(incremental, full, "cand={cand:?}");
+    }
+}
+
+/// Claims 6.4/6.5: redundant points always exist among small integer
+/// points — the heuristic finds them for both k=2 (l=2,3) and k=3 (l=1).
+#[test]
+fn claims_6_4_6_5_redundant_points_exist() {
+    // k = 2, l = 2: S^2 + 3 redundant points.
+    let s2 = MPoint::cartesian_power(&classic_points(2), 2);
+    let extra = find_redundant_points(&s2, 3, 2, 3, 5);
+    assert_eq!(extra.len(), 3);
+    let mut all = s2;
+    all.extend(extra);
+    assert!(in_general_position(&all, 3, 2));
+
+    // k = 3, l = 1: distinct univariate points suffice.
+    let s3: Vec<MPoint> = classic_points(3)
+        .iter()
+        .map(|&p| MPoint::new(vec![p]))
+        .collect();
+    let extra = find_redundant_points(&s3, 5, 1, 2, 6);
+    let mut all = s3;
+    all.extend(extra);
+    assert!(in_general_position(&all, 5, 1));
+}
+
+/// Theorem 2.1 at scale: the product evaluation matrix of every classic
+/// point set is invertible, so interpolation recovers exact convolutions.
+#[test]
+fn interpolation_theorem_bilinear_identity() {
+    for k in 2..=5 {
+        let plan = ToomPlan::new(k);
+        let a = random_coeffs(k, 64, 40 + k as u64);
+        let b = random_coeffs(k, 64, 50 + k as u64);
+        let ea = plan.evaluate(&a);
+        let eb = plan.evaluate(&b);
+        let prods: Vec<BigInt> = ea.iter().zip(&eb).map(|(x, y)| x * y).collect();
+        let coeffs = plan.interpolate(&prods);
+        let dense = plan.interpolate_dense(&prods);
+        assert_eq!(coeffs, dense, "Toom-Graph and dense interpolation agree (k={k})");
+        assert_eq!(coeffs, lazy::convolve(&a, &b), "k={k}");
+    }
+}

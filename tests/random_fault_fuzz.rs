@@ -1,0 +1,81 @@
+//! Randomized fault-plan fuzzing: property-based generation of victims,
+//! labels, and occurrences for each fault-tolerant algorithm. Any plan
+//! within the tolerance must yield the exact product.
+
+use ft_toom::ft_machine::FaultPlan;
+use ft_toom::ft_toom_core::ft::combined::{run_combined_ft, CombinedConfig};
+use ft_toom::ft_toom_core::ft::linear::{run_linear_ft, LinearFtConfig};
+use ft_toom::ft_toom_core::ft::multistep::{run_multistep_ft, MultistepConfig};
+use ft_toom::ft_toom_core::ft::poly::{run_poly_ft, PolyFtConfig};
+use ft_toom::ft_toom_core::parallel::ParallelConfig;
+use ft_toom::BigInt;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn operands(seed: u64) -> (BigInt, BigInt, BigInt) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let a = BigInt::random_bits(&mut rng, 2_000);
+    let b = BigInt::random_bits(&mut rng, 2_000);
+    let e = a.mul_schoolbook(&b);
+    (a, b, e)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn linear_ft_random_single_fault(
+        seed in 0u64..1000,
+        victim in 0usize..9,
+        label_idx in 0usize..5,
+    ) {
+        let (a, b, expected) = operands(seed);
+        let labels = ["lin-entry-0", "lin-eval-0", "lin-up-0", "lin-entry-1", "lin-up-1"];
+        let cfg = LinearFtConfig { base: ParallelConfig::new(2, 2), f: 1 };
+        let plan = FaultPlan::none().kill(victim, labels[label_idx]);
+        let out = run_linear_ft(&a, &b, &cfg, plan);
+        prop_assert_eq!(out.product, expected);
+    }
+
+    #[test]
+    fn poly_ft_random_column_fault(seed in 0u64..1000, victim in 0usize..12) {
+        let (a, b, expected) = operands(seed);
+        let cfg = PolyFtConfig { base: ParallelConfig::new(2, 2), f: 1 };
+        let plan = FaultPlan::none().kill(victim, "poly-halt");
+        let out = run_poly_ft(&a, &b, &cfg, plan);
+        prop_assert_eq!(out.product, expected);
+    }
+
+    #[test]
+    fn multistep_random_leaf_pairs(
+        seed in 0u64..1000,
+        v1 in 0usize..9,
+        v2 in 0usize..9,
+    ) {
+        prop_assume!(v1 != v2);
+        let (a, b, expected) = operands(seed);
+        let cfg = MultistepConfig::new(ParallelConfig::new(2, 2), 2);
+        let plan = FaultPlan::none()
+            .kill(v1, "leaf-mult")
+            .kill(v2, "leaf-mult");
+        let out = run_multistep_ft(&a, &b, &cfg, plan);
+        prop_assert_eq!(out.product, expected);
+    }
+
+    #[test]
+    fn combined_random_mixed_faults(
+        seed in 0u64..1000,
+        eval_victim in 0usize..9,
+        leaf_victim in 0usize..9,
+        depth in 0usize..2,
+    ) {
+        let (a, b, expected) = operands(seed);
+        let cfg = CombinedConfig::new(ParallelConfig::new(2, 2), 2);
+        let plan = FaultPlan::none()
+            .kill(eval_victim, &format!("lin-entry-{depth}"))
+            .kill(leaf_victim, "leaf-mult");
+        let out = run_combined_ft(&a, &b, &cfg, plan);
+        prop_assert_eq!(out.product, expected);
+        prop_assert_eq!(out.report.total_deaths(), 2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Scale smoke tests: the largest grids the paper's experiments would use
+//! on a small cluster — 125-processor Toom-Cook-3 (m = 3) and 81-…/27-
+//! processor Karatsuba (m = 3), plus a fault-tolerant run at P = 125
+//! with its 5 + 1 extra coded processors.
+
+use ft_toom::ft_machine::{FaultPlan, ToomGrid};
+use ft_toom::ft_toom_core::ft::combined::{run_combined_ft, CombinedConfig};
+use ft_toom::ft_toom_core::parallel::{run_parallel, ParallelConfig};
+use ft_toom::BigInt;
+use rand::SeedableRng;
+
+fn random_pair(bits: u64, seed: u64) -> (BigInt, BigInt) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (
+        BigInt::random_bits(&mut rng, bits),
+        BigInt::random_bits(&mut rng, bits),
+    )
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "saturated 125-rank run: release-only (slow in debug)")]
+fn parallel_tc3_on_125_processors() {
+    // Large enough that the structural digit count D = 5³·3³ is saturated
+    // with real data (small inputs leave high digit blocks zero, which
+    // makes some leaves trivially cheap).
+    let (a, b) = random_pair(400_000, 60);
+    let cfg = ParallelConfig::new(3, 3); // P = 125
+    let out = run_parallel(&a, &b, &cfg);
+    // Verify against the (independently tested) sequential Toom-Cook — the
+    // schoolbook check would dominate this test's runtime at this size.
+    assert_eq!(out.product, ft_toom::ft_toom_core::seq::toom_k(&a, &b, 3));
+    // Work balance across 125 ranks.
+    let flops: Vec<u64> = out.report.ranks.iter().map(|r| r.total_flops).collect();
+    let max = *flops.iter().max().unwrap() as f64;
+    let min = *flops.iter().min().unwrap() as f64;
+    assert!(max < 5.0 * min.max(1.0), "125-rank balance: min={min} max={max}");
+}
+
+#[test]
+fn parallel_tc3_125_row_locality() {
+    let (a, b) = random_pair(5_000, 61);
+    let mut cfg = ParallelConfig::new(3, 3);
+    cfg.trace = true;
+    let out = run_parallel(&a, &b, &cfg);
+    assert_eq!(out.product, a.mul_schoolbook(&b));
+    let grid = ToomGrid::new(125, 5);
+    for ev in &out.report.trace {
+        if let Some((src, dst)) = ev.endpoints() {
+            let same_row = (0..3).any(|s| grid.row_group(src, s).contains(&dst));
+            assert!(same_row, "message {src}->{dst} crosses rows at P=125");
+        }
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "125-leaf general-position search: release-only (slow in debug)"
+)]
+fn combined_ft_on_125_processors_with_fault() {
+    let (a, b) = random_pair(15_000, 62);
+    let base = ParallelConfig::new(3, 3);
+    let cfg = CombinedConfig::new(base, 1);
+    assert_eq!(cfg.extra_processors(), 5 + 1);
+    let plan = FaultPlan::none().kill(77, "leaf-mult");
+    let out = run_combined_ft(&a, &b, &cfg, plan);
+    assert_eq!(out.product, a.mul_schoolbook(&b));
+    assert_eq!(out.report.total_deaths(), 1);
+}
+
+#[test]
+fn karatsuba_maximal_depth() {
+    let (a, b) = random_pair(6_000, 63);
+    let cfg = ParallelConfig::new(2, 4); // P = 81
+    let out = run_parallel(&a, &b, &cfg);
+    assert_eq!(out.product, a.mul_schoolbook(&b));
+}
