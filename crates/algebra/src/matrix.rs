@@ -86,7 +86,11 @@ impl<T: Scalar> Matrix<T> {
     /// Zero matrix of the given shape.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Matrix<T> {
-        Matrix { rows, cols, data: vec![T::zero(); rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::zero(); rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -109,7 +113,11 @@ impl<T: Scalar> Matrix<T> {
         let cols = rows[0].len();
         assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
         let r = rows.len();
-        Matrix { rows: r, cols, data: rows.into_iter().flatten().collect() }
+        Matrix {
+            rows: r,
+            cols,
+            data: rows.into_iter().flatten().collect(),
+        }
     }
 
     /// Build from a function of `(row, col)`.
@@ -204,7 +212,11 @@ impl<T: Scalar> Matrix<T> {
     /// Elementwise map to another scalar type.
     #[must_use]
     pub fn map<U: Scalar>(&self, f: impl Fn(&T) -> U) -> Matrix<U> {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(f).collect() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(f).collect(),
+        }
     }
 }
 
@@ -385,7 +397,11 @@ mod tests {
     }
 
     fn zmat(rows: Vec<Vec<i64>>) -> Matrix<BigInt> {
-        Matrix::from_rows(rows.into_iter().map(|r| r.into_iter().map(zi).collect()).collect())
+        Matrix::from_rows(
+            rows.into_iter()
+                .map(|r| r.into_iter().map(zi).collect())
+                .collect(),
+        )
     }
 
     #[test]
@@ -492,7 +508,10 @@ mod tests {
     #[test]
     fn row_col_selection() {
         let a = zmat(vec![vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]]);
-        assert_eq!(a.select_rows(&[2, 0]), zmat(vec![vec![7, 8, 9], vec![1, 2, 3]]));
+        assert_eq!(
+            a.select_rows(&[2, 0]),
+            zmat(vec![vec![7, 8, 9], vec![1, 2, 3]])
+        );
         assert_eq!(a.select_cols(&[1]), zmat(vec![vec![2], vec![5], vec![8]]));
     }
 

@@ -25,7 +25,11 @@ impl MPoly {
     #[must_use]
     pub fn zero(r: usize, l: usize) -> MPoly {
         assert!(r >= 1);
-        MPoly { r, l, coeffs: vec![BigInt::zero(); r.pow(l as u32)] }
+        MPoly {
+            r,
+            l,
+            coeffs: vec![BigInt::zero(); r.pow(l as u32)],
+        }
     }
 
     /// Build from a dense coefficient vector of length `r^l`.
@@ -34,7 +38,11 @@ impl MPoly {
     /// Panics on length mismatch.
     #[must_use]
     pub fn from_coeffs(r: usize, l: usize, coeffs: Vec<BigInt>) -> MPoly {
-        assert_eq!(coeffs.len(), r.pow(l as u32), "coefficient count must be r^l");
+        assert_eq!(
+            coeffs.len(),
+            r.pow(l as u32),
+            "coefficient count must be r^l"
+        );
         MPoly { r, l, coeffs }
     }
 

@@ -75,7 +75,9 @@ impl MPoint {
     /// An all-affine point from integer coordinates.
     #[must_use]
     pub fn affine(xs: &[i64]) -> MPoint {
-        MPoint { coords: xs.iter().map(|&x| HPoint::affine(x)).collect() }
+        MPoint {
+            coords: xs.iter().map(|&x| HPoint::affine(x)).collect(),
+        }
     }
 
     /// Per-variable coordinates.
@@ -347,8 +349,10 @@ mod tests {
     #[test]
     fn distinct_univariate_points_are_general_position() {
         // (r,1)-general position for distinct points = Vandermonde.
-        let pts: Vec<MPoint> =
-            [-2i64, -1, 0, 1, 2].iter().map(|&x| MPoint::affine(&[x])).collect();
+        let pts: Vec<MPoint> = [-2i64, -1, 0, 1, 2]
+            .iter()
+            .map(|&x| MPoint::affine(&[x]))
+            .collect();
         assert!(in_general_position(&pts, 3, 1));
         // Repeated point breaks it.
         let mut bad = pts.clone();
@@ -364,8 +368,7 @@ mod tests {
         // points are NOT (a bilinear polynomial vanishes on a line).
         let grid = MPoint::cartesian_power(&[HPoint::affine(0), HPoint::affine(1)], 2);
         assert!(in_general_position(&grid, 2, 2));
-        let line: Vec<MPoint> =
-            (0..4).map(|i| MPoint::affine(&[i, 0])).collect();
+        let line: Vec<MPoint> = (0..4).map(|i| MPoint::affine(&[i, 0])).collect();
         assert!(!in_general_position(&line, 2, 2));
     }
 

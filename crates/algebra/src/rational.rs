@@ -21,13 +21,19 @@ impl Rational {
     /// `0/1`.
     #[must_use]
     pub fn zero() -> Rational {
-        Rational { num: BigInt::zero(), den: BigInt::one() }
+        Rational {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
     }
 
     /// `1/1`.
     #[must_use]
     pub fn one() -> Rational {
-        Rational { num: BigInt::one(), den: BigInt::one() }
+        Rational {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
     }
 
     /// Construct and normalize `num/den`.
@@ -53,7 +59,10 @@ impl Rational {
     /// The integer `n` as a rational.
     #[must_use]
     pub fn from_int(n: impl Into<BigInt>) -> Rational {
-        Rational { num: n.into(), den: BigInt::one() }
+        Rational {
+            num: n.into(),
+            den: BigInt::one(),
+        }
     }
 
     /// Numerator (sign-carrying).
@@ -169,7 +178,10 @@ impl Div for &Rational {
 impl Neg for &Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -&self.num, den: self.den.clone() }
+        Rational {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
     }
 }
 

@@ -40,7 +40,10 @@ impl ScaledIntMatrix {
     /// An integral matrix viewed as scaled (denominator one).
     #[must_use]
     pub fn from_integer(mat: Matrix<BigInt>) -> ScaledIntMatrix {
-        ScaledIntMatrix { mat, denom: BigInt::one() }
+        ScaledIntMatrix {
+            mat,
+            denom: BigInt::one(),
+        }
     }
 
     /// The integer matrix `denom · self`.

@@ -15,9 +15,8 @@ fn rational() -> impl Strategy<Value = Rational> {
 }
 
 fn small_matrix(n: usize) -> impl Strategy<Value = Matrix<BigInt>> {
-    proptest::collection::vec(-50i64..50, n * n).prop_map(move |vals| {
-        Matrix::from_fn(n, n, |i, j| BigInt::from(vals[i * n + j]))
-    })
+    proptest::collection::vec(-50i64..50, n * n)
+        .prop_map(move |vals| Matrix::from_fn(n, n, |i, j| BigInt::from(vals[i * n + j])))
 }
 
 proptest! {

@@ -27,9 +27,11 @@ fn bench_toomgraph(c: &mut Criterion) {
         let evals = plan.eval_matrix();
         let _ = evals;
         let products = ft_algebra::points::eval_matrix(plan.points(), 5).matvec(&coeffs);
-        g.bench_with_input(BenchmarkId::new("bodrato_sequence", bits), &bits, |bch, _| {
-            bch.iter(|| black_box(plan.interpolate(&products)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("bodrato_sequence", bits),
+            &bits,
+            |bch, _| bch.iter(|| black_box(plan.interpolate(&products))),
+        );
         g.bench_with_input(BenchmarkId::new("dense_matrix", bits), &bits, |bch, _| {
             bch.iter(|| black_box(plan.interpolate_dense(&products)))
         });
@@ -50,7 +52,11 @@ fn bench_lazy(c: &mut Criterion) {
             black_box(lazy::toom_lazy(
                 &a,
                 &b,
-                lazy::LazyConfig { k: 3, digit_bits: 64, base_len: 27 },
+                lazy::LazyConfig {
+                    k: 3,
+                    digit_bits: 64,
+                    base_len: 27,
+                },
             ))
         })
     });
@@ -74,12 +80,13 @@ fn bench_codes(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("encode", words), &words, |bch, _| {
             bch.iter(|| black_box(code.encode_blocks(&data).unwrap()))
         });
-        let surviving: Vec<(usize, Vec<BigInt>)> =
-            (2..5).map(|i| (i, data[i].clone())).collect();
+        let surviving: Vec<(usize, Vec<BigInt>)> = (2..5).map(|i| (i, data[i].clone())).collect();
         let sp: Vec<(usize, Vec<BigInt>)> = parity.iter().cloned().enumerate().collect();
-        g.bench_with_input(BenchmarkId::new("recover_2_of_5", words), &words, |bch, _| {
-            bch.iter(|| black_box(code.recover(&surviving, &sp, &[0, 1]).unwrap()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("recover_2_of_5", words),
+            &words,
+            |bch, _| bch.iter(|| black_box(code.recover(&surviving, &sp, &[0, 1]).unwrap())),
+        );
     }
     g.finish();
 }

@@ -14,7 +14,10 @@ fn main() {
     println!("{}", render_grid_figure(k, m, f, 1));
     let (code_procs, row_local, coding) = figure1_structure(8_000, k, m, f);
     println!("verified on a traced run (k={k}, P=25, f={f}):");
-    println!("  code processors           : {code_procs}   (paper: f·(2k−1) = {})", f * (2 * k - 1));
+    println!(
+        "  code processors           : {code_procs}   (paper: f·(2k−1) = {})",
+        f * (2 * k - 1)
+    );
     println!("  row-local algorithm msgs  : {row_local}   (all BFS exchanges stayed in rows ✓)");
     println!("  encode/recovery msgs      : {coding}   (column-wise code creation traffic)");
     println!("  product verified against schoolbook ✓");

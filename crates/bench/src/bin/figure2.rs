@@ -14,7 +14,10 @@ fn main() {
     let (extra, cols, survivable) = figure2_structure(8_000, k, m, f);
     let p = (2 * k - 1usize).pow(m as u32);
     println!("verified by halting each column in turn (k={k}, P={p}, f={f}):");
-    println!("  redundant processors      : {extra}   (paper: f·P/(2k−1) = {})", f * p / (2 * k - 1));
+    println!(
+        "  redundant processors      : {extra}   (paper: f·P/(2k−1) = {})",
+        f * p / (2 * k - 1)
+    );
     println!("  columns                   : {cols}   (2k−1+f evaluation points)");
     println!("  single-column halts survived: {survivable}/{cols} ✓ (no recovery traffic)");
 }

@@ -27,7 +27,11 @@ fn main() {
 
     println!("\n--- Table 2 (limited memory) ---");
     println!("{}", cost_header());
-    for (k, m, dfs, seed) in [(2usize, 1usize, 2usize, 11u64), (2, 2, 1, 13), (3, 1, 1, 14)] {
+    for (k, m, dfs, seed) in [
+        (2usize, 1usize, 2usize, 11u64),
+        (2, 2, 1, 13),
+        (3, 1, 1, 14),
+    ] {
         for r in table2_rows(bits, k, m, dfs, 1, seed) {
             println!("{}", r.render());
         }

@@ -21,8 +21,14 @@ fn main() {
     let expected = a.mul_schoolbook(&b);
     println!("# Distributed soft-fault handling (n = {bits} bits)\n");
 
-    let cfg = PolyFtConfig { base: ParallelConfig::new(3, 1), f: 2 };
-    println!("k=3, P=5 (+{} redundant), f=2 — correction radius ⌊f/2⌋ = 1\n", cfg.extra_processors());
+    let cfg = PolyFtConfig {
+        base: ParallelConfig::new(3, 1),
+        f: 2,
+    };
+    println!(
+        "k=3, P=5 (+{} redundant), f=2 — correction radius ⌊f/2⌋ = 1\n",
+        cfg.extra_processors()
+    );
 
     // Clean run.
     let out = run_poly_ft_soft(&a, &b, &cfg, &SoftPlan::none());
@@ -42,7 +48,10 @@ fn main() {
     }
 
     // f = 1 can only detect.
-    let cfg1 = PolyFtConfig { base: ParallelConfig::new(3, 1), f: 1 };
+    let cfg1 = PolyFtConfig {
+        base: ParallelConfig::new(3, 1),
+        f: 1,
+    };
     let out = run_poly_ft_soft(&a, &b, &cfg1, &SoftPlan::none().corrupt(2, 99));
     assert!(!out.fully_corrected);
     println!("\nf=1, corrupt rank 2 : inconsistency DETECTED (cannot correct — MDS bound) ✓");

@@ -20,7 +20,11 @@ fn main() {
         .unwrap_or(40_000);
     let (a, b) = operands(bits, 90);
     let expected = a.mul_schoolbook(&b);
-    let params = CostParams { alpha: 100.0, beta: 1.0, gamma: 0.05 };
+    let params = CostParams {
+        alpha: 100.0,
+        beta: 1.0,
+        gamma: 0.05,
+    };
     println!("# Straggler mitigation via the polynomial code (n = {bits} bits, f = 1)\n");
     println!(
         "| {:<8} | {:>10} | {:>14} | {:>14} | {:>8} |",
@@ -28,17 +32,14 @@ fn main() {
     );
     println!("|----------|------------|----------------|----------------|----------|");
     for (k, m) in [(2usize, 1usize), (3, 1)] {
-        let cfg = PolyFtConfig { base: ParallelConfig::new(k, m), f: 1 };
+        let cfg = PolyFtConfig {
+            base: ParallelConfig::new(k, m),
+            f: 1,
+        };
         let slow_rank = 1usize; // column 1's (only) member at m=1
         for factor in [4u64, 16, 64] {
-            let waiting = run_poly_ft_excluding(
-                &a,
-                &b,
-                &cfg,
-                FaultPlan::none(),
-                &[],
-                &[(slow_rank, factor)],
-            );
+            let waiting =
+                run_poly_ft_excluding(&a, &b, &cfg, FaultPlan::none(), &[], &[(slow_rank, factor)]);
             assert_eq!(waiting.product, expected);
             let dropped = run_poly_ft_excluding(
                 &a,

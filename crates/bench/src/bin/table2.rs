@@ -16,7 +16,12 @@ fn main() {
     let f = 1;
     println!("# Table 2 — limited memory (n = {bits} bits, f = {f})\n");
     println!("{}", cost_header());
-    for (k, m, dfs, seed) in [(2usize, 1usize, 1usize, 11u64), (2, 1, 2, 12), (2, 2, 1, 13), (3, 1, 1, 14)] {
+    for (k, m, dfs, seed) in [
+        (2usize, 1usize, 1usize, 11u64),
+        (2, 1, 2, 12),
+        (2, 2, 1, 13),
+        (3, 1, 1, 14),
+    ] {
         let rows = table2_rows(bits, k, m, dfs, f, seed);
         for r in &rows {
             println!("{}", r.render());
@@ -27,7 +32,13 @@ fn main() {
         // formulas.
         println!(
             "|   {} |",
-            theory_line(bits, k, p, f, Some(bits as f64 / 64.0 / (p as f64 * (1 << dfs) as f64)))
+            theory_line(
+                bits,
+                k,
+                p,
+                f,
+                Some(bits as f64 / 64.0 / (p as f64 * (1 << dfs) as f64))
+            )
         );
     }
     println!();

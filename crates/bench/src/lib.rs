@@ -90,7 +90,11 @@ fn ratio(x: u64, y: u64) -> f64 {
 }
 
 fn overhead(ft: &CostVector, base: &CostVector) -> (f64, f64, f64) {
-    (ratio(ft.f, base.f), ratio(ft.bw, base.bw), ratio(ft.l, base.l))
+    (
+        ratio(ft.f, base.f),
+        ratio(ft.bw, base.bw),
+        ratio(ft.l, base.l),
+    )
 }
 
 /// Table 1 (unlimited memory): Parallel Toom-Cook vs Replication vs
@@ -106,7 +110,10 @@ pub fn table1_rows(bits: u64, k: usize, m: usize, f: usize, seed: u64) -> Vec<Co
     assert_eq!(plain.product, expected);
     let base = plain.report.critical_path();
 
-    let rep_cfg = ReplicationConfig { base: base_cfg.clone(), f };
+    let rep_cfg = ReplicationConfig {
+        base: base_cfg.clone(),
+        f,
+    };
     let rep = run_replicated(&a, &b, &rep_cfg, FaultPlan::none());
     assert_eq!(rep.product, expected);
     let rep_cp = rep.report.critical_path();
@@ -162,7 +169,10 @@ pub fn table2_rows(bits: u64, k: usize, m: usize, dfs: usize, f: usize, seed: u6
     let base = plain.report.critical_path();
     let peak = plain.report.peak_memory();
 
-    let rep_cfg = ReplicationConfig { base: base_cfg.clone(), f };
+    let rep_cfg = ReplicationConfig {
+        base: base_cfg.clone(),
+        f,
+    };
     let rep = run_replicated(&a, &b, &rep_cfg, FaultPlan::none());
     assert_eq!(rep.product, expected);
     let rep_cp = rep.report.critical_path();
@@ -234,7 +244,10 @@ pub fn overhead_ratios(bits: u64, k: usize, f: usize) -> Vec<(usize, f64, f64, f
         let p = base_cfg.processors();
         let plain = run_parallel(&a, &b, &base_cfg);
 
-        let rep_cfg = ReplicationConfig { base: base_cfg.clone(), f };
+        let rep_cfg = ReplicationConfig {
+            base: base_cfg.clone(),
+            f,
+        };
         let rep = run_replicated(&a, &b, &rep_cfg, FaultPlan::none());
         let rep_extra = rep.report.total_flops() - plain.report.total_flops();
 
@@ -267,10 +280,12 @@ pub fn recovery_cost_factors(bits: u64, k: usize, m: usize) -> (f64, f64) {
     let (a, b) = operands(bits, 70);
     let base = ParallelConfig::new(k, m);
 
-    let lin_cfg = LinearFtConfig { base: base.clone(), f: 1 };
+    let lin_cfg = LinearFtConfig {
+        base: base.clone(),
+        f: 1,
+    };
     let lin_clean = run_linear_ft(&a, &b, &lin_cfg, FaultPlan::none());
-    let lin_fault =
-        run_linear_ft(&a, &b, &lin_cfg, FaultPlan::none().kill(1, "lin-leaf-post"));
+    let lin_fault = run_linear_ft(&a, &b, &lin_cfg, FaultPlan::none().kill(1, "lin-leaf-post"));
     let recompute = ratio(
         lin_fault.report.critical_path().f,
         lin_clean.report.critical_path().f,
@@ -331,7 +346,10 @@ pub fn figure1_structure(bits: u64, k: usize, m: usize, f: usize) -> (usize, usi
 pub fn figure2_structure(bits: u64, k: usize, m: usize, f: usize) -> (usize, usize, usize) {
     let (a, b) = operands(bits, 81);
     let expected = a.mul_schoolbook(&b);
-    let cfg = PolyFtConfig { base: ParallelConfig::new(k, m), f };
+    let cfg = PolyFtConfig {
+        base: ParallelConfig::new(k, m),
+        f,
+    };
     let q = cfg.base.q();
     let mut survivable = 0;
     for col in 0..q + f {
@@ -401,7 +419,9 @@ pub fn render_grid_figure(k: usize, m: usize, f: usize, which: u8) -> String {
                 }
                 s.push('\n');
             }
-            s.push_str("redundant columns evaluate at extra points; interpolation uses any 2k-1 columns\n");
+            s.push_str(
+                "redundant columns evaluate at extra points; interpolation uses any 2k-1 columns\n",
+            );
         }
         3 => {
             s.push_str(&format!(

@@ -13,15 +13,20 @@ impl BigInt {
         match (self.sign, other.sign) {
             (Sign::Zero, _) => other.clone(),
             (_, Sign::Zero) => self.clone(),
-            (a, b) if a == b => BigInt { sign: a, mag: ops::add_slices(&self.mag, &other.mag) },
+            (a, b) if a == b => BigInt {
+                sign: a,
+                mag: ops::add_slices(&self.mag, &other.mag),
+            },
             _ => match self.cmp_abs(other) {
                 Ordering::Equal => BigInt::zero(),
-                Ordering::Greater => {
-                    BigInt { sign: self.sign, mag: ops::sub_slices(&self.mag, &other.mag) }
-                }
-                Ordering::Less => {
-                    BigInt { sign: other.sign, mag: ops::sub_slices(&other.mag, &self.mag) }
-                }
+                Ordering::Greater => BigInt {
+                    sign: self.sign,
+                    mag: ops::sub_slices(&self.mag, &other.mag),
+                },
+                Ordering::Less => BigInt {
+                    sign: other.sign,
+                    mag: ops::sub_slices(&other.mag, &self.mag),
+                },
             },
         }
     }
@@ -34,7 +39,10 @@ impl BigInt {
         if sign == Sign::Zero {
             return BigInt::zero();
         }
-        BigInt { sign, mag: ops::mul_schoolbook(&self.mag, &other.mag) }
+        BigInt {
+            sign,
+            mag: ops::mul_schoolbook(&self.mag, &other.mag),
+        }
     }
 
     /// Multiply by a signed machine integer.
@@ -49,7 +57,10 @@ impl BigInt {
         if sign == Sign::Zero {
             return BigInt::zero();
         }
-        BigInt { sign, mag: ops::mul_limb(&self.mag, m.unsigned_abs()) }
+        BigInt {
+            sign,
+            mag: ops::mul_limb(&self.mag, m.unsigned_abs()),
+        }
     }
 
     /// `self * 2^bits`.
@@ -58,7 +69,10 @@ impl BigInt {
         if self.is_zero() {
             return BigInt::zero();
         }
-        BigInt { sign: self.sign, mag: ops::shl_bits(&self.mag, bits) }
+        BigInt {
+            sign: self.sign,
+            mag: ops::shl_bits(&self.mag, bits),
+        }
     }
 
     /// Arithmetic shift right by `bits` **of the magnitude** (truncates
@@ -69,7 +83,10 @@ impl BigInt {
         if mag.is_empty() {
             BigInt::zero()
         } else {
-            BigInt { sign: self.sign, mag }
+            BigInt {
+                sign: self.sign,
+                mag,
+            }
         }
     }
 
@@ -104,7 +121,10 @@ impl BigInt {
 impl Neg for &BigInt {
     type Output = BigInt;
     fn neg(self) -> BigInt {
-        BigInt { sign: self.sign.neg(), mag: self.mag.clone() }
+        BigInt {
+            sign: self.sign.neg(),
+            mag: self.mag.clone(),
+        }
     }
 }
 

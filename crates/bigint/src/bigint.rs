@@ -62,7 +62,10 @@ impl BigInt {
     /// The integer `0`.
     #[must_use]
     pub fn zero() -> BigInt {
-        BigInt { sign: Sign::Zero, mag: Vec::new() }
+        BigInt {
+            sign: Sign::Zero,
+            mag: Vec::new(),
+        }
     }
 
     /// The integer `1`.
@@ -92,7 +95,10 @@ impl BigInt {
         if mag.is_empty() {
             BigInt::zero()
         } else {
-            BigInt { sign: Sign::Positive, mag }
+            BigInt {
+                sign: Sign::Positive,
+                mag,
+            }
         }
     }
 
@@ -162,7 +168,11 @@ impl BigInt {
     #[must_use]
     pub fn abs(&self) -> BigInt {
         BigInt {
-            sign: if self.sign == Sign::Zero { Sign::Zero } else { Sign::Positive },
+            sign: if self.sign == Sign::Zero {
+                Sign::Zero
+            } else {
+                Sign::Positive
+            },
             mag: self.mag.clone(),
         }
     }

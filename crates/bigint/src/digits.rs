@@ -20,7 +20,10 @@ impl BigInt {
     /// hold the value.
     #[must_use]
     pub fn split_base_pow2(&self, b_bits: u64, count: usize) -> Vec<BigInt> {
-        assert!(!self.is_negative(), "split_base_pow2 requires a non-negative value");
+        assert!(
+            !self.is_negative(),
+            "split_base_pow2 requires a non-negative value"
+        );
         assert!(b_bits > 0, "digit width must be positive");
         assert!(
             count as u64 * b_bits >= self.bit_length(),

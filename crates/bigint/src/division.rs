@@ -59,9 +59,7 @@ fn div_rem_mag(u: &[Limb], v: &[Limb]) -> (Vec<Limb>, Vec<Limb>) {
         let top = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
         let mut qhat = top / vn[n - 1] as u128;
         let mut rhat = top % vn[n - 1] as u128;
-        while qhat >= b
-            || qhat * vn[n - 2] as u128 > ((rhat << 64) | un[j + n - 2] as u128)
-        {
+        while qhat >= b || qhat * vn[n - 2] as u128 > ((rhat << 64) | un[j + n - 2] as u128) {
             qhat -= 1;
             rhat += vn[n - 1] as u128;
             if rhat >= b {
@@ -137,7 +135,8 @@ impl BigInt {
     /// Panics on a non-zero remainder or zero divisor.
     #[must_use]
     pub fn div_exact(&self, rhs: &BigInt) -> BigInt {
-        self.checked_div_exact(rhs).expect("div_exact: inexact or zero division")
+        self.checked_div_exact(rhs)
+            .expect("div_exact: inexact or zero division")
     }
 
     /// Checked version of [`BigInt::div_exact`].
@@ -162,7 +161,11 @@ impl BigInt {
         }
         let (q, r) = ops::div_rem_limb(&self.mag, d.unsigned_abs());
         assert_eq!(r, 0, "div_exact_small: remainder {r} dividing by {d}");
-        let dsign = if d < 0 { Sign::Negative } else { Sign::Positive };
+        let dsign = if d < 0 {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        };
         BigInt::from_sign_limbs(self.sign.mul(dsign), q)
     }
 

@@ -48,7 +48,9 @@ impl BigInt {
             None => (Sign::Positive, s.strip_prefix('+').unwrap_or(s)),
         };
         if body.is_empty() {
-            return Err(ParseBigIntError { kind: ParseErrorKind::Empty });
+            return Err(ParseBigIntError {
+                kind: ParseErrorKind::Empty,
+            });
         }
         let mut mag: Vec<Limb> = Vec::new();
         match radix {
@@ -66,9 +68,9 @@ impl BigInt {
                     if c == '_' {
                         continue;
                     }
-                    let d = c
-                        .to_digit(10)
-                        .ok_or(ParseBigIntError { kind: ParseErrorKind::InvalidDigit(c) })?;
+                    let d = c.to_digit(10).ok_or(ParseBigIntError {
+                        kind: ParseErrorKind::InvalidDigit(c),
+                    })?;
                     seen = true;
                     chunk = chunk * 10 + d as Limb;
                     chunk_len += 1;
@@ -79,7 +81,9 @@ impl BigInt {
                     }
                 }
                 if !seen {
-                    return Err(ParseBigIntError { kind: ParseErrorKind::Empty });
+                    return Err(ParseBigIntError {
+                        kind: ParseErrorKind::Empty,
+                    });
                 }
                 if chunk_len > 0 {
                     flush(&mut mag, chunk, chunk_len);
@@ -92,15 +96,17 @@ impl BigInt {
                     if c == '_' {
                         continue;
                     }
-                    let d = c
-                        .to_digit(radix)
-                        .ok_or(ParseBigIntError { kind: ParseErrorKind::InvalidDigit(c) })?;
+                    let d = c.to_digit(radix).ok_or(ParseBigIntError {
+                        kind: ParseErrorKind::InvalidDigit(c),
+                    })?;
                     seen = true;
                     mag = ops::shl_bits(&mag, bits_per);
                     mag = ops::add_slices(&mag, &[d as Limb]);
                 }
                 if !seen {
-                    return Err(ParseBigIntError { kind: ParseErrorKind::Empty });
+                    return Err(ParseBigIntError {
+                        kind: ParseErrorKind::Empty,
+                    });
                 }
             }
             _ => unreachable!(),

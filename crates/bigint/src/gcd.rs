@@ -110,7 +110,14 @@ mod tests {
 
     #[test]
     fn extended_gcd_bezout() {
-        for (x, y) in [(240i128, 46), (-240, 46), (240, -46), (0, 7), (7, 0), (12, 12)] {
+        for (x, y) in [
+            (240i128, 46),
+            (-240, 46),
+            (240, -46),
+            (0, 7),
+            (7, 0),
+            (12, 12),
+        ] {
             let (g, s, t) = b(x).extended_gcd(&b(y));
             assert_eq!(g, b(x).gcd(&b(y)), "gcd({x},{y})");
             assert_eq!(&(&b(x) * &s) + &(&b(y) * &t), g, "bezout({x},{y})");

@@ -25,10 +25,10 @@
 
 pub mod digits;
 pub mod fmt;
-pub mod montgomery;
 pub mod gcd;
 pub mod metrics;
 pub mod modular;
+pub mod montgomery;
 pub mod ops;
 pub mod random;
 

@@ -97,7 +97,10 @@ mod tests {
             let inv = b(a).mod_inverse(&m).unwrap();
             assert_eq!((&b(a) * &inv).mod_floor(&m), b(1), "a={a}");
         }
-        assert!(b(6).mod_inverse(&b(9)).is_none(), "gcd(6,9)=3 has no inverse");
+        assert!(
+            b(6).mod_inverse(&b(9)).is_none(),
+            "gcd(6,9)=3 has no inverse"
+        );
     }
 
     #[test]

@@ -42,10 +42,13 @@ impl MontgomeryCtx {
         debug_assert_eq!(n0.wrapping_mul(inv), 1);
         let n0_inv = inv.wrapping_neg();
         // R² mod n with R = 2^{64·limbs}.
-        let rr = BigInt::one()
-            .shl_bits(128 * limbs as u64)
-            .mod_floor(n);
-        MontgomeryCtx { n: n.clone(), limbs, n0_inv, rr }
+        let rr = BigInt::one().shl_bits(128 * limbs as u64).mod_floor(n);
+        MontgomeryCtx {
+            n: n.clone(),
+            limbs,
+            n0_inv,
+            rr,
+        }
     }
 
     /// The modulus.

@@ -42,7 +42,8 @@ pub fn add_slices(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
     let mut out = Vec::with_capacity(long.len() + 1);
     let mut carry: Limb = 0;
     for i in 0..long.len() {
-        let s = long[i] as DoubleLimb + *short.get(i).unwrap_or(&0) as DoubleLimb + carry as DoubleLimb;
+        let s =
+            long[i] as DoubleLimb + *short.get(i).unwrap_or(&0) as DoubleLimb + carry as DoubleLimb;
         out.push(s as Limb);
         carry = (s >> 64) as Limb;
     }
@@ -60,7 +61,10 @@ pub fn add_slices(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
 /// Debug-panics if `a < b`.
 #[allow(clippy::needless_range_loop)] // index drives two slices at once
 pub fn sub_slices(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
-    debug_assert!(cmp_slices(a, b) != Ordering::Less, "sub_slices requires a >= b");
+    debug_assert!(
+        cmp_slices(a, b) != Ordering::Less,
+        "sub_slices requires a >= b"
+    );
     let mut out = Vec::with_capacity(a.len());
     let mut borrow: Limb = 0;
     for i in 0..a.len() {
@@ -89,7 +93,9 @@ pub fn mul_schoolbook(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
         }
         let mut carry: Limb = 0;
         for (j, &bj) in b.iter().enumerate() {
-            let t = out[i + j] as DoubleLimb + ai as DoubleLimb * bj as DoubleLimb + carry as DoubleLimb;
+            let t = out[i + j] as DoubleLimb
+                + ai as DoubleLimb * bj as DoubleLimb
+                + carry as DoubleLimb;
             out[i + j] = t as Limb;
             carry = (t >> 64) as Limb;
         }
@@ -174,7 +180,11 @@ pub fn shr_bits(a: &[Limb], bits: u64) -> Vec<Limb> {
         out.extend_from_slice(src);
     } else {
         for i in 0..src.len() {
-            let hi = if i + 1 < src.len() { src[i + 1] << (64 - bit_shift) } else { 0 };
+            let hi = if i + 1 < src.len() {
+                src[i + 1] << (64 - bit_shift)
+            } else {
+                0
+            };
             out.push((src[i] >> bit_shift) | hi);
         }
     }

@@ -24,7 +24,8 @@ pub fn sqr_schoolbook(a: &[Limb]) -> Vec<Limb> {
         }
         let mut carry: Limb = 0;
         for j in i + 1..n {
-            let t = out[i + j] as DoubleLimb + a[i] as DoubleLimb * a[j] as DoubleLimb
+            let t = out[i + j] as DoubleLimb
+                + a[i] as DoubleLimb * a[j] as DoubleLimb
                 + carry as DoubleLimb;
             out[i + j] = t as Limb;
             carry = (t >> 64) as Limb;
@@ -79,7 +80,10 @@ impl BigInt {
         if self.is_zero() {
             return BigInt::zero();
         }
-        BigInt { sign: Sign::Positive, mag: sqr_schoolbook(&self.mag) }
+        BigInt {
+            sign: Sign::Positive,
+            mag: sqr_schoolbook(&self.mag),
+        }
     }
 }
 

@@ -20,14 +20,18 @@ fn bigint() -> impl Strategy<Value = BigInt> {
 
 /// Larger integers (up to ~16 limbs) for stress paths.
 fn bigint_wide() -> impl Strategy<Value = BigInt> {
-    (proptest::collection::vec(any::<u64>(), 0..16), any::<bool>()).prop_map(|(limbs, neg)| {
-        let v = BigInt::from_limbs(limbs);
-        if neg {
-            -v
-        } else {
-            v
-        }
-    })
+    (
+        proptest::collection::vec(any::<u64>(), 0..16),
+        any::<bool>(),
+    )
+        .prop_map(|(limbs, neg)| {
+            let v = BigInt::from_limbs(limbs);
+            if neg {
+                -v
+            } else {
+                v
+            }
+        })
 }
 
 proptest! {

@@ -23,7 +23,10 @@ impl std::fmt::Display for CodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CodeError::TooManyErasures { erased, parity } => {
-                write!(f, "{erased} erasures exceed the {parity} available parity symbols")
+                write!(
+                    f,
+                    "{erased} erasures exceed the {parity} available parity symbols"
+                )
             }
             CodeError::BadSymbolIndex(i) => write!(f, "bad symbol index {i}"),
             CodeError::RaggedBlocks => write!(f, "payload blocks have differing lengths"),
@@ -70,7 +73,11 @@ impl ErasureCode {
         let parity = Matrix::from_fn(etas.len(), data_len, |i, j| {
             BigInt::from(etas[i]).pow(j as u32)
         });
-        ErasureCode { data_len, parity_len: etas.len(), parity }
+        ErasureCode {
+            data_len,
+            parity_len: etas.len(),
+            parity,
+        }
     }
 
     /// Number of data symbols `k`.
@@ -263,7 +270,9 @@ impl ErasureCode {
     ) -> Matrix<Rational> {
         let e = erased.len();
         assert_eq!(parity_rows.len(), e);
-        let minor = Matrix::from_fn(e, e, |i, t| self.parity[(parity_rows[i], erased[t])].clone());
+        let minor = Matrix::from_fn(e, e, |i, t| {
+            self.parity[(parity_rows[i], erased[t])].clone()
+        });
         let inv = minor.to_rational().inverse().expect("invertible minor");
         // weight of parity row i on erased t = inv[t][i]; weight of data j:
         // −Σ_i inv[t][i]·η_{row_i}^j.
@@ -274,8 +283,7 @@ impl ErasureCode {
                 let j = surviving_data[c - parity_rows.len()];
                 let mut acc = Rational::zero();
                 for (i, &ri) in parity_rows.iter().enumerate() {
-                    let w = &inv[(t, i)]
-                        * &Rational::from_int(self.parity[(ri, j)].clone());
+                    let w = &inv[(t, i)] * &Rational::from_int(self.parity[(ri, j)].clone());
                     acc = &acc - &w;
                 }
                 acc
@@ -338,8 +346,7 @@ mod tests {
                     .filter(|&i| i != a && i != b)
                     .map(|i| (i, data[i].clone()))
                     .collect();
-                let sp: Vec<(usize, Vec<BigInt>)> =
-                    parity.iter().cloned().enumerate().collect();
+                let sp: Vec<(usize, Vec<BigInt>)> = parity.iter().cloned().enumerate().collect();
                 let rec = code.recover(&surviving, &sp, &[a, b]).unwrap();
                 assert_eq!(rec[0], data[a], "a={a} b={b}");
                 assert_eq!(rec[1], data[b], "a={a} b={b}");
@@ -369,14 +376,23 @@ mod tests {
         let err = code
             .recover(&[], &[(0, vec![BigInt::zero()])], &[0, 1])
             .unwrap_err();
-        assert_eq!(err, CodeError::TooManyErasures { erased: 2, parity: 1 });
+        assert_eq!(
+            err,
+            CodeError::TooManyErasures {
+                erased: 2,
+                parity: 1
+            }
+        );
     }
 
     #[test]
     fn ragged_blocks_rejected() {
         let code = ErasureCode::new(2, 1);
         let data = vec![vec![BigInt::zero()], vec![BigInt::zero(), BigInt::one()]];
-        assert_eq!(code.encode_blocks(&data).unwrap_err(), CodeError::RaggedBlocks);
+        assert_eq!(
+            code.encode_blocks(&data).unwrap_err(),
+            CodeError::RaggedBlocks
+        );
     }
 
     #[test]
@@ -413,8 +429,7 @@ mod tests {
         let parity = code.encode_scalars(&data);
         let weights = code.recovery_weights(&[0, 2], &[0], &[1]);
         // x_1 = w_p·parity0 + w_0·data0 + w_2·data2
-        let got = &(&weights[(0, 0)].mul_int(&parity[0])
-            + &weights[(0, 1)].mul_int(&data[0]))
+        let got = &(&weights[(0, 0)].mul_int(&parity[0]) + &weights[(0, 1)].mul_int(&data[0]))
             + &weights[(0, 2)].mul_int(&data[2]);
         assert!(got.is_integer());
         assert_eq!(got.to_integer(), data[1]);

@@ -7,11 +7,7 @@ use ft_codes::ErasureCode;
 use proptest::prelude::*;
 
 fn blocks(k: usize, width: usize) -> impl Strategy<Value = Vec<Vec<BigInt>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(any::<i64>(), width),
-        k,
-    )
-    .prop_map(|rows| {
+    proptest::collection::vec(proptest::collection::vec(any::<i64>(), width), k).prop_map(|rows| {
         rows.into_iter()
             .map(|r| r.into_iter().map(BigInt::from).collect())
             .collect()

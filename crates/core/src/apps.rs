@@ -104,7 +104,17 @@ mod tests {
 
     #[test]
     fn isqrt_small_values() {
-        for (n, r) in [(0u64, 0u64), (1, 1), (2, 1), (3, 1), (4, 2), (8, 2), (9, 3), (99, 9), (100, 10)] {
+        for (n, r) in [
+            (0u64, 0u64),
+            (1, 1),
+            (2, 1),
+            (3, 1),
+            (4, 2),
+            (8, 2),
+            (9, 3),
+            (99, 9),
+            (100, 10),
+        ] {
             assert_eq!(
                 isqrt_with(&BigInt::from(n), &school),
                 BigInt::from(r),
@@ -152,7 +162,10 @@ mod tests {
     fn factorial_values() {
         assert_eq!(factorial_with(0, &school), BigInt::one());
         assert_eq!(factorial_with(5, &school), BigInt::from(120u64));
-        assert_eq!(factorial_with(20, &school), BigInt::from(2_432_902_008_176_640_000u64));
+        assert_eq!(
+            factorial_with(20, &school),
+            BigInt::from(2_432_902_008_176_640_000u64)
+        );
         // 1000! has 2568 digits; verify length and a kernel-equivalence.
         let fast = |x: &BigInt, y: &BigInt| crate::seq::auto_mul(x, y);
         let f1000 = factorial_with(1000, &fast);

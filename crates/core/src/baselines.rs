@@ -67,12 +67,7 @@ pub fn run_replicated(
 
     // The surviving copy every rank agrees on (statically, from the plan).
     let clean_copy = (0..copies)
-        .find(|c| {
-            !faults
-                .specs()
-                .iter()
-                .any(|s| s.rank / p == *c)
-        })
+        .find(|c| !faults.specs().iter().any(|s| s.rank / p == *c))
         .expect("all replicas faulted — replication tolerance exceeded");
 
     let mut mcfg = MachineConfig::new(total).with_faults(faults);
@@ -111,7 +106,11 @@ pub fn run_replicated(
 
     let clean_slices = &report.results[clean_copy * p..(clean_copy + 1) * p];
     let product = assemble_product(clean_slices, digits, cfg.base.digit_bits, sign, p);
-    ParallelOutcome { product, report, digits }
+    ParallelOutcome {
+        product,
+        report,
+        digits,
+    }
 }
 
 /// Configuration of the checkpoint-restart baseline.
@@ -149,7 +148,10 @@ pub fn run_checkpointed(
     mcfg.trace = cfg.base.trace;
     let machine = Machine::new(mcfg);
 
-    assert!(cfg.base.dfs_steps == 0, "checkpoint baseline runs the BFS-only layout");
+    assert!(
+        cfg.base.dfs_steps == 0,
+        "checkpoint baseline runs the BFS-only layout"
+    );
     let report = machine.run(|env| {
         let plan = ToomPlan::shared(cfg.base.k);
         let rank = env.rank();
@@ -166,12 +168,26 @@ pub fn run_checkpointed(
         // before calling into the stock solver for the remaining levels.
         // (Checkpoint depth granularity = BFS steps, like the coded runs.)
         checkpointed_solve(
-            env, cfg, &plan, &group, my_a, my_b, digits, 0, (partner, ward), m, q,
+            env,
+            cfg,
+            &plan,
+            &group,
+            my_a,
+            my_b,
+            digits,
+            0,
+            (partner, ward),
+            m,
+            q,
         )
     });
 
     let product = assemble_product(&report.results, digits, cfg.base.digit_bits, sign, p);
-    ParallelOutcome { product, report, digits }
+    ParallelOutcome {
+        product,
+        report,
+        digits,
+    }
 }
 
 /// One checkpoint boundary then one BFS level, recursively; below the BFS
@@ -230,7 +246,9 @@ fn checkpointed_solve(
     drop(state);
 
     // --- One stock BFS level, then recurse for the next checkpoint.
-    one_bfs_level(env, cfg, plan, group, a, b, level_len, depth, partners, m, q)
+    one_bfs_level(
+        env, cfg, plan, group, a, b, level_len, depth, partners, m, q,
+    )
 }
 
 /// One BFS level of the stock algorithm with a recursive call back into
@@ -293,14 +311,28 @@ fn one_bfs_level(
 
     let next_group = &group[my_col * gp..(my_col + 1) * gp];
     let sub_prod = checkpointed_solve(
-        env, cfg, plan, next_group, next_a, next_b, lambda, depth + 1, partners, m, q,
+        env,
+        cfg,
+        plan,
+        next_group,
+        next_a,
+        next_b,
+        lambda,
+        depth + 1,
+        partners,
+        m,
+        q,
     );
 
     for (t, &peer) in row.iter().enumerate() {
         if t == my_col {
             continue;
         }
-        env.send(peer, tags::UP + depth as u64, &residue_subslice(&sub_prod, q, t));
+        env.send(
+            peer,
+            tags::UP + depth as u64,
+            &residue_subslice(&sub_prod, q, t),
+        );
     }
     let mut col_slices: Vec<Vec<BigInt>> = vec![Vec::new(); q];
     for (t, &peer) in row.iter().enumerate() {
@@ -330,7 +362,10 @@ mod tests {
     #[test]
     fn replication_no_faults() {
         let (a, b) = random_pair(2000, 1);
-        let cfg = ReplicationConfig { base: ParallelConfig::new(2, 1), f: 1 };
+        let cfg = ReplicationConfig {
+            base: ParallelConfig::new(2, 1),
+            f: 1,
+        };
         assert_eq!(cfg.extra_processors(), 3);
         let out = run_replicated(&a, &b, &cfg, FaultPlan::none());
         assert_eq!(out.product, a.mul_schoolbook(&b));
@@ -339,7 +374,10 @@ mod tests {
     #[test]
     fn replication_survives_copy_fault() {
         let (a, b) = random_pair(2000, 2);
-        let cfg = ReplicationConfig { base: ParallelConfig::new(2, 1), f: 1 };
+        let cfg = ReplicationConfig {
+            base: ParallelConfig::new(2, 1),
+            f: 1,
+        };
         // Kill a rank in copy 0 during multiplication: result comes from
         // copy 1.
         let plan = FaultPlan::none().kill(1, "leaf-mult");
@@ -350,7 +388,10 @@ mod tests {
     #[test]
     fn replication_survives_f_faults_in_different_copies_f2() {
         let (a, b) = random_pair(2000, 3);
-        let cfg = ReplicationConfig { base: ParallelConfig::new(2, 1), f: 2 };
+        let cfg = ReplicationConfig {
+            base: ParallelConfig::new(2, 1),
+            f: 2,
+        };
         let plan = FaultPlan::none()
             .kill(0, "leaf-mult") // copy 0
             .kill(4, "leaf-mult"); // copy 1 (ranks 3..6)
@@ -363,7 +404,10 @@ mod tests {
     #[should_panic(expected = "tolerance exceeded")]
     fn replication_fails_when_all_copies_hit() {
         let (a, b) = random_pair(1000, 4);
-        let cfg = ReplicationConfig { base: ParallelConfig::new(2, 1), f: 1 };
+        let cfg = ReplicationConfig {
+            base: ParallelConfig::new(2, 1),
+            f: 1,
+        };
         let plan = FaultPlan::none().kill(0, "leaf-mult").kill(3, "leaf-mult");
         let _ = run_replicated(&a, &b, &cfg, plan);
     }
@@ -385,7 +429,9 @@ mod tests {
     #[test]
     fn checkpoint_no_faults() {
         let (a, b) = random_pair(2000, 6);
-        let cfg = CheckpointConfig { base: ParallelConfig::new(2, 2) };
+        let cfg = CheckpointConfig {
+            base: ParallelConfig::new(2, 2),
+        };
         let out = run_checkpointed(&a, &b, &cfg, FaultPlan::none());
         assert_eq!(out.product, a.mul_schoolbook(&b));
     }
@@ -393,7 +439,9 @@ mod tests {
     #[test]
     fn checkpoint_recovers_boundary_fault() {
         let (a, b) = random_pair(2000, 7);
-        let cfg = CheckpointConfig { base: ParallelConfig::new(2, 2) };
+        let cfg = CheckpointConfig {
+            base: ParallelConfig::new(2, 2),
+        };
         for victim in [0usize, 3, 8] {
             let plan = FaultPlan::none().kill(victim, "cr-0");
             let out = run_checkpointed(&a, &b, &cfg, plan);

@@ -54,18 +54,35 @@ impl ToomPlan {
         ]
         .into_iter()
         .find(|s| s.width() == 2 * k - 1 && s.verifies_against(&eval_matrix(&points, 2 * k - 1)));
-        ToomPlan { k, points, eval, interp, sequence }
+        ToomPlan {
+            k,
+            points,
+            eval,
+            interp,
+            sequence,
+        }
     }
 
     /// A process-wide shared plan for the classic point set (plans are
     /// immutable and moderately expensive to build — one 5×5 rational
     /// inverse for k = 3 — so deep recursions share them).
+    ///
+    /// The common small `k` (2..=8, everything [`classic_points`] supports
+    /// in practice) hit a lock-free `OnceLock` slot; larger `k` fall back
+    /// to a mutexed map so hot multiply paths never contend on a lock.
     #[must_use]
     pub fn shared(k: usize) -> Arc<ToomPlan> {
+        const SLOTS: usize = 9;
+        static FAST: [OnceLock<Arc<ToomPlan>>; SLOTS] = [const { OnceLock::new() }; SLOTS];
+        if let Some(slot) = FAST.get(k) {
+            return slot.get_or_init(|| Arc::new(ToomPlan::new(k))).clone();
+        }
         static CACHE: OnceLock<Mutex<HashMap<usize, Arc<ToomPlan>>>> = OnceLock::new();
         let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
         let mut map = cache.lock().expect("plan cache poisoned");
-        map.entry(k).or_insert_with(|| Arc::new(ToomPlan::new(k))).clone()
+        map.entry(k)
+            .or_insert_with(|| Arc::new(ToomPlan::new(k)))
+            .clone()
     }
 
     /// The split parameter `k`.

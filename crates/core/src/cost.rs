@@ -115,7 +115,11 @@ pub fn fault_tolerant_toom(input: &CostModelInput) -> (TheoryCost, f64) {
     let steps = log_base(q, input.p).max(1.0);
     let oh = input.f * m_eff * steps;
     (
-        TheoryCost { f: base.f + oh, bw: base.bw + oh, l: base.l * (1.0 + input.f / steps) },
+        TheoryCost {
+            f: base.f + oh,
+            bw: base.bw + oh,
+            l: base.l * (1.0 + input.f / steps),
+        },
         extra,
     )
 }
@@ -128,7 +132,11 @@ pub fn replication(input: &CostModelInput) -> (TheoryCost, f64) {
     // Replicating the distributed input adds O(f·n/P) words.
     let oh = input.f * input.n / input.p;
     (
-        TheoryCost { f: base.f, bw: base.bw + oh, l: base.l + input.f },
+        TheoryCost {
+            f: base.f,
+            bw: base.bw + oh,
+            l: base.l + input.f,
+        },
         input.f * input.p,
     )
 }
@@ -147,7 +155,13 @@ mod tests {
     use super::*;
 
     fn input(n: f64, p: f64, k: f64) -> CostModelInput {
-        CostModelInput { n, p, k, memory: None, f: 1.0 }
+        CostModelInput {
+            n,
+            p,
+            k,
+            memory: None,
+            f: 1.0,
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //!   `(1+o(1))` overhead in `F`, `BW`, and `L`.
 
 pub mod combined;
-pub mod softdist;
 pub mod linear;
 pub mod multistep;
 pub mod poly;
+pub mod softdist;

@@ -24,9 +24,7 @@ use crate::bilinear::ToomPlan;
 use crate::ft::linear::{solve_ft, Ctx, LeafMode, LinearFtConfig, Role};
 use crate::ft::multistep::{leaf_recovery, redundant_eval_slice, MultistepConfig};
 use crate::lazy;
-use crate::parallel::{
-    assemble_product, local_digit_slice, tags, ParallelConfig, ParallelOutcome,
-};
+use crate::parallel::{assemble_product, local_digit_slice, tags, ParallelConfig, ParallelOutcome};
 use ft_algebra::points::eval_matrix_multi;
 use ft_bigint::BigInt;
 use ft_codes::ErasureCode;
@@ -47,7 +45,11 @@ impl CombinedConfig {
     /// Build with the default search bound.
     #[must_use]
     pub fn new(base: ParallelConfig, f: usize) -> CombinedConfig {
-        CombinedConfig { base, f, search_bound: 6 }
+        CombinedConfig {
+            base,
+            f,
+            search_bound: 6,
+        }
     }
 
     /// Total machine size: `P + f·(2k−1) + f`.
@@ -78,7 +80,10 @@ pub fn run_combined_ft(
     cfg: &CombinedConfig,
     faults: FaultPlan,
 ) -> ParallelOutcome {
-    assert!(cfg.base.dfs_steps == 0, "combined coding runs the unlimited-memory layout");
+    assert!(
+        cfg.base.dfs_steps == 0,
+        "combined coding runs the unlimited-memory layout"
+    );
     assert!(cfg.base.bfs_steps >= 1);
     let p = cfg.base.processors();
     let q = cfg.base.q();
@@ -117,7 +122,10 @@ pub fn run_combined_ft(
     );
     leaf_victims.sort_unstable();
     leaf_victims.dedup();
-    assert!(leaf_victims.len() <= cfg.f, "more leaf victims than redundancy f");
+    assert!(
+        leaf_victims.len() <= cfg.f,
+        "more leaf victims than redundancy f"
+    );
     let chosen: Vec<usize> = (0..p + cfg.f)
         .filter(|l| !leaf_victims.contains(l))
         .take(p)
@@ -125,7 +133,10 @@ pub fn run_combined_ft(
     let leaf_to_rank = |l: usize| if l < p { l } else { cfg.extra_rank(l - p) };
 
     // Linear-code context (reuses the §4.1 machinery verbatim).
-    let lin_cfg = LinearFtConfig { base: cfg.base.clone(), f: cfg.f };
+    let lin_cfg = LinearFtConfig {
+        base: cfg.base.clone(),
+        f: cfg.f,
+    };
 
     let mut mcfg = MachineConfig::new(total).with_faults(faults);
     mcfg.cost = cfg.base.cost;
@@ -177,7 +188,10 @@ pub fn run_combined_ft(
         } else if rank < p + cfg.f * q {
             // Linear code rank.
             let idx = rank - p;
-            let role = Role::Code { row: idx / q, col: idx % q };
+            let role = Role::Code {
+                row: idx / q,
+                col: idx % q,
+            };
             let len = digits / p;
             let hook = |_: &Env, prod: Vec<BigInt>| prod;
             solve_ft(
@@ -206,7 +220,10 @@ pub fn run_combined_ft(
                 }
             }
             let (va, vb) = if env.fault_point("ms-extra-mult") == Fate::Reborn {
-                (vec![BigInt::zero(); leaf_len], vec![BigInt::zero(); leaf_len])
+                (
+                    vec![BigInt::zero(); leaf_len],
+                    vec![BigInt::zero(); leaf_len],
+                )
             } else {
                 (va, vb)
             };
@@ -225,7 +242,11 @@ pub fn run_combined_ft(
     });
 
     let product = assemble_product(&report.results[..p], digits, cfg.base.digit_bits, sign, p);
-    ParallelOutcome { product, report, digits }
+    ParallelOutcome {
+        product,
+        report,
+        digits,
+    }
 }
 
 #[cfg(test)]

@@ -358,7 +358,14 @@ pub(crate) fn solve_ft(
         let mut prods: Vec<Vec<BigInt>> = Vec::with_capacity(q);
         for j in 0..q {
             prods.push(solve_ft(
-                env, ctx, role, ea[j].clone(), eb[j].clone(), lambda, depth + 1, leaf,
+                env,
+                ctx,
+                role,
+                ea[j].clone(),
+                eb[j].clone(),
+                lambda,
+                depth + 1,
+                leaf,
             ));
         }
         drop(ea);
@@ -367,14 +374,8 @@ pub(crate) fn solve_ft(
             Role::Data => (env.rank() % p_total, p_total),
             Role::Code { .. } => (0, p_total),
         };
-        let out = crate::parallel::interp_slices(
-            plan.interp_matrix(),
-            &prods,
-            lambda,
-            level_len,
-            p,
-            g,
-        );
+        let out =
+            crate::parallel::interp_slices(plan.interp_matrix(), &prods, lambda, level_len, p, g);
         return out;
     }
 
@@ -385,11 +386,7 @@ pub(crate) fn solve_ft(
         let (p, my_col, row): (usize, usize, Vec<usize>) = match role {
             Role::Data => {
                 let p = env.rank() % g;
-                (
-                    p,
-                    p / gp.max(1),
-                    ctx.grid.row_group(env.rank(), step),
-                )
+                (p, p / gp.max(1), ctx.grid.row_group(env.rank(), step))
             }
             Role::Code { row: crow, col } => {
                 // Code row: the q code processors of this code row.
@@ -401,7 +398,17 @@ pub(crate) fn solve_ft(
         // ---- Entry boundary: fresh code creation + fault + recovery.
         let mut state = concat(&a, &b);
         let alen = a.len();
-        coded_boundary(env, ctx, Kind::Entry, depth, step, role, my_col, &mut state, false);
+        coded_boundary(
+            env,
+            ctx,
+            Kind::Entry,
+            depth,
+            step,
+            role,
+            my_col,
+            &mut state,
+            false,
+        );
         let bpart = state.split_off(alen);
         a = state;
         b = bpart;
@@ -420,7 +427,17 @@ pub(crate) fn solve_ft(
         estate.extend(eb_flat);
         drop(ea);
         drop(eb);
-        coded_boundary(env, ctx, Kind::Eval, depth, step, role, my_col, &mut estate, true);
+        coded_boundary(
+            env,
+            ctx,
+            Kind::Eval,
+            depth,
+            step,
+            role,
+            my_col,
+            &mut estate,
+            true,
+        );
         let eb_flat = estate.split_off(ealen);
         let ea: Vec<Vec<BigInt>> = estate.chunks(chunk).map(<[BigInt]>::to_vec).collect();
         let eb: Vec<Vec<BigInt>> = eb_flat.chunks(chunk).map(<[BigInt]>::to_vec).collect();
@@ -461,7 +478,10 @@ pub(crate) fn solve_ft(
             Role::Code { .. } => {
                 // Structural placeholder with the data ranks' slice length.
                 let next_len = lambda / gp.max(1);
-                (vec![BigInt::zero(); next_len], vec![BigInt::zero(); next_len])
+                (
+                    vec![BigInt::zero(); next_len],
+                    vec![BigInt::zero(); next_len],
+                )
             }
         };
 
@@ -473,12 +493,26 @@ pub(crate) fn solve_ft(
         let pad_len = (2 * lambda - 1).div_ceil(gp.max(1));
         let true_len = sub_prod.len();
         sub_prod.resize(pad_len, BigInt::zero());
-        coded_boundary(env, ctx, Kind::Up, depth, step, role, my_col, &mut sub_prod, false);
+        coded_boundary(
+            env,
+            ctx,
+            Kind::Up,
+            depth,
+            step,
+            role,
+            my_col,
+            &mut sub_prod,
+            false,
+        );
         sub_prod.truncate(match role {
             Role::Data => {
                 let pp = env.rank() % gp.max(1);
                 let full = 2 * lambda - 1;
-                if pp >= full { 0 } else { (full - pp).div_ceil(gp.max(1)) }
+                if pp >= full {
+                    0
+                } else {
+                    (full - pp).div_ceil(gp.max(1))
+                }
             }
             Role::Code { .. } => true_len,
         });
@@ -542,7 +576,17 @@ pub(crate) fn solve_ft(
             let alen = a.len();
             drop(a);
             drop(b);
-            coded_boundary(env, ctx, Kind::Leaf, depth, step, role, my_col, &mut state, false);
+            coded_boundary(
+                env,
+                ctx,
+                Kind::Leaf,
+                depth,
+                step,
+                role,
+                my_col,
+                &mut state,
+                false,
+            );
             let b = state.split_off(alen);
             let a = state;
             let prod = match role {
@@ -560,7 +604,17 @@ pub(crate) fn solve_ft(
             let mut state = concat(&a, &b);
             drop(a);
             drop(b);
-            coded_boundary(env, ctx, Kind::LeafPost, depth, step, role, my_col, &mut state, true);
+            coded_boundary(
+                env,
+                ctx,
+                Kind::LeafPost,
+                depth,
+                step,
+                role,
+                my_col,
+                &mut state,
+                true,
+            );
             let reborn_here = post_victims.contains(&env.rank());
             let b = state.split_off(alen);
             let a = state;
@@ -572,10 +626,7 @@ pub(crate) fn solve_ft(
         LeafMode::Hook(hook) => match role {
             Role::Data => {
                 let (a, b) = if env.fault_point("leaf-mult") == ft_machine::Fate::Reborn {
-                    (
-                        vec![BigInt::zero(); a.len()],
-                        vec![BigInt::zero(); b.len()],
-                    )
+                    (vec![BigInt::zero(); a.len()], vec![BigInt::zero(); b.len()])
                 } else {
                     (a, b)
                 };
@@ -601,7 +652,10 @@ pub fn run_linear_ft(
 ) -> ParallelOutcome {
     let p = cfg.base.processors();
     let q = cfg.base.q();
-    assert!(cfg.base.bfs_steps >= 1, "linear FT needs at least one BFS step (a grid)");
+    assert!(
+        cfg.base.bfs_steps >= 1,
+        "linear FT needs at least one BFS step (a grid)"
+    );
     let total = cfg.processors();
     let n_bits = a.bit_length().max(b.bit_length()).max(1);
     let digits = cfg.base.digits_for(n_bits);
@@ -626,10 +680,22 @@ pub fn run_linear_ft(
         if rank < p {
             let my_a = local_digit_slice(&aa, cfg.base.digit_bits, digits, rank, p);
             let my_b = local_digit_slice(&bb, cfg.base.digit_bits, digits, rank, p);
-            solve_ft(env, &ctx, Role::Data, my_a, my_b, digits, 0, &LeafMode::LinearRecompute)
+            solve_ft(
+                env,
+                &ctx,
+                Role::Data,
+                my_a,
+                my_b,
+                digits,
+                0,
+                &LeafMode::LinearRecompute,
+            )
         } else {
             let idx = rank - p;
-            let role = Role::Code { row: idx / q, col: idx % q };
+            let role = Role::Code {
+                row: idx / q,
+                col: idx % q,
+            };
             // Code processors start with zero state of the data slice
             // length; the first entry boundary provides their encoding.
             let len = digits / p;
@@ -647,7 +713,11 @@ pub fn run_linear_ft(
     });
 
     let product = assemble_product(&report.results[..p], digits, cfg.base.digit_bits, sign, p);
-    ParallelOutcome { product, report, digits }
+    ParallelOutcome {
+        product,
+        report,
+        digits,
+    }
 }
 
 #[cfg(test)]
@@ -664,7 +734,10 @@ mod tests {
     }
 
     fn cfg(k: usize, m: usize, f: usize) -> LinearFtConfig {
-        LinearFtConfig { base: ParallelConfig::new(k, m), f }
+        LinearFtConfig {
+            base: ParallelConfig::new(k, m),
+            f,
+        }
     }
 
     #[test]

@@ -28,8 +28,8 @@
 use crate::bilinear::ToomPlan;
 use crate::lazy;
 use crate::parallel::{
-    assemble_product, local_digit_slice, slice_words, solve_with_leaf_hook, tags,
-    ParallelConfig, ParallelOutcome,
+    assemble_product, local_digit_slice, slice_words, solve_with_leaf_hook, tags, ParallelConfig,
+    ParallelOutcome,
 };
 use crate::points::classic_points;
 use ft_algebra::points::{eval_matrix_multi, find_redundant_points};
@@ -54,7 +54,11 @@ impl MultistepConfig {
     /// Default search bound.
     #[must_use]
     pub fn new(base: ParallelConfig, f: usize) -> MultistepConfig {
-        MultistepConfig { base, f, search_bound: 6 }
+        MultistepConfig {
+            base,
+            f,
+            search_bound: 6,
+        }
     }
 
     /// Total machine size: `P` data ranks + `f` extra ranks.
@@ -105,11 +109,7 @@ impl MultistepConfig {
 
 /// The recovery weights for one dead leaf: `E_dead · E_chosen⁻¹` as exact
 /// rationals over the chosen surviving leaves.
-fn leaf_recovery_weights(
-    eval: &Matrix<BigInt>,
-    chosen: &[usize],
-    dead: usize,
-) -> Vec<Rational> {
+fn leaf_recovery_weights(eval: &Matrix<BigInt>, chosen: &[usize], dead: usize) -> Vec<Rational> {
     let e_chosen = eval.select_rows(chosen).to_rational();
     let inv = e_chosen
         .inverse()
@@ -197,8 +197,14 @@ pub fn run_multistep_ft(
     cfg: &MultistepConfig,
     faults: FaultPlan,
 ) -> ParallelOutcome {
-    assert!(cfg.base.dfs_steps == 0, "multistep coding combines all BFS steps");
-    assert!(cfg.base.bfs_steps >= 1, "multistep coding needs at least one BFS step");
+    assert!(
+        cfg.base.dfs_steps == 0,
+        "multistep coding combines all BFS steps"
+    );
+    assert!(
+        cfg.base.bfs_steps >= 1,
+        "multistep coding needs at least one BFS step"
+    );
     let p = cfg.base.processors();
     let k = cfg.base.k;
     let m = cfg.base.bfs_steps;
@@ -243,8 +249,7 @@ pub fn run_multistep_ft(
             env.note_memory(slice_words(&[&my_a, &my_b]));
             for (x, z) in points[p..].iter().enumerate() {
                 let extra_rank = p + x;
-                let mut payload =
-                    redundant_eval_slice(&my_a, z, k, m, leaf_len, rank, p);
+                let mut payload = redundant_eval_slice(&my_a, z, k, m, leaf_len, rank, p);
                 payload.extend(redundant_eval_slice(&my_b, z, k, m, leaf_len, rank, p));
                 env.send(extra_rank, tags::REDUNDANT + x as u64, &payload);
             }
@@ -254,7 +259,15 @@ pub fn run_multistep_ft(
             };
             let group: Vec<usize> = (0..p).collect();
             solve_with_leaf_hook(
-                env, &cfg.base, &plan, &group, my_a, my_b, digits, 0, Some(&hook),
+                env,
+                &cfg.base,
+                &plan,
+                &group,
+                my_a,
+                my_b,
+                digits,
+                0,
+                Some(&hook),
             )
         } else {
             // ---- Extra rank: assemble my redundant evaluations, multiply,
@@ -274,7 +287,10 @@ pub fn run_multistep_ft(
             }
             env.note_memory(slice_words(&[&va, &vb]));
             let (va, vb) = if env.fault_point("ms-extra-mult") == Fate::Reborn {
-                (vec![BigInt::zero(); leaf_len], vec![BigInt::zero(); leaf_len])
+                (
+                    vec![BigInt::zero(); leaf_len],
+                    vec![BigInt::zero(); leaf_len],
+                )
             } else {
                 (va, vb)
             };
@@ -285,7 +301,11 @@ pub fn run_multistep_ft(
     });
 
     let product = assemble_product(&report.results[..p], digits, cfg.base.digit_bits, sign, p);
-    ParallelOutcome { product, report, digits }
+    ParallelOutcome {
+        product,
+        report,
+        digits,
+    }
 }
 
 /// This rank's contribution to the redundant evaluation `v_z`: for each
@@ -302,7 +322,7 @@ pub(crate) fn redundant_eval_slice(
     p: usize,
 ) -> Vec<BigInt> {
     let digits_total = my_slice.len() * p; // exact: p | D
-    // Precompute the weight of each block tuple: Π_v monomial(z_v, i_v).
+                                           // Precompute the weight of each block tuple: Π_v monomial(z_v, i_v).
     let blocks = k.pow(m as u32);
     let weights: Vec<BigInt> = (0..blocks)
         .map(|mut idx| {
@@ -400,9 +420,7 @@ mod tests {
     #[test]
     fn two_leaf_faults_two_steps() {
         let (a, b) = random_pair(3000, 4);
-        let plan = FaultPlan::none()
-            .kill(1, "leaf-mult")
-            .kill(7, "leaf-mult");
+        let plan = FaultPlan::none().kill(1, "leaf-mult").kill(7, "leaf-mult");
         let out = run_multistep_ft(&a, &b, &cfg(2, 2, 2), plan);
         assert_eq!(out.product, a.mul_schoolbook(&b));
         assert_eq!(out.report.total_deaths(), 2);

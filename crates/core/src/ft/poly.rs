@@ -23,8 +23,8 @@
 use crate::bilinear::{interpolation_from_survivors, ToomPlan};
 use crate::lazy;
 use crate::parallel::{
-    interp_slices, local_digit_slice, merge_residue_pieces, residue_subslice, slice_words,
-    solve, tags, ParallelConfig, ParallelOutcome,
+    interp_slices, local_digit_slice, merge_residue_pieces, residue_subslice, slice_words, solve,
+    tags, ParallelConfig, ParallelOutcome,
 };
 use crate::points::{classic_points, extend_points};
 use ft_algebra::points::eval_matrix;
@@ -142,8 +142,14 @@ pub fn run_poly_ft_excluding(
     excluded: &[usize],
     slowdowns: &[(usize, u64)],
 ) -> ParallelOutcome {
-    assert!(cfg.base.dfs_steps == 0, "polynomial code extends the first BFS split");
-    assert!(cfg.base.bfs_steps >= 1, "polynomial code needs at least one BFS step");
+    assert!(
+        cfg.base.dfs_steps == 0,
+        "polynomial code extends the first BFS split"
+    );
+    assert!(
+        cfg.base.bfs_steps >= 1,
+        "polynomial code needs at least one BFS step"
+    );
     let p = cfg.base.processors();
     let q = cfg.base.q();
     let k = cfg.base.k;
@@ -200,7 +206,11 @@ pub fn run_poly_ft_excluding(
             for j in q..q + cfg.f {
                 let mut payload = ea[j].clone();
                 payload.extend_from_slice(&eb[j]);
-                env.send(cfg.redundant_rank(j, sub_pos), tags::REDUNDANT + j as u64, &payload);
+                env.send(
+                    cfg.redundant_rank(j, sub_pos),
+                    tags::REDUNDANT + j as u64,
+                    &payload,
+                );
             }
             let mut pieces_a: Vec<Vec<BigInt>> = vec![Vec::new(); q];
             let mut pieces_b: Vec<Vec<BigInt>> = vec![Vec::new(); q];
@@ -301,7 +311,11 @@ pub fn run_poly_ft_excluding(
         Sign::Zero => BigInt::zero(),
         Sign::Positive => mag,
     };
-    ParallelOutcome { product, report, digits }
+    ParallelOutcome {
+        product,
+        report,
+        digits,
+    }
 }
 
 #[cfg(test)]
@@ -318,7 +332,10 @@ mod tests {
     }
 
     fn cfg(k: usize, m: usize, f: usize) -> PolyFtConfig {
-        PolyFtConfig { base: ParallelConfig::new(k, m), f }
+        PolyFtConfig {
+            base: ParallelConfig::new(k, m),
+            f,
+        }
     }
 
     #[test]
@@ -388,9 +405,7 @@ mod tests {
     #[test]
     fn two_column_faults_with_f2() {
         let (a, b) = random_pair(3000, 6);
-        let plan = FaultPlan::none()
-            .kill(0, "poly-halt")
-            .kill(2, "poly-halt");
+        let plan = FaultPlan::none().kill(0, "poly-halt").kill(2, "poly-halt");
         let out = run_poly_ft(&a, &b, &cfg(2, 1, 2), plan);
         assert_eq!(out.product, a.mul_schoolbook(&b));
         assert_eq!(out.report.total_deaths(), 2);
@@ -410,9 +425,7 @@ mod tests {
     #[should_panic(expected = "exceed")]
     fn too_many_column_faults_rejected() {
         let (a, b) = random_pair(1000, 8);
-        let plan = FaultPlan::none()
-            .kill(0, "poly-halt")
-            .kill(1, "poly-halt");
+        let plan = FaultPlan::none().kill(0, "poly-halt").kill(1, "poly-halt");
         let _ = run_poly_ft(&a, &b, &cfg(2, 1, 1), plan);
     }
 

@@ -139,7 +139,11 @@ pub fn run_poly_ft_soft(
             for j in q..q + cfg.f {
                 let mut payload = ea[j].clone();
                 payload.extend_from_slice(&eb[j]);
-                env.send(cfg.redundant_rank(j, sub_pos), tags::REDUNDANT + j as u64, &payload);
+                env.send(
+                    cfg.redundant_rank(j, sub_pos),
+                    tags::REDUNDANT + j as u64,
+                    &payload,
+                );
             }
             let mut pieces_a: Vec<Vec<BigInt>> = vec![Vec::new(); q];
             let mut pieces_b: Vec<Vec<BigInt>> = vec![Vec::new(); q];
@@ -192,7 +196,11 @@ pub fn run_poly_ft_soft(
             if peer == rank {
                 continue;
             }
-            env.send(peer, tags::UP + my_col as u64, &residue_subslice(&sub_prod, q, i));
+            env.send(
+                peer,
+                tags::UP + my_col as u64,
+                &residue_subslice(&sub_prod, q, i),
+            );
         }
         if my_col >= q {
             // Redundant columns contribute evaluations but hold no output.
@@ -242,14 +250,25 @@ pub fn run_poly_ft_soft(
                 // An uncorrectable offset cannot be exactly interpolated
                 // (the corruption breaks integrality); the product is
                 // untrusted anyway — substitute zero and keep the flag.
-                slot.push(if uncorrectable { BigInt::zero() } else { v.clone() });
+                slot.push(if uncorrectable {
+                    BigInt::zero()
+                } else {
+                    v.clone()
+                });
             }
         }
         corrected_cols.sort_unstable();
 
         // Standard interpolation from the (corrected) first q columns.
         let interp = plan.interp_matrix().clone();
-        let out = interp_slices(&interp, &fixed_slices, lambda, digits, role * gp + sub_pos, p);
+        let out = interp_slices(
+            &interp,
+            &fixed_slices,
+            lambda,
+            digits,
+            role * gp + sub_pos,
+            p,
+        );
         let flags: Vec<BigInt> = corrected_cols
             .iter()
             .map(|&c| BigInt::from(c as u64))
@@ -294,7 +313,11 @@ pub fn run_poly_ft_soft(
         Sign::Positive => mag,
     };
     SoftOutcome {
-        outcome: ParallelOutcome { product, report: strip_flags(report), digits },
+        outcome: ParallelOutcome {
+            product,
+            report: strip_flags(report),
+            digits,
+        },
         detected_columns: detected,
         fully_corrected: fully,
     }
@@ -326,7 +349,10 @@ mod tests {
     }
 
     fn cfg(k: usize, m: usize, f: usize) -> PolyFtConfig {
-        PolyFtConfig { base: ParallelConfig::new(k, m), f }
+        PolyFtConfig {
+            base: ParallelConfig::new(k, m),
+            f,
+        }
     }
 
     #[test]

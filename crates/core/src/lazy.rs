@@ -88,7 +88,11 @@ pub fn interp_step(interp: &ScaledIntMatrix, prods: &[Vec<BigInt>], k: usize) ->
     let sub_len = prods[0].len();
     assert!(prods.iter().all(|p| p.len() == sub_len));
     let lambda = sub_len.div_ceil(2);
-    assert_eq!(2 * lambda - 1, sub_len, "sub-product length must be odd (2λ−1)");
+    assert_eq!(
+        2 * lambda - 1,
+        sub_len,
+        "sub-product length must be odd (2λ−1)"
+    );
     let out_len = 2 * k * lambda - 1;
     let mut out = vec![BigInt::zero(); out_len];
     // For each offset e, interpolate the q block coefficients C_t[e] and
@@ -114,7 +118,11 @@ pub fn interp_step(interp: &ScaledIntMatrix, prods: &[Vec<BigInt>], k: usize) ->
 /// vectors (no carries).
 #[must_use]
 pub fn poly_mul_toom(a: &[BigInt], b: &[BigInt], plan: &ToomPlan, base_len: usize) -> Vec<BigInt> {
-    assert_eq!(a.len(), b.len(), "lazy recursion needs equal-length vectors");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "lazy recursion needs equal-length vectors"
+    );
     let k = plan.k();
     if a.len() <= base_len.max(1) || !a.len().is_multiple_of(k) {
         return convolve(a, b);
@@ -142,7 +150,11 @@ pub struct LazyConfig {
 
 impl Default for LazyConfig {
     fn default() -> Self {
-        LazyConfig { k: 3, digit_bits: 64, base_len: 8 }
+        LazyConfig {
+            k: 3,
+            digit_bits: 64,
+            base_len: 8,
+        }
     }
 }
 
@@ -216,8 +228,7 @@ mod tests {
             let b: Vec<BigInt> = (0..len).map(|i| BigInt::from(2 * i as i64 - 5)).collect();
             let ea = eval_step(plan.eval_matrix(), &a, k);
             let eb = eval_step(plan.eval_matrix(), &b, k);
-            let prods: Vec<Vec<BigInt>> =
-                ea.iter().zip(&eb).map(|(x, y)| convolve(x, y)).collect();
+            let prods: Vec<Vec<BigInt>> = ea.iter().zip(&eb).map(|(x, y)| convolve(x, y)).collect();
             let got = interp_step(plan.interp_matrix(), &prods, k);
             assert_eq!(got, convolve(&a, &b), "k={k}");
         }
@@ -229,10 +240,12 @@ mod tests {
         for k in 2..=3 {
             let plan = ToomPlan::new(k);
             let len = k * k * k;
-            let a: Vec<BigInt> =
-                (0..len).map(|_| BigInt::random_signed_bits(&mut rng, 40)).collect();
-            let b: Vec<BigInt> =
-                (0..len).map(|_| BigInt::random_signed_bits(&mut rng, 40)).collect();
+            let a: Vec<BigInt> = (0..len)
+                .map(|_| BigInt::random_signed_bits(&mut rng, 40))
+                .collect();
+            let b: Vec<BigInt> = (0..len)
+                .map(|_| BigInt::random_signed_bits(&mut rng, 40))
+                .collect();
             assert_eq!(poly_mul_toom(&a, &b, &plan, 1), convolve(&a, &b), "k={k}");
         }
     }
@@ -243,7 +256,11 @@ mod tests {
         for (k, bits) in [(2usize, 3000u64), (3, 5000), (4, 2000)] {
             let a = BigInt::random_signed_bits(&mut rng, bits);
             let b = BigInt::random_signed_bits(&mut rng, bits);
-            let cfg = LazyConfig { k, digit_bits: 64, base_len: 2 };
+            let cfg = LazyConfig {
+                k,
+                digit_bits: 64,
+                base_len: 2,
+            };
             assert_eq!(toom_lazy(&a, &b, cfg), a.mul_schoolbook(&b), "k={k}");
         }
     }
@@ -263,7 +280,15 @@ mod tests {
         let a = BigInt::random_bits(&mut rng, 4000);
         let b = BigInt::random_bits(&mut rng, 4000);
         assert_eq!(
-            toom_lazy(&a, &b, LazyConfig { k: 3, digit_bits: 32, base_len: 1 }),
+            toom_lazy(
+                &a,
+                &b,
+                LazyConfig {
+                    k: 3,
+                    digit_bits: 32,
+                    base_len: 1
+                }
+            ),
             crate::seq::toom_k(&a, &b, 3)
         );
     }

@@ -42,4 +42,3 @@ pub mod soft;
 pub mod toomgraph;
 
 pub use bilinear::ToomPlan;
-

@@ -102,8 +102,7 @@ impl ParallelConfig {
     /// scaled up by powers of `k` until `D·w` covers `n_bits`.
     #[must_use]
     pub fn digits_for(&self, n_bits: u64) -> usize {
-        let structural =
-            self.processors() * self.k.pow((self.bfs_steps + self.dfs_steps) as u32);
+        let structural = self.processors() * self.k.pow((self.bfs_steps + self.dfs_steps) as u32);
         let mut d = structural;
         while (d as u64) * self.digit_bits < n_bits {
             d *= self.k;
@@ -139,7 +138,11 @@ pub fn local_digit_slice(
     let mut u = pos;
     while u < digits {
         let lo = u as u64 * digit_bits;
-        out.push(BigInt::from_limbs(ops::bits_range(a.limbs(), lo, lo + digit_bits)));
+        out.push(BigInt::from_limbs(ops::bits_range(
+            a.limbs(),
+            lo,
+            lo + digit_bits,
+        )));
         u += g;
     }
     out
@@ -207,7 +210,11 @@ pub fn interp_slices(
     let lam_g = lambda / g;
     let out_len_full = 2 * level_len - 1;
     // Exact number of u = p + s·g < 2L−1.
-    let exact_len = if p >= out_len_full { 0 } else { (out_len_full - p).div_ceil(g) };
+    let exact_len = if p >= out_len_full {
+        0
+    } else {
+        (out_len_full - p).div_ceil(g)
+    };
     let buf_len = exact_len.max((q - 1) * lam_g + slice_len);
     let mut out = vec![BigInt::zero(); buf_len];
     let mut column = vec![BigInt::zero(); q];
@@ -292,7 +299,15 @@ pub fn solve_with_leaf_hook(
             let pa = ea[j].clone();
             let pb = eb[j].clone();
             prods.push(solve_with_leaf_hook(
-                env, cfg, plan, group, pa, pb, lambda, depth + 1, leaf_hook,
+                env,
+                cfg,
+                plan,
+                group,
+                pa,
+                pb,
+                lambda,
+                depth + 1,
+                leaf_hook,
             ));
         }
         drop(ea);
@@ -349,7 +364,15 @@ pub fn solve_with_leaf_hook(
         // Recurse on my column's sub-problem.
         let next_group = &group[my_col * gp..(my_col + 1) * gp];
         let sub_prod = solve_with_leaf_hook(
-            env, cfg, plan, next_group, next_a, next_b, lambda, depth + 1, leaf_hook,
+            env,
+            cfg,
+            plan,
+            next_group,
+            next_a,
+            next_b,
+            lambda,
+            depth + 1,
+            leaf_hook,
         );
 
         env.fault_point(&format!("bfs-up-{depth}"));
@@ -361,7 +384,11 @@ pub fn solve_with_leaf_hook(
             if t == my_col {
                 continue;
             }
-            env.send(peer, tags::UP + depth as u64, &residue_subslice(&sub_prod, q, t));
+            env.send(
+                peer,
+                tags::UP + depth as u64,
+                &residue_subslice(&sub_prod, q, t),
+            );
         }
         let mut col_slices: Vec<Vec<BigInt>> = vec![Vec::new(); q];
         for (t, &peer) in row.iter().enumerate() {
@@ -434,7 +461,11 @@ pub fn run_parallel_with_faults(
     });
 
     let product = assemble_product(&report.results, digits, cfg.digit_bits, sign, p);
-    ParallelOutcome { product, report, digits }
+    ParallelOutcome {
+        product,
+        report,
+        digits,
+    }
 }
 
 /// Reassemble the distributed product digit vector (slices indexed by rank,
@@ -565,7 +596,10 @@ mod tests {
     fn signs_propagate() {
         let (a, b) = random_pair(1200, 8);
         let cfg = ParallelConfig::new(2, 1);
-        assert_eq!(run_parallel(&-&a, &b, &cfg).product, -(a.mul_schoolbook(&b)));
+        assert_eq!(
+            run_parallel(&-&a, &b, &cfg).product,
+            -(a.mul_schoolbook(&b))
+        );
     }
 
     #[test]
@@ -603,7 +637,10 @@ mod tests {
         assert_eq!(out2.product, a.mul_schoolbook(&b));
         assert_eq!(out0.product, out2.product);
         let (m0, m2) = (out0.report.peak_memory(), out2.report.peak_memory());
-        assert!(m2 < m0, "DFS steps should lower peak memory: dfs0={m0} dfs2={m2}");
+        assert!(
+            m2 < m0,
+            "DFS steps should lower peak memory: dfs0={m0} dfs2={m2}"
+        );
     }
 
     #[test]

@@ -16,13 +16,32 @@ use rayon::prelude::*;
 /// point-products of the top `par_depth` recursion levels executed on the
 /// rayon pool.
 #[must_use]
-pub fn par_toom_k(a: &BigInt, b: &BigInt, k: usize, threshold_bits: u64, par_depth: usize) -> BigInt {
-    let plan = ToomPlan::shared(k);
+pub fn par_toom_k(
+    a: &BigInt,
+    b: &BigInt,
+    k: usize,
+    threshold_bits: u64,
+    par_depth: usize,
+) -> BigInt {
+    par_toom_with_plan(a, b, &ToomPlan::shared(k), threshold_bits, par_depth)
+}
+
+/// Parallel Toom-Cook with a caller-supplied plan, so batch-processing
+/// layers (ft-service) can resolve the plan once per kernel choice instead
+/// of per multiplication.
+#[must_use]
+pub fn par_toom_with_plan(
+    a: &BigInt,
+    b: &BigInt,
+    plan: &ToomPlan,
+    threshold_bits: u64,
+    par_depth: usize,
+) -> BigInt {
     let sign = a.sign().mul(b.sign());
     if sign == Sign::Zero {
         return BigInt::zero();
     }
-    let mag = rec(&a.abs(), &b.abs(), &plan, threshold_bits.max(8), par_depth);
+    let mag = rec(&a.abs(), &b.abs(), plan, threshold_bits.max(8), par_depth);
     if sign == Sign::Negative {
         -mag
     } else {
@@ -85,11 +104,7 @@ mod tests {
     fn matches_sequential_result() {
         let (a, b) = random_pair(50_000, 1);
         for k in [2usize, 3, 4] {
-            assert_eq!(
-                par_toom_k(&a, &b, k, 512, 3),
-                a.mul_schoolbook(&b),
-                "k={k}"
-            );
+            assert_eq!(par_toom_k(&a, &b, k, 512, 3), a.mul_schoolbook(&b), "k={k}");
         }
     }
 
@@ -99,6 +114,16 @@ mod tests {
         assert_eq!(
             par_toom_k(&a, &b, 3, 512, 0),
             crate::seq::toom_k_threshold(&a, &b, 3, 512)
+        );
+    }
+
+    #[test]
+    fn explicit_plan_matches_cached_plan_path() {
+        let (a, b) = random_pair(30_000, 7);
+        let plan = ToomPlan::new(3);
+        assert_eq!(
+            par_toom_with_plan(&a, &b, &plan, 512, 2),
+            par_toom_k(&a, &b, 3, 512, 2)
         );
     }
 

@@ -123,7 +123,10 @@ fn sqr_rec(a: &BigInt, plan: &ToomPlan, threshold: u64) -> BigInt {
     let w = BigInt::shared_digit_width(a, a, k);
     let da = a.split_base_pow2(w, k);
     let ea = plan.evaluate(&da);
-    let prods: Vec<BigInt> = ea.iter().map(|x| sqr_rec(&x.abs(), plan, threshold)).collect();
+    let prods: Vec<BigInt> = ea
+        .iter()
+        .map(|x| sqr_rec(&x.abs(), plan, threshold))
+        .collect();
     let coeffs = plan.interpolate(&prods);
     BigInt::join_base_pow2(&coeffs, w)
 }
@@ -156,7 +159,10 @@ pub fn toom_unbalanced(
     k2: usize,
     inner: &dyn Fn(&BigInt, &BigInt) -> BigInt,
 ) -> BigInt {
-    assert!(k1 >= k2 && k2 >= 1 && k1 + k2 >= 4, "need k1 >= k2 >= 1 and k1+k2 >= 4");
+    assert!(
+        k1 >= k2 && k2 >= 1 && k1 + k2 >= 4,
+        "need k1 >= k2 >= 1 and k1+k2 >= 4"
+    );
     let sign = a.sign().mul(b.sign());
     if sign == Sign::Zero {
         return BigInt::zero();
@@ -256,7 +262,11 @@ mod tests {
         // Very different sizes stress the shared-base rule.
         let (a, b) = random_pair(5000, 300, 7);
         for k in 2..=4 {
-            assert_eq!(toom_k_threshold(&a, &b, k, 64), a.mul_schoolbook(&b), "k={k}");
+            assert_eq!(
+                toom_k_threshold(&a, &b, k, 64),
+                a.mul_schoolbook(&b),
+                "k={k}"
+            );
         }
     }
 
@@ -324,13 +334,15 @@ mod tests {
         let inner = |x: &BigInt, y: &BigInt| toom_k_threshold(x, y, 3, 3_072);
         let (_, iter_ops) =
             ft_bigint::metrics::measure(|| toom_iterative_unbalanced(&a, &b, &inner));
-        let (_, balanced_ops) =
-            ft_bigint::metrics::measure(|| toom_k_threshold(&a, &b, 2, 512));
+        let (_, balanced_ops) = ft_bigint::metrics::measure(|| toom_k_threshold(&a, &b, 2, 512));
         let (_, school_ops) = ft_bigint::metrics::measure(|| a.mul_schoolbook(&b));
         // The balanced recursion already degrades gracefully on unbalanced
         // inputs (zero high digits); iterative must stay in the same class
         // and both must beat schoolbook clearly.
-        assert!(iter_ops < school_ops, "iterative {iter_ops} vs schoolbook {school_ops}");
+        assert!(
+            iter_ops < school_ops,
+            "iterative {iter_ops} vs schoolbook {school_ops}"
+        );
         assert!(
             (iter_ops as f64) < 1.5 * balanced_ops as f64,
             "iterative {iter_ops} should stay near balanced {balanced_ops}"

@@ -151,7 +151,11 @@ pub fn toom_soft_verified(
         Err(_) => return (BigInt::zero(), SoftCheck::Detected),
     };
     let mag = BigInt::join_base_pow2(&coeffs, w);
-    let product = if sign == ft_bigint::Sign::Negative { -mag } else { mag };
+    let product = if sign == ft_bigint::Sign::Negative {
+        -mag
+    } else {
+        mag
+    };
     (product, outcome)
 }
 

@@ -132,7 +132,11 @@ impl InversionSequence {
         // Row perm[i] must equal e_i.
         for i in 0..self.n {
             for j in 0..self.n {
-                let want = if i == j { Rational::one() } else { Rational::zero() };
+                let want = if i == j {
+                    Rational::one()
+                } else {
+                    Rational::zero()
+                };
                 if m[(self.perm[i], j)] != want {
                     return false;
                 }
@@ -174,8 +178,16 @@ pub fn karatsuba_seq() -> InversionSequence {
     InversionSequence::new(
         3,
         vec![
-            RowOp::AddMul { dst: 1, src: 0, c: -1 },
-            RowOp::AddMul { dst: 1, src: 2, c: -1 },
+            RowOp::AddMul {
+                dst: 1,
+                src: 0,
+                c: -1,
+            },
+            RowOp::AddMul {
+                dst: 1,
+                src: 2,
+                c: -1,
+            },
         ],
         vec![0, 1, 2],
     )
@@ -192,24 +204,56 @@ pub fn bodrato_tc3() -> InversionSequence {
         5,
         vec![
             // v2 ← (v2 − vm1)/3
-            RowOp::AddMul { dst: 3, src: 2, c: -1 },
+            RowOp::AddMul {
+                dst: 3,
+                src: 2,
+                c: -1,
+            },
             RowOp::DivExact { dst: 3, d: 3 },
             // vm1 ← (v1 − vm1)/2
-            RowOp::AddMul { dst: 2, src: 1, c: -1 },
+            RowOp::AddMul {
+                dst: 2,
+                src: 1,
+                c: -1,
+            },
             RowOp::Scale { dst: 2, c: -1 },
             RowOp::DivExact { dst: 2, d: 2 },
             // v1 ← v1 − v0
-            RowOp::AddMul { dst: 1, src: 0, c: -1 },
+            RowOp::AddMul {
+                dst: 1,
+                src: 0,
+                c: -1,
+            },
             // v2 ← (v2 − v1)/2
-            RowOp::AddMul { dst: 3, src: 1, c: -1 },
+            RowOp::AddMul {
+                dst: 3,
+                src: 1,
+                c: -1,
+            },
             RowOp::DivExact { dst: 3, d: 2 },
             // v1 ← v1 − vm1 − vinf
-            RowOp::AddMul { dst: 1, src: 2, c: -1 },
-            RowOp::AddMul { dst: 1, src: 4, c: -1 },
+            RowOp::AddMul {
+                dst: 1,
+                src: 2,
+                c: -1,
+            },
+            RowOp::AddMul {
+                dst: 1,
+                src: 4,
+                c: -1,
+            },
             // v2 ← v2 − 2·vinf
-            RowOp::AddMul { dst: 3, src: 4, c: -2 },
+            RowOp::AddMul {
+                dst: 3,
+                src: 4,
+                c: -2,
+            },
             // vm1 ← vm1 − v2
-            RowOp::AddMul { dst: 2, src: 3, c: -1 },
+            RowOp::AddMul {
+                dst: 2,
+                src: 3,
+                c: -1,
+            },
         ],
         // c0..c4 live in slots v0, vm1, v1, v2, vinf.
         vec![0, 2, 1, 3, 4],

@@ -174,7 +174,10 @@ pub fn weighted_reduce_external(
     tag: u64,
 ) -> Option<Vec<BigInt>> {
     let g = sources.len();
-    assert!(!sources.contains(&root), "external root must not be a source");
+    assert!(
+        !sources.contains(&root),
+        "external root must not be a source"
+    );
     if env.rank() == root {
         // Receive the g reduced chunks.
         let gather_tag = tag + g as u64;
@@ -198,7 +201,13 @@ pub fn weighted_reduce_external(
 
 /// Binomial-tree broadcast from `root` over `group`. Every member returns
 /// the broadcast data (`F = 0`, Corollary 2.6).
-pub fn bcast(env: &Env, group: &[usize], root: usize, data: Option<&[BigInt]>, tag: u64) -> Vec<BigInt> {
+pub fn bcast(
+    env: &Env,
+    group: &[usize],
+    root: usize,
+    data: Option<&[BigInt]>,
+    tag: u64,
+) -> Vec<BigInt> {
     let g = group.len();
     let i = my_pos(env, group);
     let root_pos = group
@@ -525,8 +534,7 @@ mod tests {
         let report = machine.run(|env| {
             let group: Vec<usize> = (0..4).collect();
             // Variable-length blocks.
-            let mine: Vec<BigInt> =
-                (0..=env.rank()).map(|v| BigInt::from(v as u64)).collect();
+            let mine: Vec<BigInt> = (0..=env.rank()).map(|v| BigInt::from(v as u64)).collect();
             ring_all_gather_blocks(env, &group, &mine, 0)
         });
         for r in &report.results {
@@ -543,15 +551,8 @@ mod tests {
         let machine = Machine::new(MachineConfig::new(3));
         let report = machine.run(|env| {
             let group = vec![0, 1, 2];
-            let blocks: Vec<Vec<BigInt>> =
-                (0..3).map(|i| ints(&[i * 100, i * 100 + 1])).collect();
-            scatter(
-                env,
-                &group,
-                0,
-                (env.rank() == 0).then_some(&blocks[..]),
-                9,
-            )
+            let blocks: Vec<Vec<BigInt>> = (0..3).map(|i| ints(&[i * 100, i * 100 + 1])).collect();
+            scatter(env, &group, 0, (env.rank() == 0).then_some(&blocks[..]), 9)
         });
         for (rank, r) in report.results.iter().enumerate() {
             assert_eq!(r, &ints(&[rank as i64 * 100, rank as i64 * 100 + 1]));
@@ -564,8 +565,9 @@ mod tests {
         let report = machine.run(|env| {
             let group = vec![0, 1, 2];
             // blocks[j] = [my_rank, j]
-            let blocks: Vec<Vec<BigInt>> =
-                (0..3).map(|j| ints(&[env.rank() as i64, j as i64])).collect();
+            let blocks: Vec<Vec<BigInt>> = (0..3)
+                .map(|j| ints(&[env.rank() as i64, j as i64]))
+                .collect();
             all_to_all(env, &group, &blocks, 40)
         });
         for (me, r) in report.results.iter().enumerate() {
@@ -583,6 +585,9 @@ mod tests {
             let mine: Vec<BigInt> = (0..32).map(|_| BigInt::from(u64::MAX)).collect();
             all_reduce(env, &group, &mine, 0);
         });
-        assert!(report.critical_path().f > 0, "reduction additions must be charged");
+        assert!(
+            report.critical_path().f > 0,
+            "reduction additions must be charged"
+        );
     }
 }

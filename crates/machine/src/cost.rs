@@ -29,7 +29,11 @@ impl CostVector {
     /// Componentwise sum.
     #[must_use]
     pub fn plus(&self, other: &CostVector) -> CostVector {
-        CostVector { f: self.f + other.f, bw: self.bw + other.bw, l: self.l + other.l }
+        CostVector {
+            f: self.f + other.f,
+            bw: self.bw + other.bw,
+            l: self.l + other.l,
+        }
     }
 
     /// Componentwise max — the join rule at message receipt. Per-metric
@@ -67,7 +71,11 @@ impl Default for CostParams {
     /// A supercomputer-flavoured default: messages are expensive, words
     /// cheaper, flops cheapest (`α ≫ β ≫ γ`).
     fn default() -> CostParams {
-        CostParams { alpha: 1000.0, beta: 1.0, gamma: 0.01 }
+        CostParams {
+            alpha: 1000.0,
+            beta: 1.0,
+            gamma: 0.01,
+        }
     }
 }
 
@@ -79,14 +87,29 @@ mod tests {
     fn plus_and_join() {
         let a = CostVector { f: 10, bw: 5, l: 1 };
         let b = CostVector { f: 3, bw: 9, l: 1 };
-        assert_eq!(a.plus(&b), CostVector { f: 13, bw: 14, l: 2 });
+        assert_eq!(
+            a.plus(&b),
+            CostVector {
+                f: 13,
+                bw: 14,
+                l: 2
+            }
+        );
         assert_eq!(a.join(&b), CostVector { f: 10, bw: 9, l: 1 });
     }
 
     #[test]
     fn time_model() {
-        let c = CostVector { f: 100, bw: 10, l: 1 };
-        let p = CostParams { alpha: 5.0, beta: 2.0, gamma: 0.5 };
+        let c = CostVector {
+            f: 100,
+            bw: 10,
+            l: 1,
+        };
+        let p = CostParams {
+            alpha: 5.0,
+            beta: 2.0,
+            gamma: 0.5,
+        };
         assert_eq!(c.time(&p), 5.0 + 20.0 + 50.0);
     }
 }

@@ -109,14 +109,22 @@ impl FaultPlan {
     /// Kill `rank` at its first passage through `label`.
     #[must_use]
     pub fn kill(mut self, rank: usize, label: &str) -> FaultPlan {
-        self.specs.push(FaultSpec { rank, label: label.to_string(), occurrence: 0 });
+        self.specs.push(FaultSpec {
+            rank,
+            label: label.to_string(),
+            occurrence: 0,
+        });
         self
     }
 
     /// Kill `rank` at its `occurrence`-th passage through `label`.
     #[must_use]
     pub fn kill_at(mut self, rank: usize, label: &str, occurrence: u32) -> FaultPlan {
-        self.specs.push(FaultSpec { rank, label: label.to_string(), occurrence });
+        self.specs.push(FaultSpec {
+            rank,
+            label: label.to_string(),
+            occurrence,
+        });
         self
     }
 
@@ -357,7 +365,12 @@ impl<'a> Env<'a> {
         r.msgs_sent += 1;
         self.raw.set(r);
         if let Some(tr) = self.trace {
-            tr.lock().push(TraceEvent::Send { src: self.rank, dst: to, tag, words });
+            tr.lock().push(TraceEvent::Send {
+                src: self.rank,
+                dst: to,
+                tag,
+                words,
+            });
         }
         self.senders[to]
             .send(Message {
@@ -475,7 +488,10 @@ impl Machine {
     /// Build a machine from a configuration.
     #[must_use]
     pub fn new(config: MachineConfig) -> Machine {
-        assert!(config.processors > 0, "machine needs at least one processor");
+        assert!(
+            config.processors > 0,
+            "machine needs at least one processor"
+        );
         Machine { config }
     }
 
@@ -505,10 +521,7 @@ impl Machine {
         let mut outcome: Vec<Option<(T, RankReport)>> = (0..p).map(|_| None).collect();
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
-            for (rank, (receiver, slot)) in receivers
-                .drain(..)
-                .zip(outcome.iter_mut())
-                .enumerate()
+            for (rank, (receiver, slot)) in receivers.drain(..).zip(outcome.iter_mut()).enumerate()
             {
                 let senders = &senders;
                 let config = &self.config;
@@ -719,7 +732,12 @@ mod tests {
         });
         assert_eq!(
             report.trace,
-            vec![TraceEvent::Send { src: 0, dst: 1, tag: 3, words: 1 }]
+            vec![TraceEvent::Send {
+                src: 0,
+                dst: 1,
+                tag: 3,
+                words: 1
+            }]
         );
     }
 

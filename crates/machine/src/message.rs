@@ -40,10 +40,10 @@ mod tests {
     #[test]
     fn word_count_counts_limbs() {
         let payload = vec![
-            BigInt::zero(),                     // 1 (header)
-            BigInt::from(5u64),                 // 1
-            BigInt::from(u128::MAX),            // 2
-            BigInt::from(1u64).shl_bits(200),   // 4
+            BigInt::zero(),                   // 1 (header)
+            BigInt::from(5u64),               // 1
+            BigInt::from(u128::MAX),          // 2
+            BigInt::from(1u64).shl_bits(200), // 4
         ];
         assert_eq!(Message::word_count(&payload), 8);
         assert_eq!(Message::word_count(&[]), 0);

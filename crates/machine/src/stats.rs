@@ -35,7 +35,9 @@ impl TraceStats {
         let mut out = TraceStats::default();
         for ev in trace {
             match ev {
-                TraceEvent::Send { src, dst, words, .. } => {
+                TraceEvent::Send {
+                    src, dst, words, ..
+                } => {
                     let e = out.edges.entry((*src, *dst)).or_default();
                     e.messages += 1;
                     e.words += words;
@@ -92,7 +94,12 @@ mod tests {
     use super::*;
 
     fn send(src: usize, dst: usize, words: u64) -> TraceEvent {
-        TraceEvent::Send { src, dst, tag: 0, words }
+        TraceEvent::Send {
+            src,
+            dst,
+            tag: 0,
+            words,
+        }
     }
 
     #[test]
@@ -101,12 +108,22 @@ mod tests {
             send(0, 1, 10),
             send(0, 1, 5),
             send(1, 0, 2),
-            TraceEvent::Death { rank: 1, label: "x".into(), incarnation: 1 },
+            TraceEvent::Death {
+                rank: 1,
+                label: "x".into(),
+                incarnation: 1,
+            },
         ];
         let s = TraceStats::from_trace(&trace);
         assert_eq!(s.messages, 3);
         assert_eq!(s.words, 17);
-        assert_eq!(s.edges[&(0, 1)], EdgeStats { messages: 2, words: 15 });
+        assert_eq!(
+            s.edges[&(0, 1)],
+            EdgeStats {
+                messages: 2,
+                words: 15
+            }
+        );
         assert_eq!(s.deaths[&1], 1);
         assert_eq!(s.words_by_sender()[&0], 15);
     }

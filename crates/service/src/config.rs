@@ -1,0 +1,280 @@
+//! Service configuration, loadable from JSON.
+//!
+//! The derives come from the workspace `serde` (a no-op shim in the
+//! offline container — see `vendor/README.md`), so the JSON round-trip is
+//! implemented directly via [`crate::json`]; the derive keeps the structs
+//! source-compatible with upstream serde for when the real crate returns.
+
+use crate::json::{obj, Json, JsonError};
+use serde::{Deserialize, Serialize};
+
+/// Size thresholds steering kernel auto-selection, in operand bits
+/// (`min(bit_length(a), bit_length(b))`).
+///
+/// Defaults follow the crossover points measured by the `crossover` bench
+/// (see `seq::auto_mul`): schoolbook wins below ~6 kbit and Toom-Cook
+/// takes over after; the parallel engine only pays for its thread
+/// fork-join overhead on substantially larger operands.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelPolicy {
+    /// Requests at or below this size run schoolbook.
+    pub schoolbook_max_bits: u64,
+    /// Requests at or below this size (and above schoolbook) run
+    /// sequential Toom-Cook.
+    pub seq_toom_max_bits: u64,
+    /// Split parameter for the sequential Toom-Cook kernel.
+    pub seq_toom_k: usize,
+    /// Split parameter for the parallel Toom-Cook kernel.
+    pub par_toom_k: usize,
+    /// Base-case cutoff inside the Toom recursions.
+    pub toom_threshold_bits: u64,
+    /// Recursion levels the parallel kernel forks before going sequential.
+    pub par_depth: usize,
+}
+
+impl Default for KernelPolicy {
+    fn default() -> KernelPolicy {
+        KernelPolicy {
+            schoolbook_max_bits: 6_000,
+            seq_toom_max_bits: 120_000,
+            seq_toom_k: 3,
+            par_toom_k: 3,
+            toom_threshold_bits: 3_072,
+            par_depth: 2,
+        }
+    }
+}
+
+/// Full service configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Worker threads, each with its own bounded queue.
+    pub workers: usize,
+    /// Per-worker queue capacity; submissions beyond it get
+    /// [`crate::SubmitError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Max requests a worker drains per batch.
+    pub batch_max: usize,
+    /// Queue-age bound in milliseconds after which deadline-less requests
+    /// are shed ([`crate::MulError::Shed`]); `None` disables shedding.
+    pub shed_after_ms: Option<u64>,
+    /// Capacity of the shared Toom-plan LRU cache.
+    pub plan_cache_capacity: usize,
+    /// Kernel selection thresholds.
+    pub kernel_policy: KernelPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 64,
+            batch_max: 16,
+            shed_after_ms: None,
+            plan_cache_capacity: 8,
+            kernel_policy: KernelPolicy::default(),
+        }
+    }
+}
+
+/// Config validation / parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The document was not valid JSON.
+    Parse(JsonError),
+    /// A field was missing, mistyped, or out of range.
+    Invalid(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Parse(e) => write!(f, "config parse error: {e}"),
+            ConfigError::Invalid(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn field_u64(json: &Json, key: &str, default: u64) -> Result<u64, ConfigError> {
+    match json.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| ConfigError::Invalid(format!("{key} must be a non-negative integer"))),
+    }
+}
+
+fn field_usize(json: &Json, key: &str, default: usize) -> Result<usize, ConfigError> {
+    match json.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| ConfigError::Invalid(format!("{key} must be a non-negative integer"))),
+    }
+}
+
+impl KernelPolicy {
+    /// Read a policy from a parsed JSON object; absent fields keep their
+    /// defaults.
+    pub fn from_json(json: &Json) -> Result<KernelPolicy, ConfigError> {
+        let d = KernelPolicy::default();
+        let policy = KernelPolicy {
+            schoolbook_max_bits: field_u64(json, "schoolbook_max_bits", d.schoolbook_max_bits)?,
+            seq_toom_max_bits: field_u64(json, "seq_toom_max_bits", d.seq_toom_max_bits)?,
+            seq_toom_k: field_usize(json, "seq_toom_k", d.seq_toom_k)?,
+            par_toom_k: field_usize(json, "par_toom_k", d.par_toom_k)?,
+            toom_threshold_bits: field_u64(json, "toom_threshold_bits", d.toom_threshold_bits)?,
+            par_depth: field_usize(json, "par_depth", d.par_depth)?,
+        };
+        if policy.schoolbook_max_bits > policy.seq_toom_max_bits {
+            return Err(ConfigError::Invalid(
+                "schoolbook_max_bits must not exceed seq_toom_max_bits".to_string(),
+            ));
+        }
+        if policy.seq_toom_k < 2 || policy.par_toom_k < 2 {
+            return Err(ConfigError::Invalid(
+                "toom k parameters must be >= 2".to_string(),
+            ));
+        }
+        Ok(policy)
+    }
+
+    fn to_json_value(&self) -> Json {
+        obj([
+            (
+                "schoolbook_max_bits",
+                Json::Num(i128::from(self.schoolbook_max_bits)),
+            ),
+            (
+                "seq_toom_max_bits",
+                Json::Num(i128::from(self.seq_toom_max_bits)),
+            ),
+            ("seq_toom_k", Json::Num(self.seq_toom_k as i128)),
+            ("par_toom_k", Json::Num(self.par_toom_k as i128)),
+            (
+                "toom_threshold_bits",
+                Json::Num(i128::from(self.toom_threshold_bits)),
+            ),
+            ("par_depth", Json::Num(self.par_depth as i128)),
+        ])
+    }
+}
+
+impl ServiceConfig {
+    /// Parse a config from JSON text; absent fields keep their defaults.
+    ///
+    /// ```
+    /// use ft_service::ServiceConfig;
+    /// let cfg = ServiceConfig::from_json(
+    ///     r#"{"workers": 2, "kernel_policy": {"schoolbook_max_bits": 4000}}"#,
+    /// ).unwrap();
+    /// assert_eq!(cfg.workers, 2);
+    /// assert_eq!(cfg.kernel_policy.schoolbook_max_bits, 4000);
+    /// assert_eq!(cfg.batch_max, ServiceConfig::default().batch_max);
+    /// ```
+    pub fn from_json(text: &str) -> Result<ServiceConfig, ConfigError> {
+        let json = Json::parse(text).map_err(ConfigError::Parse)?;
+        let d = ServiceConfig::default();
+        let shed_after_ms = match json.get("shed_after_ms") {
+            None => d.shed_after_ms,
+            Some(Json::Null) => None,
+            Some(v) => Some(v.as_u64().ok_or_else(|| {
+                ConfigError::Invalid("shed_after_ms must be an integer or null".to_string())
+            })?),
+        };
+        let kernel_policy = match json.get("kernel_policy") {
+            None => d.kernel_policy.clone(),
+            Some(v) => KernelPolicy::from_json(v)?,
+        };
+        let cfg = ServiceConfig {
+            workers: field_usize(&json, "workers", d.workers)?,
+            queue_capacity: field_usize(&json, "queue_capacity", d.queue_capacity)?,
+            batch_max: field_usize(&json, "batch_max", d.batch_max)?,
+            shed_after_ms,
+            plan_cache_capacity: field_usize(&json, "plan_cache_capacity", d.plan_cache_capacity)?,
+            kernel_policy,
+        };
+        if cfg.workers == 0 {
+            return Err(ConfigError::Invalid("workers must be >= 1".to_string()));
+        }
+        if cfg.queue_capacity == 0 {
+            return Err(ConfigError::Invalid(
+                "queue_capacity must be >= 1".to_string(),
+            ));
+        }
+        if cfg.batch_max == 0 {
+            return Err(ConfigError::Invalid("batch_max must be >= 1".to_string()));
+        }
+        if cfg.plan_cache_capacity == 0 {
+            return Err(ConfigError::Invalid(
+                "plan_cache_capacity must be >= 1".to_string(),
+            ));
+        }
+        Ok(cfg)
+    }
+
+    /// Serialize to compact JSON (round-trips through [`Self::from_json`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        obj([
+            ("workers", Json::Num(self.workers as i128)),
+            ("queue_capacity", Json::Num(self.queue_capacity as i128)),
+            ("batch_max", Json::Num(self.batch_max as i128)),
+            (
+                "shed_after_ms",
+                self.shed_after_ms
+                    .map_or(Json::Null, |ms| Json::Num(i128::from(ms))),
+            ),
+            (
+                "plan_cache_capacity",
+                Json::Num(self.plan_cache_capacity as i128),
+            ),
+            ("kernel_policy", self.kernel_policy.to_json_value()),
+        ])
+        .dump()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_round_trip_through_json() {
+        let cfg = ServiceConfig::default();
+        let again = ServiceConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(cfg, again);
+    }
+
+    #[test]
+    fn partial_document_keeps_defaults() {
+        let cfg = ServiceConfig::from_json(r#"{"workers": 7, "shed_after_ms": 12}"#).unwrap();
+        assert_eq!(cfg.workers, 7);
+        assert_eq!(cfg.shed_after_ms, Some(12));
+        assert_eq!(cfg.batch_max, ServiceConfig::default().batch_max);
+    }
+
+    #[test]
+    fn rejects_invalid_values() {
+        assert!(matches!(
+            ServiceConfig::from_json(r#"{"workers": 0}"#),
+            Err(ConfigError::Invalid(_))
+        ));
+        assert!(matches!(
+            ServiceConfig::from_json(r#"{"workers": -3}"#),
+            Err(ConfigError::Invalid(_))
+        ));
+        assert!(matches!(
+            ServiceConfig::from_json("{"),
+            Err(ConfigError::Parse(_))
+        ));
+        assert!(matches!(
+            ServiceConfig::from_json(
+                r#"{"kernel_policy": {"schoolbook_max_bits": 10, "seq_toom_max_bits": 5}}"#
+            ),
+            Err(ConfigError::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,117 @@
+//! Kernel auto-selection: size thresholds → multiplication strategy.
+
+use crate::config::KernelPolicy;
+use crate::plan_cache::PlanCache;
+use ft_bigint::BigInt;
+use ft_toom_core::{rayon_engine, seq};
+
+/// The three kernels the service dispatches between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Quadratic schoolbook multiplication — smallest operands.
+    Schoolbook,
+    /// Sequential Toom-Cook (`seq::toom_with_plan`) — mid-size operands.
+    SeqToom,
+    /// Fork-join parallel Toom-Cook (`rayon_engine::par_toom_with_plan`)
+    /// — largest operands.
+    ParToom,
+}
+
+impl Kernel {
+    /// Pick a kernel for operands by the smaller bit length, per `policy`.
+    #[must_use]
+    pub fn select(a: &BigInt, b: &BigInt, policy: &KernelPolicy) -> Kernel {
+        let bits = a.bit_length().min(b.bit_length());
+        if bits <= policy.schoolbook_max_bits {
+            Kernel::Schoolbook
+        } else if bits <= policy.seq_toom_max_bits {
+            Kernel::SeqToom
+        } else {
+            Kernel::ParToom
+        }
+    }
+
+    /// Run this kernel, resolving any Toom plan through `plans`.
+    #[must_use]
+    pub fn execute(
+        self,
+        a: &BigInt,
+        b: &BigInt,
+        policy: &KernelPolicy,
+        plans: &PlanCache,
+    ) -> BigInt {
+        match self {
+            Kernel::Schoolbook => a.mul_schoolbook(b),
+            Kernel::SeqToom => {
+                let plan = plans.get(policy.seq_toom_k);
+                seq::toom_with_plan(a, b, &plan, policy.toom_threshold_bits)
+            }
+            Kernel::ParToom => {
+                let plan = plans.get(policy.par_toom_k);
+                rayon_engine::par_toom_with_plan(
+                    a,
+                    b,
+                    &plan,
+                    policy.toom_threshold_bits,
+                    policy.par_depth,
+                )
+            }
+        }
+    }
+
+    /// Stable name used as the metrics key.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Schoolbook => "schoolbook",
+            Kernel::SeqToom => "seq_toom",
+            Kernel::ParToom => "par_toom",
+        }
+    }
+
+    /// All kernels, in selection order.
+    pub const ALL: [Kernel; 3] = [Kernel::Schoolbook, Kernel::SeqToom, Kernel::ParToom];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn selection_respects_thresholds() {
+        let policy = KernelPolicy {
+            schoolbook_max_bits: 100,
+            seq_toom_max_bits: 1_000,
+            ..KernelPolicy::default()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let small = BigInt::random_bits(&mut rng, 80);
+        let mid = BigInt::random_bits(&mut rng, 500);
+        let big = BigInt::random_bits(&mut rng, 5_000);
+        assert_eq!(Kernel::select(&small, &small, &policy), Kernel::Schoolbook);
+        assert_eq!(Kernel::select(&mid, &mid, &policy), Kernel::SeqToom);
+        assert_eq!(Kernel::select(&big, &big, &policy), Kernel::ParToom);
+        // The smaller operand drives selection.
+        assert_eq!(Kernel::select(&small, &big, &policy), Kernel::Schoolbook);
+    }
+
+    #[test]
+    fn every_kernel_matches_schoolbook() {
+        let policy = KernelPolicy::default();
+        let plans = PlanCache::new(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = BigInt::random_signed_bits(&mut rng, 9_000);
+        let b = BigInt::random_signed_bits(&mut rng, 9_000);
+        let expect = a.mul_schoolbook(&b);
+        for kernel in Kernel::ALL {
+            assert_eq!(
+                kernel.execute(&a, &b, &policy, &plans),
+                expect,
+                "{}",
+                kernel.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! ft-service: a batching multiplication service layer.
+//!
+//! Accepts [`MulRequest`]s on bounded per-worker queues, batches them,
+//! auto-selects a kernel per request size, and returns results through
+//! completion handles. See `DESIGN.md` §2 for the subsystem inventory.
+
+pub mod config;
+pub mod error;
+pub mod json;
+pub mod kernel;
+pub mod metrics;
+pub mod plan_cache;
+pub mod service;
+
+pub use config::{KernelPolicy, ServiceConfig};
+pub use error::{MulError, SubmitError};
+pub use kernel::Kernel;
+pub use metrics::MetricsSnapshot;
+pub use service::{MulService, ResponseHandle};

@@ -1,0 +1,222 @@
+//! Service metrics: lock-free counters plus a JSON-serializable snapshot.
+
+use crate::json::{obj, Json};
+use crate::kernel::Kernel;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (µs) of the latency histogram buckets; the last bucket is
+/// unbounded. Spans schoolbook-on-tiny-operands through parallel
+/// multi-megabit products.
+pub const LATENCY_BUCKET_BOUNDS_US: [u64; 8] =
+    [100, 500, 1_000, 5_000, 25_000, 100_000, 500_000, 2_000_000];
+
+const BUCKETS: usize = LATENCY_BUCKET_BOUNDS_US.len() + 1;
+
+/// Shared mutable counters, updated by submitters and workers.
+#[derive(Default)]
+pub(crate) struct Metrics {
+    served: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    timed_out: AtomicU64,
+    shed: AtomicU64,
+    per_kernel: [AtomicU64; 3],
+    queue_depth_high_water: AtomicUsize,
+    latency_buckets: [AtomicU64; BUCKETS],
+    latency_total_us: AtomicU64,
+}
+
+impl Metrics {
+    pub(crate) fn record_served(&self, kernel: Kernel, latency: Duration) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        self.per_kernel[kernel as usize].fetch_add(1, Ordering::Relaxed);
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let bucket = LATENCY_BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(BUCKETS - 1);
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_queue_full(&self) {
+        self.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_timed_out(&self) {
+        self.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn observe_queue_depth(&self, depth: usize) {
+        self.queue_depth_high_water
+            .fetch_max(depth, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, queue_depth: usize, plan_stats: (u64, u64)) -> MetricsSnapshot {
+        MetricsSnapshot {
+            served: self.served.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            per_kernel: Kernel::ALL.map(|k| {
+                (
+                    k.name(),
+                    self.per_kernel[k as usize].load(Ordering::Relaxed),
+                )
+            }),
+            queue_depth,
+            queue_depth_high_water: self.queue_depth_high_water.load(Ordering::Relaxed),
+            latency_buckets: std::array::from_fn(|i| {
+                self.latency_buckets[i].load(Ordering::Relaxed)
+            }),
+            latency_total_us: self.latency_total_us.load(Ordering::Relaxed),
+            plan_cache_hits: plan_stats.0,
+            plan_cache_misses: plan_stats.1,
+        }
+    }
+}
+
+/// A point-in-time copy of the service's counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Requests completed successfully.
+    pub served: u64,
+    /// Submissions refused at the queue boundary (backpressure).
+    pub rejected_queue_full: u64,
+    /// Accepted requests rejected because their deadline passed in queue.
+    pub timed_out: u64,
+    /// Accepted requests shed under load (queue age exceeded the bound).
+    pub shed: u64,
+    /// Completions per kernel, keyed by [`Kernel::name`].
+    pub per_kernel: [(&'static str, u64); 3],
+    /// Total queued requests at snapshot time.
+    pub queue_depth: usize,
+    /// Largest single-queue depth observed at submit time.
+    pub queue_depth_high_water: usize,
+    /// Completion-latency histogram; bucket `i` counts requests at or
+    /// under [`LATENCY_BUCKET_BOUNDS_US`]`[i]` µs, with one overflow
+    /// bucket at the end.
+    pub latency_buckets: [u64; BUCKETS],
+    /// Sum of all completion latencies, µs.
+    pub latency_total_us: u64,
+    /// Toom-plan cache hits.
+    pub plan_cache_hits: u64,
+    /// Toom-plan cache misses.
+    pub plan_cache_misses: u64,
+}
+
+impl MetricsSnapshot {
+    /// Mean completion latency in µs (0 when nothing was served).
+    #[must_use]
+    pub fn mean_latency_us(&self) -> u64 {
+        self.latency_total_us.checked_div(self.served).unwrap_or(0)
+    }
+
+    /// Serialize to compact JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let buckets = Json::Arr(
+            self.latency_buckets
+                .iter()
+                .enumerate()
+                .map(|(i, &count)| {
+                    let le = LATENCY_BUCKET_BOUNDS_US
+                        .get(i)
+                        .map_or(Json::Null, |&b| Json::Num(i128::from(b)));
+                    obj([("le_us", le), ("count", Json::Num(i128::from(count)))])
+                })
+                .collect(),
+        );
+        obj([
+            ("served", Json::Num(i128::from(self.served))),
+            (
+                "rejected_queue_full",
+                Json::Num(i128::from(self.rejected_queue_full)),
+            ),
+            ("timed_out", Json::Num(i128::from(self.timed_out))),
+            ("shed", Json::Num(i128::from(self.shed))),
+            (
+                "per_kernel",
+                Json::Obj(
+                    self.per_kernel
+                        .iter()
+                        .map(|&(name, count)| (name.to_string(), Json::Num(i128::from(count))))
+                        .collect(),
+                ),
+            ),
+            ("queue_depth", Json::Num(self.queue_depth as i128)),
+            (
+                "queue_depth_high_water",
+                Json::Num(self.queue_depth_high_water as i128),
+            ),
+            ("latency_buckets", buckets),
+            (
+                "mean_latency_us",
+                Json::Num(i128::from(self.mean_latency_us())),
+            ),
+            (
+                "plan_cache_hits",
+                Json::Num(i128::from(self.plan_cache_hits)),
+            ),
+            (
+                "plan_cache_misses",
+                Json::Num(i128::from(self.plan_cache_misses)),
+            ),
+        ])
+        .dump()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_land_in_the_snapshot() {
+        let m = Metrics::default();
+        m.record_served(Kernel::Schoolbook, Duration::from_micros(80));
+        m.record_served(Kernel::ParToom, Duration::from_millis(300));
+        m.record_queue_full();
+        m.record_timed_out();
+        m.record_shed();
+        m.observe_queue_depth(5);
+        m.observe_queue_depth(3);
+        let s = m.snapshot(2, (10, 1));
+        assert_eq!(s.served, 2);
+        assert_eq!(s.rejected_queue_full, 1);
+        assert_eq!(s.timed_out, 1);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.queue_depth, 2);
+        assert_eq!(s.queue_depth_high_water, 5);
+        assert_eq!(s.per_kernel[0], ("schoolbook", 1));
+        assert_eq!(s.per_kernel[2], ("par_toom", 1));
+        assert_eq!(s.latency_buckets[0], 1); // 80 µs ≤ 100 µs
+        assert_eq!(s.latency_buckets.iter().sum::<u64>(), 2);
+        assert_eq!(s.plan_cache_hits, 10);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_parseable_json() {
+        let m = Metrics::default();
+        m.record_served(Kernel::SeqToom, Duration::from_micros(700));
+        let s = m.snapshot(0, (0, 0));
+        let doc = crate::json::Json::parse(&s.to_json()).unwrap();
+        assert_eq!(doc.get("served").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            doc.get("per_kernel")
+                .unwrap()
+                .get("seq_toom")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        assert!(
+            matches!(doc.get("latency_buckets"), Some(crate::json::Json::Arr(v)) if v.len() == 9)
+        );
+    }
+}

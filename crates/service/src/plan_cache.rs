@@ -1,0 +1,111 @@
+//! Shared LRU cache of [`ToomPlan`]s.
+//!
+//! Plans are immutable and moderately expensive to build (one
+//! `(2k−1)×(2k−1)` rational inverse each), so the service resolves each
+//! kernel's plan here once per batch rather than once per multiplication.
+//! `ft_toom_core::ToomPlan::shared` already memoizes the classic point
+//! sets process-wide; this cache additionally bounds memory (LRU) and
+//! counts hits/misses for the metrics snapshot.
+
+use ft_toom_core::ToomPlan;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Bounded LRU mapping split parameter `k` → shared plan.
+pub struct PlanCache {
+    /// Most-recently-used last. The k-space is tiny (single digits), so a
+    /// scanned Vec beats a linked-map here.
+    entries: Mutex<Vec<(usize, Arc<ToomPlan>)>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Cache holding at most `capacity` plans.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> PlanCache {
+        assert!(capacity > 0, "plan cache capacity must be >= 1");
+        PlanCache {
+            entries: Mutex::new(Vec::with_capacity(capacity)),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan for Toom-Cook-`k`, building and inserting it on miss.
+    #[must_use]
+    pub fn get(&self, k: usize) -> Arc<ToomPlan> {
+        let mut entries = self.entries.lock();
+        if let Some(pos) = entries.iter().position(|(key, _)| *key == k) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let entry = entries.remove(pos);
+            let plan = entry.1.clone();
+            entries.push(entry);
+            return plan;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = ToomPlan::shared(k);
+        if entries.len() == self.capacity {
+            entries.remove(0);
+        }
+        entries.push((k, plan.clone()));
+        plan
+    }
+
+    /// (hits, misses) so far.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of currently cached plans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_and_counts() {
+        let cache = PlanCache::new(4);
+        let p1 = cache.get(3);
+        let p2 = cache.get(3);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(p1.k(), 3);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = PlanCache::new(2);
+        let _ = cache.get(2);
+        let _ = cache.get(3);
+        let _ = cache.get(2); // refresh 2 → LRU order is now [3, 2]
+        let _ = cache.get(4); // evicts 3
+        assert_eq!(cache.len(), 2);
+        let (_, misses_before) = cache.stats();
+        let _ = cache.get(2); // still cached
+        let _ = cache.get(3); // was evicted → miss
+        let (_, misses_after) = cache.stats();
+        assert_eq!(misses_after - misses_before, 1);
+    }
+}

@@ -1,0 +1,488 @@
+//! The multiplication service: sharded bounded queues, batching workers,
+//! per-request completion handles.
+//!
+//! Architecture: `submit` round-robins requests across `workers` bounded
+//! crossbeam queues (one per worker, with one failover probe before
+//! reporting backpressure). Each worker drains its queue in batches of up
+//! to `batch_max`, applies the robustness checks (deadline, shedding),
+//! auto-selects a kernel per request, and publishes the product through
+//! the request's completion handle. Shutdown drops the senders; workers
+//! drain what was accepted, then exit.
+
+use crate::config::ServiceConfig;
+use crate::error::{MulError, SubmitError};
+use crate::kernel::Kernel;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::plan_cache::PlanCache;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use ft_bigint::BigInt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One-shot result slot shared between a worker and a waiting client.
+#[derive(Default)]
+struct Completion {
+    slot: Mutex<Option<Result<BigInt, MulError>>>,
+    ready: Condvar,
+}
+
+impl Completion {
+    fn fill(&self, result: Result<BigInt, MulError>) {
+        let mut slot = self
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(result);
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// Fills `ServiceStopped` on drop unless a real result was published
+/// first, so `ResponseHandle::wait` can never hang on a lost request
+/// (worker panic, service drop mid-queue).
+struct CompletionGuard {
+    completion: Arc<Completion>,
+    fulfilled: bool,
+}
+
+impl CompletionGuard {
+    fn fulfill(mut self, result: Result<BigInt, MulError>) {
+        self.completion.fill(result);
+        self.fulfilled = true;
+    }
+}
+
+impl Drop for CompletionGuard {
+    fn drop(&mut self) {
+        if !self.fulfilled {
+            self.completion.fill(Err(MulError::ServiceStopped));
+        }
+    }
+}
+
+/// Client-side handle to one accepted request.
+pub struct ResponseHandle {
+    completion: Arc<Completion>,
+}
+
+impl ResponseHandle {
+    /// Block until the request resolves.
+    pub fn wait(self) -> Result<BigInt, MulError> {
+        let mut slot = self
+            .completion
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self
+                .completion
+                .ready
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking poll; `Err(self)` when the request is still pending.
+    pub fn try_wait(self) -> Result<Result<BigInt, MulError>, ResponseHandle> {
+        let taken = self
+            .completion
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        match taken {
+            Some(result) => Ok(result),
+            None => Err(self),
+        }
+    }
+}
+
+struct MulRequest {
+    a: BigInt,
+    b: BigInt,
+    deadline: Option<Instant>,
+    enqueued_at: Instant,
+    done: CompletionGuard,
+}
+
+struct Shared {
+    config: ServiceConfig,
+    metrics: Metrics,
+    plans: PlanCache,
+}
+
+/// The batching multiplication service. See the module docs for the
+/// architecture and [`ServiceConfig`] for the knobs.
+///
+/// ```
+/// use ft_service::{MulService, ServiceConfig};
+/// use ft_bigint::BigInt;
+///
+/// let service = MulService::start(ServiceConfig::default());
+/// let a: BigInt = "123456789123456789".parse().unwrap();
+/// let b: BigInt = "-987654321987654321".parse().unwrap();
+/// let handle = service.submit(a.clone(), b.clone()).unwrap();
+/// assert_eq!(handle.wait().unwrap(), a.mul_schoolbook(&b));
+/// service.shutdown();
+/// ```
+pub struct MulService {
+    shared: Arc<Shared>,
+    senders: Vec<Sender<MulRequest>>,
+    next: AtomicUsize,
+    shutting_down: AtomicBool,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl MulService {
+    /// Spawn the worker pool and start accepting requests.
+    ///
+    /// # Panics
+    /// Panics on a structurally invalid config (zero workers, zero
+    /// capacity); [`ServiceConfig::from_json`] rejects those earlier.
+    #[must_use]
+    pub fn start(config: ServiceConfig) -> MulService {
+        assert!(config.workers > 0, "workers must be >= 1");
+        assert!(config.queue_capacity > 0, "queue_capacity must be >= 1");
+        assert!(config.batch_max > 0, "batch_max must be >= 1");
+        let shared = Arc::new(Shared {
+            plans: PlanCache::new(config.plan_cache_capacity),
+            metrics: Metrics::default(),
+            config,
+        });
+        let mut senders = Vec::with_capacity(shared.config.workers);
+        let mut workers = Vec::with_capacity(shared.config.workers);
+        for index in 0..shared.config.workers {
+            let (tx, rx) = bounded::<MulRequest>(shared.config.queue_capacity);
+            senders.push(tx);
+            let shared = shared.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("ft-service-worker-{index}"))
+                    .spawn(move || worker_loop(&rx, &shared))
+                    .expect("spawn service worker"),
+            );
+        }
+        MulService {
+            shared,
+            senders,
+            next: AtomicUsize::new(0),
+            shutting_down: AtomicBool::new(false),
+            workers,
+        }
+    }
+
+    /// Submit `a × b` with no deadline.
+    pub fn submit(&self, a: BigInt, b: BigInt) -> Result<ResponseHandle, SubmitError> {
+        self.submit_inner(a, b, None)
+    }
+
+    /// Submit `a × b`; if a worker does not reach the request within
+    /// `deadline`, it resolves to [`MulError::DeadlineExceeded`].
+    pub fn submit_with_deadline(
+        &self,
+        a: BigInt,
+        b: BigInt,
+        deadline: Duration,
+    ) -> Result<ResponseHandle, SubmitError> {
+        self.submit_inner(a, b, Some(Instant::now() + deadline))
+    }
+
+    fn submit_inner(
+        &self,
+        a: BigInt,
+        b: BigInt,
+        deadline: Option<Instant>,
+    ) -> Result<ResponseHandle, SubmitError> {
+        if self.shutting_down.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let completion = Arc::new(Completion::default());
+        let mut request = MulRequest {
+            a,
+            b,
+            deadline,
+            enqueued_at: Instant::now(),
+            done: CompletionGuard {
+                completion: completion.clone(),
+                fulfilled: false,
+            },
+        };
+        let n = self.senders.len();
+        let first = self.next.fetch_add(1, Ordering::Relaxed);
+        // Round-robin with one failover probe before reporting pressure.
+        for attempt in 0..n.min(2) {
+            let sender = &self.senders[(first + attempt) % n];
+            match sender.try_send(request) {
+                Ok(()) => {
+                    self.shared.metrics.observe_queue_depth(sender.len());
+                    return Ok(ResponseHandle { completion });
+                }
+                Err(TrySendError::Full(r)) => request = r,
+                Err(TrySendError::Disconnected(_)) => return Err(SubmitError::ShuttingDown),
+            }
+        }
+        self.shared.metrics.record_queue_full();
+        // Dropping `request` here resolves the handle as ServiceStopped,
+        // but the caller only sees the SubmitError.
+        Err(SubmitError::QueueFull {
+            capacity: self.shared.config.queue_capacity,
+        })
+    }
+
+    /// Point-in-time metrics (counters plus current total queue depth).
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let depth = self.senders.iter().map(Sender::len).sum();
+        self.shared
+            .metrics
+            .snapshot(depth, self.shared.plans.stats())
+    }
+
+    /// The configuration the service was started with.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.shared.config
+    }
+
+    /// Stop accepting work, drain every accepted request, join the
+    /// workers, and return the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.stop_and_join();
+        self.shared.metrics.snapshot(0, self.shared.plans.stats())
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shutting_down.store(true, Ordering::Release);
+        self.senders.clear(); // disconnects the channels once queues drain
+        for handle in self.workers.drain(..) {
+            // A panicked worker already resolved its lost requests as
+            // ServiceStopped via CompletionGuard; nothing more to do.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MulService {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn worker_loop(rx: &Receiver<MulRequest>, shared: &Shared) {
+    let mut batch = Vec::with_capacity(shared.config.batch_max);
+    // recv keeps returning queued requests after disconnect until the
+    // queue is empty, so shutdown drains everything already accepted.
+    while let Ok(first) = rx.recv() {
+        batch.push(first);
+        while batch.len() < shared.config.batch_max {
+            match rx.try_recv() {
+                Ok(request) => batch.push(request),
+                Err(_) => break,
+            }
+        }
+        for request in batch.drain(..) {
+            process(request, shared);
+        }
+    }
+}
+
+fn process(request: MulRequest, shared: &Shared) {
+    let waited = request.enqueued_at.elapsed();
+    if let Some(deadline) = request.deadline {
+        if Instant::now() > deadline {
+            shared.metrics.record_timed_out();
+            request
+                .done
+                .fulfill(Err(MulError::DeadlineExceeded { waited }));
+            return;
+        }
+    } else if let Some(shed_after_ms) = shared.config.shed_after_ms {
+        if waited > Duration::from_millis(shed_after_ms) {
+            shared.metrics.record_shed();
+            request.done.fulfill(Err(MulError::Shed { waited }));
+            return;
+        }
+    }
+    let kernel = Kernel::select(&request.a, &request.b, &shared.config.kernel_policy);
+    let product = kernel.execute(
+        &request.a,
+        &request.b,
+        &shared.config.kernel_policy,
+        &shared.plans,
+    );
+    shared
+        .metrics
+        .record_served(kernel, request.enqueued_at.elapsed());
+    request.done.fulfill(Ok(product));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KernelPolicy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    /// Operands big enough to keep one schoolbook-only worker busy for
+    /// hundreds of milliseconds — the deterministic "blocker" for the
+    /// robustness tests below.
+    fn blocker_policy() -> KernelPolicy {
+        KernelPolicy {
+            schoolbook_max_bits: u64::MAX,
+            ..KernelPolicy::default()
+        }
+    }
+
+    #[test]
+    fn serves_and_verifies_small_batch() {
+        let service = MulService::start(ServiceConfig::default());
+        let mut rng = rng(10);
+        let mut expected = Vec::new();
+        let mut handles = Vec::new();
+        for bits in [100u64, 3_000, 20_000, 150_000] {
+            let a = BigInt::random_signed_bits(&mut rng, bits);
+            let b = BigInt::random_signed_bits(&mut rng, bits);
+            expected.push(a.mul_schoolbook(&b));
+            handles.push(service.submit(a, b).unwrap());
+        }
+        for (handle, want) in handles.into_iter().zip(expected) {
+            assert_eq!(handle.wait().unwrap(), want);
+        }
+        let metrics = service.shutdown();
+        assert_eq!(metrics.served, 4);
+        // Default thresholds route 100/3k bits → schoolbook, 20k → seq
+        // toom, 150k → par toom.
+        assert_eq!(metrics.per_kernel[0].1, 2);
+        assert_eq!(metrics.per_kernel[1].1, 1);
+        assert_eq!(metrics.per_kernel[2].1, 1);
+    }
+
+    #[test]
+    fn backpressure_rejects_when_queues_fill() {
+        let config = ServiceConfig {
+            workers: 1,
+            queue_capacity: 2,
+            kernel_policy: blocker_policy(),
+            ..ServiceConfig::default()
+        };
+        let service = MulService::start(config);
+        let mut rng = rng(11);
+        let big = BigInt::random_bits(&mut rng, 400_000);
+        let blocker = service.submit(big.clone(), big.clone()).unwrap();
+        let tiny = BigInt::random_bits(&mut rng, 64);
+        // While the worker grinds the blocker, its depth-2 queue can hold
+        // at most 2 of these 4; at least 2 must bounce.
+        let results: Vec<_> = (0..4)
+            .map(|_| service.submit(tiny.clone(), tiny.clone()))
+            .collect();
+        let rejected = results.iter().filter(|r| r.is_err()).count();
+        assert!(rejected >= 2, "expected >= 2 rejections, got {rejected}");
+        for r in &results {
+            if let Err(e) = r {
+                assert_eq!(*e, SubmitError::QueueFull { capacity: 2 });
+            }
+        }
+        let expect_tiny = tiny.mul_schoolbook(&tiny);
+        for handle in results.into_iter().flatten() {
+            assert_eq!(handle.wait().unwrap(), expect_tiny);
+        }
+        assert_eq!(blocker.wait().unwrap(), big.mul_schoolbook(&big));
+        let metrics = service.shutdown();
+        assert!(metrics.rejected_queue_full >= 2);
+        assert!(metrics.queue_depth_high_water >= 1);
+    }
+
+    #[test]
+    fn deadline_in_queue_times_out() {
+        let config = ServiceConfig {
+            workers: 1,
+            kernel_policy: blocker_policy(),
+            ..ServiceConfig::default()
+        };
+        let service = MulService::start(config);
+        let mut rng = rng(12);
+        let big = BigInt::random_bits(&mut rng, 400_000);
+        let blocker = service
+            .submit(big, BigInt::random_bits(&mut rng, 400_000))
+            .unwrap();
+        let tiny = BigInt::random_bits(&mut rng, 64);
+        let doomed = service
+            .submit_with_deadline(tiny.clone(), tiny, Duration::from_millis(1))
+            .unwrap();
+        match doomed.wait() {
+            Err(MulError::DeadlineExceeded { waited }) => {
+                assert!(waited >= Duration::from_millis(1));
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(blocker.wait().is_ok());
+        assert_eq!(service.shutdown().timed_out, 1);
+    }
+
+    #[test]
+    fn overaged_requests_are_shed() {
+        let config = ServiceConfig {
+            workers: 1,
+            shed_after_ms: Some(0),
+            kernel_policy: blocker_policy(),
+            ..ServiceConfig::default()
+        };
+        let service = MulService::start(config);
+        let mut rng = rng(13);
+        let big = BigInt::random_bits(&mut rng, 400_000);
+        // The blocker carries a generous deadline so shedding (which only
+        // applies to deadline-less requests) cannot touch it.
+        let blocker = service
+            .submit_with_deadline(big.clone(), big, Duration::from_secs(3600))
+            .unwrap();
+        let tiny = BigInt::random_bits(&mut rng, 64);
+        let shed = service.submit(tiny.clone(), tiny).unwrap();
+        match shed.wait() {
+            Err(MulError::Shed { .. }) => {}
+            other => panic!("expected Shed, got {other:?}"),
+        }
+        assert!(blocker.wait().is_ok());
+        assert_eq!(service.shutdown().shed, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests() {
+        let service = MulService::start(ServiceConfig::default());
+        let mut rng = rng(14);
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let a = BigInt::random_signed_bits(&mut rng, 2_000);
+                let b = BigInt::random_signed_bits(&mut rng, 2_000);
+                let want = a.mul_schoolbook(&b);
+                (service.submit(a, b).unwrap(), want)
+            })
+            .collect();
+        let metrics = service.shutdown();
+        assert_eq!(metrics.served, 16);
+        for (handle, want) in handles {
+            assert_eq!(handle.wait().unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_flag_is_rejected() {
+        let service = MulService::start(ServiceConfig::default());
+        service.shutting_down.store(true, Ordering::Release);
+        let one: BigInt = "1".parse().unwrap();
+        assert!(matches!(
+            service.submit(one.clone(), one),
+            Err(SubmitError::ShuttingDown)
+        ));
+    }
+}

@@ -65,7 +65,10 @@ fn main() {
             cpf.bw as f64 / cp.bw.max(1) as f64,
         );
 
-        let rcfg = ReplicationConfig { base: base.clone(), f };
+        let rcfg = ReplicationConfig {
+            base: base.clone(),
+            f,
+        };
         let rep = run_replicated(&a, &b, &rcfg, FaultPlan::none());
         assert_eq!(rep.product, expected);
         let cpr = rep.report.critical_path();

@@ -80,9 +80,18 @@ fn main() {
     // Kernels to compare.
     type Kernel = Box<dyn Fn(&BigInt, &BigInt) -> BigInt>;
     let kernels: Vec<(&str, Kernel)> = vec![
-        ("schoolbook", Box::new(|x: &BigInt, y: &BigInt| x.mul_schoolbook(y))),
-        ("karatsuba", Box::new(|x: &BigInt, y: &BigInt| seq::toom_k_threshold(x, y, 2, 128))),
-        ("toom-3", Box::new(|x: &BigInt, y: &BigInt| seq::toom_k_threshold(x, y, 3, 128))),
+        (
+            "schoolbook",
+            Box::new(|x: &BigInt, y: &BigInt| x.mul_schoolbook(y)),
+        ),
+        (
+            "karatsuba",
+            Box::new(|x: &BigInt, y: &BigInt| seq::toom_k_threshold(x, y, 2, 128)),
+        ),
+        (
+            "toom-3",
+            Box::new(|x: &BigInt, y: &BigInt| seq::toom_k_threshold(x, y, 3, 128)),
+        ),
         (
             "toom-3 + soft-fault check (f=2)",
             Box::new(|x: &BigInt, y: &BigInt| {

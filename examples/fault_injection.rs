@@ -24,7 +24,10 @@ fn main() {
     let m = 1;
     let f = 1;
     let base = || ParallelConfig::new(k, m);
-    println!("Toom-Cook-{k}, P = {} processors, f = {f}\n", base().processors());
+    println!(
+        "Toom-Cook-{k}, P = {} processors, f = {f}\n",
+        base().processors()
+    );
 
     // --- §4.1 linear coding: recover an evaluation-phase fault on the fly.
     let cfg = LinearFtConfig { base: base(), f };

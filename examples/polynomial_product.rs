@@ -27,7 +27,10 @@ fn main() {
     let b: Vec<BigInt> = (0..n)
         .map(|_| BigInt::random_bits(&mut rng, coeff_bits))
         .collect();
-    println!("multiplying two degree-{} polynomials, {coeff_bits}-bit coefficients\n", n - 1);
+    println!(
+        "multiplying two degree-{} polynomials, {coeff_bits}-bit coefficients\n",
+        n - 1
+    );
 
     // 1. Reference: direct convolution.
     let t = Instant::now();

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo-wide quality gate: formatting, lints, and the full test suite.
+# Referenced from README.md ("Quick start"); run before every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "ci.sh: all checks passed"

@@ -9,11 +9,14 @@
 //! - [`ft_codes`] — systematic Vandermonde erasure codes
 //! - [`ft_machine`] — distributed-machine simulator with cost accounting and fault injection
 //! - [`ft_toom_core`] — sequential, parallel, and fault-tolerant Toom-Cook
+//! - [`ft_service`] — batching multiplication service with kernel auto-selection and backpressure
 
 pub use ft_algebra;
 pub use ft_bigint;
 pub use ft_codes;
 pub use ft_machine;
+pub use ft_service;
 pub use ft_toom_core;
 
 pub use ft_bigint::BigInt;
+pub use ft_service::{MulService, ServiceConfig};

@@ -113,7 +113,10 @@ fn ft_overhead_shrinks_with_problem_size() {
         overheads[1] < overheads[0],
         "arithmetic overhead factor must shrink with n: {overheads:?}"
     );
-    assert!(overheads[1] < 1.5, "overhead at 64k bits should be small: {overheads:?}");
+    assert!(
+        overheads[1] < 1.5,
+        "overhead at 64k bits should be small: {overheads:?}"
+    );
 }
 
 #[test]
@@ -124,7 +127,10 @@ fn coded_ft_beats_replication_overhead() {
     let base = ParallelConfig::new(3, 2); // P = 25, q = 5
     let plain = run_parallel(&a, &b, &base);
 
-    let rep_cfg = ReplicationConfig { base: base.clone(), f: 1 };
+    let rep_cfg = ReplicationConfig {
+        base: base.clone(),
+        f: 1,
+    };
     let rep = run_replicated(&a, &b, &rep_cfg, FaultPlan::none());
     let rep_extra_flops = rep.report.total_flops() - plain.report.total_flops();
 
@@ -143,7 +149,13 @@ fn coded_ft_beats_replication_overhead() {
 fn theory_formulas_are_consistent_with_measurement_trends() {
     // The closed-form module and the simulator must order algorithms the
     // same way (sanity link between `cost` and `ft-machine`).
-    let input = CostModelInput { n: 1e4, p: 25.0, k: 3.0, memory: None, f: 1.0 };
+    let input = CostModelInput {
+        n: 1e4,
+        p: 25.0,
+        k: 3.0,
+        memory: None,
+        f: 1.0,
+    };
     let (ft, ft_extra) = cost::fault_tolerant_toom(&input);
     let (_rep, rep_extra) = cost::replication(&input);
     let base = cost::parallel_toom(&input);

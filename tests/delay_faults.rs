@@ -42,21 +42,22 @@ fn slow_rank_inflates_its_critical_path_clock() {
 fn poly_code_absorbs_a_straggler_column() {
     let (a, b) = random_pair(20_000, 50);
     let expected = a.mul_schoolbook(&b);
-    let cfg = PolyFtConfig { base: ParallelConfig::new(3, 1), f: 1 };
+    let cfg = PolyFtConfig {
+        base: ParallelConfig::new(3, 1),
+        f: 1,
+    };
     let slow_rank = 2usize; // column 2 of the P=5 grid
     let factor = 20u64;
-    let params = CostParams { alpha: 1.0, beta: 1.0, gamma: 1.0 };
+    let params = CostParams {
+        alpha: 1.0,
+        beta: 1.0,
+        gamma: 1.0,
+    };
 
     // Plain poly run with the straggler participating: the critical path
     // waits for the slow column.
-    let waiting = run_poly_ft_excluding(
-        &a,
-        &b,
-        &cfg,
-        FaultPlan::none(),
-        &[],
-        &[(slow_rank, factor)],
-    );
+    let waiting =
+        run_poly_ft_excluding(&a, &b, &cfg, FaultPlan::none(), &[], &[(slow_rank, factor)]);
     assert_eq!(waiting.product, expected);
     let t_waiting = waiting.report.critical_path().time(&params);
 
@@ -83,7 +84,10 @@ fn poly_code_absorbs_a_straggler_column() {
 fn excluding_a_column_without_slowdown_still_correct() {
     let (a, b) = random_pair(6_000, 51);
     let expected = a.mul_schoolbook(&b);
-    let cfg = PolyFtConfig { base: ParallelConfig::new(2, 2), f: 1 };
+    let cfg = PolyFtConfig {
+        base: ParallelConfig::new(2, 2),
+        f: 1,
+    };
     for col in 0..4 {
         let out = run_poly_ft_excluding(&a, &b, &cfg, FaultPlan::none(), &[col], &[]);
         assert_eq!(out.product, expected, "col={col}");
@@ -95,7 +99,10 @@ fn hard_fault_and_straggler_interact() {
     // f = 2: one column dies, another straggles and is dropped.
     let (a, b) = random_pair(6_000, 52);
     let expected = a.mul_schoolbook(&b);
-    let cfg = PolyFtConfig { base: ParallelConfig::new(2, 1), f: 2 };
+    let cfg = PolyFtConfig {
+        base: ParallelConfig::new(2, 1),
+        f: 2,
+    };
     let plan = FaultPlan::none().kill(0, "poly-halt");
     let out = run_poly_ft_excluding(&a, &b, &cfg, plan, &[2], &[(2, 50)]);
     assert_eq!(out.product, expected);
@@ -104,7 +111,10 @@ fn hard_fault_and_straggler_interact() {
 #[test]
 fn baseline_run_poly_ft_unchanged() {
     let (a, b) = random_pair(5_000, 53);
-    let cfg = PolyFtConfig { base: ParallelConfig::new(2, 1), f: 1 };
+    let cfg = PolyFtConfig {
+        base: ParallelConfig::new(2, 1),
+        f: 1,
+    };
     let out = run_poly_ft(&a, &b, &cfg, FaultPlan::none());
     assert_eq!(out.product, a.mul_schoolbook(&b));
 }

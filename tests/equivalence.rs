@@ -32,7 +32,15 @@ fn all_sequential_algorithms_agree() {
         assert_eq!(seq::toom_k_threshold(&a, &b, k, 256), expected, "toom-{k}");
     }
     assert_eq!(
-        lazy::toom_lazy(&a, &b, lazy::LazyConfig { k: 3, digit_bits: 64, base_len: 4 }),
+        lazy::toom_lazy(
+            &a,
+            &b,
+            lazy::LazyConfig {
+                k: 3,
+                digit_bits: 64,
+                base_len: 4
+            }
+        ),
         expected
     );
     assert_eq!(
@@ -49,28 +57,58 @@ fn distributed_and_ft_algorithms_agree() {
 
     for (k, m) in [(2usize, 1usize), (2, 2), (3, 1)] {
         let base = ParallelConfig::new(k, m);
-        assert_eq!(run_parallel(&a, &b, &base).product, expected, "parallel k={k} m={m}");
         assert_eq!(
-            run_linear_ft(&a, &b, &LinearFtConfig { base: base.clone(), f: 1 }, FaultPlan::none())
-                .product,
+            run_parallel(&a, &b, &base).product,
+            expected,
+            "parallel k={k} m={m}"
+        );
+        assert_eq!(
+            run_linear_ft(
+                &a,
+                &b,
+                &LinearFtConfig {
+                    base: base.clone(),
+                    f: 1
+                },
+                FaultPlan::none()
+            )
+            .product,
             expected,
             "linear k={k} m={m}"
         );
         assert_eq!(
-            run_poly_ft(&a, &b, &PolyFtConfig { base: base.clone(), f: 1 }, FaultPlan::none())
-                .product,
+            run_poly_ft(
+                &a,
+                &b,
+                &PolyFtConfig {
+                    base: base.clone(),
+                    f: 1
+                },
+                FaultPlan::none()
+            )
+            .product,
             expected,
             "poly k={k} m={m}"
         );
         assert_eq!(
-            run_multistep_ft(&a, &b, &MultistepConfig::new(base.clone(), 1), FaultPlan::none())
-                .product,
+            run_multistep_ft(
+                &a,
+                &b,
+                &MultistepConfig::new(base.clone(), 1),
+                FaultPlan::none()
+            )
+            .product,
             expected,
             "multistep k={k} m={m}"
         );
         assert_eq!(
-            run_combined_ft(&a, &b, &CombinedConfig::new(base.clone(), 1), FaultPlan::none())
-                .product,
+            run_combined_ft(
+                &a,
+                &b,
+                &CombinedConfig::new(base.clone(), 1),
+                FaultPlan::none()
+            )
+            .product,
             expected,
             "combined k={k} m={m}"
         );
@@ -78,7 +116,10 @@ fn distributed_and_ft_algorithms_agree() {
             run_replicated(
                 &a,
                 &b,
-                &ReplicationConfig { base: base.clone(), f: 1 },
+                &ReplicationConfig {
+                    base: base.clone(),
+                    f: 1
+                },
                 FaultPlan::none()
             )
             .product,

@@ -24,13 +24,20 @@ fn random_pair(bits: u64, seed: u64) -> (BigInt, BigInt) {
 fn linear_ft_every_label_every_data_rank() {
     let (a, b) = random_pair(3_000, 10);
     let expected = a.mul_schoolbook(&b);
-    let cfg = LinearFtConfig { base: ParallelConfig::new(2, 1), f: 1 };
+    let cfg = LinearFtConfig {
+        base: ParallelConfig::new(2, 1),
+        f: 1,
+    };
     for label in ["lin-entry-0", "lin-eval-0", "lin-up-0", "lin-leaf"] {
         for victim in 0..3 {
             let plan = FaultPlan::none().kill(victim, label);
             let out = run_linear_ft(&a, &b, &cfg, plan);
             assert_eq!(out.product, expected, "label={label} victim={victim}");
-            assert_eq!(out.report.total_deaths(), 1, "label={label} victim={victim}");
+            assert_eq!(
+                out.report.total_deaths(),
+                1,
+                "label={label} victim={victim}"
+            );
         }
     }
 }
@@ -39,7 +46,10 @@ fn linear_ft_every_label_every_data_rank() {
 fn linear_ft_nested_depth_labels() {
     let (a, b) = random_pair(3_000, 11);
     let expected = a.mul_schoolbook(&b);
-    let cfg = LinearFtConfig { base: ParallelConfig::new(2, 2), f: 1 };
+    let cfg = LinearFtConfig {
+        base: ParallelConfig::new(2, 2),
+        f: 1,
+    };
     for label in ["lin-entry-1", "lin-eval-1", "lin-up-1"] {
         for victim in [0usize, 4, 8] {
             let plan = FaultPlan::none().kill(victim, label);
@@ -53,7 +63,10 @@ fn linear_ft_nested_depth_labels() {
 fn linear_ft_code_rank_victims_every_boundary() {
     let (a, b) = random_pair(3_000, 12);
     let expected = a.mul_schoolbook(&b);
-    let cfg = LinearFtConfig { base: ParallelConfig::new(2, 1), f: 1 };
+    let cfg = LinearFtConfig {
+        base: ParallelConfig::new(2, 1),
+        f: 1,
+    };
     // Code ranks are 3, 4, 5.
     for label in ["lin-entry-0", "lin-up-0", "lin-leaf"] {
         for victim in 3..6 {
@@ -68,7 +81,10 @@ fn linear_ft_code_rank_victims_every_boundary() {
 fn poly_ft_every_column() {
     let (a, b) = random_pair(3_000, 13);
     let expected = a.mul_schoolbook(&b);
-    let cfg = PolyFtConfig { base: ParallelConfig::new(2, 2), f: 1 };
+    let cfg = PolyFtConfig {
+        base: ParallelConfig::new(2, 2),
+        f: 1,
+    };
     // P = 9 data ranks + 3 redundant; any single column may die.
     for victim in 0..12 {
         let plan = FaultPlan::none().kill(victim, "poly-halt");

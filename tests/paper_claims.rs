@@ -171,7 +171,10 @@ fn interpolation_theorem_bilinear_identity() {
         let prods: Vec<BigInt> = ea.iter().zip(&eb).map(|(x, y)| x * y).collect();
         let coeffs = plan.interpolate(&prods);
         let dense = plan.interpolate_dense(&prods);
-        assert_eq!(coeffs, dense, "Toom-Graph and dense interpolation agree (k={k})");
+        assert_eq!(
+            coeffs, dense,
+            "Toom-Graph and dense interpolation agree (k={k})"
+        );
         assert_eq!(coeffs, lazy::convolve(&a, &b), "k={k}");
     }
 }

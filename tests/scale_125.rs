@@ -18,7 +18,10 @@ fn random_pair(bits: u64, seed: u64) -> (BigInt, BigInt) {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "saturated 125-rank run: release-only (slow in debug)")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "saturated 125-rank run: release-only (slow in debug)"
+)]
 fn parallel_tc3_on_125_processors() {
     // Large enough that the structural digit count D = 5³·3³ is saturated
     // with real data (small inputs leave high digit blocks zero, which
@@ -33,7 +36,10 @@ fn parallel_tc3_on_125_processors() {
     let flops: Vec<u64> = out.report.ranks.iter().map(|r| r.total_flops).collect();
     let max = *flops.iter().max().unwrap() as f64;
     let min = *flops.iter().min().unwrap() as f64;
-    assert!(max < 5.0 * min.max(1.0), "125-rank balance: min={min} max={max}");
+    assert!(
+        max < 5.0 * min.max(1.0),
+        "125-rank balance: min={min} max={max}"
+    );
 }
 
 #[test]

@@ -1,0 +1,207 @@
+//! Offline shim for `criterion` (see `vendor/README.md`).
+//!
+//! A minimal wall-clock bench harness with criterion's API shape:
+//! benchmark groups, `bench_function` / `bench_with_input`,
+//! `sample_size` / `measurement_time` knobs, and the
+//! `criterion_group!` / `criterion_main!` entry points. Reports mean,
+//! minimum, and maximum per-iteration time to stdout; no statistical
+//! analysis, HTML reports, or baseline comparisons.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly: one warm-up call, then up to the
+    /// group's sample count or until the measurement budget is spent
+    /// (always at least one measured sample).
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let _warmup = std::hint::black_box(routine());
+        let started = Instant::now();
+        for _ in 0..self.target_samples {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t.elapsed());
+            if started.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&name.to_string(), f);
+        self
+    }
+
+    /// Run a benchmark identified by a [`BenchmarkId`], passing `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            budget: self.measurement_time,
+            target_samples: self.sample_size,
+        };
+        f(&mut bencher);
+        let full = format!("{}/{label}", self.name);
+        self.criterion.report(&full, &bencher.samples);
+    }
+
+    /// End the group (kept for API parity; reporting is per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// The bench context handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, Duration)>,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Run a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(name, f);
+        self
+    }
+
+    fn report(&mut self, label: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{label:<60} (no samples)");
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{label:<60} mean {mean:>12.3?}  min {min:>12.3?}  max {max:>12.3?}  ({} samples)",
+            samples.len()
+        );
+        self.results.push((label.to_string(), mean));
+    }
+}
+
+/// Define a bench entry function running the listed targets, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the listed groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3).measurement_time(Duration::from_millis(50));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("sum", 4usize), &4usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, target);
+
+    #[test]
+    fn group_macro_and_timing_loop_run() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(5).measurement_time(Duration::from_secs(1));
+        g.bench_function("spin", |b| b.iter(|| std::hint::black_box(3u64.pow(7))));
+        assert!(!c.results.is_empty());
+        assert!(c.results[0].0.contains("t/spin"));
+    }
+}

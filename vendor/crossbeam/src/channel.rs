@@ -1,0 +1,364 @@
+//! MPMC channels with crossbeam's API shape: cloneable senders *and*
+//! receivers, bounded or unbounded capacity, blocking/non-blocking/timed
+//! receive, and `try_send` backpressure on bounded queues.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded queue is at capacity.
+    Full(T),
+    /// All receivers are gone.
+    Disconnected(T),
+}
+
+/// Error returned by [`Receiver::recv`] when the queue is empty and all
+/// senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Queue currently empty (senders still connected).
+    Empty,
+    /// Queue empty and all senders gone.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// Queue empty and all senders gone.
+    Disconnected,
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    capacity: Option<usize>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The sending half of a channel. Cloneable; the channel disconnects for
+/// receivers when the last clone drops.
+pub struct Sender<T>(Arc<Shared<T>>);
+
+/// The receiving half of a channel. Cloneable (MPMC); the channel
+/// disconnects for senders when the last clone drops.
+pub struct Receiver<T>(Arc<Shared<T>>);
+
+/// An unbounded MPMC channel.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// A bounded MPMC channel: `send` blocks and `try_send` rejects when the
+/// queue holds `cap` messages.
+#[must_use]
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap))
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        capacity,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender(shared.clone()), Receiver(shared))
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send, blocking while a bounded queue is full. Errors only when all
+    /// receivers are gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.0.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match self.0.capacity {
+                Some(cap) if st.queue.len() >= cap => {
+                    st = self
+                        .0
+                        .not_full
+                        .wait(st)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                _ => break,
+            }
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Non-blocking send: `Full` when a bounded queue is at capacity.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.0.lock();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = self.0.capacity {
+            if st.queue.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.lock().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receive, blocking until a message arrives or all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.0.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .0
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.0.lock();
+        if let Some(v) = st.queue.pop_front() {
+            drop(st);
+            self.0.not_full.notify_one();
+            return Ok(v);
+        }
+        if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Receive with a deadline relative to now.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.0.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timed_out) = self
+                .0
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    /// Messages currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.lock().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.0.lock().senders += 1;
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Receiver<T> {
+        self.0.lock().receivers += 1;
+        Receiver(self.0.clone())
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.0.lock();
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            // Wake receivers blocked on an empty queue so they observe
+            // the disconnect.
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.0.lock();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            self.0.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn unbounded_fifo() {
+        let (s, r) = unbounded();
+        s.send(1).unwrap();
+        s.send(2).unwrap();
+        assert_eq!(r.recv(), Ok(1));
+        assert_eq!(r.recv(), Ok(2));
+        assert_eq!(r.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_backpressure() {
+        let (s, r) = bounded(2);
+        s.try_send(1).unwrap();
+        s.try_send(2).unwrap();
+        assert_eq!(s.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(r.recv(), Ok(1));
+        s.try_send(3).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn disconnect_on_sender_drop() {
+        let (s, r) = unbounded::<u32>();
+        drop(s);
+        assert_eq!(r.recv(), Err(RecvError));
+        assert_eq!(r.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn disconnect_on_receiver_drop() {
+        let (s, r) = bounded(1);
+        drop(r);
+        assert_eq!(s.send(5), Err(SendError(5)));
+        assert_eq!(s.try_send(5), Err(TrySendError::Disconnected(5)));
+    }
+
+    #[test]
+    fn recv_timeout_expires_then_delivers() {
+        let (s, r) = unbounded();
+        assert_eq!(
+            r.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        let h = thread::spawn(move || s.send(9).unwrap());
+        assert_eq!(r.recv_timeout(Duration::from_secs(5)), Ok(9));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn mpmc_across_threads() {
+        let (s, r) = bounded(4);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let r = r.clone();
+                thread::spawn(move || {
+                    let mut got = 0u64;
+                    while let Ok(v) = r.recv() {
+                        got += v;
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 1..=100u64 {
+            s.send(i).unwrap();
+        }
+        drop(s);
+        drop(r);
+        let total: u64 = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn blocking_send_resumes_when_drained() {
+        let (s, r) = bounded(1);
+        s.send(1).unwrap();
+        let h = thread::spawn(move || s.send(2).unwrap());
+        assert_eq!(r.recv(), Ok(1));
+        assert_eq!(r.recv(), Ok(2));
+        h.join().unwrap();
+    }
+}

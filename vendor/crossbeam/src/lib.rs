@@ -1,0 +1,11 @@
+//! Offline shim for `crossbeam` (see `vendor/README.md`).
+//!
+//! - [`channel`]: multi-producer multi-consumer channels (bounded and
+//!   unbounded) built on `Mutex<VecDeque>` + condvars, with crossbeam's
+//!   disconnect semantics (drop of the last `Sender` wakes blocked
+//!   receivers and vice versa).
+//! - [`thread`]: `scope`/`spawn` over `std::thread::scope`, keeping
+//!   crossbeam's closure shape `|scope| ... spawn(|_| ...)`.
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,77 @@
+//! Scoped threads with crossbeam's API shape, delegated to
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Differences kept deliberately small: crossbeam collects panics of
+//! unjoined children into the scope's `Err`; the std backend instead
+//! propagates them as a panic when the scope closes. This repository
+//! always joins every handle explicitly, where both behave identically.
+
+use std::any::Any;
+
+/// A scope handle; `spawn` borrows from the enclosing environment.
+pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+/// The argument passed to spawned closures (crossbeam passes a nested
+/// scope handle; this shim passes an opaque placeholder — the repository
+/// only ever binds it as `|_|`).
+pub struct ScopeArg(());
+
+/// Handle to a scoped thread.
+pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread inside the scope. The closure receives a
+    /// [`ScopeArg`] placeholder (bind it as `_`).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&ScopeArg) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle(self.0.spawn(move || f(&ScopeArg(()))))
+    }
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread; `Err` carries its panic payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.0.join()
+    }
+}
+
+/// Run `f` with a scope allowing borrowing spawns; all threads are joined
+/// before this returns. The `Result` mirrors crossbeam's signature (the
+/// std backend reports child panics by panicking, so this is always `Ok`
+/// when it returns).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope(s))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let handles: Vec<_> = data.iter().map(|v| s.spawn(move |_| *v * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn join_surfaces_child_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            let _ = scope(|s| {
+                let h = s.spawn(|_| panic!("child failed"));
+                h.join().expect("child panicked");
+            });
+        });
+        assert!(caught.is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! Collection strategies (`proptest::collection::{vec, hash_set}`).
+
+use crate::{HashSetStrategy, SizeRange, Strategy, VecStrategy};
+use std::hash::Hash;
+
+/// `Vec` strategy: `size` elements (exact count, `a..b`, or `a..=b`)
+/// generated from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    crate::vec_strategy(element, size)
+}
+
+/// `HashSet` strategy: a set of distinct elements whose size is drawn
+/// from `size`.
+pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S::Value: Eq + Hash,
+{
+    crate::hash_set_strategy(element, size)
+}

@@ -1,0 +1,191 @@
+//! Offline shim for `rand` (see `vendor/README.md`).
+//!
+//! Provides the subset this repository uses: the [`Rng`] core trait, the
+//! [`RngExt`] extension carrying `random::<T>()`, [`SeedableRng`] with
+//! `seed_from_u64`, and [`rngs::StdRng`] — here a xoshiro256++ generator
+//! seeded through SplitMix64. Streams are deterministic per seed but do
+//! **not** match upstream rand's ChaCha-based `StdRng`; the repository only
+//! relies on per-seed determinism, never on specific draws.
+
+/// Core random generator trait: a source of uniform `u64`s.
+pub trait Rng {
+    /// The next uniform 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable uniformly from an [`Rng`] (stand-in for the upstream
+/// `StandardUniform` distribution).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Extension methods on every [`Rng`] (mirrors the upstream split between
+/// the core trait and its extension).
+pub trait RngExt: Rng {
+    /// A uniform random value of type `T`.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform value in `[low, high)`. Panics when `low >= high`.
+    fn random_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        // Rejection sampling to remove modulo bias.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return range.start + v % span;
+            }
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (expanded via SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step — the canonical seed expander for xoshiro.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// The shim's standard generator: xoshiro256++ (Blackman–Vigna).
+    /// Deterministic per seed; not the upstream ChaCha12 `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // xoshiro forbids the all-zero state (cannot occur from
+            // SplitMix64 expansion, but keep the guard explicit).
+            if s == [0; 4] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn random_generic_types() {
+        let mut r = StdRng::seed_from_u64(1);
+        let _: u64 = r.random();
+        let _: i32 = r.random();
+        // Both boolean values appear.
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[usize::from(r.random::<bool>())] = true;
+        }
+        assert_eq!(seen, [true, true]);
+        let f: f64 = r.random();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn random_range_unbiased_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let v = r.random_range(10..13);
+            assert!((10..13).contains(&v));
+        }
+    }
+
+    #[test]
+    fn works_through_unsized_ref() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.random()
+        }
+        let mut r = StdRng::seed_from_u64(3);
+        let _ = draw(&mut r);
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline shim for `rayon` (see `vendor/README.md`).
+//!
+//! Implements the indexed parallel-iterator subset this repository uses —
+//! `slice.par_iter().zip(other.par_iter()).map(f).collect::<Vec<_>>()` —
+//! by spawning one scoped OS thread per item. The call sites (the
+//! Toom-Cook recursion's `2k−1` point products, throttled by `par_depth`)
+//! guarantee small coarse-grained batches, so thread-per-item is
+//! appropriate; no work-stealing pool is provided.
+
+/// Parallel-iterator traits and adaptors, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IndexedParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// An indexed source of items that can be produced concurrently.
+/// Implementors expose random access so items can be claimed by index
+/// from worker threads.
+pub trait ParallelIterator: Sync + Sized {
+    /// Item produced for each index.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the iterator is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produce the item at `index` (`index < self.len()`).
+    fn item(&self, index: usize) -> Self::Item;
+
+    /// Pair this iterator with another, truncating to the shorter.
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip(self, other)
+    }
+
+    /// Map each item through `op` (applied on the worker threads).
+    fn map<R, F>(self, op: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map(self, op)
+    }
+
+    /// Execute: one scoped thread per item, results in index order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        let n = self.len();
+        let mut out: Vec<Option<Self::Item>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let me = &self;
+            for (index, slot) in out.iter_mut().enumerate() {
+                scope.spawn(move || *slot = Some(me.item(index)));
+            }
+        });
+        C::from_ordered(out.into_iter().map(|s| s.expect("worker completed")))
+    }
+}
+
+/// Marker alias matching rayon's indexed iterator name (every iterator in
+/// this shim is indexed).
+pub trait IndexedParallelIterator: ParallelIterator {}
+impl<T: ParallelIterator> IndexedParallelIterator for T {}
+
+/// Collection types buildable from an in-order parallel result stream.
+pub trait FromParallelIterator<T> {
+    /// Build from items already in index order.
+    fn from_ordered(items: impl Iterator<Item = T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered(items: impl Iterator<Item = T>) -> Vec<T> {
+        items.collect()
+    }
+}
+
+/// Borrowing conversion into a parallel iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'data> {
+    /// The borrowed parallel iterator type.
+    type Iter: ParallelIterator;
+
+    /// Iterate the collection's elements by reference, in parallel.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = ParSlice<'data, T>;
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice(self)
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = ParSlice<'data, T>;
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice(self)
+    }
+}
+
+/// Parallel iterator over a borrowed slice.
+pub struct ParSlice<'data, T>(&'data [T]);
+
+impl<'data, T: Sync> ParallelIterator for ParSlice<'data, T> {
+    type Item = &'data T;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn item(&self, index: usize) -> &'data T {
+        &self.0[index]
+    }
+}
+
+/// Two iterators advanced in lockstep.
+pub struct Zip<A, B>(A, B);
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.0.len().min(self.1.len())
+    }
+    fn item(&self, index: usize) -> Self::Item {
+        (self.0.item(index), self.1.item(index))
+    }
+}
+
+/// An iterator mapped through a function.
+pub struct Map<I, F>(I, F);
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn item(&self, index: usize) -> R {
+        (self.1)(self.0.item(index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn zip_map_collect_preserves_order() {
+        let a: Vec<u64> = (0..9).collect();
+        let b: Vec<u64> = (0..9).map(|v| v * 100).collect();
+        let out: Vec<u64> = a.par_iter().zip(b.par_iter()).map(|(x, y)| x + y).collect();
+        assert_eq!(out, vec![0, 101, 202, 303, 404, 505, 606, 707, 808]);
+    }
+
+    #[test]
+    fn map_runs_on_worker_threads() {
+        let main = std::thread::current().id();
+        let items: Vec<u32> = (0..4).collect();
+        let ids: Vec<std::thread::ThreadId> = items
+            .par_iter()
+            .map(|_| std::thread::current().id())
+            .collect();
+        assert!(ids.iter().all(|id| *id != main));
+    }
+
+    #[test]
+    fn zip_truncates_to_shorter() {
+        let a = vec![1u64, 2, 3];
+        let b = vec![10u64, 20];
+        let out: Vec<u64> = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).collect();
+        assert_eq!(out, vec![10, 40]);
+    }
+
+    #[test]
+    fn nested_collect_inside_worker() {
+        // The engine recurses: a worker thread itself runs par_iter.
+        let outer: Vec<u64> = (0..3).collect();
+        let out: Vec<u64> = outer
+            .par_iter()
+            .map(|&v| {
+                let inner: Vec<u64> = (0..3).collect();
+                inner
+                    .par_iter()
+                    .map(|&w| v * 10 + w)
+                    .collect::<Vec<u64>>()
+                    .iter()
+                    .sum()
+            })
+            .collect();
+        assert_eq!(out, vec![3, 33, 63]);
+    }
+}

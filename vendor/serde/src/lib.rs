@@ -1,0 +1,14 @@
+//! Offline shim for `serde` (see `vendor/README.md`): marker traits plus
+//! no-op derive macros. Existing `#[derive(Serialize, Deserialize)]`
+//! annotations compile unchanged; actual serialization in this repository
+//! is hand-rolled (see `ft-service`'s `json` module).
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+// Derive macros live in a separate namespace from the traits, so this
+// mirrors upstream serde's `derive` feature re-export.
+pub use serde_derive::{Deserialize, Serialize};

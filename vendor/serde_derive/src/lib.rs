@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive` (see `vendor/README.md`): the derives
+//! expand to nothing, so `#[derive(Serialize, Deserialize)]` compiles but
+//! generates no impls. Nothing in this repository calls serde's
+//! serialization machinery at runtime — JSON output is hand-rolled
+//! (`ft-service`'s `json` module) to stay offline-buildable.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
