@@ -41,6 +41,9 @@ fn run_once(label: &str, bits: u64, requests: usize, batch_max: usize) {
             // ≤120 kbit sequential Toom, above that parallel Toom.
             ..KernelPolicy::default()
         },
+        // The baseline excludes the (default-on) residue verification
+        // hook; verify_overhead measures its delta against these rows.
+        verify_residues: false,
         ..ServiceConfig::default()
     };
     let service = MulService::start(config);

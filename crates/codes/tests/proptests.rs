@@ -94,6 +94,47 @@ proptest! {
     }
 
     #[test]
+    fn decoding_succeeds_at_f_erasures_and_fails_at_f_plus_one(
+        data in blocks(6, 2),
+        f in 1usize..=3,
+        start in 0usize..6,
+    ) {
+        use ft_codes::CodeError;
+        let code = ErasureCode::new(6, f);
+        let parity = code.encode_blocks(&data).unwrap();
+        let sp: Vec<(usize, Vec<BigInt>)> = parity.iter().cloned().enumerate().collect();
+        // Exactly f erasures (a cyclic window, so `start` varies the set):
+        // recovery must succeed with the f parity symbols.
+        let erased: Vec<usize> = {
+            let mut v: Vec<usize> = (0..f).map(|j| (start + j) % 6).collect();
+            v.sort_unstable();
+            v
+        };
+        let surviving: Vec<(usize, Vec<BigInt>)> = (0..6)
+            .filter(|i| !erased.contains(i))
+            .map(|i| (i, data[i].clone()))
+            .collect();
+        let rec = code.recover(&surviving, &sp, &erased).unwrap();
+        for (t, &i) in erased.iter().enumerate() {
+            prop_assert_eq!(&rec[t], &data[i]);
+        }
+        // One more erasure than parity symbols: recovery must refuse.
+        let erased: Vec<usize> = {
+            let mut v: Vec<usize> = (0..=f).map(|j| (start + j) % 6).collect();
+            v.sort_unstable();
+            v
+        };
+        let surviving: Vec<(usize, Vec<BigInt>)> = (0..6)
+            .filter(|i| !erased.contains(i))
+            .map(|i| (i, data[i].clone()))
+            .collect();
+        prop_assert_eq!(
+            code.recover(&surviving, &sp, &erased).unwrap_err(),
+            CodeError::TooManyErasures { erased: f + 1, parity: f }
+        );
+    }
+
+    #[test]
     fn scalar_and_block_encodings_agree(vals in proptest::collection::vec(any::<i32>(), 4)) {
         let code = ErasureCode::new(4, 2);
         let scalars: Vec<BigInt> = vals.iter().map(|&v| BigInt::from(v as i64)).collect();

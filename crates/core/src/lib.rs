@@ -13,6 +13,7 @@
 //! | [`ft`] | §4, §5.2, §6 | linear-coded, polynomial-coded, and combined fault tolerance |
 //! | [`baselines`] | §5.3 | replication and checkpoint/recompute baselines |
 //! | [`soft`] | §7 | soft-fault detection via redundant evaluations |
+//! | [`residue`] | §7 (spirit) | O(n) word-residue (2^64 ± 1) spot-check of any product |
 //! | [`cost`] | §5 | closed-form cost formulas (Theorems 5.1–5.3) |
 //! | [`rayon_engine`] | practice | shared-memory parallel Toom-Cook for wall-clock benches |
 //!
@@ -37,6 +38,7 @@ pub mod lazy;
 pub mod parallel;
 pub mod points;
 pub mod rayon_engine;
+pub mod residue;
 pub mod seq;
 pub mod soft;
 pub mod toomgraph;

@@ -1,0 +1,254 @@
+//! Cheap modular spot-checks of a product: `a · b ≡ r (mod m)` for the
+//! two word moduli `2^64 − 1` and `2^64 + 1`.
+//!
+//! [`soft::verify_products`](crate::soft::verify_products) checks the
+//! *internal* consistency of a redundant Toom-Cook evaluation; this module
+//! checks the *end-to-end* result of any multiplication kernel, in `O(n)`
+//! word operations versus the `O(n^{log_k(2k−1)})` multiply — the residue
+//! analogue of the paper's §7 soft-fault verification, in the `o(1)`
+//! relative-overhead spirit of its fault-tolerance bounds.
+//!
+//! The moduli make the reduction nearly free: with `2^64 ≡ +1
+//! (mod 2^64 − 1)` a number's residue is the plain sum of its limbs, and
+//! with `2^64 ≡ −1 (mod 2^64 + 1)` it is the alternating sum — both fall
+//! out of one pass over the limbs with two accumulators, a couple of
+//! cycles per limb.
+//!
+//! Detection guarantee: corrupting a single 64-bit limb of the product
+//! changes it by `c · 2^{64i}` with `0 < |c| < 2^64`. Modulo `2^64 + 1`
+//! that delta is `±c`, which is never `0`, so the alternating-sum check
+//! alone catches *every* single-limb corruption deterministically. An
+//! arbitrary multi-limb corruption escapes both checks only when its
+//! delta is divisible by `(2^64 − 1)(2^64 + 1) = 2^128 − 1`, i.e. with
+//! probability about `2^{−128}` for a random corruption.
+
+use ft_bigint::BigInt;
+
+/// Low-word mask, and the modulus `2^64 − 1` itself.
+const M1: u128 = u64::MAX as u128;
+/// The modulus `2^64 + 1`. Residues live in `[0, 2^64]`, one value too
+/// wide for `u64`, so this side of the pair works in `u128`.
+const P1: u128 = (1u128 << 64) + 1;
+
+/// Both spot-check residues of `x` in one pass over its limbs:
+/// `(x mod 2^64 − 1, x mod 2^64 + 1)`, each canonical in `[0, m)`.
+#[must_use]
+pub fn residue_pair(x: &BigInt) -> (u64, u128) {
+    // Limb i carries weight 2^{64 i} ≡ +1 (mod 2^64 − 1) and ≡ (−1)^i
+    // (mod 2^64 + 1), so two running sums — even-index and odd-index
+    // limbs — determine both residues. Split each sum across two
+    // accumulators so the u128 add-with-carry chains run four abreast.
+    // A BigInt is far below 2^60 limbs, so nothing here can overflow.
+    let (mut even, mut even2, mut odd, mut odd2) = (0u128, 0u128, 0u128, 0u128);
+    let mut quads = x.limbs().chunks_exact(4);
+    for quad in &mut quads {
+        even += u128::from(quad[0]);
+        odd += u128::from(quad[1]);
+        even2 += u128::from(quad[2]);
+        odd2 += u128::from(quad[3]);
+    }
+    for (i, &limb) in quads.remainder().iter().enumerate() {
+        if i % 2 == 0 {
+            even += u128::from(limb);
+        } else {
+            odd += u128::from(limb);
+        }
+    }
+    let (even, odd) = (even + even2, odd + odd2);
+    let m1 = {
+        let mut s = even + odd;
+        // 2^64 ≡ 1: end-around fold until the high word clears.
+        loop {
+            let hi = s >> 64;
+            if hi == 0 {
+                break;
+            }
+            s = (s & M1) + hi;
+        }
+        if s == M1 {
+            s = 0;
+        }
+        #[allow(clippy::cast_possible_truncation)] // s < 2^64 by the fold
+        let mag = s as u64;
+        if x.is_negative() && mag != 0 {
+            u64::MAX - mag
+        } else {
+            mag
+        }
+    };
+    let p1 = {
+        let mag = submod_p1(reduce_p1(even), reduce_p1(odd));
+        if x.is_negative() && mag != 0 {
+            P1 - mag
+        } else {
+            mag
+        }
+    };
+    (m1, p1)
+}
+
+/// `s mod (2^64 + 1)` for any `u128`, canonical in `[0, 2^64]`.
+/// `2^64 ≡ −1`, so `hi · 2^64 + lo ≡ lo − hi`; one step fully reduces.
+fn reduce_p1(s: u128) -> u128 {
+    let lo = s & M1;
+    let hi = s >> 64;
+    if lo >= hi {
+        lo - hi
+    } else {
+        lo + P1 - hi
+    }
+}
+
+/// `(a − b) mod (2^64 + 1)` for canonical residues `a, b`.
+fn submod_p1(a: u128, b: u128) -> u128 {
+    let t = a + P1 - b;
+    if t >= P1 {
+        t - P1
+    } else {
+        t
+    }
+}
+
+/// `a · b mod (2^64 − 1)` for canonical residues `a, b`.
+fn mulmod_m1(a: u64, b: u64) -> u64 {
+    let mut t = u128::from(a) * u128::from(b);
+    loop {
+        let hi = t >> 64;
+        if hi == 0 {
+            break;
+        }
+        t = (t & M1) + hi;
+    }
+    if t == M1 {
+        t = 0;
+    }
+    #[allow(clippy::cast_possible_truncation)] // t < 2^64 by the fold
+    {
+        t as u64
+    }
+}
+
+/// `a · b mod (2^64 + 1)` for canonical residues `a, b ∈ [0, 2^64]`.
+fn mulmod_p1(a: u128, b: u128) -> u128 {
+    // The one residue value outside u64 range is 2^64 ≡ −1; peel it off
+    // so the general case is a plain u64 × u64 product.
+    if a == P1 - 1 {
+        return submod_p1(0, b);
+    }
+    if b == P1 - 1 {
+        return submod_p1(0, a);
+    }
+    reduce_p1(a * b)
+}
+
+/// Spot-check `product == a · b` against both word moduli. `true` means
+/// the product is consistent (single-limb corruptions are always caught;
+/// see the module docs for the guarantee).
+#[must_use]
+pub fn verify_product(a: &BigInt, b: &BigInt, product: &BigInt) -> bool {
+    let (ra_m1, ra_p1) = residue_pair(a);
+    let (rb_m1, rb_p1) = residue_pair(b);
+    let (rp_m1, rp_p1) = residue_pair(product);
+    mulmod_m1(ra_m1, rb_m1) == rp_m1 && mulmod_p1(ra_p1, rb_p1) == rp_p1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_bigint::Sign;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn big_m1() -> BigInt {
+        BigInt::from(u64::MAX)
+    }
+
+    fn big_p1() -> BigInt {
+        BigInt::from_sign_limbs(Sign::Positive, vec![1, 1])
+    }
+
+    fn big_u128(v: u128) -> BigInt {
+        #[allow(clippy::cast_possible_truncation)]
+        BigInt::from_sign_limbs(Sign::Positive, vec![v as u64, (v >> 64) as u64])
+    }
+
+    #[test]
+    fn residues_match_mod_floor() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for bits in [0u64, 1, 63, 64, 65, 128, 500, 4_000] {
+            let x = BigInt::random_signed_bits(&mut rng, bits);
+            let (m1, p1) = residue_pair(&x);
+            assert_eq!(BigInt::from(m1), x.mod_floor(&big_m1()), "m1 bits={bits}");
+            assert_eq!(big_u128(p1), x.mod_floor(&big_p1()), "p1 bits={bits}");
+        }
+        // The residue 2^64 (≡ −1 mod 2^64 + 1) is reachable and canonical.
+        let minus_one = -BigInt::one();
+        assert_eq!(residue_pair(&minus_one).1, P1 - 1);
+    }
+
+    #[test]
+    fn true_products_verify() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for bits in [1u64, 100, 2_000, 20_000] {
+            let a = BigInt::random_signed_bits(&mut rng, bits);
+            let b = BigInt::random_signed_bits(&mut rng, bits);
+            assert!(verify_product(&a, &b, &a.mul_schoolbook(&b)), "bits={bits}");
+        }
+        assert!(verify_product(
+            &BigInt::zero(),
+            &BigInt::one(),
+            &BigInt::zero()
+        ));
+    }
+
+    #[test]
+    fn every_single_limb_bit_flip_is_caught() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = BigInt::random_bits(&mut rng, 700);
+        let b = BigInt::random_bits(&mut rng, 700);
+        let product = a.mul_schoolbook(&b);
+        for limb in 0..product.word_len() {
+            for bit in (0..64).step_by(7) {
+                let mut limbs = product.limbs().to_vec();
+                limbs[limb] ^= 1u64 << bit;
+                let corrupt = BigInt::from_sign_limbs(Sign::Positive, limbs);
+                assert!(
+                    !verify_product(&a, &b, &corrupt),
+                    "flip limb {limb} bit {bit} slipped through"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_sign_and_off_by_one_are_caught() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = BigInt::random_bits(&mut rng, 300);
+        let b = BigInt::random_bits(&mut rng, 300);
+        let product = a.mul_schoolbook(&b);
+        assert!(!verify_product(&a, &b, &-product.clone()));
+        assert!(!verify_product(&a, &b, &(&product + &BigInt::one())));
+    }
+
+    #[test]
+    fn mulmods_handle_the_top_of_the_range() {
+        // (−1) · (−1) ≡ 1 under both moduli.
+        assert_eq!(mulmod_m1(u64::MAX - 1, u64::MAX - 1), 1);
+        assert_eq!(mulmod_p1(P1 - 1, P1 - 1), 1);
+        assert_eq!(mulmod_m1(0, u64::MAX - 1), 0);
+        assert_eq!(mulmod_p1(0, P1 - 1), 0);
+        // Exhaustively cross-check small grids against BigInt arithmetic.
+        for a in [0u128, 1, 2, (1 << 63) - 1, 1 << 63, P1 - 2, P1 - 1] {
+            for b in [0u128, 1, 3, (1 << 62) + 11, P1 - 2, P1 - 1] {
+                let want = (&big_u128(a) * &big_u128(b)).mod_floor(&big_p1());
+                assert_eq!(big_u128(mulmod_p1(a, b)), want, "p1 {a}·{b}");
+            }
+        }
+        for a in [0u64, 1, 2, u64::MAX - 2, u64::MAX - 1] {
+            for b in [0u64, 5, u64::MAX - 1] {
+                let want = (&BigInt::from(a) * &BigInt::from(b)).mod_floor(&big_m1());
+                assert_eq!(BigInt::from(mulmod_m1(a, b)), want, "m1 {a}·{b}");
+            }
+        }
+    }
+}

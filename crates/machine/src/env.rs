@@ -684,6 +684,32 @@ mod tests {
     }
 
     #[test]
+    fn kill_at_fires_on_the_nth_visit_only() {
+        // Pins FaultPlan::kill_at occurrence semantics: the fault fires on
+        // exactly the N-th passage through its label — never before, never
+        // again after — and passage counts are kept per label, so visits
+        // to other labels do not advance them.
+        let plan = FaultPlan::none().kill_at(0, "target", 1);
+        let machine = Machine::new(MachineConfig::new(1).with_faults(plan));
+        let report = machine.run(|env| {
+            let mut fates = Vec::new();
+            for _ in 0..3 {
+                // Interleaved visits to another label must not count as
+                // "target" passages.
+                assert_eq!(env.fault_point("other"), Fate::Alive);
+                fates.push(env.fault_point("target"));
+            }
+            fates
+        });
+        assert_eq!(
+            report.results[0],
+            vec![Fate::Alive, Fate::Reborn, Fate::Alive],
+            "occurrence 1 means the second visit, once"
+        );
+        assert_eq!(report.ranks[0].deaths, 1);
+    }
+
+    #[test]
     fn messages_survive_slot_replacement() {
         // Channel delivery is slot-addressed: a message sent by a rank
         // that raced ahead of the victim's failure is delivered to the

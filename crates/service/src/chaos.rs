@@ -1,0 +1,386 @@
+//! Deterministic fault injection for chaos-testing the service.
+//!
+//! The simulator can only fault processors deep inside `ft-machine`
+//! (`FaultPlan`); this module injects the same fault taxonomy at the
+//! serving layer, where the supervisor (see [`crate::supervisor`]) must
+//! detect and survive it end to end:
+//!
+//! | [`FaultKind`] | Paper fault model | Injection |
+//! |---|---|---|
+//! | `Panic` | hard fault (fail-stop processor) | the kernel panics mid-request |
+//! | `Straggle` | delay fault (slow processor) | the kernel sleeps before computing |
+//! | `Corrupt` | soft fault (silent miscalculation) | one product limb is bit-flipped |
+//!
+//! Faults are drawn from `(seed, request index, attempt)` only, so a chaos
+//! run is exactly reproducible for a given seed regardless of worker
+//! scheduling. Config is JSON-loadable like `KernelPolicy`.
+
+use crate::config::ConfigError;
+use crate::json::{obj, Json};
+use ft_bigint::BigInt;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Panic message carried by injected hard faults; the supervisor and the
+/// quiet panic hook recognise injected panics by this marker.
+pub const INJECTED_PANIC_MSG: &str = "chaos-injected worker panic";
+
+/// The three injectable fault kinds (see the module docs for the mapping
+/// to the paper's hard/delay/soft fault model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Hard fault: the kernel panics mid-request.
+    Panic,
+    /// Delay fault: the kernel sleeps before computing (straggler).
+    Straggle,
+    /// Soft fault: one limb of the product is silently bit-flipped.
+    Corrupt,
+}
+
+impl FaultKind {
+    /// All kinds, in metrics order.
+    pub const ALL: [FaultKind; 3] = [FaultKind::Panic, FaultKind::Straggle, FaultKind::Corrupt];
+
+    /// Stable name used as the metrics / JSON key.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Straggle => "straggle",
+            FaultKind::Corrupt => "corrupt",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// A JSON-loadable chaos plan. Rates are per 10 000 requests; a request
+/// draws at most one fault per attempt.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Seed of the deterministic fault stream.
+    pub seed: u64,
+    /// Hard-fault (panic) rate per 10 000 requests.
+    pub panic_per_10k: u32,
+    /// Delay-fault (straggler) rate per 10 000 requests.
+    pub straggle_per_10k: u32,
+    /// Soft-fault (corruption) rate per 10 000 requests.
+    pub corrupt_per_10k: u32,
+    /// How long an injected straggler sleeps, in milliseconds.
+    pub straggle_ms: u64,
+    /// Probabilistic faults fire only on attempts below this bound, so a
+    /// supervised retry deterministically clears an injected fault.
+    pub max_faulty_attempts: u32,
+    /// Rethrow injected panics outside the supervisor: the worker thread
+    /// dies, as it would without `catch_unwind` supervision.
+    pub escalate_panics: bool,
+    /// Forced faults `(request index, kind)`, fired on the first attempt
+    /// regardless of the probabilistic rates.
+    pub force: Vec<(u64, FaultKind)>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            seed: 0,
+            panic_per_10k: 0,
+            straggle_per_10k: 0,
+            corrupt_per_10k: 0,
+            straggle_ms: 2,
+            max_faulty_attempts: 1,
+            escalate_panics: false,
+            force: Vec::new(),
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// `true` when this plan can inject at least one fault.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.panic_per_10k + self.straggle_per_10k + self.corrupt_per_10k > 0
+            || !self.force.is_empty()
+    }
+
+    /// The deterministic per-(request, attempt) random stream.
+    fn rng_for(&self, request: u64, attempt: u32) -> StdRng {
+        StdRng::seed_from_u64(
+            self.seed ^ request.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (u64::from(attempt) << 56),
+        )
+    }
+
+    /// The fault (if any) to inject on the given attempt of a request.
+    #[must_use]
+    pub fn decide(&self, request: u64, attempt: u32) -> Option<FaultKind> {
+        if attempt == 0 {
+            if let Some(&(_, kind)) = self.force.iter().find(|&&(i, _)| i == request) {
+                return Some(kind);
+            }
+        }
+        if attempt >= self.max_faulty_attempts {
+            return None;
+        }
+        let (p, s, c) = (
+            self.panic_per_10k,
+            self.straggle_per_10k,
+            self.corrupt_per_10k,
+        );
+        if p + s + c == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_possible_truncation)] // draw < 10_000
+        let draw = self.rng_for(request, attempt).random_range(0..10_000) as u32;
+        if draw < p {
+            Some(FaultKind::Panic)
+        } else if draw < p + s {
+            Some(FaultKind::Straggle)
+        } else if draw < p + s + c {
+            Some(FaultKind::Corrupt)
+        } else {
+            None
+        }
+    }
+
+    /// How long an injected straggler sleeps.
+    #[must_use]
+    pub fn straggle_duration(&self) -> Duration {
+        Duration::from_millis(self.straggle_ms)
+    }
+
+    /// Soft fault: return `product` with one pseudo-random bit flipped
+    /// (a corrupted zero becomes one). The flipped position is drawn from
+    /// the same deterministic stream as [`Self::decide`].
+    #[must_use]
+    pub fn corrupt(&self, product: &BigInt, request: u64, attempt: u32) -> BigInt {
+        let mut limbs = product.limbs().to_vec();
+        if limbs.is_empty() {
+            return BigInt::one();
+        }
+        let mut rng = self.rng_for(request, attempt.wrapping_add(0x5bd1));
+        let limb = rng.random_range(0..limbs.len() as u64) as usize;
+        let bit = rng.random_range(0..64);
+        limbs[limb] ^= 1u64 << bit;
+        BigInt::from_sign_limbs(product.sign(), limbs)
+    }
+
+    /// Read a chaos plan from a parsed JSON object; absent fields keep
+    /// their defaults. `force` entries are `{"index": N, "kind": "panic"}`.
+    pub fn from_json(json: &Json) -> Result<ChaosConfig, ConfigError> {
+        let d = ChaosConfig::default();
+        let get_u64 = |key: &str, default: u64| -> Result<u64, ConfigError> {
+            match json.get(key) {
+                None => Ok(default),
+                Some(v) => v.as_u64().ok_or_else(|| {
+                    ConfigError::Invalid(format!("chaos.{key} must be a non-negative integer"))
+                }),
+            }
+        };
+        let get_u32 = |key: &str, default: u32| -> Result<u32, ConfigError> {
+            get_u64(key, u64::from(default)).and_then(|v| {
+                u32::try_from(v)
+                    .map_err(|_| ConfigError::Invalid(format!("chaos.{key} out of range")))
+            })
+        };
+        let escalate_panics = match json.get("escalate_panics") {
+            None => d.escalate_panics,
+            Some(v) => v.as_bool().ok_or_else(|| {
+                ConfigError::Invalid("chaos.escalate_panics must be a boolean".to_string())
+            })?,
+        };
+        let force = match json.get("force") {
+            None => d.force.clone(),
+            Some(Json::Arr(items)) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    let index = item
+                        .get("index")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(invalid_force)?;
+                    let kind = match item.get("kind") {
+                        Some(Json::Str(name)) => {
+                            FaultKind::from_name(name).ok_or_else(invalid_force)?
+                        }
+                        _ => return Err(invalid_force()),
+                    };
+                    out.push((index, kind));
+                }
+                out
+            }
+            Some(_) => return Err(invalid_force()),
+        };
+        let cfg = ChaosConfig {
+            seed: get_u64("seed", d.seed)?,
+            panic_per_10k: get_u32("panic_per_10k", d.panic_per_10k)?,
+            straggle_per_10k: get_u32("straggle_per_10k", d.straggle_per_10k)?,
+            corrupt_per_10k: get_u32("corrupt_per_10k", d.corrupt_per_10k)?,
+            straggle_ms: get_u64("straggle_ms", d.straggle_ms)?,
+            max_faulty_attempts: get_u32("max_faulty_attempts", d.max_faulty_attempts)?,
+            escalate_panics,
+            force,
+        };
+        if cfg.panic_per_10k + cfg.straggle_per_10k + cfg.corrupt_per_10k > 10_000 {
+            return Err(ConfigError::Invalid(
+                "chaos fault rates must sum to at most 10000 per 10k".to_string(),
+            ));
+        }
+        Ok(cfg)
+    }
+
+    pub(crate) fn to_json_value(&self) -> Json {
+        obj([
+            ("seed", Json::Num(i128::from(self.seed))),
+            ("panic_per_10k", Json::Num(i128::from(self.panic_per_10k))),
+            (
+                "straggle_per_10k",
+                Json::Num(i128::from(self.straggle_per_10k)),
+            ),
+            (
+                "corrupt_per_10k",
+                Json::Num(i128::from(self.corrupt_per_10k)),
+            ),
+            ("straggle_ms", Json::Num(i128::from(self.straggle_ms))),
+            (
+                "max_faulty_attempts",
+                Json::Num(i128::from(self.max_faulty_attempts)),
+            ),
+            ("escalate_panics", Json::Bool(self.escalate_panics)),
+            (
+                "force",
+                Json::Arr(
+                    self.force
+                        .iter()
+                        .map(|&(index, kind)| {
+                            obj([
+                                ("index", Json::Num(i128::from(index))),
+                                ("kind", Json::Str(kind.name().to_string())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+fn invalid_force() -> ConfigError {
+    ConfigError::Invalid(
+        "chaos.force must be an array of {\"index\": N, \"kind\": \"panic|straggle|corrupt\"}"
+            .to_string(),
+    )
+}
+
+/// Install a process-wide panic hook that silences the backtrace spam from
+/// chaos-injected panics (they are expected, and either caught by the
+/// supervisor or deliberately escalated) while delegating every other
+/// panic to the previously installed hook. Idempotent; intended for chaos
+/// tests and demos.
+pub fn install_quiet_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains(INJECTED_PANIC_MSG))
+                || info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|s| s.contains(INJECTED_PANIC_MSG));
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn active_config() -> ChaosConfig {
+        ChaosConfig {
+            seed: 42,
+            panic_per_10k: 300,
+            straggle_per_10k: 300,
+            corrupt_per_10k: 400,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_hit_every_kind() {
+        let chaos = active_config();
+        let mut counts = [0u32; 3];
+        for request in 0..5_000 {
+            let first = chaos.decide(request, 0);
+            assert_eq!(first, chaos.decide(request, 0), "request {request}");
+            if let Some(kind) = first {
+                counts[kind as usize] += 1;
+            }
+            // Attempts at or past max_faulty_attempts are always clean.
+            assert_eq!(chaos.decide(request, 1), None);
+        }
+        let total: u32 = counts.iter().sum();
+        // 10% nominal rate over 5000 requests: expect roughly 500 faults.
+        assert!((300..700).contains(&total), "total {total}");
+        assert!(counts.iter().all(|&c| c > 0), "counts {counts:?}");
+    }
+
+    #[test]
+    fn forced_faults_override_rates() {
+        let chaos = ChaosConfig {
+            force: vec![(7, FaultKind::Corrupt)],
+            ..ChaosConfig::default()
+        };
+        assert!(!chaos.is_active() || chaos.is_active()); // force makes it active
+        assert!(chaos.is_active());
+        assert_eq!(chaos.decide(7, 0), Some(FaultKind::Corrupt));
+        assert_eq!(chaos.decide(7, 1), None, "forced faults fire once");
+        assert_eq!(chaos.decide(8, 0), None);
+    }
+
+    #[test]
+    fn corruption_always_changes_the_value() {
+        let chaos = active_config();
+        let mut rng = StdRng::seed_from_u64(9);
+        for request in 0..50 {
+            let x = BigInt::random_signed_bits(&mut rng, 1 + request * 13);
+            let bad = chaos.corrupt(&x, request, 0);
+            assert_ne!(bad, x, "request {request}");
+            assert_eq!(bad, chaos.corrupt(&x, request, 0), "deterministic");
+        }
+        assert_eq!(chaos.corrupt(&BigInt::zero(), 0, 0), BigInt::one());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let cfg = ChaosConfig {
+            seed: 42,
+            panic_per_10k: 100,
+            straggle_per_10k: 200,
+            corrupt_per_10k: 300,
+            straggle_ms: 5,
+            max_faulty_attempts: 2,
+            escalate_panics: true,
+            force: vec![(3, FaultKind::Panic), (9, FaultKind::Straggle)],
+        };
+        let text = cfg.to_json_value().dump();
+        let parsed = ChaosConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn json_rejects_bad_documents() {
+        let over = r#"{"panic_per_10k": 9000, "corrupt_per_10k": 2000}"#;
+        assert!(ChaosConfig::from_json(&Json::parse(over).unwrap()).is_err());
+        let bad_kind = r#"{"force": [{"index": 1, "kind": "meltdown"}]}"#;
+        assert!(ChaosConfig::from_json(&Json::parse(bad_kind).unwrap()).is_err());
+        let bad_bool = r#"{"escalate_panics": 3}"#;
+        assert!(ChaosConfig::from_json(&Json::parse(bad_bool).unwrap()).is_err());
+    }
+}

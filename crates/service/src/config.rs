@@ -5,7 +5,9 @@
 //! implemented directly via [`crate::json`]; the derive keeps the structs
 //! source-compatible with upstream serde for when the real crate returns.
 
+use crate::chaos::ChaosConfig;
 use crate::json::{obj, Json, JsonError};
+use crate::supervisor::{BreakerPolicy, RetryPolicy};
 use serde::{Deserialize, Serialize};
 
 /// Size thresholds steering kernel auto-selection, in operand bits
@@ -62,6 +64,16 @@ pub struct ServiceConfig {
     pub plan_cache_capacity: usize,
     /// Kernel selection thresholds.
     pub kernel_policy: KernelPolicy,
+    /// Residue-spot-check every product (`ft_toom_core::residue`); a
+    /// mismatch counts as a soft fault and the request is retried.
+    pub verify_residues: bool,
+    /// Per-request retry/backoff policy for supervised failures.
+    pub retry: RetryPolicy,
+    /// Per-kernel circuit-breaker policy.
+    pub breaker: BreakerPolicy,
+    /// Optional deterministic fault-injection plan (chaos testing);
+    /// `None` injects nothing.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -73,6 +85,10 @@ impl Default for ServiceConfig {
             shed_after_ms: None,
             plan_cache_capacity: 8,
             kernel_policy: KernelPolicy::default(),
+            verify_residues: true,
+            retry: RetryPolicy::default(),
+            breaker: BreakerPolicy::default(),
+            chaos: None,
         }
     }
 }
@@ -188,6 +204,24 @@ impl ServiceConfig {
             None => d.kernel_policy.clone(),
             Some(v) => KernelPolicy::from_json(v)?,
         };
+        let verify_residues = match json.get("verify_residues") {
+            None => d.verify_residues,
+            Some(v) => v.as_bool().ok_or_else(|| {
+                ConfigError::Invalid("verify_residues must be a boolean".to_string())
+            })?,
+        };
+        let retry = match json.get("retry") {
+            None => d.retry.clone(),
+            Some(v) => RetryPolicy::from_json(v)?,
+        };
+        let breaker = match json.get("breaker") {
+            None => d.breaker.clone(),
+            Some(v) => BreakerPolicy::from_json(v)?,
+        };
+        let chaos = match json.get("chaos") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(ChaosConfig::from_json(v)?),
+        };
         let cfg = ServiceConfig {
             workers: field_usize(&json, "workers", d.workers)?,
             queue_capacity: field_usize(&json, "queue_capacity", d.queue_capacity)?,
@@ -195,6 +229,10 @@ impl ServiceConfig {
             shed_after_ms,
             plan_cache_capacity: field_usize(&json, "plan_cache_capacity", d.plan_cache_capacity)?,
             kernel_policy,
+            verify_residues,
+            retry,
+            breaker,
+            chaos,
         };
         if cfg.workers == 0 {
             return Err(ConfigError::Invalid("workers must be >= 1".to_string()));
@@ -232,6 +270,15 @@ impl ServiceConfig {
                 Json::Num(self.plan_cache_capacity as i128),
             ),
             ("kernel_policy", self.kernel_policy.to_json_value()),
+            ("verify_residues", Json::Bool(self.verify_residues)),
+            ("retry", self.retry.to_json_value()),
+            ("breaker", self.breaker.to_json_value()),
+            (
+                "chaos",
+                self.chaos
+                    .as_ref()
+                    .map_or(Json::Null, ChaosConfig::to_json_value),
+            ),
         ])
         .dump()
     }
@@ -254,6 +301,34 @@ mod tests {
         assert_eq!(cfg.workers, 7);
         assert_eq!(cfg.shed_after_ms, Some(12));
         assert_eq!(cfg.batch_max, ServiceConfig::default().batch_max);
+        assert!(cfg.verify_residues);
+        assert_eq!(cfg.chaos, None);
+    }
+
+    #[test]
+    fn robustness_fields_round_trip() {
+        let cfg = ServiceConfig::from_json(
+            r#"{
+                "verify_residues": false,
+                "retry": {"max_retries": 9, "backoff_base_ms": 2},
+                "breaker": {"failure_threshold": 3, "open_ms": 40},
+                "chaos": {"seed": 42, "corrupt_per_10k": 1000,
+                          "force": [{"index": 4, "kind": "panic"}]}
+            }"#,
+        )
+        .unwrap();
+        assert!(!cfg.verify_residues);
+        assert_eq!(cfg.retry.max_retries, 9);
+        assert_eq!(cfg.breaker.failure_threshold, 3);
+        let chaos = cfg.chaos.as_ref().unwrap();
+        assert_eq!(chaos.seed, 42);
+        assert_eq!(chaos.corrupt_per_10k, 1000);
+        assert_eq!(chaos.force, vec![(4, crate::chaos::FaultKind::Panic)]);
+        let again = ServiceConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(cfg, again);
+        // Explicit null disables chaos, like omitting the key.
+        let off = ServiceConfig::from_json(r#"{"chaos": null}"#).unwrap();
+        assert_eq!(off.chaos, None);
     }
 
     #[test]

@@ -43,6 +43,13 @@ pub enum MulError {
     },
     /// The service stopped before the request was processed.
     ServiceStopped,
+    /// Every supervised attempt failed — panics, stuck kernels, or
+    /// verification mismatches persisted through the retry budget and the
+    /// whole kernel degradation ladder.
+    WorkerFault {
+        /// Total attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for MulError {
@@ -55,6 +62,9 @@ impl std::fmt::Display for MulError {
                 write!(f, "request shed under load after waiting {waited:?}")
             }
             MulError::ServiceStopped => write!(f, "service stopped before request ran"),
+            MulError::WorkerFault { attempts } => {
+                write!(f, "worker fault persisted through {attempts} attempts")
+            }
         }
     }
 }
@@ -78,5 +88,8 @@ mod tests {
         }
         .to_string()
         .contains("shed"));
+        assert!(MulError::WorkerFault { attempts: 6 }
+            .to_string()
+            .contains("6 attempts"));
     }
 }

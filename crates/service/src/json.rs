@@ -83,6 +83,15 @@ impl Json {
         self.as_i128().and_then(|n| usize::try_from(n).ok())
     }
 
+    /// Boolean value, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Serialize compactly (no whitespace).
     #[must_use]
     pub fn dump(&self) -> String {
@@ -351,6 +360,8 @@ mod tests {
                 Json::Num(-7)
             ]))
         );
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+        assert_eq!(Json::Num(1).as_bool(), None);
         let again = Json::parse(&v.dump()).unwrap();
         assert_eq!(v, again);
     }

@@ -59,6 +59,18 @@ impl Kernel {
         }
     }
 
+    /// The next rung down the degradation ladder the supervisor walks
+    /// when this kernel keeps failing: parallel Toom → sequential Toom →
+    /// schoolbook → nothing.
+    #[must_use]
+    pub fn degrade(self) -> Option<Kernel> {
+        match self {
+            Kernel::ParToom => Some(Kernel::SeqToom),
+            Kernel::SeqToom => Some(Kernel::Schoolbook),
+            Kernel::Schoolbook => None,
+        }
+    }
+
     /// Stable name used as the metrics key.
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -95,6 +107,13 @@ mod tests {
         assert_eq!(Kernel::select(&big, &big, &policy), Kernel::ParToom);
         // The smaller operand drives selection.
         assert_eq!(Kernel::select(&small, &big, &policy), Kernel::Schoolbook);
+    }
+
+    #[test]
+    fn degradation_ladder_bottoms_out_at_schoolbook() {
+        assert_eq!(Kernel::ParToom.degrade(), Some(Kernel::SeqToom));
+        assert_eq!(Kernel::SeqToom.degrade(), Some(Kernel::Schoolbook));
+        assert_eq!(Kernel::Schoolbook.degrade(), None);
     }
 
     #[test]

@@ -2,8 +2,13 @@
 //!
 //! Accepts [`MulRequest`]s on bounded per-worker queues, batches them,
 //! auto-selects a kernel per request size, and returns results through
-//! completion handles. See `DESIGN.md` §2 for the subsystem inventory.
+//! completion handles. Kernel execution is supervised: panics are caught,
+//! products are residue-verified, failures are retried with backoff and
+//! degraded across kernels by per-kernel circuit breakers, and a
+//! deterministic chaos injector can exercise all of it. See `DESIGN.md`
+//! §2 for the subsystem inventory.
 
+pub mod chaos;
 pub mod config;
 pub mod error;
 pub mod json;
@@ -11,9 +16,12 @@ pub mod kernel;
 pub mod metrics;
 pub mod plan_cache;
 pub mod service;
+pub mod supervisor;
 
+pub use chaos::{install_quiet_panic_hook, ChaosConfig, FaultKind};
 pub use config::{KernelPolicy, ServiceConfig};
 pub use error::{MulError, SubmitError};
 pub use kernel::Kernel;
 pub use metrics::MetricsSnapshot;
 pub use service::{MulService, ResponseHandle};
+pub use supervisor::{BreakerPolicy, RetryPolicy};

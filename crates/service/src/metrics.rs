@@ -1,5 +1,6 @@
 //! Service metrics: lock-free counters plus a JSON-serializable snapshot.
 
+use crate::chaos::FaultKind;
 use crate::json::{obj, Json};
 use crate::kernel::Kernel;
 use serde::Serialize;
@@ -25,6 +26,14 @@ pub(crate) struct Metrics {
     queue_depth_high_water: AtomicUsize,
     latency_buckets: [AtomicU64; BUCKETS],
     latency_total_us: AtomicU64,
+    retries: AtomicU64,
+    fallbacks: AtomicU64,
+    worker_faults: AtomicU64,
+    residue_checks: AtomicU64,
+    verification_failures: AtomicU64,
+    breaker_opens: AtomicU64,
+    breaker_closes: AtomicU64,
+    injected_faults: [AtomicU64; 3],
 }
 
 impl Metrics {
@@ -57,6 +66,38 @@ impl Metrics {
             .fetch_max(depth, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_fallback(&self) {
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_worker_fault(&self) {
+        self.worker_faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_residue_check(&self) {
+        self.residue_checks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_verification_failure(&self) {
+        self.verification_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_breaker_open(&self) {
+        self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_breaker_close(&self) {
+        self.breaker_closes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_injected(&self, kind: FaultKind) {
+        self.injected_faults[kind as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self, queue_depth: usize, plan_stats: (u64, u64)) -> MetricsSnapshot {
         MetricsSnapshot {
             served: self.served.load(Ordering::Relaxed),
@@ -77,6 +118,19 @@ impl Metrics {
             latency_total_us: self.latency_total_us.load(Ordering::Relaxed),
             plan_cache_hits: plan_stats.0,
             plan_cache_misses: plan_stats.1,
+            retries: self.retries.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            worker_faults: self.worker_faults.load(Ordering::Relaxed),
+            residue_checks: self.residue_checks.load(Ordering::Relaxed),
+            verification_failures: self.verification_failures.load(Ordering::Relaxed),
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            breaker_closes: self.breaker_closes.load(Ordering::Relaxed),
+            injected_faults: FaultKind::ALL.map(|k| {
+                (
+                    k.name(),
+                    self.injected_faults[k as usize].load(Ordering::Relaxed),
+                )
+            }),
         }
     }
 }
@@ -108,6 +162,25 @@ pub struct MetricsSnapshot {
     pub plan_cache_hits: u64,
     /// Toom-plan cache misses.
     pub plan_cache_misses: u64,
+    /// Supervised re-attempts after a failed attempt (hard or soft fault).
+    pub retries: u64,
+    /// Attempts executed on a kernel below the selected one (breaker
+    /// diversion or forced degradation).
+    pub fallbacks: u64,
+    /// Requests that exhausted the retry budget and the whole degradation
+    /// ladder ([`crate::MulError::WorkerFault`]).
+    pub worker_faults: u64,
+    /// Products spot-checked by the residue verifier.
+    pub residue_checks: u64,
+    /// Spot-checks that caught an inconsistent product (soft fault).
+    pub verification_failures: u64,
+    /// Circuit-breaker transitions into the open state.
+    pub breaker_opens: u64,
+    /// Circuit-breaker transitions back to closed (successful probe).
+    pub breaker_closes: u64,
+    /// Chaos-injected faults by kind, keyed by
+    /// [`crate::chaos::FaultKind::name`].
+    pub injected_faults: [(&'static str, u64); 3],
 }
 
 impl MetricsSnapshot {
@@ -167,6 +240,32 @@ impl MetricsSnapshot {
                 "plan_cache_misses",
                 Json::Num(i128::from(self.plan_cache_misses)),
             ),
+            (
+                "robustness",
+                obj([
+                    ("retries", Json::Num(i128::from(self.retries))),
+                    ("fallbacks", Json::Num(i128::from(self.fallbacks))),
+                    ("worker_faults", Json::Num(i128::from(self.worker_faults))),
+                    ("residue_checks", Json::Num(i128::from(self.residue_checks))),
+                    (
+                        "verification_failures",
+                        Json::Num(i128::from(self.verification_failures)),
+                    ),
+                    ("breaker_opens", Json::Num(i128::from(self.breaker_opens))),
+                    ("breaker_closes", Json::Num(i128::from(self.breaker_closes))),
+                    (
+                        "injected_faults",
+                        Json::Obj(
+                            self.injected_faults
+                                .iter()
+                                .map(|&(name, count)| {
+                                    (name.to_string(), Json::Num(i128::from(count)))
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
         ])
         .dump()
     }
@@ -186,6 +285,15 @@ mod tests {
         m.record_shed();
         m.observe_queue_depth(5);
         m.observe_queue_depth(3);
+        m.record_retry();
+        m.record_retry();
+        m.record_fallback();
+        m.record_worker_fault();
+        m.record_residue_check();
+        m.record_verification_failure();
+        m.record_breaker_open();
+        m.record_breaker_close();
+        m.record_injected(FaultKind::Corrupt);
         let s = m.snapshot(2, (10, 1));
         assert_eq!(s.served, 2);
         assert_eq!(s.rejected_queue_full, 1);
@@ -198,6 +306,18 @@ mod tests {
         assert_eq!(s.latency_buckets[0], 1); // 80 µs ≤ 100 µs
         assert_eq!(s.latency_buckets.iter().sum::<u64>(), 2);
         assert_eq!(s.plan_cache_hits, 10);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.fallbacks, 1);
+        assert_eq!(s.worker_faults, 1);
+        assert_eq!(s.residue_checks, 1);
+        assert_eq!(s.verification_failures, 1);
+        assert_eq!(s.breaker_opens, 1);
+        assert_eq!(s.breaker_closes, 1);
+        assert_eq!(
+            s.injected_faults[FaultKind::Corrupt as usize],
+            ("corrupt", 1)
+        );
+        assert_eq!(s.injected_faults[FaultKind::Panic as usize], ("panic", 0));
     }
 
     #[test]
@@ -217,6 +337,17 @@ mod tests {
         );
         assert!(
             matches!(doc.get("latency_buckets"), Some(crate::json::Json::Arr(v)) if v.len() == 9)
+        );
+        let robustness = doc.get("robustness").unwrap();
+        assert_eq!(robustness.get("retries").unwrap().as_u64(), Some(0));
+        assert_eq!(
+            robustness
+                .get("injected_faults")
+                .unwrap()
+                .get("panic")
+                .unwrap()
+                .as_u64(),
+            Some(0)
         );
     }
 }

@@ -14,9 +14,10 @@ use crate::error::{MulError, SubmitError};
 use crate::kernel::Kernel;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::plan_cache::PlanCache;
+use crate::supervisor::Supervisor;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use ft_bigint::BigInt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -102,11 +103,51 @@ impl ResponseHandle {
             None => Err(self),
         }
     }
+
+    /// Block for at most `timeout`; `Err(self)` hands the still-usable
+    /// handle back when the request has not resolved in time.
+    pub fn wait_timeout(
+        self,
+        timeout: Duration,
+    ) -> Result<Result<BigInt, MulError>, ResponseHandle> {
+        let completion = self.completion.clone();
+        let deadline = Instant::now().checked_add(timeout);
+        let mut slot = completion
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(result) = slot.take() {
+                return Ok(result);
+            }
+            // An overflowing deadline (e.g. Duration::MAX) waits forever.
+            let Some(deadline) = deadline else {
+                slot = completion
+                    .ready
+                    .wait(slot)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                continue;
+            };
+            let now = Instant::now();
+            if now >= deadline {
+                drop(slot);
+                return Err(self);
+            }
+            let (guard, _) = completion
+                .ready
+                .wait_timeout(slot, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            slot = guard;
+        }
+    }
 }
 
 struct MulRequest {
     a: BigInt,
     b: BigInt,
+    /// Submission sequence number; seeds deterministic chaos and backoff
+    /// jitter for this request.
+    index: u64,
     deadline: Option<Instant>,
     enqueued_at: Instant,
     done: CompletionGuard,
@@ -116,6 +157,7 @@ struct Shared {
     config: ServiceConfig,
     metrics: Metrics,
     plans: PlanCache,
+    supervisor: Supervisor,
 }
 
 /// The batching multiplication service. See the module docs for the
@@ -136,9 +178,13 @@ pub struct MulService {
     shared: Arc<Shared>,
     senders: Vec<Sender<MulRequest>>,
     next: AtomicUsize,
+    seq: AtomicU64,
     shutting_down: AtomicBool,
     workers: Vec<JoinHandle<()>>,
 }
+
+/// Distinguishes worker threads across service instances in one process.
+static SERVICE_ID: AtomicUsize = AtomicUsize::new(0);
 
 impl MulService {
     /// Spawn the worker pool and start accepting requests.
@@ -154,8 +200,15 @@ impl MulService {
         let shared = Arc::new(Shared {
             plans: PlanCache::new(config.plan_cache_capacity),
             metrics: Metrics::default(),
+            supervisor: Supervisor::new(
+                config.retry.clone(),
+                config.breaker.clone(),
+                config.verify_residues,
+                config.chaos.clone(),
+            ),
             config,
         });
+        let service_id = SERVICE_ID.fetch_add(1, Ordering::Relaxed) % 1_000;
         let mut senders = Vec::with_capacity(shared.config.workers);
         let mut workers = Vec::with_capacity(shared.config.workers);
         for index in 0..shared.config.workers {
@@ -164,7 +217,10 @@ impl MulService {
             let shared = shared.clone();
             workers.push(
                 std::thread::Builder::new()
-                    .name(format!("ft-service-worker-{index}"))
+                    // Linux truncates thread names to 15 bytes; the old
+                    // "ft-service-worker-N" collapsed every worker to the
+                    // same truncated name. Keep it short and unique.
+                    .name(format!("ftsvc{service_id}-w{index}"))
                     .spawn(move || worker_loop(&rx, &shared))
                     .expect("spawn service worker"),
             );
@@ -173,6 +229,7 @@ impl MulService {
             shared,
             senders,
             next: AtomicUsize::new(0),
+            seq: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
             workers,
         }
@@ -207,6 +264,7 @@ impl MulService {
         let mut request = MulRequest {
             a,
             b,
+            index: self.seq.fetch_add(1, Ordering::Relaxed),
             deadline,
             enqueued_at: Instant::now(),
             done: CompletionGuard {
@@ -216,17 +274,33 @@ impl MulService {
         };
         let n = self.senders.len();
         let first = self.next.fetch_add(1, Ordering::Relaxed);
-        // Round-robin with one failover probe before reporting pressure.
-        for attempt in 0..n.min(2) {
-            let sender = &self.senders[(first + attempt) % n];
+        // Round-robin with up to one full-queue failover probe. A
+        // disconnected queue means that worker died; skip it and keep
+        // probing — only report ShuttingDown when no live queue was seen.
+        let mut fulls = 0;
+        let mut disconnected = 0;
+        for offset in 0..n {
+            let sender = &self.senders[(first + offset) % n];
             match sender.try_send(request) {
                 Ok(()) => {
                     self.shared.metrics.observe_queue_depth(sender.len());
                     return Ok(ResponseHandle { completion });
                 }
-                Err(TrySendError::Full(r)) => request = r,
-                Err(TrySendError::Disconnected(_)) => return Err(SubmitError::ShuttingDown),
+                Err(TrySendError::Full(r)) => {
+                    request = r;
+                    fulls += 1;
+                    if fulls >= 2 {
+                        break;
+                    }
+                }
+                Err(TrySendError::Disconnected(r)) => {
+                    request = r;
+                    disconnected += 1;
+                }
             }
+        }
+        if fulls == 0 && disconnected > 0 {
+            return Err(SubmitError::ShuttingDown);
         }
         self.shared.metrics.record_queue_full();
         // Dropping `request` here resolves the handle as ServiceStopped,
@@ -310,17 +384,24 @@ fn process(request: MulRequest, shared: &Shared) {
             return;
         }
     }
-    let kernel = Kernel::select(&request.a, &request.b, &shared.config.kernel_policy);
-    let product = kernel.execute(
+    let selected = Kernel::select(&request.a, &request.b, &shared.config.kernel_policy);
+    match shared.supervisor.execute(
         &request.a,
         &request.b,
+        request.index,
+        selected,
         &shared.config.kernel_policy,
         &shared.plans,
-    );
-    shared
-        .metrics
-        .record_served(kernel, request.enqueued_at.elapsed());
-    request.done.fulfill(Ok(product));
+        &shared.metrics,
+    ) {
+        Ok((product, kernel)) => {
+            shared
+                .metrics
+                .record_served(kernel, request.enqueued_at.elapsed());
+            request.done.fulfill(Ok(product));
+        }
+        Err(error) => request.done.fulfill(Err(error)),
+    }
 }
 
 #[cfg(test)]
@@ -473,6 +554,76 @@ mod tests {
         for (handle, want) in handles {
             assert_eq!(handle.wait().unwrap(), want);
         }
+    }
+
+    #[test]
+    fn wait_timeout_returns_the_handle_then_the_result() {
+        let config = ServiceConfig {
+            workers: 1,
+            kernel_policy: blocker_policy(),
+            ..ServiceConfig::default()
+        };
+        let service = MulService::start(config);
+        let mut rng = rng(15);
+        let big = BigInt::random_bits(&mut rng, 400_000);
+        let handle = service.submit(big.clone(), big.clone()).unwrap();
+        // The worker is still grinding: the timeout hands the handle back.
+        let handle = match handle.wait_timeout(Duration::from_millis(1)) {
+            Err(handle) => handle,
+            Ok(r) => panic!("400kbit product finished in 1 ms: {r:?}"),
+        };
+        // The same handle still resolves to the real product.
+        match handle.wait_timeout(Duration::from_secs(600)) {
+            Ok(result) => assert_eq!(result.unwrap(), big.mul_schoolbook(&big)),
+            Err(_) => panic!("400kbit product did not finish in 600 s"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn dead_worker_does_not_break_submission_or_shutdown() {
+        crate::chaos::install_quiet_panic_hook();
+        // Two workers; requests 0 and 1 panic with escalation enabled, so
+        // whichever workers execute them die mid-request.
+        let config = ServiceConfig {
+            workers: 2,
+            kernel_policy: blocker_policy(),
+            chaos: Some(crate::chaos::ChaosConfig {
+                escalate_panics: true,
+                force: vec![
+                    (0, crate::chaos::FaultKind::Panic),
+                    (1, crate::chaos::FaultKind::Panic),
+                ],
+                ..crate::chaos::ChaosConfig::default()
+            }),
+            ..ServiceConfig::default()
+        };
+        let service = MulService::start(config);
+        let mut rng = rng(16);
+        let x = BigInt::random_bits(&mut rng, 500);
+        let doomed_a = service.submit(x.clone(), x.clone()).unwrap();
+        let doomed_b = service.submit(x.clone(), x.clone()).unwrap();
+        // The killed requests resolve (ServiceStopped via the completion
+        // guard) instead of hanging.
+        assert_eq!(doomed_a.wait(), Err(MulError::ServiceStopped));
+        assert_eq!(doomed_b.wait(), Err(MulError::ServiceStopped));
+        // Give the dying threads a beat to drop their receivers, then
+        // confirm submission fails over past dead queues: with every
+        // worker dead, submits report ShuttingDown rather than panicking
+        // or hanging, and shutdown still joins cleanly.
+        std::thread::sleep(Duration::from_millis(100));
+        let expect = x.mul_schoolbook(&x);
+        for _ in 0..4 {
+            match service.submit(x.clone(), x.clone()) {
+                Ok(handle) => match handle.wait() {
+                    Ok(product) => assert_eq!(product, expect),
+                    Err(MulError::ServiceStopped) => {}
+                    Err(other) => panic!("unexpected error {other:?}"),
+                },
+                Err(SubmitError::ShuttingDown | SubmitError::QueueFull { .. }) => {}
+            }
+        }
+        service.shutdown(); // must not hang on the dead workers
     }
 
     #[test]

@@ -1,0 +1,646 @@
+//! Worker supervision: catch panics, verify products, retry with
+//! exponential backoff + jitter, and degrade kernels through per-kernel
+//! circuit breakers.
+//!
+//! Failure handling mirrors the paper's two fault classes: a panicking or
+//! straggling kernel is a *hard/delay* fault (caught by `catch_unwind` or
+//! absorbed by retry), a corrupted product is a *soft* fault (caught by
+//! the `ft-core` residue spot-check). Either way the request is retried —
+//! first on the same kernel with backoff, then down the degradation
+//! ladder parallel Toom → sequential Toom → schoolbook. A kernel that
+//! keeps failing trips its circuit breaker, so later requests skip it
+//! up front instead of paying the failure again.
+
+use crate::chaos::{ChaosConfig, FaultKind, INJECTED_PANIC_MSG};
+use crate::config::ConfigError;
+use crate::error::MulError;
+use crate::json::{obj, Json};
+use crate::kernel::Kernel;
+use crate::metrics::Metrics;
+use crate::plan_cache::PlanCache;
+use ft_bigint::BigInt;
+use ft_toom_core::residue;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Per-request retry policy: attempts and exponential backoff bounds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Same-kernel retries after the first attempt fails (the degradation
+    /// ladder can add up to two more attempts after these are exhausted).
+    pub max_retries: u32,
+    /// Backoff before retry `i` is `base · 2^i` ms, capped below.
+    pub backoff_base_ms: u64,
+    /// Upper bound on any single backoff, ms.
+    pub backoff_max_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base_ms: 1,
+            backoff_max_ms: 64,
+        }
+    }
+}
+
+/// Per-kernel circuit-breaker policy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerPolicy {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker diverts traffic before allowing a
+    /// half-open probe, ms.
+    pub open_ms: u64,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> BreakerPolicy {
+        BreakerPolicy {
+            failure_threshold: 5,
+            open_ms: 250,
+        }
+    }
+}
+
+fn policy_u64(json: &Json, prefix: &str, key: &str, default: u64) -> Result<u64, ConfigError> {
+    match json.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_u64().ok_or_else(|| {
+            ConfigError::Invalid(format!("{prefix}.{key} must be a non-negative integer"))
+        }),
+    }
+}
+
+fn policy_u32(json: &Json, prefix: &str, key: &str, default: u32) -> Result<u32, ConfigError> {
+    policy_u64(json, prefix, key, u64::from(default)).and_then(|v| {
+        u32::try_from(v).map_err(|_| ConfigError::Invalid(format!("{prefix}.{key} out of range")))
+    })
+}
+
+impl RetryPolicy {
+    /// Read a retry policy from a parsed JSON object; absent fields keep
+    /// their defaults.
+    pub fn from_json(json: &Json) -> Result<RetryPolicy, ConfigError> {
+        let d = RetryPolicy::default();
+        Ok(RetryPolicy {
+            max_retries: policy_u32(json, "retry", "max_retries", d.max_retries)?,
+            backoff_base_ms: policy_u64(json, "retry", "backoff_base_ms", d.backoff_base_ms)?,
+            backoff_max_ms: policy_u64(json, "retry", "backoff_max_ms", d.backoff_max_ms)?,
+        })
+    }
+
+    pub(crate) fn to_json_value(&self) -> Json {
+        obj([
+            ("max_retries", Json::Num(i128::from(self.max_retries))),
+            (
+                "backoff_base_ms",
+                Json::Num(i128::from(self.backoff_base_ms)),
+            ),
+            ("backoff_max_ms", Json::Num(i128::from(self.backoff_max_ms))),
+        ])
+    }
+
+    /// Backoff before retry `attempt` of `request`: exponential in the
+    /// attempt with deterministic half-to-full jitter drawn from the
+    /// request index (decorrelates retry storms, keeps tests exact).
+    #[must_use]
+    pub fn backoff(&self, request: u64, attempt: u32) -> Duration {
+        let exp = self
+            .backoff_base_ms
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.backoff_max_ms);
+        if exp <= 1 {
+            return Duration::from_millis(exp);
+        }
+        let mut rng = StdRng::seed_from_u64(
+            0xb0ff ^ request.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ u64::from(attempt),
+        );
+        Duration::from_millis(exp / 2 + rng.random_range(0..exp / 2 + 1))
+    }
+}
+
+impl BreakerPolicy {
+    /// Read a breaker policy from a parsed JSON object; absent fields
+    /// keep their defaults.
+    pub fn from_json(json: &Json) -> Result<BreakerPolicy, ConfigError> {
+        let d = BreakerPolicy::default();
+        let policy = BreakerPolicy {
+            failure_threshold: policy_u32(
+                json,
+                "breaker",
+                "failure_threshold",
+                d.failure_threshold,
+            )?,
+            open_ms: policy_u64(json, "breaker", "open_ms", d.open_ms)?,
+        };
+        if policy.failure_threshold == 0 {
+            return Err(ConfigError::Invalid(
+                "breaker.failure_threshold must be >= 1".to_string(),
+            ));
+        }
+        Ok(policy)
+    }
+
+    pub(crate) fn to_json_value(&self) -> Json {
+        obj([
+            (
+                "failure_threshold",
+                Json::Num(i128::from(self.failure_threshold)),
+            ),
+            ("open_ms", Json::Num(i128::from(self.open_ms))),
+        ])
+    }
+}
+
+/// Closed / open / half-open, tracked per kernel.
+#[derive(Default)]
+struct BreakerState {
+    consecutive_failures: u32,
+    /// `Some(t)`: open until `t`; past `t` the breaker is half-open and
+    /// admits one probe. `None`: closed.
+    open_until: Option<Instant>,
+}
+
+impl BreakerState {
+    /// Would this breaker currently divert traffic away from its kernel?
+    fn diverting(&self, now: Instant) -> bool {
+        self.open_until.is_some_and(|t| now < t)
+    }
+
+    /// Record a failure; `true` when the breaker (re)opens.
+    fn on_failure(&mut self, now: Instant, policy: &BreakerPolicy) -> bool {
+        self.consecutive_failures += 1;
+        let failed_probe = self.open_until.is_some();
+        if failed_probe || self.consecutive_failures >= policy.failure_threshold {
+            self.open_until = Some(now + Duration::from_millis(policy.open_ms));
+            self.consecutive_failures = 0;
+            return true;
+        }
+        false
+    }
+
+    /// Record a success; `true` when an open breaker closes.
+    fn on_success(&mut self) -> bool {
+        self.consecutive_failures = 0;
+        self.open_until.take().is_some()
+    }
+}
+
+/// The per-service supervisor: owns the breakers and drives the retry /
+/// verify / degrade loop around kernel execution.
+pub(crate) struct Supervisor {
+    retry: RetryPolicy,
+    breaker: BreakerPolicy,
+    verify_residues: bool,
+    chaos: Option<ChaosConfig>,
+    breakers: [Mutex<BreakerState>; 3],
+}
+
+enum AttemptFailure {
+    Panicked,
+    BadProduct,
+}
+
+impl Supervisor {
+    pub(crate) fn new(
+        retry: RetryPolicy,
+        breaker: BreakerPolicy,
+        verify_residues: bool,
+        chaos: Option<ChaosConfig>,
+    ) -> Supervisor {
+        Supervisor {
+            retry,
+            breaker,
+            verify_residues,
+            chaos: chaos.filter(ChaosConfig::is_active),
+            breakers: [
+                Mutex::new(BreakerState::default()),
+                Mutex::new(BreakerState::default()),
+                Mutex::new(BreakerState::default()),
+            ],
+        }
+    }
+
+    fn breaker_state(&self, kernel: Kernel) -> std::sync::MutexGuard<'_, BreakerState> {
+        self.breakers[kernel as usize]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Walk `selected` down the degradation ladder past any breaker that
+    /// is currently diverting traffic.
+    fn effective_kernel(&self, selected: Kernel, now: Instant) -> Kernel {
+        let mut kernel = selected;
+        while self.breaker_state(kernel).diverting(now) {
+            match kernel.degrade() {
+                Some(lower) => kernel = lower,
+                None => break, // no rung below schoolbook; probe it anyway
+            }
+        }
+        kernel
+    }
+
+    fn record_failure(&self, kernel: Kernel, metrics: &Metrics) {
+        if self
+            .breaker_state(kernel)
+            .on_failure(Instant::now(), &self.breaker)
+        {
+            metrics.record_breaker_open();
+        }
+    }
+
+    /// Supervised multiplication: returns the verified product and the
+    /// kernel that produced it, or [`MulError::WorkerFault`] once the
+    /// retry budget *and* the degradation ladder are both exhausted.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn execute(
+        &self,
+        a: &BigInt,
+        b: &BigInt,
+        request: u64,
+        selected: Kernel,
+        policy: &crate::config::KernelPolicy,
+        plans: &PlanCache,
+        metrics: &Metrics,
+    ) -> Result<(BigInt, Kernel), MulError> {
+        let max_attempts = self.retry.max_retries + 1;
+        let mut forced: Option<Kernel> = None;
+        let mut attempt: u32 = 0;
+        loop {
+            let kernel = forced.unwrap_or_else(|| self.effective_kernel(selected, Instant::now()));
+            if kernel != selected {
+                metrics.record_fallback();
+            }
+            match self.attempt(a, b, request, attempt, kernel, policy, plans, metrics) {
+                Ok(product) => {
+                    if self.breaker_state(kernel).on_success() {
+                        metrics.record_breaker_close();
+                    }
+                    return Ok((product, kernel));
+                }
+                // Hard (panic) and soft (bad product) faults take the
+                // same retry path; they are metered separately.
+                Err(AttemptFailure::Panicked | AttemptFailure::BadProduct) => {}
+            }
+            self.record_failure(kernel, metrics);
+            attempt += 1;
+            if attempt >= max_attempts {
+                // Retry budget spent: force one step down the ladder per
+                // further failure; below schoolbook there is nothing left.
+                match kernel.degrade() {
+                    Some(lower) => forced = Some(lower),
+                    None => {
+                        metrics.record_worker_fault();
+                        return Err(MulError::WorkerFault { attempts: attempt });
+                    }
+                }
+            }
+            metrics.record_retry();
+            let pause = self.retry.backoff(request, attempt.saturating_sub(1));
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+        }
+    }
+
+    /// One supervised attempt: inject chaos, run the kernel under
+    /// `catch_unwind`, spot-check the product.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt(
+        &self,
+        a: &BigInt,
+        b: &BigInt,
+        request: u64,
+        attempt: u32,
+        kernel: Kernel,
+        policy: &crate::config::KernelPolicy,
+        plans: &PlanCache,
+        metrics: &Metrics,
+    ) -> Result<BigInt, AttemptFailure> {
+        let fault = self
+            .chaos
+            .as_ref()
+            .and_then(|chaos| chaos.decide(request, attempt));
+        if let Some(kind) = fault {
+            metrics.record_injected(kind);
+        }
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            let chaos = self.chaos.as_ref();
+            match fault {
+                Some(FaultKind::Panic) => {
+                    panic!("{INJECTED_PANIC_MSG} (request {request}, attempt {attempt})")
+                }
+                Some(FaultKind::Straggle) => {
+                    std::thread::sleep(
+                        chaos.map_or(Duration::ZERO, ChaosConfig::straggle_duration),
+                    );
+                }
+                _ => {}
+            }
+            let product = kernel.execute(a, b, policy, plans);
+            match (fault, chaos) {
+                (Some(FaultKind::Corrupt), Some(chaos)) => {
+                    chaos.corrupt(&product, request, attempt)
+                }
+                _ => product,
+            }
+        }));
+        match outcome {
+            Ok(product) => {
+                if self.verify_residues {
+                    metrics.record_residue_check();
+                    if !residue::verify_product(a, b, &product) {
+                        metrics.record_verification_failure();
+                        return Err(AttemptFailure::BadProduct);
+                    }
+                }
+                Ok(product)
+            }
+            Err(payload) => {
+                let escalate = self.chaos.as_ref().is_some_and(|c| c.escalate_panics)
+                    && payload_is_injected(payload.as_ref());
+                if escalate {
+                    // Re-raise outside the supervisor: the worker thread
+                    // dies, exercising the dead-worker recovery paths.
+                    panic::resume_unwind(payload);
+                }
+                Err(AttemptFailure::Panicked)
+            }
+        }
+    }
+}
+
+fn payload_is_injected(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload
+        .downcast_ref::<String>()
+        .is_some_and(|s| s.contains(INJECTED_PANIC_MSG))
+        || payload
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains(INJECTED_PANIC_MSG))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::install_quiet_panic_hook;
+    use crate::config::KernelPolicy;
+
+    fn supervisor_with(chaos: Option<ChaosConfig>, verify: bool) -> Supervisor {
+        Supervisor::new(
+            RetryPolicy::default(),
+            BreakerPolicy::default(),
+            verify,
+            chaos,
+        )
+    }
+
+    fn small_operands() -> (BigInt, BigInt) {
+        let a: BigInt = "123456789123456789123456789".parse().unwrap();
+        let b: BigInt = "-98765432198765432198".parse().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn clean_path_returns_verified_product() {
+        let sup = supervisor_with(None, true);
+        let (a, b) = small_operands();
+        let metrics = Metrics::default();
+        let (product, kernel) = sup
+            .execute(
+                &a,
+                &b,
+                0,
+                Kernel::Schoolbook,
+                &KernelPolicy::default(),
+                &PlanCache::new(2),
+                &metrics,
+            )
+            .unwrap();
+        assert_eq!(product, a.mul_schoolbook(&b));
+        assert_eq!(kernel, Kernel::Schoolbook);
+        let snap = metrics.snapshot(0, (0, 0));
+        assert_eq!(snap.retries, 0);
+        assert_eq!(snap.residue_checks, 1);
+        assert_eq!(snap.verification_failures, 0);
+    }
+
+    #[test]
+    fn injected_corruption_is_caught_and_retried() {
+        install_quiet_panic_hook();
+        let chaos = ChaosConfig {
+            force: vec![(5, FaultKind::Corrupt)],
+            ..ChaosConfig::default()
+        };
+        let sup = supervisor_with(Some(chaos), true);
+        let (a, b) = small_operands();
+        let metrics = Metrics::default();
+        let (product, _) = sup
+            .execute(
+                &a,
+                &b,
+                5,
+                Kernel::Schoolbook,
+                &KernelPolicy::default(),
+                &PlanCache::new(2),
+                &metrics,
+            )
+            .unwrap();
+        assert_eq!(product, a.mul_schoolbook(&b));
+        let snap = metrics.snapshot(0, (0, 0));
+        assert_eq!(snap.verification_failures, 1);
+        assert_eq!(snap.retries, 1);
+        assert_eq!(snap.injected_faults[FaultKind::Corrupt as usize].1, 1);
+    }
+
+    #[test]
+    fn injected_panic_is_caught_and_retried() {
+        install_quiet_panic_hook();
+        let chaos = ChaosConfig {
+            force: vec![(9, FaultKind::Panic)],
+            ..ChaosConfig::default()
+        };
+        let sup = supervisor_with(Some(chaos), false);
+        let (a, b) = small_operands();
+        let metrics = Metrics::default();
+        let (product, _) = sup
+            .execute(
+                &a,
+                &b,
+                9,
+                Kernel::Schoolbook,
+                &KernelPolicy::default(),
+                &PlanCache::new(2),
+                &metrics,
+            )
+            .unwrap();
+        assert_eq!(product, a.mul_schoolbook(&b));
+        assert_eq!(metrics.snapshot(0, (0, 0)).retries, 1);
+    }
+
+    #[test]
+    fn repeated_failures_trip_the_breaker_and_degrade() {
+        install_quiet_panic_hook();
+        // Every first attempt of every request panics; retries are clean.
+        let chaos = ChaosConfig {
+            seed: 7,
+            panic_per_10k: 10_000,
+            max_faulty_attempts: 1,
+            ..ChaosConfig::default()
+        };
+        let sup = Supervisor::new(
+            RetryPolicy {
+                max_retries: 0, // exhaust instantly → forced degradation
+                backoff_base_ms: 0,
+                backoff_max_ms: 0,
+            },
+            BreakerPolicy {
+                failure_threshold: 1,
+                open_ms: 10_000,
+            },
+            true,
+            Some(chaos),
+        );
+        let (a, b) = small_operands();
+        let metrics = Metrics::default();
+        let (product, kernel) = sup
+            .execute(
+                &a,
+                &b,
+                0,
+                Kernel::ParToom,
+                &KernelPolicy::default(),
+                &PlanCache::new(2),
+                &metrics,
+            )
+            .unwrap();
+        assert_eq!(product, a.mul_schoolbook(&b));
+        // First attempt on par toom panicked, retries were exhausted, so
+        // the ladder forced seq toom; its injected fault only fires on
+        // attempt 0 per request... but attempt numbers continue, so the
+        // second attempt is clean and succeeds on the degraded kernel.
+        assert_eq!(kernel, Kernel::SeqToom);
+        let snap = metrics.snapshot(0, (0, 0));
+        assert!(snap.fallbacks >= 1, "fallbacks {}", snap.fallbacks);
+        assert_eq!(snap.breaker_opens, 1);
+        // A later request sees the open par-toom breaker and degrades
+        // immediately without a failure.
+        let (_, kernel2) = sup
+            .execute(
+                &a,
+                &b,
+                1,
+                Kernel::ParToom,
+                &KernelPolicy::default(),
+                &PlanCache::new(2),
+                &metrics,
+            )
+            .unwrap();
+        assert_ne!(kernel2, Kernel::ParToom);
+    }
+
+    #[test]
+    fn unrecoverable_faults_surface_as_worker_fault() {
+        install_quiet_panic_hook();
+        // Panic on every attempt of every kernel, forever.
+        let chaos = ChaosConfig {
+            panic_per_10k: 10_000,
+            max_faulty_attempts: u32::MAX,
+            ..ChaosConfig::default()
+        };
+        let sup = Supervisor::new(
+            RetryPolicy {
+                max_retries: 1,
+                backoff_base_ms: 0,
+                backoff_max_ms: 0,
+            },
+            BreakerPolicy::default(),
+            true,
+            Some(chaos),
+        );
+        let (a, b) = small_operands();
+        let metrics = Metrics::default();
+        let err = sup
+            .execute(
+                &a,
+                &b,
+                3,
+                Kernel::ParToom,
+                &KernelPolicy::default(),
+                &PlanCache::new(2),
+                &metrics,
+            )
+            .unwrap_err();
+        // 2 budgeted attempts + forced seq toom + forced schoolbook.
+        assert_eq!(err, MulError::WorkerFault { attempts: 4 });
+        assert_eq!(metrics.snapshot(0, (0, 0)).worker_faults, 1);
+    }
+
+    #[test]
+    fn breaker_state_machine_half_opens_and_closes() {
+        let policy = BreakerPolicy {
+            failure_threshold: 2,
+            open_ms: 10,
+        };
+        let mut state = BreakerState::default();
+        let t0 = Instant::now();
+        assert!(!state.on_failure(t0, &policy));
+        assert!(state.on_failure(t0, &policy), "second failure opens");
+        assert!(state.diverting(t0 + Duration::from_millis(5)));
+        // Past open_ms the breaker is half-open: not diverting, but a
+        // failed probe reopens immediately.
+        let probe_time = t0 + Duration::from_millis(15);
+        assert!(!state.diverting(probe_time));
+        assert!(
+            state.on_failure(probe_time, &policy),
+            "failed probe reopens"
+        );
+        assert!(state.diverting(probe_time + Duration::from_millis(5)));
+        assert!(state.on_success(), "successful probe closes");
+        assert!(!state.diverting(probe_time + Duration::from_millis(5)));
+        assert!(!state.on_success(), "closing is edge-triggered");
+    }
+
+    #[test]
+    fn backoff_grows_and_stays_bounded() {
+        let retry = RetryPolicy {
+            max_retries: 5,
+            backoff_base_ms: 2,
+            backoff_max_ms: 10,
+        };
+        let mut last = Duration::ZERO;
+        for attempt in 0..6 {
+            let pause = retry.backoff(1, attempt);
+            assert!(pause >= last / 2, "jitter floor is half the bound");
+            assert!(pause <= Duration::from_millis(10));
+            assert_eq!(pause, retry.backoff(1, attempt), "deterministic");
+            last = pause;
+        }
+    }
+
+    #[test]
+    fn policies_round_trip_through_json() {
+        let retry = RetryPolicy {
+            max_retries: 7,
+            backoff_base_ms: 3,
+            backoff_max_ms: 99,
+        };
+        let parsed = RetryPolicy::from_json(&Json::parse(&retry.to_json_value().dump()).unwrap());
+        assert_eq!(parsed.unwrap(), retry);
+        let breaker = BreakerPolicy {
+            failure_threshold: 2,
+            open_ms: 77,
+        };
+        let parsed =
+            BreakerPolicy::from_json(&Json::parse(&breaker.to_json_value().dump()).unwrap());
+        assert_eq!(parsed.unwrap(), breaker);
+        assert!(
+            BreakerPolicy::from_json(&Json::parse(r#"{"failure_threshold": 0}"#).unwrap()).is_err()
+        );
+    }
+}
