@@ -1,0 +1,217 @@
+//! Limb-kernel perf trajectory: ns/op and allocations/op for schoolbook,
+//! Karatsuba, sequential Toom-Cook, and parallel Toom-Cook at 1k–256kbit,
+//! written to `BENCH_kernels.json` at the repo root.
+//!
+//! Run with
+//! `cargo run --release -p ft-bench --features count-allocs --bin kernel_baseline`.
+//! Without the `count-allocs` feature the timing rows are still produced
+//! but allocation counts read as zero. `--quick` runs a reduced matrix and
+//! skips the JSON write (the CI smoke mode); `--record` prints rows as
+//! Rust constants for refreshing [`BASELINE`].
+//!
+//! The `BASELINE` table embedded below was measured on this container at
+//! commit 4e12149, *before* the scratch-arena kernel layer landed, with
+//! the same operand generator and iteration policy — the JSON therefore
+//! carries its own before/after comparison.
+
+use ft_bench::counting_alloc;
+use ft_bench::operands;
+use ft_bigint::BigInt;
+use ft_toom_core::{rayon_engine, seq};
+use std::time::Instant;
+
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static ALLOC: counting_alloc::CountingAllocator = counting_alloc::CountingAllocator::new();
+
+/// Pre-change reference numbers: `(kernel, bits, ns_per_op, allocs_per_op)`.
+/// Measured at seed commit 4e12149 (allocating `Vec`-per-op kernels,
+/// clone-heavy Toom recursion) on the CI container.
+const BASELINE: &[(&str, u64, f64, f64)] = &[
+    ("schoolbook", 1_024, 285.6, 1.0),
+    ("schoolbook", 4_096, 4_513.7, 1.0),
+    ("schoolbook", 16_384, 68_427.8, 1.0),
+    ("schoolbook", 65_536, 1_147_891.9, 1.0),
+    ("schoolbook", 262_144, 18_428_039.7, 1.0),
+    ("karatsuba", 1_024, 344.4, 3.0),
+    ("karatsuba", 4_096, 6_098.8, 47.0),
+    ("karatsuba", 16_384, 78_387.5, 590.0),
+    ("karatsuba", 65_536, 790_936.7, 5_436.0),
+    ("karatsuba", 262_144, 7_147_911.6, 49_427.0),
+    ("seq_toom", 1_024, 335.5, 3.0),
+    ("seq_toom", 4_096, 9_467.2, 108.0),
+    ("seq_toom", 16_384, 78_182.2, 633.0),
+    ("seq_toom", 65_536, 693_505.1, 3_258.0),
+    ("seq_toom", 262_144, 7_795_775.3, 82_008.0),
+    ("par_toom", 1_024, 368.2, 3.0),
+    ("par_toom", 4_096, 107_155.9, 124.0),
+    ("par_toom", 16_384, 849_578.6, 729.1),
+    ("par_toom", 65_536, 1_633_266.0, 3_354.2),
+    ("par_toom", 262_144, 9_488_621.3, 82_104.0),
+];
+
+const SIZES: [u64; 5] = [1_024, 4_096, 16_384, 65_536, 262_144];
+const QUICK_SIZES: [u64; 2] = [1_024, 16_384];
+
+struct Row {
+    kernel: &'static str,
+    bits: u64,
+    ns_per_op: f64,
+    allocs_per_op: f64,
+    bytes_per_op: f64,
+}
+
+type KernelFn = Box<dyn Fn(&BigInt, &BigInt) -> BigInt>;
+
+fn kernels() -> Vec<(&'static str, KernelFn)> {
+    vec![
+        (
+            "schoolbook",
+            Box::new(|a: &BigInt, b: &BigInt| a.mul_schoolbook(b)) as _,
+        ),
+        (
+            "karatsuba",
+            Box::new(|a: &BigInt, b: &BigInt| seq::karatsuba(a, b)) as _,
+        ),
+        (
+            "seq_toom",
+            Box::new(|a: &BigInt, b: &BigInt| seq::toom_k(a, b, 3)) as _,
+        ),
+        (
+            "par_toom",
+            Box::new(|a: &BigInt, b: &BigInt| {
+                rayon_engine::par_toom_k(a, b, 3, seq::DEFAULT_THRESHOLD_BITS, 2)
+            }) as _,
+        ),
+    ]
+}
+
+fn measure(
+    kernel: &'static str,
+    f: &dyn Fn(&BigInt, &BigInt) -> BigInt,
+    bits: u64,
+    quick: bool,
+) -> Row {
+    let (a, b) = operands(bits, bits.wrapping_mul(0x9e37_79b9));
+    // Warmup + correctness anchor, and iteration-count calibration.
+    let t0 = Instant::now();
+    let warm = f(&a, &b);
+    let est = t0.elapsed().as_nanos().max(1);
+    let prod_bits = warm.bit_length();
+    assert!(
+        prod_bits == 2 * bits || prod_bits == 2 * bits - 1,
+        "{kernel} at {bits} bits produced a {prod_bits}-bit product"
+    );
+    let budget: u128 = if quick { 20_000_000 } else { 200_000_000 };
+    let iters = ((budget / est).clamp(2, 2_000)) as u64;
+    let (a0, b0) = (
+        counting_alloc::allocation_count(),
+        counting_alloc::allocated_bytes(),
+    );
+    let t = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f(std::hint::black_box(&a), std::hint::black_box(&b)));
+    }
+    let elapsed = t.elapsed().as_nanos() as f64;
+    let allocs = counting_alloc::allocation_count() - a0;
+    let bytes = counting_alloc::allocated_bytes() - b0;
+    Row {
+        kernel,
+        bits,
+        ns_per_op: elapsed / iters as f64,
+        allocs_per_op: allocs as f64 / iters as f64,
+        bytes_per_op: bytes as f64 / iters as f64,
+    }
+}
+
+fn baseline_for(kernel: &str, bits: u64) -> Option<(f64, f64)> {
+    BASELINE
+        .iter()
+        .find(|(k, b, _, _)| *k == kernel && *b == bits)
+        .map(|&(_, _, ns, allocs)| (ns, allocs))
+}
+
+fn json_escape_free(rows: &[Row]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"kernel_baseline\",\n  \"units\": {\"time\": \"ns/op\", \"allocs\": \"calls/op\", \"bytes\": \"bytes/op\"},\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let (base_ns, base_allocs) = baseline_for(r.kernel, r.bits).unwrap_or((f64::NAN, f64::NAN));
+        let speedup = base_ns / r.ns_per_op;
+        let alloc_ratio = if r.allocs_per_op > 0.0 {
+            base_allocs / r.allocs_per_op
+        } else {
+            f64::INFINITY
+        };
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"bits\": {}, \"ns_per_op\": {:.1}, \"allocs_per_op\": {:.2}, \"bytes_per_op\": {:.0}, \"baseline_ns_per_op\": {:.1}, \"baseline_allocs_per_op\": {:.2}, \"speedup\": {:.3}, \"alloc_reduction\": {}}}{}\n",
+            r.kernel,
+            r.bits,
+            r.ns_per_op,
+            r.allocs_per_op,
+            r.bytes_per_op,
+            base_ns,
+            base_allocs,
+            speedup,
+            if alloc_ratio.is_finite() { format!("{alloc_ratio:.2}") } else { "null".to_string() },
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let record = args.iter().any(|a| a == "--record");
+    let counting = cfg!(feature = "count-allocs");
+    let sizes: &[u64] = if quick { &QUICK_SIZES } else { &SIZES };
+    println!(
+        "kernel_baseline ({}, allocation counting {})",
+        if quick { "quick" } else { "full" },
+        if counting {
+            "on"
+        } else {
+            "OFF — build with --features count-allocs"
+        },
+    );
+    println!(
+        "{:<12} {:>9} {:>14} {:>12} {:>12} {:>9} {:>9}",
+        "kernel", "bits", "ns/op", "allocs/op", "bytes/op", "speedup", "allocs÷"
+    );
+    let mut rows = Vec::new();
+    for (name, f) in kernels() {
+        for &bits in sizes {
+            let row = measure(name, f.as_ref(), bits, quick);
+            let (base_ns, base_allocs) = baseline_for(name, bits).unwrap_or((f64::NAN, f64::NAN));
+            println!(
+                "{:<12} {:>9} {:>14.1} {:>12.2} {:>12.0} {:>8.2}x {:>8.1}x",
+                row.kernel,
+                row.bits,
+                row.ns_per_op,
+                row.allocs_per_op,
+                row.bytes_per_op,
+                base_ns / row.ns_per_op,
+                if row.allocs_per_op > 0.0 {
+                    base_allocs / row.allocs_per_op
+                } else {
+                    f64::NAN
+                },
+            );
+            rows.push(row);
+        }
+    }
+    if record {
+        println!("\n// --- paste into BASELINE ---");
+        for r in &rows {
+            println!(
+                "    (\"{}\", {}, {:.1}, {:.1}),",
+                r.kernel, r.bits, r.ns_per_op, r.allocs_per_op
+            );
+        }
+    }
+    if !quick {
+        let json = json_escape_free(&rows);
+        std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+        println!("\nwrote BENCH_kernels.json");
+    }
+}

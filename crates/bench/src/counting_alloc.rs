@@ -1,0 +1,73 @@
+//! A counting global allocator for allocation-traffic benchmarks.
+//!
+//! Wraps the system allocator and counts every `alloc`/`realloc` call with
+//! relaxed atomics (~1 ns overhead — far below the limb work being
+//! measured). Bins and tests opt in with
+//! `#[global_allocator] static A: CountingAllocator = CountingAllocator::new();`
+//! (the `kernel_baseline` bin gates this behind the `count-allocs`
+//! feature so the default build stays on the plain system allocator).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// System-allocator wrapper that tallies allocation calls and bytes.
+pub struct CountingAllocator;
+
+impl CountingAllocator {
+    /// A new counting allocator (all state is global).
+    #[must_use]
+    pub const fn new() -> CountingAllocator {
+        CountingAllocator
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> Self {
+        CountingAllocator::new()
+    }
+}
+
+// SAFETY: defers entirely to `System`; the counters are lock-free atomics.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Total allocation calls since process start (free-running; take deltas).
+#[must_use]
+pub fn allocation_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested since process start (free-running; take deltas).
+#[must_use]
+pub fn allocated_bytes() -> u64 {
+    BYTES.load(Ordering::Relaxed)
+}
+
+/// Run `f` and return `(result, allocation calls, bytes requested)`.
+///
+/// Only meaningful when a [`CountingAllocator`] is installed as the global
+/// allocator *and* `f` runs single-threaded (counters are process-wide).
+pub fn measure_allocs<T>(f: impl FnOnce() -> T) -> (T, u64, u64) {
+    let a0 = allocation_count();
+    let b0 = allocated_bytes();
+    let out = f();
+    (out, allocation_count() - a0, allocated_bytes() - b0)
+}

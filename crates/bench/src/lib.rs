@@ -15,6 +15,8 @@
 //! | `overhead_ratio` | §1.2 — Θ(P/(2k−1)) overhead reduction vs replication |
 //! | `recovery_cost` | §4.1 vs §4.2 — recomputation vs coded recovery |
 
+pub mod counting_alloc;
+
 use ft_bigint::BigInt;
 use ft_machine::{CostVector, FaultPlan};
 use ft_toom_core::baselines::{run_replicated, ReplicationConfig};

@@ -1,0 +1,40 @@
+//! Allocation-regression pin for the scratch-arena Toom recursion.
+//!
+//! A warm 64-kbit sequential Toom-3 multiply through the thread-local
+//! workspace performs ~4 heap allocations (the digit buffers that outlive
+//! the arena). This test pins that number with headroom so a refactor
+//! that silently reintroduces per-node allocation (the seed did ~3,300)
+//! fails CI instead of only showing up in BENCH_kernels.json.
+//!
+//! This file must stay a single-test binary: the counting allocator's
+//! counters are process-wide, so a sibling test running concurrently
+//! would pollute the measurement.
+
+use ft_bench::counting_alloc::{measure_allocs, CountingAllocator};
+use ft_bench::operands;
+use ft_toom_core::seq;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+/// Generous ceiling: ~16× the measured warm count, ~20× under the seed.
+const MAX_ALLOCS_PER_MUL: u64 = 64;
+
+#[test]
+fn warm_64kbit_toom3_stays_under_allocation_budget() {
+    let (a, b) = operands(65_536, 0x5eed);
+    let expected = &a * &b;
+
+    // Warm up: grow the thread-local arena and its pools to steady state.
+    for _ in 0..3 {
+        assert_eq!(seq::toom_k(&a, &b, 3), expected);
+    }
+
+    let (product, allocs, _bytes) = measure_allocs(|| seq::toom_k(&a, &b, 3));
+    assert_eq!(product, expected);
+    assert!(
+        allocs <= MAX_ALLOCS_PER_MUL,
+        "warm 64-kbit Toom-3 multiply made {allocs} allocations \
+         (budget {MAX_ALLOCS_PER_MUL}); the scratch arena has regressed"
+    );
+}

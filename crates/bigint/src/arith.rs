@@ -63,6 +63,25 @@ impl BigInt {
         }
     }
 
+    /// In-place [`BigInt::mul_small`]: scales `self`'s own limb buffer,
+    /// allocating at most one limb of growth.
+    pub fn mul_small_assign(&mut self, m: i64) {
+        let msign = match m.cmp(&0) {
+            Ordering::Less => Sign::Negative,
+            Ordering::Equal => {
+                self.sign = Sign::Zero;
+                self.mag.clear();
+                return;
+            }
+            Ordering::Greater => Sign::Positive,
+        };
+        if self.sign == Sign::Zero {
+            return;
+        }
+        ops::mul_limb_assign(&mut self.mag, m.unsigned_abs());
+        self.sign = self.sign.mul(msign);
+    }
+
     /// `self * 2^bits`.
     #[must_use]
     pub fn shl_bits(&self, bits: u64) -> BigInt {
@@ -90,24 +109,28 @@ impl BigInt {
         }
     }
 
-    /// Raise to a small power by binary exponentiation (schoolbook products).
+    /// Raise to a small power by binary exponentiation. Products go through
+    /// the process-wide fast-multiply hook ([`crate::kernels::fast_mul`] —
+    /// Toom-Cook once `ft-toom-core` installs itself, workspace Karatsuba
+    /// otherwise) and repeated squarings use the halved squaring kernel.
     #[must_use]
     pub fn pow(&self, mut e: u32) -> BigInt {
         let mut base = self.clone();
         let mut acc = BigInt::one();
         while e > 0 {
             if e & 1 == 1 {
-                acc = acc.mul_schoolbook(&base);
+                acc = crate::kernels::fast_mul(&acc, &base);
             }
             e >>= 1;
             if e > 0 {
-                base = base.mul_schoolbook(&base);
+                base = crate::workspace::with_thread_local(|ws| base.square_with_ws(ws));
             }
         }
         acc
     }
 
-    /// Sum of a slice of integers (tree-free, left fold).
+    /// Sum of a slice of integers: a left fold whose `+=` accumulates into
+    /// one growing buffer (no per-element reallocation).
     #[must_use]
     pub fn sum<'a>(items: impl IntoIterator<Item = &'a BigInt>) -> BigInt {
         let mut acc = BigInt::zero();
@@ -186,19 +209,36 @@ forward_owned_binop!(Mul, mul);
 
 impl AddAssign<&BigInt> for BigInt {
     fn add_assign(&mut self, rhs: &BigInt) {
-        *self = (&*self).add(rhs);
+        if rhs.sign != Sign::Zero {
+            self.add_mag_assign(&rhs.mag, rhs.sign);
+        }
     }
 }
 
 impl SubAssign<&BigInt> for BigInt {
     fn sub_assign(&mut self, rhs: &BigInt) {
-        *self = (&*self).sub(rhs);
+        if rhs.sign != Sign::Zero {
+            self.add_mag_assign(&rhs.mag, rhs.sign.neg());
+        }
     }
 }
 
 impl MulAssign<&BigInt> for BigInt {
     fn mul_assign(&mut self, rhs: &BigInt) {
-        *self = (&*self).mul(rhs);
+        let sign = self.sign.mul(rhs.sign);
+        if sign == Sign::Zero {
+            self.sign = Sign::Zero;
+            self.mag.clear();
+            return;
+        }
+        // The product needs a fresh buffer regardless (it outgrows `self`),
+        // but the displaced magnitude is recycled for later products.
+        crate::workspace::with_thread_local(|ws| {
+            let mut out = ws.take_limbs();
+            crate::kernels::mul_into_auto(&self.mag, &rhs.mag, &mut out, ws);
+            ws.recycle_limbs(std::mem::replace(&mut self.mag, out));
+        });
+        self.sign = sign;
     }
 }
 
@@ -282,6 +322,19 @@ mod tests {
         let xs = [b(1), b(-2), b(30)];
         assert_eq!(BigInt::sum(xs.iter()), b(29));
         assert_eq!(BigInt::sum([].iter()), BigInt::zero());
+    }
+
+    #[test]
+    fn small_assign_variants_match_allocating_forms() {
+        let mut x = b(-21);
+        x.mul_small_assign(-3);
+        assert_eq!(x, b(63));
+        x.div_exact_small_assign(-9);
+        assert_eq!(x, b(-7));
+        x.mul_small_assign(0);
+        assert!(x.is_zero());
+        x.div_exact_small_assign(5);
+        assert!(x.is_zero());
     }
 
     #[test]

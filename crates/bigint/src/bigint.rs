@@ -144,6 +144,14 @@ impl BigInt {
         &self.mag
     }
 
+    /// Consume `self`, returning the magnitude's limb buffer (the sign is
+    /// discarded). Lets callers recycle the allocation, e.g. via
+    /// [`crate::workspace::Workspace::recycle_limbs`].
+    #[must_use]
+    pub fn into_limbs(self) -> Vec<Limb> {
+        self.mag
+    }
+
     /// Number of limbs ("words") in the magnitude. This is the unit in which
     /// the simulator charges bandwidth for transferring this integer.
     #[must_use]

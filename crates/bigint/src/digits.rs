@@ -7,8 +7,9 @@
 //! arbitrary signed integers wider than `b` bits — the evaluation at `B`
 //! performs the carry propagation.
 
-use crate::bigint::BigInt;
+use crate::bigint::{BigInt, Sign};
 use crate::ops;
+use crate::workspace::Workspace;
 
 impl BigInt {
     /// Split `|self|` into exactly `count` digits of `b_bits` bits each,
@@ -38,18 +39,79 @@ impl BigInt {
             .collect()
     }
 
+    /// [`BigInt::split_base_pow2`] of `|self|` with the digit vector and
+    /// every digit magnitude drawn from the workspace pools (the sign is
+    /// ignored — Toom engines track it separately). Recycle the result with
+    /// [`Workspace::recycle_nodes`].
+    #[must_use]
+    pub fn split_base_pow2_ws(&self, b_bits: u64, count: usize, ws: &mut Workspace) -> Vec<BigInt> {
+        assert!(b_bits > 0, "digit width must be positive");
+        assert!(
+            count as u64 * b_bits >= self.bit_length(),
+            "{count} digits of {b_bits} bits cannot hold a {}-bit value",
+            self.bit_length()
+        );
+        let mut out = ws.take_nodes();
+        for i in 0..count {
+            let lo = i as u64 * b_bits;
+            let mut mag = ws.take_limbs();
+            ops::bits_range_into(&self.mag, lo, lo + b_bits, &mut mag);
+            if mag.is_empty() {
+                ws.recycle_limbs(mag);
+                out.push(BigInt::zero());
+            } else {
+                out.push(BigInt {
+                    sign: Sign::Positive,
+                    mag,
+                });
+            }
+        }
+        out
+    }
+
     /// Evaluate `Σ digits[i] · 2^(b_bits·i)` — reassembly with carry
     /// propagation. Digits may be signed and wider than `b_bits`.
     #[must_use]
     pub fn join_base_pow2(digits: &[BigInt], b_bits: u64) -> BigInt {
-        // Horner evaluation from the most-significant digit: each step is a
-        // shift (cheap) plus an addition.
-        let mut acc = BigInt::zero();
-        for d in digits.iter().rev() {
-            acc = acc.shl_bits(b_bits);
-            acc += d;
+        let mut ws = Workspace::new();
+        BigInt::join_base_pow2_ws(digits, b_bits, &mut ws)
+    }
+
+    /// [`BigInt::join_base_pow2`] with accumulators from the workspace's
+    /// pool. Positive and negative digits accumulate separately by shifted
+    /// in-place adds (no per-step shift temporary, no Horner re-adds of the
+    /// running prefix); one final subtraction settles the sign.
+    #[must_use]
+    pub fn join_base_pow2_ws(digits: &[BigInt], b_bits: u64, ws: &mut Workspace) -> BigInt {
+        let mut pos = ws.take_limbs();
+        let mut neg = ws.take_limbs();
+        for (i, d) in digits.iter().enumerate() {
+            let shift = i as u64 * b_bits;
+            match d.sign {
+                Sign::Zero => {}
+                Sign::Positive => ops::add_shifted_assign_slices(&mut pos, &d.mag, shift),
+                Sign::Negative => ops::add_shifted_assign_slices(&mut neg, &d.mag, shift),
+            }
         }
-        acc
+        let flipped = if neg.is_empty() {
+            false
+        } else {
+            ops::sub_assign_slices(&mut pos, &neg)
+        };
+        ws.recycle_limbs(neg);
+        if pos.is_empty() {
+            ws.recycle_limbs(pos);
+            BigInt::zero()
+        } else {
+            BigInt {
+                sign: if flipped {
+                    Sign::Negative
+                } else {
+                    Sign::Positive
+                },
+                mag: pos,
+            }
+        }
     }
 
     /// Choose the shared digit width for splitting `a` and `b` into `k`

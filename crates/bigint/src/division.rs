@@ -169,6 +169,28 @@ impl BigInt {
         BigInt::from_sign_limbs(self.sign.mul(dsign), q)
     }
 
+    /// In-place [`BigInt::div_exact_small`]: divides `self`'s own limb
+    /// buffer, allocating nothing.
+    ///
+    /// # Panics
+    /// Panics on a non-zero remainder or zero divisor.
+    pub fn div_exact_small_assign(&mut self, d: i64) {
+        assert!(d != 0, "division by zero");
+        if self.is_zero() {
+            return;
+        }
+        let r = ops::div_rem_limb_assign(&mut self.mag, d.unsigned_abs());
+        assert_eq!(
+            r, 0,
+            "div_exact_small_assign: remainder {r} dividing by {d}"
+        );
+        if self.mag.is_empty() {
+            self.sign = Sign::Zero;
+        } else if d < 0 {
+            self.sign = self.sign.neg();
+        }
+    }
+
     /// Euclidean (floor) remainder: the unique `r` in `[0, |rhs|)` with
     /// `self ≡ r (mod rhs)`.
     #[must_use]

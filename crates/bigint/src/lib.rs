@@ -26,11 +26,13 @@
 pub mod digits;
 pub mod fmt;
 pub mod gcd;
+pub mod kernels;
 pub mod metrics;
 pub mod modular;
 pub mod montgomery;
 pub mod ops;
 pub mod random;
+pub mod workspace;
 
 mod arith;
 mod bigint;

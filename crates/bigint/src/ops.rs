@@ -83,27 +83,348 @@ pub fn sub_slices(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
 /// Schoolbook product of two magnitudes (`Θ(|a|·|b|)` word ops); result
 /// normalized. Empty inputs yield the empty (zero) magnitude.
 pub fn mul_schoolbook(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
-    if a.is_empty() || b.is_empty() {
-        return Vec::new();
+    let mut out = Vec::new();
+    mul_into(a, b, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// In-place / into-buffer kernels.
+//
+// The functions below are the zero-allocation counterparts of the `Vec`-
+// returning primitives above: they write through caller-provided buffers so
+// recursive algorithms (Karatsuba, Toom-Cook) can reuse scratch memory
+// across levels. Slice-level helpers (`add_in_place`, `sub_in_place`,
+// `mul_basecase`, …) work on fixed-width windows and report the out-of-range
+// carry/borrow; `Vec`-level helpers (`*_assign_slices`, `*_into`) manage
+// length and leave a normalized magnitude.
+// ---------------------------------------------------------------------------
+
+/// Limbs per block of `b` in the blocked accumulating multiply: 4 KiB of
+/// multiplicand stays L1-resident while `a` and `out` stream past it.
+const MUL_BLOCK_LIMBS: usize = 512;
+
+/// `acc[..b.len()] += b` over a fixed window; returns the carry out of the
+/// window (0 or 1). Requires `b.len() <= acc.len()`; limbs of `acc` past
+/// `b.len()` are *not* touched.
+#[inline]
+pub fn add_in_place(acc: &mut [Limb], b: &[Limb]) -> Limb {
+    debug_assert!(b.len() <= acc.len());
+    let mut carry: Limb = 0;
+    for (x, &y) in acc.iter_mut().zip(b) {
+        let s = *x as DoubleLimb + y as DoubleLimb + carry as DoubleLimb;
+        *x = s as Limb;
+        carry = (s >> 64) as Limb;
     }
-    let mut out = vec![0 as Limb; a.len() + b.len()];
-    for (i, &ai) in a.iter().enumerate() {
+    tally(b.len() as u64);
+    carry
+}
+
+/// Propagate a single carry limb into `acc`; returns the carry out of the
+/// slice (0 unless the whole slice was `u64::MAX`s).
+#[inline]
+pub fn propagate_carry(acc: &mut [Limb], mut carry: Limb) -> Limb {
+    let mut i = 0;
+    while carry != 0 && i < acc.len() {
+        let (s, o) = acc[i].overflowing_add(carry);
+        acc[i] = s;
+        carry = o as Limb;
+        i += 1;
+    }
+    carry
+}
+
+/// `acc[..b.len()] -= b` over a fixed window; returns the borrow out of the
+/// window (0 or 1). Requires `b.len() <= acc.len()`; limbs of `acc` past
+/// `b.len()` are *not* touched.
+#[inline]
+pub fn sub_in_place(acc: &mut [Limb], b: &[Limb]) -> Limb {
+    debug_assert!(b.len() <= acc.len());
+    let mut borrow: Limb = 0;
+    for (x, &y) in acc.iter_mut().zip(b) {
+        let (d1, o1) = x.overflowing_sub(y);
+        let (d2, o2) = d1.overflowing_sub(borrow);
+        *x = d2;
+        borrow = (o1 | o2) as Limb;
+    }
+    tally(b.len() as u64);
+    borrow
+}
+
+/// Propagate a single borrow limb into `acc`; returns the borrow out of the
+/// slice.
+#[inline]
+pub fn propagate_borrow(acc: &mut [Limb], mut borrow: Limb) -> Limb {
+    let mut i = 0;
+    while borrow != 0 && i < acc.len() {
+        let (d, o) = acc[i].overflowing_sub(borrow);
+        acc[i] = d;
+        borrow = o as Limb;
+        i += 1;
+    }
+    borrow
+}
+
+/// Two's-complement negate in place: `v = 2^(64·len) - v`. Used to recover
+/// the magnitude after a subtraction that underflowed.
+#[inline]
+pub(crate) fn negate_in_place(v: &mut [Limb]) {
+    let mut carry: Limb = 1;
+    for x in v.iter_mut() {
+        let s = (!*x) as DoubleLimb + carry as DoubleLimb;
+        *x = s as Limb;
+        carry = (s >> 64) as Limb;
+    }
+    tally(v.len() as u64);
+}
+
+/// `acc += b` in place, growing `acc` as needed; result normalized.
+pub fn add_assign_slices(acc: &mut Vec<Limb>, b: &[Limb]) {
+    if acc.len() < b.len() {
+        acc.resize(b.len(), 0);
+    }
+    let carry = add_in_place(&mut acc[..], b);
+    let carry = propagate_carry(&mut acc[b.len()..], carry);
+    if carry != 0 {
+        acc.push(carry);
+    }
+    normalize(acc);
+}
+
+/// `acc = |acc - b|` in place with no pre-comparison pass; returns `true`
+/// when the true difference was negative (the caller must flip the sign).
+///
+/// Subtracts limb-wise and, only when the final borrow indicates underflow,
+/// recovers the magnitude with one two's-complement negate — one data pass
+/// in the common case instead of compare-then-subtract's two.
+pub fn sub_assign_slices(acc: &mut Vec<Limb>, b: &[Limb]) -> bool {
+    if acc.len() < b.len() {
+        acc.resize(b.len(), 0);
+    }
+    let borrow = sub_in_place(&mut acc[..], b);
+    let borrow = propagate_borrow(&mut acc[b.len()..], borrow);
+    let flipped = borrow != 0;
+    if flipped {
+        negate_in_place(acc);
+    }
+    normalize(acc);
+    flipped
+}
+
+/// `out += a * b`, cache-blocked: `b` is consumed in [`MUL_BLOCK_LIMBS`]
+/// chunks so each chunk stays cache-resident while all of `a` streams past.
+/// Requires `out.len() >= a.len() + b.len()`; carries that outrun a block
+/// are propagated immediately (the running value never exceeds the final
+/// product, so propagation terminates inside `out`).
+pub fn addmul_slices(a: &[Limb], b: &[Limb], out: &mut [Limb]) {
+    debug_assert!(out.len() >= a.len() + b.len());
+    for (c0, chunk) in b.chunks(MUL_BLOCK_LIMBS).enumerate() {
+        let base = c0 * MUL_BLOCK_LIMBS;
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            let mut carry: Limb = 0;
+            let lo = i + base;
+            for (x, &bj) in out[lo..lo + chunk.len()].iter_mut().zip(chunk) {
+                let t =
+                    *x as DoubleLimb + ai as DoubleLimb * bj as DoubleLimb + carry as DoubleLimb;
+                *x = t as Limb;
+                carry = (t >> 64) as Limb;
+            }
+            let spill = propagate_carry(&mut out[lo + chunk.len()..], carry);
+            debug_assert_eq!(spill, 0, "addmul carry escaped the output buffer");
+            tally(chunk.len() as u64);
+        }
+    }
+}
+
+/// Schoolbook product written straight into `out[..a.len()+b.len()]` with
+/// *overwrite* semantics: the first row writes, later rows accumulate, so
+/// `out` need not be zeroed beforehand. Requires non-empty inputs and
+/// `out.len() == a.len() + b.len()`; every limb of `out` is written.
+pub fn mul_basecase(a: &[Limb], b: &[Limb], out: &mut [Limb]) {
+    let (la, lb) = (a.len(), b.len());
+    debug_assert!(la >= 1 && lb >= 1);
+    debug_assert_eq!(out.len(), la + lb);
+    // Row 0 overwrites out[0..=lb]; the tail is zero-filled so later rows
+    // (and their plain carry stores) can accumulate into defined limbs.
+    let a0 = a[0];
+    let mut carry: Limb = 0;
+    for (x, &bj) in out[..lb].iter_mut().zip(b) {
+        let t = a0 as DoubleLimb * bj as DoubleLimb + carry as DoubleLimb;
+        *x = t as Limb;
+        carry = (t >> 64) as Limb;
+    }
+    out[lb] = carry;
+    for x in &mut out[lb + 1..] {
+        *x = 0;
+    }
+    tally(lb as u64);
+    for (i, &ai) in a.iter().enumerate().skip(1) {
         if ai == 0 {
             continue;
         }
         let mut carry: Limb = 0;
-        for (j, &bj) in b.iter().enumerate() {
-            let t = out[i + j] as DoubleLimb
-                + ai as DoubleLimb * bj as DoubleLimb
-                + carry as DoubleLimb;
-            out[i + j] = t as Limb;
+        for (x, &bj) in out[i..i + lb].iter_mut().zip(b) {
+            let t = *x as DoubleLimb + ai as DoubleLimb * bj as DoubleLimb + carry as DoubleLimb;
+            *x = t as Limb;
             carry = (t >> 64) as Limb;
         }
-        out[i + b.len()] = carry;
-        tally(b.len() as u64);
+        // Rows only touch out[i..=i+lb], so out[i+lb] still holds its fill
+        // value 0 when row i reaches it: a plain store is enough.
+        out[i + lb] = carry;
+        tally(lb as u64);
     }
-    normalize(&mut out);
-    out
+}
+
+/// Schoolbook product into a caller-provided buffer: `out` is reused
+/// (cleared, sized, filled) rather than freshly allocated; result
+/// normalized.
+pub fn mul_into(a: &[Limb], b: &[Limb], out: &mut Vec<Limb>) {
+    out.clear();
+    if a.is_empty() || b.is_empty() {
+        return;
+    }
+    out.resize(a.len() + b.len(), 0);
+    addmul_slices(a, b, out);
+    normalize(out);
+}
+
+/// `a * m` into a caller-provided buffer; result normalized.
+pub fn mul_limb_into(a: &[Limb], m: Limb, out: &mut Vec<Limb>) {
+    out.clear();
+    if m == 0 || a.is_empty() {
+        return;
+    }
+    out.reserve(a.len() + 1);
+    let mut carry: Limb = 0;
+    for &ai in a {
+        let t = ai as DoubleLimb * m as DoubleLimb + carry as DoubleLimb;
+        out.push(t as Limb);
+        carry = (t >> 64) as Limb;
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    tally(a.len() as u64);
+    normalize(out);
+}
+
+/// `a *= m` in place; result normalized.
+pub fn mul_limb_assign(a: &mut Vec<Limb>, m: Limb) {
+    if a.is_empty() {
+        return;
+    }
+    if m == 0 {
+        a.clear();
+        return;
+    }
+    let mut carry: Limb = 0;
+    for x in a.iter_mut() {
+        let t = *x as DoubleLimb * m as DoubleLimb + carry as DoubleLimb;
+        *x = t as Limb;
+        carry = (t >> 64) as Limb;
+    }
+    tally(a.len() as u64);
+    if carry != 0 {
+        a.push(carry);
+    }
+    normalize(a);
+}
+
+/// `a /= d` in place for a single non-zero limb divisor; returns the
+/// remainder. Quotient left normalized.
+pub fn div_rem_limb_assign(a: &mut Vec<Limb>, d: Limb) -> Limb {
+    assert!(d != 0, "division by zero limb");
+    let mut rem: Limb = 0;
+    for x in a.iter_mut().rev() {
+        let cur = ((rem as DoubleLimb) << 64) | *x as DoubleLimb;
+        *x = (cur / d as DoubleLimb) as Limb;
+        rem = (cur % d as DoubleLimb) as Limb;
+    }
+    tally(a.len() as u64);
+    normalize(a);
+    rem
+}
+
+/// `acc += a << shift` in place (bit shift applied on the fly, no shifted
+/// temporary); result normalized. This is the offset-add join primitive
+/// behind base-`2^b` digit recombination.
+pub fn add_shifted_assign_slices(acc: &mut Vec<Limb>, a: &[Limb], shift: u64) {
+    if a.is_empty() {
+        normalize(acc);
+        return;
+    }
+    let limb_off = (shift / 64) as usize;
+    let bit_off = (shift % 64) as u32;
+    let needed = limb_off + a.len() + 1;
+    if acc.len() < needed {
+        acc.resize(needed, 0);
+    }
+    let mut carry: Limb = 0;
+    let mut spill: Limb = 0; // bits shifted out of the previous source limb
+    let mut k = limb_off;
+    for &ai in a {
+        let shifted = if bit_off == 0 {
+            ai
+        } else {
+            (ai << bit_off) | spill
+        };
+        spill = if bit_off == 0 {
+            0
+        } else {
+            ai >> (64 - bit_off)
+        };
+        let s = acc[k] as DoubleLimb + shifted as DoubleLimb + carry as DoubleLimb;
+        acc[k] = s as Limb;
+        carry = (s >> 64) as Limb;
+        k += 1;
+    }
+    let s = acc[k] as DoubleLimb + spill as DoubleLimb + carry as DoubleLimb;
+    acc[k] = s as Limb;
+    carry = (s >> 64) as Limb;
+    k += 1;
+    let carry = propagate_carry(&mut acc[k..], carry);
+    if carry != 0 {
+        acc.push(carry);
+    }
+    tally(a.len() as u64 + 1);
+    normalize(acc);
+}
+
+/// Extract the bit range `[lo, hi)` into a caller-provided buffer — the
+/// digit-splitting primitive without the intermediate shifted `Vec` that
+/// [`bits_range`] pays for. Result normalized.
+pub fn bits_range_into(a: &[Limb], lo: u64, hi: u64, out: &mut Vec<Limb>) {
+    assert!(lo <= hi);
+    out.clear();
+    let limb_off = (lo / 64) as usize;
+    if limb_off >= a.len() || hi == lo {
+        return;
+    }
+    let bit_off = (lo % 64) as u32;
+    let width = hi - lo;
+    let keep = (width.div_ceil(64) as usize).min(a.len() - limb_off);
+    let src = &a[limb_off..];
+    out.reserve(keep);
+    for i in 0..keep {
+        let lo_part = src[i] >> bit_off;
+        let hi_part = if bit_off == 0 {
+            0
+        } else {
+            src.get(i + 1).map_or(0, |&x| x << (64 - bit_off))
+        };
+        out.push(lo_part | hi_part);
+    }
+    let rem_bits = (width % 64) as u32;
+    if rem_bits != 0 && out.len() as u64 == width.div_ceil(64) {
+        if let Some(last) = out.last_mut() {
+            *last &= (1u64 << rem_bits) - 1;
+        }
+    }
+    tally(keep as u64);
+    normalize(out);
 }
 
 /// `a * m` for a single limb multiplier; result normalized.
@@ -199,19 +520,8 @@ pub fn shr_bits(a: &[Limb], bits: u64) -> Vec<Limb> {
 /// This is the primitive behind base-`2^b` digit splitting (Toom-Cook input
 /// splitting, Alg. 1 line 4).
 pub fn bits_range(a: &[Limb], lo: u64, hi: u64) -> Vec<Limb> {
-    assert!(lo <= hi);
-    let shifted = shr_bits(a, lo);
-    let width = hi - lo;
-    // Mask to `width` bits.
-    let keep_limbs = width.div_ceil(64) as usize;
-    let mut out: Vec<Limb> = shifted.into_iter().take(keep_limbs).collect();
-    let rem_bits = (width % 64) as u32;
-    if rem_bits != 0 && out.len() == keep_limbs {
-        if let Some(last) = out.last_mut() {
-            *last &= (1u64 << rem_bits) - 1;
-        }
-    }
-    normalize(&mut out);
+    let mut out = Vec::new();
+    bits_range_into(a, lo, hi, &mut out);
     out
 }
 
@@ -312,5 +622,152 @@ mod tests {
         assert_eq!(bit_length(&[1]), 1);
         assert_eq!(bit_length(&[u64::MAX]), 64);
         assert_eq!(bit_length(&[0, 1]), 65);
+    }
+
+    #[test]
+    fn add_assign_matches_add_slices() {
+        let cases: &[(Vec<Limb>, Vec<Limb>)] = &[
+            (vec![], vec![]),
+            (vec![], vec![7]),
+            (vec![u64::MAX, u64::MAX], vec![1]),
+            (vec![1], vec![u64::MAX, u64::MAX, u64::MAX]),
+            (vec![5, 6, 7], vec![9, 10]),
+        ];
+        for (a, b) in cases {
+            let mut acc = a.clone();
+            add_assign_slices(&mut acc, b);
+            assert_eq!(acc, add_slices(a, b), "a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn sub_assign_reports_flip() {
+        let mut acc = vec![3u64];
+        assert!(sub_assign_slices(&mut acc, &[0, 1]));
+        assert_eq!(acc, sub_slices(&[0, 1], &[3]));
+
+        let mut acc = vec![0u64, 1];
+        assert!(!sub_assign_slices(&mut acc, &[3]));
+        assert_eq!(acc, sub_slices(&[0, 1], &[3]));
+
+        let mut acc = vec![9u64, 4];
+        assert!(!sub_assign_slices(&mut acc, &[9, 4]));
+        assert_eq!(acc, Vec::<u64>::new());
+    }
+
+    #[test]
+    fn mul_into_reuses_buffer() {
+        let a = vec![u64::MAX; 5];
+        let b = vec![u64::MAX; 3];
+        let mut out = vec![0xdead_beefu64; 2]; // stale contents must vanish
+        mul_into(&a, &b, &mut out);
+        assert_eq!(out, mul_schoolbook(&a, &b));
+        mul_into(&[], &b, &mut out);
+        assert_eq!(out, Vec::<u64>::new());
+    }
+
+    #[test]
+    fn mul_basecase_overwrites_dirty_buffer() {
+        let a = vec![0x0123_4567_89ab_cdefu64, 0, u64::MAX];
+        let b = vec![u64::MAX, 42];
+        let mut out = vec![u64::MAX; a.len() + b.len()];
+        mul_basecase(&a, &b, &mut out);
+        let mut expect = mul_schoolbook(&a, &b);
+        expect.resize(a.len() + b.len(), 0);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn addmul_blocked_matches_schoolbook() {
+        // Force multiple blocks with a long multiplicand.
+        let a: Vec<Limb> = (0..7).map(|i| u64::MAX - i).collect();
+        let b: Vec<Limb> = (0..(MUL_BLOCK_LIMBS as u64 + 9))
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+            .collect();
+        let mut out = vec![0u64; a.len() + b.len()];
+        addmul_slices(&a, &b, &mut out);
+        normalize(&mut out);
+        assert_eq!(out, mul_schoolbook(&a, &b));
+    }
+
+    #[test]
+    fn mul_limb_into_and_assign_match() {
+        let a = vec![u64::MAX, 0xcafe, u64::MAX];
+        let m = 0x1234_5678_9abc_def1;
+        let mut out = Vec::new();
+        mul_limb_into(&a, m, &mut out);
+        assert_eq!(out, mul_limb(&a, m));
+        let mut v = a.clone();
+        mul_limb_assign(&mut v, m);
+        assert_eq!(v, out);
+        mul_limb_assign(&mut v, 0);
+        assert_eq!(v, Vec::<u64>::new());
+    }
+
+    #[test]
+    fn div_rem_limb_assign_matches() {
+        let a = vec![0xdead_beefu64, 0xcafe_babe, 99];
+        let (q, r) = div_rem_limb(&a, 0x1234_5679);
+        let mut v = a.clone();
+        let r2 = div_rem_limb_assign(&mut v, 0x1234_5679);
+        assert_eq!((v, r2), (q, r));
+    }
+
+    #[test]
+    fn add_shifted_matches_shl_then_add() {
+        let d = vec![0x8000_0000_0000_0001u64, 0xf0f0];
+        for shift in [0u64, 1, 13, 64, 65, 130, 200] {
+            let mut acc = vec![u64::MAX, u64::MAX, 3];
+            let expect = add_slices(&acc, &shl_bits(&d, shift));
+            add_shifted_assign_slices(&mut acc, &d, shift);
+            assert_eq!(acc, expect, "shift={shift}");
+        }
+        // Empty digit is a no-op.
+        let mut acc = vec![5u64];
+        add_shifted_assign_slices(&mut acc, &[], 77);
+        assert_eq!(acc, vec![5]);
+    }
+
+    #[test]
+    fn bits_range_into_matches_shift_and_mask() {
+        let a = vec![u64::MAX, 0b101, 0, 0xffff_0000_0000_0000];
+        for (lo, hi) in [
+            (0u64, 4u64),
+            (60, 68),
+            (64, 128),
+            (13, 200),
+            (250, 260),
+            (300, 400),
+            (7, 7),
+        ] {
+            // Independent reference: shift down, truncate, mask.
+            let shifted = shr_bits(&a, lo);
+            let width = hi - lo;
+            let mut expect: Vec<Limb> = shifted
+                .into_iter()
+                .take(width.div_ceil(64) as usize)
+                .collect();
+            let rem = (width % 64) as u32;
+            if rem != 0 && expect.len() as u64 == width.div_ceil(64) {
+                if let Some(last) = expect.last_mut() {
+                    *last &= (1u64 << rem) - 1;
+                }
+            }
+            normalize(&mut expect);
+            let mut out = vec![1u64; 3];
+            bits_range_into(&a, lo, hi, &mut out);
+            assert_eq!(out, expect, "[{lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn propagate_carry_and_borrow_ripple() {
+        let mut v = vec![u64::MAX, u64::MAX, 7];
+        assert_eq!(propagate_carry(&mut v, 1), 0);
+        assert_eq!(v, vec![0, 0, 8]);
+        assert_eq!(propagate_borrow(&mut v, 1), 0);
+        assert_eq!(v, vec![u64::MAX, u64::MAX, 7]);
+        let mut w = vec![u64::MAX];
+        assert_eq!(propagate_carry(&mut w, 1), 1);
     }
 }

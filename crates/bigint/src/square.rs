@@ -73,16 +73,20 @@ pub fn sqr_schoolbook(a: &[Limb]) -> Vec<Limb> {
 }
 
 impl BigInt {
-    /// `self²` by schoolbook squaring (≈ half the limb products of
-    /// [`BigInt::mul_schoolbook`] with itself). Always non-negative.
+    /// `self²` — halved schoolbook squaring below the Karatsuba crossover,
+    /// workspace-backed Karatsuba squaring above it. Always non-negative.
     #[must_use]
     pub fn square(&self) -> BigInt {
         if self.is_zero() {
             return BigInt::zero();
         }
-        BigInt {
-            sign: Sign::Positive,
-            mag: sqr_schoolbook(&self.mag),
+        if self.mag.len() <= crate::kernels::SQUARE_THRESHOLD_LIMBS {
+            BigInt {
+                sign: Sign::Positive,
+                mag: sqr_schoolbook(&self.mag),
+            }
+        } else {
+            crate::workspace::with_thread_local(|ws| self.square_with_ws(ws))
         }
     }
 }

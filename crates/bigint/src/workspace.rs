@@ -1,0 +1,232 @@
+//! Scratch-memory arena for recursive multiplication kernels.
+//!
+//! A [`Workspace`] owns three kinds of reusable memory:
+//!
+//! 1. a single grow-only limb **arena** handed out in stack discipline
+//!    ([`Workspace::mark`] / [`Workspace::alloc`] / [`Workspace::release`])
+//!    — this backs the slice-level Karatsuba scratch, which nests exactly
+//!    like the recursion tree;
+//! 2. a **limb-buffer pool** of owned `Vec<Limb>`s ([`Workspace::take_limbs`]
+//!    / [`Workspace::recycle_limbs`]) for temporaries that must be owned
+//!    (a [`BigInt`] magnitude cannot borrow from the arena);
+//! 3. a **node pool** of `Vec<BigInt>` containers for the per-level digit /
+//!    evaluation / product vectors of the Toom recursion.
+//!
+//! The arena never shrinks: after the first multiply at a given size, every
+//! later multiply at that size (or smaller) runs allocation-free. One
+//! workspace must never be shared across threads — parallel engines create
+//! one per task ([`Workspace`] is deliberately `!Sync` via its interior
+//! `Vec`s being plainly owned; it is `Send`, so moving one *into* a task is
+//! fine).
+//!
+//! Public multiplication entry points that want reuse across calls on the
+//! same thread go through [`with_thread_local`], which falls back to a fresh
+//! workspace when re-entered (e.g. a callback multiplying during a multiply).
+
+use crate::{BigInt, Limb, Sign};
+use std::cell::RefCell;
+
+/// A checkpoint into the arena returned by [`Workspace::mark`]; pass it to
+/// [`Workspace::release`] to free everything allocated since.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a Mark that is never released leaks arena space"]
+pub struct Mark(usize);
+
+/// Reusable scratch memory for multiplication kernels. See the module docs.
+#[derive(Default)]
+pub struct Workspace {
+    scratch: Vec<Limb>,
+    top: usize,
+    high_water: usize,
+    limb_pool: Vec<Vec<Limb>>,
+    node_pool: Vec<Vec<BigInt>>,
+}
+
+impl Workspace {
+    /// An empty workspace; the arena and pools grow on demand.
+    #[must_use]
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+
+    /// A workspace whose arena starts at `limbs` capacity.
+    #[must_use]
+    pub fn with_capacity(limbs: usize) -> Workspace {
+        Workspace {
+            scratch: vec![0; limbs],
+            ..Workspace::default()
+        }
+    }
+
+    /// Checkpoint the arena stack.
+    pub fn mark(&self) -> Mark {
+        Mark(self.top)
+    }
+
+    /// Pop the arena stack back to `mark`, releasing every [`Workspace::alloc`]
+    /// made since. Release order must mirror mark order (stack discipline).
+    pub fn release(&mut self, mark: Mark) {
+        debug_assert!(mark.0 <= self.top, "release past an outdated mark");
+        self.top = mark.0;
+    }
+
+    /// Allocate `n` limbs from the arena. Contents are **unspecified**
+    /// (previous users' data); callers must fully overwrite before reading.
+    /// The region is valid until the enclosing mark is released.
+    pub fn alloc(&mut self, n: usize) -> &mut [Limb] {
+        let start = self.top;
+        self.top += n;
+        if self.scratch.len() < self.top {
+            self.scratch.resize(self.top, 0);
+        }
+        self.high_water = self.high_water.max(self.top);
+        &mut self.scratch[start..start + n]
+    }
+
+    /// Limbs currently allocated from the arena (0 when fully released —
+    /// the invariant the checkpoint-discipline tests pin).
+    #[must_use]
+    pub fn in_use(&self) -> usize {
+        self.top
+    }
+
+    /// Largest arena extent ever reached.
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Take an empty owned limb buffer from the pool (or a fresh one).
+    #[must_use]
+    pub fn take_limbs(&mut self) -> Vec<Limb> {
+        self.limb_pool.pop().unwrap_or_default()
+    }
+
+    /// Return a limb buffer to the pool for later [`Workspace::take_limbs`];
+    /// its contents are cleared, its capacity kept.
+    pub fn recycle_limbs(&mut self, mut v: Vec<Limb>) {
+        if v.capacity() > 0 {
+            v.clear();
+            self.limb_pool.push(v);
+        }
+    }
+
+    /// A zero [`BigInt`] whose magnitude buffer comes from the pool.
+    #[must_use]
+    pub fn take_bigint(&mut self) -> BigInt {
+        BigInt {
+            sign: Sign::Zero,
+            mag: self.take_limbs(),
+        }
+    }
+
+    /// Recycle a [`BigInt`]'s magnitude buffer into the pool.
+    pub fn recycle_bigint(&mut self, x: BigInt) {
+        self.recycle_limbs(x.mag);
+    }
+
+    /// Take an empty `Vec<BigInt>` container from the node pool.
+    #[must_use]
+    pub fn take_nodes(&mut self) -> Vec<BigInt> {
+        self.node_pool.pop().unwrap_or_default()
+    }
+
+    /// Recycle a node container: every element's magnitude buffer goes to
+    /// the limb pool, the (emptied) container to the node pool.
+    pub fn recycle_nodes(&mut self, mut v: Vec<BigInt>) {
+        for x in v.drain(..) {
+            self.recycle_limbs(x.mag);
+        }
+        if v.capacity() > 0 {
+            self.node_pool.push(v);
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_WS: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
+
+/// Run `f` with this thread's long-lived [`Workspace`].
+///
+/// Re-entrancy safe: if the thread-local workspace is already borrowed
+/// (a multiply triggered inside a multiply), `f` gets a fresh throwaway
+/// workspace instead of panicking.
+pub fn with_thread_local<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+    THREAD_WS.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => f(&mut ws),
+        Err(_) => f(&mut Workspace::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_stack_discipline() {
+        let mut ws = Workspace::new();
+        let outer = ws.mark();
+        {
+            let s = ws.alloc(16);
+            s.fill(7);
+        }
+        let inner = ws.mark();
+        ws.alloc(32).fill(9);
+        assert_eq!(ws.in_use(), 48);
+        ws.release(inner);
+        assert_eq!(ws.in_use(), 16);
+        ws.release(outer);
+        assert_eq!(ws.in_use(), 0);
+        assert_eq!(ws.high_water(), 48);
+        // Re-allocating after release reuses the same extent.
+        let again = ws.mark();
+        ws.alloc(48);
+        assert_eq!(ws.high_water(), 48);
+        ws.release(again);
+    }
+
+    #[test]
+    fn pools_round_trip() {
+        let mut ws = Workspace::new();
+        let mut v = ws.take_limbs();
+        v.extend_from_slice(&[1, 2, 3]);
+        let cap = v.capacity();
+        ws.recycle_limbs(v);
+        let v2 = ws.take_limbs();
+        assert!(v2.is_empty());
+        assert_eq!(v2.capacity(), cap);
+
+        let x = BigInt::from(12345u64);
+        ws.recycle_bigint(x);
+        let z = ws.take_bigint();
+        assert!(z.is_zero());
+
+        let mut nodes = ws.take_nodes();
+        nodes.push(BigInt::from(9u64));
+        nodes.push(BigInt::from(11u64));
+        ws.recycle_nodes(nodes);
+        // Two magnitudes plus the earlier buffer ended up pooled; takes
+        // drain them without allocating new backing stores.
+        let a = ws.take_limbs();
+        let b = ws.take_limbs();
+        assert!(a.capacity() > 0 && b.capacity() > 0);
+    }
+
+    #[test]
+    fn thread_local_reuses_and_survives_reentry() {
+        let hw = with_thread_local(|ws| {
+            let m = ws.mark();
+            ws.alloc(64);
+            ws.release(m);
+            // Re-entrant call sees a *fresh* workspace, not a panic.
+            let nested = with_thread_local(|inner| inner.high_water());
+            assert_eq!(nested, 0);
+            ws.high_water()
+        });
+        assert!(hw >= 64);
+        // A second borrow of the same thread-local sees the same arena.
+        let hw2 = with_thread_local(|ws| ws.high_water());
+        assert_eq!(hw2, hw);
+    }
+}

@@ -10,6 +10,7 @@
 use crate::points::classic_points;
 use ft_algebra::points::eval_matrix;
 use ft_algebra::{HPoint, Matrix, ScaledIntMatrix};
+use ft_bigint::workspace::Workspace;
 use ft_bigint::BigInt;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -125,6 +126,15 @@ impl ToomPlan {
         small_matvec(&self.eval, digits)
     }
 
+    /// [`ToomPlan::evaluate`] with the output vector and the accumulator
+    /// magnitudes drawn from the workspace pools. Recycle the result with
+    /// [`Workspace::recycle_nodes`].
+    #[must_use]
+    pub fn evaluate_ws(&self, digits: &[BigInt], ws: &mut Workspace) -> Vec<BigInt> {
+        assert_eq!(digits.len(), self.k, "expected {} digits", self.k);
+        small_matvec_ws(&self.eval, digits, ws)
+    }
+
     /// Interpolate product coefficients from the `2k−1` point-products:
     /// `c = W^T·c'` (Alg. 1 line 15), all divisions exact. Uses the
     /// Toom-Graph inversion sequence when one is known, otherwise the
@@ -135,6 +145,23 @@ impl ToomPlan {
         match &self.sequence {
             Some(seq) => seq.apply(products),
             None => self.interp.apply(products),
+        }
+    }
+
+    /// [`ToomPlan::interpolate`] taking ownership of the products: the
+    /// Toom-Graph sequence runs fully in place through the workspace
+    /// ([`crate::toomgraph::InversionSequence::apply_owned`]); the dense
+    /// fallback recycles the spent product vector.
+    #[must_use]
+    pub fn interpolate_ws(&self, products: Vec<BigInt>, ws: &mut Workspace) -> Vec<BigInt> {
+        assert_eq!(products.len(), self.sub_problems());
+        match &self.sequence {
+            Some(seq) => seq.apply_owned(products, ws),
+            None => {
+                let out = self.interp.apply(&products);
+                ws.recycle_nodes(products);
+                out
+            }
         }
     }
 
@@ -178,6 +205,36 @@ pub fn small_matvec(m: &Matrix<BigInt>, v: &[BigInt]) -> Vec<BigInt> {
             acc
         })
         .collect()
+}
+
+/// [`small_matvec`] with the output vector, the accumulator magnitudes,
+/// and the per-term scratch buffer all drawn from the workspace pools —
+/// the zero-allocation evaluation step. Recycle the result with
+/// [`Workspace::recycle_nodes`].
+#[must_use]
+pub fn small_matvec_ws(m: &Matrix<BigInt>, v: &[BigInt], ws: &mut Workspace) -> Vec<BigInt> {
+    assert_eq!(m.cols(), v.len());
+    let mut out = ws.take_nodes();
+    let mut tmp = ws.take_limbs();
+    for i in 0..m.rows() {
+        let mut acc = ws.take_bigint();
+        for (j, x) in v.iter().enumerate() {
+            let c = &m[(i, j)];
+            if c.is_zero() || x.is_zero() {
+                continue;
+            }
+            if c.is_one() {
+                acc += x;
+            } else if let Ok(small) = i64::try_from(c) {
+                acc.add_mul_small_assign(x, small, &mut tmp);
+            } else {
+                acc += &(c * x);
+            }
+        }
+        out.push(acc);
+    }
+    ws.recycle_limbs(tmp);
+    out
 }
 
 /// Exact interpolation matrix for `width`-coefficient polynomials evaluated
@@ -262,6 +319,25 @@ mod tests {
                 }
             }
             assert_eq!(got, want, "k={k}");
+        }
+    }
+
+    #[test]
+    fn workspace_paths_match_allocating_paths() {
+        let mut ws = Workspace::new();
+        for k in 2..=5 {
+            let plan = ToomPlan::new(k);
+            let digits: Vec<BigInt> = (1..=k as i64).map(|v| b(3 * v - 4)).collect();
+            let ea = plan.evaluate(&digits);
+            let ea_ws = plan.evaluate_ws(&digits, &mut ws);
+            assert_eq!(ea, ea_ws, "evaluate k={k}");
+            let prods: Vec<BigInt> = ea.iter().map(|x| x * x).collect();
+            assert_eq!(
+                plan.interpolate_ws(prods.clone(), &mut ws),
+                plan.interpolate(&prods),
+                "interpolate k={k}"
+            );
+            ws.recycle_nodes(ea_ws);
         }
     }
 

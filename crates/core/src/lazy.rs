@@ -11,6 +11,7 @@
 
 use crate::bilinear::ToomPlan;
 use ft_algebra::{Matrix, ScaledIntMatrix};
+use ft_bigint::workspace;
 use ft_bigint::{BigInt, Sign};
 
 /// Direct convolution of two digit vectors (the base case):
@@ -46,6 +47,7 @@ pub fn eval_step(eval: &Matrix<BigInt>, v: &[BigInt], k: usize) -> Vec<Vec<BigIn
     assert_eq!(eval.cols(), k);
     assert_eq!(v.len() % k, 0, "vector length must be divisible by k");
     let lambda = v.len() / k;
+    let mut tmp = Vec::new();
     (0..eval.rows())
         .map(|j| {
             // Pre-classify the row's coefficients once per block row.
@@ -62,7 +64,7 @@ pub fn eval_step(eval: &Matrix<BigInt>, v: &[BigInt], k: usize) -> Vec<Vec<BigIn
                         match coeffs[i] {
                             Some(0) => {}
                             Some(1) => acc += x,
-                            Some(c) => acc += &x.mul_small(c),
+                            Some(c) => acc.add_mul_small_assign(x, c, &mut tmp),
                             None => acc += &(&eval[(j, i)] * x),
                         }
                     }
@@ -100,7 +102,9 @@ pub fn interp_step(interp: &ScaledIntMatrix, prods: &[Vec<BigInt>], k: usize) ->
     let mut column = vec![BigInt::zero(); q];
     for e in 0..sub_len {
         for (j, p) in prods.iter().enumerate() {
-            column[j] = p[e].clone();
+            // clone_from reuses each column slot's limb buffer across the
+            // sub_len iterations instead of reallocating it.
+            column[j].clone_from(&p[e]);
         }
         let coeffs = interp.apply(&column);
         for (t, c) in coeffs.into_iter().enumerate() {
@@ -167,7 +171,6 @@ pub fn toom_lazy(a: &BigInt, b: &BigInt, cfg: LazyConfig) -> BigInt {
     if sign == Sign::Zero {
         return BigInt::zero();
     }
-    let (a, b) = (a.abs(), b.abs());
     let plan = ToomPlan::shared(cfg.k);
     // l = ⌈log_k(n/w)⌉ so that k^l digits of w bits cover both inputs.
     let max_bits = a.bit_length().max(b.bit_length());
@@ -175,10 +178,20 @@ pub fn toom_lazy(a: &BigInt, b: &BigInt, cfg: LazyConfig) -> BigInt {
     while (digits as u64) * cfg.digit_bits < max_bits {
         digits *= cfg.k;
     }
-    let da = a.split_base_pow2(cfg.digit_bits, digits);
-    let db = b.split_base_pow2(cfg.digit_bits, digits);
+    let (da, db) = workspace::with_thread_local(|ws| {
+        (
+            a.split_base_pow2_ws(cfg.digit_bits, digits, ws),
+            b.split_base_pow2_ws(cfg.digit_bits, digits, ws),
+        )
+    });
     let prod = poly_mul_toom(&da, &db, &plan, cfg.base_len);
-    let mag = BigInt::join_base_pow2(&prod, cfg.digit_bits);
+    let mag = workspace::with_thread_local(|ws| {
+        ws.recycle_nodes(da);
+        ws.recycle_nodes(db);
+        let out = BigInt::join_base_pow2_ws(&prod, cfg.digit_bits, ws);
+        ws.recycle_nodes(prod);
+        out
+    });
     if sign == Sign::Negative {
         -mag
     } else {

@@ -9,6 +9,7 @@
 //! task granularity sane.
 
 use crate::bilinear::ToomPlan;
+use ft_bigint::workspace::{self, Workspace};
 use ft_bigint::{BigInt, Sign};
 use rayon::prelude::*;
 
@@ -41,7 +42,8 @@ pub fn par_toom_with_plan(
     if sign == Sign::Zero {
         return BigInt::zero();
     }
-    let mag = rec(&a.abs(), &b.abs(), plan, threshold_bits.max(8), par_depth);
+    let mag =
+        workspace::with_thread_local(|ws| rec(a, b, plan, threshold_bits.max(8), par_depth, ws));
     if sign == Sign::Negative {
         -mag
     } else {
@@ -49,42 +51,69 @@ pub fn par_toom_with_plan(
     }
 }
 
-fn rec(a: &BigInt, b: &BigInt, plan: &ToomPlan, threshold: u64, par_depth: usize) -> BigInt {
-    debug_assert!(!a.is_negative() && !b.is_negative());
+/// Magnitude recursion (`|a|·|b|`, signs handled by callers). Each rayon
+/// task gets its own [`Workspace`]: the closure running on a stolen worker
+/// re-enters the *worker's* thread-local arena, so scratch never crosses
+/// threads and the sequential tail below `par_depth` reuses one arena.
+fn rec(
+    a: &BigInt,
+    b: &BigInt,
+    plan: &ToomPlan,
+    threshold: u64,
+    par_depth: usize,
+    ws: &mut Workspace,
+) -> BigInt {
     if a.is_zero() || b.is_zero() {
         return BigInt::zero();
     }
     if a.bit_length().min(b.bit_length()) <= threshold {
-        return a.mul_schoolbook(b);
+        let mut out = ws.take_limbs();
+        ft_bigint::kernels::mul_into_auto(a.limbs(), b.limbs(), &mut out, ws);
+        return BigInt::from_limbs(out);
     }
     let k = plan.k();
     let w = BigInt::shared_digit_width(a, b, k);
-    let da = a.split_base_pow2(w, k);
-    let db = b.split_base_pow2(w, k);
-    let ea = plan.evaluate(&da);
-    let eb = plan.evaluate(&db);
-    let mul_one = |x: &BigInt, y: &BigInt, depth: usize| -> BigInt {
-        let s = x.sign().mul(y.sign());
-        if s == Sign::Zero {
-            return BigInt::zero();
-        }
-        let m = rec(&x.abs(), &y.abs(), plan, threshold, depth);
-        if s == Sign::Negative {
-            -m
-        } else {
-            m
-        }
-    };
-    let prods: Vec<BigInt> = if par_depth > 0 {
-        ea.par_iter()
+    let da = a.split_base_pow2_ws(w, k, ws);
+    let db = b.split_base_pow2_ws(w, k, ws);
+    let ea = plan.evaluate_ws(&da, ws);
+    let eb = plan.evaluate_ws(&db, ws);
+    ws.recycle_nodes(da);
+    ws.recycle_nodes(db);
+    let coeffs = if par_depth > 0 {
+        // Parallel point-products: each task multiplies magnitudes inside
+        // its worker's thread-local workspace and reattaches the sign.
+        let prods: Vec<BigInt> = ea
+            .par_iter()
             .zip(eb.par_iter())
-            .map(|(x, y)| mul_one(x, y, par_depth - 1))
-            .collect()
+            .map(|(x, y)| {
+                let m = workspace::with_thread_local(|task_ws| {
+                    rec(x, y, plan, threshold, par_depth - 1, task_ws)
+                });
+                if x.sign().mul(y.sign()) == Sign::Negative {
+                    -m
+                } else {
+                    m
+                }
+            })
+            .collect();
+        plan.interpolate_ws(prods, ws)
     } else {
-        ea.iter().zip(&eb).map(|(x, y)| mul_one(x, y, 0)).collect()
+        let mut prods = ws.take_nodes();
+        for (x, y) in ea.iter().zip(&eb) {
+            let m = rec(x, y, plan, threshold, 0, ws);
+            prods.push(if x.sign().mul(y.sign()) == Sign::Negative {
+                -m
+            } else {
+                m
+            });
+        }
+        plan.interpolate_ws(prods, ws)
     };
-    let coeffs = plan.interpolate(&prods);
-    BigInt::join_base_pow2(&coeffs, w)
+    ws.recycle_nodes(ea);
+    ws.recycle_nodes(eb);
+    let out = BigInt::join_base_pow2_ws(&coeffs, w, ws);
+    ws.recycle_nodes(coeffs);
+    out
 }
 
 #[cfg(test)]

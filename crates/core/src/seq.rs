@@ -4,12 +4,16 @@
 use crate::bilinear::ToomPlan;
 use crate::points::n_points;
 use ft_algebra::points::eval_matrix;
+use ft_bigint::workspace::{self, Workspace};
 use ft_bigint::{BigInt, Sign};
 
-/// Default base-case threshold in bits: below this, multiply schoolbook.
-/// (Alg. 1's `s` parameter; the hardware word would be 64, but recursing
-/// all the way down costs more than it saves — GMP-style tuning.)
-pub const DEFAULT_THRESHOLD_BITS: u64 = 3_072;
+/// Default base-case threshold in bits: below this, hand off to the
+/// limb-level kernels (`ft_bigint::kernels::mul_into_auto` — schoolbook,
+/// then in-place Karatsuba). (Alg. 1's `s` parameter.) The limb Karatsuba
+/// carries much further than the old schoolbook base case did, so the
+/// digit-level recursion stops early — tuned on the CI container via the
+/// `tune_thresholds` sweep (ns/op minimum across 64k–1Mbit operands).
+pub const DEFAULT_THRESHOLD_BITS: u64 = 24_576;
 
 /// Schoolbook `Θ(n²)` multiplication — the naïve baseline.
 #[must_use]
@@ -40,11 +44,26 @@ pub fn toom_k_threshold(a: &BigInt, b: &BigInt, k: usize, threshold_bits: u64) -
 /// Recursive Toom-Cook with an explicit plan (custom point sets supported).
 #[must_use]
 pub fn toom_with_plan(a: &BigInt, b: &BigInt, plan: &ToomPlan, threshold_bits: u64) -> BigInt {
+    workspace::with_thread_local(|ws| toom_with_plan_ws(a, b, plan, threshold_bits, ws))
+}
+
+/// [`toom_with_plan`] with an explicit scratch workspace — the whole
+/// recursion (splitting, evaluation, interpolation, reassembly, and the
+/// base-case kernels) draws every buffer from `ws` and recycles it, so a
+/// warmed-up workspace makes repeated multiplies allocation-free.
+#[must_use]
+pub fn toom_with_plan_ws(
+    a: &BigInt,
+    b: &BigInt,
+    plan: &ToomPlan,
+    threshold_bits: u64,
+    ws: &mut Workspace,
+) -> BigInt {
     let sign = a.sign().mul(b.sign());
     if sign == Sign::Zero {
         return BigInt::zero();
     }
-    let mag = rec(&a.abs(), &b.abs(), plan, threshold_bits.max(8));
+    let mag = rec(a, b, plan, threshold_bits.max(8), ws);
     if sign == Sign::Negative {
         -mag
     } else {
@@ -52,47 +71,47 @@ pub fn toom_with_plan(a: &BigInt, b: &BigInt, plan: &ToomPlan, threshold_bits: u
     }
 }
 
-/// Recursion on non-negative inputs.
-fn rec(a: &BigInt, b: &BigInt, plan: &ToomPlan, threshold: u64) -> BigInt {
-    debug_assert!(!a.is_negative() && !b.is_negative());
+/// Magnitude recursion: returns `|a|·|b|`. Signs of the arguments are
+/// ignored (the caller owns the sign bookkeeping), which is what lets the
+/// recursion work on borrowed evaluations without `.abs()` clones.
+fn rec(a: &BigInt, b: &BigInt, plan: &ToomPlan, threshold: u64, ws: &mut Workspace) -> BigInt {
     if a.is_zero() || b.is_zero() {
         return BigInt::zero();
     }
     if a.bit_length().min(b.bit_length()) <= threshold {
-        return a.mul_schoolbook(b);
+        let mut out = ws.take_limbs();
+        ft_bigint::kernels::mul_into_auto(a.limbs(), b.limbs(), &mut out, ws);
+        return BigInt::from_limbs(out);
     }
     let k = plan.k();
     // Alg. 1 line 4: split over the shared base B = 2^w.
     let w = BigInt::shared_digit_width(a, b, k);
-    let da = a.split_base_pow2(w, k);
-    let db = b.split_base_pow2(w, k);
+    let da = a.split_base_pow2_ws(w, k, ws);
+    let db = b.split_base_pow2_ws(w, k, ws);
     // Lines 6–7: evaluate both polynomials.
-    let ea = plan.evaluate(&da);
-    let eb = plan.evaluate(&db);
+    let ea = plan.evaluate_ws(&da, ws);
+    let eb = plan.evaluate_ws(&db, ws);
+    ws.recycle_nodes(da);
+    ws.recycle_nodes(db);
     // Lines 8–14: pointwise (recursive) products. Evaluations may be
-    // negative; recurse on magnitudes.
-    let prods: Vec<BigInt> = ea
-        .iter()
-        .zip(&eb)
-        .map(|(x, y)| {
-            let s = x.sign().mul(y.sign());
-            match s {
-                Sign::Zero => BigInt::zero(),
-                _ => {
-                    let m = rec(&x.abs(), &y.abs(), plan, threshold);
-                    if s == Sign::Negative {
-                        -m
-                    } else {
-                        m
-                    }
-                }
-            }
-        })
-        .collect();
-    // Line 15: interpolate.
-    let coeffs = plan.interpolate(&prods);
+    // negative; the recursion multiplies magnitudes, signs reattach here.
+    let mut prods = ws.take_nodes();
+    for (x, y) in ea.iter().zip(&eb) {
+        let m = rec(x, y, plan, threshold, ws);
+        prods.push(if x.sign().mul(y.sign()) == Sign::Negative {
+            -m
+        } else {
+            m
+        });
+    }
+    ws.recycle_nodes(ea);
+    ws.recycle_nodes(eb);
+    // Line 15: interpolate (in place when a Toom-Graph sequence exists).
+    let coeffs = plan.interpolate_ws(prods, ws);
     // Line 16: evaluate at (B, 1) — carry propagation.
-    BigInt::join_base_pow2(&coeffs, w)
+    let out = BigInt::join_base_pow2_ws(&coeffs, w, ws);
+    ws.recycle_nodes(coeffs);
+    out
 }
 
 /// Recursive Toom-Cook-`k` **squaring** (cf. Zuras, ref. 86 of the paper): evaluation
@@ -108,41 +127,56 @@ pub fn toom_square(a: &BigInt, k: usize) -> BigInt {
 #[must_use]
 pub fn toom_square_threshold(a: &BigInt, k: usize, threshold_bits: u64) -> BigInt {
     let plan = ToomPlan::shared(k);
-    sqr_rec(&a.abs(), &plan, threshold_bits.max(8))
+    workspace::with_thread_local(|ws| sqr_rec(a, &plan, threshold_bits.max(8), ws))
 }
 
-fn sqr_rec(a: &BigInt, plan: &ToomPlan, threshold: u64) -> BigInt {
-    debug_assert!(!a.is_negative());
+/// Magnitude squaring recursion (`|a|²`; the sign is irrelevant).
+fn sqr_rec(a: &BigInt, plan: &ToomPlan, threshold: u64, ws: &mut Workspace) -> BigInt {
     if a.is_zero() {
         return BigInt::zero();
     }
     if a.bit_length() <= threshold {
-        return a.square();
+        return a.square_with_ws(ws);
     }
     let k = plan.k();
     let w = BigInt::shared_digit_width(a, a, k);
-    let da = a.split_base_pow2(w, k);
-    let ea = plan.evaluate(&da);
-    let prods: Vec<BigInt> = ea
-        .iter()
-        .map(|x| sqr_rec(&x.abs(), plan, threshold))
-        .collect();
-    let coeffs = plan.interpolate(&prods);
-    BigInt::join_base_pow2(&coeffs, w)
+    let da = a.split_base_pow2_ws(w, k, ws);
+    let ea = plan.evaluate_ws(&da, ws);
+    ws.recycle_nodes(da);
+    let mut prods = ws.take_nodes();
+    for x in &ea {
+        prods.push(sqr_rec(x, plan, threshold, ws));
+    }
+    ws.recycle_nodes(ea);
+    let coeffs = plan.interpolate_ws(prods, ws);
+    let out = BigInt::join_base_pow2_ws(&coeffs, w, ws);
+    ws.recycle_nodes(coeffs);
+    out
 }
 
-/// GMP-style size-adaptive multiplier: picks schoolbook / Karatsuba /
-/// TC-3 / TC-4 by operand size (thresholds tuned for this crate's
-/// schoolbook kernel; see the `crossover` bench).
+/// GMP-style size-adaptive multiplier: below the Toom range the limb-level
+/// kernels ([`ft_bigint::BigInt::mul_auto`]: schoolbook basecase, then
+/// in-place Karatsuba) win outright; above it digit-level TC-3 / TC-4 take
+/// over (thresholds tuned via the `kernel_baseline` bench).
 #[must_use]
 pub fn auto_mul(a: &BigInt, b: &BigInt) -> BigInt {
     let bits = a.bit_length().min(b.bit_length());
     match bits {
-        0..=6_000 => a.mul_schoolbook(b),
-        6_001..=40_000 => toom_k(a, b, 2),
-        40_001..=400_000 => toom_k(a, b, 3),
-        _ => toom_k(a, b, 4),
+        // The limb-level Karatsuba kernel wins outright to ~256kbit on the
+        // CI container (see `tune_thresholds`); past that TC-3's better
+        // exponent takes over. TC-4's constants never pay off here.
+        0..=262_144 => a.mul_auto(b),
+        _ => toom_k(a, b, 3),
     }
+}
+
+/// Install [`auto_mul`] as the process-wide fast-multiply hook in
+/// `ft-bigint` ([`ft_bigint::kernels::install_fast_mul`]), so
+/// `BigInt::pow` and other bigint-level callers route through Toom-Cook
+/// without a dependency cycle. First install wins; returns whether this
+/// call performed it.
+pub fn install_fast_mul_hook() -> bool {
+    ft_bigint::kernels::install_fast_mul(auto_mul)
 }
 
 /// Unbalanced Toom-Cook-(k₁,k₂) (Zanoni 2010): split `a` into `k₁` digits
@@ -167,7 +201,6 @@ pub fn toom_unbalanced(
     if sign == Sign::Zero {
         return BigInt::zero();
     }
-    let (a, b) = (a.abs(), b.abs());
     let n = k1 + k2 - 1;
     let points = n_points(n);
     let w = {
@@ -175,14 +208,28 @@ pub fn toom_unbalanced(
         let wb = b.bit_length().max(1).div_ceil(k2 as u64);
         wa.max(wb)
     };
-    let da = a.split_base_pow2(w, k1);
-    let db = b.split_base_pow2(w, k2);
-    let ea = eval_matrix(&points, k1).matvec(&da);
-    let eb = eval_matrix(&points, k2).matvec(&db);
+    // Split/evaluate through the workspace, then release the borrow: the
+    // caller-supplied `inner` may itself re-enter the thread-local arena.
+    let (ea, eb) = workspace::with_thread_local(|ws| {
+        let da = a.split_base_pow2_ws(w, k1, ws);
+        let db = b.split_base_pow2_ws(w, k2, ws);
+        let ea = crate::bilinear::small_matvec_ws(&eval_matrix(&points, k1), &da, ws);
+        let eb = crate::bilinear::small_matvec_ws(&eval_matrix(&points, k2), &db, ws);
+        ws.recycle_nodes(da);
+        ws.recycle_nodes(db);
+        (ea, eb)
+    });
     let prods: Vec<BigInt> = ea.iter().zip(&eb).map(|(x, y)| inner(x, y)).collect();
     let interp = crate::bilinear::interpolation_matrix(&points, n);
     let coeffs = interp.apply(&prods);
-    let mag = BigInt::join_base_pow2(&coeffs, w);
+    let mag = workspace::with_thread_local(|ws| {
+        ws.recycle_nodes(ea);
+        ws.recycle_nodes(eb);
+        ws.recycle_nodes(prods);
+        let out = BigInt::join_base_pow2_ws(&coeffs, w, ws);
+        ws.recycle_nodes(coeffs);
+        out
+    });
     if sign == Sign::Negative {
         -mag
     } else {
@@ -209,12 +256,18 @@ pub fn toom_iterative_unbalanced(
         return BigInt::zero();
     }
     let sign = a.sign().mul(b.sign());
-    let (aa, bb) = (a.abs(), b.abs());
+    let bb = b.abs();
     let chunk_bits = bb.bit_length().max(64);
-    let chunks = aa.bit_length().div_ceil(chunk_bits) as usize;
-    let digits = aa.split_base_pow2(chunk_bits, chunks.max(1));
+    let chunks = a.bit_length().div_ceil(chunk_bits) as usize;
+    let digits =
+        workspace::with_thread_local(|ws| a.split_base_pow2_ws(chunk_bits, chunks.max(1), ws));
     let partials: Vec<BigInt> = digits.iter().map(|d| inner(d, &bb)).collect();
-    let mag = BigInt::join_base_pow2(&partials, chunk_bits);
+    let mag = workspace::with_thread_local(|ws| {
+        ws.recycle_nodes(digits);
+        let out = BigInt::join_base_pow2_ws(&partials, chunk_bits, ws);
+        ws.recycle_nodes(partials);
+        out
+    });
     if sign == ft_bigint::Sign::Negative {
         -mag
     } else {

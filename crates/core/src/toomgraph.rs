@@ -18,6 +18,7 @@
 //! same linear solve).
 
 use ft_algebra::{Matrix, Rational};
+use ft_bigint::workspace::Workspace;
 use ft_bigint::BigInt;
 use std::collections::{HashMap, VecDeque};
 
@@ -115,6 +116,39 @@ impl InversionSequence {
             }
         }
         self.perm.iter().map(|&slot| v[slot].clone()).collect()
+    }
+
+    /// [`InversionSequence::apply`] taking ownership of the values: every
+    /// row operation runs in place (`add_mul_small_assign`,
+    /// `div_exact_small_assign`, `mul_small_assign`) with one borrowed
+    /// scratch limb buffer, and the spent slot vector is recycled into the
+    /// workspace pools — the zero-allocation interpolation step.
+    ///
+    /// # Panics
+    /// Panics on width mismatch or an inexact division.
+    #[must_use]
+    pub fn apply_owned(&self, mut v: Vec<BigInt>, ws: &mut Workspace) -> Vec<BigInt> {
+        assert_eq!(v.len(), self.n);
+        let mut tmp = ws.take_limbs();
+        for op in &self.ops {
+            match *op {
+                RowOp::AddMul { dst, src, c } => {
+                    debug_assert_ne!(dst, src);
+                    let s = std::mem::take(&mut v[src]);
+                    v[dst].add_mul_small_assign(&s, c, &mut tmp);
+                    v[src] = s;
+                }
+                RowOp::DivExact { dst, d } => v[dst].div_exact_small_assign(d),
+                RowOp::Scale { dst, c } => v[dst].mul_small_assign(c),
+            }
+        }
+        ws.recycle_limbs(tmp);
+        let mut out = ws.take_nodes();
+        for &slot in &self.perm {
+            out.push(std::mem::take(&mut v[slot]));
+        }
+        ws.recycle_nodes(v);
+        out
     }
 
     /// Verify against an evaluation matrix: applying the sequence to the
@@ -379,6 +413,22 @@ mod tests {
             let evals = ft_algebra::points::eval_matrix(&classic_points(3), 5).matvec(&coeffs);
             assert_eq!(seq.apply(&evals), coeffs.clone());
             assert_eq!(plan.interp_matrix().apply(&evals), coeffs);
+        }
+    }
+
+    #[test]
+    fn apply_owned_matches_apply() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut ws = Workspace::new();
+        for (kk, seq) in [(2usize, karatsuba_seq()), (3, bodrato_tc3())] {
+            let e = eval_matrix(&classic_points(kk), seq.width());
+            for _ in 0..5 {
+                let coeffs: Vec<BigInt> = (0..seq.width())
+                    .map(|_| BigInt::random_signed_bits(&mut rng, 200))
+                    .collect();
+                let vals = e.matvec(&coeffs);
+                assert_eq!(seq.apply_owned(vals.clone(), &mut ws), seq.apply(&vals));
+            }
         }
     }
 

@@ -13,10 +13,12 @@ use serde::{Deserialize, Serialize};
 /// Size thresholds steering kernel auto-selection, in operand bits
 /// (`min(bit_length(a), bit_length(b))`).
 ///
-/// Defaults follow the crossover points measured by the `crossover` bench
-/// (see `seq::auto_mul`): schoolbook wins below ~6 kbit and Toom-Cook
-/// takes over after; the parallel engine only pays for its thread
-/// fork-join overhead on substantially larger operands.
+/// Defaults follow the crossover points measured by the `tune_thresholds`
+/// sweep against the scratch-arena limb kernels: schoolbook only wins
+/// below ~2 kbit (the in-place Karatsuba base case takes over early), and
+/// sequential Toom-Cook carries to multi-megabit sizes on the single-core
+/// CI container — multicore deployments should lower `seq_toom_max_bits`
+/// to wherever their fork-join overhead amortizes.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KernelPolicy {
     /// Requests at or below this size run schoolbook.
@@ -37,11 +39,11 @@ pub struct KernelPolicy {
 impl Default for KernelPolicy {
     fn default() -> KernelPolicy {
         KernelPolicy {
-            schoolbook_max_bits: 6_000,
-            seq_toom_max_bits: 120_000,
+            schoolbook_max_bits: 2_048,
+            seq_toom_max_bits: 4_000_000,
             seq_toom_k: 3,
             par_toom_k: 3,
-            toom_threshold_bits: 3_072,
+            toom_threshold_bits: 24_576,
             par_depth: 2,
         }
     }

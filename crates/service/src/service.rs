@@ -197,6 +197,9 @@ impl MulService {
         assert!(config.workers > 0, "workers must be >= 1");
         assert!(config.queue_capacity > 0, "queue_capacity must be >= 1");
         assert!(config.batch_max > 0, "batch_max must be >= 1");
+        // Route ft-bigint's process-wide fast-multiply hook (BigInt::pow,
+        // residue checks, …) through the Toom auto-dispatcher.
+        let _ = ft_toom_core::seq::install_fast_mul_hook();
         let shared = Arc::new(Shared {
             plans: PlanCache::new(config.plan_cache_capacity),
             metrics: Metrics::default(),
@@ -442,11 +445,14 @@ mod tests {
         }
         let metrics = service.shutdown();
         assert_eq!(metrics.served, 4);
-        // Default thresholds route 100/3k bits → schoolbook, 20k → seq
-        // toom, 150k → par toom.
-        assert_eq!(metrics.per_kernel[0].1, 2);
-        assert_eq!(metrics.per_kernel[1].1, 1);
-        assert_eq!(metrics.per_kernel[2].1, 1);
+        // Default thresholds route 100 bits → schoolbook and everything
+        // else here → sequential Toom: with the limb-kernel base case the
+        // schoolbook band ends at 2 kbit, and on the single-core reference
+        // container the parallel kernel only pays at multi-megabit sizes
+        // (far beyond what a unit test should multiply).
+        assert_eq!(metrics.per_kernel[0].1, 1);
+        assert_eq!(metrics.per_kernel[1].1, 3);
+        assert_eq!(metrics.per_kernel[2].1, 0);
     }
 
     #[test]

@@ -13,6 +13,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== kernel bench smoke (--quick, counting allocator) =="
+# Reduced-matrix run of the kernel baseline: catches perf/allocation cliffs
+# and keeps the counting-allocator build compiling. Does not rewrite
+# BENCH_kernels.json (that is the full run's job).
+cargo run --release -q -p ft-bench --features count-allocs --bin kernel_baseline -- --quick
+
 echo "== chaos pass (deterministic seed) =="
 # Injected-fault tests must stay reproducible and gating: the chaos suite
 # derives every fault decision from this seed, independent of scheduling.
