@@ -156,6 +156,7 @@ pub fn verify_product(a: &BigInt, b: &BigInt, product: &BigInt) -> bool {
 mod tests {
     use super::*;
     use ft_bigint::Sign;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -230,6 +231,109 @@ mod tests {
         assert!(!verify_product(&a, &b, &(&product + &BigInt::one())));
     }
 
+    /// 2^64 — one limb past the word boundary, the value whose residue
+    /// mod `2^64 + 1` is the canonical maximum `P1 − 1`.
+    fn pow64() -> BigInt {
+        BigInt::from_sign_limbs(Sign::Positive, vec![0, 1])
+    }
+
+    #[test]
+    fn reduce_and_submod_hit_the_canonical_edges() {
+        const POW64: u128 = 1u128 << 64;
+        // reduce_p1 must land in [0, 2^64] for ANY u128, including the
+        // values on either side of the modulus and the all-ones word.
+        assert_eq!(reduce_p1(0), 0);
+        assert_eq!(reduce_p1(POW64 - 1), POW64 - 1);
+        assert_eq!(reduce_p1(POW64), POW64); // ≡ −1: canonical max, kept
+        assert_eq!(reduce_p1(P1), 0);
+        assert_eq!(reduce_p1(P1 + 1), 1);
+        assert_eq!(reduce_p1(2 * POW64 - 1), POW64 - 2); // 2^65 − 1 ≡ −3
+        assert_eq!(reduce_p1(u128::MAX), 0); // 2^128 − 1 = M1 · P1
+        for s in [
+            0u128,
+            1,
+            POW64 - 1,
+            POW64,
+            P1,
+            P1 + 1,
+            3 * POW64 + 7,
+            u128::MAX - 1,
+            u128::MAX,
+        ] {
+            let got = reduce_p1(s);
+            assert!(got <= POW64, "reduce_p1({s}) left canonical range");
+            let hi_part = &big_u128(s >> 64) * &pow64();
+            let want = (&hi_part + &big_u128(s & M1)).mod_floor(&big_p1());
+            assert_eq!(big_u128(got), want, "reduce_p1({s})");
+        }
+        // submod_p1 over the canonical-corner grid, including both
+        // arguments at the extreme residue 2^64 (= P1 − 1 ≡ −1).
+        assert_eq!(submod_p1(0, 0), 0);
+        assert_eq!(submod_p1(0, P1 - 1), 1); // 0 − (−1)
+        assert_eq!(submod_p1(P1 - 1, 0), P1 - 1);
+        assert_eq!(submod_p1(P1 - 1, P1 - 1), 0);
+        assert_eq!(submod_p1(1, P1 - 1), 2);
+        assert_eq!(submod_p1(P1 - 1, 1), P1 - 2);
+        for a in [0u128, 1, 2, 1 << 63, POW64 - 1, P1 - 2, P1 - 1] {
+            for b in [0u128, 1, 1 << 63, P1 - 2, P1 - 1] {
+                let got = submod_p1(a, b);
+                assert!(got < P1, "submod_p1({a}, {b}) left canonical range");
+                let want = (&big_u128(a) + &(-big_u128(b))).mod_floor(&big_p1());
+                assert_eq!(big_u128(got), want, "submod_p1({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_operands_and_signed_products_verify() {
+        // The values that sit exactly on the reduction edges: their
+        // residues exercise mag == 0, the canonical max P1 − 1, and the
+        // negative-sign complement paths.
+        assert_eq!(residue_pair(&BigInt::zero()), (0, 0));
+        assert_eq!(residue_pair(&pow64()), (1, P1 - 1));
+        assert_eq!(residue_pair(&-pow64()), (u64::MAX - 1, 1));
+        assert_eq!(residue_pair(&big_m1()), (0, P1 - 2));
+        assert_eq!(residue_pair(&-big_m1()), (0, 2));
+        assert_eq!(residue_pair(&big_p1()), (2, 0));
+        assert_eq!(residue_pair(&-big_p1()), (u64::MAX - 2, 0));
+        // True products across the full signed boundary grid — covering
+        // zero products, negative products, and products whose residues
+        // land exactly on 0 or P1 − 1.
+        let pool = [
+            BigInt::zero(),
+            BigInt::one(),
+            -BigInt::one(),
+            big_m1(),
+            -big_m1(),
+            pow64(),
+            -pow64(),
+            big_p1(),
+            -big_p1(),
+        ];
+        for a in &pool {
+            for b in &pool {
+                let product = a.mul_schoolbook(b);
+                assert!(verify_product(a, b, &product), "true {a:?}·{b:?}");
+                assert!(
+                    !verify_product(a, b, &(&product + &BigInt::one())),
+                    "off-by-one {a:?}·{b:?}"
+                );
+                // A sign flip is the delta −2·product, caught unless
+                // product ≡ 0 (mod 2^128 − 1) — which this grid actually
+                // reaches: (2^64 − 1)(2^64 + 1) IS 2^128 − 1, the module
+                // docs' one documented escape. Pin both behaviours.
+                if product.is_zero() || residue_pair(&product) == (0, 0) {
+                    assert!(verify_product(a, b, &-product.clone()));
+                } else {
+                    assert!(
+                        !verify_product(a, b, &-product.clone()),
+                        "sign flip {a:?}·{b:?}"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn mulmods_handle_the_top_of_the_range() {
         // (−1) · (−1) ≡ 1 under both moduli.
@@ -248,6 +352,79 @@ mod tests {
             for b in [0u64, 5, u64::MAX - 1] {
                 let want = (&BigInt::from(a) * &BigInt::from(b)).mod_floor(&big_m1());
                 assert_eq!(BigInt::from(mulmod_m1(a, b)), want, "m1 {a}·{b}");
+            }
+        }
+    }
+
+    /// One operand for the boundary proptest: ~half the draws are forced
+    /// onto a reduction edge (multiples of 2^64 ± ε, huge limb counts of
+    /// all-ones words, and their negations — values whose residues hit 0,
+    /// P1 − 1, and the sign-complement branches); the rest are random.
+    fn boundary_operand(choice: usize, rng: &mut StdRng) -> BigInt {
+        let limbs = 1 + (choice / 16) % 5;
+        match choice % 8 {
+            0 => BigInt::zero(),
+            1 => BigInt::from_sign_limbs(Sign::Positive, vec![u64::MAX; limbs]),
+            2 => -BigInt::from_sign_limbs(Sign::Positive, vec![u64::MAX; limbs]),
+            3 => {
+                // Exactly 2^{64·limbs}: residue ±1 depending on parity.
+                let mut v = vec![0; limbs + 1];
+                v[limbs] = 1;
+                BigInt::from_sign_limbs(Sign::Positive, v)
+            }
+            4 => {
+                let mut v = vec![0; limbs + 1];
+                v[limbs] = 1;
+                -BigInt::from_sign_limbs(Sign::Positive, v)
+            }
+            5 => &BigInt::from_sign_limbs(Sign::Positive, vec![u64::MAX; limbs]) + &BigInt::one(),
+            6 => BigInt::from_sign_limbs(Sign::Positive, vec![1, 1]), // 2^64 + 1
+            _ => BigInt::random_signed_bits(rng, 1 + (choice as u64) % 300),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Residues of boundary-forced operands agree with `mod_floor`,
+        /// their true products verify, and single-limb corruptions of
+        /// those products are still always caught.
+        #[test]
+        fn boundary_residues_agree_with_mod_floor(
+            seed in any::<u64>(),
+            choice_a in 0usize..128,
+            choice_b in 0usize..128,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = boundary_operand(choice_a, &mut rng);
+            let b = boundary_operand(choice_b, &mut rng);
+            for x in [&a, &b] {
+                let (m1, p1) = residue_pair(x);
+                prop_assert!(p1 < P1);
+                prop_assert_eq!(BigInt::from(m1), x.mod_floor(&big_m1()));
+                prop_assert_eq!(big_u128(p1), x.mod_floor(&big_p1()));
+            }
+            let product = a.mul_schoolbook(&b);
+            prop_assert!(verify_product(&a, &b, &product));
+            prop_assert!(!verify_product(&a, &b, &(&product + &BigInt::one())));
+            if !product.is_zero() {
+                // Sign flips escape only when product ≡ 0 (mod 2^128 − 1),
+                // e.g. (2^64 − 1) · (2^64 + 1) — the documented blind spot.
+                if residue_pair(&product) != (0, 0) {
+                    prop_assert!(!verify_product(&a, &b, &-product.clone()));
+                }
+                let limb = choice_a % product.word_len();
+                let bit = choice_b % 64;
+                let mut limbs = product.limbs().to_vec();
+                limbs[limb] ^= 1u64 << bit;
+                let corrupt = BigInt::from_sign_limbs(
+                    if product.is_negative() { Sign::Negative } else { Sign::Positive },
+                    limbs,
+                );
+                prop_assert!(
+                    !verify_product(&a, &b, &corrupt),
+                    "flip limb {} bit {} slipped through", limb, bit
+                );
             }
         }
     }

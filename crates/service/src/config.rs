@@ -49,6 +49,141 @@ impl Default for KernelPolicy {
     }
 }
 
+/// Knobs for the async submission path: how long the dispatcher waits to
+/// coalesce same-shape requests, and how it executes the merged batch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchingConfig {
+    /// Coalescing window in µs: after the first queued request arrives,
+    /// the dispatcher keeps collecting for at most this long before
+    /// dispatching. `0` disables coalescing (every request dispatches
+    /// alone, still through the async path).
+    pub window_us: u64,
+    /// Most requests merged into one executed batch.
+    pub max_batch: usize,
+    /// Capacity of the central async submission queue; `submit_async`
+    /// beyond it returns [`crate::SubmitError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Threads used to execute one batch's elements (chunked, not
+    /// per-element). `0` picks the machine's available parallelism;
+    /// `1` runs the batch sequentially on the dispatcher thread, which
+    /// is the right choice on a single-core host.
+    pub lanes: usize,
+}
+
+impl Default for BatchingConfig {
+    fn default() -> BatchingConfig {
+        BatchingConfig {
+            window_us: 150,
+            max_batch: 32,
+            queue_capacity: 1_024,
+            lanes: 0,
+        }
+    }
+}
+
+/// Cadence and sensitivity of the adaptive threshold tuner, which
+/// periodically re-derives [`KernelPolicy`] size thresholds from the live
+/// per-(kernel, size-class) latency histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TunerConfig {
+    /// Master switch; `false` keeps the static policy forever.
+    pub enabled: bool,
+    /// How often the tuner re-examines the histogram, ms.
+    pub interval_ms: u64,
+    /// Minimum served samples a (kernel, size-class) cell needs on *both*
+    /// sides of a threshold before the tuner will move it.
+    pub min_samples: u64,
+    /// Move a threshold only when the losing kernel's mean latency is at
+    /// least this percentage of the winner's (e.g. `125` = 25% slower),
+    /// so noise does not flap the policy.
+    pub slowdown_pct: u64,
+}
+
+impl Default for TunerConfig {
+    fn default() -> TunerConfig {
+        TunerConfig {
+            enabled: true,
+            interval_ms: 500,
+            min_samples: 64,
+            slowdown_pct: 125,
+        }
+    }
+}
+
+impl BatchingConfig {
+    /// Read a batching config from a parsed JSON object; absent fields
+    /// keep their defaults.
+    pub fn from_json(json: &Json) -> Result<BatchingConfig, ConfigError> {
+        let d = BatchingConfig::default();
+        let cfg = BatchingConfig {
+            window_us: field_u64(json, "window_us", d.window_us)?,
+            max_batch: field_usize(json, "max_batch", d.max_batch)?,
+            queue_capacity: field_usize(json, "queue_capacity", d.queue_capacity)?,
+            lanes: field_usize(json, "lanes", d.lanes)?,
+        };
+        if cfg.max_batch == 0 {
+            return Err(ConfigError::Invalid(
+                "batching.max_batch must be >= 1".to_string(),
+            ));
+        }
+        if cfg.queue_capacity == 0 {
+            return Err(ConfigError::Invalid(
+                "batching.queue_capacity must be >= 1".to_string(),
+            ));
+        }
+        Ok(cfg)
+    }
+
+    fn to_json_value(&self) -> Json {
+        obj([
+            ("window_us", Json::Num(i128::from(self.window_us))),
+            ("max_batch", Json::Num(self.max_batch as i128)),
+            ("queue_capacity", Json::Num(self.queue_capacity as i128)),
+            ("lanes", Json::Num(self.lanes as i128)),
+        ])
+    }
+}
+
+impl TunerConfig {
+    /// Read a tuner config from a parsed JSON object; absent fields keep
+    /// their defaults.
+    pub fn from_json(json: &Json) -> Result<TunerConfig, ConfigError> {
+        let d = TunerConfig::default();
+        let enabled = match json.get("enabled") {
+            None => d.enabled,
+            Some(v) => v.as_bool().ok_or_else(|| {
+                ConfigError::Invalid("tuner.enabled must be a boolean".to_string())
+            })?,
+        };
+        let cfg = TunerConfig {
+            enabled,
+            interval_ms: field_u64(json, "interval_ms", d.interval_ms)?,
+            min_samples: field_u64(json, "min_samples", d.min_samples)?,
+            slowdown_pct: field_u64(json, "slowdown_pct", d.slowdown_pct)?,
+        };
+        if cfg.interval_ms == 0 {
+            return Err(ConfigError::Invalid(
+                "tuner.interval_ms must be >= 1".to_string(),
+            ));
+        }
+        if cfg.slowdown_pct < 100 {
+            return Err(ConfigError::Invalid(
+                "tuner.slowdown_pct must be >= 100".to_string(),
+            ));
+        }
+        Ok(cfg)
+    }
+
+    fn to_json_value(&self) -> Json {
+        obj([
+            ("enabled", Json::Bool(self.enabled)),
+            ("interval_ms", Json::Num(i128::from(self.interval_ms))),
+            ("min_samples", Json::Num(i128::from(self.min_samples))),
+            ("slowdown_pct", Json::Num(i128::from(self.slowdown_pct))),
+        ])
+    }
+}
+
 /// Full service configuration.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServiceConfig {
@@ -76,6 +211,10 @@ pub struct ServiceConfig {
     /// Optional deterministic fault-injection plan (chaos testing);
     /// `None` injects nothing.
     pub chaos: Option<ChaosConfig>,
+    /// Async submission path: coalescing window, batch bound, lanes.
+    pub batching: BatchingConfig,
+    /// Adaptive threshold tuner driven by the live latency histogram.
+    pub tuner: TunerConfig,
 }
 
 impl Default for ServiceConfig {
@@ -91,6 +230,8 @@ impl Default for ServiceConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerPolicy::default(),
             chaos: None,
+            batching: BatchingConfig::default(),
+            tuner: TunerConfig::default(),
         }
     }
 }
@@ -224,6 +365,14 @@ impl ServiceConfig {
             None | Some(Json::Null) => None,
             Some(v) => Some(ChaosConfig::from_json(v)?),
         };
+        let batching = match json.get("batching") {
+            None => d.batching.clone(),
+            Some(v) => BatchingConfig::from_json(v)?,
+        };
+        let tuner = match json.get("tuner") {
+            None => d.tuner.clone(),
+            Some(v) => TunerConfig::from_json(v)?,
+        };
         let cfg = ServiceConfig {
             workers: field_usize(&json, "workers", d.workers)?,
             queue_capacity: field_usize(&json, "queue_capacity", d.queue_capacity)?,
@@ -235,6 +384,8 @@ impl ServiceConfig {
             retry,
             breaker,
             chaos,
+            batching,
+            tuner,
         };
         if cfg.workers == 0 {
             return Err(ConfigError::Invalid("workers must be >= 1".to_string()));
@@ -281,6 +432,8 @@ impl ServiceConfig {
                     .as_ref()
                     .map_or(Json::Null, ChaosConfig::to_json_value),
             ),
+            ("batching", self.batching.to_json_value()),
+            ("tuner", self.tuner.to_json_value()),
         ])
         .dump()
     }
@@ -331,6 +484,52 @@ mod tests {
         // Explicit null disables chaos, like omitting the key.
         let off = ServiceConfig::from_json(r#"{"chaos": null}"#).unwrap();
         assert_eq!(off.chaos, None);
+    }
+
+    #[test]
+    fn batching_and_tuner_round_trip() {
+        let cfg = ServiceConfig::from_json(
+            r#"{
+                "batching": {"window_us": 75, "max_batch": 8, "queue_capacity": 32, "lanes": 1},
+                "tuner": {"enabled": false, "interval_ms": 250, "min_samples": 10,
+                          "slowdown_pct": 150}
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.batching.window_us, 75);
+        assert_eq!(cfg.batching.max_batch, 8);
+        assert_eq!(cfg.batching.queue_capacity, 32);
+        assert_eq!(cfg.batching.lanes, 1);
+        assert!(!cfg.tuner.enabled);
+        assert_eq!(cfg.tuner.interval_ms, 250);
+        assert_eq!(cfg.tuner.min_samples, 10);
+        assert_eq!(cfg.tuner.slowdown_pct, 150);
+        let again = ServiceConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(cfg, again);
+        // Absent sections keep defaults.
+        let plain = ServiceConfig::from_json("{}").unwrap();
+        assert_eq!(plain.batching, BatchingConfig::default());
+        assert_eq!(plain.tuner, TunerConfig::default());
+    }
+
+    #[test]
+    fn rejects_invalid_batching_and_tuner_values() {
+        assert!(matches!(
+            ServiceConfig::from_json(r#"{"batching": {"max_batch": 0}}"#),
+            Err(ConfigError::Invalid(_))
+        ));
+        assert!(matches!(
+            ServiceConfig::from_json(r#"{"batching": {"queue_capacity": 0}}"#),
+            Err(ConfigError::Invalid(_))
+        ));
+        assert!(matches!(
+            ServiceConfig::from_json(r#"{"tuner": {"interval_ms": 0}}"#),
+            Err(ConfigError::Invalid(_))
+        ));
+        assert!(matches!(
+            ServiceConfig::from_json(r#"{"tuner": {"slowdown_pct": 99}}"#),
+            Err(ConfigError::Invalid(_))
+        ));
     }
 
     #[test]

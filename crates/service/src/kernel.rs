@@ -59,6 +59,92 @@ impl Kernel {
         }
     }
 
+    /// Run this kernel over a whole coalesced batch with one shared plan
+    /// resolution, returning products in input order. `lanes` bounds the
+    /// threads used across elements (see
+    /// [`rayon_engine::mul_batch_with_plan`]); the sequential Toom batch
+    /// keeps `par_depth` at zero so a lane shares one scratch workspace
+    /// across its elements.
+    #[must_use]
+    pub fn execute_batch(
+        self,
+        pairs: &[(BigInt, BigInt)],
+        policy: &KernelPolicy,
+        plans: &PlanCache,
+        lanes: usize,
+    ) -> Vec<BigInt> {
+        match self {
+            Kernel::Schoolbook => rayon_engine::mul_batch_schoolbook(pairs, lanes),
+            Kernel::SeqToom => {
+                let plan = plans.get(policy.seq_toom_k);
+                rayon_engine::mul_batch_with_plan(
+                    pairs,
+                    &plan,
+                    policy.toom_threshold_bits,
+                    0,
+                    lanes,
+                )
+            }
+            Kernel::ParToom => {
+                let plan = plans.get(policy.par_toom_k);
+                rayon_engine::mul_batch_with_plan(
+                    pairs,
+                    &plan,
+                    policy.toom_threshold_bits,
+                    policy.par_depth,
+                    lanes,
+                )
+            }
+        }
+    }
+
+    /// Run this kernel over a coalesced batch one element at a time with
+    /// one shared plan resolution, handing each product to `sink` in
+    /// input order. Unlike [`Self::execute_batch`] the caller's sink runs
+    /// *between* multiplications, so per-element post-processing (residue
+    /// verification in the supervisor) touches each operand/product while
+    /// it is still cache-hot instead of re-walking the whole batch in a
+    /// second cold pass.
+    pub fn execute_each<F: FnMut(usize, BigInt)>(
+        self,
+        pairs: &[(BigInt, BigInt)],
+        policy: &KernelPolicy,
+        plans: &PlanCache,
+        mut sink: F,
+    ) {
+        match self {
+            Kernel::Schoolbook => {
+                for (i, (a, b)) in pairs.iter().enumerate() {
+                    sink(i, a.mul_schoolbook(b));
+                }
+            }
+            Kernel::SeqToom => {
+                let plan = plans.get(policy.seq_toom_k);
+                for (i, (a, b)) in pairs.iter().enumerate() {
+                    sink(
+                        i,
+                        seq::toom_with_plan(a, b, &plan, policy.toom_threshold_bits),
+                    );
+                }
+            }
+            Kernel::ParToom => {
+                let plan = plans.get(policy.par_toom_k);
+                for (i, (a, b)) in pairs.iter().enumerate() {
+                    sink(
+                        i,
+                        rayon_engine::par_toom_with_plan(
+                            a,
+                            b,
+                            &plan,
+                            policy.toom_threshold_bits,
+                            policy.par_depth,
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
     /// The next rung down the degradation ladder the supervisor walks
     /// when this kernel keeps failing: parallel Toom → sequential Toom →
     /// schoolbook → nothing.
@@ -114,6 +200,32 @@ mod tests {
         assert_eq!(Kernel::ParToom.degrade(), Some(Kernel::SeqToom));
         assert_eq!(Kernel::SeqToom.degrade(), Some(Kernel::Schoolbook));
         assert_eq!(Kernel::Schoolbook.degrade(), None);
+    }
+
+    #[test]
+    fn batch_execution_matches_per_element_execution() {
+        let policy = KernelPolicy::default();
+        let plans = PlanCache::new(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let pairs: Vec<_> = (0..6)
+            .map(|i| {
+                (
+                    BigInt::random_signed_bits(&mut rng, 1_000 + 2_000 * i),
+                    BigInt::random_signed_bits(&mut rng, 1_000 + 2_000 * i),
+                )
+            })
+            .collect();
+        let expect: Vec<_> = pairs.iter().map(|(a, b)| a.mul_schoolbook(b)).collect();
+        for kernel in Kernel::ALL {
+            for lanes in [1usize, 2] {
+                assert_eq!(
+                    kernel.execute_batch(&pairs, &policy, &plans, lanes),
+                    expect,
+                    "{} lanes={lanes}",
+                    kernel.name()
+                );
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 pub mod chaos;
 pub mod config;
+pub(crate) mod dispatcher;
 pub mod error;
 pub mod json;
 pub mod kernel;
@@ -17,11 +18,12 @@ pub mod metrics;
 pub mod plan_cache;
 pub mod service;
 pub mod supervisor;
+pub(crate) mod tuner;
 
 pub use chaos::{install_quiet_panic_hook, ChaosConfig, FaultKind};
-pub use config::{KernelPolicy, ServiceConfig};
+pub use config::{BatchingConfig, KernelPolicy, ServiceConfig, TunerConfig};
 pub use error::{MulError, SubmitError};
 pub use kernel::Kernel;
 pub use metrics::MetricsSnapshot;
-pub use service::{MulService, ResponseHandle};
+pub use service::{BatchHandle, MulService, ResponseHandle};
 pub use supervisor::{BreakerPolicy, RetryPolicy};

@@ -1,4 +1,17 @@
 //! Service metrics: lock-free counters plus a JSON-serializable snapshot.
+//!
+//! ## Snapshot consistency
+//!
+//! Counters are independent relaxed atomics, so a snapshot taken while
+//! workers are recording can observe *torn* combinations (a request
+//! counted in one counter but not yet in another). The snapshot therefore
+//! derives `served` from the latency histogram itself — the bucket sum
+//! *is* the served count, so `served == Σ latency_buckets` holds by
+//! construction in every snapshot. The remaining per-request counters
+//! (`per_kernel`, `latency_total_us`, the size-class stats) may lag or
+//! lead `served` by the handful of requests in flight at snapshot time;
+//! they converge exactly once the service quiesces (e.g. the final
+//! snapshot returned by `shutdown`).
 
 use crate::chaos::FaultKind;
 use crate::json::{obj, Json};
@@ -15,10 +28,37 @@ pub const LATENCY_BUCKET_BOUNDS_US: [u64; 8] =
 
 const BUCKETS: usize = LATENCY_BUCKET_BOUNDS_US.len() + 1;
 
+/// Number of operand size classes tracked per kernel. Class `c` covers
+/// operands whose smaller bit length lies in `[2^c, 2^{c+1})` (class 0
+/// additionally covers 0-bit operands), so 32 classes span past 2-Gbit
+/// operands — far beyond anything the service multiplies.
+pub const SIZE_CLASSES: usize = 32;
+
+/// The size class of an operand pair by its smaller bit length.
+#[must_use]
+pub fn size_class(bits: u64) -> usize {
+    if bits < 2 {
+        return 0;
+    }
+    (bits.ilog2() as usize).min(SIZE_CLASSES - 1)
+}
+
+/// Per-(kernel, size-class) `(served count, total latency µs)` cells, in
+/// [`crate::kernel::Kernel::ALL`] order; the tuner's raw material.
+pub(crate) type ClassStats = [[(u64, u64); SIZE_CLASSES]; 3];
+
+/// Saturating add for counters that accumulate unbounded sums (latency
+/// totals): a long chaos run must pin at `u64::MAX` instead of wrapping.
+fn saturating_fetch_add(counter: &AtomicU64, value: u64) {
+    // fetch_update with a total closure never returns Err.
+    let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |current| {
+        Some(current.saturating_add(value))
+    });
+}
+
 /// Shared mutable counters, updated by submitters and workers.
 #[derive(Default)]
 pub(crate) struct Metrics {
-    served: AtomicU64,
     rejected_queue_full: AtomicU64,
     timed_out: AtomicU64,
     shed: AtomicU64,
@@ -26,6 +66,16 @@ pub(crate) struct Metrics {
     queue_depth_high_water: AtomicUsize,
     latency_buckets: [AtomicU64; BUCKETS],
     latency_total_us: AtomicU64,
+    /// Served-request counts per (kernel, operand size class).
+    class_served: [[AtomicU64; SIZE_CLASSES]; 3],
+    /// Summed completion latency (µs, saturating) per (kernel, class).
+    class_total_us: [[AtomicU64; SIZE_CLASSES]; 3],
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    batch_size_high_water: AtomicUsize,
+    batch_faults: AtomicU64,
+    batch_element_retries: AtomicU64,
+    tuner_retunes: AtomicU64,
     retries: AtomicU64,
     fallbacks: AtomicU64,
     worker_faults: AtomicU64,
@@ -37,16 +87,18 @@ pub(crate) struct Metrics {
 }
 
 impl Metrics {
-    pub(crate) fn record_served(&self, kernel: Kernel, latency: Duration) {
-        self.served.fetch_add(1, Ordering::Relaxed);
-        self.per_kernel[kernel as usize].fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn record_served(&self, kernel: Kernel, bits: u64, latency: Duration) {
         let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
         let bucket = LATENCY_BUCKET_BOUNDS_US
             .iter()
             .position(|&bound| us <= bound)
             .unwrap_or(BUCKETS - 1);
         self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.latency_total_us.fetch_add(us, Ordering::Relaxed);
+        self.per_kernel[kernel as usize].fetch_add(1, Ordering::Relaxed);
+        saturating_fetch_add(&self.latency_total_us, us);
+        let class = size_class(bits);
+        self.class_served[kernel as usize][class].fetch_add(1, Ordering::Relaxed);
+        saturating_fetch_add(&self.class_total_us[kernel as usize][class], us);
     }
 
     pub(crate) fn record_queue_full(&self) {
@@ -64,6 +116,31 @@ impl Metrics {
     pub(crate) fn observe_queue_depth(&self, depth: usize) {
         self.queue_depth_high_water
             .fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// A coalesced batch of `size` requests was dispatched as one unit.
+    pub(crate) fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+        self.batch_size_high_water
+            .fetch_max(size, Ordering::Relaxed);
+    }
+
+    /// A whole-batch attempt failed (hard fault); its elements were
+    /// re-executed individually.
+    pub(crate) fn record_batch_fault(&self) {
+        self.batch_faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One batch element was retried on the individual supervised path.
+    pub(crate) fn record_batch_element_retry(&self) {
+        self.batch_element_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The adaptive tuner published a new kernel policy.
+    pub(crate) fn record_retune(&self) {
+        self.tuner_retunes.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_retry(&self) {
@@ -98,9 +175,41 @@ impl Metrics {
         self.injected_faults[kind as usize].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Per-(kernel, size-class) `(count, total_us)` cells for the tuner.
+    pub(crate) fn kernel_class_stats(&self) -> ClassStats {
+        std::array::from_fn(|k| {
+            std::array::from_fn(|c| {
+                (
+                    self.class_served[k][c].load(Ordering::Relaxed),
+                    self.class_total_us[k][c].load(Ordering::Relaxed),
+                )
+            })
+        })
+    }
+
     pub(crate) fn snapshot(&self, queue_depth: usize, plan_stats: (u64, u64)) -> MetricsSnapshot {
+        let latency_buckets: [u64; BUCKETS] =
+            std::array::from_fn(|i| self.latency_buckets[i].load(Ordering::Relaxed));
+        // Self-consistency: served is *defined* as the bucket sum, so the
+        // histogram always accounts for exactly the served requests even
+        // when the snapshot races concurrent record_served calls.
+        let served = latency_buckets.iter().sum();
+        let kernel_classes = Kernel::ALL
+            .iter()
+            .flat_map(|&k| {
+                (0..SIZE_CLASSES).filter_map(move |c| {
+                    let count = self.class_served[k as usize][c].load(Ordering::Relaxed);
+                    (count > 0).then(|| KernelClassRow {
+                        kernel: k.name(),
+                        class_bits: 1u64 << c,
+                        served: count,
+                        total_us: self.class_total_us[k as usize][c].load(Ordering::Relaxed),
+                    })
+                })
+            })
+            .collect();
         MetricsSnapshot {
-            served: self.served.load(Ordering::Relaxed),
+            served,
             rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
             timed_out: self.timed_out.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
@@ -112,10 +221,15 @@ impl Metrics {
             }),
             queue_depth,
             queue_depth_high_water: self.queue_depth_high_water.load(Ordering::Relaxed),
-            latency_buckets: std::array::from_fn(|i| {
-                self.latency_buckets[i].load(Ordering::Relaxed)
-            }),
+            latency_buckets,
             latency_total_us: self.latency_total_us.load(Ordering::Relaxed),
+            kernel_classes,
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            batch_size_high_water: self.batch_size_high_water.load(Ordering::Relaxed),
+            batch_faults: self.batch_faults.load(Ordering::Relaxed),
+            batch_element_retries: self.batch_element_retries.load(Ordering::Relaxed),
+            tuner_retunes: self.tuner_retunes.load(Ordering::Relaxed),
             plan_cache_hits: plan_stats.0,
             plan_cache_misses: plan_stats.1,
             retries: self.retries.load(Ordering::Relaxed),
@@ -135,10 +249,35 @@ impl Metrics {
     }
 }
 
+/// One non-empty `(kernel, operand size class)` cell of the served-latency
+/// breakdown; the adaptive tuner steers thresholds from these.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct KernelClassRow {
+    /// Kernel name ([`Kernel::name`]).
+    pub kernel: &'static str,
+    /// Lower bound of the class: operands with
+    /// `class_bits <= min_bits < 2 * class_bits` land here.
+    pub class_bits: u64,
+    /// Requests served from this cell.
+    pub served: u64,
+    /// Summed completion latency of the cell, µs (saturating).
+    pub total_us: u64,
+}
+
+impl KernelClassRow {
+    /// Mean completion latency of the cell in µs.
+    #[must_use]
+    pub fn mean_us(&self) -> u64 {
+        self.total_us.checked_div(self.served).unwrap_or(0)
+    }
+}
+
 /// A point-in-time copy of the service's counters.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct MetricsSnapshot {
-    /// Requests completed successfully.
+    /// Requests completed successfully. Always equals the sum of
+    /// `latency_buckets` (derived from the histogram, see the module docs
+    /// on snapshot consistency).
     pub served: u64,
     /// Submissions refused at the queue boundary (backpressure).
     pub rejected_queue_full: u64,
@@ -146,7 +285,8 @@ pub struct MetricsSnapshot {
     pub timed_out: u64,
     /// Accepted requests shed under load (queue age exceeded the bound).
     pub shed: u64,
-    /// Completions per kernel, keyed by [`Kernel::name`].
+    /// Completions per kernel, keyed by [`Kernel::name`]. May differ from
+    /// `served` by requests in flight at snapshot time.
     pub per_kernel: [(&'static str, u64); 3],
     /// Total queued requests at snapshot time.
     pub queue_depth: usize,
@@ -156,8 +296,24 @@ pub struct MetricsSnapshot {
     /// under [`LATENCY_BUCKET_BOUNDS_US`]`[i]` µs, with one overflow
     /// bucket at the end.
     pub latency_buckets: [u64; BUCKETS],
-    /// Sum of all completion latencies, µs.
+    /// Sum of all completion latencies, µs (saturating at `u64::MAX`).
     pub latency_total_us: u64,
+    /// Non-empty per-(kernel, size-class) latency cells.
+    pub kernel_classes: Vec<KernelClassRow>,
+    /// Coalesced batches dispatched by the async path (groups of ≥ 2).
+    pub batches: u64,
+    /// Requests that rode in those coalesced batches.
+    pub batched_requests: u64,
+    /// Largest coalesced batch dispatched.
+    pub batch_size_high_water: usize,
+    /// Whole-batch attempts that failed and fell back to per-element
+    /// supervised execution.
+    pub batch_faults: u64,
+    /// Batch elements re-executed individually (verification failure or
+    /// whole-batch fault).
+    pub batch_element_retries: u64,
+    /// Kernel-policy updates published by the adaptive tuner.
+    pub tuner_retunes: u64,
     /// Toom-plan cache hits.
     pub plan_cache_hits: u64,
     /// Toom-plan cache misses.
@@ -205,6 +361,19 @@ impl MetricsSnapshot {
                 })
                 .collect(),
         );
+        let classes = Json::Arr(
+            self.kernel_classes
+                .iter()
+                .map(|row| {
+                    obj([
+                        ("kernel", Json::Str(row.kernel.to_string())),
+                        ("class_bits", Json::Num(i128::from(row.class_bits))),
+                        ("served", Json::Num(i128::from(row.served))),
+                        ("mean_us", Json::Num(i128::from(row.mean_us()))),
+                    ])
+                })
+                .collect(),
+        );
         obj([
             ("served", Json::Num(i128::from(self.served))),
             (
@@ -232,6 +401,27 @@ impl MetricsSnapshot {
                 "mean_latency_us",
                 Json::Num(i128::from(self.mean_latency_us())),
             ),
+            ("size_classes", classes),
+            (
+                "batching",
+                obj([
+                    ("batches", Json::Num(i128::from(self.batches))),
+                    (
+                        "batched_requests",
+                        Json::Num(i128::from(self.batched_requests)),
+                    ),
+                    (
+                        "batch_size_high_water",
+                        Json::Num(self.batch_size_high_water as i128),
+                    ),
+                    ("batch_faults", Json::Num(i128::from(self.batch_faults))),
+                    (
+                        "batch_element_retries",
+                        Json::Num(i128::from(self.batch_element_retries)),
+                    ),
+                ]),
+            ),
+            ("tuner_retunes", Json::Num(i128::from(self.tuner_retunes))),
             (
                 "plan_cache_hits",
                 Json::Num(i128::from(self.plan_cache_hits)),
@@ -274,17 +464,23 @@ impl MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn counters_land_in_the_snapshot() {
         let m = Metrics::default();
-        m.record_served(Kernel::Schoolbook, Duration::from_micros(80));
-        m.record_served(Kernel::ParToom, Duration::from_millis(300));
+        m.record_served(Kernel::Schoolbook, 2_000, Duration::from_micros(80));
+        m.record_served(Kernel::ParToom, 200_000, Duration::from_millis(300));
         m.record_queue_full();
         m.record_timed_out();
         m.record_shed();
         m.observe_queue_depth(5);
         m.observe_queue_depth(3);
+        m.record_batch(7);
+        m.record_batch(3);
+        m.record_batch_fault();
+        m.record_batch_element_retry();
+        m.record_retune();
         m.record_retry();
         m.record_retry();
         m.record_fallback();
@@ -305,6 +501,12 @@ mod tests {
         assert_eq!(s.per_kernel[2], ("par_toom", 1));
         assert_eq!(s.latency_buckets[0], 1); // 80 µs ≤ 100 µs
         assert_eq!(s.latency_buckets.iter().sum::<u64>(), 2);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.batched_requests, 10);
+        assert_eq!(s.batch_size_high_water, 7);
+        assert_eq!(s.batch_faults, 1);
+        assert_eq!(s.batch_element_retries, 1);
+        assert_eq!(s.tuner_retunes, 1);
         assert_eq!(s.plan_cache_hits, 10);
         assert_eq!(s.retries, 2);
         assert_eq!(s.fallbacks, 1);
@@ -318,12 +520,108 @@ mod tests {
             ("corrupt", 1)
         );
         assert_eq!(s.injected_faults[FaultKind::Panic as usize], ("panic", 0));
+        // Size-class cells: schoolbook at 2 kbit → class 2^10, par toom at
+        // 200 kbit → class 2^17.
+        assert_eq!(
+            s.kernel_classes,
+            vec![
+                KernelClassRow {
+                    kernel: "schoolbook",
+                    class_bits: 1 << 10,
+                    served: 1,
+                    total_us: 80,
+                },
+                KernelClassRow {
+                    kernel: "par_toom",
+                    class_bits: 1 << 17,
+                    served: 1,
+                    total_us: 300_000,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn size_classes_bucket_by_log2() {
+        assert_eq!(size_class(0), 0);
+        assert_eq!(size_class(1), 0);
+        assert_eq!(size_class(2), 1);
+        assert_eq!(size_class(3), 1);
+        assert_eq!(size_class(4), 2);
+        assert_eq!(size_class(1_023), 9);
+        assert_eq!(size_class(1_024), 10);
+        assert_eq!(size_class(u64::MAX), SIZE_CLASSES - 1);
+    }
+
+    #[test]
+    fn latency_totals_saturate_instead_of_wrapping() {
+        let m = Metrics::default();
+        // Duration::MAX truncates to u64::MAX µs; a second huge latency
+        // must pin the accumulators at the ceiling, not wrap past zero.
+        m.record_served(Kernel::Schoolbook, 1_000, Duration::MAX);
+        m.record_served(Kernel::Schoolbook, 1_000, Duration::MAX);
+        m.record_served(Kernel::Schoolbook, 1_000, Duration::from_micros(7));
+        let s = m.snapshot(0, (0, 0));
+        assert_eq!(s.served, 3);
+        assert_eq!(s.latency_total_us, u64::MAX);
+        assert_eq!(s.kernel_classes[0].total_us, u64::MAX);
+        // The mean stays a (meaningless but finite) in-range value.
+        assert!(s.mean_latency_us() <= u64::MAX / 3 + 1);
+    }
+
+    /// Satellite regression: a snapshot taken while `record_served` runs
+    /// concurrently must never report a histogram whose bucket sum
+    /// disagrees with `served` (the torn-snapshot bug: independently
+    /// loaded relaxed counters).
+    #[test]
+    fn concurrent_snapshots_are_self_consistent() {
+        let m = Arc::new(Metrics::default());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..2)
+            .map(|w| {
+                let m = m.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        // Spread latencies across buckets and kernels.
+                        let us = [40, 700, 3_000, 60_000][(i % 4) as usize];
+                        let kernel = Kernel::ALL[((i + w) % 3) as usize];
+                        m.record_served(kernel, 1_000 << (i % 5), Duration::from_micros(us));
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        let mut last_served = 0;
+        for _ in 0..500 {
+            let s = m.snapshot(0, (0, 0));
+            assert_eq!(
+                s.served,
+                s.latency_buckets.iter().sum::<u64>(),
+                "torn snapshot: served disagrees with its own histogram"
+            );
+            assert!(s.served >= last_served, "served must be monotone");
+            last_served = s.served;
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+        // Quiesced: every per-request counter agrees exactly.
+        let s = m.snapshot(0, (0, 0));
+        assert_eq!(s.per_kernel.iter().map(|&(_, n)| n).sum::<u64>(), s.served);
+        assert_eq!(
+            s.kernel_classes.iter().map(|r| r.served).sum::<u64>(),
+            s.served
+        );
     }
 
     #[test]
     fn snapshot_serializes_to_parseable_json() {
         let m = Metrics::default();
-        m.record_served(Kernel::SeqToom, Duration::from_micros(700));
+        m.record_served(Kernel::SeqToom, 50_000, Duration::from_micros(700));
+        m.record_batch(4);
         let s = m.snapshot(0, (0, 0));
         let doc = crate::json::Json::parse(&s.to_json()).unwrap();
         assert_eq!(doc.get("served").unwrap().as_u64(), Some(1));
@@ -338,6 +636,10 @@ mod tests {
         assert!(
             matches!(doc.get("latency_buckets"), Some(crate::json::Json::Arr(v)) if v.len() == 9)
         );
+        let batching = doc.get("batching").unwrap();
+        assert_eq!(batching.get("batches").unwrap().as_u64(), Some(1));
+        assert_eq!(batching.get("batched_requests").unwrap().as_u64(), Some(4));
+        assert!(matches!(doc.get("size_classes"), Some(crate::json::Json::Arr(v)) if v.len() == 1));
         let robustness = doc.get("robustness").unwrap();
         assert_eq!(robustness.get("retries").unwrap().as_u64(), Some(0));
         assert_eq!(

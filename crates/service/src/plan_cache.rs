@@ -58,6 +58,15 @@ impl PlanCache {
         plan
     }
 
+    /// Resolve (and cache) the plans for every `k` up front, so the first
+    /// request or coalesced batch does not pay plan construction inside
+    /// its latency. Prewarming counts as ordinary misses/hits.
+    pub fn prewarm(&self, ks: impl IntoIterator<Item = usize>) {
+        for k in ks {
+            let _ = self.get(k);
+        }
+    }
+
     /// (hits, misses) so far.
     #[must_use]
     pub fn stats(&self) -> (u64, u64) {
@@ -92,6 +101,15 @@ mod tests {
         assert!(Arc::ptr_eq(&p1, &p2));
         assert_eq!(cache.stats(), (1, 1));
         assert_eq!(p1.k(), 3);
+    }
+
+    #[test]
+    fn prewarm_populates_the_cache() {
+        let cache = PlanCache::new(4);
+        cache.prewarm([3, 4, 3]);
+        assert_eq!(cache.len(), 2);
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (1, 2));
     }
 
     #[test]

@@ -1,13 +1,23 @@
 //! The multiplication service: sharded bounded queues, batching workers,
-//! per-request completion handles.
+//! per-request completion handles, and an event-driven async path.
 //!
 //! Architecture: `submit` round-robins requests across `workers` bounded
 //! crossbeam queues (one per worker, with one failover probe before
 //! reporting backpressure). Each worker drains its queue in batches of up
 //! to `batch_max`, applies the robustness checks (deadline, shedding),
 //! auto-selects a kernel per request, and publishes the product through
-//! the request's completion handle. Shutdown drops the senders; workers
-//! drain what was accepted, then exit.
+//! the request's completion handle.
+//!
+//! `submit_async` instead enqueues on one central queue consumed by the
+//! coalescing dispatcher (see [`crate::dispatcher`]), which groups
+//! same-shape requests into one batch kernel invocation; `submit_many`
+//! ships a whole chunk of requests as one queue message resolved
+//! through one shared [`BatchHandle`], amortizing the submit- and
+//! wait-side costs across the chunk as well. All paths read
+//! the *live* kernel policy, which the adaptive tuner
+//! (see [`crate::tuner`]) re-derives from the latency histogram at
+//! runtime. Shutdown drops the senders; workers and the dispatcher drain
+//! what was accepted, then exit.
 
 use crate::config::ServiceConfig;
 use crate::error::{MulError, SubmitError};
@@ -22,38 +32,99 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// One-shot result slot shared between a worker and a waiting client.
+type Callback = Box<dyn FnOnce(Result<BigInt, MulError>) + Send>;
+
+#[derive(Default)]
+struct CompletionState {
+    result: Option<Result<BigInt, MulError>>,
+    callback: Option<Callback>,
+    done: bool,
+}
+
+/// One-shot result slot shared between a worker and a waiting client,
+/// resolvable either by blocking/polling or by a registered callback.
 #[derive(Default)]
 struct Completion {
-    slot: Mutex<Option<Result<BigInt, MulError>>>,
+    state: Mutex<CompletionState>,
     ready: Condvar,
 }
 
 impl Completion {
-    fn fill(&self, result: Result<BigInt, MulError>) {
-        let mut slot = self
-            .slot
+    fn lock(&self) -> std::sync::MutexGuard<'_, CompletionState> {
+        self.state
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if slot.is_none() {
-            *slot = Some(result);
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn fill(&self, result: Result<BigInt, MulError>) {
+        if self.store(result) {
             self.ready.notify_all();
         }
+    }
+
+    /// Publish `result` under the lock *without* waking a blocked waiter;
+    /// returns whether a notify is still owed. A registered callback runs
+    /// immediately (nothing sleeps on a callback completion).
+    fn store(&self, result: Result<BigInt, MulError>) -> bool {
+        let mut state = self.lock();
+        if state.done {
+            return false;
+        }
+        state.done = true;
+        if let Some(callback) = state.callback.take() {
+            drop(state);
+            // A panicking callback must not take down the service thread
+            // that happened to resolve this request.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| callback(result)));
+            false
+        } else {
+            state.result = Some(result);
+            true
+        }
+    }
+}
+
+/// A deferred wake-up for one staged completion (see
+/// [`CompletionGuard::stage`]). Dropping it delivers the notify, so a
+/// staged result can never strand its waiter.
+pub(crate) struct CompletionWaker {
+    completion: Arc<Completion>,
+}
+
+impl Drop for CompletionWaker {
+    fn drop(&mut self) {
+        self.completion.ready.notify_all();
     }
 }
 
 /// Fills `ServiceStopped` on drop unless a real result was published
 /// first, so `ResponseHandle::wait` can never hang on a lost request
 /// (worker panic, service drop mid-queue).
-struct CompletionGuard {
+pub(crate) struct CompletionGuard {
     completion: Arc<Completion>,
     fulfilled: bool,
 }
 
 impl CompletionGuard {
-    fn fulfill(mut self, result: Result<BigInt, MulError>) {
+    pub(crate) fn fulfill(mut self, result: Result<BigInt, MulError>) {
         self.completion.fill(result);
         self.fulfilled = true;
+    }
+
+    /// Publish the result but defer the waiter's wake-up to the returned
+    /// [`CompletionWaker`] (`None` when no notify is owed, e.g. a callback
+    /// completion). The batch dispatcher stages a whole round of results
+    /// first and wakes afterwards: each notify of a sleeping client is a
+    /// context switch that preempts the publishing thread, so waking
+    /// mid-publication turns a coalesced round back into per-request
+    /// ping-pong. A woken client instead finds every companion result
+    /// already readable and drains them without sleeping again.
+    pub(crate) fn stage(mut self, result: Result<BigInt, MulError>) -> Option<CompletionWaker> {
+        let owed = self.completion.store(result);
+        self.fulfilled = true;
+        owed.then(|| CompletionWaker {
+            completion: self.completion.clone(),
+        })
     }
 }
 
@@ -65,6 +136,196 @@ impl Drop for CompletionGuard {
     }
 }
 
+struct BatchState {
+    results: Vec<Option<Result<BigInt, MulError>>>,
+    remaining: usize,
+}
+
+/// Shared result table for one bulk submission: every element fills its
+/// own slot; the waiter is woken once, when the last slot lands. This is
+/// the wait-side half of the cross-request batching story — `n` requests
+/// share one allocation, one condvar sleep, and one wake instead of `n`
+/// of each.
+struct BatchCompletion {
+    state: Mutex<BatchState>,
+    ready: Condvar,
+}
+
+impl BatchCompletion {
+    fn new(len: usize) -> BatchCompletion {
+        BatchCompletion {
+            state: Mutex::new(BatchState {
+                results: (0..len).map(|_| None).collect(),
+                remaining: len,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BatchState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Fill one slot; returns whether that was the last outstanding slot
+    /// (i.e. the single batch-level notify is now owed).
+    fn store(&self, slot: usize, result: Result<BigInt, MulError>) -> bool {
+        let mut state = self.lock();
+        if state.results[slot].is_none() {
+            state.results[slot] = Some(result);
+            state.remaining -= 1;
+        }
+        state.remaining == 0
+    }
+}
+
+/// Deferred wake-up for a fully-filled batch (see [`CompletionWaker`]).
+pub(crate) struct BatchWaker {
+    completion: Arc<BatchCompletion>,
+}
+
+impl Drop for BatchWaker {
+    fn drop(&mut self) {
+        self.completion.ready.notify_all();
+    }
+}
+
+/// One element's write capability into a [`BatchCompletion`]. Mirrors
+/// [`CompletionGuard`]: dropping it unfulfilled resolves the slot as
+/// `ServiceStopped`, so [`BatchHandle::wait`] can never hang on a lost
+/// request.
+pub(crate) struct BatchSlotGuard {
+    completion: Arc<BatchCompletion>,
+    slot: usize,
+    fulfilled: bool,
+}
+
+impl BatchSlotGuard {
+    fn fulfill(mut self, result: Result<BigInt, MulError>) {
+        if self.completion.store(self.slot, result) {
+            self.completion.ready.notify_all();
+        }
+        self.fulfilled = true;
+    }
+
+    fn stage(mut self, result: Result<BigInt, MulError>) -> Option<BatchWaker> {
+        let last = self.completion.store(self.slot, result);
+        self.fulfilled = true;
+        last.then(|| BatchWaker {
+            completion: self.completion.clone(),
+        })
+    }
+}
+
+impl Drop for BatchSlotGuard {
+    fn drop(&mut self) {
+        if !self.fulfilled {
+            let mut state = self.completion.lock();
+            if state.results[self.slot].is_none() {
+                state.results[self.slot] = Some(Err(MulError::ServiceStopped));
+                state.remaining -= 1;
+                if state.remaining == 0 {
+                    drop(state);
+                    self.completion.ready.notify_all();
+                }
+            }
+        }
+    }
+}
+
+/// How one request publishes its result: through its own
+/// [`Completion`] (per-request submits) or through one slot of a shared
+/// [`BatchCompletion`] (bulk submits).
+pub(crate) enum Done {
+    Single(CompletionGuard),
+    Slot(BatchSlotGuard),
+}
+
+/// A deferred notify from [`Done::stage`] — either kind wakes when the
+/// held waker drops.
+pub(crate) enum DoneWaker {
+    Single { _waker: CompletionWaker },
+    Batch { _waker: BatchWaker },
+}
+
+impl Done {
+    pub(crate) fn fulfill(self, result: Result<BigInt, MulError>) {
+        match self {
+            Done::Single(guard) => guard.fulfill(result),
+            Done::Slot(guard) => guard.fulfill(result),
+        }
+    }
+
+    /// Publish without waking; see [`CompletionGuard::stage`]. A batch
+    /// slot defers its (single, batch-level) notify the same way.
+    pub(crate) fn stage(self, result: Result<BigInt, MulError>) -> Option<DoneWaker> {
+        match self {
+            Done::Single(guard) => guard
+                .stage(result)
+                .map(|waker| DoneWaker::Single { _waker: waker }),
+            Done::Slot(guard) => guard
+                .stage(result)
+                .map(|waker| DoneWaker::Batch { _waker: waker }),
+        }
+    }
+}
+
+/// Client-side handle to one accepted bulk submission
+/// ([`MulService::submit_many`]): resolves to one result per submitted
+/// pair, in submission order.
+pub struct BatchHandle {
+    completion: Arc<BatchCompletion>,
+}
+
+impl BatchHandle {
+    /// How many pairs this submission carries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.completion.lock().results.len()
+    }
+
+    /// Whether the submission was empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Block until every element resolves; results are in submission
+    /// order.
+    pub fn wait(self) -> Vec<Result<BigInt, MulError>> {
+        let mut state = self.completion.lock();
+        while state.remaining > 0 {
+            state = self
+                .completion
+                .ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        state
+            .results
+            .drain(..)
+            .map(|r| r.expect("filled"))
+            .collect()
+    }
+
+    /// Non-blocking poll; `Err(self)` while any element is pending.
+    pub fn try_wait(self) -> Result<Vec<Result<BigInt, MulError>>, BatchHandle> {
+        let mut state = self.completion.lock();
+        if state.remaining > 0 {
+            drop(state);
+            return Err(self);
+        }
+        let results = state
+            .results
+            .drain(..)
+            .map(|r| r.expect("filled"))
+            .collect();
+        drop(state);
+        Ok(results)
+    }
+}
+
 /// Client-side handle to one accepted request.
 pub struct ResponseHandle {
     completion: Arc<Completion>,
@@ -73,31 +334,22 @@ pub struct ResponseHandle {
 impl ResponseHandle {
     /// Block until the request resolves.
     pub fn wait(self) -> Result<BigInt, MulError> {
-        let mut slot = self
-            .completion
-            .slot
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut state = self.completion.lock();
         loop {
-            if let Some(result) = slot.take() {
+            if let Some(result) = state.result.take() {
                 return result;
             }
-            slot = self
+            state = self
                 .completion
                 .ready
-                .wait(slot)
+                .wait(state)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     /// Non-blocking poll; `Err(self)` when the request is still pending.
     pub fn try_wait(self) -> Result<Result<BigInt, MulError>, ResponseHandle> {
-        let taken = self
-            .completion
-            .slot
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .take();
+        let taken = self.completion.lock().result.take();
         match taken {
             Some(result) => Ok(result),
             None => Err(self),
@@ -112,52 +364,144 @@ impl ResponseHandle {
     ) -> Result<Result<BigInt, MulError>, ResponseHandle> {
         let completion = self.completion.clone();
         let deadline = Instant::now().checked_add(timeout);
-        let mut slot = completion
-            .slot
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut state = completion.lock();
         loop {
-            if let Some(result) = slot.take() {
+            if let Some(result) = state.result.take() {
                 return Ok(result);
             }
             // An overflowing deadline (e.g. Duration::MAX) waits forever.
             let Some(deadline) = deadline else {
-                slot = completion
+                state = completion
                     .ready
-                    .wait(slot)
+                    .wait(state)
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
                 continue;
             };
             let now = Instant::now();
             if now >= deadline {
-                drop(slot);
+                drop(state);
                 return Err(self);
             }
             let (guard, _) = completion
                 .ready
-                .wait_timeout(slot, deadline - now)
+                .wait_timeout(state, deadline - now)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            slot = guard;
+            state = guard;
+        }
+    }
+
+    /// Register a callback invoked with the result as soon as the request
+    /// resolves, consuming the handle. If the request already resolved,
+    /// the callback runs immediately on the calling thread; otherwise it
+    /// runs on the service thread that resolves the request — keep it
+    /// short and non-blocking.
+    pub fn on_ready<F>(self, callback: F)
+    where
+        F: FnOnce(Result<BigInt, MulError>) + Send + 'static,
+    {
+        let mut state = self.completion.lock();
+        if let Some(result) = state.result.take() {
+            drop(state);
+            callback(result);
+        } else {
+            state.callback = Some(Box::new(callback));
         }
     }
 }
 
-struct MulRequest {
-    a: BigInt,
-    b: BigInt,
-    /// Submission sequence number; seeds deterministic chaos and backoff
-    /// jitter for this request.
-    index: u64,
-    deadline: Option<Instant>,
-    enqueued_at: Instant,
-    done: CompletionGuard,
+/// A request's deadline, kept overflow-safe: a huge user timeout (e.g.
+/// `Duration::MAX`) saturates to `Far` — it can never expire, but unlike
+/// `None` it still marks the request as deadline-carrying, so load
+/// shedding (which only applies to deadline-less requests) skips it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Deadline {
+    /// No deadline requested; the request is sheddable under load.
+    None,
+    /// Expires at the given instant.
+    At(Instant),
+    /// Requested deadline overflowed `Instant`: effectively infinite.
+    Far,
 }
 
-struct Shared {
-    config: ServiceConfig,
-    metrics: Metrics,
-    plans: PlanCache,
-    supervisor: Supervisor,
+impl Deadline {
+    fn after(timeout: Duration) -> Deadline {
+        Instant::now()
+            .checked_add(timeout)
+            .map_or(Deadline::Far, Deadline::At)
+    }
+
+    fn expired(self, now: Instant) -> bool {
+        matches!(self, Deadline::At(t) if now > t)
+    }
+
+    fn sheddable(self) -> bool {
+        matches!(self, Deadline::None)
+    }
+}
+
+pub(crate) struct MulRequest {
+    pub(crate) a: BigInt,
+    pub(crate) b: BigInt,
+    /// Submission sequence number; seeds deterministic chaos and backoff
+    /// jitter for this request.
+    pub(crate) index: u64,
+    pub(crate) deadline: Deadline,
+    pub(crate) enqueued_at: Instant,
+    pub(crate) done: Done,
+}
+
+/// One message on the async queue: a single request, or a whole bulk
+/// submission travelling as one message. Carrying the batch unexploded
+/// is the submit-side half of cross-request batching — one channel lock,
+/// one timestamp, one wake-up of the dispatcher for `n` requests; the
+/// dispatcher explodes it into per-request entries for gating/grouping.
+pub(crate) enum Submission {
+    One(MulRequest),
+    Many(BatchJob),
+}
+
+pub(crate) struct BatchJob {
+    pub(crate) pairs: Vec<(BigInt, BigInt)>,
+    /// Sequence number of the first element; element `i` is
+    /// `first_index + i` (chaos/jitter seeding stays per-request).
+    pub(crate) first_index: u64,
+    pub(crate) deadline: Deadline,
+    pub(crate) enqueued_at: Instant,
+    pub(crate) slots: Vec<BatchSlotGuard>,
+}
+
+impl BatchJob {
+    /// Explode into per-request entries (dispatcher side).
+    pub(crate) fn explode(self, round: &mut Vec<MulRequest>) {
+        for (offset, ((a, b), slot)) in self.pairs.into_iter().zip(self.slots).enumerate() {
+            round.push(MulRequest {
+                a,
+                b,
+                index: self.first_index + offset as u64,
+                deadline: self.deadline,
+                enqueued_at: self.enqueued_at,
+                done: Done::Slot(slot),
+            });
+        }
+    }
+}
+
+pub(crate) struct Shared {
+    pub(crate) config: ServiceConfig,
+    pub(crate) metrics: Metrics,
+    pub(crate) plans: PlanCache,
+    pub(crate) supervisor: Supervisor,
+    /// The kernel policy currently in force. Starts as
+    /// `config.kernel_policy`; the adaptive tuner republishes it from
+    /// live latency data.
+    pub(crate) live_policy: parking_lot::RwLock<crate::config::KernelPolicy>,
+}
+
+impl Shared {
+    /// The kernel policy currently in force (tuner-adjusted).
+    pub(crate) fn policy(&self) -> crate::config::KernelPolicy {
+        self.live_policy.read().clone()
+    }
 }
 
 /// The batching multiplication service. See the module docs for the
@@ -172,22 +516,32 @@ struct Shared {
 /// let b: BigInt = "-987654321987654321".parse().unwrap();
 /// let handle = service.submit(a.clone(), b.clone()).unwrap();
 /// assert_eq!(handle.wait().unwrap(), a.mul_schoolbook(&b));
+/// let batched = service.submit_async(a.clone(), b.clone()).unwrap();
+/// assert_eq!(batched.wait().unwrap(), a.mul_schoolbook(&b));
+/// let bulk = service.submit_many(vec![(a.clone(), b.clone()); 3]).unwrap();
+/// for result in bulk.wait() {
+///     assert_eq!(result.unwrap(), a.mul_schoolbook(&b));
+/// }
 /// service.shutdown();
 /// ```
 pub struct MulService {
     shared: Arc<Shared>,
     senders: Vec<Sender<MulRequest>>,
+    async_tx: Option<Sender<Submission>>,
     next: AtomicUsize,
     seq: AtomicU64,
     shutting_down: AtomicBool,
     workers: Vec<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+    tuner: Option<crate::tuner::TunerHandle>,
 }
 
 /// Distinguishes worker threads across service instances in one process.
 static SERVICE_ID: AtomicUsize = AtomicUsize::new(0);
 
 impl MulService {
-    /// Spawn the worker pool and start accepting requests.
+    /// Spawn the worker pool, the coalescing dispatcher, and (when
+    /// enabled) the adaptive tuner, and start accepting requests.
     ///
     /// # Panics
     /// Panics on a structurally invalid config (zero workers, zero
@@ -209,8 +563,15 @@ impl MulService {
                 config.verify_residues,
                 config.chaos.clone(),
             ),
+            live_policy: parking_lot::RwLock::new(config.kernel_policy.clone()),
             config,
         });
+        // Resolve both Toom plans up front: the first coalesced batch
+        // should not pay plan construction inside its latency.
+        shared.plans.prewarm([
+            shared.config.kernel_policy.seq_toom_k,
+            shared.config.kernel_policy.par_toom_k,
+        ]);
         let service_id = SERVICE_ID.fetch_add(1, Ordering::Relaxed) % 1_000;
         let mut senders = Vec::with_capacity(shared.config.workers);
         let mut workers = Vec::with_capacity(shared.config.workers);
@@ -228,53 +589,202 @@ impl MulService {
                     .expect("spawn service worker"),
             );
         }
+        let (async_tx, async_rx) = bounded::<Submission>(shared.config.batching.queue_capacity);
+        let dispatcher = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("ftsvc{service_id}-disp"))
+                .spawn(move || crate::dispatcher::dispatcher_loop(&async_rx, &shared))
+                .expect("spawn service dispatcher")
+        };
+        let tuner = shared
+            .config
+            .tuner
+            .enabled
+            .then(|| crate::tuner::spawn(shared.clone(), service_id));
         MulService {
             shared,
             senders,
+            async_tx: Some(async_tx),
             next: AtomicUsize::new(0),
             seq: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
             workers,
+            dispatcher: Some(dispatcher),
+            tuner,
         }
     }
 
     /// Submit `a × b` with no deadline.
     pub fn submit(&self, a: BigInt, b: BigInt) -> Result<ResponseHandle, SubmitError> {
-        self.submit_inner(a, b, None)
+        self.submit_inner(a, b, Deadline::None)
     }
 
     /// Submit `a × b`; if a worker does not reach the request within
-    /// `deadline`, it resolves to [`MulError::DeadlineExceeded`].
+    /// `deadline`, it resolves to [`MulError::DeadlineExceeded`]. Huge
+    /// deadlines (e.g. `Duration::MAX`) saturate to "never expires".
     pub fn submit_with_deadline(
         &self,
         a: BigInt,
         b: BigInt,
         deadline: Duration,
     ) -> Result<ResponseHandle, SubmitError> {
-        self.submit_inner(a, b, Some(Instant::now() + deadline))
+        self.submit_inner(a, b, Deadline::after(deadline))
+    }
+
+    /// Submit `a × b` on the event-driven path: the request is enqueued
+    /// for the coalescing dispatcher, which may merge it with other
+    /// same-shape requests into one batch kernel invocation. Returns
+    /// immediately; resolve the handle by polling ([`ResponseHandle::
+    /// try_wait`]), blocking, or callback ([`ResponseHandle::on_ready`]).
+    pub fn submit_async(&self, a: BigInt, b: BigInt) -> Result<ResponseHandle, SubmitError> {
+        self.submit_async_inner(a, b, Deadline::None)
+    }
+
+    /// [`Self::submit_async`] with a deadline (same saturation semantics
+    /// as [`Self::submit_with_deadline`]).
+    pub fn submit_async_with_deadline(
+        &self,
+        a: BigInt,
+        b: BigInt,
+        deadline: Duration,
+    ) -> Result<ResponseHandle, SubmitError> {
+        self.submit_async_inner(a, b, Deadline::after(deadline))
+    }
+
+    fn make_request(
+        &self,
+        a: BigInt,
+        b: BigInt,
+        deadline: Deadline,
+    ) -> (MulRequest, Arc<Completion>) {
+        let completion = Arc::new(Completion::default());
+        let request = MulRequest {
+            a,
+            b,
+            index: self.seq.fetch_add(1, Ordering::Relaxed),
+            deadline,
+            enqueued_at: Instant::now(),
+            done: Done::Single(CompletionGuard {
+                completion: completion.clone(),
+                fulfilled: false,
+            }),
+        };
+        (request, completion)
+    }
+
+    fn submit_async_inner(
+        &self,
+        a: BigInt,
+        b: BigInt,
+        deadline: Deadline,
+    ) -> Result<ResponseHandle, SubmitError> {
+        if self.shutting_down.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let Some(tx) = self.async_tx.as_ref() else {
+            return Err(SubmitError::ShuttingDown);
+        };
+        let (request, completion) = self.make_request(a, b, deadline);
+        match tx.try_send_counted(Submission::One(request)) {
+            Ok(depth) => {
+                self.shared.metrics.observe_queue_depth(depth);
+                Ok(ResponseHandle { completion })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared.metrics.record_queue_full();
+                Err(SubmitError::QueueFull {
+                    capacity: self.shared.config.batching.queue_capacity,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Bulk async submission: enqueue `pairs` as ONE message for the
+    /// coalescing dispatcher and resolve them through one shared
+    /// [`BatchHandle`]. This is the cross-request batching entry point —
+    /// relative to `pairs.len()` calls of [`Self::submit_async`] it pays
+    /// the channel lock, the enqueue timestamp, the completion
+    /// allocation, and the client's blocking wait once per *batch*
+    /// instead of once per request, mirroring the paper's per-batch (not
+    /// per-multiplication) bandwidth/latency accounting. Elements still
+    /// gate, group, verify, and count in metrics individually.
+    ///
+    /// The whole submission occupies one slot of the async queue
+    /// regardless of length. Results come back in submission order.
+    pub fn submit_many(&self, pairs: Vec<(BigInt, BigInt)>) -> Result<BatchHandle, SubmitError> {
+        self.submit_many_inner(pairs, Deadline::None)
+    }
+
+    /// [`Self::submit_many`] with one deadline covering every element
+    /// (same saturation semantics as [`Self::submit_with_deadline`]).
+    pub fn submit_many_with_deadline(
+        &self,
+        pairs: Vec<(BigInt, BigInt)>,
+        deadline: Duration,
+    ) -> Result<BatchHandle, SubmitError> {
+        self.submit_many_inner(pairs, Deadline::after(deadline))
+    }
+
+    fn submit_many_inner(
+        &self,
+        pairs: Vec<(BigInt, BigInt)>,
+        deadline: Deadline,
+    ) -> Result<BatchHandle, SubmitError> {
+        if self.shutting_down.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let Some(tx) = self.async_tx.as_ref() else {
+            return Err(SubmitError::ShuttingDown);
+        };
+        let completion = Arc::new(BatchCompletion::new(pairs.len()));
+        if pairs.is_empty() {
+            // Nothing to enqueue; the handle resolves immediately.
+            return Ok(BatchHandle { completion });
+        }
+        let slots = (0..pairs.len())
+            .map(|slot| BatchSlotGuard {
+                completion: completion.clone(),
+                slot,
+                fulfilled: false,
+            })
+            .collect();
+        let first_index = self.seq.fetch_add(pairs.len() as u64, Ordering::Relaxed);
+        let job = BatchJob {
+            pairs,
+            first_index,
+            deadline,
+            enqueued_at: Instant::now(),
+            slots,
+        };
+        match tx.try_send_counted(Submission::Many(job)) {
+            Ok(depth) => {
+                self.shared.metrics.observe_queue_depth(depth);
+                Ok(BatchHandle { completion })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared.metrics.record_queue_full();
+                // The rejected job's slot guards resolved the handle as
+                // ServiceStopped on drop; the caller only sees the error.
+                Err(SubmitError::QueueFull {
+                    capacity: self.shared.config.batching.queue_capacity,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+        }
     }
 
     fn submit_inner(
         &self,
         a: BigInt,
         b: BigInt,
-        deadline: Option<Instant>,
+        deadline: Deadline,
     ) -> Result<ResponseHandle, SubmitError> {
         if self.shutting_down.load(Ordering::Acquire) {
             return Err(SubmitError::ShuttingDown);
         }
-        let completion = Arc::new(Completion::default());
-        let mut request = MulRequest {
-            a,
-            b,
-            index: self.seq.fetch_add(1, Ordering::Relaxed),
-            deadline,
-            enqueued_at: Instant::now(),
-            done: CompletionGuard {
-                completion: completion.clone(),
-                fulfilled: false,
-            },
-        };
+        let (mut request, completion) = self.make_request(a, b, deadline);
         let n = self.senders.len();
         let first = self.next.fetch_add(1, Ordering::Relaxed);
         // Round-robin with up to one full-queue failover probe. A
@@ -284,9 +794,9 @@ impl MulService {
         let mut disconnected = 0;
         for offset in 0..n {
             let sender = &self.senders[(first + offset) % n];
-            match sender.try_send(request) {
-                Ok(()) => {
-                    self.shared.metrics.observe_queue_depth(sender.len());
+            match sender.try_send_counted(request) {
+                Ok(depth) => {
+                    self.shared.metrics.observe_queue_depth(depth);
                     return Ok(ResponseHandle { completion });
                 }
                 Err(TrySendError::Full(r)) => {
@@ -316,7 +826,8 @@ impl MulService {
     /// Point-in-time metrics (counters plus current total queue depth).
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
-        let depth = self.senders.iter().map(Sender::len).sum();
+        let depth = self.senders.iter().map(Sender::len).sum::<usize>()
+            + self.async_tx.as_ref().map_or(0, Sender::len);
         self.shared
             .metrics
             .snapshot(depth, self.shared.plans.stats())
@@ -328,6 +839,13 @@ impl MulService {
         &self.shared.config
     }
 
+    /// The kernel policy currently in force: the configured one until the
+    /// adaptive tuner republishes thresholds from live latency data.
+    #[must_use]
+    pub fn live_policy(&self) -> crate::config::KernelPolicy {
+        self.shared.policy()
+    }
+
     /// Stop accepting work, drain every accepted request, join the
     /// workers, and return the final metrics.
     pub fn shutdown(mut self) -> MetricsSnapshot {
@@ -337,7 +855,16 @@ impl MulService {
 
     fn stop_and_join(&mut self) {
         self.shutting_down.store(true, Ordering::Release);
-        self.senders.clear(); // disconnects the channels once queues drain
+        if let Some(tuner) = self.tuner.take() {
+            tuner.stop();
+        }
+        // Disconnect the channels; workers and dispatcher drain whatever
+        // was already accepted, then exit.
+        self.async_tx = None;
+        self.senders.clear();
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
         for handle in self.workers.drain(..) {
             // A panicked worker already resolved its lost requests as
             // ServiceStopped via CompletionGuard; nothing more to do.
@@ -370,40 +897,62 @@ fn worker_loop(rx: &Receiver<MulRequest>, shared: &Shared) {
     }
 }
 
-fn process(request: MulRequest, shared: &Shared) {
-    let waited = request.enqueued_at.elapsed();
-    if let Some(deadline) = request.deadline {
-        if Instant::now() > deadline {
-            shared.metrics.record_timed_out();
-            request
-                .done
-                .fulfill(Err(MulError::DeadlineExceeded { waited }));
-            return;
-        }
-    } else if let Some(shed_after_ms) = shared.config.shed_after_ms {
-        if waited > Duration::from_millis(shed_after_ms) {
-            shared.metrics.record_shed();
-            request.done.fulfill(Err(MulError::Shed { waited }));
-            return;
+/// Apply the pre-execution admission checks: reject a request whose
+/// deadline has already passed (counted `timed_out` — this includes the
+/// race where the deadline expires between dequeue and this check), shed
+/// an over-aged deadline-less request. Returns the request when it should
+/// run; `None` when it was resolved with a rejection. `now` is sampled by
+/// the caller (once per dequeued batch, not per element — clock reads
+/// are a measurable cost at coalesced-round sizes).
+pub(crate) fn gate(request: MulRequest, now: Instant, shared: &Shared) -> Option<MulRequest> {
+    let waited = now.saturating_duration_since(request.enqueued_at);
+    if request.deadline.expired(now) {
+        shared.metrics.record_timed_out();
+        request
+            .done
+            .fulfill(Err(MulError::DeadlineExceeded { waited }));
+        return None;
+    }
+    if request.deadline.sheddable() {
+        if let Some(shed_after_ms) = shared.config.shed_after_ms {
+            if waited > Duration::from_millis(shed_after_ms) {
+                shared.metrics.record_shed();
+                request.done.fulfill(Err(MulError::Shed { waited }));
+                return None;
+            }
         }
     }
-    let selected = Kernel::select(&request.a, &request.b, &shared.config.kernel_policy);
+    Some(request)
+}
+
+/// Execute one admitted request on the individual supervised path and
+/// publish its result.
+pub(crate) fn execute_single(request: MulRequest, shared: &Shared) {
+    let policy = shared.policy();
+    let selected = Kernel::select(&request.a, &request.b, &policy);
     match shared.supervisor.execute(
         &request.a,
         &request.b,
         request.index,
         selected,
-        &shared.config.kernel_policy,
+        &policy,
         &shared.plans,
         &shared.metrics,
     ) {
         Ok((product, kernel)) => {
+            let bits = request.a.bit_length().min(request.b.bit_length());
             shared
                 .metrics
-                .record_served(kernel, request.enqueued_at.elapsed());
+                .record_served(kernel, bits, request.enqueued_at.elapsed());
             request.done.fulfill(Ok(product));
         }
         Err(error) => request.done.fulfill(Err(error)),
+    }
+}
+
+pub(crate) fn process(request: MulRequest, shared: &Shared) {
+    if let Some(request) = gate(request, Instant::now(), shared) {
+        execute_single(request, shared);
     }
 }
 
@@ -515,6 +1064,59 @@ mod tests {
         }
         assert!(blocker.wait().is_ok());
         assert_eq!(service.shutdown().timed_out, 1);
+    }
+
+    /// Satellite regression: `submit_with_deadline(Duration::MAX)` used to
+    /// compute `Instant::now() + deadline` unchecked and panic; it must
+    /// saturate to a never-expiring deadline instead, on both submit
+    /// paths.
+    #[test]
+    fn huge_deadlines_saturate_instead_of_panicking() {
+        let service = MulService::start(ServiceConfig::default());
+        let mut rng = rng(17);
+        let a = BigInt::random_signed_bits(&mut rng, 600);
+        let b = BigInt::random_signed_bits(&mut rng, 600);
+        let want = a.mul_schoolbook(&b);
+        let sync = service
+            .submit_with_deadline(a.clone(), b.clone(), Duration::MAX)
+            .unwrap();
+        assert_eq!(sync.wait().unwrap(), want);
+        let huge = Duration::MAX - Duration::from_nanos(1);
+        let asynced = service
+            .submit_async_with_deadline(a.clone(), b.clone(), huge)
+            .unwrap();
+        assert_eq!(asynced.wait().unwrap(), want);
+        let metrics = service.shutdown();
+        assert_eq!(metrics.served, 2);
+        assert_eq!(metrics.timed_out, 0, "a Far deadline never expires");
+    }
+
+    /// Satellite regression: a saturated (`Far`) deadline is still a
+    /// deadline — shedding must not touch it.
+    #[test]
+    fn far_deadline_is_not_sheddable() {
+        let config = ServiceConfig {
+            workers: 1,
+            shed_after_ms: Some(0),
+            kernel_policy: blocker_policy(),
+            ..ServiceConfig::default()
+        };
+        let service = MulService::start(config);
+        let mut rng = rng(18);
+        let big = BigInt::random_bits(&mut rng, 400_000);
+        let blocker = service
+            .submit_with_deadline(big.clone(), big, Duration::from_secs(3600))
+            .unwrap();
+        let tiny = BigInt::random_bits(&mut rng, 64);
+        // Queued behind the blocker with shed_after_ms = 0: a deadline-less
+        // request would be shed, but Duration::MAX saturates to Far which
+        // still counts as deadline-carrying.
+        let kept = service
+            .submit_with_deadline(tiny.clone(), tiny.clone(), Duration::MAX)
+            .unwrap();
+        assert_eq!(kept.wait().unwrap(), tiny.mul_schoolbook(&tiny));
+        assert!(blocker.wait().is_ok());
+        assert_eq!(service.shutdown().shed, 0);
     }
 
     #[test]
@@ -638,8 +1240,371 @@ mod tests {
         service.shutting_down.store(true, Ordering::Release);
         let one: BigInt = "1".parse().unwrap();
         assert!(matches!(
-            service.submit(one.clone(), one),
+            service.submit(one.clone(), one.clone()),
             Err(SubmitError::ShuttingDown)
         ));
+        assert!(matches!(
+            service.submit_async(one.clone(), one),
+            Err(SubmitError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn async_requests_resolve_and_coalesce() {
+        let config = ServiceConfig {
+            // A generous window so quickly-submitted requests coalesce
+            // deterministically into few batches.
+            batching: crate::config::BatchingConfig {
+                window_us: 50_000,
+                max_batch: 8,
+                ..crate::config::BatchingConfig::default()
+            },
+            tuner: crate::config::TunerConfig {
+                enabled: false,
+                ..crate::config::TunerConfig::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let service = MulService::start(config);
+        let mut rng = rng(19);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            // Same size class (4 kbit) and kernel → one coalesced group.
+            let a = BigInt::random_signed_bits(&mut rng, 4_000);
+            let b = BigInt::random_signed_bits(&mut rng, 4_000);
+            let want = a.mul_schoolbook(&b);
+            handles.push((service.submit_async(a, b).unwrap(), want));
+        }
+        for (handle, want) in handles {
+            assert_eq!(handle.wait().unwrap(), want);
+        }
+        let metrics = service.shutdown();
+        assert_eq!(metrics.served, 8);
+        assert!(metrics.batches >= 1, "expected coalescing, got none");
+        assert!(
+            metrics.batched_requests >= 2,
+            "batched_requests {}",
+            metrics.batched_requests
+        );
+        assert!(metrics.batch_size_high_water >= 2);
+    }
+
+    #[test]
+    fn mixed_shapes_still_resolve_correctly_async() {
+        let service = MulService::start(ServiceConfig::default());
+        let mut rng = rng(20);
+        let mut handles = Vec::new();
+        for bits in [100u64, 700, 3_000, 3_100, 20_000, 100, 20_500, 64] {
+            let a = BigInt::random_signed_bits(&mut rng, bits);
+            let b = BigInt::random_signed_bits(&mut rng, bits);
+            let want = a.mul_schoolbook(&b);
+            handles.push((service.submit_async(a, b).unwrap(), want));
+        }
+        for (handle, want) in handles {
+            assert_eq!(handle.wait().unwrap(), want);
+        }
+        assert_eq!(service.shutdown().served, 8);
+    }
+
+    #[test]
+    fn on_ready_callback_fires_with_the_product() {
+        let service = MulService::start(ServiceConfig::default());
+        let mut rng = rng(21);
+        let a = BigInt::random_signed_bits(&mut rng, 2_000);
+        let b = BigInt::random_signed_bits(&mut rng, 2_000);
+        let want = a.mul_schoolbook(&b);
+        let (tx, rx) = std::sync::mpsc::channel();
+        service
+            .submit_async(a, b)
+            .unwrap()
+            .on_ready(move |result| tx.send(result).unwrap());
+        let got = rx.recv_timeout(Duration::from_secs(60)).unwrap();
+        assert_eq!(got.unwrap(), want);
+        // A callback registered after resolution fires immediately.
+        let c = BigInt::random_signed_bits(&mut rng, 1_000);
+        let d = BigInt::random_signed_bits(&mut rng, 1_000);
+        let want2 = c.mul_schoolbook(&d);
+        let handle = service.submit(c, d).unwrap();
+        // Wait for completion through the metrics, keeping the handle.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while service.metrics().served < 2 {
+            assert!(Instant::now() < deadline, "request did not complete");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        handle.on_ready(move |result| tx.send(result).unwrap());
+        assert_eq!(rx.try_recv().unwrap().unwrap(), want2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn on_ready_reports_service_stopped_for_dropped_requests() {
+        let config = ServiceConfig {
+            workers: 1,
+            kernel_policy: blocker_policy(),
+            ..ServiceConfig::default()
+        };
+        let service = MulService::start(config);
+        let mut rng = rng(22);
+        let big = BigInt::random_bits(&mut rng, 300_000);
+        let blocker = service.submit(big.clone(), big).unwrap();
+        let tiny = BigInt::random_bits(&mut rng, 64);
+        let (tx, rx) = std::sync::mpsc::channel();
+        service
+            .submit_async(tiny.clone(), tiny)
+            .unwrap()
+            .on_ready(move |result| tx.send(result).unwrap());
+        // Shutdown drains the async queue, so the callback fires with the
+        // real product (or ServiceStopped if the dispatcher lost it —
+        // either way it *fires*).
+        drop(blocker);
+        service.shutdown();
+        let got = rx.recv_timeout(Duration::from_secs(60)).unwrap();
+        assert!(matches!(got, Ok(_) | Err(MulError::ServiceStopped)));
+    }
+
+    /// Satellite (e): a request whose deadline expires while it sits in
+    /// the queue behind a chaos-injected straggler must resolve as
+    /// `DeadlineExceeded` and count in `timed_out` — never in `served`.
+    /// Deterministic: one worker, the straggler is forced on request 0.
+    #[test]
+    fn deadline_expiring_behind_straggler_counts_timed_out() {
+        crate::chaos::install_quiet_panic_hook();
+        let config = ServiceConfig {
+            workers: 1,
+            // Straggle request 0 for 80 ms on its first attempt.
+            chaos: Some(crate::chaos::ChaosConfig {
+                straggle_ms: 80,
+                force: vec![(0, crate::chaos::FaultKind::Straggle)],
+                ..crate::chaos::ChaosConfig::default()
+            }),
+            ..ServiceConfig::default()
+        };
+        let service = MulService::start(config);
+        let mut rng = rng(23);
+        let x = BigInt::random_bits(&mut rng, 500);
+        let straggler = service.submit(x.clone(), x.clone()).unwrap();
+        // Queued behind the straggler with a 5 ms deadline: it expires
+        // while request 0 sleeps, after this request was already accepted
+        // (and possibly already dequeued into the worker's batch).
+        let doomed = service
+            .submit_with_deadline(x.clone(), x.clone(), Duration::from_millis(5))
+            .unwrap();
+        assert!(straggler.wait().is_ok());
+        match doomed.wait() {
+            Err(MulError::DeadlineExceeded { waited }) => {
+                assert!(waited >= Duration::from_millis(5));
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let metrics = service.shutdown();
+        assert_eq!(metrics.timed_out, 1);
+        assert_eq!(metrics.served, 1, "the doomed request must not serve");
+    }
+
+    /// Same race on the async path: the deadline expires inside the
+    /// dispatcher's coalescing window / behind a straggling batch.
+    #[test]
+    fn async_deadline_expiring_in_queue_counts_timed_out() {
+        crate::chaos::install_quiet_panic_hook();
+        let config = ServiceConfig {
+            chaos: Some(crate::chaos::ChaosConfig {
+                straggle_ms: 80,
+                force: vec![(0, crate::chaos::FaultKind::Straggle)],
+                ..crate::chaos::ChaosConfig::default()
+            }),
+            ..ServiceConfig::default()
+        };
+        let service = MulService::start(config);
+        let mut rng = rng(24);
+        let x = BigInt::random_bits(&mut rng, 500);
+        let straggler = service.submit_async(x.clone(), x.clone()).unwrap();
+        // Let the dispatcher pick up the straggler batch first.
+        std::thread::sleep(Duration::from_millis(10));
+        let doomed = service
+            .submit_async_with_deadline(x.clone(), x.clone(), Duration::from_millis(5))
+            .unwrap();
+        assert!(straggler.wait().is_ok());
+        match doomed.wait() {
+            Err(MulError::DeadlineExceeded { .. }) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let metrics = service.shutdown();
+        assert_eq!(metrics.timed_out, 1);
+        assert_eq!(metrics.served, 1);
+    }
+
+    #[test]
+    fn submit_many_resolves_in_submission_order() {
+        let service = MulService::start(ServiceConfig::default());
+        let mut rng = rng(26);
+        let mut pairs = Vec::new();
+        let mut want = Vec::new();
+        // Mixed sizes in one bulk submission: the dispatcher explodes it
+        // into several (kernel, size-class) groups, yet results must come
+        // back in submission order.
+        for bits in [100u64, 700, 100, 3_000, 700, 3_100, 64, 100] {
+            let a = BigInt::random_signed_bits(&mut rng, bits);
+            let b = BigInt::random_signed_bits(&mut rng, bits);
+            want.push(a.mul_schoolbook(&b));
+            pairs.push((a, b));
+        }
+        let handle = service.submit_many(pairs).unwrap();
+        assert_eq!(handle.len(), 8);
+        let results = handle.wait();
+        assert_eq!(results.len(), 8);
+        for (result, want) in results.into_iter().zip(want) {
+            assert_eq!(result.unwrap(), want);
+        }
+        let metrics = service.shutdown();
+        assert_eq!(metrics.served, 8);
+        assert!(metrics.batches >= 1);
+    }
+
+    #[test]
+    fn submit_many_empty_resolves_immediately() {
+        let service = MulService::start(ServiceConfig::default());
+        let handle = service.submit_many(Vec::new()).unwrap();
+        assert!(handle.is_empty());
+        assert_eq!(handle.try_wait().map_err(|_| ()).unwrap(), Vec::new());
+        service.shutdown();
+    }
+
+    #[test]
+    fn submit_many_deadline_covers_every_element() {
+        crate::chaos::install_quiet_panic_hook();
+        // The dispatcher grinds a forced straggler first; the bulk
+        // submission's 5 ms deadline expires in-queue for ALL elements.
+        let config = ServiceConfig {
+            chaos: Some(crate::chaos::ChaosConfig {
+                straggle_ms: 80,
+                force: vec![(0, crate::chaos::FaultKind::Straggle)],
+                ..crate::chaos::ChaosConfig::default()
+            }),
+            ..ServiceConfig::default()
+        };
+        let service = MulService::start(config);
+        let mut rng = rng(27);
+        let x = BigInt::random_bits(&mut rng, 500);
+        let straggler = service.submit_async(x.clone(), x.clone()).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        let doomed = service
+            .submit_many_with_deadline(
+                vec![(x.clone(), x.clone()), (x.clone(), x.clone())],
+                Duration::from_millis(5),
+            )
+            .unwrap();
+        assert!(straggler.wait().is_ok());
+        for result in doomed.wait() {
+            match result {
+                Err(MulError::DeadlineExceeded { .. }) => {}
+                other => panic!("expected DeadlineExceeded, got {other:?}"),
+            }
+        }
+        let metrics = service.shutdown();
+        assert_eq!(metrics.timed_out, 2);
+        assert_eq!(metrics.served, 1);
+    }
+
+    #[test]
+    fn submit_many_wait_survives_shutdown_drain() {
+        let service = MulService::start(ServiceConfig::default());
+        let mut rng = rng(28);
+        let pairs: Vec<_> = (0..16)
+            .map(|_| {
+                (
+                    BigInt::random_signed_bits(&mut rng, 1_000),
+                    BigInt::random_signed_bits(&mut rng, 1_000),
+                )
+            })
+            .collect();
+        let want: Vec<_> = pairs.iter().map(|(a, b)| a.mul_schoolbook(b)).collect();
+        let handle = service.submit_many(pairs).unwrap();
+        // Shutdown drains the accepted job; every slot must resolve (to
+        // the real product here — the drop-guards would resolve lost
+        // slots as ServiceStopped instead of hanging the wait).
+        service.shutdown();
+        for (result, want) in handle.wait().into_iter().zip(want) {
+            assert_eq!(result.unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn submit_many_queue_full_reports_and_resolves() {
+        let config = ServiceConfig {
+            kernel_policy: blocker_policy(),
+            batching: crate::config::BatchingConfig {
+                queue_capacity: 1,
+                ..crate::config::BatchingConfig::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let service = MulService::start(config);
+        let mut rng = rng(29);
+        let big = BigInt::random_bits(&mut rng, 400_000);
+        let blocker = service.submit_async(big.clone(), big.clone()).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let tiny = BigInt::random_bits(&mut rng, 64);
+        // Capacity-1 queue with the dispatcher busy: the first bulk job
+        // parks in the queue, further ones bounce whole.
+        let mut rejected = 0;
+        let mut accepted = Vec::new();
+        for _ in 0..3 {
+            match service.submit_many(vec![(tiny.clone(), tiny.clone()); 4]) {
+                Ok(handle) => accepted.push(handle),
+                Err(e) => {
+                    assert_eq!(e, SubmitError::QueueFull { capacity: 1 });
+                    rejected += 1;
+                }
+            }
+        }
+        assert!(rejected >= 1, "expected at least one QueueFull");
+        assert_eq!(blocker.wait().unwrap(), big.mul_schoolbook(&big));
+        let expect = tiny.mul_schoolbook(&tiny);
+        for handle in accepted {
+            for result in handle.wait() {
+                assert_eq!(result.unwrap(), expect);
+            }
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn async_backpressure_reports_queue_full() {
+        let config = ServiceConfig {
+            kernel_policy: blocker_policy(),
+            batching: crate::config::BatchingConfig {
+                queue_capacity: 1,
+                ..crate::config::BatchingConfig::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let service = MulService::start(config);
+        let mut rng = rng(25);
+        let big = BigInt::random_bits(&mut rng, 400_000);
+        let blocker = service.submit_async(big.clone(), big.clone()).unwrap();
+        // Let the dispatcher dequeue the blocker and start grinding.
+        std::thread::sleep(Duration::from_millis(50));
+        let tiny = BigInt::random_bits(&mut rng, 64);
+        // Capacity-1 queue: the first submission parks, further ones
+        // bounce with the async queue's capacity in the error.
+        let mut rejected = 0;
+        let mut accepted = Vec::new();
+        for _ in 0..3 {
+            match service.submit_async(tiny.clone(), tiny.clone()) {
+                Ok(handle) => accepted.push(handle),
+                Err(e) => {
+                    assert_eq!(e, SubmitError::QueueFull { capacity: 1 });
+                    rejected += 1;
+                }
+            }
+        }
+        assert!(rejected >= 1, "expected at least one QueueFull");
+        assert_eq!(blocker.wait().unwrap(), big.mul_schoolbook(&big));
+        let expect = tiny.mul_schoolbook(&tiny);
+        for handle in accepted {
+            assert_eq!(handle.wait().unwrap(), expect);
+        }
+        service.shutdown();
     }
 }

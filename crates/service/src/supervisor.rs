@@ -19,7 +19,7 @@ use crate::kernel::Kernel;
 use crate::metrics::Metrics;
 use crate::plan_cache::PlanCache;
 use ft_bigint::BigInt;
-use ft_toom_core::residue;
+use ft_toom_core::{rayon_engine, residue};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -269,9 +269,29 @@ impl Supervisor {
         plans: &PlanCache,
         metrics: &Metrics,
     ) -> Result<(BigInt, Kernel), MulError> {
+        self.execute_from(a, b, request, selected, policy, plans, metrics, 0)
+    }
+
+    /// [`Self::execute`] with the attempt counter starting at
+    /// `start_attempt`: the batch path hands its elements here with
+    /// `start_attempt == 1` so the failed batch attempt both consumes
+    /// retry budget and keeps the chaos attempt sequence monotone (a
+    /// fault injected at attempt 0 in the batch is not re-drawn).
+    #[allow(clippy::too_many_arguments)]
+    fn execute_from(
+        &self,
+        a: &BigInt,
+        b: &BigInt,
+        request: u64,
+        selected: Kernel,
+        policy: &crate::config::KernelPolicy,
+        plans: &PlanCache,
+        metrics: &Metrics,
+        start_attempt: u32,
+    ) -> Result<(BigInt, Kernel), MulError> {
         let max_attempts = self.retry.max_retries + 1;
         let mut forced: Option<Kernel> = None;
-        let mut attempt: u32 = 0;
+        let mut attempt: u32 = start_attempt;
         loop {
             let kernel = forced.unwrap_or_else(|| self.effective_kernel(selected, Instant::now()));
             if kernel != selected {
@@ -307,6 +327,158 @@ impl Supervisor {
                 std::thread::sleep(pause);
             }
         }
+    }
+
+    /// Supervised execution of one coalesced batch. The whole batch is a
+    /// single attempt (one chaos draw per element at attempt 0, one
+    /// `catch_unwind`, one breaker update): if the batch attempt panics,
+    /// or individual products fail their residue spot-check, only the
+    /// affected elements are re-executed on the individual retry path —
+    /// one faulty element never fails its batch-mates.
+    ///
+    /// Returns per-element results in input order. `requests[i]` is the
+    /// submission index of `pairs[i]` (seeds chaos and backoff).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn execute_batch(
+        &self,
+        pairs: &[(BigInt, BigInt)],
+        requests: &[u64],
+        selected: Kernel,
+        policy: &crate::config::KernelPolicy,
+        plans: &PlanCache,
+        metrics: &Metrics,
+        lanes: usize,
+    ) -> Vec<Result<(BigInt, Kernel), MulError>> {
+        debug_assert_eq!(pairs.len(), requests.len());
+        let kernel = self.effective_kernel(selected, Instant::now());
+        if kernel != selected {
+            metrics.record_fallback();
+        }
+        let retry_element = |i: usize| {
+            metrics.record_batch_element_retry();
+            metrics.record_retry();
+            self.execute_from(
+                &pairs[i].0,
+                &pairs[i].1,
+                requests[i],
+                selected,
+                policy,
+                plans,
+                metrics,
+                1,
+            )
+        };
+        match self.attempt_batch(pairs, requests, kernel, policy, plans, metrics, lanes) {
+            Ok(products) => {
+                // Sound elements resolve from the batch; elements whose
+                // residue check failed inside the attempt retry alone.
+                if products.iter().any(Option::is_none) {
+                    self.record_failure(kernel, metrics);
+                } else if self.breaker_state(kernel).on_success() {
+                    metrics.record_breaker_close();
+                }
+                products
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, product)| match product {
+                        Some(product) => Ok((product, kernel)),
+                        None => retry_element(i),
+                    })
+                    .collect()
+            }
+            Err(()) => {
+                // Hard batch fault: one breaker failure, then every
+                // element falls back to the individual supervised path.
+                self.record_failure(kernel, metrics);
+                metrics.record_batch_fault();
+                (0..pairs.len()).map(retry_element).collect()
+            }
+        }
+    }
+
+    /// One supervised batch attempt: draw chaos per element (attempt 0),
+    /// run the whole batch under a single `catch_unwind`, and spot-check
+    /// every product. Returns one entry per element — `Some` for a
+    /// verified (or unverified-by-config) product, `None` for one that
+    /// failed its residue check — or `Err(())` when the attempt panicked.
+    /// Injected panics are never escalated here — the dispatcher thread
+    /// must survive; the escalation path stays on the per-worker
+    /// individual attempts.
+    ///
+    /// On a single lane the verification is *fused*: each product is
+    /// checked right after its multiplication, while operands and product
+    /// are still cache-hot. A batch big enough to overflow L1 would
+    /// otherwise pay a second cold pass over every element — measured as
+    /// the difference between the batch path losing to and beating the
+    /// per-request baseline. Multi-lane batches verify after the lanes
+    /// join, where each lane's chunk re-walk is the price of parallelism.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_batch(
+        &self,
+        pairs: &[(BigInt, BigInt)],
+        requests: &[u64],
+        kernel: Kernel,
+        policy: &crate::config::KernelPolicy,
+        plans: &PlanCache,
+        metrics: &Metrics,
+        lanes: usize,
+    ) -> Result<Vec<Option<BigInt>>, ()> {
+        let faults: Vec<Option<FaultKind>> = requests
+            .iter()
+            .map(|&request| {
+                self.chaos
+                    .as_ref()
+                    .and_then(|chaos| chaos.decide(request, 0))
+            })
+            .collect();
+        for kind in faults.iter().flatten() {
+            metrics.record_injected(*kind);
+        }
+        panic::catch_unwind(AssertUnwindSafe(|| {
+            let chaos = self.chaos.as_ref();
+            if faults.iter().flatten().any(|&k| k == FaultKind::Straggle) {
+                // One straggler delays the whole batch — the batch shares
+                // its fate, like a slow processor in the paper's model.
+                std::thread::sleep(chaos.map_or(Duration::ZERO, ChaosConfig::straggle_duration));
+            }
+            if let Some(i) = faults.iter().position(|&k| k == Some(FaultKind::Panic)) {
+                panic!(
+                    "{INJECTED_PANIC_MSG} (batch element {i}, request {})",
+                    requests[i]
+                );
+            }
+            // Corrupt (per the chaos draw) and spot-check one product.
+            let check = |i: usize, mut product: BigInt| -> Option<BigInt> {
+                if let Some(chaos) = chaos {
+                    if faults[i] == Some(FaultKind::Corrupt) {
+                        product = chaos.corrupt(&product, requests[i], 0);
+                    }
+                }
+                if self.verify_residues {
+                    metrics.record_residue_check();
+                    if !residue::verify_product(&pairs[i].0, &pairs[i].1, &product) {
+                        metrics.record_verification_failure();
+                        return None;
+                    }
+                }
+                Some(product)
+            };
+            if rayon_engine::effective_lanes(lanes, pairs.len()) <= 1 {
+                let mut out = Vec::with_capacity(pairs.len());
+                kernel.execute_each(pairs, policy, plans, |i, product| {
+                    out.push(check(i, product));
+                });
+                out
+            } else {
+                kernel
+                    .execute_batch(pairs, policy, plans, lanes)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, product)| check(i, product))
+                    .collect()
+            }
+        }))
+        .map_err(|_| ())
     }
 
     /// One supervised attempt: inject chaos, run the kernel under
@@ -579,6 +751,146 @@ mod tests {
         // 2 budgeted attempts + forced seq toom + forced schoolbook.
         assert_eq!(err, MulError::WorkerFault { attempts: 4 });
         assert_eq!(metrics.snapshot(0, (0, 0)).worker_faults, 1);
+    }
+
+    fn batch_pairs(n: u64) -> (Vec<(BigInt, BigInt)>, Vec<u64>) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let pairs: Vec<_> = (0..n)
+            .map(|i| {
+                (
+                    BigInt::random_signed_bits(&mut rng, 500 + 300 * i),
+                    BigInt::random_signed_bits(&mut rng, 500 + 300 * i),
+                )
+            })
+            .collect();
+        (pairs, (0..n).collect())
+    }
+
+    #[test]
+    fn clean_batch_resolves_every_element() {
+        let sup = supervisor_with(None, true);
+        let (pairs, requests) = batch_pairs(5);
+        let metrics = Metrics::default();
+        let results = sup.execute_batch(
+            &pairs,
+            &requests,
+            Kernel::SeqToom,
+            &KernelPolicy::default(),
+            &PlanCache::new(2),
+            &metrics,
+            1,
+        );
+        for ((a, b), result) in pairs.iter().zip(results) {
+            let (product, kernel) = result.unwrap();
+            assert_eq!(product, a.mul_schoolbook(b));
+            assert_eq!(kernel, Kernel::SeqToom);
+        }
+        let snap = metrics.snapshot(0, (0, 0));
+        assert_eq!(snap.residue_checks, 5);
+        assert_eq!(snap.retries, 0);
+        assert_eq!(snap.batch_element_retries, 0);
+        assert_eq!(snap.batch_faults, 0);
+    }
+
+    #[test]
+    fn corrupt_batch_element_retries_alone() {
+        install_quiet_panic_hook();
+        let chaos = ChaosConfig {
+            force: vec![(2, FaultKind::Corrupt)],
+            ..ChaosConfig::default()
+        };
+        let sup = supervisor_with(Some(chaos), true);
+        let (pairs, requests) = batch_pairs(4);
+        let metrics = Metrics::default();
+        let results = sup.execute_batch(
+            &pairs,
+            &requests,
+            Kernel::SeqToom,
+            &KernelPolicy::default(),
+            &PlanCache::new(2),
+            &metrics,
+            1,
+        );
+        for ((a, b), result) in pairs.iter().zip(results) {
+            assert_eq!(result.unwrap().0, a.mul_schoolbook(b));
+        }
+        let snap = metrics.snapshot(0, (0, 0));
+        assert_eq!(snap.verification_failures, 1);
+        assert_eq!(snap.batch_element_retries, 1, "only the corrupt element");
+        assert_eq!(snap.batch_faults, 0);
+        // 4 batch checks + 1 on the individual retry.
+        assert_eq!(snap.residue_checks, 5);
+    }
+
+    #[test]
+    fn panicking_batch_falls_back_per_element() {
+        install_quiet_panic_hook();
+        let chaos = ChaosConfig {
+            force: vec![(1, FaultKind::Panic)],
+            // Escalation must be ignored on the batch path: the
+            // dispatcher thread has to survive the injected panic.
+            escalate_panics: true,
+            ..ChaosConfig::default()
+        };
+        let sup = supervisor_with(Some(chaos), true);
+        let (pairs, requests) = batch_pairs(3);
+        let metrics = Metrics::default();
+        let results = sup.execute_batch(
+            &pairs,
+            &requests,
+            Kernel::SeqToom,
+            &KernelPolicy::default(),
+            &PlanCache::new(2),
+            &metrics,
+            1,
+        );
+        for ((a, b), result) in pairs.iter().zip(results) {
+            assert_eq!(
+                result.unwrap().0,
+                a.mul_schoolbook(b),
+                "uninjured batch-mates"
+            );
+        }
+        let snap = metrics.snapshot(0, (0, 0));
+        assert_eq!(snap.batch_faults, 1);
+        assert_eq!(snap.batch_element_retries, 3, "whole batch re-executed");
+        assert_eq!(snap.worker_faults, 0);
+    }
+
+    #[test]
+    fn batch_respects_open_breakers() {
+        let sup = Supervisor::new(
+            RetryPolicy::default(),
+            BreakerPolicy {
+                failure_threshold: 1,
+                open_ms: 60_000,
+            },
+            true,
+            None,
+        );
+        // Trip the seq-toom breaker open by hand.
+        sup.record_failure(Kernel::SeqToom, &Metrics::default());
+        let (pairs, requests) = batch_pairs(2);
+        let metrics = Metrics::default();
+        let results = sup.execute_batch(
+            &pairs,
+            &requests,
+            Kernel::SeqToom,
+            &KernelPolicy::default(),
+            &PlanCache::new(2),
+            &metrics,
+            1,
+        );
+        for result in results {
+            let (_, kernel) = result.unwrap();
+            assert_eq!(
+                kernel,
+                Kernel::Schoolbook,
+                "diverted below the open breaker"
+            );
+        }
+        assert_eq!(metrics.snapshot(0, (0, 0)).fallbacks, 1, "once per batch");
     }
 
     #[test]

@@ -122,6 +122,99 @@ fn five_hundred_request_chaos_run_survives() {
     assert_eq!(metrics.residue_checks, 500 + metrics.verification_failures);
 }
 
+/// Async-path analogue of [`submit_with_backoff`].
+fn submit_async_with_backoff(
+    service: &MulService,
+    a: BigInt,
+    b: BigInt,
+) -> ft_service::ResponseHandle {
+    loop {
+        match service.submit_async(a.clone(), b.clone()) {
+            Ok(handle) => return handle,
+            Err(SubmitError::QueueFull { .. }) => std::thread::yield_now(),
+            Err(SubmitError::ShuttingDown) => unreachable!("service is not shutting down"),
+        }
+    }
+}
+
+/// The batched acceptance run: the same fault plan pushed through
+/// `submit_async`, where the dispatcher coalesces same-class requests
+/// into single supervised batches. A fault injected into one batch
+/// element must never fail an uninjured neighbour — every request still
+/// resolves to a verified-correct product.
+#[test]
+fn batched_chaos_run_survives() {
+    install_quiet_panic_hook();
+    let seed = chaos_seed();
+    let config = ServiceConfig {
+        workers: 2,
+        kernel_policy: mixed_kernel_policy(),
+        verify_residues: true,
+        chaos: Some(chaos_config(seed)),
+        retry: RetryPolicy {
+            max_retries: 3,
+            backoff_base_ms: 1,
+            backoff_max_ms: 8,
+        },
+        breaker: BreakerPolicy {
+            failure_threshold: 1,
+            open_ms: 20,
+        },
+        batching: ft_service::BatchingConfig {
+            // A generous window so a single fast submitter reliably lands
+            // companions in each round.
+            window_us: 20_000,
+            max_batch: 16,
+            ..ft_service::BatchingConfig::default()
+        },
+        tuner: ft_service::TunerConfig {
+            enabled: false,
+            ..ft_service::TunerConfig::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let service = MulService::start(config);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xba7c4);
+    // Precompute the workload so submission is tight enough to coalesce.
+    let workload: Vec<(BigInt, BigInt, BigInt)> = (0..300u64)
+        .map(|i| {
+            let bits = [1_000, 4_000][(i % 2) as usize];
+            let a = BigInt::random_signed_bits(&mut rng, bits);
+            let b = BigInt::random_signed_bits(&mut rng, bits);
+            let expect = a.mul_schoolbook(&b);
+            (a, b, expect)
+        })
+        .collect();
+    let mut pending = Vec::new();
+    for (a, b, expect) in workload {
+        pending.push((submit_async_with_backoff(&service, a, b), expect));
+    }
+    for (i, (handle, expect)) in pending.into_iter().enumerate() {
+        match handle.wait_timeout(Duration::from_secs(300)) {
+            Ok(result) => {
+                let product = result.unwrap_or_else(|e| panic!("request {i} failed: {e}"));
+                assert_eq!(product, expect, "request {i} returned a wrong product");
+            }
+            Err(_) => panic!("request {i} hung past the timeout"),
+        }
+    }
+    let metrics = service.shutdown();
+    assert_eq!(metrics.served, 300);
+    assert_eq!(metrics.worker_faults, 0, "no request exhausted recovery");
+    assert!(metrics.batches > 0, "nothing coalesced — window too tight?");
+    assert!(metrics.batched_requests > metrics.batches);
+    let injected: u64 = metrics.injected_faults.iter().map(|&(_, n)| n).sum();
+    assert!(injected > 0, "the fault plan injected nothing");
+    // On the batch path a drawn corruption can be masked by a sibling's
+    // panic (the batch attempt dies before products exist), so unlike the
+    // per-request run the tally is an upper bound, not an equality.
+    let corruptions = metrics.injected_faults[FaultKind::Corrupt as usize].1;
+    assert!(corruptions > 0, "seed {seed} injected no corruptions");
+    assert!(metrics.verification_failures <= corruptions);
+    // Every served product passed a residue spot-check at least once.
+    assert!(metrics.residue_checks >= 300);
+}
+
 #[test]
 fn chaos_runs_are_reproducible_for_a_seed() {
     install_quiet_panic_hook();

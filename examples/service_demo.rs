@@ -127,13 +127,17 @@ fn starved_run() {
         }
     }
     let _ = blocker.wait().expect("blocker computes fine");
-    // The worker is idle again; a deadline-less request is accepted but
-    // its queue age (microseconds) still exceeds the 0 ms shed bound.
-    outcomes.push(
-        service
-            .submit(tiny.clone(), tiny.clone())
-            .expect("queue is empty now"),
-    );
+    // The blocker is done, but the one queued tiny may still hold the
+    // depth-1 slot until the worker dequeues (and expires) it — retry
+    // until the slot frees. The accepted request's queue age
+    // (microseconds) still exceeds the 0 ms shed bound.
+    outcomes.push(loop {
+        match service.submit(tiny.clone(), tiny.clone()) {
+            Ok(handle) => break handle,
+            Err(SubmitError::QueueFull { .. }) => std::thread::yield_now(),
+            Err(SubmitError::ShuttingDown) => unreachable!("not shutting down"),
+        }
+    });
 
     let (mut timed_out, mut shed, mut served) = (0usize, 0usize, 0usize);
     for handle in outcomes {

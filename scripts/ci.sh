@@ -19,6 +19,13 @@ echo "== kernel bench smoke (--quick, counting allocator) =="
 # BENCH_kernels.json (that is the full run's job).
 cargo run --release -q -p ft-bench --features count-allocs --bin kernel_baseline -- --quick
 
+echo "== batch throughput smoke (--quick) =="
+# Reduced run of the async/bulk batching bench: asserts every request is
+# served and residue-verified through both the per-request and coalesced
+# paths. The ≥1.3x speedup acceptance is the full run's job (it also
+# rewrites BENCH_service.json).
+cargo run --release -q -p ft-bench --bin batch_throughput -- --quick
+
 echo "== chaos pass (deterministic seed) =="
 # Injected-fault tests must stay reproducible and gating: the chaos suite
 # derives every fault decision from this seed, independent of scheduling.

@@ -133,6 +133,14 @@ impl<T> Sender<T> {
 
     /// Non-blocking send: `Full` when a bounded queue is at capacity.
     pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        self.try_send_counted(value).map(|_| ())
+    }
+
+    /// [`Self::try_send`] that also reports the queue depth right after
+    /// the push, under the same lock — callers tracking depth high-water
+    /// marks would otherwise pay a second lock round-trip on [`Self::len`]
+    /// for every message.
+    pub fn try_send_counted(&self, value: T) -> Result<usize, TrySendError<T>> {
         let mut st = self.0.lock();
         if st.receivers == 0 {
             return Err(TrySendError::Disconnected(value));
@@ -143,9 +151,10 @@ impl<T> Sender<T> {
             }
         }
         st.queue.push_back(value);
+        let depth = st.queue.len();
         drop(st);
         self.0.not_empty.notify_one();
-        Ok(())
+        Ok(depth)
     }
 
     /// Messages currently queued.
@@ -197,9 +206,11 @@ impl<T> Receiver<T> {
         }
     }
 
-    /// Receive with a deadline relative to now.
+    /// Receive with a deadline relative to now. A `timeout` too large to
+    /// represent as an `Instant` (e.g. `Duration::MAX`) saturates to
+    /// "wait forever" instead of overflowing.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-        let deadline = Instant::now() + timeout;
+        let deadline = Instant::now().checked_add(timeout);
         let mut st = self.0.lock();
         loop {
             if let Some(v) = st.queue.pop_front() {
@@ -210,17 +221,45 @@ impl<T> Receiver<T> {
             if st.senders == 0 {
                 return Err(RecvTimeoutError::Disconnected);
             }
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(RecvTimeoutError::Timeout);
-            }
-            let (guard, _timed_out) = self
-                .0
-                .not_empty
-                .wait_timeout(st, deadline - now)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            st = guard;
+            st = match deadline {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(RecvTimeoutError::Timeout);
+                    }
+                    let (guard, _timed_out) = self
+                        .0
+                        .not_empty
+                        .wait_timeout(st, deadline - now)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    guard
+                }
+                None => self
+                    .0
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            };
         }
+    }
+
+    /// Drain up to `max` queued messages into `out` under a single lock
+    /// acquisition, returning how many were moved. A coalescing consumer
+    /// uses this instead of `max` separate `try_recv` lock round-trips.
+    pub fn try_recv_many(&self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut st = self.0.lock();
+        let n = max.min(st.queue.len());
+        if n > 0 {
+            out.extend(st.queue.drain(..n));
+        }
+        drop(st);
+        if n > 0 {
+            self.0.not_full.notify_all();
+        }
+        n
     }
 
     /// Messages currently queued.
@@ -350,6 +389,66 @@ mod tests {
         drop(r);
         let total: u64 = consumers.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn try_send_counted_reports_post_push_depth() {
+        let (s, r) = bounded(3);
+        assert_eq!(s.try_send_counted(1), Ok(1));
+        assert_eq!(s.try_send_counted(2), Ok(2));
+        assert_eq!(s.try_send_counted(3), Ok(3));
+        assert_eq!(s.try_send_counted(4), Err(TrySendError::Full(4)));
+        assert_eq!(r.recv(), Ok(1));
+        assert_eq!(s.try_send_counted(4), Ok(3));
+        drop(r);
+        assert_eq!(s.try_send_counted(5), Err(TrySendError::Disconnected(5)));
+    }
+
+    #[test]
+    fn try_recv_many_drains_in_one_sweep() {
+        let (s, r) = bounded(8);
+        for i in 0..5 {
+            s.send(i).unwrap();
+        }
+        let mut out = vec![100];
+        // A zero budget touches nothing.
+        assert_eq!(r.try_recv_many(&mut out, 0), 0);
+        assert_eq!(out, vec![100]);
+        // Budget below backlog: take exactly that many, FIFO, appended.
+        assert_eq!(r.try_recv_many(&mut out, 3), 3);
+        assert_eq!(out, vec![100, 0, 1, 2]);
+        // Budget above backlog: take what's there.
+        assert_eq!(r.try_recv_many(&mut out, 10), 2);
+        assert_eq!(out, vec![100, 0, 1, 2, 3, 4]);
+        assert_eq!(r.try_recv_many(&mut out, 10), 0);
+        // The sweep's notify_all unblocks senders parked on a full queue.
+        for i in 0..8 {
+            s.send(i).unwrap();
+        }
+        let h = thread::spawn(move || s.send(99).unwrap());
+        let mut out = Vec::new();
+        while r.try_recv_many(&mut out, 16) == 0 {
+            thread::yield_now();
+        }
+        h.join().unwrap();
+        while out.len() < 9 {
+            r.try_recv_many(&mut out, 16);
+        }
+        assert_eq!(out.last(), Some(&99));
+    }
+
+    #[test]
+    fn recv_timeout_duration_max_waits_instead_of_overflowing() {
+        // Instant::now() + Duration::MAX overflows; the deadline must
+        // saturate to "wait forever", here observed as waiting until the
+        // message arrives rather than panicking or timing out instantly.
+        let (s, r) = unbounded();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            s.send(7).unwrap();
+        });
+        assert_eq!(r.recv_timeout(Duration::MAX), Ok(7));
+        h.join().unwrap();
     }
 
     #[test]
