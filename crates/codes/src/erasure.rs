@@ -155,6 +155,13 @@ impl ErasureCode {
     ///
     /// Solves the `e × e` Vandermonde-minor system over ℚ exactly; all
     /// divisions are exact because the true solution is integral.
+    ///
+    /// Duplicate indices anywhere — in `erased`, among the surviving data,
+    /// or among the surviving parity rows — are rejected as
+    /// [`CodeError::BadSymbolIndex`]: a repeated erasure or parity row
+    /// would make the Vandermonde minor singular (repeated column/row),
+    /// and the total-positivity invertibility argument only covers minors
+    /// with distinct choices.
     pub fn recover(
         &self,
         surviving_data: &[(usize, Vec<BigInt>)],
@@ -171,13 +178,16 @@ impl ErasureCode {
                 parity: surviving_parity.len(),
             });
         }
-        for &i in erased {
-            if i >= self.data_len {
+        for (t, &i) in erased.iter().enumerate() {
+            if i >= self.data_len || erased[..t].contains(&i) {
                 return Err(CodeError::BadSymbolIndex(i));
             }
         }
-        for &(i, _) in surviving_data {
-            if i >= self.data_len || erased.contains(&i) {
+        for (t, &(i, _)) in surviving_data.iter().enumerate() {
+            if i >= self.data_len
+                || erased.contains(&i)
+                || surviving_data[..t].iter().any(|(j, _)| *j == i)
+            {
                 return Err(CodeError::BadSymbolIndex(i));
             }
         }
@@ -188,10 +198,12 @@ impl ErasureCode {
             return Err(CodeError::RaggedBlocks);
         }
 
-        // Use the first `e` surviving parity rows.
+        // Use the first `e` surviving parity rows. A duplicated parity row
+        // must be rejected here, before it reaches the minor: two equal
+        // rows make the minor singular.
         let rows: Vec<usize> = surviving_parity.iter().take(e).map(|&(i, _)| i).collect();
-        for &i in &rows {
-            if i >= self.parity_len {
+        for (t, &i) in rows.iter().enumerate() {
+            if i >= self.parity_len || rows[..t].contains(&i) {
                 return Err(CodeError::BadSymbolIndex(self.data_len + i));
             }
         }
@@ -439,5 +451,46 @@ mod tests {
     #[should_panic(expected = "distinct")]
     fn duplicate_seeds_rejected() {
         let _ = ErasureCode::with_seeds(3, &[1, 1]);
+    }
+
+    #[test]
+    fn duplicate_erased_indices_rejected_not_panicking() {
+        // A repeated erasure duplicates a minor column (singular): this
+        // used to panic inside `inverse().expect(...)`.
+        let code = ErasureCode::new(4, 2);
+        let data = blocks(&[&[7], &[0], &[-5], &[9]]);
+        let parity = code.encode_blocks(&data).unwrap();
+        let surviving: Vec<(usize, Vec<BigInt>)> =
+            [(2usize, data[2].clone()), (3, data[3].clone())].to_vec();
+        let sp: Vec<(usize, Vec<BigInt>)> = parity.iter().cloned().enumerate().collect();
+        let err = code.recover(&surviving, &sp, &[1, 1]).unwrap_err();
+        assert_eq!(err, CodeError::BadSymbolIndex(1));
+    }
+
+    #[test]
+    fn duplicate_parity_rows_rejected_not_panicking() {
+        // The same parity row listed twice duplicates a minor row
+        // (singular): also a former panic path.
+        let code = ErasureCode::new(4, 2);
+        let data = blocks(&[&[7], &[0], &[-5], &[9]]);
+        let parity = code.encode_blocks(&data).unwrap();
+        let surviving: Vec<(usize, Vec<BigInt>)> =
+            [(2usize, data[2].clone()), (3, data[3].clone())].to_vec();
+        let sp = vec![(0usize, parity[0].clone()), (0, parity[0].clone())];
+        let err = code.recover(&surviving, &sp, &[0, 1]).unwrap_err();
+        // Parity indices are reported offset by the data length.
+        assert_eq!(err, CodeError::BadSymbolIndex(code.data_len()));
+    }
+
+    #[test]
+    fn duplicate_surviving_data_rejected() {
+        let code = ErasureCode::new(3, 1);
+        let data = blocks(&[&[5], &[6], &[7]]);
+        let parity = code.encode_blocks(&data).unwrap();
+        let surviving = vec![(0usize, data[0].clone()), (0, data[0].clone())];
+        let err = code
+            .recover(&surviving, &[(0, parity[0].clone())], &[1])
+            .unwrap_err();
+        assert_eq!(err, CodeError::BadSymbolIndex(0));
     }
 }

@@ -19,7 +19,7 @@ use crate::parallel::{
     assemble_product, local_digit_slice, solve, tags, ParallelConfig, ParallelOutcome,
 };
 use ft_bigint::BigInt;
-use ft_machine::{Env, Fate, FaultPlan, Machine, MachineConfig};
+use ft_machine::{detection_round, DetectorConfig, Env, Fate, FaultPlan, Machine, MachineConfig};
 
 /// Configuration of the replication baseline.
 #[derive(Debug, Clone)]
@@ -223,7 +223,19 @@ fn checkpointed_solve(
         a.clear();
         b.clear();
     }
-    let victims = env.fault_plan().victims_at(&label);
+    // Every rank passes `cr-{depth}` exactly once per level, so one
+    // MACHINE-WIDE heartbeat round yields the victim set without
+    // consulting the plan. It must be machine-wide, not per recursion
+    // subgroup: checkpoint partners are global (`rank ± P/2 mod P`), so a
+    // partner in another subgroup has to learn about the victim too.
+    let everyone: Vec<usize> = (0..env.size()).collect();
+    let dtag = tags::DETECT + 1_000_000 + depth as u64 * 2;
+    let verdict = detection_round(env, &everyone, dtag, &DetectorConfig::default());
+    let victims: Vec<usize> = everyone
+        .iter()
+        .copied()
+        .filter(|r| verdict.is_dead(*r))
+        .collect();
     let rtag = tags::RECOVER + 1_000 + depth as u64;
     if victims.contains(&env.rank()) {
         // Restore from partner (my partner's partner is me iff P even; the
@@ -242,6 +254,7 @@ fn checkpointed_solve(
     if victims.contains(&ward) {
         env.send(ward, rtag, &ward_ckpt);
     }
+    env.ack_recovery();
     drop(ward_ckpt);
     drop(state);
 

@@ -28,7 +28,9 @@ use crate::parallel::{assemble_product, local_digit_slice, tags, ParallelConfig,
 use ft_algebra::points::eval_matrix_multi;
 use ft_bigint::BigInt;
 use ft_codes::ErasureCode;
-use ft_machine::{Env, Fate, FaultPlan, Machine, MachineConfig, ToomGrid};
+use ft_machine::{
+    detection_round, DetectorConfig, Env, Fate, FaultPlan, Machine, MachineConfig, ToomGrid,
+};
 
 /// Configuration of the combined algorithm.
 #[derive(Debug, Clone)]
@@ -106,31 +108,30 @@ pub fn run_combined_ft(
     let leaf_len = digits / k.pow(m as u32);
     let prod_len = 2 * leaf_len - 1;
 
-    // Leaf victims (poly-coded recovery); leaf index space: 0..P are
-    // standard leaves (rank == leaf), P..P+f are the extra leaves.
-    let mut leaf_victims: Vec<usize> = faults
-        .victims_at("leaf-mult")
-        .into_iter()
-        .filter(|&r| r < p)
-        .collect();
-    leaf_victims.extend(
-        faults
-            .victims_at("ms-extra-mult")
-            .into_iter()
-            .filter(|&r| r >= p)
-            .map(|r| p + (r - cfg.extra_rank(0))),
-    );
-    leaf_victims.sort_unstable();
-    leaf_victims.dedup();
-    assert!(
-        leaf_victims.len() <= cfg.f,
-        "more leaf victims than redundancy f"
-    );
-    let chosen: Vec<usize> = (0..p + cfg.f)
-        .filter(|l| !leaf_victims.contains(l))
-        .take(p)
-        .collect();
+    // Leaf index space: 0..P are standard leaves (rank == leaf), P..P+f
+    // are the extra leaves. Leaf victims are detected, not read from the
+    // plan: all leaf holders (data + extra ranks, not the linear code
+    // rows) run one heartbeat round right after their multiplication-phase
+    // fault point. A data rank that died at a *linear* boundary was
+    // recovered and acknowledged there, so it carries no lag here.
     let leaf_to_rank = |l: usize| if l < p { l } else { cfg.extra_rank(l - p) };
+    let leaf_detect_tag = tags::DETECT + 5_000_000; // past the linear kinds
+    let detect_leaves = |env: &Env| -> (Vec<usize>, Vec<usize>) {
+        let holders: Vec<usize> = (0..p + cfg.f).map(leaf_to_rank).collect();
+        let verdict = detection_round(env, &holders, leaf_detect_tag, &DetectorConfig::default());
+        let leaf_victims: Vec<usize> = (0..p + cfg.f)
+            .filter(|&l| verdict.is_dead(leaf_to_rank(l)))
+            .collect();
+        assert!(
+            leaf_victims.len() <= cfg.f,
+            "more leaf victims than redundancy f"
+        );
+        let chosen: Vec<usize> = (0..p + cfg.f)
+            .filter(|l| !leaf_victims.contains(l))
+            .take(p)
+            .collect();
+        (leaf_victims, chosen)
+    };
 
     // Linear-code context (reuses the §4.1 machinery verbatim).
     let lin_cfg = LinearFtConfig {
@@ -151,6 +152,7 @@ pub fn run_combined_ft(
             grid: ToomGrid::new(p, q),
             plan: ToomPlan::shared(k),
             code: ErasureCode::new(p / q, cfg.f),
+            detector: DetectorConfig::default(),
         };
         let rank = env.rank();
         if rank < p {
@@ -164,6 +166,7 @@ pub fn run_combined_ft(
                 env.send(cfg.extra_rank(x), tags::REDUNDANT + x as u64, &payload);
             }
             let hook = |env: &Env, mut prod: Vec<BigInt>| {
+                let (leaf_victims, chosen) = detect_leaves(env);
                 leaf_recovery(
                     env,
                     &eval,
@@ -173,6 +176,7 @@ pub fn run_combined_ft(
                     prod_len,
                     &leaf_to_rank,
                 );
+                env.ack_recovery();
                 prod
             };
             solve_ft(
@@ -228,6 +232,7 @@ pub fn run_combined_ft(
                 (va, vb)
             };
             let mut prod = lazy::poly_mul_toom(&va, &vb, &ctx.plan, 1);
+            let (leaf_victims, chosen) = detect_leaves(env);
             leaf_recovery(
                 env,
                 &eval,
@@ -237,6 +242,7 @@ pub fn run_combined_ft(
                 prod_len,
                 &leaf_to_rank,
             );
+            env.ack_recovery();
             Vec::new()
         }
     });

@@ -24,9 +24,16 @@
 //! entry), `lin-leaf` (leaf entry / multiplication phase — survivors
 //! decode, victim recomputes).
 //!
-//! Failure detection is by plan oracle; victim sets are taken as the union
-//! over occurrences of a label, which at worst recovers a live rank with
-//! its own data (a no-op) — see DESIGN.md.
+//! Failure detection is earned, not oracled: every boundary runs a
+//! heartbeat [`detection_round`] among the column's data members and code
+//! processors, and the victim set is the verdict's dead set intersected
+//! with the members. Code processors acknowledge recovery only at
+//! fresh-encode boundaries (and only when they did not die at the
+//! boundary itself), so a code row holding stale state keeps its
+//! heartbeat lag and stays out of the surviving-parity set at the
+//! mimicry boundaries — the old "stale row" bookkeeping falls out of the
+//! watermark mechanism. Detection traffic moves through the same
+//! send/recv accounting as the algorithm (see DESIGN.md).
 
 use crate::bilinear::ToomPlan;
 use crate::lazy;
@@ -38,7 +45,10 @@ use ft_algebra::Rational;
 use ft_bigint::BigInt;
 use ft_codes::ErasureCode;
 use ft_machine::collectives::weighted_reduce_external;
-use ft_machine::{Env, Fate, FaultPlan, Machine, MachineConfig, ToomGrid};
+use ft_machine::{
+    detection_round, DetectorConfig, Env, Fate, FaultPlan, Machine, MachineConfig, ToomGrid,
+    Verdict,
+};
 
 /// Configuration: the underlying parallel run plus the fault tolerance `f`.
 #[derive(Debug, Clone)]
@@ -89,6 +99,7 @@ pub(crate) struct Ctx<'a> {
     pub(crate) grid: ToomGrid,
     pub(crate) plan: std::sync::Arc<ToomPlan>,
     pub(crate) code: ErasureCode,
+    pub(crate) detector: DetectorConfig,
 }
 
 impl Ctx<'_> {
@@ -151,21 +162,23 @@ fn recover_tag(kind: Kind, depth: usize, victim: usize) -> u64 {
         + victim as u64
 }
 
-/// Code rows of column `col` with valid state at this boundary: all rows
-/// except those that die at this label, and (for the no-re-encode Eval
-/// boundary) those that died at the matching Entry label and hold garbage.
-fn live_parity_rows(env: &Env, ctx: &Ctx, kind: Kind, depth: usize, col: usize) -> Vec<usize> {
-    let dead_here = env.fault_plan().victims_at(&kind.label(depth));
-    let dead_stale: Vec<usize> = match kind {
-        // No re-encode happened since the matching fresh-encode boundary:
-        // code processors that died there hold garbage.
-        Kind::Eval => env.fault_plan().victims_at(&Kind::Entry.label(depth)),
-        Kind::LeafPost => env.fault_plan().victims_at(&Kind::Leaf.label(depth)),
-        _ => Vec::new(),
-    };
+fn detect_tag(kind: Kind, depth: usize, col: usize) -> u64 {
+    // `detection_round` uses `tag` and `tag + 1`, hence the stride of 2.
+    crate::parallel::tags::DETECT
+        + kind.index() * 1_000_000
+        + depth as u64 * 10_000
+        + col as u64 * 2
+}
+
+/// Code rows of column `col` with valid state at this boundary, from the
+/// detector's verdict: a code processor that died here — or that has been
+/// stale since an earlier boundary and so never acknowledged recovery —
+/// carries heartbeat lag and is declared dead, exactly the rows the old
+/// plan-oracle bookkeeping excluded.
+fn live_parity_rows(ctx: &Ctx, verdict: &Verdict, col: usize) -> Vec<usize> {
     (0..ctx.cfg.f)
         .map(|i| (i, ctx.cfg.code_rank(i, col)))
-        .filter(|(_, r)| !dead_here.contains(r) && !dead_stale.contains(r))
+        .filter(|(_, r)| !verdict.is_dead(*r))
         .map(|(i, _)| i)
         .collect()
 }
@@ -189,7 +202,7 @@ fn coded_boundary(
     col: usize,
     state: &mut Vec<BigInt>,
     skip_encode: bool,
-) {
+) -> Fate {
     let members = ctx.col_members(col, step);
     let len = state.len();
 
@@ -229,21 +242,47 @@ fn coded_boundary(
 
     // --- 2. The fault point. A victim loses its state.
     let label = kind.label(depth);
-    if env.fault_point(&label) == Fate::Reborn {
+    let fate = env.fault_point(&label);
+    if fate == Fate::Reborn {
         state.iter_mut().for_each(|x| *x = BigInt::zero());
     }
 
-    // --- 3. Recovery of planned victims in this column.
-    let all_victims = env.fault_plan().victims_at(&label);
+    // --- 3. Detection: one heartbeat round over the column's data members
+    // and code processors. Victims are the verdict's dead data members; no
+    // rank reads the fault plan.
+    let mut participants = members.clone();
+    participants.extend((0..ctx.cfg.f).map(|i| ctx.cfg.code_rank(i, col)));
+    participants.sort_unstable();
+    let verdict = detection_round(
+        env,
+        &participants,
+        detect_tag(kind, depth, col),
+        &ctx.detector,
+    );
     let victims: Vec<usize> = members
         .iter()
         .copied()
-        .filter(|r| all_victims.contains(r))
+        .filter(|r| verdict.is_dead(*r))
         .collect();
+
+    // Acknowledge recovery once this rank's state is consistent again. Data
+    // ranks are restored below (a no-op for survivors); code ranks hold a
+    // valid row only at fresh-encode boundaries where they did not die, so
+    // a stale row keeps its lag and stays dead in later verdicts.
+    let ack = || match role {
+        Role::Data => env.ack_recovery(),
+        Role::Code { .. } => {
+            if !skip_encode && fate == Fate::Alive {
+                env.ack_recovery();
+            }
+        }
+    };
+
     if victims.is_empty() {
-        return;
+        ack();
+        return fate;
     }
-    let parity_rows = live_parity_rows(env, ctx, kind, depth, col);
+    let parity_rows = live_parity_rows(ctx, &verdict, col);
     assert!(
         victims.len() <= parity_rows.len(),
         "{} faults exceed surviving parity {} in column {col}",
@@ -304,6 +343,8 @@ fn coded_boundary(
             );
         }
     }
+    ack();
+    fate
 }
 
 /// How the multiplication phase is protected.
@@ -596,15 +637,12 @@ pub(crate) fn solve_ft(
             // Post-multiplication fault: the product AND the inputs are
             // lost; decode the inputs from the (still valid) leaf code and
             // RECOMPUTE — the expensive recovery the polynomial code
-            // avoids.
-            let post_victims = env.fault_plan().victims_at("lin-leaf-post");
-            if post_victims.is_empty() {
-                return prod;
-            }
+            // avoids. The boundary always runs: detection is how a rank
+            // learns whether anyone (itself included) died here.
             let mut state = concat(&a, &b);
             drop(a);
             drop(b);
-            coded_boundary(
+            let fate = coded_boundary(
                 env,
                 ctx,
                 Kind::LeafPost,
@@ -615,11 +653,10 @@ pub(crate) fn solve_ft(
                 &mut state,
                 true,
             );
-            let reborn_here = post_victims.contains(&env.rank());
             let b = state.split_off(alen);
             let a = state;
             match role {
-                Role::Data if reborn_here => lazy::poly_mul_toom(&a, &b, plan, 1),
+                Role::Data if fate == Fate::Reborn => lazy::poly_mul_toom(&a, &b, plan, 1),
                 _ => prod,
             }
         }
@@ -675,6 +712,7 @@ pub fn run_linear_ft(
             grid: ToomGrid::new(p, q),
             plan: ToomPlan::shared(cfg.base.k),
             code: ErasureCode::new(p / q.min(p), cfg.f),
+            detector: DetectorConfig::default(),
         };
         let rank = env.rank();
         if rank < p {

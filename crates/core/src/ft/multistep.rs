@@ -36,7 +36,7 @@ use ft_algebra::points::{eval_matrix_multi, find_redundant_points};
 use ft_algebra::{MPoint, Matrix, Rational};
 use ft_bigint::BigInt;
 use ft_machine::collectives::weighted_reduce_external;
-use ft_machine::{Env, Fate, FaultPlan, Machine, MachineConfig};
+use ft_machine::{detection_round, DetectorConfig, Env, Fate, FaultPlan, Machine, MachineConfig};
 
 /// Configuration for the multistep-coded run.
 #[derive(Debug, Clone)]
@@ -221,16 +221,6 @@ pub fn run_multistep_ft(
     let leaf_len = digits / k.pow(m as u32);
     let prod_len = 2 * leaf_len - 1;
 
-    // Victim sets (deterministic from the plan).
-    let mut victims: Vec<usize> = faults.specs().iter().map(|s| s.rank).collect();
-    victims.sort_unstable();
-    victims.dedup();
-    assert!(victims.len() <= cfg.f, "more victims than redundancy f");
-    let chosen: Vec<usize> = (0..total)
-        .filter(|r| !victims.contains(r))
-        .take(p)
-        .collect();
-
     let mut mcfg = MachineConfig::new(total).with_faults(faults);
     mcfg.cost = cfg.base.cost;
     mcfg.memory_limit = cfg.base.memory_limit;
@@ -241,6 +231,26 @@ pub fn run_multistep_ft(
     let report = machine.run(|env| {
         let plan = ToomPlan::shared(k);
         let rank = env.rank();
+        // Victim set from the detector: one global heartbeat round after
+        // every rank's multiplication-phase fault point (the leaf hook for
+        // data ranks, `ms-extra-mult` for extras). Every rank derives the
+        // identical verdict, so the chosen surviving leaves agree without
+        // any plan query.
+        let detect = |env: &Env| -> (Vec<usize>, Vec<usize>) {
+            let everyone: Vec<usize> = (0..total).collect();
+            let verdict = detection_round(env, &everyone, tags::DETECT, &DetectorConfig::default());
+            let victims: Vec<usize> = everyone
+                .iter()
+                .copied()
+                .filter(|r| verdict.is_dead(*r))
+                .collect();
+            assert!(victims.len() <= cfg.f, "more victims than redundancy f");
+            let chosen: Vec<usize> = (0..total)
+                .filter(|r| !verdict.is_dead(*r))
+                .take(p)
+                .collect();
+            (victims, chosen)
+        };
         if rank < p {
             // ---- Data rank: contribute to redundant evaluations, then run
             // the standard BFS traversal with the recovery leaf hook.
@@ -254,7 +264,9 @@ pub fn run_multistep_ft(
                 env.send(extra_rank, tags::REDUNDANT + x as u64, &payload);
             }
             let hook = |env: &Env, mut prod: Vec<BigInt>| {
+                let (victims, chosen) = detect(env);
                 leaf_recovery(env, &eval, &victims, &chosen, &mut prod, prod_len, &|l| l);
+                env.ack_recovery();
                 prod
             };
             let group: Vec<usize> = (0..p).collect();
@@ -295,7 +307,9 @@ pub fn run_multistep_ft(
                 (va, vb)
             };
             let mut prod = lazy::poly_mul_toom(&va, &vb, &plan, 1);
+            let (victims, chosen) = detect(env);
             leaf_recovery(env, &eval, &victims, &chosen, &mut prod, prod_len, &|l| l);
+            env.ack_recovery();
             Vec::new() // extra ranks hold no share of the final output
         }
     });

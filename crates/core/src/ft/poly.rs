@@ -16,9 +16,15 @@
 //! redundant columns' work. This is what eliminates the recomputation
 //! penalty of linear-coding-only schemes.
 //!
-//! Inject faults with the single label `poly-halt`: any planned victim
-//! (data or redundant rank) halts its top-level column. At most `f`
-//! distinct columns may be hit.
+//! Inject faults with the single label `poly-halt`: any victim (data or
+//! redundant rank, planned or [`RandomFaults`]-drawn) halts its top-level
+//! column. At most `f` distinct columns may be hit.
+//!
+//! Every rank passes the `poly-halt` fault point and then joins one global
+//! heartbeat [`detection_round`]; the halted-column set is derived from
+//! the verdict (plus host-excluded stragglers), never from the plan — the
+//! plan is injection-only. Columns whose members are flagged as stragglers
+//! by the detector are likewise dropped while redundancy remains.
 
 use crate::bilinear::{interpolation_from_survivors, ToomPlan};
 use crate::lazy;
@@ -29,7 +35,10 @@ use crate::parallel::{
 use crate::points::{classic_points, extend_points};
 use ft_algebra::points::eval_matrix;
 use ft_bigint::{BigInt, Sign};
-use ft_machine::{FaultPlan, Machine, MachineConfig};
+use ft_machine::{
+    detection_round, DetectorConfig, Fate, FaultPlan, Machine, MachineConfig, RandomFaults,
+    RunReport, Verdict,
+};
 
 /// Configuration: the underlying parallel run plus the redundancy `f`.
 #[derive(Debug, Clone)]
@@ -84,23 +93,56 @@ impl PolyFtConfig {
         }
     }
 
-    /// Columns halted by the fault plan (any victim kills its column) plus
-    /// any explicitly excluded columns (straggler mitigation: a delayed
-    /// column is simply dropped), and the `2k−1` surviving columns chosen
-    /// for interpolation (lowest indices first — every rank derives the
-    /// same choice from the plan).
+    /// Columns the *plan* will halt (any victim kills its column) plus any
+    /// explicitly excluded columns. This is injection-side validation for
+    /// hosts and tests — the run itself derives the halted set from the
+    /// detector's verdict, see [`Self::columns_from_verdict`].
     #[must_use]
     pub fn dead_and_chosen(
         &self,
         faults: &FaultPlan,
         excluded: &[usize],
     ) -> (Vec<usize>, Vec<usize>) {
-        let mut dead: Vec<usize> = faults
+        let dead: Vec<usize> = faults
             .specs()
             .iter()
             .map(|s| self.column_of(s.rank))
             .chain(excluded.iter().copied())
             .collect();
+        self.partition_columns(dead, &[])
+    }
+
+    /// Columns halted per the detector's verdict (dead ranks kill their
+    /// columns; straggler-flagged columns are dropped while redundancy
+    /// remains) plus host-excluded columns, and the `2k−1` surviving
+    /// columns chosen for interpolation (lowest indices first — the
+    /// verdict is identical on every rank, so every rank derives the same
+    /// choice without consulting the plan).
+    #[must_use]
+    pub fn columns_from_verdict(
+        &self,
+        verdict: &Verdict,
+        excluded: &[usize],
+    ) -> (Vec<usize>, Vec<usize>) {
+        let dead: Vec<usize> = verdict
+            .dead
+            .iter()
+            .map(|&r| self.column_of(r))
+            .chain(excluded.iter().copied())
+            .collect();
+        let stragglers: Vec<usize> = verdict
+            .stragglers
+            .iter()
+            .map(|&r| self.column_of(r))
+            .collect();
+        self.partition_columns(dead, &stragglers)
+    }
+
+    fn partition_columns(
+        &self,
+        mut dead: Vec<usize>,
+        stragglers: &[usize],
+    ) -> (Vec<usize>, Vec<usize>) {
         dead.sort_unstable();
         dead.dedup();
         assert!(
@@ -109,12 +151,36 @@ impl PolyFtConfig {
             dead.len(),
             self.f
         );
+        // Stragglers are healthy — drop them only while redundancy lasts.
+        let mut flagged: Vec<usize> = stragglers.to_vec();
+        flagged.sort_unstable();
+        flagged.dedup();
+        for c in flagged {
+            if dead.len() < self.f && !dead.contains(&c) {
+                dead.push(c);
+            }
+        }
+        dead.sort_unstable();
         let chosen: Vec<usize> = (0..self.base.q() + self.f)
             .filter(|c| !dead.contains(c))
             .take(self.base.q())
             .collect();
         (dead, chosen)
     }
+}
+
+/// Knobs of [`run_poly_ft_with`] beyond the planned fault injection.
+#[derive(Debug, Clone, Default)]
+pub struct PolyRunOptions {
+    /// Columns treated as halted without waiting for them (the §7 delay
+    /// fault mitigation; the host already knows these are stragglers).
+    pub excluded: Vec<usize>,
+    /// Machine delay factors `(rank, factor)` — accounting-only slowdowns.
+    pub slowdowns: Vec<(usize, u64)>,
+    /// Unplanned seeded-random deaths (allowlist should be `poly-halt`).
+    pub random: Option<RandomFaults>,
+    /// Heartbeat detector knobs (deadline budget, straggler factor).
+    pub detector: DetectorConfig,
 }
 
 /// Run fault-tolerant parallel Toom-Cook with the polynomial code.
@@ -142,6 +208,26 @@ pub fn run_poly_ft_excluding(
     excluded: &[usize],
     slowdowns: &[(usize, u64)],
 ) -> ParallelOutcome {
+    let opts = PolyRunOptions {
+        excluded: excluded.to_vec(),
+        slowdowns: slowdowns.to_vec(),
+        ..PolyRunOptions::default()
+    };
+    run_poly_ft_with(a, b, cfg, faults, &opts)
+}
+
+/// Full-control entry point: planned faults, excluded columns, slowdowns,
+/// unplanned random faults and detector knobs. This is the backend the
+/// service's `DistributedToom` kernel drives.
+#[must_use]
+pub fn run_poly_ft_with(
+    a: &BigInt,
+    b: &BigInt,
+    cfg: &PolyFtConfig,
+    faults: FaultPlan,
+    opts: &PolyRunOptions,
+) -> ParallelOutcome {
+    let excluded: &[usize] = &opts.excluded;
     assert!(
         cfg.base.dfs_steps == 0,
         "polynomial code extends the first BFS split"
@@ -162,10 +248,13 @@ pub fn run_poly_ft_excluding(
 
     let ext_points = extend_points(&classic_points(k), cfg.f);
     let ext_eval = eval_matrix(&ext_points, k);
-    let (_, chosen) = cfg.dead_and_chosen(&faults, excluded);
+    // Injection-side validation only: a plan that already exceeds the
+    // redundancy is a host error, reported before the machine spins up.
+    let _ = cfg.dead_and_chosen(&faults, excluded);
 
     let mut mcfg = MachineConfig::new(total).with_faults(faults);
-    mcfg.slowdowns = slowdowns.to_vec();
+    mcfg.random = opts.random.clone();
+    mcfg.slowdowns = opts.slowdowns.clone();
     mcfg.cost = cfg.base.cost;
     mcfg.memory_limit = cfg.base.memory_limit;
     mcfg.trace = cfg.base.trace;
@@ -244,15 +333,19 @@ pub fn run_poly_ft_excluding(
         }
 
         // ---- Column halting (the §4.2 fault model + excluded stragglers).
-        let (dead_cols, chosen_cols) = cfg.dead_and_chosen(env.fault_plan(), excluded);
-        if env.fault_plan().is_victim(rank) {
-            env.fault_point("poly-halt");
+        // Every rank passes the fault point, then one global heartbeat
+        // round yields the identical verdict everywhere; the halted-column
+        // set comes from the verdict, never from the plan.
+        if env.fault_point("poly-halt") == Fate::Reborn {
             next_a.clear();
             next_b.clear();
         }
+        let everyone: Vec<usize> = (0..total).collect();
+        let verdict = detection_round(env, &everyone, tags::DETECT, &opts.detector);
+        let (dead_cols, chosen_cols) = cfg.columns_from_verdict(&verdict, excluded);
         if dead_cols.contains(&my_col) {
             // Halted: skip the recursion and the final interpolation.
-            return Vec::new();
+            return (chosen_cols, Vec::new());
         }
 
         // ---- Nested recursion on my column's sub-problem (standard).
@@ -266,7 +359,7 @@ pub fn run_poly_ft_excluding(
         // have done their redundant work; they take no part in the final
         // interpolation.
         let Some(role) = chosen_cols.iter().position(|&c| c == my_col) else {
-            return Vec::new();
+            return (chosen_cols, Vec::new());
         };
         let up_row: Vec<usize> = chosen_cols
             .iter()
@@ -290,11 +383,29 @@ pub fn run_poly_ft_excluding(
 
         // On-the-fly interpolation from the surviving points.
         let interp = interpolation_from_survivors(&ext_points, &chosen_cols, q);
-        interp_slices(&interp, &col_slices, lambda, digits, role * gp + sub_pos, p)
+        let out = interp_slices(&interp, &col_slices, lambda, digits, role * gp + sub_pos, p);
+        (chosen_cols, out)
     });
 
     // ---- Assembly: residue class i·g' + t is held by member t of the
-    // i-th chosen column.
+    // i-th chosen column. The chosen set comes out of the run (identical
+    // on every rank — rank 0 reports it even when its column halted).
+    let RunReport {
+        results,
+        ranks,
+        trace,
+    } = report;
+    let (chosen_per_rank, slices): (Vec<Vec<usize>>, Vec<Vec<BigInt>>) =
+        results.into_iter().unzip();
+    let chosen = chosen_per_rank
+        .into_iter()
+        .next()
+        .expect("machine has at least one rank");
+    let report = RunReport {
+        results: slices,
+        ranks,
+        trace,
+    };
     let out_len = 2 * digits - 1;
     let mut vec = vec![BigInt::zero(); out_len];
     for (u, slot) in vec.iter_mut().enumerate() {

@@ -48,6 +48,8 @@ pub mod tags {
     pub const RECOVER: u64 = 200_000;
     /// Redundant-point traffic (polynomial coding, §4.2).
     pub const REDUNDANT: u64 = 300_000;
+    /// Heartbeat detection rounds (gather at `tag`, broadcast at `tag + 1`).
+    pub const DETECT: u64 = 400_000;
 }
 
 /// Configuration of a parallel Toom-Cook run.

@@ -1,0 +1,417 @@
+//! Heartbeat-based failure detection.
+//!
+//! The paper assumes *detected* fail-stop faults (§2.1): when a processor
+//! dies it loses its data and is replaced, and the survivors know. This
+//! module earns that assumption instead of oracling it. Every
+//! [`Env::fault_point`] posts one heartbeat: the *phase stamp*
+//! (`hb_total`) advances with the program — the replacement processor
+//! resumes the same SPMD program, so it always knows how many heartbeats
+//! it *should* have posted — while the *surviving watermark* (`hb_live`)
+//! is state and dies with the state. A rank whose watermark lags its
+//! phase stamp by at least the configured deadline budget has missed that
+//! many heartbeats since its last re-integration and is declared dead.
+//!
+//! Detection runs as an explicit round on a participant set: the
+//! lowest-ranked participant acts as *monitor*, gathers one status word
+//! per peer, rebroadcasts the full table, and every participant derives
+//! the same [`Verdict`] from identical data (so the round needs no
+//! consensus beyond the gather/scatter itself). All status traffic moves
+//! through [`Env::send`]/[`Env::recv`] and is charged to the same `BW`/`L`
+//! accounting as the algorithm's own messages — the cost of detection is
+//! part of the `(1+o(1))` overhead story, not outside it. If the monitor
+//! itself is dead, its replacement processor runs the same round (it lost
+//! data, not its program), so the round always completes.
+//!
+//! Delay faults surface in the same table: each status carries the rank's
+//! critical-path clock, and ranks whose clock exceeds
+//! `straggler_factor ×` the median are flagged as stragglers. The caller
+//! decides what to do with them (the polynomial-code layer drops
+//! straggler columns while redundancy allows).
+
+use crate::cost::CostVector;
+use crate::env::{DetectStats, Env};
+use ft_bigint::BigInt;
+
+/// Tuning knobs for a detection round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectorConfig {
+    /// Heartbeats a rank may miss before it is declared dead. The
+    /// minimum (and default) of 1 detects every hard fault at the next
+    /// round; larger budgets model lazier deadlines that can miss a
+    /// fresh death entirely.
+    pub deadline_budget: u64,
+    /// A rank whose critical-path clock exceeds `straggler_factor ×` the
+    /// participant median is flagged as a straggler. `0` disables
+    /// straggler detection.
+    pub straggler_factor: u64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> DetectorConfig {
+        DetectorConfig {
+            deadline_budget: 1,
+            straggler_factor: 0,
+        }
+    }
+}
+
+/// One participant's status word as gathered by the monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankStatus {
+    /// The reporting rank.
+    pub rank: usize,
+    /// How many times the slot has died (0 = original processor).
+    pub incarnation: u32,
+    /// Phase stamp: heartbeats the rank should have posted by now.
+    pub hb_total: u64,
+    /// Surviving watermark: heartbeats posted since this incarnation's
+    /// birth (or last recovery acknowledgement).
+    pub hb_live: u64,
+    /// The rank's critical-path clock in simulated ticks (`C = α·L +
+    /// β·BW + γ·F` under the machine's cost parameters).
+    pub clock: u64,
+}
+
+impl RankStatus {
+    /// Missed heartbeats: how far the watermark lags the phase stamp.
+    #[must_use]
+    pub fn lag(&self) -> u64 {
+        self.hb_total - self.hb_live.min(self.hb_total)
+    }
+}
+
+/// The outcome of one detection round, identical on every participant.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// Status table in participant order.
+    pub statuses: Vec<RankStatus>,
+    /// Ranks declared dead (lag ≥ deadline budget), ascending.
+    pub dead: Vec<usize>,
+    /// Ranks flagged as delay-faulted stragglers, ascending (never
+    /// overlaps `dead`).
+    pub stragglers: Vec<usize>,
+    /// Worst lag among the dead (the detection latency of the slowest
+    /// declaration, in heartbeats).
+    pub max_missed: u64,
+}
+
+impl Verdict {
+    /// `true` iff the round declared `rank` dead.
+    #[must_use]
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.dead.contains(&rank)
+    }
+
+    /// `true` iff the round flagged `rank` as a straggler.
+    #[must_use]
+    pub fn is_straggler(&self, rank: usize) -> bool {
+        self.stragglers.contains(&rank)
+    }
+}
+
+/// Derive the round's verdict from a gathered status table. Pure: every
+/// participant calls this on the same table and reaches the same verdict.
+#[must_use]
+pub fn verdict_from(statuses: Vec<RankStatus>, cfg: &DetectorConfig) -> Verdict {
+    let budget = cfg.deadline_budget.max(1);
+    let mut dead: Vec<usize> = statuses
+        .iter()
+        .filter(|s| s.lag() >= budget)
+        .map(|s| s.rank)
+        .collect();
+    dead.sort_unstable();
+    let max_missed = statuses
+        .iter()
+        .filter(|s| dead.contains(&s.rank))
+        .map(RankStatus::lag)
+        .max()
+        .unwrap_or(0);
+    let mut stragglers = Vec::new();
+    if cfg.straggler_factor >= 1 && statuses.len() >= 2 {
+        let mut clocks: Vec<u64> = statuses.iter().map(|s| s.clock).collect();
+        clocks.sort_unstable();
+        let median = clocks[clocks.len() / 2].max(1);
+        stragglers = statuses
+            .iter()
+            .filter(|s| !dead.contains(&s.rank))
+            .filter(|s| s.clock / median >= cfg.straggler_factor.max(2))
+            .map(|s| s.rank)
+            .collect();
+        stragglers.sort_unstable();
+    }
+    Verdict {
+        statuses,
+        dead,
+        stragglers,
+        max_missed,
+    }
+}
+
+const STATUS_WORDS: usize = 5;
+
+fn encode_status(s: &RankStatus, out: &mut Vec<BigInt>) {
+    out.push(BigInt::from(s.rank as u64));
+    out.push(BigInt::from(u64::from(s.incarnation)));
+    out.push(BigInt::from(s.hb_total));
+    out.push(BigInt::from(s.hb_live));
+    out.push(BigInt::from(s.clock));
+}
+
+fn decode_u64(v: &BigInt) -> u64 {
+    u64::try_from(v).expect("detection status word out of range")
+}
+
+fn decode_statuses(payload: &[BigInt]) -> Vec<RankStatus> {
+    assert_eq!(payload.len() % STATUS_WORDS, 0, "ragged status table");
+    payload
+        .chunks_exact(STATUS_WORDS)
+        .map(|c| RankStatus {
+            rank: usize::try_from(decode_u64(&c[0])).expect("rank fits usize"),
+            incarnation: u32::try_from(decode_u64(&c[1])).expect("incarnation fits u32"),
+            hb_total: decode_u64(&c[2]),
+            hb_live: decode_u64(&c[3]),
+            clock: decode_u64(&c[4]),
+        })
+        .collect()
+}
+
+fn own_status(env: &Env) -> RankStatus {
+    let (hb_total, hb_live) = env.heartbeat();
+    let cost = env.cost();
+    RankStatus {
+        rank: env.rank(),
+        incarnation: env.deaths_so_far(),
+        hb_total,
+        hb_live,
+        clock: clock_ticks(&cost),
+    }
+}
+
+/// The scalar critical-path clock used for straggler comparison.
+fn clock_ticks(cost: &CostVector) -> u64 {
+    // Straggler detection compares *relative* progress, so the unweighted
+    // flop clock suffices: delay faults multiply exactly this component.
+    cost.f
+}
+
+/// Run one detection round among `participants` (must be sorted,
+/// duplicate-free, and contain the calling rank). `tag` and `tag + 1`
+/// carry the gather and the table broadcast; the caller must keep them
+/// unique per round within its protocol. Returns the verdict, identical
+/// on every participant.
+///
+/// The round does **not** acknowledge recovery: after the caller's
+/// recovery protocol has re-filled a declared-dead rank, that rank (and
+/// only then) should call [`Env::ack_recovery`] so later rounds see it as
+/// healthy. A rank left unrecovered keeps its lag and stays dead in every
+/// subsequent verdict — which is exactly what, e.g., a stale code row
+/// needs.
+///
+/// # Panics
+/// Panics if the calling rank is not in `participants`.
+#[must_use]
+pub fn detection_round(
+    env: &Env,
+    participants: &[usize],
+    tag: u64,
+    cfg: &DetectorConfig,
+) -> Verdict {
+    debug_assert!(participants.windows(2).all(|w| w[0] < w[1]));
+    let me = env.rank();
+    assert!(
+        participants.contains(&me),
+        "rank {me} ran a detection round it is not part of"
+    );
+    let monitor = participants[0];
+    let statuses = if me == monitor {
+        let mut statuses = Vec::with_capacity(participants.len());
+        for &peer in participants {
+            if peer == me {
+                statuses.push(own_status(env));
+            } else {
+                statuses.push(
+                    decode_statuses(&env.recv(peer, tag))
+                        .pop()
+                        .expect("one status per gather message"),
+                );
+            }
+        }
+        let mut table = Vec::with_capacity(statuses.len() * STATUS_WORDS);
+        for s in &statuses {
+            encode_status(s, &mut table);
+        }
+        for &peer in participants {
+            if peer != me {
+                env.send(peer, tag + 1, &table);
+            }
+        }
+        statuses
+    } else {
+        let mut payload = Vec::with_capacity(STATUS_WORDS);
+        encode_status(&own_status(env), &mut payload);
+        env.send(monitor, tag, &payload);
+        decode_statuses(&env.recv(monitor, tag + 1))
+    };
+    let verdict = verdict_from(statuses, cfg);
+    let mut delta = DetectStats {
+        rounds: 1,
+        ..DetectStats::default()
+    };
+    if me == monitor {
+        // Verdict-level counters are recorded once per round (by the
+        // monitor) so run-level sums do not multiply by the group size.
+        delta.dead_declared = verdict.dead.len() as u64;
+        delta.stragglers_flagged = verdict.stragglers.len() as u64;
+        delta.false_positives = verdict
+            .statuses
+            .iter()
+            .filter(|s| verdict.is_dead(s.rank) && s.incarnation == 0)
+            .count() as u64;
+        delta.max_missed = verdict.max_missed;
+    }
+    env.note_detect(&delta);
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{FaultPlan, Machine, MachineConfig};
+    use ft_bigint::BigInt;
+
+    fn round_on(plan: FaultPlan, p: usize, cfg: DetectorConfig) -> crate::env::RunReport<Verdict> {
+        let machine = Machine::new(MachineConfig::new(p).with_faults(plan));
+        let participants: Vec<usize> = (0..p).collect();
+        machine.run(move |env| {
+            let _ = env.fault_point("work");
+            detection_round(env, &participants, 900_000, &cfg)
+        })
+    }
+
+    #[test]
+    fn clean_round_declares_nobody() {
+        let report = round_on(FaultPlan::none(), 4, DetectorConfig::default());
+        for verdict in &report.results {
+            assert!(verdict.dead.is_empty());
+            assert!(verdict.stragglers.is_empty());
+            assert_eq!(verdict.max_missed, 0);
+        }
+        let totals = report.detect_totals();
+        assert_eq!(totals.rounds, 4, "each participant counts its round");
+        assert_eq!(totals.dead_declared, 0);
+        assert_eq!(totals.false_positives, 0);
+    }
+
+    #[test]
+    fn dead_rank_is_declared_by_every_participant() {
+        let report = round_on(
+            FaultPlan::none().kill(2, "work"),
+            4,
+            DetectorConfig::default(),
+        );
+        for (rank, verdict) in report.results.iter().enumerate() {
+            assert_eq!(verdict.dead, vec![2], "rank {rank} agrees");
+            assert_eq!(verdict.max_missed, 1);
+        }
+        let totals = report.detect_totals();
+        assert_eq!(totals.dead_declared, 1, "counted once, by the monitor");
+        assert_eq!(totals.false_positives, 0, "rank 2 really died");
+        assert_eq!(totals.max_missed, 1);
+    }
+
+    #[test]
+    fn dead_monitor_round_still_completes() {
+        // The monitor slot dies right before the round; its replacement
+        // runs the gather and the whole group still converges.
+        let report = round_on(
+            FaultPlan::none().kill(0, "work"),
+            3,
+            DetectorConfig::default(),
+        );
+        for verdict in &report.results {
+            assert_eq!(verdict.dead, vec![0]);
+        }
+    }
+
+    #[test]
+    fn lax_deadline_budget_misses_a_fresh_death() {
+        // With budget 3, a rank that just died (lag 1) is NOT declared:
+        // the deadline semantics are real, not decorative.
+        let report = round_on(
+            FaultPlan::none().kill(1, "work"),
+            3,
+            DetectorConfig {
+                deadline_budget: 3,
+                straggler_factor: 0,
+            },
+        );
+        for verdict in &report.results {
+            assert!(verdict.dead.is_empty(), "lag 1 < budget 3");
+        }
+    }
+
+    #[test]
+    fn unrecovered_rank_stays_dead_in_later_rounds() {
+        let machine =
+            Machine::new(MachineConfig::new(3).with_faults(FaultPlan::none().kill(1, "w")));
+        let participants = [0usize, 1, 2];
+        let report = machine.run(|env| {
+            let _ = env.fault_point("w");
+            let v1 = detection_round(env, &participants, 900_000, &DetectorConfig::default());
+            let _ = env.fault_point("w"); // nobody dies here
+            let v2 = detection_round(env, &participants, 900_100, &DetectorConfig::default());
+            // Now recovery acknowledges; the third round is clean.
+            if v2.is_dead(env.rank()) {
+                env.ack_recovery();
+            }
+            let v3 = detection_round(env, &participants, 900_200, &DetectorConfig::default());
+            (v1.dead, v2.dead, v3.dead)
+        });
+        for (d1, d2, d3) in &report.results {
+            assert_eq!(*d1, vec![1]);
+            assert_eq!(*d2, vec![1], "no ack, still dead");
+            assert!(d3.is_empty(), "acked, healthy again");
+        }
+    }
+
+    #[test]
+    fn straggler_clock_is_flagged_not_killed() {
+        let machine = Machine::new(MachineConfig::new(4).with_slowdown(3, 64));
+        let participants = [0usize, 1, 2, 3];
+        let report = machine.run(|env| {
+            // Equal real work on every rank; rank 3's clock runs 64×.
+            let a = BigInt::from(u64::MAX).pow(8);
+            let _ = a.mul_schoolbook(&a);
+            let _ = env.fault_point("w");
+            detection_round(
+                env,
+                &participants,
+                900_000,
+                &DetectorConfig {
+                    deadline_budget: 1,
+                    straggler_factor: 8,
+                },
+            )
+        });
+        for verdict in &report.results {
+            assert!(verdict.dead.is_empty(), "a slow rank is not a dead rank");
+            assert_eq!(verdict.stragglers, vec![3]);
+        }
+        assert_eq!(report.detect_totals().stragglers_flagged, 1);
+    }
+
+    #[test]
+    fn detection_traffic_is_charged_to_the_cost_model() {
+        let before = Machine::new(MachineConfig::new(4)).run(|env| {
+            let _ = env.fault_point("w");
+        });
+        let after = round_on(FaultPlan::none(), 4, DetectorConfig::default());
+        let cp_before = before.critical_path();
+        let cp_after = after.critical_path();
+        assert!(
+            cp_after.l >= cp_before.l + 2,
+            "gather + broadcast are real messages"
+        );
+        assert!(cp_after.bw > cp_before.bw, "status words are real traffic");
+    }
+}

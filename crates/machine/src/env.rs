@@ -9,6 +9,7 @@ use ft_bigint::{metrics, BigInt};
 use parking_lot::Mutex;
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Configuration of a simulated machine run.
 #[derive(Debug, Clone)]
@@ -30,6 +31,9 @@ pub struct MachineConfig {
     /// clock, modeling a processor whose average time per operation has
     /// increased. Raw work counters are unaffected.
     pub slowdowns: Vec<(usize, u64)>,
+    /// Unplanned seeded-random hard faults, drawn at fault points the
+    /// allowlist names. `None` disables random faults.
+    pub random: Option<RandomFaults>,
 }
 
 impl MachineConfig {
@@ -44,6 +48,7 @@ impl MachineConfig {
             trace: false,
             faults: FaultPlan::none(),
             slowdowns: Vec::new(),
+            random: None,
         }
     }
 
@@ -74,6 +79,78 @@ impl MachineConfig {
         self.memory_limit = Some(words);
         self
     }
+
+    /// Enable unplanned seeded-random hard faults.
+    #[must_use]
+    pub fn with_random_faults(mut self, random: RandomFaults) -> MachineConfig {
+        self.random = Some(random);
+        self
+    }
+}
+
+/// Unplanned hard faults: every passage through an allowlisted fault point
+/// draws from a deterministic hash of `(seed, rank, label, occurrence)` and
+/// kills the rank with probability `per_10k / 10_000`, subject to a global
+/// per-run budget of `max_faults` deaths.
+///
+/// The label allowlist restricts random deaths to fault points the running
+/// algorithm can actually recover from (e.g. the polynomial-code layer
+/// survives deaths at `poly-halt` but a death inside a nested recursion
+/// boundary would need the linear code's recovery); callers list exactly
+/// the labels their recovery protocol covers.
+///
+/// Draws are pure in `(seed, rank, label, occurrence)`, so a run is fully
+/// deterministic whenever the number of firing draws is within budget;
+/// beyond the budget, which candidates win depends on thread scheduling
+/// (first-come-first-killed), mirroring a real machine where "at most `f`
+/// concurrent faults" is an assumption, not a guarantee.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RandomFaults {
+    /// Seed mixed into every draw.
+    pub seed: u64,
+    /// Per-passage death probability in units of 1/10_000.
+    pub per_10k: u32,
+    /// Global cap on random deaths per machine run.
+    pub max_faults: u32,
+    /// Fault-point labels eligible for random death (exact match).
+    pub labels: Vec<String>,
+}
+
+impl RandomFaults {
+    /// `true` iff `label` is eligible for random faults.
+    #[must_use]
+    pub fn allows(&self, label: &str) -> bool {
+        self.labels.iter().any(|l| l == label)
+    }
+
+    /// Deterministic draw: would this passage die (ignoring the budget)?
+    #[must_use]
+    pub fn fires(&self, rank: usize, label: &str, occurrence: u32) -> bool {
+        if self.per_10k == 0 || self.max_faults == 0 {
+            return false;
+        }
+        let mut h = splitmix64(self.seed ^ fnv1a(label));
+        h = splitmix64(h ^ (u64::from(occurrence) << 32) ^ rank as u64);
+        h % 10_000 < u64::from(self.per_10k)
+    }
+}
+
+/// SplitMix64 finalizer: a strong deterministic 64-bit mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the label bytes (stable, no external hasher dependency).
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// One planned hard fault: rank `rank` dies the `occurrence`-th time it
@@ -90,10 +167,13 @@ pub struct FaultSpec {
 
 /// A deterministic hard-fault plan.
 ///
-/// The plan doubles as the failure-detection oracle: survivors may query it
-/// to learn which ranks die at which phase (standing in for the heartbeat /
-/// membership layer of a real fault-tolerant runtime — the paper assumes
-/// detected fail-stop faults).
+/// The plan is **injection-only**: it decides which ranks die where, and
+/// nothing inside the machine run may read it. Survivors learn about
+/// failures through the heartbeat/detection layer ([`crate::detect`]) —
+/// the paper assumes *detected* fail-stop faults, and detection here is
+/// earned, not oracled. The query methods ([`FaultPlan::victims_at`],
+/// [`FaultPlan::is_victim`]) exist for hosts and tests that assert on what
+/// was injected after the fact.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     specs: Vec<FaultSpec>,
@@ -191,6 +271,37 @@ struct RawTotals {
     msgs_sent: u64,
 }
 
+/// Failure-detection counters accumulated by a rank. Verdict-level
+/// counters (deaths declared, stragglers, false positives, worst miss)
+/// are recorded by the round's monitor only, so summing over ranks gives
+/// run-level totals without double counting; `rounds` counts every
+/// round this rank participated in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectStats {
+    /// Detection rounds this rank took part in.
+    pub rounds: u64,
+    /// Ranks this rank (as monitor) declared dead, summed over rounds.
+    pub dead_declared: u64,
+    /// Ranks this rank (as monitor) flagged as stragglers.
+    pub stragglers_flagged: u64,
+    /// Declared-dead ranks that had in fact never died (incarnation 0).
+    pub false_positives: u64,
+    /// Worst heartbeat lag seen on any declared-dead rank (simulated
+    /// ticks between the last surviving heartbeat and detection).
+    pub max_missed: u64,
+}
+
+impl DetectStats {
+    /// Fold another stats record into this one (sums, max for lag).
+    pub fn merge(&mut self, other: &DetectStats) {
+        self.rounds += other.rounds;
+        self.dead_declared += other.dead_declared;
+        self.stragglers_flagged += other.stragglers_flagged;
+        self.false_positives += other.false_positives;
+        self.max_missed = self.max_missed.max(other.max_missed);
+    }
+}
+
 /// Per-rank outcome of a run.
 #[derive(Debug, Clone)]
 pub struct RankReport {
@@ -208,6 +319,8 @@ pub struct RankReport {
     pub peak_memory: u64,
     /// Number of times this slot died and was replaced.
     pub deaths: u32,
+    /// Failure-detection counters (see [`DetectStats`]).
+    pub detect: DetectStats,
     /// Memory-limit violations (empty when within limit / no limit set).
     pub memory_violations: Vec<String>,
 }
@@ -264,6 +377,17 @@ impl<T> RunReport<T> {
     pub fn peak_memory(&self) -> u64 {
         self.ranks.iter().map(|r| r.peak_memory).max().unwrap_or(0)
     }
+
+    /// Run-level failure-detection totals (verdict counters are recorded
+    /// once per round by the monitor, so the fold does not double count).
+    #[must_use]
+    pub fn detect_totals(&self) -> DetectStats {
+        let mut total = DetectStats::default();
+        for r in &self.ranks {
+            total.merge(&r.detect);
+        }
+        total
+    }
 }
 
 /// The per-rank execution environment handed to the SPMD program.
@@ -280,6 +404,18 @@ pub struct Env<'a> {
     incarnation: Cell<u32>,
     slow_factor: Cell<u64>,
     fault_counts: RefCell<HashMap<String, u32>>,
+    /// Heartbeats this slot *should* have posted by now: one per fault
+    /// point passed, monotone across deaths. In the SPMD model the
+    /// replacement processor resumes the same program, so it knows its
+    /// phase stamp even though it lost all data.
+    hb_total: Cell<u64>,
+    /// Heartbeats actually surviving since this incarnation's birth —
+    /// reset to zero on death (the posted watermark dies with the state).
+    /// `hb_total - hb_live` is the rank's heartbeat lag.
+    hb_live: Cell<u64>,
+    detect: Cell<DetectStats>,
+    /// Remaining-budget counter for random faults, shared by all ranks.
+    random_used: &'a AtomicU32,
     trace: Option<&'a Mutex<Vec<TraceEvent>>>,
     peak_memory: Cell<u64>,
     memory_violations: RefCell<Vec<String>>,
@@ -296,12 +432,6 @@ impl<'a> Env<'a> {
     #[must_use]
     pub fn size(&self) -> usize {
         self.size
-    }
-
-    /// The machine's fault plan (the failure-detection oracle).
-    #[must_use]
-    pub fn fault_plan(&self) -> &FaultPlan {
-        &self.config.faults
     }
 
     /// The configured memory limit, if any.
@@ -425,7 +555,18 @@ impl<'a> Env<'a> {
             *c += 1;
             cur
         };
-        if self.config.faults.matches(self.rank, label, occurrence) {
+        // Every fault point posts one heartbeat: the phase stamp advances
+        // unconditionally, the surviving watermark only while alive.
+        self.hb_total.set(self.hb_total.get() + 1);
+        self.hb_live.set(self.hb_live.get() + 1);
+        let planned = self.config.faults.matches(self.rank, label, occurrence);
+        let dies = planned
+            || self.config.random.as_ref().is_some_and(|rf| {
+                rf.allows(label)
+                    && rf.fires(self.rank, label, occurrence)
+                    && take_budget(self.random_used, rf.max_faults)
+            });
+        if dies {
             // Hard fault: all local *state* is lost (the program must
             // discard its variables). The channel is slot-addressed
             // middleware: messages sent to this slot — including ones sent
@@ -433,6 +574,10 @@ impl<'a> Env<'a> {
             // the replacement processor, which the recovery protocol
             // brings to the state where it consumes them correctly.
             self.incarnation.set(self.incarnation.get() + 1);
+            // The posted watermark dies with the state: the replacement
+            // starts at zero, so its heartbeat lag is visible to the
+            // detector until the recovery protocol re-integrates it.
+            self.hb_live.set(0);
             if let Some(tr) = self.trace {
                 tr.lock().push(TraceEvent::Death {
                     rank: self.rank,
@@ -444,6 +589,34 @@ impl<'a> Env<'a> {
         } else {
             Fate::Alive
         }
+    }
+
+    /// This rank's heartbeat counters: `(phase stamp, surviving
+    /// watermark)`. A healthy or fully re-integrated rank has equal
+    /// counters; the difference is its heartbeat lag.
+    #[must_use]
+    pub fn heartbeat(&self) -> (u64, u64) {
+        (self.hb_total.get(), self.hb_live.get())
+    }
+
+    /// Mark this rank's state consistent again: the recovery protocol has
+    /// re-filled the replacement processor (or the rank was never behind),
+    /// so its watermark catches up to the phase stamp.
+    pub fn ack_recovery(&self) {
+        self.hb_live.set(self.hb_total.get());
+    }
+
+    /// How many times this slot has died so far.
+    #[must_use]
+    pub fn deaths_so_far(&self) -> u32 {
+        self.incarnation.get()
+    }
+
+    /// Fold detection counters into this rank's report.
+    pub(crate) fn note_detect(&self, delta: &DetectStats) {
+        let mut d = self.detect.get();
+        d.merge(delta);
+        self.detect.set(d);
     }
 
     /// Report this rank's current live data footprint in words. Tracks the
@@ -473,9 +646,18 @@ impl<'a> Env<'a> {
             total_msgs_sent: raw.msgs_sent,
             peak_memory: self.peak_memory.get(),
             deaths: self.incarnation.get(),
+            detect: self.detect.get(),
             memory_violations: self.memory_violations.into_inner(),
         }
     }
+}
+
+/// Claim one unit of the shared random-fault budget; `false` when spent.
+fn take_budget(used: &AtomicU32, max_faults: u32) -> bool {
+    used.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |u| {
+        (u < max_faults).then_some(u + 1)
+    })
+    .is_ok()
 }
 
 /// A simulated machine, ready to run SPMD programs.
@@ -517,8 +699,11 @@ impl Machine {
         }
         let trace_store: Option<Mutex<Vec<TraceEvent>>> =
             self.config.trace.then(|| Mutex::new(Vec::new()));
+        // Shared budget for random faults, reset per run.
+        let random_used = AtomicU32::new(0);
 
         let mut outcome: Vec<Option<(T, RankReport)>> = (0..p).map(|_| None).collect();
+        let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
             for (rank, (receiver, slot)) in receivers.drain(..).zip(outcome.iter_mut()).enumerate()
@@ -527,6 +712,7 @@ impl Machine {
                 let config = &self.config;
                 let trace = trace_store.as_ref();
                 let program = &program;
+                let random_used = &random_used;
                 handles.push(scope.spawn(move |_| {
                     let env = Env {
                         rank,
@@ -547,6 +733,10 @@ impl Machine {
                                 .map_or(1, |(_, f)| (*f).max(1)),
                         ),
                         fault_counts: RefCell::new(HashMap::new()),
+                        hb_total: Cell::new(0),
+                        hb_live: Cell::new(0),
+                        detect: Cell::new(DetectStats::default()),
+                        random_used,
                         trace,
                         peak_memory: Cell::new(0),
                         memory_violations: RefCell::new(Vec::new()),
@@ -555,11 +745,18 @@ impl Machine {
                     *slot = Some((result, env.into_report()));
                 }));
             }
+            // Preserve the first panic payload so a host (or a supervising
+            // service layer) sees the original message, not a join error.
             for h in handles {
-                h.join().expect("simulated processor panicked");
+                if let Err(payload) = h.join() {
+                    panic_payload.get_or_insert(payload);
+                }
             }
         })
         .expect("machine scope failed");
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
 
         let mut results = Vec::with_capacity(p);
         let mut ranks = Vec::with_capacity(p);
@@ -768,12 +965,84 @@ mod tests {
     }
 
     #[test]
-    fn plan_oracle_queries() {
+    fn plan_injection_queries() {
+        // Host-side / test-side introspection of what was injected. The
+        // plan is not readable from inside a run (there is no Env
+        // accessor): detection must come from the heartbeat layer.
         let plan = FaultPlan::none().kill(3, "x").kill(5, "x").kill(3, "y");
         assert_eq!(plan.victims_at("x"), vec![3, 5]);
         assert_eq!(plan.victims_at("y"), vec![3]);
         assert!(plan.is_victim(5));
         assert!(!plan.is_victim(4));
         assert_eq!(plan.len(), 3);
+    }
+
+    #[test]
+    fn heartbeat_lag_tracks_death_and_recovery() {
+        let plan = FaultPlan::none().kill_at(0, "hb", 1);
+        let machine = Machine::new(MachineConfig::new(1).with_faults(plan));
+        let report = machine.run(|env| {
+            assert_eq!(env.fault_point("hb"), Fate::Alive);
+            assert_eq!(env.heartbeat(), (1, 1), "healthy: no lag");
+            assert_eq!(env.fault_point("hb"), Fate::Reborn);
+            assert_eq!(env.heartbeat(), (2, 0), "death wipes the watermark");
+            assert_eq!(env.fault_point("hb"), Fate::Alive);
+            assert_eq!(env.heartbeat(), (3, 1), "lag persists until recovery");
+            env.ack_recovery();
+            assert_eq!(env.heartbeat(), (3, 3), "recovery re-integrates");
+            env.deaths_so_far()
+        });
+        assert_eq!(report.results[0], 1);
+    }
+
+    #[test]
+    fn random_faults_are_deterministic_and_label_gated() {
+        let random = RandomFaults {
+            seed: 42,
+            per_10k: 3_000,
+            max_faults: 100,
+            labels: vec!["eligible".to_string()],
+        };
+        let run = || {
+            let machine = Machine::new(MachineConfig::new(8).with_random_faults(random.clone()));
+            machine.run(|env| {
+                let mut deaths = 0u32;
+                for _ in 0..16 {
+                    if env.fault_point("eligible") == Fate::Reborn {
+                        deaths += 1;
+                    }
+                    // Never on the allowlist: must never kill.
+                    assert_eq!(env.fault_point("ineligible"), Fate::Alive);
+                }
+                deaths
+            })
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first.results, second.results, "same seed, same deaths");
+        let total = first.total_deaths();
+        assert!(total > 0, "3000/10k over 128 draws should fire");
+        assert!(total < 128, "and not fire every time");
+    }
+
+    #[test]
+    fn random_fault_budget_caps_total_deaths() {
+        let random = RandomFaults {
+            seed: 7,
+            per_10k: 10_000, // every eligible passage wants to kill
+            max_faults: 3,
+            labels: vec!["hot".to_string()],
+        };
+        let machine = Machine::new(MachineConfig::new(4).with_random_faults(random));
+        let report = machine.run(|env| {
+            let mut deaths = 0u32;
+            for _ in 0..10 {
+                if env.fault_point("hot") == Fate::Reborn {
+                    deaths += 1;
+                }
+            }
+            deaths
+        });
+        assert_eq!(report.total_deaths(), 3, "budget is global across ranks");
     }
 }

@@ -22,8 +22,15 @@
 //!   processor, which must be re-filled by the algorithm's recovery
 //!   protocol. This matches §2.1: "the affected processor ceases operation,
 //!   loses its data, and is subsequently replaced by an alternative
-//!   processor". Failure detection is by oracle (the plan is visible to
-//!   survivors), standing in for the heartbeat layer real machines use.
+//!   processor". The plan is injection-only; [`RandomFaults`] adds
+//!   *unplanned* seeded-random deaths at allowlisted fault points.
+//! - **Failure detection** — every fault point posts a phase-stamped
+//!   heartbeat; [`detect::detection_round`] gathers per-rank watermarks
+//!   through ordinary messages (charged to `BW`/`L` like everything else)
+//!   and declares ranks dead after a missed-deadline budget, flagging
+//!   delay-faulted ranks as stragglers. Survivors never read the plan —
+//!   the paper's "detected fail-stop" assumption is implemented, not
+//!   assumed.
 //! - **Collectives** — broadcast / reduce / all-reduce / all-gather built
 //!   from point-to-point messages with bandwidth-optimal algorithms
 //!   (ring reduce-scatter/all-gather), plus the `t`-reduce of Lemma 2.5
@@ -35,6 +42,7 @@
 
 pub mod collectives;
 pub mod cost;
+pub mod detect;
 pub mod env;
 pub mod grid;
 pub mod message;
@@ -42,7 +50,11 @@ pub mod stats;
 pub mod trace;
 
 pub use cost::{CostParams, CostVector};
-pub use env::{Env, Fate, FaultPlan, FaultSpec, Machine, MachineConfig, RankReport, RunReport};
+pub use detect::{detection_round, DetectorConfig, RankStatus, Verdict};
+pub use env::{
+    DetectStats, Env, Fate, FaultPlan, FaultSpec, Machine, MachineConfig, RandomFaults, RankReport,
+    RunReport,
+};
 pub use grid::ToomGrid;
 pub use stats::TraceStats;
 pub use trace::TraceEvent;

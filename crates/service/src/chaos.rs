@@ -274,23 +274,27 @@ fn invalid_force() -> ConfigError {
 }
 
 /// Install a process-wide panic hook that silences the backtrace spam from
-/// chaos-injected panics (they are expected, and either caught by the
-/// supervisor or deliberately escalated) while delegating every other
-/// panic to the previously installed hook. Idempotent; intended for chaos
-/// tests and demos.
+/// *expected* panics — chaos-injected worker panics and the distributed
+/// backend's unrecoverable-run marker (both caught by the supervisor, or
+/// deliberately escalated) — while delegating every other panic to the
+/// previously installed hook. Idempotent; intended for chaos tests and
+/// demos.
 pub fn install_quiet_panic_hook() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
+            let expected = |s: &str| {
+                s.contains(INJECTED_PANIC_MSG) || s.contains(crate::distributed::UNRECOVERABLE_MSG)
+            };
             let injected = info
                 .payload()
                 .downcast_ref::<String>()
-                .is_some_and(|s| s.contains(INJECTED_PANIC_MSG))
+                .is_some_and(|s| expected(s))
                 || info
                     .payload()
                     .downcast_ref::<&str>()
-                    .is_some_and(|s| s.contains(INJECTED_PANIC_MSG));
+                    .is_some_and(|s| expected(s));
             if !injected {
                 previous(info);
             }

@@ -110,6 +110,158 @@ impl Default for TunerConfig {
     }
 }
 
+/// The distributed backend: coalesced groups promoted to the simulated
+/// coded machine (`ft-core`'s polynomial-coded parallel Toom-Cook with
+/// heartbeat failure detection). Each promoted request runs on a machine
+/// of `(2k−1+f)·k^(bfs_steps−1)·…` simulated processors that survives up
+/// to `f` column faults per run; unrecoverable runs fall back down the
+/// ordinary kernel ladder. The injection knobs drive deterministic chaos
+/// *inside* the machine (planned hard faults plus one delay fault), where
+/// the heartbeat detector — not an oracle — must find them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistributedConfig {
+    /// Master switch; `false` keeps every group on the local kernels.
+    pub enabled: bool,
+    /// Toom split parameter `k` of the coded machine.
+    pub k: usize,
+    /// BFS steps `m` of the coded machine (`P = (k²)^m` data processors).
+    pub bfs_steps: usize,
+    /// Redundant evaluation points `f` — column faults survivable per run.
+    pub f: usize,
+    /// Smallest coalesced group the dispatcher promotes.
+    pub min_group: usize,
+    /// Promotion window: only operands of at least this many bits…
+    pub min_bits: u64,
+    /// …and at most this many bits run on the simulated machine.
+    pub max_bits: u64,
+    /// Seed of the deterministic in-machine fault stream.
+    pub fault_seed: u64,
+    /// Planned hard faults injected per machine run (distinct victim
+    /// ranks at the `poly-halt` fault point). More than `f` distinct
+    /// *columns* makes the run unrecoverable, exercising the fallback.
+    pub hard_faults_per_run: u32,
+    /// Ranks per run additionally given a delay fault (slowdown).
+    pub delay_ranks: u32,
+    /// Slowdown factor applied to delayed ranks (1 = no delay).
+    pub delay_factor: u64,
+    /// Attempts (per request) that receive injection, so a supervised
+    /// retry deterministically clears injected faults. `u32::MAX` makes
+    /// every distributed attempt faulty (forces the fallback ladder).
+    pub faulty_attempts: u32,
+    /// Heartbeat deadline budget of the in-machine detector.
+    pub deadline_budget: u64,
+    /// Straggler factor of the in-machine detector (0 disables flagging).
+    pub straggler_factor: u64,
+}
+
+impl Default for DistributedConfig {
+    fn default() -> DistributedConfig {
+        DistributedConfig {
+            enabled: false,
+            k: 2,
+            bfs_steps: 1,
+            f: 1,
+            min_group: 2,
+            min_bits: 2_048,
+            max_bits: 4_000_000,
+            fault_seed: 0,
+            hard_faults_per_run: 0,
+            delay_ranks: 0,
+            delay_factor: 4,
+            faulty_attempts: 1,
+            deadline_budget: 1,
+            straggler_factor: 0,
+        }
+    }
+}
+
+impl DistributedConfig {
+    /// Read a distributed config from a parsed JSON object; absent fields
+    /// keep their defaults.
+    pub fn from_json(json: &Json) -> Result<DistributedConfig, ConfigError> {
+        let d = DistributedConfig::default();
+        let enabled = match json.get("enabled") {
+            None => d.enabled,
+            Some(v) => v.as_bool().ok_or_else(|| {
+                ConfigError::Invalid("distributed.enabled must be a boolean".to_string())
+            })?,
+        };
+        let cfg = DistributedConfig {
+            enabled,
+            k: field_usize(json, "k", d.k)?,
+            bfs_steps: field_usize(json, "bfs_steps", d.bfs_steps)?,
+            f: field_usize(json, "f", d.f)?,
+            min_group: field_usize(json, "min_group", d.min_group)?,
+            min_bits: field_u64(json, "min_bits", d.min_bits)?,
+            max_bits: field_u64(json, "max_bits", d.max_bits)?,
+            fault_seed: field_u64(json, "fault_seed", d.fault_seed)?,
+            hard_faults_per_run: field_u32(json, "hard_faults_per_run", d.hard_faults_per_run)?,
+            delay_ranks: field_u32(json, "delay_ranks", d.delay_ranks)?,
+            delay_factor: field_u64(json, "delay_factor", d.delay_factor)?,
+            faulty_attempts: field_u32(json, "faulty_attempts", d.faulty_attempts)?,
+            deadline_budget: field_u64(json, "deadline_budget", d.deadline_budget)?,
+            straggler_factor: field_u64(json, "straggler_factor", d.straggler_factor)?,
+        };
+        if cfg.k < 2 {
+            return Err(ConfigError::Invalid(
+                "distributed.k must be >= 2".to_string(),
+            ));
+        }
+        if cfg.bfs_steps == 0 {
+            return Err(ConfigError::Invalid(
+                "distributed.bfs_steps must be >= 1".to_string(),
+            ));
+        }
+        if cfg.min_group == 0 {
+            return Err(ConfigError::Invalid(
+                "distributed.min_group must be >= 1".to_string(),
+            ));
+        }
+        if cfg.min_bits > cfg.max_bits {
+            return Err(ConfigError::Invalid(
+                "distributed.min_bits must not exceed distributed.max_bits".to_string(),
+            ));
+        }
+        if cfg.delay_factor == 0 {
+            return Err(ConfigError::Invalid(
+                "distributed.delay_factor must be >= 1".to_string(),
+            ));
+        }
+        Ok(cfg)
+    }
+
+    fn to_json_value(&self) -> Json {
+        obj([
+            ("enabled", Json::Bool(self.enabled)),
+            ("k", Json::Num(self.k as i128)),
+            ("bfs_steps", Json::Num(self.bfs_steps as i128)),
+            ("f", Json::Num(self.f as i128)),
+            ("min_group", Json::Num(self.min_group as i128)),
+            ("min_bits", Json::Num(i128::from(self.min_bits))),
+            ("max_bits", Json::Num(i128::from(self.max_bits))),
+            ("fault_seed", Json::Num(i128::from(self.fault_seed))),
+            (
+                "hard_faults_per_run",
+                Json::Num(i128::from(self.hard_faults_per_run)),
+            ),
+            ("delay_ranks", Json::Num(i128::from(self.delay_ranks))),
+            ("delay_factor", Json::Num(i128::from(self.delay_factor))),
+            (
+                "faulty_attempts",
+                Json::Num(i128::from(self.faulty_attempts)),
+            ),
+            (
+                "deadline_budget",
+                Json::Num(i128::from(self.deadline_budget)),
+            ),
+            (
+                "straggler_factor",
+                Json::Num(i128::from(self.straggler_factor)),
+            ),
+        ])
+    }
+}
+
 impl BatchingConfig {
     /// Read a batching config from a parsed JSON object; absent fields
     /// keep their defaults.
@@ -215,6 +367,9 @@ pub struct ServiceConfig {
     pub batching: BatchingConfig,
     /// Adaptive threshold tuner driven by the live latency histogram.
     pub tuner: TunerConfig,
+    /// Distributed backend: promote coalesced groups to the simulated
+    /// coded machine with heartbeat failure detection.
+    pub distributed: DistributedConfig,
 }
 
 impl Default for ServiceConfig {
@@ -232,6 +387,7 @@ impl Default for ServiceConfig {
             chaos: None,
             batching: BatchingConfig::default(),
             tuner: TunerConfig::default(),
+            distributed: DistributedConfig::default(),
         }
     }
 }
@@ -263,6 +419,12 @@ fn field_u64(json: &Json, key: &str, default: u64) -> Result<u64, ConfigError> {
             .as_u64()
             .ok_or_else(|| ConfigError::Invalid(format!("{key} must be a non-negative integer"))),
     }
+}
+
+fn field_u32(json: &Json, key: &str, default: u32) -> Result<u32, ConfigError> {
+    let wide = field_u64(json, key, u64::from(default))?;
+    u32::try_from(wide)
+        .map_err(|_| ConfigError::Invalid(format!("{key} must fit in an unsigned 32-bit integer")))
 }
 
 fn field_usize(json: &Json, key: &str, default: usize) -> Result<usize, ConfigError> {
@@ -373,6 +535,10 @@ impl ServiceConfig {
             None => d.tuner.clone(),
             Some(v) => TunerConfig::from_json(v)?,
         };
+        let distributed = match json.get("distributed") {
+            None => d.distributed.clone(),
+            Some(v) => DistributedConfig::from_json(v)?,
+        };
         let cfg = ServiceConfig {
             workers: field_usize(&json, "workers", d.workers)?,
             queue_capacity: field_usize(&json, "queue_capacity", d.queue_capacity)?,
@@ -386,6 +552,7 @@ impl ServiceConfig {
             chaos,
             batching,
             tuner,
+            distributed,
         };
         if cfg.workers == 0 {
             return Err(ConfigError::Invalid("workers must be >= 1".to_string()));
@@ -434,6 +601,7 @@ impl ServiceConfig {
             ),
             ("batching", self.batching.to_json_value()),
             ("tuner", self.tuner.to_json_value()),
+            ("distributed", self.distributed.to_json_value()),
         ])
         .dump()
     }
@@ -530,6 +698,51 @@ mod tests {
             ServiceConfig::from_json(r#"{"tuner": {"slowdown_pct": 99}}"#),
             Err(ConfigError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn distributed_round_trips() {
+        let cfg = ServiceConfig::from_json(
+            r#"{
+                "distributed": {"enabled": true, "k": 3, "bfs_steps": 1, "f": 2,
+                                "min_group": 3, "min_bits": 4096, "max_bits": 65536,
+                                "fault_seed": 7, "hard_faults_per_run": 2,
+                                "delay_ranks": 1, "delay_factor": 8,
+                                "faulty_attempts": 2, "deadline_budget": 3,
+                                "straggler_factor": 4}
+            }"#,
+        )
+        .unwrap();
+        assert!(cfg.distributed.enabled);
+        assert_eq!(cfg.distributed.k, 3);
+        assert_eq!(cfg.distributed.f, 2);
+        assert_eq!(cfg.distributed.min_group, 3);
+        assert_eq!(cfg.distributed.hard_faults_per_run, 2);
+        assert_eq!(cfg.distributed.deadline_budget, 3);
+        let again = ServiceConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(again, cfg);
+        // Absent section keeps the disabled default.
+        let plain = ServiceConfig::from_json("{}").unwrap();
+        assert_eq!(plain.distributed, DistributedConfig::default());
+        assert!(!plain.distributed.enabled);
+    }
+
+    #[test]
+    fn rejects_invalid_distributed_values() {
+        for bad in [
+            r#"{"distributed": {"k": 1}}"#,
+            r#"{"distributed": {"bfs_steps": 0}}"#,
+            r#"{"distributed": {"min_group": 0}}"#,
+            r#"{"distributed": {"min_bits": 10, "max_bits": 5}}"#,
+            r#"{"distributed": {"delay_factor": 0}}"#,
+            r#"{"distributed": {"enabled": 1}}"#,
+            r#"{"distributed": {"faulty_attempts": 4294967296}}"#,
+        ] {
+            assert!(
+                matches!(ServiceConfig::from_json(bad), Err(ConfigError::Invalid(_))),
+                "{bad}"
+            );
+        }
     }
 
     #[test]

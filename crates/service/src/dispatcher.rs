@@ -116,8 +116,35 @@ fn dispatch_round(round: &mut Vec<MulRequest>, shared: &Shared) {
             let (_, member) = members.pop().expect("len == 1");
             execute_single(member, shared);
         } else {
+            let kernel = promote(kernel, &members, shared);
             execute_group(kernel, members, &policy, shared);
         }
+    }
+}
+
+/// Promote an eligible coalesced group to the distributed backend (the
+/// simulated coded machine). [`Kernel::select`] never picks
+/// [`Kernel::DistributedToom`]; promotion is the dispatcher's decision —
+/// the backend must be enabled, the group big enough to amortise a
+/// machine spin-up per element, and every member inside the configured
+/// operand-size window. The supervisor still owns what happens next:
+/// breakers can divert the promoted group, and unrecoverable runs walk
+/// the ordinary degradation ladder back to the local kernels.
+fn promote(kernel: Kernel, members: &[(u64, MulRequest)], shared: &Shared) -> Kernel {
+    let dist = &shared.config.distributed;
+    if !dist.enabled || kernel == Kernel::Schoolbook {
+        return kernel;
+    }
+    if members.len() < dist.min_group {
+        return kernel;
+    }
+    let eligible = members
+        .iter()
+        .all(|&(bits, _)| bits >= dist.min_bits && bits <= dist.max_bits);
+    if eligible {
+        Kernel::DistributedToom
+    } else {
+        kernel
     }
 }
 

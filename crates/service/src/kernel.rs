@@ -5,7 +5,7 @@ use crate::plan_cache::PlanCache;
 use ft_bigint::BigInt;
 use ft_toom_core::{rayon_engine, seq};
 
-/// The three kernels the service dispatches between.
+/// The kernels the service dispatches between.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Kernel {
     /// Quadratic schoolbook multiplication — smallest operands.
@@ -15,6 +15,14 @@ pub enum Kernel {
     /// Fork-join parallel Toom-Cook (`rayon_engine::par_toom_with_plan`)
     /// — largest operands.
     ParToom,
+    /// The simulated coded machine (`ft-core`'s polynomial-coded parallel
+    /// Toom-Cook with heartbeat failure detection). Never picked by
+    /// [`Kernel::select`]: the dispatcher promotes eligible coalesced
+    /// groups to it when the distributed backend is enabled, and the
+    /// supervisor routes it through `crate::distributed`. Its local
+    /// methods here delegate to the parallel Toom kernel so the variant
+    /// stays a sound (structural-fallback) kernel even without a backend.
+    DistributedToom,
 }
 
 impl Kernel {
@@ -46,7 +54,7 @@ impl Kernel {
                 let plan = plans.get(policy.seq_toom_k);
                 seq::toom_with_plan(a, b, &plan, policy.toom_threshold_bits)
             }
-            Kernel::ParToom => {
+            Kernel::ParToom | Kernel::DistributedToom => {
                 let plan = plans.get(policy.par_toom_k);
                 rayon_engine::par_toom_with_plan(
                     a,
@@ -85,7 +93,7 @@ impl Kernel {
                     lanes,
                 )
             }
-            Kernel::ParToom => {
+            Kernel::ParToom | Kernel::DistributedToom => {
                 let plan = plans.get(policy.par_toom_k);
                 rayon_engine::mul_batch_with_plan(
                     pairs,
@@ -127,7 +135,7 @@ impl Kernel {
                     );
                 }
             }
-            Kernel::ParToom => {
+            Kernel::ParToom | Kernel::DistributedToom => {
                 let plan = plans.get(policy.par_toom_k);
                 for (i, (a, b)) in pairs.iter().enumerate() {
                     sink(
@@ -146,11 +154,12 @@ impl Kernel {
     }
 
     /// The next rung down the degradation ladder the supervisor walks
-    /// when this kernel keeps failing: parallel Toom → sequential Toom →
-    /// schoolbook → nothing.
+    /// when this kernel keeps failing: distributed Toom → parallel Toom →
+    /// sequential Toom → schoolbook → nothing.
     #[must_use]
     pub fn degrade(self) -> Option<Kernel> {
         match self {
+            Kernel::DistributedToom => Some(Kernel::ParToom),
             Kernel::ParToom => Some(Kernel::SeqToom),
             Kernel::SeqToom => Some(Kernel::Schoolbook),
             Kernel::Schoolbook => None,
@@ -164,11 +173,17 @@ impl Kernel {
             Kernel::Schoolbook => "schoolbook",
             Kernel::SeqToom => "seq_toom",
             Kernel::ParToom => "par_toom",
+            Kernel::DistributedToom => "distributed_toom",
         }
     }
 
-    /// All kernels, in selection order.
-    pub const ALL: [Kernel; 3] = [Kernel::Schoolbook, Kernel::SeqToom, Kernel::ParToom];
+    /// All kernels, in selection (and degradation-ladder) order.
+    pub const ALL: [Kernel; 4] = [
+        Kernel::Schoolbook,
+        Kernel::SeqToom,
+        Kernel::ParToom,
+        Kernel::DistributedToom,
+    ];
 }
 
 #[cfg(test)]
@@ -197,9 +212,22 @@ mod tests {
 
     #[test]
     fn degradation_ladder_bottoms_out_at_schoolbook() {
+        assert_eq!(Kernel::DistributedToom.degrade(), Some(Kernel::ParToom));
         assert_eq!(Kernel::ParToom.degrade(), Some(Kernel::SeqToom));
         assert_eq!(Kernel::SeqToom.degrade(), Some(Kernel::Schoolbook));
         assert_eq!(Kernel::Schoolbook.degrade(), None);
+    }
+
+    #[test]
+    fn select_never_picks_the_distributed_kernel() {
+        // Promotion to the coded machine is the dispatcher's decision, not
+        // a size-threshold outcome.
+        let policy = KernelPolicy::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        for bits in [1u64, 3_000, 5_000_000, 40_000_000] {
+            let x = BigInt::random_bits(&mut rng, bits);
+            assert_ne!(Kernel::select(&x, &x, &policy), Kernel::DistributedToom);
+        }
     }
 
     #[test]

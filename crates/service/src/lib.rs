@@ -11,6 +11,7 @@
 pub mod chaos;
 pub mod config;
 pub(crate) mod dispatcher;
+pub mod distributed;
 pub mod error;
 pub mod json;
 pub mod kernel;
@@ -21,9 +22,10 @@ pub mod supervisor;
 pub(crate) mod tuner;
 
 pub use chaos::{install_quiet_panic_hook, ChaosConfig, FaultKind};
-pub use config::{BatchingConfig, KernelPolicy, ServiceConfig, TunerConfig};
+pub use config::{BatchingConfig, DistributedConfig, KernelPolicy, ServiceConfig, TunerConfig};
+pub use distributed::DistributedBackend;
 pub use error::{MulError, SubmitError};
 pub use kernel::Kernel;
-pub use metrics::MetricsSnapshot;
-pub use service::{BatchHandle, MulService, ResponseHandle};
+pub use metrics::{DistributedSnapshot, MetricsSnapshot};
+pub use service::{BatchHandle, BatchResults, MulService, ResponseHandle};
 pub use supervisor::{BreakerPolicy, RetryPolicy};

@@ -45,7 +45,7 @@ pub fn size_class(bits: u64) -> usize {
 
 /// Per-(kernel, size-class) `(served count, total latency µs)` cells, in
 /// [`crate::kernel::Kernel::ALL`] order; the tuner's raw material.
-pub(crate) type ClassStats = [[(u64, u64); SIZE_CLASSES]; 3];
+pub(crate) type ClassStats = [[(u64, u64); SIZE_CLASSES]; 4];
 
 /// Saturating add for counters that accumulate unbounded sums (latency
 /// totals): a long chaos run must pin at `u64::MAX` instead of wrapping.
@@ -62,14 +62,14 @@ pub(crate) struct Metrics {
     rejected_queue_full: AtomicU64,
     timed_out: AtomicU64,
     shed: AtomicU64,
-    per_kernel: [AtomicU64; 3],
+    per_kernel: [AtomicU64; 4],
     queue_depth_high_water: AtomicUsize,
     latency_buckets: [AtomicU64; BUCKETS],
     latency_total_us: AtomicU64,
     /// Served-request counts per (kernel, operand size class).
-    class_served: [[AtomicU64; SIZE_CLASSES]; 3],
+    class_served: [[AtomicU64; SIZE_CLASSES]; 4],
     /// Summed completion latency (µs, saturating) per (kernel, class).
-    class_total_us: [[AtomicU64; SIZE_CLASSES]; 3],
+    class_total_us: [[AtomicU64; SIZE_CLASSES]; 4],
     batches: AtomicU64,
     batched_requests: AtomicU64,
     batch_size_high_water: AtomicUsize,
@@ -84,6 +84,13 @@ pub(crate) struct Metrics {
     breaker_opens: AtomicU64,
     breaker_closes: AtomicU64,
     injected_faults: [AtomicU64; 3],
+    distributed_runs: AtomicU64,
+    distributed_recoveries: AtomicU64,
+    distributed_unrecoverable: AtomicU64,
+    distributed_false_positives: AtomicU64,
+    distributed_detect_rounds: AtomicU64,
+    distributed_stragglers_flagged: AtomicU64,
+    distributed_max_detect_latency: AtomicU64,
 }
 
 impl Metrics {
@@ -175,6 +182,39 @@ impl Metrics {
         self.injected_faults[kind as usize].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One completed run on the simulated coded machine, with the totals
+    /// of its run report: simulated deaths the heartbeat detector had to
+    /// find, detection rounds, detector false positives, straggler flags,
+    /// and the run's worst detection latency in simulated ticks.
+    pub(crate) fn record_distributed_run(
+        &self,
+        deaths: u64,
+        detect_rounds: u64,
+        false_positives: u64,
+        stragglers_flagged: u64,
+        max_detect_latency_ticks: u64,
+    ) {
+        self.distributed_runs.fetch_add(1, Ordering::Relaxed);
+        if deaths > 0 {
+            self.distributed_recoveries.fetch_add(1, Ordering::Relaxed);
+        }
+        self.distributed_detect_rounds
+            .fetch_add(detect_rounds, Ordering::Relaxed);
+        self.distributed_false_positives
+            .fetch_add(false_positives, Ordering::Relaxed);
+        self.distributed_stragglers_flagged
+            .fetch_add(stragglers_flagged, Ordering::Relaxed);
+        self.distributed_max_detect_latency
+            .fetch_max(max_detect_latency_ticks, Ordering::Relaxed);
+    }
+
+    /// A distributed attempt whose injected faults exceeded the code's
+    /// redundancy; the request fell back down the local kernel ladder.
+    pub(crate) fn record_distributed_unrecoverable(&self) {
+        self.distributed_unrecoverable
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Per-(kernel, size-class) `(count, total_us)` cells for the tuner.
     pub(crate) fn kernel_class_stats(&self) -> ClassStats {
         std::array::from_fn(|k| {
@@ -245,6 +285,17 @@ impl Metrics {
                     self.injected_faults[k as usize].load(Ordering::Relaxed),
                 )
             }),
+            distributed: DistributedSnapshot {
+                runs: self.distributed_runs.load(Ordering::Relaxed),
+                recoveries: self.distributed_recoveries.load(Ordering::Relaxed),
+                unrecoverable: self.distributed_unrecoverable.load(Ordering::Relaxed),
+                false_positives: self.distributed_false_positives.load(Ordering::Relaxed),
+                detect_rounds: self.distributed_detect_rounds.load(Ordering::Relaxed),
+                stragglers_flagged: self.distributed_stragglers_flagged.load(Ordering::Relaxed),
+                max_detect_latency_ticks: self
+                    .distributed_max_detect_latency
+                    .load(Ordering::Relaxed),
+            },
         }
     }
 }
@@ -287,7 +338,7 @@ pub struct MetricsSnapshot {
     pub shed: u64,
     /// Completions per kernel, keyed by [`Kernel::name`]. May differ from
     /// `served` by requests in flight at snapshot time.
-    pub per_kernel: [(&'static str, u64); 3],
+    pub per_kernel: [(&'static str, u64); 4],
     /// Total queued requests at snapshot time.
     pub queue_depth: usize,
     /// Largest single-queue depth observed at submit time.
@@ -337,6 +388,34 @@ pub struct MetricsSnapshot {
     /// Chaos-injected faults by kind, keyed by
     /// [`crate::chaos::FaultKind::name`].
     pub injected_faults: [(&'static str, u64); 3],
+    /// Robustness counters of the distributed backend (the simulated
+    /// coded machine with heartbeat failure detection).
+    pub distributed: DistributedSnapshot,
+}
+
+/// Counters of the distributed backend: runs on the simulated coded
+/// machine, detector-driven recoveries, and fallbacks past redundancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct DistributedSnapshot {
+    /// Multiplications completed on the simulated coded machine.
+    pub runs: u64,
+    /// Runs that survived at least one simulated processor death (the
+    /// heartbeat detector found the faults; interpolation recovered the
+    /// product from the surviving columns).
+    pub recoveries: u64,
+    /// Distributed attempts whose injected faults exceeded the code's
+    /// redundancy `f` — each fell back down the local kernel ladder.
+    pub unrecoverable: u64,
+    /// Live ranks the in-machine detector wrongly declared dead.
+    pub false_positives: u64,
+    /// Heartbeat detection rounds executed across all runs.
+    pub detect_rounds: u64,
+    /// Ranks flagged (and dropped) as stragglers across all runs.
+    pub stragglers_flagged: u64,
+    /// Worst heartbeat detection latency observed in any run, in
+    /// simulated ticks between a victim's last heartbeat and the
+    /// detector's dead verdict.
+    pub max_detect_latency_ticks: u64,
 }
 
 impl MetricsSnapshot {
@@ -456,6 +535,36 @@ impl MetricsSnapshot {
                     ),
                 ]),
             ),
+            (
+                "distributed",
+                obj([
+                    ("runs", Json::Num(i128::from(self.distributed.runs))),
+                    (
+                        "recoveries",
+                        Json::Num(i128::from(self.distributed.recoveries)),
+                    ),
+                    (
+                        "unrecoverable",
+                        Json::Num(i128::from(self.distributed.unrecoverable)),
+                    ),
+                    (
+                        "false_positives",
+                        Json::Num(i128::from(self.distributed.false_positives)),
+                    ),
+                    (
+                        "detect_rounds",
+                        Json::Num(i128::from(self.distributed.detect_rounds)),
+                    ),
+                    (
+                        "stragglers_flagged",
+                        Json::Num(i128::from(self.distributed.stragglers_flagged)),
+                    ),
+                    (
+                        "max_detect_latency_ticks",
+                        Json::Num(i128::from(self.distributed.max_detect_latency_ticks)),
+                    ),
+                ]),
+            ),
         ])
         .dump()
     }
@@ -520,6 +629,7 @@ mod tests {
             ("corrupt", 1)
         );
         assert_eq!(s.injected_faults[FaultKind::Panic as usize], ("panic", 0));
+        assert_eq!(s.distributed, DistributedSnapshot::default());
         // Size-class cells: schoolbook at 2 kbit → class 2^10, par toom at
         // 200 kbit → class 2^17.
         assert_eq!(
@@ -622,6 +732,11 @@ mod tests {
         let m = Metrics::default();
         m.record_served(Kernel::SeqToom, 50_000, Duration::from_micros(700));
         m.record_batch(4);
+        // One clean distributed run, one that recovered a death after a
+        // 9-tick detection, one unrecoverable fallback.
+        m.record_distributed_run(0, 1, 0, 0, 0);
+        m.record_distributed_run(2, 1, 0, 1, 9);
+        m.record_distributed_unrecoverable();
         let s = m.snapshot(0, (0, 0));
         let doc = crate::json::Json::parse(&s.to_json()).unwrap();
         assert_eq!(doc.get("served").unwrap().as_u64(), Some(1));
@@ -642,6 +757,17 @@ mod tests {
         assert!(matches!(doc.get("size_classes"), Some(crate::json::Json::Arr(v)) if v.len() == 1));
         let robustness = doc.get("robustness").unwrap();
         assert_eq!(robustness.get("retries").unwrap().as_u64(), Some(0));
+        let distributed = doc.get("distributed").unwrap();
+        assert_eq!(distributed.get("runs").unwrap().as_u64(), Some(2));
+        assert_eq!(distributed.get("recoveries").unwrap().as_u64(), Some(1));
+        assert_eq!(distributed.get("unrecoverable").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            distributed
+                .get("max_detect_latency_ticks")
+                .unwrap()
+                .as_u64(),
+            Some(9)
+        );
         assert_eq!(
             robustness
                 .get("injected_faults")

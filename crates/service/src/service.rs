@@ -20,6 +20,7 @@
 //! what was accepted, then exit.
 
 use crate::config::ServiceConfig;
+use crate::distributed::DistributedBackend;
 use crate::error::{MulError, SubmitError};
 use crate::kernel::Kernel;
 use crate::metrics::{Metrics, MetricsSnapshot};
@@ -139,6 +140,12 @@ impl Drop for CompletionGuard {
 struct BatchState {
     results: Vec<Option<Result<BigInt, MulError>>>,
     remaining: usize,
+    /// Threads currently blocked in a per-slot wait
+    /// ([`BatchHandle::wait_slot`] or the streaming iterator). While this
+    /// is zero — the common, whole-batch case — slot arrivals stay
+    /// silent and the single batch-level notify fires when the last slot
+    /// lands.
+    slot_waiters: usize,
 }
 
 /// Shared result table for one bulk submission: every element fills its
@@ -157,6 +164,7 @@ impl BatchCompletion {
             state: Mutex::new(BatchState {
                 results: (0..len).map(|_| None).collect(),
                 remaining: len,
+                slot_waiters: 0,
             }),
             ready: Condvar::new(),
         }
@@ -169,14 +177,22 @@ impl BatchCompletion {
     }
 
     /// Fill one slot; returns whether that was the last outstanding slot
-    /// (i.e. the single batch-level notify is now owed).
+    /// (i.e. the single batch-level notify is now owed). Wakes per-slot
+    /// waiters immediately even when other slots are still outstanding,
+    /// so [`BatchHandle::wait_slot`] resolves as soon as *its* slot
+    /// lands — early elements stream out before the batch completes.
     fn store(&self, slot: usize, result: Result<BigInt, MulError>) -> bool {
         let mut state = self.lock();
         if state.results[slot].is_none() {
             state.results[slot] = Some(result);
             state.remaining -= 1;
         }
-        state.remaining == 0
+        let last = state.remaining == 0;
+        if !last && state.slot_waiters > 0 {
+            drop(state);
+            self.ready.notify_all();
+        }
+        last
     }
 }
 
@@ -225,7 +241,7 @@ impl Drop for BatchSlotGuard {
             if state.results[self.slot].is_none() {
                 state.results[self.slot] = Some(Err(MulError::ServiceStopped));
                 state.remaining -= 1;
-                if state.remaining == 0 {
+                if state.remaining == 0 || state.slot_waiters > 0 {
                     drop(state);
                     self.completion.ready.notify_all();
                 }
@@ -323,6 +339,88 @@ impl BatchHandle {
             .collect();
         drop(state);
         Ok(results)
+    }
+
+    /// Block until element `slot` (submission order) resolves, without
+    /// waiting for its batch-mates — early elements of a large bulk
+    /// submission stream out while later ones are still grinding. The
+    /// handle stays usable: `wait_slot` can be called repeatedly, in any
+    /// order, and [`Self::wait`] afterwards still returns every result.
+    ///
+    /// # Panics
+    /// If `slot >= self.len()`.
+    pub fn wait_slot(&self, slot: usize) -> Result<BigInt, MulError> {
+        let mut state = self.completion.lock();
+        assert!(
+            slot < state.results.len(),
+            "slot {slot} out of range for batch of {}",
+            state.results.len()
+        );
+        while state.results[slot].is_none() {
+            state.slot_waiters += 1;
+            state = self
+                .completion
+                .ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state.slot_waiters -= 1;
+        }
+        state.results[slot].clone().expect("checked above")
+    }
+}
+
+/// Streaming consumer of a [`BatchHandle`]: yields each element's result
+/// in submission order, blocking only until *that* element resolves.
+pub struct BatchResults {
+    completion: Arc<BatchCompletion>,
+    next: usize,
+    len: usize,
+}
+
+impl Iterator for BatchResults {
+    type Item = Result<BigInt, MulError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.len {
+            return None;
+        }
+        let slot = self.next;
+        self.next += 1;
+        let mut state = self.completion.lock();
+        while state.results[slot].is_none() {
+            state.slot_waiters += 1;
+            state = self
+                .completion
+                .ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state.slot_waiters -= 1;
+        }
+        // The iterator owns the handle, so the slot can be moved out.
+        Some(state.results[slot].take().expect("checked above"))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.len - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for BatchResults {}
+
+impl IntoIterator for BatchHandle {
+    type Item = Result<BigInt, MulError>;
+    type IntoIter = BatchResults;
+
+    /// Stream results in submission order as they land (see
+    /// [`BatchResults`]).
+    fn into_iter(self) -> BatchResults {
+        let len = self.len();
+        BatchResults {
+            completion: self.completion,
+            next: 0,
+            len,
+        }
     }
 }
 
@@ -562,6 +660,10 @@ impl MulService {
                 config.breaker.clone(),
                 config.verify_residues,
                 config.chaos.clone(),
+                config
+                    .distributed
+                    .enabled
+                    .then(|| DistributedBackend::new(&config.distributed)),
             ),
             live_policy: parking_lot::RwLock::new(config.kernel_policy.clone()),
             config,
@@ -1527,6 +1629,62 @@ mod tests {
         for (result, want) in handle.wait().into_iter().zip(want) {
             assert_eq!(result.unwrap(), want);
         }
+    }
+
+    #[test]
+    fn wait_slot_resolves_before_the_batch_completes() {
+        let config = ServiceConfig {
+            kernel_policy: blocker_policy(),
+            ..ServiceConfig::default()
+        };
+        let service = MulService::start(config);
+        let mut rng = rng(33);
+        let tiny = BigInt::random_bits(&mut rng, 64);
+        let big = BigInt::random_bits(&mut rng, 400_000);
+        // Different size classes: the dispatcher executes the tiny
+        // element's group before the 400kbit blocker's, so slot 0 lands
+        // seconds before slot 1.
+        let handle = service
+            .submit_many(vec![
+                (tiny.clone(), tiny.clone()),
+                (big.clone(), big.clone()),
+            ])
+            .unwrap();
+        assert_eq!(handle.wait_slot(0).unwrap(), tiny.mul_schoolbook(&tiny));
+        let handle = match handle.try_wait() {
+            Err(handle) => handle,
+            Ok(r) => panic!("400kbit batch-mate finished with its tiny peer: {r:?}"),
+        };
+        // wait_slot is repeatable and leaves the whole-batch wait intact.
+        assert_eq!(handle.wait_slot(0).unwrap(), tiny.mul_schoolbook(&tiny));
+        let results = handle.wait();
+        assert_eq!(results[0].clone().unwrap(), tiny.mul_schoolbook(&tiny));
+        assert_eq!(results[1].clone().unwrap(), big.mul_schoolbook(&big));
+        service.shutdown();
+    }
+
+    #[test]
+    fn streaming_iteration_yields_results_in_submission_order() {
+        let service = MulService::start(ServiceConfig::default());
+        let mut rng = rng(34);
+        let mut pairs = Vec::new();
+        let mut want = Vec::new();
+        for bits in [3_000u64, 100, 700, 64] {
+            let a = BigInt::random_signed_bits(&mut rng, bits);
+            let b = BigInt::random_signed_bits(&mut rng, bits);
+            want.push(a.mul_schoolbook(&b));
+            pairs.push((a, b));
+        }
+        let handle = service.submit_many(pairs).unwrap();
+        let stream = handle.into_iter();
+        assert_eq!(stream.len(), 4);
+        let mut yielded = 0;
+        for (result, want) in stream.zip(want) {
+            assert_eq!(result.unwrap(), want);
+            yielded += 1;
+        }
+        assert_eq!(yielded, 4);
+        service.shutdown();
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::chaos::{ChaosConfig, FaultKind, INJECTED_PANIC_MSG};
 use crate::config::ConfigError;
+use crate::distributed::DistributedBackend;
 use crate::error::MulError;
 use crate::json::{obj, Json};
 use crate::kernel::Kernel;
@@ -199,7 +200,10 @@ pub(crate) struct Supervisor {
     breaker: BreakerPolicy,
     verify_residues: bool,
     chaos: Option<ChaosConfig>,
-    breakers: [Mutex<BreakerState>; 3],
+    /// When present, [`Kernel::DistributedToom`] attempts run on the
+    /// simulated coded machine instead of the local delegate kernel.
+    distributed: Option<DistributedBackend>,
+    breakers: [Mutex<BreakerState>; 4],
 }
 
 enum AttemptFailure {
@@ -213,17 +217,29 @@ impl Supervisor {
         breaker: BreakerPolicy,
         verify_residues: bool,
         chaos: Option<ChaosConfig>,
+        distributed: Option<DistributedBackend>,
     ) -> Supervisor {
         Supervisor {
             retry,
             breaker,
             verify_residues,
             chaos: chaos.filter(ChaosConfig::is_active),
+            distributed,
             breakers: [
                 Mutex::new(BreakerState::default()),
                 Mutex::new(BreakerState::default()),
                 Mutex::new(BreakerState::default()),
+                Mutex::new(BreakerState::default()),
             ],
+        }
+    }
+
+    /// The distributed backend serving [`Kernel::DistributedToom`]
+    /// attempts, if `kernel` is the distributed rung and one is wired.
+    fn backend_for(&self, kernel: Kernel) -> Option<&DistributedBackend> {
+        match kernel {
+            Kernel::DistributedToom => self.distributed.as_ref(),
+            _ => None,
         }
     }
 
@@ -463,7 +479,18 @@ impl Supervisor {
                 }
                 Some(product)
             };
-            if rayon_engine::effective_lanes(lanes, pairs.len()) <= 1 {
+            if let Some(backend) = self.backend_for(kernel) {
+                // Every element of a promoted batch runs on the coded
+                // machine; verification stays fused per element. An
+                // unrecoverable element panics the whole batch attempt —
+                // its batch-mates re-run on the individual path, exactly
+                // like a local hard batch fault.
+                let mut out = Vec::with_capacity(pairs.len());
+                for (i, (a, b)) in pairs.iter().enumerate() {
+                    out.push(check(i, backend.multiply(a, b, requests[i], 0, metrics)));
+                }
+                out
+            } else if rayon_engine::effective_lanes(lanes, pairs.len()) <= 1 {
                 let mut out = Vec::with_capacity(pairs.len());
                 kernel.execute_each(pairs, policy, plans, |i, product| {
                     out.push(check(i, product));
@@ -515,7 +542,14 @@ impl Supervisor {
                 }
                 _ => {}
             }
-            let product = kernel.execute(a, b, policy, plans);
+            let product = match self.backend_for(kernel) {
+                // The coded machine runs its own (in-machine) fault
+                // injection and heartbeat detection; an unrecoverable run
+                // panics and lands in the `Err` arm below like any other
+                // hard fault.
+                Some(backend) => backend.multiply(a, b, request, attempt, metrics),
+                None => kernel.execute(a, b, policy, plans),
+            };
             match (fault, chaos) {
                 (Some(FaultKind::Corrupt), Some(chaos)) => {
                     chaos.corrupt(&product, request, attempt)
@@ -569,6 +603,7 @@ mod tests {
             BreakerPolicy::default(),
             verify,
             chaos,
+            None,
         )
     }
 
@@ -677,6 +712,7 @@ mod tests {
             },
             true,
             Some(chaos),
+            None,
         );
         let (a, b) = small_operands();
         let metrics = Metrics::default();
@@ -734,6 +770,7 @@ mod tests {
             BreakerPolicy::default(),
             true,
             Some(chaos),
+            None,
         );
         let (a, b) = small_operands();
         let metrics = Metrics::default();
@@ -867,6 +904,7 @@ mod tests {
                 open_ms: 60_000,
             },
             true,
+            None,
             None,
         );
         // Trip the seq-toom breaker open by hand.

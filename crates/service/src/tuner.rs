@@ -150,7 +150,7 @@ mod tests {
     use crate::supervisor::Supervisor;
 
     fn empty_stats() -> ClassStats {
-        [[(0, 0); SIZE_CLASSES]; 3]
+        [[(0, 0); SIZE_CLASSES]; 4]
     }
 
     fn cfg() -> TunerConfig {
@@ -276,7 +276,13 @@ mod tests {
         let shared = Arc::new(Shared {
             metrics: Metrics::default(),
             plans: PlanCache::new(2),
-            supervisor: Supervisor::new(config.retry.clone(), config.breaker.clone(), false, None),
+            supervisor: Supervisor::new(
+                config.retry.clone(),
+                config.breaker.clone(),
+                false,
+                None,
+                None,
+            ),
             live_policy: parking_lot::RwLock::new(config.kernel_policy.clone()),
             config,
         });

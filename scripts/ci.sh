@@ -26,9 +26,17 @@ echo "== batch throughput smoke (--quick) =="
 # rewrites BENCH_service.json).
 cargo run --release -q -p ft-bench --bin batch_throughput -- --quick
 
-echo "== chaos pass (deterministic seed) =="
-# Injected-fault tests must stay reproducible and gating: the chaos suite
-# derives every fault decision from this seed, independent of scheduling.
-FT_CHAOS_SEED=42 cargo test -p ft-service --test chaos -q
+echo "== chaos pass (deterministic seed matrix) =="
+# Injected-fault tests must stay reproducible and gating: every fault
+# decision derives from the seed, independent of scheduling. The matrix
+# re-runs the service chaos suite, the machine-level chaos suite, and the
+# distributed-backend e2e under three seeds so a lucky default seed can't
+# hide a recovery bug.
+for seed in 42 1337 2024; do
+  echo "-- FT_CHAOS_SEED=$seed --"
+  FT_CHAOS_SEED=$seed cargo test -p ft-service --test chaos -q
+  FT_CHAOS_SEED=$seed cargo test -p ft-service --test distributed -q
+  FT_CHAOS_SEED=$seed cargo test -p ft-toom --test machine_chaos -q
+done
 
 echo "ci.sh: all checks passed"

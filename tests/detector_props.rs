@@ -1,0 +1,85 @@
+//! Property tests for the heartbeat failure detector driving the
+//! polynomial-code recovery path.
+//!
+//! Two invariants, each over randomized operands, deadline budgets, and
+//! victims:
+//!
+//! 1. **No false positives, ever.** A fault-free run must never declare a
+//!    live rank dead, at *any* deadline budget ≥ 1. The detector is only
+//!    as useful as this guarantee — a single false positive converts a
+//!    healthy rank's work into an erasure.
+//! 2. **Every planned hard fault is detected before interpolation** at
+//!    the minimum (default) deadline budget of 1. The recovery path is
+//!    verdict-driven (it never peeks at the fault plan), so a missed
+//!    death would corrupt the run; a detected one must still yield the
+//!    exact product. Larger budgets deliberately model lazier deadlines
+//!    that can miss a fresh death (see `DetectorConfig`), which is why
+//!    the service backend defaults to — and the guarantee is stated at —
+//!    budget 1.
+
+use ft_toom::ft_machine::{DetectorConfig, FaultPlan};
+use ft_toom::ft_toom_core::ft::poly::{run_poly_ft_with, PolyFtConfig, PolyRunOptions};
+use ft_toom::ft_toom_core::parallel::ParallelConfig;
+use ft_toom::BigInt;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn operands(seed: u64) -> (BigInt, BigInt, BigInt) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let a = BigInt::random_bits(&mut rng, 2_000);
+    let b = BigInt::random_bits(&mut rng, 2_000);
+    let e = a.mul_schoolbook(&b);
+    (a, b, e)
+}
+
+fn options(deadline_budget: u64) -> PolyRunOptions {
+    PolyRunOptions {
+        detector: DetectorConfig {
+            deadline_budget,
+            straggler_factor: 0,
+        },
+        ..PolyRunOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn clean_runs_never_false_positive(
+        seed in 0u64..1000,
+        deadline_budget in 1u64..=4,
+    ) {
+        let (a, b, expected) = operands(seed);
+        let cfg = PolyFtConfig { base: ParallelConfig::new(2, 2), f: 1 };
+        let out = run_poly_ft_with(&a, &b, &cfg, FaultPlan::none(), &options(deadline_budget));
+        let totals = out.report.detect_totals();
+        prop_assert_eq!(totals.false_positives, 0);
+        prop_assert_eq!(totals.dead_declared, 0, "nobody died, nobody is declared dead");
+        prop_assert_eq!(out.report.total_deaths(), 0);
+        prop_assert!(totals.rounds >= 1, "heartbeats were actually monitored");
+        prop_assert_eq!(out.product, expected);
+    }
+
+    #[test]
+    fn every_hard_fault_is_detected_and_recovered(
+        seed in 0u64..1000,
+        victim in 0usize..12,
+    ) {
+        let (a, b, expected) = operands(seed);
+        let cfg = PolyFtConfig { base: ParallelConfig::new(2, 2), f: 1 };
+        let plan = FaultPlan::none().kill(victim, "poly-halt");
+        let out = run_poly_ft_with(&a, &b, &cfg, plan, &options(1));
+        let totals = out.report.detect_totals();
+        prop_assert!(
+            totals.dead_declared >= 1,
+            "the planned death must reach the verdict before interpolation"
+        );
+        prop_assert_eq!(totals.false_positives, 0, "only the victim is declared dead");
+        prop_assert!(
+            totals.max_missed >= 1,
+            "a declared death shows as missed heartbeats"
+        );
+        prop_assert_eq!(out.product, expected);
+    }
+}

@@ -1,0 +1,158 @@
+//! Machine-level chaos: seeded *unplanned* faults against the
+//! verdict-driven polynomial-code recovery path. Unlike `fault_matrix.rs`
+//! (which enumerates planned fault plans), these runs hand the machine a
+//! [`RandomFaults`] allowlist and let it draw deaths on its own — nothing
+//! on the recovery path knows where the faults landed; only the heartbeat
+//! verdict does.
+//!
+//! The chaos seed defaults to 42 and follows the CI seed matrix:
+//! `FT_CHAOS_SEED=1337 cargo test -p ft-toom --test machine_chaos`.
+
+use ft_toom::ft_machine::{DetectorConfig, FaultPlan, RandomFaults};
+use ft_toom::ft_toom_core::ft::poly::{run_poly_ft_with, PolyFtConfig, PolyRunOptions};
+use ft_toom::ft_toom_core::parallel::ParallelConfig;
+use ft_toom::BigInt;
+use rand::SeedableRng;
+
+fn chaos_seed() -> u64 {
+    std::env::var("FT_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+fn operands(seed: u64) -> (BigInt, BigInt, BigInt) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let a = BigInt::random_bits(&mut rng, 2_000);
+    let b = BigInt::random_bits(&mut rng, 2_000);
+    let e = a.mul_schoolbook(&b);
+    (a, b, e)
+}
+
+fn config() -> PolyFtConfig {
+    PolyFtConfig {
+        base: ParallelConfig::new(2, 2),
+        f: 1,
+    }
+}
+
+fn options(
+    random: Option<RandomFaults>,
+    slowdowns: Vec<(usize, u64)>,
+    straggler_factor: u64,
+) -> PolyRunOptions {
+    PolyRunOptions {
+        excluded: Vec::new(),
+        slowdowns,
+        random,
+        detector: DetectorConfig {
+            deadline_budget: 1,
+            straggler_factor,
+        },
+    }
+}
+
+/// Certain death at the column-halt point, capped at the redundancy:
+/// every run loses exactly one rank the recovery path must detect.
+#[test]
+fn unplanned_death_every_run_is_detected_and_recovered() {
+    let seed = chaos_seed();
+    for round in 0..6u64 {
+        let (a, b, expected) = operands(seed ^ round);
+        let random = RandomFaults {
+            seed: seed.wrapping_add(round),
+            per_10k: 10_000,
+            max_faults: 1,
+            labels: vec!["poly-halt".to_string()],
+        };
+        let out = run_poly_ft_with(
+            &a,
+            &b,
+            &config(),
+            FaultPlan::none(),
+            &options(Some(random), Vec::new(), 0),
+        );
+        let totals = out.report.detect_totals();
+        assert_eq!(
+            out.report.total_deaths(),
+            1,
+            "round {round}: budget caps at one death"
+        );
+        assert!(
+            totals.dead_declared >= 1,
+            "round {round}: the death reached the verdict"
+        );
+        assert_eq!(totals.false_positives, 0, "round {round}");
+        assert_eq!(
+            out.product, expected,
+            "round {round}: recovery is bit-exact"
+        );
+    }
+}
+
+/// Sparse draws: some runs die, some don't — every death that happens is
+/// declared, and no live rank ever is.
+#[test]
+fn sparse_random_faults_declare_exactly_the_dead() {
+    let seed = chaos_seed();
+    let mut deaths_seen = 0u64;
+    for round in 0..8u64 {
+        let (a, b, expected) = operands(seed ^ (0xca05 + round));
+        let random = RandomFaults {
+            seed: seed.wrapping_mul(31).wrapping_add(round),
+            per_10k: 1_500,
+            max_faults: 1,
+            labels: vec!["poly-halt".to_string()],
+        };
+        let out = run_poly_ft_with(
+            &a,
+            &b,
+            &config(),
+            FaultPlan::none(),
+            &options(Some(random), Vec::new(), 0),
+        );
+        let deaths = u64::from(out.report.total_deaths());
+        let totals = out.report.detect_totals();
+        assert_eq!(
+            totals.dead_declared, deaths,
+            "round {round}: verdict matches reality exactly"
+        );
+        assert_eq!(totals.false_positives, 0, "round {round}");
+        assert_eq!(out.product, expected, "round {round}");
+        deaths_seen += deaths;
+    }
+    // Not a tautology run: with a 15% per-passage rate over 8 runs × 12
+    // ranks the draw virtually always fires at least once; if a seed in
+    // the CI matrix ever violates this, widen the rate rather than drop
+    // the assertion.
+    assert!(deaths_seen >= 1, "chaos actually exercised a death");
+}
+
+/// A delay fault (slowed rank) is flagged as a straggler by the clock
+/// comparison and its column dropped under redundancy — not declared
+/// dead, and the product stays exact.
+#[test]
+fn delay_fault_is_flagged_not_killed() {
+    let seed = chaos_seed();
+    let (a, b, expected) = operands(seed ^ 0xde1a);
+    let straggler_rank = usize::try_from(seed % 9).unwrap();
+    let out = run_poly_ft_with(
+        &a,
+        &b,
+        &config(),
+        FaultPlan::none(),
+        &options(None, vec![(straggler_rank, 64)], 8),
+    );
+    let totals = out.report.detect_totals();
+    assert_eq!(out.report.total_deaths(), 0);
+    assert_eq!(totals.dead_declared, 0, "a slow rank is not a dead rank");
+    assert_eq!(totals.false_positives, 0);
+    assert!(
+        totals.stragglers_flagged >= 1,
+        "the slowdown reached the verdict"
+    );
+    assert_eq!(
+        out.product, expected,
+        "dropping the straggler column is exact"
+    );
+}
