@@ -25,6 +25,15 @@
 //! the verdict (plus host-excluded stragglers), never from the plan — the
 //! plan is injection-only. Columns whose members are flagged as stragglers
 //! by the detector are likewise dropped while redundancy remains.
+//!
+//! With [`PolyRunOptions::recursion_detect`] a run carries **two**
+//! detection rounds: a second fault point (`poly-rec-halt`) sits after
+//! the nested recursion, and a second round before the up phase catches
+//! deaths during the recursion itself. First-wave victims re-integrate
+//! via `Env::ack_recovery` and keep serving the protocol — a reborn
+//! rank 0 is the monitor of round two — so the second verdict declares
+//! only new deaths, and the union of halted columns across rounds must
+//! stay within `f`.
 
 use crate::bilinear::{interpolation_from_survivors, ToomPlan};
 use crate::lazy;
@@ -124,11 +133,27 @@ impl PolyFtConfig {
         verdict: &Verdict,
         excluded: &[usize],
     ) -> (Vec<usize>, Vec<usize>) {
+        self.columns_from_verdict_with_prior(verdict, excluded, &[])
+    }
+
+    /// [`Self::columns_from_verdict`] for a later detection round of the
+    /// same run: columns halted by earlier rounds stay halted (a
+    /// recovered rank rejoins the heartbeat protocol, but its column's
+    /// sub-product is lost for this run) and newly declared deaths join
+    /// them — the union must still fit within the redundancy `f`.
+    #[must_use]
+    pub fn columns_from_verdict_with_prior(
+        &self,
+        verdict: &Verdict,
+        excluded: &[usize],
+        prior_dead: &[usize],
+    ) -> (Vec<usize>, Vec<usize>) {
         let dead: Vec<usize> = verdict
             .dead
             .iter()
             .map(|&r| self.column_of(r))
             .chain(excluded.iter().copied())
+            .chain(prior_dead.iter().copied())
             .collect();
         let stragglers: Vec<usize> = verdict
             .stragglers
@@ -177,10 +202,18 @@ pub struct PolyRunOptions {
     pub excluded: Vec<usize>,
     /// Machine delay factors `(rank, factor)` — accounting-only slowdowns.
     pub slowdowns: Vec<(usize, u64)>,
-    /// Unplanned seeded-random deaths (allowlist should be `poly-halt`).
+    /// Unplanned seeded-random deaths (allowlist should be `poly-halt`,
+    /// plus `poly-rec-halt` when `recursion_detect` is on).
     pub random: Option<RandomFaults>,
     /// Heartbeat detector knobs (deadline budget, straggler factor).
     pub detector: DetectorConfig,
+    /// Run a **second** detection round after the nested recursion, with
+    /// a second fault point (`poly-rec-halt`) in between. Ranks reborn in
+    /// the first wave re-integrate via `Env::ack_recovery` and serve the
+    /// rest of the protocol (a reborn monitor runs round two), so only
+    /// *new* deaths surface in the second verdict. Off by default: the
+    /// extra round changes the run's BW/L accounting.
+    pub recursion_detect: bool,
 }
 
 /// Run fault-tolerant parallel Toom-Cook with the polynomial code.
@@ -336,21 +369,53 @@ pub fn run_poly_ft_with(
         // Every rank passes the fault point, then one global heartbeat
         // round yields the identical verdict everywhere; the halted-column
         // set comes from the verdict, never from the plan.
-        if env.fault_point("poly-halt") == Fate::Reborn {
+        let reborn = env.fault_point("poly-halt") == Fate::Reborn;
+        if reborn {
             next_a.clear();
             next_b.clear();
         }
         let everyone: Vec<usize> = (0..total).collect();
         let verdict = detection_round(env, &everyone, tags::DETECT, &opts.detector);
-        let (dead_cols, chosen_cols) = cfg.columns_from_verdict(&verdict, excluded);
-        if dead_cols.contains(&my_col) {
+        let (mut dead_cols, mut chosen_cols) = cfg.columns_from_verdict(&verdict, excluded);
+        let halted = dead_cols.contains(&my_col);
+        if halted && !opts.recursion_detect {
             // Halted: skip the recursion and the final interpolation.
             return (chosen_cols, Vec::new());
         }
+        if reborn && opts.recursion_detect {
+            // Re-integration: the replacement processor has resumed the
+            // SPMD program (its column stays halted for this run, but the
+            // slot itself is healthy again), so its watermark catches up
+            // and round two will not re-declare it.
+            env.ack_recovery();
+        }
 
         // ---- Nested recursion on my column's sub-problem (standard).
-        let group = cfg.column_members(my_col);
-        let sub_prod = solve(env, &cfg.base, &plan, &group, next_a, next_b, lambda, 1);
+        // Under `recursion_detect`, halted columns skip the recursion but
+        // stay in the protocol: they still pass the second fault point
+        // and participate in the second detection round below.
+        let mut sub_prod = if halted {
+            Vec::new()
+        } else {
+            let group = cfg.column_members(my_col);
+            solve(env, &cfg.base, &plan, &group, next_a, next_b, lambda, 1)
+        };
+
+        // ---- Optional second wave: deaths during the recursion phase
+        // are caught by a second global round before the up phase.
+        if opts.recursion_detect {
+            if env.fault_point("poly-rec-halt") == Fate::Reborn {
+                sub_prod.clear();
+            }
+            let verdict = detection_round(env, &everyone, tags::DETECT2, &opts.detector);
+            let (dead, chosen) =
+                cfg.columns_from_verdict_with_prior(&verdict, excluded, &dead_cols);
+            dead_cols = dead;
+            chosen_cols = chosen;
+            if dead_cols.contains(&my_col) {
+                return (chosen_cols, Vec::new());
+            }
+        }
 
         // ---- Step-0 up phase among the chosen surviving columns.
         // Role index i = my column's rank within `chosen`; I produce the
@@ -378,6 +443,31 @@ pub fn run_poly_ft_with(
             } else {
                 env.recv(peer, tags::UP)
             };
+        }
+        // Every chosen column computed a sub-product of the same length,
+        // and each sent me my residue class (≡ role mod q) of its own —
+        // so every slice here must have the same length as my own. A
+        // shorter one means the sender holds no sub-product: a reborn
+        // rank whose death the verdict missed (deadline budget larger
+        // than the heartbeats it skipped). Checked after the exchange so
+        // every rank has sent; a panic here (caught by supervised
+        // callers, which retry) then cannot strand peers in their
+        // receives.
+        let sub_len = sub_prod.len();
+        let expected = if role < sub_len {
+            (sub_len - role - 1) / q + 1
+        } else {
+            0
+        };
+        for (i, slice) in col_slices.iter().enumerate() {
+            assert!(
+                slice.len() == expected,
+                "poly-ft: column {} sent {} of {expected} sub-product slices: \
+                 undetected failure slipped past the heartbeat verdict \
+                 (deadline budget too large for the run's heartbeat cadence)",
+                chosen_cols[i],
+                slice.len(),
+            );
         }
         drop(sub_prod);
 
@@ -530,6 +620,85 @@ mod tests {
             let out = run_poly_ft(&a, &b, &cfg(3, 1, 1), plan);
             assert_eq!(out.product, a.mul_schoolbook(&b), "victim={victim}");
         }
+    }
+
+    #[test]
+    fn second_round_catches_recursion_phase_death() {
+        // f=2: one column dies at the split (round one), another during
+        // the nested recursion (round two). Both verdicts are needed to
+        // assemble the halted set; the product is still exact.
+        let (a, b) = random_pair(3000, 10);
+        let opts = PolyRunOptions {
+            recursion_detect: true,
+            ..PolyRunOptions::default()
+        };
+        let plan = FaultPlan::none()
+            .kill(0, "poly-halt")
+            .kill(1, "poly-rec-halt");
+        let out = run_poly_ft_with(&a, &b, &cfg(2, 1, 2), plan, &opts);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+        assert_eq!(out.report.total_deaths(), 2);
+        let totals = out.report.detect_totals();
+        // `rounds` counts participations: 5 ranks × 2 rounds.
+        assert_eq!(totals.rounds, 10);
+        assert_eq!(totals.dead_declared, 2, "each wave declared once");
+        assert_eq!(totals.false_positives, 0);
+    }
+
+    #[test]
+    fn reborn_monitor_serves_second_round() {
+        // Kill rank 0 — the monitor of both rounds. Its replacement is
+        // declared dead in round one, re-integrates via ack_recovery,
+        // then *runs* round two; nothing is re-declared.
+        let (a, b) = random_pair(2500, 11);
+        let opts = PolyRunOptions {
+            recursion_detect: true,
+            ..PolyRunOptions::default()
+        };
+        let plan = FaultPlan::none().kill(0, "poly-halt");
+        let out = run_poly_ft_with(&a, &b, &cfg(2, 1, 1), plan, &opts);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+        assert_eq!(out.report.total_deaths(), 1);
+        let totals = out.report.detect_totals();
+        assert_eq!(totals.rounds, 8, "4 ranks × 2 rounds");
+        assert_eq!(
+            totals.dead_declared, 1,
+            "round two does not re-declare the acked rank"
+        );
+        assert_eq!(totals.false_positives, 0);
+    }
+
+    #[test]
+    fn second_round_without_new_deaths_changes_nothing() {
+        // recursion_detect on a fault-free run: same product, two clean
+        // verdicts.
+        let (a, b) = random_pair(2500, 12);
+        let opts = PolyRunOptions {
+            recursion_detect: true,
+            ..PolyRunOptions::default()
+        };
+        let out = run_poly_ft_with(&a, &b, &cfg(2, 1, 1), FaultPlan::none(), &opts);
+        assert_eq!(out.product, a.mul_schoolbook(&b));
+        let totals = out.report.detect_totals();
+        assert_eq!(totals.dead_declared, 0);
+        assert_eq!(totals.false_positives, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn two_wave_plan_past_redundancy_rejected() {
+        // One death per wave with f=1: the union exceeds redundancy, and
+        // injection-side validation refuses the plan before the machine
+        // spins up (the in-run union assert guards the unplanned path).
+        let (a, b) = random_pair(1000, 13);
+        let opts = PolyRunOptions {
+            recursion_detect: true,
+            ..PolyRunOptions::default()
+        };
+        let plan = FaultPlan::none()
+            .kill(1, "poly-halt")
+            .kill(2, "poly-rec-halt");
+        let _ = run_poly_ft_with(&a, &b, &cfg(2, 1, 1), plan, &opts);
     }
 
     #[test]

@@ -50,6 +50,9 @@ pub mod tags {
     pub const REDUNDANT: u64 = 300_000;
     /// Heartbeat detection rounds (gather at `tag`, broadcast at `tag + 1`).
     pub const DETECT: u64 = 400_000;
+    /// Second detection round of a run (after the nested recursion);
+    /// offset past `DETECT + 1`, which round one consumes.
+    pub const DETECT2: u64 = 400_002;
 }
 
 /// Configuration of a parallel Toom-Cook run.

@@ -1,0 +1,369 @@
+//! Load generator for the HTTP front door: drives a running `ft-http`
+//! server over real loopback sockets with N client threads, a
+//! configurable operand-size mix, and closed- or open-loop pacing, then
+//! reports RPS and latency percentiles (and writes `BENCH_http.json`
+//! unless `--quick`).
+//!
+//! By default the generator starts an in-process server on an ephemeral
+//! port — the traffic still crosses real TCP sockets — so the benchmark
+//! is self-contained and seeds deterministically. Point `--addr` at an
+//! external server to skip that.
+//!
+//!     cargo run --release -p ft-http --bin loadgen -- --quick
+//!     cargo run --release -p ft-http --bin loadgen -- \
+//!         --threads 4 --requests 200 --mix 512:2048:8192 --out BENCH_http.json
+//!
+//! Every response is verified bit-exactly against a precomputed product
+//! from the seeded operand pool; any mismatch aborts the run. Closed
+//! loop (default) sends the next request as soon as the previous
+//! response lands; open loop (`--rate R`, per thread) sends on a fixed
+//! schedule and measures latency including queueing.
+
+use ft_http::client::Client;
+use ft_http::{HttpConfig, HttpServer};
+use ft_service::json::{obj, Json};
+use ft_service::ServiceConfig;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+struct Args {
+    threads: usize,
+    requests: usize,
+    mix: Vec<u64>,
+    rate: Option<u64>,
+    batch_every: usize,
+    batch_size: usize,
+    addr: Option<SocketAddr>,
+    seed: u64,
+    out: Option<String>,
+    quick: bool,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            threads: 4,
+            requests: 100,
+            mix: vec![512, 2_048, 8_192],
+            rate: None,
+            batch_every: 8,
+            batch_size: 4,
+            addr: None,
+            seed: 42,
+            out: Some("BENCH_http.json".to_string()),
+            quick: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--threads N] [--requests N-per-thread] [--mix bits:bits:...]\n\
+         \x20              [--rate RPS-per-thread] [--batch-every N] [--batch-size N]\n\
+         \x20              [--addr HOST:PORT] [--seed N] [--out FILE] [--quick]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--threads" => args.threads = value("--threads").parse().unwrap_or_else(|_| usage()),
+            "--requests" => args.requests = value("--requests").parse().unwrap_or_else(|_| usage()),
+            "--mix" => {
+                args.mix = value("--mix")
+                    .split(':')
+                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if args.mix.is_empty() {
+                    usage();
+                }
+            }
+            "--rate" => args.rate = Some(value("--rate").parse().unwrap_or_else(|_| usage())),
+            "--batch-every" => {
+                args.batch_every = value("--batch-every").parse().unwrap_or_else(|_| usage());
+            }
+            "--batch-size" => {
+                args.batch_size = value("--batch-size").parse().unwrap_or_else(|_| usage());
+            }
+            "--addr" => args.addr = Some(value("--addr").parse().unwrap_or_else(|_| usage())),
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = Some(value("--out")),
+            "--quick" => {
+                args.quick = true;
+                args.threads = 2;
+                args.requests = 12;
+                args.out = None;
+            }
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// SplitMix64; the pool and per-thread request streams derive from it.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic hex literal of roughly `bits` bits.
+fn hex_operand(seed: u64, bits: u64) -> String {
+    let nibbles = (bits / 4).max(1) as usize;
+    let mut out = String::with_capacity(nibbles + 2);
+    out.push_str("0x");
+    let mut s = seed;
+    for i in 0..nibbles {
+        if i % 16 == 0 {
+            s = splitmix64(s ^ i as u64);
+        }
+        let nib = (s >> (4 * (i % 16))) & 0xf;
+        out.push(char::from_digit(nib as u32, 16).unwrap());
+    }
+    out
+}
+
+/// The operand pool: seeded (a, b) pairs per size class with products
+/// precomputed once, so every response can be checked bit-exactly
+/// without paying a multiplication on the measurement path.
+struct Pool {
+    /// (a_hex, b_hex, product_hex) per entry.
+    entries: Vec<(String, String, String)>,
+}
+
+impl Pool {
+    fn build(seed: u64, mix: &[u64], per_class: usize) -> Pool {
+        let mut entries = Vec::new();
+        for (ci, &bits) in mix.iter().enumerate() {
+            for i in 0..per_class {
+                let s = splitmix64(seed ^ ((ci as u64) << 32) ^ i as u64);
+                let a_hex = hex_operand(s, bits);
+                let b_hex = hex_operand(splitmix64(s), bits);
+                let a: ft_bigint::BigInt = a_hex.parse().expect("pool operand");
+                let b: ft_bigint::BigInt = b_hex.parse().expect("pool operand");
+                entries.push((a_hex, b_hex, a.mul_schoolbook(&b).to_hex()));
+            }
+        }
+        Pool { entries }
+    }
+
+    fn pick(&self, n: u64) -> &(String, String, String) {
+        &self.entries[(splitmix64(n) % self.entries.len() as u64) as usize]
+    }
+}
+
+fn product_of(line: &str) -> String {
+    let doc = Json::parse(line).expect("response JSON");
+    match doc.get("product") {
+        Some(Json::Str(p)) => p.clone(),
+        _ => panic!("response carried no product: {line}"),
+    }
+}
+
+/// One client thread's run: `requests` exchanges over one keep-alive
+/// connection, every `batch_every`-th a streamed batch. Returns observed
+/// per-exchange latencies (µs) and the number of products verified.
+fn client_run(addr: SocketAddr, args: &Args, thread: usize, pool: &Pool) -> (Vec<u64>, u64) {
+    let mut client = Client::connect(addr, Duration::from_secs(30)).expect("connect");
+    let mut latencies = Vec::with_capacity(args.requests);
+    let mut verified = 0u64;
+    let tick = args
+        .rate
+        .map(|r| Duration::from_nanos(1_000_000_000 / r.max(1)));
+    let run_start = Instant::now();
+    for i in 0..args.requests {
+        if let Some(tick) = tick {
+            // Open loop: send on schedule; if behind, send immediately
+            // (the latency sample then includes our own queueing).
+            let due = run_start + tick * i as u32;
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+        let n = (thread as u64) << 32 | i as u64;
+        let started = Instant::now();
+        if args.batch_every > 0 && i % args.batch_every == args.batch_every - 1 {
+            let pairs: Vec<Json> = (0..args.batch_size)
+                .map(|j| {
+                    let (a, b, _) = pool.pick(n ^ (j as u64) << 17);
+                    Json::Arr(vec![Json::Str(a.clone()), Json::Str(b.clone())])
+                })
+                .collect();
+            let body = obj([("pairs", Json::Arr(pairs))]).dump();
+            let mut slot = 0usize;
+            let rsp = client
+                .request_streaming("POST", "/v1/mul/batch", Some(body.as_bytes()), |line| {
+                    let (_, _, want) = pool.pick(n ^ (slot as u64) << 17);
+                    assert_eq!(&product_of(line), want, "batch slot {slot} mismatch");
+                    slot += 1;
+                })
+                .expect("batch exchange");
+            assert_eq!(rsp.status, 200, "batch status");
+            assert_eq!(slot, args.batch_size, "batch line count");
+            verified += args.batch_size as u64;
+        } else {
+            let (a, b, want) = pool.pick(n);
+            let body = obj([("a", Json::Str(a.clone())), ("b", Json::Str(b.clone()))]).dump();
+            let rsp = client
+                .request("POST", "/v1/mul", Some(body.as_bytes()))
+                .expect("mul exchange");
+            assert_eq!(rsp.status, 200, "mul status: {}", rsp.text());
+            assert_eq!(&product_of(&rsp.text()), want, "product mismatch");
+            verified += 1;
+        }
+        latencies.push(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
+    (latencies, verified)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args = parse_args();
+    let pool = Pool::build(args.seed, &args.mix, 8);
+
+    // In-process server unless --addr points elsewhere; either way the
+    // traffic crosses real TCP sockets.
+    let server = if args.addr.is_none() {
+        Some(HttpServer::start(&HttpConfig::default(), ServiceConfig::default()).expect("server"))
+    } else {
+        None
+    };
+    let addr = args
+        .addr
+        .unwrap_or_else(|| server.as_ref().expect("in-process server").local_addr());
+
+    let bench_start = Instant::now();
+    let (latencies, verified) = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for t in 0..args.threads {
+            let args = &args;
+            let pool = &pool;
+            joins.push(scope.spawn(move || client_run(addr, args, t, pool)));
+        }
+        let mut all = Vec::new();
+        let mut verified = 0u64;
+        for j in joins {
+            let (lat, v) = j.join().expect("client thread");
+            all.extend(lat);
+            verified += v;
+        }
+        (all, verified)
+    });
+    let elapsed = bench_start.elapsed();
+
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    let exchanges = latencies.len() as u64;
+    let rps = exchanges as f64 / elapsed.as_secs_f64();
+    let net = server
+        .as_ref()
+        .map(ft_http::HttpServer::net_stats)
+        .unwrap_or_default();
+
+    println!(
+        "loadgen: {} threads x {} exchanges ({} products verified) in {:.2}s",
+        args.threads,
+        args.requests,
+        verified,
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "  rps {rps:.1}  p50 {}us  p90 {}us  p99 {}us  max {}us",
+        percentile(&sorted, 50.0),
+        percentile(&sorted, 90.0),
+        percentile(&sorted, 99.0),
+        sorted.last().copied().unwrap_or(0),
+    );
+
+    let report = server.map(|s| {
+        let http = s.http_metrics();
+        let (service_metrics, leftover) = s.shutdown();
+        assert_eq!(leftover, 0, "graceful drain left connections behind");
+        (http, service_metrics)
+    });
+
+    if args.quick {
+        // CI smoke mode: everything above already asserted bit-exact
+        // results and a clean drain.
+        assert!(exchanges > 0 && verified >= exchanges);
+        println!("loadgen --quick: ok");
+        return;
+    }
+
+    if let (Some(out), Some((http, service_metrics))) = (&args.out, report) {
+        let mix = Json::Arr(args.mix.iter().map(|&b| Json::Num(i128::from(b))).collect());
+        let doc = obj([
+            (
+                "config",
+                obj([
+                    ("threads", Json::Num(args.threads as i128)),
+                    ("requests_per_thread", Json::Num(args.requests as i128)),
+                    ("mix_bits", mix),
+                    (
+                        "rate_per_thread",
+                        args.rate.map_or(Json::Null, |r| Json::Num(i128::from(r))),
+                    ),
+                    ("batch_every", Json::Num(args.batch_every as i128)),
+                    ("batch_size", Json::Num(args.batch_size as i128)),
+                    ("seed", Json::Num(i128::from(args.seed))),
+                    (
+                        "mode",
+                        Json::Str(
+                            if args.rate.is_some() {
+                                "open"
+                            } else {
+                                "closed"
+                            }
+                            .to_string(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "results",
+                obj([
+                    ("exchanges", Json::Num(i128::from(exchanges))),
+                    ("products_verified", Json::Num(i128::from(verified))),
+                    ("elapsed_ms", Json::Num(elapsed.as_millis() as i128)),
+                    ("rps", Json::Num(rps.round() as i128)),
+                    ("p50_us", Json::Num(i128::from(percentile(&sorted, 50.0)))),
+                    ("p90_us", Json::Num(i128::from(percentile(&sorted, 90.0)))),
+                    ("p99_us", Json::Num(i128::from(percentile(&sorted, 99.0)))),
+                    (
+                        "max_us",
+                        Json::Num(i128::from(sorted.last().copied().unwrap_or(0))),
+                    ),
+                    (
+                        "streamed_results",
+                        Json::Num(i128::from(http.streamed_results)),
+                    ),
+                    ("connections", Json::Num(i128::from(net.total_connections))),
+                    ("parse_errors", Json::Num(i128::from(net.parse_errors))),
+                    (
+                        "service_served",
+                        Json::Num(i128::from(service_metrics.served)),
+                    ),
+                    (
+                        "service_p99_us",
+                        Json::Num(i128::from(service_metrics.p99_latency_us())),
+                    ),
+                ]),
+            ),
+        ]);
+        std::fs::write(out, doc.dump() + "\n").expect("write bench report");
+        println!("wrote {out}");
+    }
+}

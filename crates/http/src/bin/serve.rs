@@ -1,0 +1,48 @@
+//! Stand up the HTTP front door on a real socket and serve until
+//! killed — the target for the README's curl examples.
+//!
+//! ```sh
+//! cargo run --release -p ft-http --bin serve -- --addr 127.0.0.1:8080
+//! curl -s http://127.0.0.1:8080/healthz
+//! ```
+
+use ft_http::{HttpConfig, HttpServer};
+use ft_service::ServiceConfig;
+
+fn main() {
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().expect("--addr needs HOST:PORT"),
+            "--help" | "-h" => {
+                eprintln!("usage: serve [--addr HOST:PORT]   (default 127.0.0.1:8080)");
+                return;
+            }
+            other => {
+                eprintln!("serve: unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let http = HttpConfig {
+        addr,
+        ..HttpConfig::default()
+    };
+    let server = match HttpServer::start(&http, ServiceConfig::default()) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("serve: bind {} failed: {err}", http.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("ft-http serving on http://{}", server.local_addr());
+    println!(
+        "routes: POST /v1/mul, POST /v1/mul/batch, GET /v1/config, /v1/metrics, /metrics, /healthz"
+    );
+    // No signal handling in the offline toolchain: run until the process
+    // is killed. In-flight work is bounded by per-request deadlines.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,237 @@
+//! A minimal blocking HTTP/1.1 client over `TcpStream`, shared by the
+//! e2e smoke test and the load generator. One [`Client`] owns one
+//! keep-alive connection; sequential requests reuse it, which is exactly
+//! the access pattern the load generator measures (connection setup paid
+//! once, not per request).
+//!
+//! Supports the response features the `ft-http` server emits:
+//! `Content-Length` bodies, `chunked` transfer coding (decoded whole or
+//! streamed line-by-line for the NDJSON batch route), and
+//! `Connection: close`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A decoded HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header name/value pairs in wire order (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// Fully decoded body (chunked framing removed).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First header value with the given (case-insensitive) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    #[must_use]
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn is_chunked(response: &Response) -> bool {
+    response
+        .header("transfer-encoding")
+        .is_some_and(|te| te.eq_ignore_ascii_case("chunked"))
+}
+
+/// One keep-alive connection to an HTTP server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` with a read timeout (applies per read call).
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Send one request and read the full (decoded) response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<Response> {
+        self.send_request(method, path, body)?;
+        self.read_response()
+    }
+
+    /// Send one request and stream the chunked response body line by
+    /// line through `on_line` (called once per `\n`-terminated line, with
+    /// the newline stripped). Returns the response head. Falls back to
+    /// whole-body delivery (still split at newlines) for non-chunked
+    /// responses, so error statuses flow through the same path.
+    pub fn request_streaming(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+        mut on_line: impl FnMut(&str),
+    ) -> std::io::Result<Response> {
+        self.send_request(method, path, body)?;
+        let (status, headers) = self.read_head()?;
+        let mut response = Response {
+            status,
+            headers,
+            body: Vec::new(),
+        };
+        if is_chunked(&response) {
+            let mut pending = Vec::new();
+            loop {
+                let chunk = self.read_one_chunk()?;
+                if chunk.is_empty() {
+                    break;
+                }
+                response.body.extend_from_slice(&chunk);
+                pending.extend_from_slice(&chunk);
+                while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = pending.drain(..=pos).collect();
+                    on_line(
+                        String::from_utf8_lossy(&line[..line.len() - 1]).trim_end_matches('\r'),
+                    );
+                }
+            }
+            if !pending.is_empty() {
+                on_line(String::from_utf8_lossy(&pending).trim_end_matches('\r'));
+            }
+        } else {
+            response.body = self.read_plain_body(&response)?;
+            for line in response.text().lines() {
+                on_line(line);
+            }
+        }
+        Ok(response)
+    }
+
+    fn send_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<()> {
+        let body = body.unwrap_or(&[]);
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: ft-http\r\n");
+        if !body.is_empty() || method == "POST" {
+            head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+            head.push_str("Content-Type: application/json\r\n");
+        }
+        head.push_str("\r\n");
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body)?;
+        self.writer.flush()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<Response> {
+        let (status, headers) = self.read_head()?;
+        let mut response = Response {
+            status,
+            headers,
+            body: Vec::new(),
+        };
+        if is_chunked(&response) {
+            loop {
+                let chunk = self.read_one_chunk()?;
+                if chunk.is_empty() {
+                    break;
+                }
+                response.body.extend_from_slice(&chunk);
+            }
+        } else {
+            response.body = self.read_plain_body(&response)?;
+        }
+        Ok(response)
+    }
+
+    fn read_head(&mut self) -> std::io::Result<(u16, Vec<(String, String)>)> {
+        let status_line = self.read_line()?;
+        let mut parts = status_line.splitn(3, ' ');
+        let version = parts.next().unwrap_or("");
+        if !version.starts_with("HTTP/1.") {
+            return Err(bad("bad status line"));
+        }
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("bad status code"))?;
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line.split_once(':').ok_or_else(|| bad("bad header"))?;
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+        Ok((status, headers))
+    }
+
+    fn read_plain_body(&mut self, response: &Response) -> std::io::Result<Vec<u8>> {
+        if let Some(len) = response.header("content-length") {
+            let len: usize = len.parse().map_err(|_| bad("bad content-length"))?;
+            let mut body = vec![0u8; len];
+            self.reader.read_exact(&mut body)?;
+            return Ok(body);
+        }
+        // No framing: read to EOF (server sent Connection: close).
+        let mut body = Vec::new();
+        self.reader.read_to_end(&mut body)?;
+        Ok(body)
+    }
+
+    /// One chunk of a chunked body; empty = terminator (trailers and the
+    /// final CRLF are consumed).
+    fn read_one_chunk(&mut self) -> std::io::Result<Vec<u8>> {
+        let size_line = self.read_line()?;
+        let size_hex = size_line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_hex, 16).map_err(|_| bad("bad chunk size"))?;
+        if size == 0 {
+            // Trailers until the blank line.
+            while !self.read_line()?.is_empty() {}
+            return Ok(Vec::new());
+        }
+        let mut data = vec![0u8; size];
+        self.reader.read_exact(&mut data)?;
+        let mut crlf = [0u8; 2];
+        self.reader.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(bad("bad chunk terminator"));
+        }
+        Ok(data)
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    }
+}

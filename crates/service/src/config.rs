@@ -152,6 +152,11 @@ pub struct DistributedConfig {
     pub deadline_budget: u64,
     /// Straggler factor of the in-machine detector (0 disables flagging).
     pub straggler_factor: u64,
+    /// Run a second in-machine detection round after the nested
+    /// recursion: first-wave victims re-integrate via `ack_recovery` and
+    /// keep serving the protocol, and injected hard faults alternate
+    /// between the two fault points (`poly-halt` / `poly-rec-halt`).
+    pub recursion_detect: bool,
 }
 
 impl Default for DistributedConfig {
@@ -171,6 +176,7 @@ impl Default for DistributedConfig {
             faulty_attempts: 1,
             deadline_budget: 1,
             straggler_factor: 0,
+            recursion_detect: false,
         }
     }
 }
@@ -201,6 +207,14 @@ impl DistributedConfig {
             faulty_attempts: field_u32(json, "faulty_attempts", d.faulty_attempts)?,
             deadline_budget: field_u64(json, "deadline_budget", d.deadline_budget)?,
             straggler_factor: field_u64(json, "straggler_factor", d.straggler_factor)?,
+            recursion_detect: match json.get("recursion_detect") {
+                None => d.recursion_detect,
+                Some(v) => v.as_bool().ok_or_else(|| {
+                    ConfigError::Invalid(
+                        "distributed.recursion_detect must be a boolean".to_string(),
+                    )
+                })?,
+            },
         };
         if cfg.k < 2 {
             return Err(ConfigError::Invalid(
@@ -258,6 +272,7 @@ impl DistributedConfig {
                 "straggler_factor",
                 Json::Num(i128::from(self.straggler_factor)),
             ),
+            ("recursion_detect", Json::Bool(self.recursion_detect)),
         ])
     }
 }

@@ -37,6 +37,11 @@ pub const UNRECOVERABLE_MSG: &str = "distributed-run unrecoverable: column fault
 /// halts its whole top-level column — see `ft-core`'s `poly` module).
 const HALT_LABEL: &str = "poly-halt";
 
+/// The recursion-phase fault point, live only under
+/// `recursion_detect`: victims die *after* the first detection round and
+/// are caught by the second.
+const REC_HALT_LABEL: &str = "poly-rec-halt";
+
 /// Serves multiplications on the simulated coded machine.
 #[derive(Debug, Clone)]
 pub struct DistributedBackend {
@@ -86,7 +91,14 @@ impl DistributedBackend {
             let col = (start + i) % cols;
             let members = self.poly.column_members(col);
             let pick = splitmix64(mix ^ (i as u64 + 1)) as usize % members.len();
-            plan = plan.kill(members[pick], HALT_LABEL);
+            // Two-round mode spreads the injected deaths across both
+            // fault points so each wave's detection round finds work.
+            let label = if self.cfg.recursion_detect && i % 2 == 1 {
+                REC_HALT_LABEL
+            } else {
+                HALT_LABEL
+            };
+            plan = plan.kill(members[pick], label);
         }
         let ranks = self.poly.processors();
         let delays = (0..self.cfg.delay_ranks as usize)
@@ -140,6 +152,7 @@ impl DistributedBackend {
                 deadline_budget: self.cfg.deadline_budget,
                 straggler_factor: self.cfg.straggler_factor,
             },
+            recursion_detect: self.cfg.recursion_detect,
         };
         let outcome = run_poly_ft_with(a, b, &self.poly, plan, &opts);
         let deaths = u64::from(outcome.report.total_deaths());
@@ -200,6 +213,37 @@ mod tests {
         assert_eq!(snap.distributed.false_positives, 0);
         assert!(snap.distributed.detect_rounds >= 4);
         assert!(snap.distributed.max_detect_latency_ticks > 0);
+    }
+
+    #[test]
+    fn two_round_mode_recovers_deaths_in_both_waves() {
+        // f=2 with two injected hard faults: injection alternates the
+        // fault points, so one column dies before round one and one
+        // during the recursion — the second detection round (plus
+        // ack_recovery re-integration) recovers both.
+        let be = DistributedBackend::new(&DistributedConfig {
+            enabled: true,
+            f: 2,
+            hard_faults_per_run: 2,
+            recursion_detect: true,
+            ..DistributedConfig::default()
+        });
+        let metrics = Metrics::default();
+        let mut rng = StdRng::seed_from_u64(14);
+        for request in 0..3u64 {
+            let a = BigInt::random_signed_bits(&mut rng, 3_000);
+            let b = BigInt::random_signed_bits(&mut rng, 3_000);
+            let (plan, _) = be.injection_for(request, 0);
+            let labels: Vec<&str> = plan.specs().iter().map(|s| s.label.as_str()).collect();
+            assert!(labels.contains(&HALT_LABEL), "request {request}");
+            assert!(labels.contains(&REC_HALT_LABEL), "request {request}");
+            let product = be.multiply(&a, &b, request, 0, &metrics);
+            assert_eq!(product, a.mul_schoolbook(&b), "request {request}");
+        }
+        let snap = metrics.snapshot(0, (0, 0));
+        assert_eq!(snap.distributed.runs, 3);
+        assert_eq!(snap.distributed.recoveries, 3);
+        assert_eq!(snap.distributed.false_positives, 0);
     }
 
     #[test]

@@ -323,8 +323,10 @@ impl KernelClassRow {
     }
 }
 
-/// A point-in-time copy of the service's counters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+/// A point-in-time copy of the service's counters. `Default` is the
+/// all-zero snapshot (kernel and fault-kind labels empty) — useful as a
+/// fixture for exporters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
 pub struct MetricsSnapshot {
     /// Requests completed successfully. Always equals the sum of
     /// `latency_buckets` (derived from the histogram, see the module docs
@@ -425,6 +427,60 @@ impl MetricsSnapshot {
         self.latency_total_us.checked_div(self.served).unwrap_or(0)
     }
 
+    /// Estimated completion-latency quantile in µs, by linear
+    /// interpolation inside the histogram bucket holding the target rank
+    /// (the same estimator Prometheus's `histogram_quantile` applies to
+    /// these buckets). Ranks landing in the unbounded overflow bucket
+    /// report the last finite bound — the histogram cannot resolve
+    /// beyond it. Returns 0 when nothing was served; `q` is clamped to
+    /// `[0, 1]`.
+    #[must_use]
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    pub fn latency_quantile_us(&self, q: f64) -> u64 {
+        if self.served == 0 {
+            return 0;
+        }
+        let last_bound = LATENCY_BUCKET_BOUNDS_US[LATENCY_BUCKET_BOUNDS_US.len() - 1];
+        let target = q.clamp(0.0, 1.0) * self.served as f64;
+        let mut cumulative = 0u64;
+        for (i, &count) in self.latency_buckets.iter().enumerate() {
+            let below = cumulative as f64;
+            cumulative += count;
+            if (cumulative as f64) < target || count == 0 {
+                continue;
+            }
+            let Some(&upper) = LATENCY_BUCKET_BOUNDS_US.get(i) else {
+                return last_bound; // overflow bucket: unresolvable
+            };
+            let lower = i.checked_sub(1).map_or(0, |p| LATENCY_BUCKET_BOUNDS_US[p]);
+            let fraction = ((target - below) / count as f64).clamp(0.0, 1.0);
+            return lower + ((upper - lower) as f64 * fraction).round() as u64;
+        }
+        last_bound
+    }
+
+    /// Median completion latency (µs), histogram-estimated.
+    #[must_use]
+    pub fn p50_latency_us(&self) -> u64 {
+        self.latency_quantile_us(0.50)
+    }
+
+    /// 99th-percentile completion latency (µs), histogram-estimated.
+    #[must_use]
+    pub fn p99_latency_us(&self) -> u64 {
+        self.latency_quantile_us(0.99)
+    }
+
+    /// 99.9th-percentile completion latency (µs), histogram-estimated.
+    #[must_use]
+    pub fn p999_latency_us(&self) -> u64 {
+        self.latency_quantile_us(0.999)
+    }
+
     /// Serialize to compact JSON.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -479,6 +535,14 @@ impl MetricsSnapshot {
             (
                 "mean_latency_us",
                 Json::Num(i128::from(self.mean_latency_us())),
+            ),
+            (
+                "latency_quantiles",
+                obj([
+                    ("p50_us", Json::Num(i128::from(self.p50_latency_us()))),
+                    ("p99_us", Json::Num(i128::from(self.p99_latency_us()))),
+                    ("p999_us", Json::Num(i128::from(self.p999_latency_us()))),
+                ]),
             ),
             ("size_classes", classes),
             (
@@ -728,6 +792,37 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let empty = Metrics::default().snapshot(0, (0, 0));
+        assert_eq!(empty.p50_latency_us(), 0, "no data, no quantile");
+
+        let m = Metrics::default();
+        // 90 requests at ≤100 µs, 10 in the (100, 500] µs bucket.
+        for i in 0..90 {
+            m.record_served(Kernel::Schoolbook, 1_000, Duration::from_micros(i % 100));
+        }
+        for _ in 0..10 {
+            m.record_served(Kernel::Schoolbook, 1_000, Duration::from_micros(300));
+        }
+        let s = m.snapshot(0, (0, 0));
+        // p50: rank 50 of 90 in the first bucket → 100 µs × 50/90 ≈ 56.
+        assert_eq!(s.p50_latency_us(), 56);
+        // p99: rank 99 → 9 of 10 into the second bucket → 100 + 400 × 0.9.
+        assert_eq!(s.p99_latency_us(), 460);
+        // p999: rank 99.9 → 100 + 400 × 0.99.
+        assert_eq!(s.p999_latency_us(), 496);
+        // Quantiles are monotone in q and clamp outside [0, 1].
+        assert!(s.latency_quantile_us(0.0) <= s.p50_latency_us());
+        assert_eq!(s.latency_quantile_us(1.0), s.latency_quantile_us(7.5));
+
+        // Everything in the overflow bucket pins at the last finite bound.
+        let m = Metrics::default();
+        m.record_served(Kernel::Schoolbook, 1_000, Duration::from_secs(10));
+        let s = m.snapshot(0, (0, 0));
+        assert_eq!(s.p50_latency_us(), 2_000_000);
+    }
+
+    #[test]
     fn snapshot_serializes_to_parseable_json() {
         let m = Metrics::default();
         m.record_served(Kernel::SeqToom, 50_000, Duration::from_micros(700));
@@ -751,6 +846,12 @@ mod tests {
         assert!(
             matches!(doc.get("latency_buckets"), Some(crate::json::Json::Arr(v)) if v.len() == 9)
         );
+        let quantiles = doc.get("latency_quantiles").unwrap();
+        assert_eq!(
+            quantiles.get("p50_us").unwrap().as_u64(),
+            Some(s.p50_latency_us())
+        );
+        assert!(quantiles.get("p999_us").unwrap().as_u64().is_some());
         let batching = doc.get("batching").unwrap();
         assert_eq!(batching.get("batches").unwrap().as_u64(), Some(1));
         assert_eq!(batching.get("batched_requests").unwrap().as_u64(), Some(4));

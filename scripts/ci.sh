@@ -26,6 +26,19 @@ echo "== batch throughput smoke (--quick) =="
 # rewrites BENCH_service.json).
 cargo run --release -q -p ft-bench --bin batch_throughput -- --quick
 
+echo "== HTTP e2e smoke (real sockets, ephemeral port) =="
+# Boots the ft-http front door on an ephemeral loopback port and drives
+# mixed traffic (singles, a streamed NDJSON batch, config/metrics
+# scrapes, every documented error status) through the real socket
+# client; all products are checked bit-exact.
+cargo test -p ft-http --test e2e -q
+
+echo "== HTTP load generator smoke (--quick) =="
+# Reduced loadgen run: 2 client threads over real keep-alive
+# connections, every response verified, graceful drain asserted. The
+# full run (no flags) is the one that rewrites BENCH_http.json.
+cargo run --release -q -p ft-http --bin loadgen -- --quick
+
 echo "== chaos pass (deterministic seed matrix) =="
 # Injected-fault tests must stay reproducible and gating: every fault
 # decision derives from the seed, independent of scheduling. The matrix

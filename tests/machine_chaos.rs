@@ -49,6 +49,7 @@ fn options(
             deadline_budget: 1,
             straggler_factor,
         },
+        recursion_detect: false,
     }
 }
 
@@ -126,6 +127,58 @@ fn sparse_random_faults_declare_exactly_the_dead() {
     // the CI matrix ever violates this, widen the rate rather than drop
     // the assertion.
     assert!(deaths_seen >= 1, "chaos actually exercised a death");
+}
+
+/// A recovered rank serves later phases of the same run. Rank 0 — the
+/// detection monitor — dies at the column-halt point; its reborn
+/// replacement calls `ack_recovery`, re-integrates, and then *runs the
+/// second detection round itself*. That round has real work: a seeded
+/// unplanned death at the recursion-phase fault point, which only the
+/// recovered monitor can declare (verdict counters are recorded by the
+/// monitor alone). With `f = 2` both dead columns fit the redundancy
+/// and the product stays bit-exact.
+#[test]
+fn recovered_monitor_serves_second_detection_round() {
+    let seed = chaos_seed();
+    let cfg = PolyFtConfig {
+        base: ParallelConfig::new(2, 2),
+        f: 2,
+    };
+    for round in 0..4u64 {
+        let (a, b, expected) = operands(seed ^ (0xac1 + round));
+        // Planned: the monitor itself dies before round one. Unplanned:
+        // one random rank dies inside the recursion, after round one.
+        let plan = FaultPlan::none().kill(0, "poly-halt");
+        let random = RandomFaults {
+            seed: seed.wrapping_mul(17).wrapping_add(round),
+            per_10k: 10_000,
+            max_faults: 1,
+            labels: vec!["poly-rec-halt".to_string()],
+        };
+        let mut opts = options(Some(random), Vec::new(), 0);
+        opts.recursion_detect = true;
+        let out = run_poly_ft_with(&a, &b, &cfg, plan, &opts);
+        let totals = out.report.detect_totals();
+        assert_eq!(
+            out.report.total_deaths(),
+            2,
+            "round {round}: monitor death plus one recursion-phase death"
+        );
+        assert_eq!(
+            totals.rounds,
+            2 * cfg.processors() as u64,
+            "round {round}: every rank served both detection rounds"
+        );
+        assert_eq!(
+            totals.dead_declared, 2,
+            "round {round}: the reborn monitor declared the second death"
+        );
+        assert_eq!(totals.false_positives, 0, "round {round}");
+        assert_eq!(
+            out.product, expected,
+            "round {round}: recovery across both waves is bit-exact"
+        );
+    }
 }
 
 /// A delay fault (slowed rank) is flagged as a straggler by the clock

@@ -1,0 +1,29 @@
+//! Offline shim replacing a full HTTP stack (tokio/hyper/axum are
+//! unavailable in the build container — see `vendor/README.md`).
+//!
+//! What this is: a deliberately small, synchronous HTTP/1.1
+//! implementation in the same API-subset spirit as the other `vendor/`
+//! crates. It provides exactly what `ft-http` needs and nothing more:
+//!
+//! * a **strict request parser** ([`Request::read_from`]) with hard
+//!   [`Limits`] on request-line, header, and body sizes, supporting
+//!   `Content-Length` and `chunked` request bodies. Malformed input is
+//!   an [`Error`], never a panic — the parser is proptest-fuzzed over
+//!   truncated, oversized, and corrupted inputs.
+//! * **response writers**: fixed-length ([`write_response`]) and
+//!   chunked ([`ChunkedWriter`]) transfer encodings.
+//! * a **thread-per-connection server** ([`Server`]) with HTTP/1.1
+//!   keep-alive, per-connection request caps, connection accounting,
+//!   and graceful shutdown that drains in-flight connections before
+//!   returning.
+//!
+//! What this is not: async, HTTP/2, TLS, or a router — `ft-http` layers
+//! routing and the service semantics on top.
+
+mod request;
+mod response;
+mod server;
+
+pub use request::{Error, Limits, Request, Version};
+pub use response::{reason, write_response, ChunkedWriter};
+pub use server::{Handler, Responder, Server, ServerConfig, ServerStats};

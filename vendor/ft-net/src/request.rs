@@ -1,0 +1,589 @@
+//! HTTP/1.1 request parsing: strict, bounded, and panic-free.
+//!
+//! The parser reads from any [`BufRead`] and enforces [`Limits`] on every
+//! dimension an attacker controls (request-line length, header count and
+//! size, body size, chunk framing). Anything outside the accepted grammar
+//! is an [`Error`] carrying a suggested status code — the connection
+//! handler turns it into a 4xx and closes.
+
+use std::io::{BufRead, Read};
+
+/// HTTP protocol version of a parsed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// `HTTP/1.0` — connections close by default.
+    Http10,
+    /// `HTTP/1.1` — connections persist by default.
+    Http11,
+}
+
+/// Hard caps applied while parsing a request.
+///
+/// Every limit bounds memory a remote peer can make the server allocate
+/// before the request is either accepted or rejected.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Maximum bytes in the request line (method + target + version).
+    pub max_request_line: usize,
+    /// Maximum bytes in a single header line (also caps chunk-size lines).
+    pub max_header_line: usize,
+    /// Maximum number of headers (also caps chunked trailers).
+    pub max_headers: usize,
+    /// Maximum body size in bytes, after de-chunking.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_request_line: 8 * 1024,
+            max_header_line: 8 * 1024,
+            max_headers: 128,
+            max_body: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// Why a request was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The peer closed the stream mid-request.
+    UnexpectedEof,
+    /// Request line does not match `METHOD SP TARGET SP HTTP/1.x`.
+    BadRequestLine,
+    /// HTTP version other than 1.0 or 1.1.
+    UnsupportedVersion,
+    /// Header line outside the accepted grammar (bad name token, missing
+    /// colon, obs-folding, control bytes in the value).
+    BadHeader,
+    /// Request line or header exceeded [`Limits`]; the payload names the
+    /// limit that tripped.
+    TooLarge(&'static str),
+    /// Declared or de-chunked body exceeds `Limits::max_body`.
+    BodyTooLarge,
+    /// `Content-Length` not a plain decimal, or duplicates disagree, or
+    /// it conflicts with `Transfer-Encoding`.
+    BadContentLength,
+    /// A `Transfer-Encoding` other than a single `chunked`.
+    UnsupportedTransferEncoding,
+    /// Malformed chunked framing (bad size line, missing CRLF, bad
+    /// trailer).
+    BadChunk,
+    /// Underlying socket error (including read timeouts).
+    Io(std::io::ErrorKind),
+}
+
+impl Error {
+    /// Status code a server should answer with, or `None` when the
+    /// connection should just be dropped (EOF / socket errors).
+    #[must_use]
+    pub fn status_hint(&self) -> Option<u16> {
+        match self {
+            Error::UnexpectedEof | Error::Io(_) => None,
+            Error::BadRequestLine
+            | Error::BadHeader
+            | Error::BadContentLength
+            | Error::BadChunk => Some(400),
+            Error::UnsupportedVersion => Some(505),
+            Error::TooLarge("request line") => Some(414),
+            Error::TooLarge(_) => Some(431),
+            Error::BodyTooLarge => Some(413),
+            Error::UnsupportedTransferEncoding => Some(501),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::UnexpectedEof => write!(f, "connection closed mid-request"),
+            Error::BadRequestLine => write!(f, "malformed request line"),
+            Error::UnsupportedVersion => write!(f, "unsupported HTTP version"),
+            Error::BadHeader => write!(f, "malformed header"),
+            Error::TooLarge(what) => write!(f, "{what} exceeds configured limit"),
+            Error::BodyTooLarge => write!(f, "body exceeds configured limit"),
+            Error::BadContentLength => write!(f, "invalid Content-Length"),
+            Error::UnsupportedTransferEncoding => write!(f, "unsupported Transfer-Encoding"),
+            Error::BadChunk => write!(f, "malformed chunked encoding"),
+            Error::Io(kind) => write!(f, "socket error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Error {
+        Error::Io(e.kind())
+    }
+}
+
+/// A fully parsed request: head plus de-chunked body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, as sent (methods are case-sensitive tokens).
+    pub method: String,
+    /// Request target, as sent (path plus optional `?query`).
+    pub target: String,
+    /// Protocol version.
+    pub version: Version,
+    /// Headers in arrival order; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Request body, after `Content-Length` or chunked decoding.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of `name` (case-insensitive), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Target with any `?query` suffix removed.
+    #[must_use]
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Whether the peer asked for (or defaults to) closing after this
+    /// response.
+    #[must_use]
+    pub fn wants_close(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => true,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => false,
+            _ => self.version == Version::Http10,
+        }
+    }
+
+    /// Read one request off `reader`.
+    ///
+    /// Returns `Ok(None)` on a clean close (EOF before the first byte of
+    /// a request line — the keep-alive idle case), `Err` on anything
+    /// malformed or over-limit, and never panics on hostile input.
+    pub fn read_from(reader: &mut impl BufRead, limits: &Limits) -> Result<Option<Request>, Error> {
+        let line = match read_line(reader, limits.max_request_line, "request line")? {
+            Line::Eof => return Ok(None),
+            Line::Text(l) => l,
+        };
+        let (method, target, version) = parse_request_line(&line)?;
+
+        let mut headers: Vec<(String, String)> = Vec::new();
+        loop {
+            let line = match read_line(reader, limits.max_header_line, "header")? {
+                Line::Eof => return Err(Error::UnexpectedEof),
+                Line::Text(l) => l,
+            };
+            if line.is_empty() {
+                break;
+            }
+            if headers.len() >= limits.max_headers {
+                return Err(Error::TooLarge("header count"));
+            }
+            headers.push(parse_header_line(&line)?);
+        }
+
+        let body = read_body(reader, &headers, limits)?;
+        Ok(Some(Request {
+            method,
+            target,
+            version,
+            headers,
+            body,
+        }))
+    }
+
+    /// Parse a request from a byte slice (test / tooling convenience).
+    pub fn parse(bytes: &[u8], limits: &Limits) -> Result<Option<Request>, Error> {
+        let mut cursor = std::io::Cursor::new(bytes);
+        Request::read_from(&mut cursor, limits)
+    }
+}
+
+enum Line {
+    /// EOF before any byte of the line.
+    Eof,
+    /// A complete line, terminator stripped.
+    Text(String),
+}
+
+/// Read one CRLF-terminated line (bare LF tolerated), capped at `max`
+/// bytes excluding the terminator. ASCII-only: any control byte other
+/// than the terminator (or tab, legal in header values) rejects.
+fn read_line(reader: &mut impl BufRead, max: usize, what: &'static str) -> Result<Line, Error> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(Line::Eof);
+                }
+                return Err(Error::UnexpectedEof);
+            }
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+        let b = byte[0];
+        if b == b'\n' {
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            // Header lines are ASCII; high bytes (obs-text) are rare
+            // enough in practice that rejecting them keeps the grammar
+            // simple and `String` conversion infallible.
+            if buf
+                .iter()
+                .any(|&c| c == 0x7f || (c < 0x20 && c != b'\t') || c >= 0x80)
+            {
+                return Err(Error::BadHeader);
+            }
+            let text = String::from_utf8(buf).map_err(|_| Error::BadHeader)?;
+            return Ok(Line::Text(text));
+        }
+        if buf.len() >= max {
+            return Err(Error::TooLarge(what));
+        }
+        buf.push(b);
+    }
+}
+
+/// Is `b` an RFC 9110 token character (legal in methods, header names)?
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+fn parse_request_line(line: &str) -> Result<(String, String, Version), Error> {
+    // Exactly `METHOD SP TARGET SP VERSION`, single spaces: splitn would
+    // hide empty segments from doubled spaces, so check them explicitly.
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(Error::BadRequestLine),
+    };
+    if method.is_empty() || !method.bytes().all(is_token_byte) {
+        return Err(Error::BadRequestLine);
+    }
+    if target.is_empty() || !target.bytes().all(|b| (0x21..0x7f).contains(&b)) {
+        return Err(Error::BadRequestLine);
+    }
+    let version = match version {
+        "HTTP/1.1" => Version::Http11,
+        "HTTP/1.0" => Version::Http10,
+        v if v.starts_with("HTTP/") => return Err(Error::UnsupportedVersion),
+        _ => return Err(Error::BadRequestLine),
+    };
+    Ok((method.to_string(), target.to_string(), version))
+}
+
+fn parse_header_line(line: &str) -> Result<(String, String), Error> {
+    let (name, value) = line.split_once(':').ok_or(Error::BadHeader)?;
+    // No whitespace between name and colon (RFC 9112 §5.1); this also
+    // rejects obs-folded continuation lines, which start with SP/HTAB.
+    if name.is_empty() || !name.bytes().all(is_token_byte) {
+        return Err(Error::BadHeader);
+    }
+    let value = value.trim_matches([' ', '\t']);
+    Ok((name.to_ascii_lowercase(), value.to_string()))
+}
+
+fn read_body(
+    reader: &mut impl BufRead,
+    headers: &[(String, String)],
+    limits: &Limits,
+) -> Result<Vec<u8>, Error> {
+    let te: Vec<&str> = headers
+        .iter()
+        .filter(|(n, _)| n == "transfer-encoding")
+        .map(|(_, v)| v.as_str())
+        .collect();
+    let cl: Vec<&str> = headers
+        .iter()
+        .filter(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.as_str())
+        .collect();
+
+    if !te.is_empty() {
+        // Refuse the request-smuggling ambiguity outright.
+        if !cl.is_empty() {
+            return Err(Error::BadContentLength);
+        }
+        if te.len() > 1 || !te[0].trim().eq_ignore_ascii_case("chunked") {
+            return Err(Error::UnsupportedTransferEncoding);
+        }
+        return read_chunked_body(reader, limits);
+    }
+
+    let Some(&first) = cl.first() else {
+        return Ok(Vec::new());
+    };
+    // Duplicates must agree byte-for-byte (RFC 9110 §8.6).
+    if cl.iter().any(|&v| v != first) {
+        return Err(Error::BadContentLength);
+    }
+    if first.is_empty() || first.len() > 18 || !first.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(Error::BadContentLength);
+    }
+    let len: usize = first.parse().map_err(|_| Error::BadContentLength)?;
+    if len > limits.max_body {
+        return Err(Error::BodyTooLarge);
+    }
+    read_exact(reader, len)
+}
+
+fn read_chunked_body(reader: &mut impl BufRead, limits: &Limits) -> Result<Vec<u8>, Error> {
+    let mut body: Vec<u8> = Vec::new();
+    loop {
+        let line = match read_line(reader, limits.max_header_line, "chunk size line")? {
+            Line::Eof => return Err(Error::UnexpectedEof),
+            Line::Text(l) => l,
+        };
+        // Chunk extensions (`;name=value`) are legal; ignore them.
+        let size_str = line.split(';').next().unwrap_or("").trim();
+        if size_str.is_empty()
+            || size_str.len() > 15
+            || !size_str.bytes().all(|b| b.is_ascii_hexdigit())
+        {
+            return Err(Error::BadChunk);
+        }
+        let size = usize::from_str_radix(size_str, 16).map_err(|_| Error::BadChunk)?;
+        if size == 0 {
+            consume_trailers(reader, limits)?;
+            return Ok(body);
+        }
+        if body.len().saturating_add(size) > limits.max_body {
+            return Err(Error::BodyTooLarge);
+        }
+        let chunk = read_exact(reader, size)?;
+        body.extend_from_slice(&chunk);
+        // Each chunk's data is followed by its own CRLF. Bare LF is not
+        // tolerated here (unlike header lines): consuming only one byte
+        // would need push-back, and chunked senders always emit CRLF.
+        let mut crlf = [0u8; 2];
+        read_exact_into(reader, &mut crlf)?;
+        if crlf != *b"\r\n" {
+            return Err(Error::BadChunk);
+        }
+    }
+}
+
+/// After the last chunk: zero or more trailer lines, then an empty line.
+fn consume_trailers(reader: &mut impl BufRead, limits: &Limits) -> Result<(), Error> {
+    for _ in 0..=limits.max_headers {
+        let line = match read_line(reader, limits.max_header_line, "trailer")? {
+            Line::Eof => return Err(Error::UnexpectedEof),
+            Line::Text(l) => l,
+        };
+        if line.is_empty() {
+            return Ok(());
+        }
+        parse_header_line(&line)?;
+    }
+    Err(Error::TooLarge("trailer count"))
+}
+
+fn read_exact(reader: &mut impl Read, len: usize) -> Result<Vec<u8>, Error> {
+    let mut buf = vec![0u8; len];
+    read_exact_into(reader, &mut buf)?;
+    Ok(buf)
+}
+
+fn read_exact_into(reader: &mut impl Read, buf: &mut [u8]) -> Result<(), Error> {
+    reader.read_exact(buf).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => Error::UnexpectedEof,
+        kind => Error::Io(kind),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, Error> {
+        Request::parse(bytes, &Limits::default())
+    }
+
+    #[test]
+    fn parses_minimal_get() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path(), "/healthz");
+        assert_eq!(req.version, Version::Http11);
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_content_length_body() {
+        let req = parse(b"POST /v1/mul HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_chunked_body_with_extension_and_trailer() {
+        let raw = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    4;ext=1\r\nWiki\r\n5\r\npedia\r\n0\r\nX-Sum: 9\r\n\r\n";
+        let req = parse(raw).unwrap().unwrap();
+        assert_eq!(req.body, b"Wikipedia");
+    }
+
+    #[test]
+    fn eof_before_request_is_clean_close() {
+        assert!(matches!(parse(b""), Ok(None)));
+    }
+
+    #[test]
+    fn truncation_is_unexpected_eof() {
+        assert_eq!(parse(b"GET /x HTT").unwrap_err(), Error::UnexpectedEof);
+        assert_eq!(
+            parse(b"GET /x HTTP/1.1\r\nHost: y\r\n").unwrap_err(),
+            Error::UnexpectedEof
+        );
+        assert_eq!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err(),
+            Error::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for raw in [
+            &b"GET/x HTTP/1.1\r\n\r\n"[..],
+            b"GET  /x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"G@T /x HTTP/1.1\r\n\r\n",
+            b" /x HTTP/1.1\r\n\r\n",
+            b"GET /x http/1.1\r\n\r\n",
+        ] {
+            assert_eq!(parse(raw).unwrap_err(), Error::BadRequestLine, "{raw:?}");
+        }
+        assert_eq!(
+            parse(b"GET /x HTTP/2.0\r\n\r\n").unwrap_err(),
+            Error::UnsupportedVersion
+        );
+    }
+
+    #[test]
+    fn rejects_bad_headers() {
+        for raw in [
+            &b"GET /x HTTP/1.1\r\nNoColon\r\n\r\n"[..],
+            b"GET /x HTTP/1.1\r\nBad Name: v\r\n\r\n",
+            b"GET /x HTTP/1.1\r\n: v\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nA: b\r\n folded\r\n\r\n",
+        ] {
+            assert_eq!(parse(raw).unwrap_err(), Error::BadHeader, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_content_length_games() {
+        assert_eq!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nab")
+                .unwrap_err(),
+            Error::BadContentLength
+        );
+        assert_eq!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: -1\r\n\r\n").unwrap_err(),
+            Error::BadContentLength
+        );
+        assert_eq!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n")
+                .unwrap_err(),
+            Error::BadContentLength
+        );
+        assert_eq!(
+            parse(b"POST /x HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n").unwrap_err(),
+            Error::UnsupportedTransferEncoding
+        );
+    }
+
+    #[test]
+    fn enforces_limits() {
+        // Line caps count the CR of the CRLF terminator, so leave
+        // headroom for the well-formed lines these requests do use.
+        let tight = Limits {
+            max_request_line: 20,
+            max_header_line: 32,
+            max_headers: 2,
+            max_body: 8,
+        };
+        assert_eq!(
+            Request::parse(b"GET /aaaaaaaaaaaaaaaaaaaaaaaa HTTP/1.1\r\n\r\n", &tight).unwrap_err(),
+            Error::TooLarge("request line")
+        );
+        assert_eq!(
+            Request::parse(
+                b"GET /x HTTP/1.1\r\nA: bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb\r\n\r\n",
+                &tight
+            )
+            .unwrap_err(),
+            Error::TooLarge("header")
+        );
+        assert_eq!(
+            Request::parse(b"GET /x HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n", &tight).unwrap_err(),
+            Error::TooLarge("header count")
+        );
+        assert_eq!(
+            Request::parse(
+                b"POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789",
+                &tight
+            )
+            .unwrap_err(),
+            Error::BodyTooLarge
+        );
+        assert_eq!(
+            Request::parse(
+                b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n9\r\n123456789\r\n0\r\n\r\n",
+                &tight
+            )
+            .unwrap_err(),
+            Error::BodyTooLarge
+        );
+    }
+
+    #[test]
+    fn rejects_bad_chunk_framing() {
+        for raw in [
+            &b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n\r\n"[..],
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabcd\r\n0\r\n\r\n",
+        ] {
+            assert_eq!(parse(raw).unwrap_err(), Error::BadChunk, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn connection_semantics() {
+        let close = parse(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(close.wants_close());
+        let old = parse(b"GET /x HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(old.wants_close());
+        let old_ka = parse(b"GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!old_ka.wants_close());
+    }
+
+    #[test]
+    fn status_hints_cover_the_ladder() {
+        assert_eq!(Error::BadRequestLine.status_hint(), Some(400));
+        assert_eq!(Error::TooLarge("request line").status_hint(), Some(414));
+        assert_eq!(Error::TooLarge("header").status_hint(), Some(431));
+        assert_eq!(Error::BodyTooLarge.status_hint(), Some(413));
+        assert_eq!(Error::UnsupportedVersion.status_hint(), Some(505));
+        assert_eq!(Error::UnsupportedTransferEncoding.status_hint(), Some(501));
+        assert_eq!(Error::UnexpectedEof.status_hint(), None);
+    }
+}

@@ -1,0 +1,467 @@
+//! Thread-per-connection HTTP server with keep-alive and graceful drain.
+//!
+//! One OS thread per accepted connection is the right trade here: the
+//! container is single-core, `MulService` already owns the worker pool,
+//! and connection counts in the load tests are tens, not tens of
+//! thousands. The interesting part is shutdown: [`Server::shutdown`]
+//! stops accepting, then *drains* — in-flight requests finish and their
+//! responses flush before the call returns (bounded by the configured
+//! drain timeout).
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::request::{Limits, Request};
+use crate::response::{write_response, ChunkedWriter};
+
+/// Handler invoked once per parsed request.
+///
+/// Implementations respond through the [`Responder`]; returning `Err`
+/// (or not responding at all) closes the connection.
+pub type Handler = dyn Fn(&Request, &mut Responder<'_>) -> std::io::Result<()> + Send + Sync;
+
+/// Tunables for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Parser limits applied to every request.
+    pub limits: Limits,
+    /// Requests served per connection before the server closes it
+    /// (bounds how long one peer can pin a thread).
+    pub keep_alive_requests: usize,
+    /// Socket read timeout; an idle keep-alive connection is dropped
+    /// silently when it expires.
+    pub read_timeout: Duration,
+    /// How long [`Server::shutdown`] waits for in-flight connections.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            limits: Limits::default(),
+            keep_alive_requests: 1024,
+            read_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Per-request response channel handed to the [`Handler`].
+pub struct Responder<'a> {
+    stream: &'a mut TcpStream,
+    close: bool,
+    responded: bool,
+}
+
+impl Responder<'_> {
+    /// Send a fixed-length response with a `Content-Type` header.
+    pub fn send(&mut self, status: u16, content_type: &str, body: &[u8]) -> std::io::Result<()> {
+        self.send_with(status, &[("Content-Type", content_type)], body)
+    }
+
+    /// Send a fixed-length response with arbitrary extra headers.
+    pub fn send_with(
+        &mut self,
+        status: u16,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<()> {
+        let mut all: Vec<(&str, &str)> = headers.to_vec();
+        if self.close {
+            all.push(("Connection", "close"));
+        }
+        self.responded = true;
+        write_response(self.stream, status, &all, body)
+    }
+
+    /// Start a chunked response; the status line is sent immediately.
+    pub fn start_chunked(
+        &mut self,
+        status: u16,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<ChunkedWriter<'_, TcpStream>> {
+        let mut all: Vec<(&str, &str)> = headers.to_vec();
+        if self.close {
+            all.push(("Connection", "close"));
+        }
+        self.responded = true;
+        ChunkedWriter::start(self.stream, status, &all)
+    }
+
+    /// Whether a response (or at least its head) has been written.
+    #[must_use]
+    pub fn responded(&self) -> bool {
+        self.responded
+    }
+
+    /// Whether the connection will close after this response.
+    #[must_use]
+    pub fn closing(&self) -> bool {
+        self.close
+    }
+}
+
+struct Shared {
+    stopping: AtomicBool,
+    active: AtomicUsize,
+    total: AtomicU64,
+    parse_errors: AtomicU64,
+    next_conn_id: AtomicU64,
+    /// Socket handle + "mid-request" flag per live connection, so
+    /// shutdown can close *idle* connections (parked in a blocking read
+    /// between keep-alive requests) while letting busy ones finish.
+    conns: std::sync::Mutex<std::collections::HashMap<u64, (TcpStream, Arc<AtomicBool>)>>,
+}
+
+impl Shared {
+    fn lock_conns(
+        &self,
+    ) -> std::sync::MutexGuard<'_, std::collections::HashMap<u64, (TcpStream, Arc<AtomicBool>)>>
+    {
+        self.conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Cloneable view of a server's connection counters (see
+/// [`Server::stats`]).
+#[derive(Clone)]
+pub struct ServerStats {
+    shared: Arc<Shared>,
+}
+
+impl ServerStats {
+    /// Connections currently being served.
+    #[must_use]
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted since startup.
+    #[must_use]
+    pub fn total_connections(&self) -> u64 {
+        self.shared.total.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected at the HTTP-parse layer since startup.
+    #[must_use]
+    pub fn parse_errors(&self) -> u64 {
+        self.shared.parse_errors.load(Ordering::Relaxed)
+    }
+}
+
+/// A running HTTP server. Dropping it without calling
+/// [`Server::shutdown`] aborts the accept loop without draining.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    drain_timeout: Duration,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// accepting connections, dispatching every request to `handler`.
+    pub fn bind(addr: &str, cfg: ServerConfig, handler: Arc<Handler>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            stopping: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            total: AtomicU64::new(0),
+            parse_errors: AtomicU64::new(0),
+            next_conn_id: AtomicU64::new(0),
+            conns: std::sync::Mutex::new(std::collections::HashMap::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let drain_timeout = cfg.drain_timeout;
+        let accept_thread = std::thread::Builder::new()
+            .name("ft-net-accept".into())
+            .spawn(move || accept_loop(&listener, &cfg, &handler, &accept_shared))?;
+        Ok(Server {
+            addr: local,
+            shared,
+            accept_thread: Some(accept_thread),
+            drain_timeout,
+        })
+    }
+
+    /// The bound address (resolves the actual ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently being served.
+    #[must_use]
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted since startup.
+    #[must_use]
+    pub fn total_connections(&self) -> u64 {
+        self.shared.total.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected at the HTTP-parse layer since startup.
+    #[must_use]
+    pub fn parse_errors(&self) -> u64 {
+        self.shared.parse_errors.load(Ordering::Relaxed)
+    }
+
+    /// A cloneable probe for this server's connection counters, usable
+    /// from inside a handler (which cannot borrow the [`Server`] that
+    /// was created after it). The probe stays valid — frozen at its
+    /// final values — after the server shuts down.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Stop accepting, drain in-flight requests (up to the drain
+    /// timeout), and join the accept thread.
+    ///
+    /// "In flight" means a fully parsed request inside its handler:
+    /// those finish and their responses flush. Idle keep-alive
+    /// connections (parked between requests) are closed immediately —
+    /// a request not yet fully received when shutdown starts is cut
+    /// off. Returns the number of connections still active when the
+    /// drain window closed (0 on a clean drain; stragglers keep their
+    /// detached threads and fail on their own once the process tears
+    /// down what they talk to).
+    pub fn shutdown(mut self) -> usize {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in `accept`; poke it awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let deadline = Instant::now() + self.drain_timeout;
+        loop {
+            // Close every idle connection so its blocked read returns
+            // EOF; re-scan each pass — busy connections go idle as
+            // their handlers complete.
+            for (stream, busy) in self.shared.lock_conns().values() {
+                if !busy.load(Ordering::Acquire) {
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                }
+            }
+            if self.shared.active.load(Ordering::Acquire) == 0 || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.shared.active.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            self.shared.stopping.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(self.addr);
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    cfg: &ServerConfig,
+    handler: &Arc<Handler>,
+    shared: &Arc<Shared>,
+) {
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.total.fetch_add(1, Ordering::Relaxed);
+        shared.active.fetch_add(1, Ordering::AcqRel);
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let busy = Arc::new(AtomicBool::new(false));
+        if let Ok(registry_handle) = stream.try_clone() {
+            shared
+                .lock_conns()
+                .insert(conn_id, (registry_handle, Arc::clone(&busy)));
+        }
+        let cfg = cfg.clone();
+        let handler = Arc::clone(handler);
+        let conn_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("ft-net-conn".into())
+            .spawn(move || {
+                serve_connection(stream, &cfg, &handler, &conn_shared, &busy);
+                conn_shared.lock_conns().remove(&conn_id);
+                conn_shared.active.fetch_sub(1, Ordering::AcqRel);
+            });
+        if spawned.is_err() {
+            shared.lock_conns().remove(&conn_id);
+            shared.active.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    cfg: &ServerConfig,
+    handler: &Arc<Handler>,
+    shared: &Arc<Shared>,
+    busy: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut write_half = stream;
+    for served in 1..=cfg.keep_alive_requests {
+        match Request::read_from(&mut reader, &cfg.limits) {
+            Ok(None) => break, // peer closed between requests
+            Ok(Some(req)) => {
+                busy.store(true, Ordering::Release);
+                let close = req.wants_close()
+                    || served == cfg.keep_alive_requests
+                    || shared.stopping.load(Ordering::SeqCst);
+                let mut responder = Responder {
+                    stream: &mut write_half,
+                    close,
+                    responded: false,
+                };
+                let handled = handler(&req, &mut responder);
+                busy.store(false, Ordering::Release);
+                if handled.is_err() {
+                    break; // peer went away mid-response
+                }
+                if !responder.responded {
+                    // A handler that forgot to respond still owes the
+                    // peer an answer before we hang up.
+                    let _ = write_response(
+                        &mut write_half,
+                        500,
+                        &[("Connection", "close")],
+                        b"handler produced no response\n",
+                    );
+                    break;
+                }
+                if close {
+                    break;
+                }
+            }
+            Err(err) => {
+                if let Some(status) = err.status_hint() {
+                    shared.parse_errors.fetch_add(1, Ordering::Relaxed);
+                    let body = format!("{err}\n");
+                    let _ = write_response(
+                        &mut write_half,
+                        status,
+                        &[("Content-Type", "text/plain"), ("Connection", "close")],
+                        body.as_bytes(),
+                    );
+                }
+                break;
+            }
+        }
+        let _ = write_half.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, Read};
+
+    fn echo_server() -> Server {
+        let handler: Arc<Handler> = Arc::new(|req, resp| {
+            if req.path() == "/echo" {
+                resp.send(200, "application/octet-stream", &req.body)
+            } else {
+                resp.send(404, "text/plain", b"nope\n")
+            }
+        });
+        Server::bind("127.0.0.1:0", ServerConfig::default(), handler).unwrap()
+    }
+
+    fn roundtrip(stream: &mut TcpStream, request: &[u8]) -> (u16, Vec<u8>) {
+        stream.write_all(request).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line.split(' ').nth(1).unwrap().parse().unwrap();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_keep_alive_requests_on_one_connection() {
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        for i in 0..3 {
+            let body = format!("ping-{i}");
+            let req = format!(
+                "POST /echo HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            let (status, echoed) = roundtrip(&mut stream, req.as_bytes());
+            assert_eq!(status, 200);
+            assert_eq!(echoed, body.as_bytes());
+        }
+        assert_eq!(server.total_connections(), 1);
+        assert_eq!(server.shutdown(), 0);
+    }
+
+    #[test]
+    fn malformed_request_gets_400_and_close() {
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let (status, _) = roundtrip(
+            &mut stream,
+            b"BAD REQUEST LINE EXTRA WORDS HTTP/1.1\r\n\r\n",
+        );
+        assert_eq!(status, 400);
+        assert_eq!(server.parse_errors(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_connection() {
+        let handler: Arc<Handler> = Arc::new(|_req, resp| {
+            std::thread::sleep(Duration::from_millis(120));
+            resp.send(200, "text/plain", b"slow\n")
+        });
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default(), handler).unwrap();
+        let addr = server.local_addr();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            roundtrip(&mut stream, b"GET /slow HTTP/1.1\r\n\r\n")
+        });
+        // Let the request land, then shut down while it is in flight.
+        std::thread::sleep(Duration::from_millis(30));
+        let leftover = server.shutdown();
+        assert_eq!(leftover, 0, "drain waited for the in-flight request");
+        let (status, body) = client.join().unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"slow\n");
+    }
+}

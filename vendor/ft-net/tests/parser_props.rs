@@ -1,0 +1,197 @@
+//! Property tests for the ft-net request parser.
+//!
+//! The contract under test: for *any* byte stream — valid, truncated,
+//! mutated, oversized, or pure noise — `Request::parse` returns `Ok` or
+//! a typed `Error`. It never panics, and the structural properties of
+//! accepted requests (body length, header grammar, limits) always hold.
+
+use ft_net::{Error, Limits, Request};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A well-formed request assembled from generated pieces, alongside the
+/// body bytes it should parse back to.
+fn build_valid_request(path_len: usize, n_headers: usize, body: &[u8], chunked: bool) -> Vec<u8> {
+    let path: String = "a".repeat(path_len.max(1));
+    let mut raw = format!("POST /{path} HTTP/1.1\r\n").into_bytes();
+    for i in 0..n_headers {
+        raw.extend_from_slice(format!("X-H{i}: value-{i}\r\n").as_bytes());
+    }
+    if chunked {
+        raw.extend_from_slice(b"Transfer-Encoding: chunked\r\n\r\n");
+        // Split the body into chunks of at most 7 bytes so multi-chunk
+        // framing is exercised even for short bodies.
+        for chunk in body.chunks(7) {
+            raw.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+            raw.extend_from_slice(chunk);
+            raw.extend_from_slice(b"\r\n");
+        }
+        raw.extend_from_slice(b"0\r\n\r\n");
+    } else {
+        raw.extend_from_slice(format!("Content-Length: {}\r\n\r\n", body.len()).as_bytes());
+        raw.extend_from_slice(body);
+    }
+    raw
+}
+
+proptest! {
+    /// Pure noise: any byte soup parses to Ok or Err without panicking.
+    #[test]
+    fn arbitrary_bytes_never_panic(soup in vec(any::<u8>(), 0..512)) {
+        let _ = Request::parse(&soup, &Limits::default());
+    }
+
+    /// Noise that at least starts like a request line exercises the
+    /// header and body paths rather than dying on the first token.
+    #[test]
+    fn request_shaped_noise_never_panics(tail in vec(any::<u8>(), 0..256)) {
+        let mut raw = b"POST /x HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice(&tail);
+        let _ = Request::parse(&raw, &Limits::default());
+    }
+
+    /// Well-formed requests (fixed-length and chunked) parse back to
+    /// exactly the body they framed.
+    #[test]
+    fn valid_requests_roundtrip(
+        path_len in 1usize..40,
+        n_headers in 0usize..8,
+        body in vec(any::<u8>(), 0..200),
+        chunked in any::<bool>(),
+    ) {
+        let raw = build_valid_request(path_len, n_headers, &body, chunked);
+        let req = Request::parse(&raw, &Limits::default()).unwrap().unwrap();
+        prop_assert_eq!(req.method.as_str(), "POST");
+        prop_assert_eq!(req.body, body);
+        prop_assert_eq!(
+            req.headers.iter().filter(|(n, _)| n.starts_with("x-h")).count(),
+            n_headers
+        );
+    }
+
+    /// Truncating a valid request at any byte boundary is either a clean
+    /// close (cut before the first byte), a complete parse (cut after the
+    /// full request), or a typed error — never a panic, and never a
+    /// wrong body.
+    #[test]
+    fn truncation_never_panics(
+        body in vec(any::<u8>(), 0..120),
+        chunked in any::<bool>(),
+        cut_frac in 0u32..=1000,
+    ) {
+        let raw = build_valid_request(3, 2, &body, chunked);
+        let cut = (raw.len() as u64 * u64::from(cut_frac) / 1000) as usize;
+        match Request::parse(&raw[..cut], &Limits::default()) {
+            Ok(Some(req)) => prop_assert_eq!(req.body, body),
+            Ok(None) => prop_assert_eq!(cut, 0, "clean close only at zero bytes"),
+            Err(_) => {}
+        }
+    }
+
+    /// Flipping any single byte of a valid request never panics, and if
+    /// the mutant still parses, its body length is bounded by what the
+    /// stream could possibly carry.
+    #[test]
+    fn single_byte_mutation_never_panics(
+        body in vec(any::<u8>(), 1..80),
+        chunked in any::<bool>(),
+        pos_frac in 0u32..1000,
+        flip in 1u8..=255,
+    ) {
+        let mut raw = build_valid_request(3, 2, &body, chunked);
+        let pos = (raw.len() as u64 * u64::from(pos_frac) / 1000) as usize;
+        raw[pos] ^= flip;
+        if let Ok(Some(req)) = Request::parse(&raw, &Limits::default()) {
+            prop_assert!(req.body.len() <= raw.len());
+        }
+    }
+
+    /// Oversized inputs always trip the matching limit error, not an
+    /// allocation blowup: the parser refuses before buffering the
+    /// oversized body.
+    #[test]
+    fn oversized_bodies_are_rejected_up_front(excess in 1usize..10_000) {
+        let limits = Limits { max_body: 64, ..Limits::default() };
+        let declared = 64 + excess;
+        // Declare an oversized body but don't send it — rejection must
+        // come from the declaration alone.
+        let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n");
+        prop_assert_eq!(
+            Request::parse(raw.as_bytes(), &limits).unwrap_err(),
+            Error::BodyTooLarge
+        );
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n{declared:x}\r\n"
+        );
+        prop_assert_eq!(
+            Request::parse(raw.as_bytes(), &limits).unwrap_err(),
+            Error::BodyTooLarge
+        );
+    }
+
+    /// Header floods stop at the header-count limit with a typed error.
+    #[test]
+    fn header_floods_are_capped(n_extra in 1usize..64) {
+        let limits = Limits { max_headers: 8, ..Limits::default() };
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        for i in 0..(8 + n_extra) {
+            raw.extend_from_slice(format!("X-Flood-{i}: {i}\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        prop_assert_eq!(
+            Request::parse(&raw, &limits).unwrap_err(),
+            Error::TooLarge("header count")
+        );
+    }
+
+    /// Corrupting chunk framing (size line, separators, terminator)
+    /// never panics and never yields a body longer than the stream.
+    #[test]
+    fn chunk_framing_corruption_never_panics(
+        body in vec(any::<u8>(), 1..100),
+        garbage in vec(any::<u8>(), 1..8),
+        pos_frac in 0u32..1000,
+    ) {
+        let raw = build_valid_request(3, 0, &body, true);
+        // Splice garbage into the chunked section (after the blank line
+        // ending the headers) rather than flipping one byte, to hit
+        // size-line and CRLF framing errors specifically.
+        let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4).unwrap_or(0);
+        let span = raw.len() - head_end;
+        let pos = head_end + (span as u64 * u64::from(pos_frac) / 1000) as usize;
+        let mut mutated = raw[..pos].to_vec();
+        mutated.extend_from_slice(&garbage);
+        mutated.extend_from_slice(&raw[pos..]);
+        if let Ok(Some(req)) = Request::parse(&mutated, &Limits::default()) {
+            prop_assert!(req.body.len() <= mutated.len());
+        }
+    }
+
+    /// Random short ASCII fragments as request lines: the parser accepts
+    /// only strings matching the strict `METHOD SP TARGET SP HTTP/1.x`
+    /// shape.
+    #[test]
+    fn request_line_grammar_is_strict(words in vec(vec(0x21u8..0x7f, 0..6), 0..5)) {
+        let line: Vec<u8> = words
+            .iter()
+            .map(|w| String::from_utf8_lossy(w).into_owned())
+            .collect::<Vec<_>>()
+            .join(" ")
+            .into_bytes();
+        let mut raw = line.clone();
+        raw.extend_from_slice(b"\r\n\r\n");
+        match Request::parse(&raw, &Limits::default()) {
+            Ok(Some(req)) => {
+                // Anything accepted really had the three-part shape.
+                let text = String::from_utf8(line).unwrap();
+                let parts: Vec<&str> = text.split(' ').collect();
+                prop_assert_eq!(parts.len(), 3);
+                prop_assert_eq!(parts[0], req.method.as_str());
+                prop_assert_eq!(parts[1], req.target.as_str());
+                prop_assert!(parts[2] == "HTTP/1.1" || parts[2] == "HTTP/1.0");
+            }
+            Ok(None) => prop_assert!(raw.starts_with(b"\r\n")),
+            Err(_) => {}
+        }
+    }
+}
