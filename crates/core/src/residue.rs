@@ -386,6 +386,40 @@ mod tests {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
+        /// The documented blind spot, constructively: any corruption whose
+        /// delta is `c · 2^{64i} · (2^128 − 1)` preserves BOTH residues
+        /// exactly, so [`verify_product`] accepts the corrupted product.
+        /// This is what the service's dual-algorithm verification rung
+        /// exists to catch — the residue check provably cannot.
+        #[test]
+        fn residue_evading_corruptions_pass_the_residue_check(
+            seed in any::<u64>(),
+            c in 1u64..=u64::MAX,
+            shift in 0usize..6,
+            bits in 64u64..2_000,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = BigInt::random_signed_bits(&mut rng, bits);
+            let b = BigInt::random_signed_bits(&mut rng, bits);
+            let product = a.mul_schoolbook(&b);
+            // c · 2^{64·shift} · (2^128 − 1) = (c << 64(shift+2)) − (c << 64·shift)
+            let mut hi = vec![0u64; shift + 2];
+            hi.push(c);
+            let mut lo = vec![0u64; shift];
+            lo.push(c);
+            let delta = &BigInt::from_sign_limbs(Sign::Positive, hi)
+                - &BigInt::from_sign_limbs(Sign::Positive, lo);
+            let corrupt = &product + &delta;
+            prop_assert!(corrupt != product, "delta must be nonzero");
+            prop_assert_eq!(residue_pair(&corrupt), residue_pair(&product));
+            prop_assert!(
+                verify_product(&a, &b, &corrupt),
+                "a residue-evading corruption should pass the residue check"
+            );
+            // ...while remaining an honest-to-goodness wrong answer.
+            prop_assert!(corrupt != a.mul_schoolbook(&b));
+        }
+
         /// Residues of boundary-forced operands agree with `mod_floor`,
         /// their true products verify, and single-limb corruptions of
         /// those products are still always caught.

@@ -42,6 +42,17 @@ fn gauge(out: &mut String, name: &str, help: &str, value: u64) {
     let _ = writeln!(out, "{name} {value}");
 }
 
+/// One sample per verification rung of an already-headed family.
+fn rung_rows(out: &mut String, name: &str, residue: u64, dual: u64, recompute: u64) {
+    for (rung, value) in [
+        ("residue", residue),
+        ("dual", dual),
+        ("recompute", recompute),
+    ] {
+        let _ = writeln!(out, "{name}{{rung=\"{rung}\"}} {value}");
+    }
+}
+
 /// Render one scrape from the three snapshots.
 #[must_use]
 #[allow(clippy::too_many_lines)]
@@ -224,6 +235,52 @@ pub fn render(service: &MetricsSnapshot, http: &HttpSnapshot, net: &NetStats) ->
         "Spot-checks that caught an inconsistent product.",
         service.verification_failures,
     );
+    let v = &service.verify;
+    header(
+        &mut out,
+        "ftsvc_verify_checks_total",
+        "Verification-ladder checks executed, by rung.",
+        "counter",
+    );
+    rung_rows(
+        &mut out,
+        "ftsvc_verify_checks_total",
+        v.residue_checks,
+        v.dual_checks,
+        v.recompute_checks,
+    );
+    header(
+        &mut out,
+        "ftsvc_verify_failures_total",
+        "Verification-ladder checks that flagged a product, by rung.",
+        "counter",
+    );
+    rung_rows(
+        &mut out,
+        "ftsvc_verify_failures_total",
+        v.residue_failures,
+        v.dual_failures,
+        v.recompute_failures,
+    );
+    header(
+        &mut out,
+        "ftsvc_verify_cost_us_total",
+        "Microseconds spent in each verification rung.",
+        "counter",
+    );
+    rung_rows(
+        &mut out,
+        "ftsvc_verify_cost_us_total",
+        v.residue_cost_us,
+        v.dual_cost_us,
+        v.recompute_cost_us,
+    );
+    counter(
+        &mut out,
+        "ftsvc_verify_escalations_total",
+        "Dual-check disagreements escalated to a full recompute.",
+        v.escalations,
+    );
     counter(
         &mut out,
         "ft_breaker_opens_total",
@@ -399,6 +456,11 @@ mod tests {
         assert!(text.contains("ft_request_latency_us_bucket{le=\"+Inf\"} 0"));
         assert!(text.contains("ft_request_latency_quantile_us{quantile=\"0.999\"} 0"));
         assert!(text.contains("ft_distributed_detect_rounds_total 0"));
+        assert!(text.contains("ftsvc_verify_checks_total{rung=\"residue\"} 0"));
+        assert!(text.contains("ftsvc_verify_checks_total{rung=\"dual\"} 0"));
+        assert!(text.contains("ftsvc_verify_failures_total{rung=\"recompute\"} 0"));
+        assert!(text.contains("ftsvc_verify_cost_us_total{rung=\"dual\"} 0"));
+        assert!(text.contains("ftsvc_verify_escalations_total 0"));
         assert!(text.contains("http_requests_total{route=\"mul\",code=\"200\"} 1"));
         assert!(text.contains("http_request_duration_us_count{route=\"mul\"} 1"));
         assert!(text.contains("http_connections_total 3"));

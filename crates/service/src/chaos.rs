@@ -9,7 +9,7 @@
 //! |---|---|---|
 //! | `Panic` | hard fault (fail-stop processor) | the kernel panics mid-request |
 //! | `Straggle` | delay fault (slow processor) | the kernel sleeps before computing |
-//! | `Corrupt` | soft fault (silent miscalculation) | one product limb is bit-flipped |
+//! | `Corrupt` | soft fault (silent miscalculation) | the product is corrupted ([`CorruptionKind`]) |
 //!
 //! Faults are drawn from `(seed, request index, attempt)` only, so a chaos
 //! run is exactly reproducible for a given seed regardless of worker
@@ -17,7 +17,7 @@
 
 use crate::config::ConfigError;
 use crate::json::{obj, Json};
-use ft_bigint::BigInt;
+use ft_bigint::{BigInt, Sign};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -58,6 +58,42 @@ impl FaultKind {
     }
 }
 
+/// How an injected soft fault corrupts a product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CorruptionKind {
+    /// Flip one pseudo-random bit of one limb. Deterministically caught by
+    /// the residue spot-check (the delta `c · 2^{64i}` with `0 < |c| < 2^64`
+    /// is never `≡ 0 (mod 2^64 + 1)`).
+    #[default]
+    SingleLimb,
+    /// Add `c · 2^{64i} · (2^128 − 1)` to the product — a crafted
+    /// multi-limb corruption that preserves BOTH residues mod `2^64 ± 1`
+    /// exactly, so the residue rung provably cannot see it. Only the
+    /// dual-algorithm rung of the verification ladder catches these.
+    ResidueEvading,
+}
+
+impl CorruptionKind {
+    /// Both kinds, in JSON/metrics order.
+    pub const ALL: [CorruptionKind; 2] =
+        [CorruptionKind::SingleLimb, CorruptionKind::ResidueEvading];
+
+    /// Stable name used as the JSON value (`chaos.corruption`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CorruptionKind::SingleLimb => "single_limb",
+            CorruptionKind::ResidueEvading => "residue_evading",
+        }
+    }
+
+    /// Inverse of [`CorruptionKind::name`], for config loading.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<CorruptionKind> {
+        CorruptionKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
 /// A JSON-loadable chaos plan. Rates are per 10 000 requests; a request
 /// draws at most one fault per attempt.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -70,6 +106,10 @@ pub struct ChaosConfig {
     pub straggle_per_10k: u32,
     /// Soft-fault (corruption) rate per 10 000 requests.
     pub corrupt_per_10k: u32,
+    /// Shape of injected corruptions: naive single-limb bit flips (always
+    /// caught by the residue check) or crafted residue-evading multi-limb
+    /// deltas (caught only by the dual-algorithm verification rung).
+    pub corruption: CorruptionKind,
     /// How long an injected straggler sleeps, in milliseconds.
     pub straggle_ms: u64,
     /// Probabilistic faults fire only on attempts below this bound, so a
@@ -90,6 +130,7 @@ impl Default for ChaosConfig {
             panic_per_10k: 0,
             straggle_per_10k: 0,
             corrupt_per_10k: 0,
+            corruption: CorruptionKind::SingleLimb,
             straggle_ms: 2,
             max_faulty_attempts: 1,
             escalate_panics: false,
@@ -151,20 +192,44 @@ impl ChaosConfig {
         Duration::from_millis(self.straggle_ms)
     }
 
-    /// Soft fault: return `product` with one pseudo-random bit flipped
-    /// (a corrupted zero becomes one). The flipped position is drawn from
-    /// the same deterministic stream as [`Self::decide`].
+    /// Soft fault: return a corrupted `product`. The corruption is drawn
+    /// from the same deterministic stream as [`Self::decide`]; its shape is
+    /// set by [`ChaosConfig::corruption`].
     #[must_use]
     pub fn corrupt(&self, product: &BigInt, request: u64, attempt: u32) -> BigInt {
-        let mut limbs = product.limbs().to_vec();
-        if limbs.is_empty() {
-            return BigInt::one();
-        }
         let mut rng = self.rng_for(request, attempt.wrapping_add(0x5bd1));
-        let limb = rng.random_range(0..limbs.len() as u64) as usize;
-        let bit = rng.random_range(0..64);
-        limbs[limb] ^= 1u64 << bit;
-        BigInt::from_sign_limbs(product.sign(), limbs)
+        match self.corruption {
+            CorruptionKind::SingleLimb => {
+                // One pseudo-random bit of one limb (a corrupted zero
+                // becomes one).
+                let mut limbs = product.limbs().to_vec();
+                if limbs.is_empty() {
+                    return BigInt::one();
+                }
+                let limb = rng.random_range(0..limbs.len() as u64) as usize;
+                let bit = rng.random_range(0..64);
+                limbs[limb] ^= 1u64 << bit;
+                BigInt::from_sign_limbs(product.sign(), limbs)
+            }
+            CorruptionKind::ResidueEvading => {
+                // Add c · 2^{64i} · (2^128 − 1) = (c << 64(i+2)) − (c << 64i)
+                // with c ≠ 0: nonzero, multi-limb, and ≡ 0 under both word
+                // moduli, so residue_pair(corrupt) == residue_pair(product).
+                let i = if product.word_len() == 0 {
+                    0
+                } else {
+                    rng.random_range(0..product.word_len() as u64) as usize
+                };
+                let c = 1 + rng.random_range(0..u64::MAX);
+                let mut hi = vec![0u64; i + 2];
+                hi.push(c);
+                let mut lo = vec![0u64; i];
+                lo.push(c);
+                let delta = &BigInt::from_sign_limbs(Sign::Positive, hi)
+                    - &BigInt::from_sign_limbs(Sign::Positive, lo);
+                product + &delta
+            }
+        }
     }
 
     /// Read a chaos plan from a parsed JSON object; absent fields keep
@@ -184,6 +249,19 @@ impl ChaosConfig {
                 u32::try_from(v)
                     .map_err(|_| ConfigError::Invalid(format!("chaos.{key} out of range")))
             })
+        };
+        let corruption = match json.get("corruption") {
+            None => d.corruption,
+            Some(Json::Str(name)) => CorruptionKind::from_name(name).ok_or_else(|| {
+                ConfigError::Invalid(
+                    "chaos.corruption must be \"single_limb\" or \"residue_evading\"".to_string(),
+                )
+            })?,
+            Some(_) => {
+                return Err(ConfigError::Invalid(
+                    "chaos.corruption must be a string".to_string(),
+                ))
+            }
         };
         let escalate_panics = match json.get("escalate_panics") {
             None => d.escalate_panics,
@@ -217,6 +295,7 @@ impl ChaosConfig {
             panic_per_10k: get_u32("panic_per_10k", d.panic_per_10k)?,
             straggle_per_10k: get_u32("straggle_per_10k", d.straggle_per_10k)?,
             corrupt_per_10k: get_u32("corrupt_per_10k", d.corrupt_per_10k)?,
+            corruption,
             straggle_ms: get_u64("straggle_ms", d.straggle_ms)?,
             max_faulty_attempts: get_u32("max_faulty_attempts", d.max_faulty_attempts)?,
             escalate_panics,
@@ -242,6 +321,7 @@ impl ChaosConfig {
                 "corrupt_per_10k",
                 Json::Num(i128::from(self.corrupt_per_10k)),
             ),
+            ("corruption", Json::Str(self.corruption.name().to_string())),
             ("straggle_ms", Json::Num(i128::from(self.straggle_ms))),
             (
                 "max_faulty_attempts",
@@ -362,12 +442,42 @@ mod tests {
     }
 
     #[test]
+    fn residue_evading_corruption_changes_value_but_preserves_residues() {
+        let chaos = ChaosConfig {
+            corruption: CorruptionKind::ResidueEvading,
+            ..active_config()
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        for request in 0..50 {
+            let x = BigInt::random_signed_bits(&mut rng, 1 + request * 29);
+            let bad = chaos.corrupt(&x, request, 0);
+            assert_ne!(bad, x, "request {request}");
+            assert_eq!(bad, chaos.corrupt(&x, request, 0), "deterministic");
+            assert_eq!(
+                ft_toom_core::residue::residue_pair(&bad),
+                ft_toom_core::residue::residue_pair(&x),
+                "request {request}: residues must be preserved"
+            );
+        }
+        // The zero product is corrupted too (delta is never zero), and the
+        // corruption still evades both residues.
+        let bad_zero = chaos.corrupt(&BigInt::zero(), 3, 0);
+        assert!(!bad_zero.is_zero());
+        assert_eq!(
+            ft_toom_core::residue::residue_pair(&bad_zero),
+            (0, 0),
+            "zero's residues preserved"
+        );
+    }
+
+    #[test]
     fn json_round_trip() {
         let cfg = ChaosConfig {
             seed: 42,
             panic_per_10k: 100,
             straggle_per_10k: 200,
             corrupt_per_10k: 300,
+            corruption: CorruptionKind::ResidueEvading,
             straggle_ms: 5,
             max_faulty_attempts: 2,
             escalate_panics: true,
@@ -386,5 +496,9 @@ mod tests {
         assert!(ChaosConfig::from_json(&Json::parse(bad_kind).unwrap()).is_err());
         let bad_bool = r#"{"escalate_panics": 3}"#;
         assert!(ChaosConfig::from_json(&Json::parse(bad_bool).unwrap()).is_err());
+        let bad_corruption = r#"{"corruption": "cosmic_ray"}"#;
+        assert!(ChaosConfig::from_json(&Json::parse(bad_corruption).unwrap()).is_err());
+        let bad_corruption_type = r#"{"corruption": 7}"#;
+        assert!(ChaosConfig::from_json(&Json::parse(bad_corruption_type).unwrap()).is_err());
     }
 }

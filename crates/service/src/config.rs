@@ -8,6 +8,7 @@
 use crate::chaos::ChaosConfig;
 use crate::json::{obj, Json, JsonError};
 use crate::supervisor::{BreakerPolicy, RetryPolicy};
+use crate::verify::VerifyPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Size thresholds steering kernel auto-selection, in operand bits
@@ -371,6 +372,10 @@ pub struct ServiceConfig {
     /// Residue-spot-check every product (`ft_toom_core::residue`); a
     /// mismatch counts as a soft fault and the request is retried.
     pub verify_residues: bool,
+    /// Dual-algorithm verification rung: sampled re-computation with a
+    /// structurally distinct algorithm, escalating mismatches to a full
+    /// recompute (see [`crate::verify`]).
+    pub verify: VerifyPolicy,
     /// Per-request retry/backoff policy for supervised failures.
     pub retry: RetryPolicy,
     /// Per-kernel circuit-breaker policy.
@@ -397,6 +402,7 @@ impl Default for ServiceConfig {
             plan_cache_capacity: 8,
             kernel_policy: KernelPolicy::default(),
             verify_residues: true,
+            verify: VerifyPolicy::default(),
             retry: RetryPolicy::default(),
             breaker: BreakerPolicy::default(),
             chaos: None,
@@ -427,7 +433,7 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
-fn field_u64(json: &Json, key: &str, default: u64) -> Result<u64, ConfigError> {
+pub(crate) fn field_u64(json: &Json, key: &str, default: u64) -> Result<u64, ConfigError> {
     match json.get(key) {
         None => Ok(default),
         Some(v) => v
@@ -436,13 +442,13 @@ fn field_u64(json: &Json, key: &str, default: u64) -> Result<u64, ConfigError> {
     }
 }
 
-fn field_u32(json: &Json, key: &str, default: u32) -> Result<u32, ConfigError> {
+pub(crate) fn field_u32(json: &Json, key: &str, default: u32) -> Result<u32, ConfigError> {
     let wide = field_u64(json, key, u64::from(default))?;
     u32::try_from(wide)
         .map_err(|_| ConfigError::Invalid(format!("{key} must fit in an unsigned 32-bit integer")))
 }
 
-fn field_usize(json: &Json, key: &str, default: usize) -> Result<usize, ConfigError> {
+pub(crate) fn field_usize(json: &Json, key: &str, default: usize) -> Result<usize, ConfigError> {
     match json.get(key) {
         None => Ok(default),
         Some(v) => v
@@ -530,6 +536,10 @@ impl ServiceConfig {
                 ConfigError::Invalid("verify_residues must be a boolean".to_string())
             })?,
         };
+        let verify = match json.get("verify") {
+            None => d.verify.clone(),
+            Some(v) => VerifyPolicy::from_json(v)?,
+        };
         let retry = match json.get("retry") {
             None => d.retry.clone(),
             Some(v) => RetryPolicy::from_json(v)?,
@@ -562,6 +572,7 @@ impl ServiceConfig {
             plan_cache_capacity: field_usize(&json, "plan_cache_capacity", d.plan_cache_capacity)?,
             kernel_policy,
             verify_residues,
+            verify,
             retry,
             breaker,
             chaos,
@@ -606,6 +617,7 @@ impl ServiceConfig {
             ),
             ("kernel_policy", self.kernel_policy.to_json_value()),
             ("verify_residues", Json::Bool(self.verify_residues)),
+            ("verify", self.verify.to_json_value()),
             ("retry", self.retry.to_json_value()),
             ("breaker", self.breaker.to_json_value()),
             (

@@ -20,12 +20,14 @@ pub mod plan_cache;
 pub mod service;
 pub mod supervisor;
 pub(crate) mod tuner;
+pub mod verify;
 
-pub use chaos::{install_quiet_panic_hook, ChaosConfig, FaultKind};
+pub use chaos::{install_quiet_panic_hook, ChaosConfig, CorruptionKind, FaultKind};
 pub use config::{BatchingConfig, DistributedConfig, KernelPolicy, ServiceConfig, TunerConfig};
 pub use distributed::DistributedBackend;
 pub use error::{MulError, SubmitError};
 pub use kernel::Kernel;
-pub use metrics::{DistributedSnapshot, MetricsSnapshot};
+pub use metrics::{DistributedSnapshot, MetricsSnapshot, VerifySnapshot};
 pub use service::{BatchHandle, BatchResults, MulService, ResponseHandle};
 pub use supervisor::{BreakerPolicy, RetryPolicy};
+pub use verify::VerifyPolicy;

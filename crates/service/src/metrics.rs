@@ -81,6 +81,15 @@ pub(crate) struct Metrics {
     worker_faults: AtomicU64,
     residue_checks: AtomicU64,
     verification_failures: AtomicU64,
+    verify_residue_failures: AtomicU64,
+    verify_residue_cost_us: AtomicU64,
+    verify_dual_checks: AtomicU64,
+    verify_dual_failures: AtomicU64,
+    verify_dual_cost_us: AtomicU64,
+    verify_recompute_checks: AtomicU64,
+    verify_recompute_failures: AtomicU64,
+    verify_recompute_cost_us: AtomicU64,
+    verify_escalations: AtomicU64,
     breaker_opens: AtomicU64,
     breaker_closes: AtomicU64,
     injected_faults: [AtomicU64; 3],
@@ -162,12 +171,42 @@ impl Metrics {
         self.worker_faults.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_residue_check(&self) {
+    /// Rung 1 of the verification ladder: one residue spot-check took
+    /// `us` µs; `ok` is whether the product passed. A failure also counts
+    /// toward the legacy `verification_failures` total.
+    pub(crate) fn record_residue_verify(&self, us: u64, ok: bool) {
         self.residue_checks.fetch_add(1, Ordering::Relaxed);
+        saturating_fetch_add(&self.verify_residue_cost_us, us);
+        if !ok {
+            self.verify_residue_failures.fetch_add(1, Ordering::Relaxed);
+            self.verification_failures.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
-    pub(crate) fn record_verification_failure(&self) {
-        self.verification_failures.fetch_add(1, Ordering::Relaxed);
+    /// Rung 2: one sampled dual-algorithm recomputation took `us` µs;
+    /// `mismatch` is whether the two algorithms disagreed. A disagreement
+    /// escalates to rung 3 and is counted as an escalation here.
+    pub(crate) fn record_dual_check(&self, us: u64, mismatch: bool) {
+        self.verify_dual_checks.fetch_add(1, Ordering::Relaxed);
+        saturating_fetch_add(&self.verify_dual_cost_us, us);
+        if mismatch {
+            self.verify_dual_failures.fetch_add(1, Ordering::Relaxed);
+            self.verify_escalations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Rung 3: one full clean recompute (mismatch localization) took `us`
+    /// µs; `original_corrupt` is whether it confirmed the served-path
+    /// product was the corrupt one (that also counts toward the legacy
+    /// `verification_failures` total — a caught soft fault).
+    pub(crate) fn record_recompute(&self, us: u64, original_corrupt: bool) {
+        self.verify_recompute_checks.fetch_add(1, Ordering::Relaxed);
+        saturating_fetch_add(&self.verify_recompute_cost_us, us);
+        if original_corrupt {
+            self.verify_recompute_failures
+                .fetch_add(1, Ordering::Relaxed);
+            self.verification_failures.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     pub(crate) fn record_breaker_open(&self) {
@@ -277,6 +316,18 @@ impl Metrics {
             worker_faults: self.worker_faults.load(Ordering::Relaxed),
             residue_checks: self.residue_checks.load(Ordering::Relaxed),
             verification_failures: self.verification_failures.load(Ordering::Relaxed),
+            verify: VerifySnapshot {
+                residue_checks: self.residue_checks.load(Ordering::Relaxed),
+                residue_failures: self.verify_residue_failures.load(Ordering::Relaxed),
+                residue_cost_us: self.verify_residue_cost_us.load(Ordering::Relaxed),
+                dual_checks: self.verify_dual_checks.load(Ordering::Relaxed),
+                dual_failures: self.verify_dual_failures.load(Ordering::Relaxed),
+                dual_cost_us: self.verify_dual_cost_us.load(Ordering::Relaxed),
+                recompute_checks: self.verify_recompute_checks.load(Ordering::Relaxed),
+                recompute_failures: self.verify_recompute_failures.load(Ordering::Relaxed),
+                recompute_cost_us: self.verify_recompute_cost_us.load(Ordering::Relaxed),
+                escalations: self.verify_escalations.load(Ordering::Relaxed),
+            },
             breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
             breaker_closes: self.breaker_closes.load(Ordering::Relaxed),
             injected_faults: FaultKind::ALL.map(|k| {
@@ -381,8 +432,12 @@ pub struct MetricsSnapshot {
     pub worker_faults: u64,
     /// Products spot-checked by the residue verifier.
     pub residue_checks: u64,
-    /// Spot-checks that caught an inconsistent product (soft fault).
+    /// Caught soft faults across the whole verification ladder: residue
+    /// mismatches plus recompute-confirmed dual-check disagreements.
     pub verification_failures: u64,
+    /// Per-rung counters and costs of the verification ladder
+    /// (`residue → dual-algorithm → recompute`).
+    pub verify: VerifySnapshot,
     /// Circuit-breaker transitions into the open state.
     pub breaker_opens: u64,
     /// Circuit-breaker transitions back to closed (successful probe).
@@ -393,6 +448,37 @@ pub struct MetricsSnapshot {
     /// Robustness counters of the distributed backend (the simulated
     /// coded machine with heartbeat failure detection).
     pub distributed: DistributedSnapshot,
+}
+
+/// Per-rung counters of the verification ladder (see `crate::verify`):
+/// how often each rung ran, what it caught, and what it cost. Rung
+/// semantics: `residue` is the `O(n)` spot-check on every product,
+/// `dual` the sampled structurally-distinct recomputation, `recompute`
+/// the full clean re-execution that localizes a dual-check disagreement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct VerifySnapshot {
+    /// Residue spot-checks performed (mirrors the top-level counter).
+    pub residue_checks: u64,
+    /// Residue mismatches (caught soft faults; the element was retried).
+    pub residue_failures: u64,
+    /// Total µs spent in residue checks (saturating).
+    pub residue_cost_us: u64,
+    /// Sampled dual-algorithm checks performed.
+    pub dual_checks: u64,
+    /// Dual checks where the two algorithms disagreed.
+    pub dual_failures: u64,
+    /// Total µs spent in dual-algorithm recomputations (saturating).
+    pub dual_cost_us: u64,
+    /// Full recomputes triggered by dual-check disagreements.
+    pub recompute_checks: u64,
+    /// Recomputes that confirmed the served-path product was corrupt
+    /// (2-of-3 vote against the original).
+    pub recompute_failures: u64,
+    /// Total µs spent in localization recomputes (saturating).
+    pub recompute_cost_us: u64,
+    /// Ladder escalations: dual-check disagreements promoted to a full
+    /// recompute.
+    pub escalations: u64,
 }
 
 /// Counters of the distributed backend: runs on the simulated coded
@@ -600,6 +686,51 @@ impl MetricsSnapshot {
                 ]),
             ),
             (
+                "verify",
+                obj([
+                    (
+                        "residue_checks",
+                        Json::Num(i128::from(self.verify.residue_checks)),
+                    ),
+                    (
+                        "residue_failures",
+                        Json::Num(i128::from(self.verify.residue_failures)),
+                    ),
+                    (
+                        "residue_cost_us",
+                        Json::Num(i128::from(self.verify.residue_cost_us)),
+                    ),
+                    (
+                        "dual_checks",
+                        Json::Num(i128::from(self.verify.dual_checks)),
+                    ),
+                    (
+                        "dual_failures",
+                        Json::Num(i128::from(self.verify.dual_failures)),
+                    ),
+                    (
+                        "dual_cost_us",
+                        Json::Num(i128::from(self.verify.dual_cost_us)),
+                    ),
+                    (
+                        "recompute_checks",
+                        Json::Num(i128::from(self.verify.recompute_checks)),
+                    ),
+                    (
+                        "recompute_failures",
+                        Json::Num(i128::from(self.verify.recompute_failures)),
+                    ),
+                    (
+                        "recompute_cost_us",
+                        Json::Num(i128::from(self.verify.recompute_cost_us)),
+                    ),
+                    (
+                        "escalations",
+                        Json::Num(i128::from(self.verify.escalations)),
+                    ),
+                ]),
+            ),
+            (
                 "distributed",
                 obj([
                     ("runs", Json::Num(i128::from(self.distributed.runs))),
@@ -658,8 +789,12 @@ mod tests {
         m.record_retry();
         m.record_fallback();
         m.record_worker_fault();
-        m.record_residue_check();
-        m.record_verification_failure();
+        m.record_residue_verify(3, true);
+        m.record_residue_verify(2, false);
+        m.record_dual_check(40, false);
+        m.record_dual_check(55, true);
+        m.record_recompute(200, true);
+        m.record_recompute(100, false);
         m.record_breaker_open();
         m.record_breaker_close();
         m.record_injected(FaultKind::Corrupt);
@@ -684,8 +819,24 @@ mod tests {
         assert_eq!(s.retries, 2);
         assert_eq!(s.fallbacks, 1);
         assert_eq!(s.worker_faults, 1);
-        assert_eq!(s.residue_checks, 1);
-        assert_eq!(s.verification_failures, 1);
+        assert_eq!(s.residue_checks, 2);
+        // Legacy total: 1 residue failure + 1 recompute-confirmed corruption.
+        assert_eq!(s.verification_failures, 2);
+        assert_eq!(
+            s.verify,
+            VerifySnapshot {
+                residue_checks: 2,
+                residue_failures: 1,
+                residue_cost_us: 5,
+                dual_checks: 2,
+                dual_failures: 1,
+                dual_cost_us: 95,
+                recompute_checks: 2,
+                recompute_failures: 1,
+                recompute_cost_us: 300,
+                escalations: 1,
+            }
+        );
         assert_eq!(s.breaker_opens, 1);
         assert_eq!(s.breaker_closes, 1);
         assert_eq!(
@@ -858,6 +1009,21 @@ mod tests {
         assert!(matches!(doc.get("size_classes"), Some(crate::json::Json::Arr(v)) if v.len() == 1));
         let robustness = doc.get("robustness").unwrap();
         assert_eq!(robustness.get("retries").unwrap().as_u64(), Some(0));
+        let verify = doc.get("verify").unwrap();
+        for key in [
+            "residue_checks",
+            "residue_failures",
+            "residue_cost_us",
+            "dual_checks",
+            "dual_failures",
+            "dual_cost_us",
+            "recompute_checks",
+            "recompute_failures",
+            "recompute_cost_us",
+            "escalations",
+        ] {
+            assert_eq!(verify.get(key).unwrap().as_u64(), Some(0), "{key}");
+        }
         let distributed = doc.get("distributed").unwrap();
         assert_eq!(distributed.get("runs").unwrap().as_u64(), Some(2));
         assert_eq!(distributed.get("recoveries").unwrap().as_u64(), Some(1));

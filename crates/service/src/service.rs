@@ -659,6 +659,7 @@ impl MulService {
                 config.retry.clone(),
                 config.breaker.clone(),
                 config.verify_residues,
+                config.verify.clone(),
                 config.chaos.clone(),
                 config
                     .distributed

@@ -5,11 +5,13 @@
 //! Failure handling mirrors the paper's two fault classes: a panicking or
 //! straggling kernel is a *hard/delay* fault (caught by `catch_unwind` or
 //! absorbed by retry), a corrupted product is a *soft* fault (caught by
-//! the `ft-core` residue spot-check). Either way the request is retried —
-//! first on the same kernel with backoff, then down the degradation
-//! ladder parallel Toom → sequential Toom → schoolbook. A kernel that
-//! keeps failing trips its circuit breaker, so later requests skip it
-//! up front instead of paying the failure again.
+//! the verification ladder `residue → dual-algorithm → recompute`; see
+//! [`crate::verify`]). Either way the request is retried — first on the
+//! same kernel with backoff, then down the degradation ladder parallel
+//! Toom → sequential Toom → schoolbook. A kernel that keeps failing trips
+//! its circuit breaker, so later requests skip it up front instead of
+//! paying the failure again; recompute-confirmed corruptions charge the
+//! same breaker, so a kernel that keeps miscalculating trips it too.
 
 use crate::chaos::{ChaosConfig, FaultKind, INJECTED_PANIC_MSG};
 use crate::config::ConfigError;
@@ -19,8 +21,9 @@ use crate::json::{obj, Json};
 use crate::kernel::Kernel;
 use crate::metrics::Metrics;
 use crate::plan_cache::PlanCache;
+use crate::verify::VerifyPolicy;
 use ft_bigint::BigInt;
-use ft_toom_core::{rayon_engine, residue};
+use ft_toom_core::{rayon_engine, residue, seq, ToomPlan};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -199,6 +202,7 @@ pub(crate) struct Supervisor {
     retry: RetryPolicy,
     breaker: BreakerPolicy,
     verify_residues: bool,
+    verify: VerifyPolicy,
     chaos: Option<ChaosConfig>,
     /// When present, [`Kernel::DistributedToom`] attempts run on the
     /// simulated coded machine instead of the local delegate kernel.
@@ -211,11 +215,27 @@ enum AttemptFailure {
     BadProduct,
 }
 
+/// A product that survived the verification ladder.
+enum Verified {
+    /// Passed every rung that ran — serve it as-is.
+    Clean(BigInt),
+    /// The dual-algorithm rung caught a corruption and the recompute rung
+    /// confirmed it (2-of-3 vote against the served-path product); this is
+    /// the recomputed, correct value.
+    Recovered(BigInt),
+}
+
+/// Elapsed µs since `start`, saturating.
+fn elapsed_us(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
 impl Supervisor {
     pub(crate) fn new(
         retry: RetryPolicy,
         breaker: BreakerPolicy,
         verify_residues: bool,
+        verify: VerifyPolicy,
         chaos: Option<ChaosConfig>,
         distributed: Option<DistributedBackend>,
     ) -> Supervisor {
@@ -223,6 +243,7 @@ impl Supervisor {
             retry,
             breaker,
             verify_residues,
+            verify,
             chaos: chaos.filter(ChaosConfig::is_active),
             distributed,
             breakers: [
@@ -271,6 +292,97 @@ impl Supervisor {
         }
     }
 
+    /// The structurally distinct second algorithm of the dual rung: plain
+    /// limb multiplication (schoolbook/Karatsuba) below the small floor,
+    /// Toom-Cook on the disjoint alternate evaluation-point set above it.
+    /// Neither shares evaluation rows, interpolation matrices, or a
+    /// Toom-Graph schedule with the serving kernels' classic plans, so a
+    /// soft error in either pipeline makes the two products disagree.
+    fn dual_multiply(&self, a: &BigInt, b: &BigInt) -> BigInt {
+        let vp = &self.verify;
+        if a.bit_length().min(b.bit_length()) <= vp.dual_small_max_bits {
+            a.mul_auto(b)
+        } else {
+            let plan = ToomPlan::shared_alternate(vp.dual_toom_k);
+            seq::toom_with_plan(a, b, &plan, vp.dual_small_max_bits.max(8))
+        }
+    }
+
+    /// Run a freshly computed product up the verification ladder:
+    ///
+    /// 1. **residue** — the `O(n)` spot-check on every product (when
+    ///    `verify_residues`); a mismatch fails the attempt and the element
+    ///    retries as a soft fault.
+    /// 2. **dual-algorithm** — for sampled requests within the size guard,
+    ///    recompute with [`Self::dual_multiply`] and compare.
+    /// 3. **recompute** — a dual disagreement escalates to a full clean
+    ///    re-execution with the serving kernel, which localizes the
+    ///    corrupt result by 2-of-3 majority. A confirmed corruption is
+    ///    served from the recompute ([`Verified::Recovered`]) and charges
+    ///    the kernel's circuit breaker (when `breaker_on_mismatch`), so
+    ///    repeated offenders trip it; if no two results agree the attempt
+    ///    fails and the element retries.
+    ///
+    /// Chaos only corrupts the served-path product (upstream of this
+    /// call), so rungs 2–3 compute on clean ground truth.
+    #[allow(clippy::too_many_arguments)]
+    fn verify_ladder(
+        &self,
+        a: &BigInt,
+        b: &BigInt,
+        product: BigInt,
+        request: u64,
+        kernel: Kernel,
+        policy: &crate::config::KernelPolicy,
+        plans: &PlanCache,
+        metrics: &Metrics,
+    ) -> Result<Verified, ()> {
+        if self.verify_residues {
+            let start = Instant::now();
+            let ok = residue::verify_product(a, b, &product);
+            metrics.record_residue_verify(elapsed_us(start), ok);
+            if !ok {
+                return Err(());
+            }
+        }
+        let vp = &self.verify;
+        if !vp.is_active()
+            || a.bit_length().min(b.bit_length()) > vp.dual_max_bits
+            || !vp.samples(request)
+        {
+            return Ok(Verified::Clean(product));
+        }
+        let start = Instant::now();
+        let dual = self.dual_multiply(a, b);
+        let mismatch = dual != product;
+        metrics.record_dual_check(elapsed_us(start), mismatch);
+        if !mismatch {
+            return Ok(Verified::Clean(product));
+        }
+        let start = Instant::now();
+        // Full clean re-execution — always on the local kernel ladder
+        // (even for distributed attempts), with no chaos draw: the
+        // recompute must be ground truth to arbitrate the disagreement.
+        let recompute = kernel.execute(a, b, policy, plans);
+        let original_corrupt = recompute != product;
+        metrics.record_recompute(elapsed_us(start), original_corrupt);
+        if !original_corrupt {
+            // The dual computation itself was the corrupt one (2-of-3
+            // majority for the served product) — serve the original.
+            return Ok(Verified::Clean(product));
+        }
+        if recompute == dual {
+            // Confirmed: the served-path product was corrupt. Serve the
+            // agreed value and charge the kernel like any other failure.
+            if vp.breaker_on_mismatch {
+                self.record_failure(kernel, metrics);
+            }
+            return Ok(Verified::Recovered(recompute));
+        }
+        // All three disagree — no majority; fail the attempt and retry.
+        Err(())
+    }
+
     /// Supervised multiplication: returns the verified product and the
     /// kernel that produced it, or [`MulError::WorkerFault`] once the
     /// retry budget *and* the degradation ladder are both exhausted.
@@ -314,10 +426,17 @@ impl Supervisor {
                 metrics.record_fallback();
             }
             match self.attempt(a, b, request, attempt, kernel, policy, plans, metrics) {
-                Ok(product) => {
+                Ok(Verified::Clean(product)) => {
                     if self.breaker_state(kernel).on_success() {
                         metrics.record_breaker_close();
                     }
+                    return Ok((product, kernel));
+                }
+                Ok(Verified::Recovered(product)) => {
+                    // The ladder already charged the kernel's breaker for
+                    // the confirmed corruption; deliberately skip the
+                    // success reset so repeated offenders accumulate
+                    // failures and trip it.
                     return Ok((product, kernel));
                 }
                 // Hard (panic) and soft (bad product) faults take the
@@ -385,12 +504,14 @@ impl Supervisor {
             )
         };
         match self.attempt_batch(pairs, requests, kernel, policy, plans, metrics, lanes) {
-            Ok(products) => {
+            Ok((products, recovered)) => {
                 // Sound elements resolve from the batch; elements whose
-                // residue check failed inside the attempt retry alone.
+                // residue check failed inside the attempt retry alone. A
+                // batch that needed a ladder recovery keeps its breaker
+                // charge (no success reset), like the individual path.
                 if products.iter().any(Option::is_none) {
                     self.record_failure(kernel, metrics);
-                } else if self.breaker_state(kernel).on_success() {
+                } else if !recovered && self.breaker_state(kernel).on_success() {
                     metrics.record_breaker_close();
                 }
                 products
@@ -413,10 +534,12 @@ impl Supervisor {
     }
 
     /// One supervised batch attempt: draw chaos per element (attempt 0),
-    /// run the whole batch under a single `catch_unwind`, and spot-check
-    /// every product. Returns one entry per element — `Some` for a
-    /// verified (or unverified-by-config) product, `None` for one that
-    /// failed its residue check — or `Err(())` when the attempt panicked.
+    /// run the whole batch under a single `catch_unwind`, and run every
+    /// product up the verification ladder. Returns one entry per element —
+    /// `Some` for a verified (or unverified-by-config) product, `None` for
+    /// one the ladder rejected — plus a flag for whether any element was
+    /// served from a ladder recovery; or `Err(())` when the attempt
+    /// panicked.
     /// Injected panics are never escalated here — the dispatcher thread
     /// must survive; the escalation path stays on the per-worker
     /// individual attempts.
@@ -438,7 +561,7 @@ impl Supervisor {
         plans: &PlanCache,
         metrics: &Metrics,
         lanes: usize,
-    ) -> Result<Vec<Option<BigInt>>, ()> {
+    ) -> Result<(Vec<Option<BigInt>>, bool), ()> {
         let faults: Vec<Option<FaultKind>> = requests
             .iter()
             .map(|&request| {
@@ -450,6 +573,7 @@ impl Supervisor {
         for kind in faults.iter().flatten() {
             metrics.record_injected(*kind);
         }
+        let recovered = std::sync::atomic::AtomicBool::new(false);
         panic::catch_unwind(AssertUnwindSafe(|| {
             let chaos = self.chaos.as_ref();
             if faults.iter().flatten().any(|&k| k == FaultKind::Straggle) {
@@ -463,21 +587,31 @@ impl Supervisor {
                     requests[i]
                 );
             }
-            // Corrupt (per the chaos draw) and spot-check one product.
+            // Corrupt (per the chaos draw) and run one product up the
+            // verification ladder.
             let check = |i: usize, mut product: BigInt| -> Option<BigInt> {
                 if let Some(chaos) = chaos {
                     if faults[i] == Some(FaultKind::Corrupt) {
                         product = chaos.corrupt(&product, requests[i], 0);
                     }
                 }
-                if self.verify_residues {
-                    metrics.record_residue_check();
-                    if !residue::verify_product(&pairs[i].0, &pairs[i].1, &product) {
-                        metrics.record_verification_failure();
-                        return None;
+                match self.verify_ladder(
+                    &pairs[i].0,
+                    &pairs[i].1,
+                    product,
+                    requests[i],
+                    kernel,
+                    policy,
+                    plans,
+                    metrics,
+                ) {
+                    Ok(Verified::Clean(product)) => Some(product),
+                    Ok(Verified::Recovered(product)) => {
+                        recovered.store(true, std::sync::atomic::Ordering::Relaxed);
+                        Some(product)
                     }
+                    Err(()) => None,
                 }
-                Some(product)
             };
             if let Some(backend) = self.backend_for(kernel) {
                 // Every element of a promoted batch runs on the coded
@@ -505,11 +639,12 @@ impl Supervisor {
                     .collect()
             }
         }))
+        .map(|products| (products, recovered.into_inner()))
         .map_err(|_| ())
     }
 
     /// One supervised attempt: inject chaos, run the kernel under
-    /// `catch_unwind`, spot-check the product.
+    /// `catch_unwind`, then run the product up the verification ladder.
     #[allow(clippy::too_many_arguments)]
     fn attempt(
         &self,
@@ -521,7 +656,7 @@ impl Supervisor {
         policy: &crate::config::KernelPolicy,
         plans: &PlanCache,
         metrics: &Metrics,
-    ) -> Result<BigInt, AttemptFailure> {
+    ) -> Result<Verified, AttemptFailure> {
         let fault = self
             .chaos
             .as_ref()
@@ -558,16 +693,9 @@ impl Supervisor {
             }
         }));
         match outcome {
-            Ok(product) => {
-                if self.verify_residues {
-                    metrics.record_residue_check();
-                    if !residue::verify_product(a, b, &product) {
-                        metrics.record_verification_failure();
-                        return Err(AttemptFailure::BadProduct);
-                    }
-                }
-                Ok(product)
-            }
+            Ok(product) => self
+                .verify_ladder(a, b, product, request, kernel, policy, plans, metrics)
+                .map_err(|()| AttemptFailure::BadProduct),
             Err(payload) => {
                 let escalate = self.chaos.as_ref().is_some_and(|c| c.escalate_panics)
                     && payload_is_injected(payload.as_ref());
@@ -602,6 +730,22 @@ mod tests {
             RetryPolicy::default(),
             BreakerPolicy::default(),
             verify,
+            VerifyPolicy::default(),
+            chaos,
+            None,
+        )
+    }
+
+    /// A supervisor whose dual rung checks every request.
+    fn supervisor_with_dual(chaos: Option<ChaosConfig>, verify_residues: bool) -> Supervisor {
+        Supervisor::new(
+            RetryPolicy::default(),
+            BreakerPolicy::default(),
+            verify_residues,
+            VerifyPolicy {
+                dual_per_10k: 10_000,
+                ..VerifyPolicy::default()
+            },
             chaos,
             None,
         )
@@ -711,6 +855,7 @@ mod tests {
                 open_ms: 10_000,
             },
             true,
+            VerifyPolicy::default(),
             Some(chaos),
             None,
         );
@@ -769,6 +914,7 @@ mod tests {
             },
             BreakerPolicy::default(),
             true,
+            VerifyPolicy::default(),
             Some(chaos),
             None,
         );
@@ -788,6 +934,251 @@ mod tests {
         // 2 budgeted attempts + forced seq toom + forced schoolbook.
         assert_eq!(err, MulError::WorkerFault { attempts: 4 });
         assert_eq!(metrics.snapshot(0, (0, 0)).worker_faults, 1);
+    }
+
+    #[test]
+    fn residue_evading_corruption_slips_past_residue_only_supervision() {
+        // The blind spot, end to end: with the dual rung off, a crafted
+        // residue-preserving corruption is served as if it were correct.
+        install_quiet_panic_hook();
+        let chaos = ChaosConfig {
+            corruption: crate::chaos::CorruptionKind::ResidueEvading,
+            force: vec![(4, FaultKind::Corrupt)],
+            ..ChaosConfig::default()
+        };
+        let sup = Supervisor::new(
+            RetryPolicy::default(),
+            BreakerPolicy::default(),
+            true,
+            VerifyPolicy {
+                dual_per_10k: 0,
+                ..VerifyPolicy::default()
+            },
+            Some(chaos),
+            None,
+        );
+        let (a, b) = small_operands();
+        let metrics = Metrics::default();
+        let (product, _) = sup
+            .execute(
+                &a,
+                &b,
+                4,
+                Kernel::Schoolbook,
+                &KernelPolicy::default(),
+                &PlanCache::new(2),
+                &metrics,
+            )
+            .unwrap();
+        assert_ne!(product, a.mul_schoolbook(&b), "the corruption was served");
+        let snap = metrics.snapshot(0, (0, 0));
+        assert_eq!(snap.verification_failures, 0, "residue check saw nothing");
+        assert_eq!(snap.verify.residue_checks, 1);
+        assert_eq!(snap.verify.dual_checks, 0);
+    }
+
+    #[test]
+    fn dual_rung_catches_and_recovers_residue_evading_corruption() {
+        install_quiet_panic_hook();
+        let chaos = ChaosConfig {
+            corruption: crate::chaos::CorruptionKind::ResidueEvading,
+            force: vec![(4, FaultKind::Corrupt)],
+            ..ChaosConfig::default()
+        };
+        let sup = supervisor_with_dual(Some(chaos), true);
+        let (a, b) = small_operands();
+        let metrics = Metrics::default();
+        let (product, _) = sup
+            .execute(
+                &a,
+                &b,
+                4,
+                Kernel::Schoolbook,
+                &KernelPolicy::default(),
+                &PlanCache::new(2),
+                &metrics,
+            )
+            .unwrap();
+        assert_eq!(product, a.mul_schoolbook(&b), "recovered the true product");
+        let snap = metrics.snapshot(0, (0, 0));
+        // The corruption passed the residue rung, the dual rung disagreed,
+        // and the recompute confirmed the served path was corrupt — all
+        // without consuming a retry (the element was served in-place).
+        assert_eq!(snap.retries, 0);
+        assert_eq!(snap.verify.residue_failures, 0);
+        assert_eq!(snap.verify.dual_checks, 1);
+        assert_eq!(snap.verify.dual_failures, 1);
+        assert_eq!(snap.verify.escalations, 1);
+        assert_eq!(snap.verify.recompute_checks, 1);
+        assert_eq!(snap.verify.recompute_failures, 1);
+        assert_eq!(snap.verification_failures, 1, "counted as a caught fault");
+    }
+
+    #[test]
+    fn dual_rung_uses_the_alternate_toom_plan_above_the_small_floor() {
+        install_quiet_panic_hook();
+        let chaos = ChaosConfig {
+            corruption: crate::chaos::CorruptionKind::ResidueEvading,
+            force: vec![(2, FaultKind::Corrupt)],
+            ..ChaosConfig::default()
+        };
+        let sup = Supervisor::new(
+            RetryPolicy::default(),
+            BreakerPolicy::default(),
+            true,
+            VerifyPolicy {
+                dual_per_10k: 10_000,
+                dual_small_max_bits: 256, // force the alternate-plan branch
+                ..VerifyPolicy::default()
+            },
+            Some(chaos),
+            None,
+        );
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let a = BigInt::random_signed_bits(&mut rng, 20_000);
+        let b = BigInt::random_signed_bits(&mut rng, 20_000);
+        let metrics = Metrics::default();
+        let (product, _) = sup
+            .execute(
+                &a,
+                &b,
+                2,
+                Kernel::SeqToom,
+                &KernelPolicy::default(),
+                &PlanCache::new(2),
+                &metrics,
+            )
+            .unwrap();
+        assert_eq!(product, a.mul_schoolbook(&b));
+        let snap = metrics.snapshot(0, (0, 0));
+        assert_eq!(snap.verify.dual_failures, 1);
+        assert_eq!(snap.verify.recompute_failures, 1);
+    }
+
+    #[test]
+    fn dual_size_guard_skips_oversized_operands() {
+        let sup = Supervisor::new(
+            RetryPolicy::default(),
+            BreakerPolicy::default(),
+            true,
+            VerifyPolicy {
+                dual_per_10k: 10_000,
+                dual_small_max_bits: 16,
+                dual_max_bits: 16, // both operands exceed this → rung skipped
+                ..VerifyPolicy::default()
+            },
+            None,
+            None,
+        );
+        let (a, b) = small_operands();
+        let metrics = Metrics::default();
+        sup.execute(
+            &a,
+            &b,
+            0,
+            Kernel::Schoolbook,
+            &KernelPolicy::default(),
+            &PlanCache::new(2),
+            &metrics,
+        )
+        .unwrap();
+        assert_eq!(metrics.snapshot(0, (0, 0)).verify.dual_checks, 0);
+    }
+
+    #[test]
+    fn repeated_confirmed_corruptions_trip_the_breaker() {
+        install_quiet_panic_hook();
+        // Every request is corrupted residue-evadingly; dual checks every
+        // one; each confirmed corruption charges the breaker.
+        let chaos = ChaosConfig {
+            seed: 3,
+            corrupt_per_10k: 10_000,
+            corruption: crate::chaos::CorruptionKind::ResidueEvading,
+            ..ChaosConfig::default()
+        };
+        let sup = Supervisor::new(
+            RetryPolicy::default(),
+            BreakerPolicy {
+                failure_threshold: 3,
+                open_ms: 60_000,
+            },
+            true,
+            VerifyPolicy {
+                dual_per_10k: 10_000,
+                ..VerifyPolicy::default()
+            },
+            Some(chaos),
+            None,
+        );
+        let (a, b) = small_operands();
+        let metrics = Metrics::default();
+        for request in 0..3 {
+            let (product, kernel) = sup
+                .execute(
+                    &a,
+                    &b,
+                    request,
+                    Kernel::SeqToom,
+                    &KernelPolicy::default(),
+                    &PlanCache::new(2),
+                    &metrics,
+                )
+                .unwrap();
+            assert_eq!(product, a.mul_schoolbook(&b), "request {request}");
+            assert_eq!(kernel, Kernel::SeqToom);
+        }
+        let snap = metrics.snapshot(0, (0, 0));
+        assert_eq!(snap.verify.recompute_failures, 3);
+        assert_eq!(snap.breaker_opens, 1, "third confirmed corruption trips");
+        // The next request diverts below the open seq-toom breaker.
+        let (_, kernel) = sup
+            .execute(
+                &a,
+                &b,
+                100,
+                Kernel::SeqToom,
+                &KernelPolicy::default(),
+                &PlanCache::new(2),
+                &metrics,
+            )
+            .unwrap();
+        assert_eq!(
+            kernel,
+            Kernel::Schoolbook,
+            "diverted by the tripped breaker"
+        );
+    }
+
+    #[test]
+    fn batch_dual_rung_recovers_residue_evading_elements() {
+        install_quiet_panic_hook();
+        let chaos = ChaosConfig {
+            corruption: crate::chaos::CorruptionKind::ResidueEvading,
+            force: vec![(1, FaultKind::Corrupt), (3, FaultKind::Corrupt)],
+            ..ChaosConfig::default()
+        };
+        let sup = supervisor_with_dual(Some(chaos), true);
+        let (pairs, requests) = batch_pairs(4);
+        let metrics = Metrics::default();
+        let results = sup.execute_batch(
+            &pairs,
+            &requests,
+            Kernel::SeqToom,
+            &KernelPolicy::default(),
+            &PlanCache::new(2),
+            &metrics,
+            1,
+        );
+        for ((a, b), result) in pairs.iter().zip(results) {
+            assert_eq!(result.unwrap().0, a.mul_schoolbook(b));
+        }
+        let snap = metrics.snapshot(0, (0, 0));
+        assert_eq!(snap.verify.dual_checks, 4, "every element dual-checked");
+        assert_eq!(snap.verify.dual_failures, 2);
+        assert_eq!(snap.verify.recompute_failures, 2);
+        assert_eq!(snap.batch_element_retries, 0, "recovered in place");
+        assert_eq!(snap.worker_faults, 0);
     }
 
     fn batch_pairs(n: u64) -> (Vec<(BigInt, BigInt)>, Vec<u64>) {
@@ -904,6 +1295,7 @@ mod tests {
                 open_ms: 60_000,
             },
             true,
+            VerifyPolicy::default(),
             None,
             None,
         );

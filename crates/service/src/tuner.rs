@@ -280,6 +280,7 @@ mod tests {
                 config.retry.clone(),
                 config.breaker.clone(),
                 false,
+                crate::verify::VerifyPolicy::default(),
                 None,
                 None,
             ),

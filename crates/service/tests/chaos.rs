@@ -5,13 +5,18 @@
 //! recoveries.
 //!
 //! The chaos seed defaults to 42 and can be overridden for exploratory
-//! runs: `FT_CHAOS_SEED=7 cargo test -p ft-service --test chaos`.
+//! runs: `FT_CHAOS_SEED=7 cargo test -p ft-service --test chaos`. The
+//! corruption shape is part of the matrix too:
+//! `FT_CHAOS_CORRUPTION=residue_evading` switches the injector to deltas
+//! that are invisible to the residue rung, and the config flips the
+//! dual-algorithm rung to always-on so the run still serves zero corrupt
+//! products (the assertions branch on the mode).
 
 use ft_bigint::BigInt;
 use ft_service::chaos::FaultKind;
 use ft_service::{
-    install_quiet_panic_hook, BreakerPolicy, ChaosConfig, KernelPolicy, MulService, RetryPolicy,
-    ServiceConfig, SubmitError,
+    install_quiet_panic_hook, BreakerPolicy, ChaosConfig, CorruptionKind, KernelPolicy, MulService,
+    RetryPolicy, ServiceConfig, SubmitError, VerifyPolicy,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -36,6 +41,26 @@ fn chaos_seed() -> u64 {
         .unwrap_or(42)
 }
 
+fn chaos_corruption() -> CorruptionKind {
+    match std::env::var("FT_CHAOS_CORRUPTION") {
+        Ok(name) => CorruptionKind::from_name(&name)
+            .unwrap_or_else(|| panic!("unknown FT_CHAOS_CORRUPTION {name:?}")),
+        Err(_) => CorruptionKind::default(),
+    }
+}
+
+/// Residue-evading corruptions demand the dual rung on every product;
+/// single-limb ones are fully caught by the default policy.
+fn verify_policy() -> VerifyPolicy {
+    match chaos_corruption() {
+        CorruptionKind::SingleLimb => VerifyPolicy::default(),
+        CorruptionKind::ResidueEvading => VerifyPolicy {
+            dual_per_10k: 10_000,
+            ..VerifyPolicy::default()
+        },
+    }
+}
+
 /// Thresholds that exercise all three kernels on operand sizes small
 /// enough to grind 500 requests quickly.
 fn mixed_kernel_policy() -> KernelPolicy {
@@ -54,6 +79,7 @@ fn chaos_config(seed: u64) -> ChaosConfig {
         straggle_per_10k: 333,
         corrupt_per_10k: 334,
         straggle_ms: 1,
+        corruption: chaos_corruption(),
         ..ChaosConfig::default()
     }
 }
@@ -66,6 +92,7 @@ fn five_hundred_request_chaos_run_survives() {
         workers: 4,
         kernel_policy: mixed_kernel_policy(),
         verify_residues: true,
+        verify: verify_policy(),
         chaos: Some(chaos_config(seed)),
         retry: RetryPolicy {
             max_retries: 3,
@@ -111,15 +138,32 @@ fn five_hundred_request_chaos_run_survives() {
         metrics.fallbacks > 0,
         "breakers must divert retries to degraded kernels"
     );
-    // The residue check catches *every* injected corruption — no more,
-    // no fewer: honest products never fail verification.
     let corruptions = metrics.injected_faults[FaultKind::Corrupt as usize].1;
     assert!(corruptions > 0, "seed {seed} injected no corruptions");
-    assert_eq!(metrics.verification_failures, corruptions);
-    // Every attempt that produced a product was spot-checked: the 500
-    // served products plus each corrupted one (panicked attempts never
-    // reach the verifier).
-    assert_eq!(metrics.residue_checks, 500 + metrics.verification_failures);
+    match chaos_corruption() {
+        CorruptionKind::SingleLimb => {
+            // The residue check catches *every* injected corruption — no
+            // more, no fewer: honest products never fail verification.
+            assert_eq!(metrics.verification_failures, corruptions);
+            // Every attempt that produced a product was spot-checked: the
+            // 500 served products plus each corrupted one (panicked
+            // attempts never reach the verifier).
+            assert_eq!(metrics.residue_checks, 500 + metrics.verification_failures);
+        }
+        CorruptionKind::ResidueEvading => {
+            // The residue rung is provably blind to these deltas; the
+            // always-on dual rung catches every one, and every escalation
+            // is confirmed against the original (the ladder recovers the
+            // element in place, so corrupt attempts consume no retry and
+            // no second residue check).
+            assert_eq!(metrics.verify.residue_failures, 0);
+            assert_eq!(metrics.verify.dual_failures, corruptions);
+            assert_eq!(metrics.verify.escalations, corruptions);
+            assert_eq!(metrics.verify.recompute_failures, corruptions);
+            assert_eq!(metrics.verification_failures, corruptions);
+            assert_eq!(metrics.residue_checks, 500);
+        }
+    }
 }
 
 /// Async-path analogue of [`submit_with_backoff`].
@@ -150,6 +194,7 @@ fn batched_chaos_run_survives() {
         workers: 2,
         kernel_policy: mixed_kernel_policy(),
         verify_residues: true,
+        verify: verify_policy(),
         chaos: Some(chaos_config(seed)),
         retry: RetryPolicy {
             max_retries: 3,
@@ -213,6 +258,19 @@ fn batched_chaos_run_survives() {
     assert!(metrics.verification_failures <= corruptions);
     // Every served product passed a residue spot-check at least once.
     assert!(metrics.residue_checks >= 300);
+    if chaos_corruption() == CorruptionKind::ResidueEvading {
+        // Evading deltas never trip the residue rung; whatever was caught
+        // was caught by the dual rung and confirmed by the recompute.
+        assert_eq!(metrics.verify.residue_failures, 0);
+        assert_eq!(
+            metrics.verification_failures,
+            metrics.verify.recompute_failures
+        );
+        assert!(
+            metrics.verify.dual_checks >= 300,
+            "every element dual-checked"
+        );
+    }
 }
 
 #[test]
@@ -222,6 +280,7 @@ fn chaos_runs_are_reproducible_for_a_seed() {
         let config = ServiceConfig {
             workers: 2,
             kernel_policy: mixed_kernel_policy(),
+            verify: verify_policy(),
             chaos: Some(chaos_config(seed)),
             breaker: BreakerPolicy {
                 failure_threshold: 1,

@@ -39,17 +39,37 @@ echo "== HTTP load generator smoke (--quick) =="
 # full run (no flags) is the one that rewrites BENCH_http.json.
 cargo run --release -q -p ft-http --bin loadgen -- --quick
 
+echo "== verify-ladder bench smoke (--quick) =="
+# Reduced run of the per-rung cost bench: asserts the dual rung's
+# default-sampling overhead stays under the 10% gate. The full run (no
+# flags) is the one that merges the verify_ladder section into
+# BENCH_service.json.
+cargo run --release -q -p ft-bench --bin verify_ladder -- --quick
+
 echo "== chaos pass (deterministic seed matrix) =="
 # Injected-fault tests must stay reproducible and gating: every fault
 # decision derives from the seed, independent of scheduling. The matrix
-# re-runs the service chaos suite, the machine-level chaos suite, and the
-# distributed-backend e2e under three seeds so a lucky default seed can't
-# hide a recovery bug.
+# re-runs the service chaos suite, the verification-ladder suite, the
+# machine-level chaos suite, and the distributed-backend e2e under three
+# seeds so a lucky default seed can't hide a recovery bug.
 for seed in 42 1337 2024; do
   echo "-- FT_CHAOS_SEED=$seed --"
   FT_CHAOS_SEED=$seed cargo test -p ft-service --test chaos -q
+  FT_CHAOS_SEED=$seed cargo test -p ft-service --test verify_ladder -q
   FT_CHAOS_SEED=$seed cargo test -p ft-service --test distributed -q
   FT_CHAOS_SEED=$seed cargo test -p ft-toom --test machine_chaos -q
+done
+
+echo "== chaos pass (residue-evading corruption) =="
+# The same service chaos suite with the injector switched to deltas that
+# are divisible by 2^128 - 1 — invisible to the residue rung by
+# construction. The suite flips the dual-algorithm rung to always-on and
+# asserts zero corrupt responses with every escalation metered, proving
+# the ladder (not the residue check) carries these runs.
+for seed in 42 1337; do
+  echo "-- FT_CHAOS_SEED=$seed FT_CHAOS_CORRUPTION=residue_evading --"
+  FT_CHAOS_SEED=$seed FT_CHAOS_CORRUPTION=residue_evading \
+    cargo test -p ft-service --test chaos -q
 done
 
 echo "ci.sh: all checks passed"
