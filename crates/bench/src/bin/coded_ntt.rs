@@ -1,0 +1,121 @@
+//! Coded-NTT overhead: measured `F`/`BW`/`L` of the fault-tolerant NTT
+//! machine (`ft::ntt`) against the uncoded `(q, 0)` run, fault-free and
+//! under `f` hard column faults.
+//!
+//! The coding replicates the paper's polynomial-code shape at the
+//! transform layer: `f` redundant *columns* carry Vandermonde-coded
+//! copies of the column transforms, so any `f` column losses during the
+//! multiplication phase are absorbed by decoding from the surviving `q`
+//! — with no recovery traffic at all. The measurable consequences, which
+//! this bench records for EXPERIMENTS.md §S9:
+//!
+//! - **F** (critical-path flops) stays ≈ the uncoded run's: the redundant
+//!   columns work *in parallel*, so only total work grows by `(1+f/q)`.
+//! - **BW**/**L** stay ≈ uncoded too, and a faulted run moves *no more*
+//!   data than a clean one (dead columns simply stop sending).
+//!
+//! Run with `cargo run --release -p ft-bench --bin coded_ntt [bits]`.
+
+use ft_bench::operands;
+use ft_machine::FaultPlan;
+use ft_toom_core::ft::ntt::{run_ntt_ft, NttFtConfig};
+
+fn main() {
+    let bits: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    let (a, b) = operands(bits, 0xc0de);
+    let expected = &a * &b;
+
+    println!("# Coded-NTT F/BW/L overhead (n = {bits} bits)\n");
+    println!(
+        "| {:<10} | {:>6} | {:>12} | {:>12} | {:>6} | {:>12} | {:>8} | {:>8} |",
+        "run", "procs", "total F", "cp F", "cp L", "cp BW", "F ratio", "theory"
+    );
+    println!(
+        "|------------|--------|--------------|--------------|--------|--------------|----------|----------|"
+    );
+    for q in [2usize, 4] {
+        let base = run_ntt_ft(&a, &b, &NttFtConfig::new(q, 0), FaultPlan::none());
+        assert_eq!(base.product, expected);
+        let base_total_f = base.report.total_flops();
+        let base_cp = base.report.critical_path();
+        for f in [0usize, 1, 2] {
+            let cfg = NttFtConfig::new(q, f);
+            // Clean coded run.
+            let clean = run_ntt_ft(&a, &b, &cfg, FaultPlan::none());
+            assert_eq!(clean.product, expected);
+            report_row(
+                &format!("q={q} f={f}"),
+                cfg.processors(),
+                &clean.report,
+                base_total_f,
+                q,
+                f,
+            );
+            if f == 0 {
+                continue;
+            }
+            // Same config with f hard column faults at the transform
+            // fault point: must recover bit-exactly with no extra
+            // critical-path traffic.
+            let mut plan = FaultPlan::none();
+            for victim in 0..f {
+                plan = plan.kill(victim, "ntt-halt");
+            }
+            let faulted = run_ntt_ft(&a, &b, &cfg, plan);
+            assert_eq!(faulted.product, expected, "q={q} f={f}: recovery exact");
+            assert_eq!(
+                faulted.report.total_deaths(),
+                u32::try_from(f).expect("f fits in u32")
+            );
+            assert_eq!(faulted.report.detect_totals().false_positives, 0);
+            assert!(
+                faulted.report.total_words() <= clean.report.total_words(),
+                "a faulted run must not move more data than a clean one"
+            );
+            report_row(
+                &format!("q={q} f={f} ✗{f}"),
+                cfg.processors(),
+                &faulted.report,
+                base_total_f,
+                q,
+                f,
+            );
+        }
+        let clean_cp = run_ntt_ft(&a, &b, &NttFtConfig::new(q, 2), FaultPlan::none())
+            .report
+            .critical_path();
+        assert!(
+            clean_cp.f <= base_cp.f * 3 / 2,
+            "q={q}: coded critical-path F must stay near the uncoded run \
+             (redundancy is parallel, not serial)"
+        );
+    }
+    println!();
+    println!("`F ratio` is total flops over the uncoded (q, 0) run; `theory` is (q+f)/q.");
+    println!("`✗k` rows run with k hard column faults killed at the transform fault point;");
+    println!("recovery is decode-only, so their BW never exceeds the clean coded run's.");
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn report_row(
+    label: &str,
+    procs: usize,
+    report: &ft_machine::RunReport<Vec<ft_bigint::BigInt>>,
+    base_total_f: u64,
+    q: usize,
+    f: usize,
+) {
+    let cp = report.critical_path();
+    let ratio = report.total_flops() as f64 / base_total_f as f64;
+    let theory = (q + f) as f64 / q as f64;
+    println!(
+        "| {label:<10} | {procs:>6} | {:>12} | {:>12} | {:>6} | {:>12} | {ratio:>7.3}x | {theory:>7.3}x |",
+        report.total_flops(),
+        cp.f,
+        cp.l,
+        cp.bw,
+    );
+}

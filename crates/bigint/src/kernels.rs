@@ -292,8 +292,11 @@ pub fn sqr_karatsuba_into(a: &[Limb], out: &mut Vec<Limb>, ws: &mut Workspace) {
 /// Best sequential kernel for the size: schoolbook below the crossover,
 /// Karatsuba above. Result normalized into the reused buffer.
 pub fn mul_into_auto(a: &[Limb], b: &[Limb], out: &mut Vec<Limb>, ws: &mut Workspace) {
-    if a.len().min(b.len()) <= KARATSUBA_THRESHOLD_LIMBS {
+    let shorter = a.len().min(b.len());
+    if shorter <= KARATSUBA_THRESHOLD_LIMBS {
         ops::mul_into(a, b, out);
+    } else if shorter >= crate::ntt::NTT_THRESHOLD_LIMBS {
+        crate::ntt::mul_ntt_into(a, b, out, ws);
     } else {
         mul_karatsuba_into(a, b, out, ws);
     }

@@ -30,6 +30,7 @@ pub mod kernels;
 pub mod metrics;
 pub mod modular;
 pub mod montgomery;
+pub mod ntt;
 pub mod ops;
 pub mod random;
 pub mod workspace;

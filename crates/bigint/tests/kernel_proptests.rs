@@ -5,7 +5,7 @@
 //! pools stabilize across repeated multiplies).
 
 use ft_bigint::workspace::Workspace;
-use ft_bigint::{ops, BigInt, Limb};
+use ft_bigint::{ntt, ops, BigInt, Limb};
 use proptest::prelude::*;
 
 /// Normalized limb magnitudes biased toward the edge cases that break
@@ -172,6 +172,45 @@ proptest! {
         prop_assert_eq!(add, &a + &b);
         prop_assert_eq!(sub, &a - &b);
         prop_assert_eq!(mul, &a * &b);
+    }
+
+    #[test]
+    fn ntt_multiply_matches_schoolbook(a in mag_wide(), b in mag_wide()) {
+        let mut ws = Workspace::new();
+        let (x, y) = (from_mag(&a), from_mag(&b));
+        prop_assert_eq!(x.mul_ntt_with_ws(&y, &mut ws), x.mul_schoolbook(&y));
+        prop_assert_eq!(ws.in_use(), 0, "NTT multiply must release all arena scratch");
+    }
+
+    /// CRT edge cases: operands that are multiples of one (or both) NTT
+    /// primes make entire residue vectors vanish mod that prime, so the
+    /// reconstruction leans fully on the CRT lift — any sign error in the
+    /// division-free combine shows up here first.
+    #[test]
+    fn ntt_handles_operands_divisible_by_a_crt_prime(
+        r in mag(),
+        s in mag(),
+        k in 1u32..3,
+    ) {
+        let p0 = BigInt::from(ntt::PRIMES[0]);
+        let p1 = BigInt::from(ntt::PRIMES[1]);
+        let x = &from_mag(&r) * &p0.pow(k);
+        let y = &from_mag(&s) * &p1.pow(k);
+        prop_assert_eq!(x.mul_ntt(&y), x.mul_schoolbook(&y));
+        // Both operands ≡ 0 mod the same prime.
+        prop_assert_eq!(x.mul_ntt(&x), x.mul_schoolbook(&x));
+        prop_assert_eq!(y.mul_ntt(&y), y.mul_schoolbook(&y));
+    }
+
+    /// The auto dispatcher straddling its crossovers: products must be
+    /// identical no matter which kernel the size bands pick.
+    #[test]
+    fn auto_multiply_is_kernel_independent(a in mag_wide(), b in mag_wide(), neg in any::<bool>()) {
+        let x = from_mag(&a);
+        let y = if neg { -from_mag(&b) } else { from_mag(&b) };
+        let want = x.mul_schoolbook(&y);
+        prop_assert_eq!(x.mul_auto(&y), want.clone());
+        prop_assert_eq!(x.mul_ntt(&y), want);
     }
 
     #[test]

@@ -20,9 +20,14 @@
 //!   coding for the evaluation/interpolation phases plus multistep
 //!   polynomial coding for the multiplication phase, achieving
 //!   `(1+o(1))` overhead in `F`, `BW`, and `L`.
+//! - [`ntt`] — the same evaluation-coding idea carried past the Toom
+//!   regime: redundant *transform columns* of the big-operand NTT kernel
+//!   (cf. "Coded FFT and Its Communication Overhead", PAPERS.md), with
+//!   the `(1 + f/q)` F-overhead shape of the paper's polynomial code.
 
 pub mod combined;
 pub mod linear;
 pub mod multistep;
+pub mod ntt;
 pub mod poly;
 pub mod softdist;

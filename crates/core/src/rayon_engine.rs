@@ -88,6 +88,14 @@ pub fn mul_batch_schoolbook(pairs: &[(BigInt, BigInt)], lanes: usize) -> Vec<Big
     batch_map(pairs, lanes, |a, b, _ws| a.mul_schoolbook(b))
 }
 
+/// NTT analogue of [`mul_batch_with_plan`]: every pair goes through the
+/// two-prime CRT NTT kernel, sharing one scratch workspace per lane (the
+/// transform buffers and twiddle caches stay warm across elements).
+#[must_use]
+pub fn mul_batch_ntt(pairs: &[(BigInt, BigInt)], lanes: usize) -> Vec<BigInt> {
+    batch_map(pairs, lanes, |a, b, ws| a.mul_ntt_with_ws(b, ws))
+}
+
 /// One signed multiplication against a caller-held workspace; the shared
 /// scratch arena is what lets a sequential batch reuse its allocations
 /// across elements instead of re-warming a fresh arena per product.

@@ -166,9 +166,18 @@ pub fn auto_mul(a: &BigInt, b: &BigInt) -> BigInt {
         // CI container (see `tune_thresholds`); past that TC-3's better
         // exponent takes over. TC-4's constants never pay off here.
         0..=262_144 => a.mul_auto(b),
-        _ => toom_k(a, b, 3),
+        // TC-3 band ends where the two-prime NTT's ≥1.5× win is stable
+        // across `tune_thresholds` runs (8 Mbit — see EXPERIMENTS.md §S9).
+        262_145..=NTT_MIN_BITS => toom_k(a, b, 3),
+        _ => a.mul_ntt(b),
     }
 }
+
+/// Bits (min of both operands) above which [`auto_mul`] leaves Toom-Cook
+/// for the two-prime CRT NTT. Mirrors
+/// [`ft_bigint::ntt::NTT_THRESHOLD_LIMBS`] and the service
+/// `KernelPolicy::ntt_min_bits` default.
+pub const NTT_MIN_BITS: u64 = 64 * ft_bigint::ntt::NTT_THRESHOLD_LIMBS as u64;
 
 /// Install [`auto_mul`] as the process-wide fast-multiply hook in
 /// `ft-bigint` ([`ft_bigint::kernels::install_fast_mul`]), so

@@ -27,6 +27,12 @@ pub struct KernelPolicy {
     /// Requests at or below this size (and above schoolbook) run
     /// sequential Toom-Cook.
     pub seq_toom_max_bits: u64,
+    /// Requests *above* this size run the two-prime CRT NTT kernel
+    /// (`ft_bigint::ntt`); requests between `seq_toom_max_bits` and here
+    /// run parallel Toom-Cook. The default is the 8 Mbit crossover the
+    /// `tune_thresholds` big-operand sweep measured (≥1.5× over Toom-3
+    /// there and above; see BENCH_kernels.json).
+    pub ntt_min_bits: u64,
     /// Split parameter for the sequential Toom-Cook kernel.
     pub seq_toom_k: usize,
     /// Split parameter for the parallel Toom-Cook kernel.
@@ -42,6 +48,7 @@ impl Default for KernelPolicy {
         KernelPolicy {
             schoolbook_max_bits: 2_048,
             seq_toom_max_bits: 4_000_000,
+            ntt_min_bits: 8_388_608,
             seq_toom_k: 3,
             par_toom_k: 3,
             toom_threshold_bits: 24_576,
@@ -465,6 +472,7 @@ impl KernelPolicy {
         let policy = KernelPolicy {
             schoolbook_max_bits: field_u64(json, "schoolbook_max_bits", d.schoolbook_max_bits)?,
             seq_toom_max_bits: field_u64(json, "seq_toom_max_bits", d.seq_toom_max_bits)?,
+            ntt_min_bits: field_u64(json, "ntt_min_bits", d.ntt_min_bits)?,
             seq_toom_k: field_usize(json, "seq_toom_k", d.seq_toom_k)?,
             par_toom_k: field_usize(json, "par_toom_k", d.par_toom_k)?,
             toom_threshold_bits: field_u64(json, "toom_threshold_bits", d.toom_threshold_bits)?,
@@ -473,6 +481,11 @@ impl KernelPolicy {
         if policy.schoolbook_max_bits > policy.seq_toom_max_bits {
             return Err(ConfigError::Invalid(
                 "schoolbook_max_bits must not exceed seq_toom_max_bits".to_string(),
+            ));
+        }
+        if policy.seq_toom_max_bits > policy.ntt_min_bits {
+            return Err(ConfigError::Invalid(
+                "seq_toom_max_bits must not exceed ntt_min_bits".to_string(),
             ));
         }
         if policy.seq_toom_k < 2 || policy.par_toom_k < 2 {
@@ -493,6 +506,7 @@ impl KernelPolicy {
                 "seq_toom_max_bits",
                 Json::Num(i128::from(self.seq_toom_max_bits)),
             ),
+            ("ntt_min_bits", Json::Num(i128::from(self.ntt_min_bits))),
             ("seq_toom_k", Json::Num(self.seq_toom_k as i128)),
             ("par_toom_k", Json::Num(self.par_toom_k as i128)),
             (
@@ -792,5 +806,15 @@ mod tests {
             ),
             Err(ConfigError::Invalid(_))
         ));
+        // The NTT floor may not undercut the sequential-Toom ceiling.
+        assert!(matches!(
+            ServiceConfig::from_json(
+                r#"{"kernel_policy": {"seq_toom_max_bits": 9000000, "ntt_min_bits": 8000000}}"#
+            ),
+            Err(ConfigError::Invalid(_))
+        ));
+        let cfg =
+            ServiceConfig::from_json(r#"{"kernel_policy": {"ntt_min_bits": 16000000}}"#).unwrap();
+        assert_eq!(cfg.kernel_policy.ntt_min_bits, 16_000_000);
     }
 }

@@ -13,8 +13,15 @@ pub enum Kernel {
     /// Sequential Toom-Cook (`seq::toom_with_plan`) — mid-size operands.
     SeqToom,
     /// Fork-join parallel Toom-Cook (`rayon_engine::par_toom_with_plan`)
-    /// — largest operands.
+    /// — large operands.
     ParToom,
+    /// Two-prime CRT NTT (`ft_bigint::ntt`) — the big-operand regime past
+    /// `KernelPolicy::ntt_min_bits`, where `Θ(n log n)` beats every Toom
+    /// split (≥1.5× over seq Toom at the default crossover; see
+    /// BENCH_kernels.json). Degrades to [`Kernel::SeqToom`] on breaker
+    /// trip: the structurally distinct algorithm the verify ladder also
+    /// cross-checks NTT products against.
+    Ntt,
     /// The simulated coded machine (`ft-core`'s polynomial-coded parallel
     /// Toom-Cook with heartbeat failure detection). Never picked by
     /// [`Kernel::select`]: the dispatcher promotes eligible coalesced
@@ -34,8 +41,10 @@ impl Kernel {
             Kernel::Schoolbook
         } else if bits <= policy.seq_toom_max_bits {
             Kernel::SeqToom
-        } else {
+        } else if bits <= policy.ntt_min_bits {
             Kernel::ParToom
+        } else {
+            Kernel::Ntt
         }
     }
 
@@ -54,6 +63,7 @@ impl Kernel {
                 let plan = plans.get(policy.seq_toom_k);
                 seq::toom_with_plan(a, b, &plan, policy.toom_threshold_bits)
             }
+            Kernel::Ntt => a.mul_ntt(b),
             Kernel::ParToom | Kernel::DistributedToom => {
                 let plan = plans.get(policy.par_toom_k);
                 rayon_engine::par_toom_with_plan(
@@ -83,6 +93,7 @@ impl Kernel {
     ) -> Vec<BigInt> {
         match self {
             Kernel::Schoolbook => rayon_engine::mul_batch_schoolbook(pairs, lanes),
+            Kernel::Ntt => rayon_engine::mul_batch_ntt(pairs, lanes),
             Kernel::SeqToom => {
                 let plan = plans.get(policy.seq_toom_k);
                 rayon_engine::mul_batch_with_plan(
@@ -135,6 +146,11 @@ impl Kernel {
                     );
                 }
             }
+            Kernel::Ntt => {
+                for (i, (a, b)) in pairs.iter().enumerate() {
+                    sink(i, a.mul_ntt(b));
+                }
+            }
             Kernel::ParToom | Kernel::DistributedToom => {
                 let plan = plans.get(policy.par_toom_k);
                 for (i, (a, b)) in pairs.iter().enumerate() {
@@ -155,11 +171,15 @@ impl Kernel {
 
     /// The next rung down the degradation ladder the supervisor walks
     /// when this kernel keeps failing: distributed Toom → parallel Toom →
-    /// sequential Toom → schoolbook → nothing.
+    /// sequential Toom → schoolbook → nothing. The NTT degrades straight
+    /// to sequential Toom — the structurally distinct mid-size workhorse —
+    /// rather than to parallel Toom, whose fork-join layer shares failure
+    /// modes with the big-operand regime's memory pressure.
     #[must_use]
     pub fn degrade(self) -> Option<Kernel> {
         match self {
             Kernel::DistributedToom => Some(Kernel::ParToom),
+            Kernel::Ntt => Some(Kernel::SeqToom),
             Kernel::ParToom => Some(Kernel::SeqToom),
             Kernel::SeqToom => Some(Kernel::Schoolbook),
             Kernel::Schoolbook => None,
@@ -173,15 +193,17 @@ impl Kernel {
             Kernel::Schoolbook => "schoolbook",
             Kernel::SeqToom => "seq_toom",
             Kernel::ParToom => "par_toom",
+            Kernel::Ntt => "ntt",
             Kernel::DistributedToom => "distributed_toom",
         }
     }
 
-    /// All kernels, in selection (and degradation-ladder) order.
-    pub const ALL: [Kernel; 4] = [
+    /// All kernels, in selection order (the metrics/breaker index space).
+    pub const ALL: [Kernel; 5] = [
         Kernel::Schoolbook,
         Kernel::SeqToom,
         Kernel::ParToom,
+        Kernel::Ntt,
         Kernel::DistributedToom,
     ];
 }
@@ -197,22 +219,27 @@ mod tests {
         let policy = KernelPolicy {
             schoolbook_max_bits: 100,
             seq_toom_max_bits: 1_000,
+            ntt_min_bits: 10_000,
             ..KernelPolicy::default()
         };
         let mut rng = StdRng::seed_from_u64(1);
         let small = BigInt::random_bits(&mut rng, 80);
         let mid = BigInt::random_bits(&mut rng, 500);
         let big = BigInt::random_bits(&mut rng, 5_000);
+        let huge = BigInt::random_bits(&mut rng, 20_000);
         assert_eq!(Kernel::select(&small, &small, &policy), Kernel::Schoolbook);
         assert_eq!(Kernel::select(&mid, &mid, &policy), Kernel::SeqToom);
         assert_eq!(Kernel::select(&big, &big, &policy), Kernel::ParToom);
+        assert_eq!(Kernel::select(&huge, &huge, &policy), Kernel::Ntt);
         // The smaller operand drives selection.
         assert_eq!(Kernel::select(&small, &big, &policy), Kernel::Schoolbook);
+        assert_eq!(Kernel::select(&big, &huge, &policy), Kernel::ParToom);
     }
 
     #[test]
     fn degradation_ladder_bottoms_out_at_schoolbook() {
         assert_eq!(Kernel::DistributedToom.degrade(), Some(Kernel::ParToom));
+        assert_eq!(Kernel::Ntt.degrade(), Some(Kernel::SeqToom));
         assert_eq!(Kernel::ParToom.degrade(), Some(Kernel::SeqToom));
         assert_eq!(Kernel::SeqToom.degrade(), Some(Kernel::Schoolbook));
         assert_eq!(Kernel::Schoolbook.degrade(), None);

@@ -45,7 +45,7 @@ pub fn size_class(bits: u64) -> usize {
 
 /// Per-(kernel, size-class) `(served count, total latency µs)` cells, in
 /// [`crate::kernel::Kernel::ALL`] order; the tuner's raw material.
-pub(crate) type ClassStats = [[(u64, u64); SIZE_CLASSES]; 4];
+pub(crate) type ClassStats = [[(u64, u64); SIZE_CLASSES]; 5];
 
 /// Saturating add for counters that accumulate unbounded sums (latency
 /// totals): a long chaos run must pin at `u64::MAX` instead of wrapping.
@@ -62,14 +62,14 @@ pub(crate) struct Metrics {
     rejected_queue_full: AtomicU64,
     timed_out: AtomicU64,
     shed: AtomicU64,
-    per_kernel: [AtomicU64; 4],
+    per_kernel: [AtomicU64; 5],
     queue_depth_high_water: AtomicUsize,
     latency_buckets: [AtomicU64; BUCKETS],
     latency_total_us: AtomicU64,
     /// Served-request counts per (kernel, operand size class).
-    class_served: [[AtomicU64; SIZE_CLASSES]; 4],
+    class_served: [[AtomicU64; SIZE_CLASSES]; 5],
     /// Summed completion latency (µs, saturating) per (kernel, class).
-    class_total_us: [[AtomicU64; SIZE_CLASSES]; 4],
+    class_total_us: [[AtomicU64; SIZE_CLASSES]; 5],
     batches: AtomicU64,
     batched_requests: AtomicU64,
     batch_size_high_water: AtomicUsize,
@@ -391,7 +391,7 @@ pub struct MetricsSnapshot {
     pub shed: u64,
     /// Completions per kernel, keyed by [`Kernel::name`]. May differ from
     /// `served` by requests in flight at snapshot time.
-    pub per_kernel: [(&'static str, u64); 4],
+    pub per_kernel: [(&'static str, u64); 5],
     /// Total queued requests at snapshot time.
     pub queue_depth: usize,
     /// Largest single-queue depth observed at submit time.

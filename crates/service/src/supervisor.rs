@@ -207,7 +207,7 @@ pub(crate) struct Supervisor {
     /// When present, [`Kernel::DistributedToom`] attempts run on the
     /// simulated coded machine instead of the local delegate kernel.
     distributed: Option<DistributedBackend>,
-    breakers: [Mutex<BreakerState>; 4],
+    breakers: [Mutex<BreakerState>; 5],
 }
 
 enum AttemptFailure {
@@ -246,12 +246,7 @@ impl Supervisor {
             verify,
             chaos: chaos.filter(ChaosConfig::is_active),
             distributed,
-            breakers: [
-                Mutex::new(BreakerState::default()),
-                Mutex::new(BreakerState::default()),
-                Mutex::new(BreakerState::default()),
-                Mutex::new(BreakerState::default()),
-            ],
+            breakers: std::array::from_fn(|_| Mutex::new(BreakerState::default())),
         }
     }
 
@@ -298,6 +293,9 @@ impl Supervisor {
     /// Neither shares evaluation rows, interpolation matrices, or a
     /// Toom-Graph schedule with the serving kernels' classic plans, so a
     /// soft error in either pipeline makes the two products disagree.
+    /// NTT-served products in particular cross-check against an algorithm
+    /// with no modular transforms, twiddle tables, or CRT recombination at
+    /// all — the two pipelines share nothing past limb addition.
     fn dual_multiply(&self, a: &BigInt, b: &BigInt) -> BigInt {
         let vp = &self.verify;
         if a.bit_length().min(b.bit_length()) <= vp.dual_small_max_bits {

@@ -89,6 +89,10 @@ pub(crate) fn retune(
     // Boundary 2: sequential ↔ parallel Toom; keep the band ordering.
     tuned.seq_toom_max_bits =
         tune_boundary(1, 2, policy.seq_toom_max_bits, stats, cfg).max(tuned.schoolbook_max_bits);
+    // Boundary 3: parallel Toom ↔ NTT; the NTT floor may not undercut the
+    // sequential-Toom ceiling.
+    tuned.ntt_min_bits =
+        tune_boundary(2, 3, policy.ntt_min_bits, stats, cfg).max(tuned.seq_toom_max_bits);
     (tuned != *policy).then_some(tuned)
 }
 
@@ -150,7 +154,7 @@ mod tests {
     use crate::supervisor::Supervisor;
 
     fn empty_stats() -> ClassStats {
-        [[(0, 0); SIZE_CLASSES]; 4]
+        [[(0, 0); SIZE_CLASSES]; 5]
     }
 
     fn cfg() -> TunerConfig {
@@ -261,6 +265,31 @@ mod tests {
         // which makes the whole retune a no-op.
         stats[1][11] = cell(50, 500);
         stats[2][11] = cell(50, 10);
+        assert_eq!(retune(&policy, &stats, &cfg()), None);
+    }
+
+    #[test]
+    fn ntt_boundary_moves_on_evidence_and_respects_band_ordering() {
+        // Default ntt_min_bits = 2^23. Class 24 (16M..32M) is NTT
+        // territory; degraded-to-par-toom samples show par Toom is 4×
+        // faster there → the NTT floor rises to annex the class.
+        let policy = KernelPolicy::default();
+        let mut stats = empty_stats();
+        stats[2][24] = cell(50, 50);
+        stats[3][24] = cell(50, 200);
+        let tuned = retune(&policy, &stats, &cfg()).unwrap();
+        assert_eq!(tuned.ntt_min_bits, (1 << 25) - 1);
+        assert_eq!(tuned.seq_toom_max_bits, policy.seq_toom_max_bits);
+        // The floor can never fall below seq_toom_max_bits: decisive
+        // "lower it" evidence just pins it at the ceiling → no-op retune.
+        let policy = KernelPolicy {
+            seq_toom_max_bits: (1 << 23) - 1,
+            ntt_min_bits: (1 << 23) - 1,
+            ..KernelPolicy::default()
+        };
+        let mut stats = empty_stats();
+        stats[2][22] = cell(50, 500);
+        stats[3][22] = cell(50, 10);
         assert_eq!(retune(&policy, &stats, &cfg()), None);
     }
 

@@ -35,7 +35,13 @@ pub struct VerifyPolicy {
     /// Toom-Cook on the alternate point set.
     pub dual_small_max_bits: u64,
     /// Operands larger than this (min bit length) are never dual-checked —
-    /// the size guard that keeps worst-case sampled overhead bounded.
+    /// the size guard that keeps worst-case sampled overhead bounded. The
+    /// default (32 Mbit) deliberately covers the NTT regime past
+    /// `KernelPolicy::ntt_min_bits`: NTT-served products there dual-check
+    /// against alternate-point Toom, a structurally distinct algorithm
+    /// with no shared transform/twiddle machinery, and the measured rung-1
+    /// residue cost stays negligible at those sizes (see EXPERIMENTS.md
+    /// §S9) so the ladder is affordable where the new kernel serves.
     pub dual_max_bits: u64,
     /// Split parameter for the alternate-point Toom dual check.
     pub dual_toom_k: usize,
@@ -51,7 +57,7 @@ impl Default for VerifyPolicy {
         VerifyPolicy {
             dual_per_10k: 250,
             dual_small_max_bits: 16_384,
-            dual_max_bits: 1 << 22,
+            dual_max_bits: 1 << 25,
             dual_toom_k: 3,
             breaker_on_mismatch: true,
             sample_seed: 0,

@@ -166,6 +166,93 @@ fn five_hundred_request_chaos_run_survives() {
     }
 }
 
+/// The NTT-served leg of the chaos matrix: a policy whose NTT floor sits
+/// right on the sequential-Toom ceiling routes every large request to the
+/// two-prime CRT NTT kernel, and the same ~10% fault plan (panics,
+/// stragglers, corruptions of the configured kind) must still serve zero
+/// corrupt products. Breaker trips demonstrably degrade NTT → seq Toom.
+#[test]
+fn ntt_chaos_run_survives() {
+    install_quiet_panic_hook();
+    let seed = chaos_seed();
+    let config = ServiceConfig {
+        workers: 4,
+        kernel_policy: KernelPolicy {
+            schoolbook_max_bits: 2_000,
+            seq_toom_max_bits: 8_000,
+            ntt_min_bits: 8_000,
+            ..KernelPolicy::default()
+        },
+        verify_residues: true,
+        verify: verify_policy(),
+        chaos: Some(chaos_config(seed)),
+        retry: RetryPolicy {
+            max_retries: 3,
+            backoff_base_ms: 1,
+            backoff_max_ms: 8,
+        },
+        breaker: BreakerPolicy {
+            failure_threshold: 1,
+            open_ms: 20,
+        },
+        ..ServiceConfig::default()
+    };
+    let service = MulService::start(config);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x277);
+    let mut pending = Vec::new();
+    for i in 0..200u64 {
+        // All sizes above the NTT floor, so every undegraded request is
+        // NTT-served; the spread keeps transform sizes from all rounding
+        // to one power of two.
+        let bits = [12_000, 16_000, 24_000][(i % 3) as usize];
+        let a = BigInt::random_signed_bits(&mut rng, bits);
+        let b = BigInt::random_signed_bits(&mut rng, bits);
+        let expect = a.mul_schoolbook(&b);
+        pending.push((submit_with_backoff(&service, a, b), expect));
+    }
+    for (i, (handle, expect)) in pending.into_iter().enumerate() {
+        match handle.wait_timeout(Duration::from_secs(300)) {
+            Ok(result) => {
+                let product = result.unwrap_or_else(|e| panic!("request {i} failed: {e}"));
+                assert_eq!(product, expect, "request {i} returned a wrong product");
+            }
+            Err(_) => panic!("request {i} hung past the timeout"),
+        }
+    }
+    let metrics = service.shutdown();
+    assert_eq!(metrics.served, 200);
+    assert_eq!(metrics.worker_faults, 0, "no request exhausted recovery");
+    let ntt_served = metrics
+        .per_kernel
+        .iter()
+        .find(|&&(name, _)| name == "ntt")
+        .map_or(0, |&(_, n)| n);
+    assert!(ntt_served > 0, "no request was served by the NTT kernel");
+    let injected: u64 = metrics.injected_faults.iter().map(|&(_, n)| n).sum();
+    assert!(injected > 0, "the fault plan injected nothing");
+    assert!(
+        metrics.fallbacks > 0,
+        "breaker trips must degrade NTT retries down the ladder"
+    );
+    let corruptions = metrics.injected_faults[FaultKind::Corrupt as usize].1;
+    assert!(corruptions > 0, "seed {seed} injected no corruptions");
+    match chaos_corruption() {
+        CorruptionKind::SingleLimb => {
+            assert_eq!(metrics.verification_failures, corruptions);
+            assert_eq!(metrics.residue_checks, 200 + metrics.verification_failures);
+        }
+        CorruptionKind::ResidueEvading => {
+            // NTT products cross-check against alternate-point Toom — no
+            // shared transform machinery — so the always-on dual rung
+            // catches every evading delta the residue rung is blind to.
+            assert_eq!(metrics.verify.residue_failures, 0);
+            assert_eq!(metrics.verify.dual_failures, corruptions);
+            assert_eq!(metrics.verify.recompute_failures, corruptions);
+            assert_eq!(metrics.verification_failures, corruptions);
+        }
+    }
+}
+
 /// Async-path analogue of [`submit_with_backoff`].
 fn submit_async_with_backoff(
     service: &MulService,

@@ -49,9 +49,10 @@ cargo run --release -q -p ft-bench --bin verify_ladder -- --quick
 echo "== chaos pass (deterministic seed matrix) =="
 # Injected-fault tests must stay reproducible and gating: every fault
 # decision derives from the seed, independent of scheduling. The matrix
-# re-runs the service chaos suite, the verification-ladder suite, the
-# machine-level chaos suite, and the distributed-backend e2e under three
-# seeds so a lucky default seed can't hide a recovery bug.
+# re-runs the service chaos suite (mixed-kernel AND NTT-served legs), the
+# verification-ladder suite, the machine-level chaos suite (including the
+# coded-NTT machine), and the distributed-backend e2e under three seeds
+# so a lucky default seed can't hide a recovery bug.
 for seed in 42 1337 2024; do
   echo "-- FT_CHAOS_SEED=$seed --"
   FT_CHAOS_SEED=$seed cargo test -p ft-service --test chaos -q
@@ -61,11 +62,12 @@ for seed in 42 1337 2024; do
 done
 
 echo "== chaos pass (residue-evading corruption) =="
-# The same service chaos suite with the injector switched to deltas that
-# are divisible by 2^128 - 1 — invisible to the residue rung by
-# construction. The suite flips the dual-algorithm rung to always-on and
-# asserts zero corrupt responses with every escalation metered, proving
-# the ladder (not the residue check) carries these runs.
+# The same service chaos suite (mixed-kernel and NTT-served legs) with
+# the injector switched to deltas that are divisible by 2^128 - 1 —
+# invisible to the residue rung by construction. The suite flips the
+# dual-algorithm rung to always-on and asserts zero corrupt responses
+# with every escalation metered, proving the ladder (not the residue
+# check) carries these runs.
 for seed in 42 1337; do
   echo "-- FT_CHAOS_SEED=$seed FT_CHAOS_CORRUPTION=residue_evading --"
   FT_CHAOS_SEED=$seed FT_CHAOS_CORRUPTION=residue_evading \
