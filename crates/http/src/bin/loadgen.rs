@@ -22,7 +22,7 @@
 use ft_http::client::Client;
 use ft_http::{HttpConfig, HttpServer};
 use ft_service::json::{obj, Json};
-use ft_service::ServiceConfig;
+use ft_service::{BatchingConfig, ServiceConfig};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
@@ -37,6 +37,8 @@ struct Args {
     seed: u64,
     out: Option<String>,
     quick: bool,
+    sweep: bool,
+    steps: Vec<u64>,
 }
 
 impl Default for Args {
@@ -52,6 +54,8 @@ impl Default for Args {
             seed: 42,
             out: Some("BENCH_http.json".to_string()),
             quick: false,
+            sweep: false,
+            steps: vec![100, 200, 400, 800, 1_600],
         }
     }
 }
@@ -60,7 +64,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--threads N] [--requests N-per-thread] [--mix bits:bits:...]\n\
          \x20              [--rate RPS-per-thread] [--batch-every N] [--batch-size N]\n\
-         \x20              [--addr HOST:PORT] [--seed N] [--out FILE] [--quick]"
+         \x20              [--addr HOST:PORT] [--seed N] [--out FILE] [--quick]\n\
+         \x20              [--sweep [--steps RPS:RPS:...]]\n\
+         --sweep runs the admission-control experiment: an in-process server\n\
+         with a small async queue and a tight connection cap, stepped through\n\
+         open-loop total-RPS levels while an over-cap prober measures the 503\n\
+         reject path. Results merge into --out under \"admission_sweep\"."
     );
     std::process::exit(2)
 }
@@ -92,6 +101,16 @@ fn parse_args() -> Args {
             "--addr" => args.addr = Some(value("--addr").parse().unwrap_or_else(|_| usage())),
             "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--out" => args.out = Some(value("--out")),
+            "--sweep" => args.sweep = true,
+            "--steps" => {
+                args.steps = value("--steps")
+                    .split(':')
+                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if args.steps.is_empty() {
+                    usage();
+                }
+            }
             "--quick" => {
                 args.quick = true;
                 args.threads = 2;
@@ -229,9 +248,245 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// Open raw connections against a server at its connection cap. In-cap
+/// accepts are held (the server sends nothing unprompted, so the read
+/// times out); over-cap accepts must receive an *immediate* `503` and a
+/// close. Returns (connections admitted, reject latencies in µs).
+fn probe_over_cap(addr: SocketAddr, cap: usize, want_rejects: usize) -> (usize, Vec<u64>) {
+    use std::io::Read as _;
+    let mut held = Vec::new();
+    let mut rejects = Vec::new();
+    // Bounded attempts: even if client slots free up mid-probe, at most
+    // `cap` extras can be admitted before the 503s start.
+    for _ in 0..cap + want_rejects + 2 {
+        if rejects.len() >= want_rejects {
+            break;
+        }
+        let started = Instant::now();
+        let mut stream = std::net::TcpStream::connect(addr).expect("probe connect");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(400)))
+            .unwrap();
+        let mut buf = [0u8; 256];
+        match stream.read(&mut buf) {
+            Ok(n) if n > 0 => {
+                let head = String::from_utf8_lossy(&buf[..n]);
+                assert!(
+                    head.starts_with("HTTP/1.1 503"),
+                    "over-cap connection got {head:?}, not 503"
+                );
+                rejects.push(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+            }
+            // Timeout (or EOF without payload): the connection was
+            // admitted — hold it so it keeps occupying its slot.
+            _ => held.push(stream),
+        }
+    }
+    assert_eq!(rejects.len(), want_rejects, "503 prober starved");
+    (held.len(), rejects)
+}
+
+/// Admission-control sweep (`--sweep`): a deliberately small in-process
+/// server — async queue capacity 8, connection cap `threads + 2` —
+/// stepped through open-loop offered-load levels. Each step reports
+/// latency percentiles of served requests and the 429 shed rate, while
+/// an over-cap prober verifies that connections past the cap get an
+/// immediate 503 no matter how overloaded the request path is.
+#[allow(clippy::too_many_lines)]
+fn run_sweep(args: &Args) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const QUEUE_CAPACITY: usize = 8;
+    const STEP_SECS: f64 = 1.5;
+    // More clients than queue slots, or the bounded queue can never
+    // overflow (each client holds at most one request in flight) and
+    // the 429 rung would be invisible.
+    let threads = args.threads.max(3 * QUEUE_CAPACITY);
+    let cap = threads + 2;
+    let steps: &[u64] = if args.quick {
+        &args.steps[..args.steps.len().min(2)]
+    } else {
+        &args.steps
+    };
+    let pool = Pool::build(args.seed, &[256], 8);
+
+    let service = ServiceConfig {
+        batching: BatchingConfig {
+            queue_capacity: QUEUE_CAPACITY,
+            ..BatchingConfig::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let http = HttpConfig {
+        net: ft_net::ServerConfig {
+            max_connections: cap,
+            // Handlers park on the service while a request resolves, so
+            // the pool must outnumber the queue slots — otherwise the
+            // pool, not the bounded queue, is the admission limit and
+            // the 429 rung never fires.
+            handler_threads: threads,
+            ..ft_net::ServerConfig::default()
+        },
+        ..HttpConfig::default()
+    };
+    let server = HttpServer::start(&http, service).expect("server");
+    let addr = server.local_addr();
+    println!(
+        "admission sweep: {threads} clients, conn cap {cap}, async queue {QUEUE_CAPACITY}, steps {steps:?} rps",
+    );
+
+    let mut step_docs = Vec::new();
+    for &rate in steps {
+        let per_thread = (rate / threads as u64).max(1);
+        let reqs = ((per_thread as f64) * STEP_SECS).ceil() as usize;
+        let release = AtomicBool::new(false);
+        let (mut oks, mut shed_429, mut other_5xx) = (Vec::new(), 0u64, 0u64);
+        let (probe_admitted, probe_rejects) = std::thread::scope(|scope| {
+            let mut joins = Vec::new();
+            for t in 0..threads {
+                let pool = &pool;
+                let release = &release;
+                joins.push(scope.spawn(move || {
+                    let mut client =
+                        Client::connect(addr, Duration::from_secs(30)).expect("connect");
+                    let tick = Duration::from_nanos(1_000_000_000 / per_thread);
+                    let start = Instant::now();
+                    let mut lat = Vec::with_capacity(reqs);
+                    let (mut e429, mut e5xx) = (0u64, 0u64);
+                    for i in 0..reqs {
+                        let due = start + tick * i as u32;
+                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                        let n = (t as u64) << 32 | i as u64;
+                        let (a, b, want) = pool.pick(n);
+                        let body =
+                            obj([("a", Json::Str(a.clone())), ("b", Json::Str(b.clone()))]).dump();
+                        let sent = Instant::now();
+                        let rsp = client
+                            .request("POST", "/v1/mul", Some(body.as_bytes()))
+                            .expect("mul exchange");
+                        match rsp.status {
+                            200 => {
+                                assert_eq!(&product_of(&rsp.text()), want, "product mismatch");
+                                lat.push(
+                                    u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX),
+                                );
+                            }
+                            429 => {
+                                assert!(
+                                    rsp.header("retry-after").is_some(),
+                                    "429 without Retry-After"
+                                );
+                                e429 += 1;
+                            }
+                            503 | 504 => e5xx += 1,
+                            other => panic!("unexpected status {other}: {}", rsp.text()),
+                        }
+                    }
+                    // Hold the connection until the prober finishes so the
+                    // in-cap slot count stays deterministic.
+                    while !release.load(Ordering::Acquire) {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    (lat, e429, e5xx)
+                }));
+            }
+            // Mid-step, probe the admission path from the main thread.
+            std::thread::sleep(Duration::from_millis(200));
+            let probe = probe_over_cap(addr, cap, 3);
+            release.store(true, Ordering::Release);
+            for j in joins {
+                let (lat, e429, e5xx) = j.join().expect("sweep client");
+                oks.extend(lat);
+                shed_429 += e429;
+                other_5xx += e5xx;
+            }
+            probe
+        });
+        oks.sort_unstable();
+        let mut reject_us = probe_rejects;
+        reject_us.sort_unstable();
+        let served = oks.len() as u64;
+        println!(
+            "  {rate:>5} rps offered: {served} ok, {shed_429} x 429, {other_5xx} x 5xx | \
+             p50 {}us p99 {}us p999 {}us | probe: {probe_admitted} admitted, {} x 503 (p50 {}us)",
+            percentile(&oks, 50.0),
+            percentile(&oks, 99.0),
+            percentile(&oks, 99.9),
+            reject_us.len(),
+            percentile(&reject_us, 50.0),
+        );
+        step_docs.push(obj([
+            ("offered_rps", Json::Num(i128::from(rate))),
+            ("ok", Json::Num(i128::from(served))),
+            ("shed_429", Json::Num(i128::from(shed_429))),
+            ("other_5xx", Json::Num(i128::from(other_5xx))),
+            ("p50_us", Json::Num(i128::from(percentile(&oks, 50.0)))),
+            ("p99_us", Json::Num(i128::from(percentile(&oks, 99.0)))),
+            ("p999_us", Json::Num(i128::from(percentile(&oks, 99.9)))),
+            ("probe_rejected_503", Json::Num(reject_us.len() as i128)),
+            (
+                "probe_reject_p50_us",
+                Json::Num(i128::from(percentile(&reject_us, 50.0))),
+            ),
+        ]));
+    }
+
+    let net = server.net_stats();
+    let (_, leftover) = server.shutdown();
+    assert_eq!(leftover, 0, "sweep drain left connections behind");
+    println!(
+        "sweep done: {} over-cap connects rejected across all steps",
+        net.rejected_over_cap
+    );
+
+    if args.quick {
+        println!("loadgen --sweep --quick: ok");
+        return;
+    }
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_http.json".to_string());
+    let sweep_doc = obj([
+        (
+            "config",
+            obj([
+                ("threads", Json::Num(threads as i128)),
+                ("max_connections", Json::Num(cap as i128)),
+                ("queue_capacity", Json::Num(QUEUE_CAPACITY as i128)),
+                ("mix_bits", Json::Arr(vec![Json::Num(256)])),
+                ("seed", Json::Num(i128::from(args.seed))),
+            ]),
+        ),
+        ("steps", Json::Arr(step_docs)),
+        (
+            "rejected_over_cap_total",
+            Json::Num(i128::from(net.rejected_over_cap)),
+        ),
+    ]);
+    // Merge, preserving every other key already in the report.
+    let mut root = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|t| Json::parse(&t).ok())
+        .unwrap_or_else(|| Json::Obj(Default::default()));
+    if let Json::Obj(map) = &mut root {
+        map.insert("admission_sweep".to_string(), sweep_doc);
+    } else {
+        root = obj([("admission_sweep", sweep_doc)]);
+    }
+    std::fs::write(&out, root.dump() + "\n").expect("write bench report");
+    println!("merged admission_sweep into {out}");
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() {
     let args = parse_args();
+    if args.sweep {
+        run_sweep(&args);
+        return;
+    }
     let pool = Pool::build(args.seed, &args.mix, 8);
 
     // In-process server unless --addr points elsewhere; either way the
@@ -363,7 +618,26 @@ fn main() {
                 ]),
             ),
         ]);
-        std::fs::write(out, doc.dump() + "\n").expect("write bench report");
+        // Merge over the existing report so sections owned by other
+        // modes (e.g. `admission_sweep` from --sweep) survive.
+        let mut root = std::fs::read_to_string(out)
+            .ok()
+            .and_then(|t| Json::parse(&t).ok())
+            .unwrap_or_else(|| Json::Obj(Default::default()));
+        let (config, results) = match doc {
+            Json::Obj(mut map) => (
+                map.remove("config").expect("config section"),
+                map.remove("results").expect("results section"),
+            ),
+            _ => unreachable!("doc is an object"),
+        };
+        if let Json::Obj(map) = &mut root {
+            map.insert("config".to_string(), config);
+            map.insert("results".to_string(), results);
+        } else {
+            root = obj([("config", config), ("results", results)]);
+        }
+        std::fs::write(out, root.dump() + "\n").expect("write bench report");
         println!("wrote {out}");
     }
 }

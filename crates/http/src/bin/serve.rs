@@ -11,12 +11,29 @@ use ft_service::ServiceConfig;
 
 fn main() {
     let mut addr = "127.0.0.1:8080".to_string();
+    let mut net = ft_net::ServerConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = args.next().expect("--addr needs HOST:PORT"),
+            "--max-conns" => {
+                net.max_connections = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-conns needs a positive integer");
+            }
+            "--handler-threads" => {
+                net.handler_threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--handler-threads needs a positive integer");
+            }
             "--help" | "-h" => {
-                eprintln!("usage: serve [--addr HOST:PORT]   (default 127.0.0.1:8080)");
+                eprintln!(
+                    "usage: serve [--addr HOST:PORT] [--max-conns N] [--handler-threads N]\n\
+                     defaults: 127.0.0.1:8080, max-conns {}, handler-threads {}",
+                    net.max_connections, net.handler_threads
+                );
                 return;
             }
             other => {
@@ -25,10 +42,7 @@ fn main() {
             }
         }
     }
-    let http = HttpConfig {
-        addr,
-        ..HttpConfig::default()
-    };
+    let http = HttpConfig { addr, net };
     let server = match HttpServer::start(&http, ServiceConfig::default()) {
         Ok(server) => server,
         Err(err) => {
@@ -39,6 +53,10 @@ fn main() {
     println!("ft-http serving on http://{}", server.local_addr());
     println!(
         "routes: POST /v1/mul, POST /v1/mul/batch, GET /v1/config, /v1/metrics, /metrics, /healthz"
+    );
+    println!(
+        "admission: max {} connections, {} handler threads (over-cap connects get an immediate 503)",
+        http.net.max_connections, http.net.handler_threads
     );
     // No signal handling in the offline toolchain: run until the process
     // is killed. In-flight work is bounded by per-request deadlines.

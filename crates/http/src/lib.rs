@@ -29,7 +29,9 @@ pub mod prom;
 
 use ft_bigint::BigInt;
 use ft_service::json::{obj, Json};
-use ft_service::{MetricsSnapshot, MulError, MulService, ServiceConfig, SubmitError};
+use ft_service::{
+    BatchingConfig, MetricsSnapshot, MulError, MulService, ServiceConfig, SubmitError,
+};
 use metrics::HttpMetrics;
 use std::net::SocketAddr;
 use std::sync::{Arc, OnceLock};
@@ -118,6 +120,9 @@ impl HttpServer {
             active_connections: self.net.active_connections(),
             total_connections: self.net.total_connections(),
             parse_errors: self.net.parse_errors(),
+            accept_errors: self.net.accept_errors(),
+            rejected_over_cap: self.net.rejected_over_cap(),
+            request_timeouts: self.net.request_timeouts(),
         }
     }
 
@@ -178,6 +183,9 @@ fn dispatch(
                     active_connections: s.active_connections(),
                     total_connections: s.total_connections(),
                     parse_errors: s.parse_errors(),
+                    accept_errors: s.accept_errors(),
+                    rejected_over_cap: s.rejected_over_cap(),
+                    request_timeouts: s.request_timeouts(),
                 })
                 .unwrap_or_default();
             let body = prom::render(
@@ -234,7 +242,7 @@ fn handle_mul(
     };
     let handle = match submitted {
         Ok(handle) => handle,
-        Err(e) => return send_submit_error(rsp, &e),
+        Err(e) => return send_submit_error(state, rsp, &e),
     };
     match handle.wait() {
         Ok(product) => {
@@ -294,7 +302,7 @@ fn handle_batch(
     };
     let handle = match submitted {
         Ok(handle) => handle,
-        Err(e) => return send_submit_error(rsp, &e),
+        Err(e) => return send_submit_error(state, rsp, &e),
     };
     let mut stream = rsp.start_chunked(200, &[("Content-Type", "application/x-ndjson")])?;
     for slot in 0..handle.len() {
@@ -376,18 +384,44 @@ pub fn submit_error_status(e: &SubmitError) -> u16 {
     }
 }
 
-fn send_submit_error(rsp: &mut ft_net::Responder<'_>, e: &SubmitError) -> std::io::Result<u16> {
+/// `Retry-After` seconds for a 429, derived from the batching
+/// configuration instead of a hardcoded constant: a backlog of `depth`
+/// requests drains in about `ceil(depth / max_batch)` coalescing
+/// windows of `window_us` each. Clamped to `[1, 30]` — whole seconds
+/// are the header's granularity, and past 30s a client should re-plan,
+/// not sleep.
+#[must_use]
+pub fn derive_retry_after(batching: &BatchingConfig, depth: usize) -> u64 {
+    let batches = depth.div_ceil(batching.max_batch.max(1)).max(1) as u64;
+    let drain_us = batches.saturating_mul(batching.window_us);
+    drain_us.div_ceil(1_000_000).clamp(1, 30)
+}
+
+fn send_submit_error(
+    state: &AppState,
+    rsp: &mut ft_net::Responder<'_>,
+    e: &SubmitError,
+) -> std::io::Result<u16> {
     let status = submit_error_status(e);
     match e {
-        SubmitError::QueueFull { .. } => {
+        SubmitError::QueueFull { capacity } => {
+            // The queue was full a moment ago; the live depth (it may
+            // already be draining) bounds the wait better than the
+            // capacity does.
+            let depth = state.service.queue_depth().min(*capacity).max(1);
+            let retry_after = derive_retry_after(&state.service.config().batching, depth);
             let body = obj([
                 ("error", Json::Str("queue_full".to_string())),
                 ("detail", Json::Str(e.to_string())),
+                ("retry_after_s", Json::Num(i128::from(retry_after))),
             ])
             .dump();
             rsp.send_with(
                 status,
-                &[("Content-Type", "application/json"), ("Retry-After", "1")],
+                &[
+                    ("Content-Type", "application/json"),
+                    ("Retry-After", &retry_after.to_string()),
+                ],
                 body.as_bytes(),
             )?;
         }
@@ -448,6 +482,32 @@ mod tests {
             mul_error_code(&MulError::WorkerFault { attempts: 6 }),
             ("worker_fault", 500)
         );
+    }
+
+    #[test]
+    fn retry_after_scales_with_batching_config() {
+        // Defaults: 1024-deep queue / 32-wide batches = 32 windows of
+        // 150µs ≈ 5ms — floors to the 1s minimum the header can say.
+        let default = BatchingConfig::default();
+        assert_eq!(derive_retry_after(&default, default.queue_capacity), 1);
+        // A slow coalescing window with a deep backlog derives a real
+        // wait: 100 batches × 50ms = 5s.
+        let slow = BatchingConfig {
+            window_us: 50_000,
+            max_batch: 10,
+            ..BatchingConfig::default()
+        };
+        assert_eq!(derive_retry_after(&slow, 1_000), 5);
+        // …and is clamped at 30s rather than telling clients to nap.
+        assert_eq!(derive_retry_after(&slow, 100_000), 30);
+        // Degenerate inputs stay in-range instead of panicking.
+        assert_eq!(derive_retry_after(&slow, 0), 1);
+        let zero_batch = BatchingConfig {
+            max_batch: 1,
+            window_us: 0,
+            ..BatchingConfig::default()
+        };
+        assert_eq!(derive_retry_after(&zero_batch, 50), 1);
     }
 
     #[test]

@@ -22,6 +22,12 @@ pub struct NetStats {
     pub total_connections: u64,
     /// Requests rejected by the HTTP parser (malformed, oversized, …).
     pub parse_errors: u64,
+    /// Transient `accept()` failures (each arms the accept backoff).
+    pub accept_errors: u64,
+    /// Connects answered `503` because the connection cap was reached.
+    pub rejected_over_cap: u64,
+    /// Half-received requests answered `408` on read timeout.
+    pub request_timeouts: u64,
 }
 
 /// The scrape content type mandated by the text exposition format.
@@ -415,6 +421,24 @@ pub fn render(service: &MetricsSnapshot, http: &HttpSnapshot, net: &NetStats) ->
         "Requests rejected by the HTTP parser.",
         net.parse_errors,
     );
+    counter(
+        &mut out,
+        "http_accept_errors_total",
+        "Transient accept() failures (each arms the accept backoff).",
+        net.accept_errors,
+    );
+    counter(
+        &mut out,
+        "http_connections_rejected_total",
+        "Connects answered 503 at the connection cap.",
+        net.rejected_over_cap,
+    );
+    counter(
+        &mut out,
+        "http_request_timeouts_total",
+        "Half-received requests answered 408 on read timeout.",
+        net.request_timeouts,
+    );
 
     out
 }
@@ -437,6 +461,9 @@ mod tests {
             active_connections: 1,
             total_connections: 3,
             parse_errors: 2,
+            accept_errors: 4,
+            rejected_over_cap: 5,
+            request_timeouts: 6,
         };
         let text = render(&service, &m.snapshot(), &net);
         for line in lines_of(&text) {
@@ -465,6 +492,9 @@ mod tests {
         assert!(text.contains("http_request_duration_us_count{route=\"mul\"} 1"));
         assert!(text.contains("http_connections_total 3"));
         assert!(text.contains("http_parse_errors_total 2"));
+        assert!(text.contains("http_accept_errors_total 4"));
+        assert!(text.contains("http_connections_rejected_total 5"));
+        assert!(text.contains("http_request_timeouts_total 6"));
     }
 
     #[test]

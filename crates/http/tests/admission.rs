@@ -1,0 +1,103 @@
+//! Admission-control end-to-end test: a front door with a tiny
+//! connection cap must keep serving in-cap clients while every over-cap
+//! connect gets an immediate `503 Service Unavailable` and a close —
+//! no hangs, no silent drops — and must re-admit new connections as
+//! soon as a slot frees up.
+
+use ft_http::client::Client;
+use ft_http::{HttpConfig, HttpServer};
+use ft_service::ServiceConfig;
+use std::io::Read;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+const CAP: usize = 4;
+
+fn start_capped_server() -> HttpServer {
+    let http = HttpConfig {
+        net: ft_net::ServerConfig {
+            max_connections: CAP,
+            ..ft_net::ServerConfig::default()
+        },
+        ..HttpConfig::default()
+    };
+    HttpServer::start(&http, ServiceConfig::default()).expect("bind server")
+}
+
+/// Read whatever the server volunteers on a raw connection. Over-cap
+/// accepts are answered unprompted, so no request needs to be written.
+fn read_unprompted(stream: &mut TcpStream) -> String {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read 503 + EOF");
+    text
+}
+
+#[test]
+fn over_cap_connects_get_503_then_readmission_after_a_slot_frees() {
+    let server = start_capped_server();
+    let addr = server.local_addr();
+
+    // Fill the cap with live keep-alive clients, each proven served.
+    let mut in_cap: Vec<Client> = (0..CAP)
+        .map(|i| {
+            let mut c = Client::connect(addr, Duration::from_secs(30)).expect("connect");
+            let rsp = c.request("GET", "/healthz", None).unwrap();
+            assert_eq!(rsp.status, 200, "in-cap client #{i}");
+            c
+        })
+        .collect();
+
+    // Three over-cap connects: each must get an *unprompted* 503 with
+    // `Connection: close` followed by EOF — the whole exchange is the
+    // server talking; we never send a byte.
+    for i in 0..3 {
+        let mut stream = TcpStream::connect(addr).expect("over-cap connect");
+        let text = read_unprompted(&mut stream);
+        assert!(
+            text.starts_with("HTTP/1.1 503 "),
+            "over-cap #{i} got: {text:?}"
+        );
+        let lower = text.to_ascii_lowercase();
+        assert!(
+            lower.contains("connection: close"),
+            "over-cap #{i}: {text:?}"
+        );
+        assert!(lower.contains("retry-after:"), "over-cap #{i}: {text:?}");
+    }
+
+    // In-cap clients were untouched by the rejections.
+    for (i, c) in in_cap.iter_mut().enumerate() {
+        let rsp = c.request("GET", "/healthz", None).unwrap();
+        assert_eq!(rsp.status, 200, "in-cap client #{i} after rejections");
+    }
+    let stats = server.net_stats();
+    assert_eq!(stats.rejected_over_cap, 3, "rejection counter");
+    // total_connections counts socket-layer accepts, rejects included.
+    assert_eq!(stats.total_connections, CAP as u64 + 3);
+
+    // Free one slot; a brand-new client must be admitted and served.
+    drop(in_cap.pop());
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut readmitted = None;
+    while Instant::now() < deadline {
+        let mut c = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+        match c.request("GET", "/healthz", None) {
+            Ok(rsp) if rsp.status == 200 => {
+                readmitted = Some(c);
+                break;
+            }
+            // Still over cap (the reactor hasn't reaped the closed
+            // connection yet) or the 503 tore the exchange down.
+            _ => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    assert!(readmitted.is_some(), "freed slot was never re-admitted");
+
+    drop(readmitted);
+    drop(in_cap);
+    let (_, leftover) = server.shutdown();
+    assert_eq!(leftover, 0, "graceful drain");
+}

@@ -936,6 +936,16 @@ impl MulService {
             .snapshot(depth, self.shared.plans.stats())
     }
 
+    /// Current total queue depth (sync worker queues plus the async
+    /// coalescing queue), without the full snapshot walk of
+    /// [`MulService::metrics`] — cheap enough for per-rejection use,
+    /// e.g. deriving an HTTP `Retry-After` from live backlog.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.senders.iter().map(Sender::len).sum::<usize>()
+            + self.async_tx.as_ref().map_or(0, Sender::len)
+    }
+
     /// The configuration the service was started with.
     #[must_use]
     pub fn config(&self) -> &ServiceConfig {

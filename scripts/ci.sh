@@ -33,11 +33,20 @@ echo "== HTTP e2e smoke (real sockets, ephemeral port) =="
 # client; all products are checked bit-exact.
 cargo test -p ft-http --test e2e -q
 
-echo "== HTTP load generator smoke (--quick) =="
-# Reduced loadgen run: 2 client threads over real keep-alive
-# connections, every response verified, graceful drain asserted. The
-# full run (no flags) is the one that rewrites BENCH_http.json.
+echo "== HTTP connection-cap e2e (over-cap 503s, readmission) =="
+# A front door capped at 4 connections: in-cap clients keep being
+# served, every over-cap connect gets an unprompted 503 + close (no
+# hangs), the reject counter is exact, and a freed slot re-admits.
+cargo test -p ft-http --test admission -q
+
+echo "== HTTP load generator smoke (--quick, closed + open loop) =="
+# Reduced loadgen runs: 2 client threads over real keep-alive
+# connections, every response verified, graceful drain asserted — once
+# closed-loop, once open-loop (fixed send schedule, latency includes
+# queueing). The full run (no flags) is the one that rewrites
+# BENCH_http.json.
 cargo run --release -q -p ft-http --bin loadgen -- --quick
+cargo run --release -q -p ft-http --bin loadgen -- --quick --rate 120
 
 echo "== verify-ladder bench smoke (--quick) =="
 # Reduced run of the per-rung cost bench: asserts the dual rung's

@@ -5,25 +5,39 @@
 //! implementation in the same API-subset spirit as the other `vendor/`
 //! crates. It provides exactly what `ft-http` needs and nothing more:
 //!
-//! * a **strict request parser** ([`Request::read_from`]) with hard
-//!   [`Limits`] on request-line, header, and body sizes, supporting
-//!   `Content-Length` and `chunked` request bodies. Malformed input is
-//!   an [`Error`], never a panic — the parser is proptest-fuzzed over
-//!   truncated, oversized, and corrupted inputs.
+//! * a **strict, resumable request parser** ([`Parser`], and
+//!   [`Request::read_from`] built on it) with hard [`Limits`] on
+//!   request-line, header, and body sizes, supporting `Content-Length`
+//!   and `chunked` request bodies. The parser is a push state machine —
+//!   feed it whatever bytes the socket has, it tells you how many it
+//!   consumed and whether a request completed — so one reactor thread
+//!   can interleave hundreds of half-read requests. Malformed input is
+//!   an [`Error`], never a panic — proptest-fuzzed over truncated,
+//!   oversized, and corrupted inputs.
 //! * **response writers**: fixed-length ([`write_response`]) and
 //!   chunked ([`ChunkedWriter`]) transfer encodings.
-//! * a **thread-per-connection server** ([`Server`]) with HTTP/1.1
-//!   keep-alive, per-connection request caps, connection accounting,
-//!   and graceful shutdown that drains in-flight connections before
-//!   returning.
+//! * an **evented server** ([`Server`]): one reactor thread multiplexes
+//!   every connection through a readiness poller ([`poller::Poller`] —
+//!   raw-syscall epoll on Linux x86_64, a portable sleep-poll fallback
+//!   elsewhere) and non-blocking reads into per-connection parser state
+//!   machines; fully-parsed requests are handed to a small fixed
+//!   handler pool. Idle keep-alive connections cost a registered fd,
+//!   not a parked thread. The server enforces `max_connections` with
+//!   accept backpressure (over-cap connects get an immediate `503` +
+//!   `Connection: close`), backs off on transient `accept()` errors
+//!   instead of spinning, answers `408 Request Timeout` when a read
+//!   timeout cuts off a half-received request (idle keep-alive
+//!   connections are still closed silently), and drains in-flight and
+//!   fully-received requests on graceful shutdown.
 //!
-//! What this is not: async, HTTP/2, TLS, or a router — `ft-http` layers
-//! routing and the service semantics on top.
+//! What this is not: async/await, HTTP/2, TLS, or a router — `ft-http`
+//! layers routing and the service semantics on top.
 
+pub mod poller;
 mod request;
 mod response;
 mod server;
 
-pub use request::{Error, Limits, Request, Version};
+pub use request::{Error, Limits, Parser, Request, Version};
 pub use response::{reason, write_response, ChunkedWriter};
 pub use server::{Handler, Responder, Server, ServerConfig, ServerStats};

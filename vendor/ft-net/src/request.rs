@@ -1,12 +1,18 @@
 //! HTTP/1.1 request parsing: strict, bounded, and panic-free.
 //!
-//! The parser reads from any [`BufRead`] and enforces [`Limits`] on every
-//! dimension an attacker controls (request-line length, header count and
-//! size, body size, chunk framing). Anything outside the accepted grammar
-//! is an [`Error`] carrying a suggested status code — the connection
-//! handler turns it into a 4xx and closes.
+//! The core is [`Parser`], a resumable push state machine: feed it
+//! whatever bytes the socket happens to have, it reports how many it
+//! consumed and whether a request completed. That shape is what lets a
+//! single reactor thread interleave hundreds of half-read requests —
+//! parser state lives per connection, not per thread. [`Request::read_from`]
+//! wraps it for blocking [`BufRead`] use (tests, tooling, clients).
+//!
+//! [`Limits`] cap every dimension an attacker controls (request-line
+//! length, header count and size, body size, chunk framing). Anything
+//! outside the accepted grammar is an [`Error`] carrying a suggested
+//! status code — the connection handler turns it into a 4xx and closes.
 
-use std::io::{BufRead, Read};
+use std::io::BufRead;
 
 /// HTTP protocol version of a parsed request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,41 +166,33 @@ impl Request {
         }
     }
 
-    /// Read one request off `reader`.
+    /// Read one request off `reader` (blocking convenience over
+    /// [`Parser`]).
     ///
     /// Returns `Ok(None)` on a clean close (EOF before the first byte of
     /// a request line — the keep-alive idle case), `Err` on anything
     /// malformed or over-limit, and never panics on hostile input.
     pub fn read_from(reader: &mut impl BufRead, limits: &Limits) -> Result<Option<Request>, Error> {
-        let line = match read_line(reader, limits.max_request_line, "request line")? {
-            Line::Eof => return Ok(None),
-            Line::Text(l) => l,
-        };
-        let (method, target, version) = parse_request_line(&line)?;
-
-        let mut headers: Vec<(String, String)> = Vec::new();
+        let mut parser = Parser::new(limits.clone());
         loop {
-            let line = match read_line(reader, limits.max_header_line, "header")? {
-                Line::Eof => return Err(Error::UnexpectedEof),
-                Line::Text(l) => l,
+            let buf = match reader.fill_buf() {
+                Ok(b) => b,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
             };
-            if line.is_empty() {
-                break;
+            if buf.is_empty() {
+                return if parser.is_idle() {
+                    Ok(None)
+                } else {
+                    Err(Error::UnexpectedEof)
+                };
             }
-            if headers.len() >= limits.max_headers {
-                return Err(Error::TooLarge("header count"));
+            let (n, done) = parser.feed(buf)?;
+            reader.consume(n);
+            if let Some(req) = done {
+                return Ok(Some(req));
             }
-            headers.push(parse_header_line(&line)?);
         }
-
-        let body = read_body(reader, &headers, limits)?;
-        Ok(Some(Request {
-            method,
-            target,
-            version,
-            headers,
-            body,
-        }))
     }
 
     /// Parse a request from a byte slice (test / tooling convenience).
@@ -204,52 +202,257 @@ impl Request {
     }
 }
 
-enum Line {
-    /// EOF before any byte of the line.
-    Eof,
-    /// A complete line, terminator stripped.
-    Text(String),
+/// Parser phase; line-oriented states accumulate into `Parser::line`,
+/// body states count down `Parser::remaining`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Waiting for (or inside) the request line.
+    RequestLine,
+    /// Between request line and the blank line ending the header block.
+    Headers,
+    /// Reading `remaining` bytes of a `Content-Length` body.
+    FixedBody,
+    /// Reading a chunk-size line.
+    ChunkSize,
+    /// Reading `remaining` bytes of chunk data.
+    ChunkData,
+    /// Expecting the CR after chunk data.
+    ChunkCr,
+    /// Expecting the LF after chunk data.
+    ChunkLf,
+    /// Reading trailer lines after the last chunk.
+    Trailers,
 }
 
-/// Read one CRLF-terminated line (bare LF tolerated), capped at `max`
-/// bytes excluding the terminator. ASCII-only: any control byte other
-/// than the terminator (or tab, legal in header values) rejects.
-fn read_line(reader: &mut impl BufRead, max: usize, what: &'static str) -> Result<Line, Error> {
-    let mut buf: Vec<u8> = Vec::new();
-    let mut byte = [0u8; 1];
-    loop {
-        match reader.read(&mut byte) {
-            Ok(0) => {
-                if buf.is_empty() {
-                    return Ok(Line::Eof);
+/// Resumable push parser: one per connection.
+///
+/// [`Parser::feed`] consumes as many input bytes as it can and stops at
+/// the first completed request, returning it with the parser already
+/// reset for the next keep-alive request (unconsumed input stays the
+/// caller's to re-feed). After an `Err` the parser is poisoned — the
+/// connection is being closed anyway, so no recovery path exists.
+#[derive(Debug)]
+pub struct Parser {
+    limits: Limits,
+    state: State,
+    /// Current line being accumulated (CR included until the LF).
+    line: Vec<u8>,
+    method: String,
+    target: String,
+    version: Version,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+    /// Body bytes still owed in `FixedBody` / `ChunkData`.
+    remaining: usize,
+    trailers_seen: usize,
+}
+
+/// How the header block says the body is framed.
+enum BodyPlan {
+    None,
+    Fixed(usize),
+    Chunked,
+}
+
+impl Parser {
+    /// A fresh parser enforcing `limits`.
+    #[must_use]
+    pub fn new(limits: Limits) -> Parser {
+        Parser {
+            limits,
+            state: State::RequestLine,
+            line: Vec::new(),
+            method: String::new(),
+            target: String::new(),
+            version: Version::Http11,
+            headers: Vec::new(),
+            body: Vec::new(),
+            remaining: 0,
+            trailers_seen: 0,
+        }
+    }
+
+    /// True when zero bytes of the next request have been consumed —
+    /// the state that distinguishes an idle keep-alive connection
+    /// (close silently on timeout) from a half-received request
+    /// (answer `408`).
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.state == State::RequestLine && self.line.is_empty()
+    }
+
+    /// Push `input` through the state machine.
+    ///
+    /// Returns `(consumed, completed)`: how many bytes of `input` were
+    /// eaten, and the finished request if one completed (consumption
+    /// stops right after its final byte; the rest of `input` belongs to
+    /// the next request).
+    pub fn feed(&mut self, input: &[u8]) -> Result<(usize, Option<Request>), Error> {
+        let mut pos = 0;
+        while pos < input.len() {
+            match self.state {
+                State::RequestLine | State::Headers | State::ChunkSize | State::Trailers => {
+                    let b = input[pos];
+                    pos += 1;
+                    if b == b'\n' {
+                        let line = self.take_line()?;
+                        if self.on_line(&line)? {
+                            return Ok((pos, Some(self.finish())));
+                        }
+                    } else {
+                        // Cap check before the push, CR counted: same
+                        // accounting as the historical blocking reader.
+                        let (max, what) = self.line_cap();
+                        if self.line.len() >= max {
+                            return Err(Error::TooLarge(what));
+                        }
+                        self.line.push(b);
+                    }
                 }
-                return Err(Error::UnexpectedEof);
+                State::FixedBody | State::ChunkData => {
+                    let take = self.remaining.min(input.len() - pos);
+                    self.body.extend_from_slice(&input[pos..pos + take]);
+                    pos += take;
+                    self.remaining -= take;
+                    if self.remaining == 0 {
+                        if self.state == State::FixedBody {
+                            return Ok((pos, Some(self.finish())));
+                        }
+                        self.state = State::ChunkCr;
+                    }
+                }
+                // Each chunk's data is followed by its own CRLF. Bare LF
+                // is not tolerated here (unlike header lines): chunked
+                // senders always emit CRLF.
+                State::ChunkCr => {
+                    if input[pos] != b'\r' {
+                        return Err(Error::BadChunk);
+                    }
+                    pos += 1;
+                    self.state = State::ChunkLf;
+                }
+                State::ChunkLf => {
+                    if input[pos] != b'\n' {
+                        return Err(Error::BadChunk);
+                    }
+                    pos += 1;
+                    self.state = State::ChunkSize;
+                }
             }
-            Ok(_) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e.into()),
         }
-        let b = byte[0];
-        if b == b'\n' {
-            if buf.last() == Some(&b'\r') {
-                buf.pop();
+        Ok((pos, None))
+    }
+
+    /// Line cap and its name for the current line-oriented state.
+    fn line_cap(&self) -> (usize, &'static str) {
+        match self.state {
+            State::RequestLine => (self.limits.max_request_line, "request line"),
+            State::Headers => (self.limits.max_header_line, "header"),
+            State::ChunkSize => (self.limits.max_header_line, "chunk size line"),
+            _ => (self.limits.max_header_line, "trailer"),
+        }
+    }
+
+    /// Finalize the accumulated line at its LF: strip the CR, reject
+    /// control bytes / non-ASCII (keeps the `String` conversion
+    /// infallible — obs-text is rare enough to refuse).
+    fn take_line(&mut self) -> Result<String, Error> {
+        if self.line.last() == Some(&b'\r') {
+            self.line.pop();
+        }
+        if self
+            .line
+            .iter()
+            .any(|&c| c == 0x7f || (c < 0x20 && c != b'\t') || c >= 0x80)
+        {
+            return Err(Error::BadHeader);
+        }
+        String::from_utf8(std::mem::take(&mut self.line)).map_err(|_| Error::BadHeader)
+    }
+
+    /// Advance on a completed line; `Ok(true)` means the request is done.
+    fn on_line(&mut self, line: &str) -> Result<bool, Error> {
+        match self.state {
+            State::RequestLine => {
+                let (method, target, version) = parse_request_line(line)?;
+                self.method = method;
+                self.target = target;
+                self.version = version;
+                self.state = State::Headers;
+                Ok(false)
             }
-            // Header lines are ASCII; high bytes (obs-text) are rare
-            // enough in practice that rejecting them keeps the grammar
-            // simple and `String` conversion infallible.
-            if buf
-                .iter()
-                .any(|&c| c == 0x7f || (c < 0x20 && c != b'\t') || c >= 0x80)
-            {
-                return Err(Error::BadHeader);
+            State::Headers => {
+                if line.is_empty() {
+                    match body_plan(&self.headers, &self.limits)? {
+                        BodyPlan::None | BodyPlan::Fixed(0) => Ok(true),
+                        BodyPlan::Fixed(len) => {
+                            self.body.reserve(len);
+                            self.remaining = len;
+                            self.state = State::FixedBody;
+                            Ok(false)
+                        }
+                        BodyPlan::Chunked => {
+                            self.state = State::ChunkSize;
+                            Ok(false)
+                        }
+                    }
+                } else {
+                    if self.headers.len() >= self.limits.max_headers {
+                        return Err(Error::TooLarge("header count"));
+                    }
+                    self.headers.push(parse_header_line(line)?);
+                    Ok(false)
+                }
             }
-            let text = String::from_utf8(buf).map_err(|_| Error::BadHeader)?;
-            return Ok(Line::Text(text));
+            State::ChunkSize => {
+                // Chunk extensions (`;name=value`) are legal; ignore them.
+                let size_str = line.split(';').next().unwrap_or("").trim();
+                if size_str.is_empty()
+                    || size_str.len() > 15
+                    || !size_str.bytes().all(|b| b.is_ascii_hexdigit())
+                {
+                    return Err(Error::BadChunk);
+                }
+                let size = usize::from_str_radix(size_str, 16).map_err(|_| Error::BadChunk)?;
+                if size == 0 {
+                    self.trailers_seen = 0;
+                    self.state = State::Trailers;
+                } else {
+                    if self.body.len().saturating_add(size) > self.limits.max_body {
+                        return Err(Error::BodyTooLarge);
+                    }
+                    self.remaining = size;
+                    self.state = State::ChunkData;
+                }
+                Ok(false)
+            }
+            State::Trailers => {
+                if line.is_empty() {
+                    return Ok(true);
+                }
+                if self.trailers_seen >= self.limits.max_headers {
+                    return Err(Error::TooLarge("trailer count"));
+                }
+                parse_header_line(line)?;
+                self.trailers_seen += 1;
+                Ok(false)
+            }
+            _ => unreachable!("on_line only fires in line-oriented states"),
         }
-        if buf.len() >= max {
-            return Err(Error::TooLarge(what));
+    }
+
+    /// Package the accumulated request and reset for the next one.
+    fn finish(&mut self) -> Request {
+        self.state = State::RequestLine;
+        self.remaining = 0;
+        self.trailers_seen = 0;
+        Request {
+            method: std::mem::take(&mut self.method),
+            target: std::mem::take(&mut self.target),
+            version: self.version,
+            headers: std::mem::take(&mut self.headers),
+            body: std::mem::take(&mut self.body),
         }
-        buf.push(b);
     }
 }
 
@@ -292,11 +495,8 @@ fn parse_header_line(line: &str) -> Result<(String, String), Error> {
     Ok((name.to_ascii_lowercase(), value.to_string()))
 }
 
-fn read_body(
-    reader: &mut impl BufRead,
-    headers: &[(String, String)],
-    limits: &Limits,
-) -> Result<Vec<u8>, Error> {
+/// Decide the body framing from the completed header block.
+fn body_plan(headers: &[(String, String)], limits: &Limits) -> Result<BodyPlan, Error> {
     let te: Vec<&str> = headers
         .iter()
         .filter(|(n, _)| n == "transfer-encoding")
@@ -316,11 +516,11 @@ fn read_body(
         if te.len() > 1 || !te[0].trim().eq_ignore_ascii_case("chunked") {
             return Err(Error::UnsupportedTransferEncoding);
         }
-        return read_chunked_body(reader, limits);
+        return Ok(BodyPlan::Chunked);
     }
 
     let Some(&first) = cl.first() else {
-        return Ok(Vec::new());
+        return Ok(BodyPlan::None);
     };
     // Duplicates must agree byte-for-byte (RFC 9110 §8.6).
     if cl.iter().any(|&v| v != first) {
@@ -333,71 +533,7 @@ fn read_body(
     if len > limits.max_body {
         return Err(Error::BodyTooLarge);
     }
-    read_exact(reader, len)
-}
-
-fn read_chunked_body(reader: &mut impl BufRead, limits: &Limits) -> Result<Vec<u8>, Error> {
-    let mut body: Vec<u8> = Vec::new();
-    loop {
-        let line = match read_line(reader, limits.max_header_line, "chunk size line")? {
-            Line::Eof => return Err(Error::UnexpectedEof),
-            Line::Text(l) => l,
-        };
-        // Chunk extensions (`;name=value`) are legal; ignore them.
-        let size_str = line.split(';').next().unwrap_or("").trim();
-        if size_str.is_empty()
-            || size_str.len() > 15
-            || !size_str.bytes().all(|b| b.is_ascii_hexdigit())
-        {
-            return Err(Error::BadChunk);
-        }
-        let size = usize::from_str_radix(size_str, 16).map_err(|_| Error::BadChunk)?;
-        if size == 0 {
-            consume_trailers(reader, limits)?;
-            return Ok(body);
-        }
-        if body.len().saturating_add(size) > limits.max_body {
-            return Err(Error::BodyTooLarge);
-        }
-        let chunk = read_exact(reader, size)?;
-        body.extend_from_slice(&chunk);
-        // Each chunk's data is followed by its own CRLF. Bare LF is not
-        // tolerated here (unlike header lines): consuming only one byte
-        // would need push-back, and chunked senders always emit CRLF.
-        let mut crlf = [0u8; 2];
-        read_exact_into(reader, &mut crlf)?;
-        if crlf != *b"\r\n" {
-            return Err(Error::BadChunk);
-        }
-    }
-}
-
-/// After the last chunk: zero or more trailer lines, then an empty line.
-fn consume_trailers(reader: &mut impl BufRead, limits: &Limits) -> Result<(), Error> {
-    for _ in 0..=limits.max_headers {
-        let line = match read_line(reader, limits.max_header_line, "trailer")? {
-            Line::Eof => return Err(Error::UnexpectedEof),
-            Line::Text(l) => l,
-        };
-        if line.is_empty() {
-            return Ok(());
-        }
-        parse_header_line(&line)?;
-    }
-    Err(Error::TooLarge("trailer count"))
-}
-
-fn read_exact(reader: &mut impl Read, len: usize) -> Result<Vec<u8>, Error> {
-    let mut buf = vec![0u8; len];
-    read_exact_into(reader, &mut buf)?;
-    Ok(buf)
-}
-
-fn read_exact_into(reader: &mut impl Read, buf: &mut [u8]) -> Result<(), Error> {
-    reader.read_exact(buf).map_err(|e| match e.kind() {
-        std::io::ErrorKind::UnexpectedEof => Error::UnexpectedEof,
-        kind => Error::Io(kind),
-    })
+    Ok(BodyPlan::Fixed(len))
 }
 
 #[cfg(test)]
@@ -585,5 +721,54 @@ mod tests {
         assert_eq!(Error::UnsupportedVersion.status_hint(), Some(505));
         assert_eq!(Error::UnsupportedTransferEncoding.status_hint(), Some(501));
         assert_eq!(Error::UnexpectedEof.status_hint(), None);
+    }
+
+    #[test]
+    fn push_parser_resumes_across_byte_by_byte_feeding() {
+        let raw = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    4\r\nWiki\r\n5\r\npedia\r\n0\r\nX-Sum: 9\r\n\r\n";
+        let mut parser = Parser::new(Limits::default());
+        assert!(parser.is_idle());
+        let mut done = None;
+        for (i, byte) in raw.iter().enumerate() {
+            let (n, req) = parser.feed(std::slice::from_ref(byte)).unwrap();
+            assert_eq!(n, 1, "byte {i} not consumed");
+            if let Some(req) = req {
+                assert_eq!(i, raw.len() - 1, "completed early at byte {i}");
+                done = Some(req);
+            } else {
+                assert!(!parser.is_idle(), "mid-request but claims idle");
+            }
+        }
+        let req = done.expect("request never completed");
+        assert_eq!(req.body, b"Wikipedia");
+        // The parser reset itself: immediately reusable for keep-alive.
+        assert!(parser.is_idle());
+        let (n, second) = parser.feed(b"GET /y HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(n, 19);
+        assert_eq!(second.unwrap().target, "/y");
+    }
+
+    #[test]
+    fn push_parser_stops_at_request_boundary_in_one_buffer() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut parser = Parser::new(Limits::default());
+        let (n, first) = parser.feed(raw).unwrap();
+        assert_eq!(n, 19);
+        assert_eq!(first.unwrap().target, "/a");
+        let (n2, second) = parser.feed(&raw[n..]).unwrap();
+        assert_eq!(n2, 19);
+        assert_eq!(second.unwrap().target, "/b");
+    }
+
+    #[test]
+    fn push_parser_idle_flag_tracks_consumed_bytes() {
+        let mut parser = Parser::new(Limits::default());
+        assert!(parser.is_idle());
+        parser.feed(b"G").unwrap();
+        assert!(!parser.is_idle());
+        // A completed request flips it back.
+        parser.feed(b"ET / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(parser.is_idle());
     }
 }

@@ -1,20 +1,58 @@
-//! Thread-per-connection HTTP server with keep-alive and graceful drain.
+//! Evented HTTP server: one reactor thread, a small handler pool,
+//! admission control at the accept edge, and graceful drain.
 //!
-//! One OS thread per accepted connection is the right trade here: the
-//! container is single-core, `MulService` already owns the worker pool,
-//! and connection counts in the load tests are tens, not tens of
-//! thousands. The interesting part is shutdown: [`Server::shutdown`]
-//! stops accepting, then *drains* — in-flight requests finish and their
-//! responses flush before the call returns (bounded by the configured
-//! drain timeout).
+//! ## Architecture
+//!
+//! A single **reactor** thread owns the listener, every connection
+//! socket, and a readiness [`Poller`] (raw-syscall epoll on Linux
+//! x86_64, a sleep-poll fallback elsewhere — see [`crate::poller`]).
+//! All sockets are non-blocking; the reactor pumps readable ones
+//! through per-connection resumable [`Parser`] state machines. A
+//! fully-parsed request is handed to a fixed pool of **handler
+//! worker** threads over a channel; the worker flips its clone of the
+//! socket to blocking for the response write, then sends a *rearm*
+//! message back so the reactor resumes watching the connection. Idle
+//! keep-alive connections therefore cost a registered fd, not a parked
+//! thread: thread count is `1 + handler_threads`, independent of
+//! connection count.
+//!
+//! While a connection is *busy* (its request is queued or inside a
+//! handler) the reactor deregisters it and never touches the socket,
+//! so the worker's blocking-mode writes — `O_NONBLOCK` is a property
+//! of the shared open file description — cannot race reactor reads.
+//!
+//! ## Admission control and timeouts
+//!
+//! * Over [`ServerConfig::max_connections`], new connects are answered
+//!   `503` + `Connection: close` immediately and dropped (metered as
+//!   [`ServerStats::rejected_over_cap`]).
+//! * Transient `accept()` errors (EMFILE, ECONNABORTED bursts) back
+//!   off exponentially (1ms doubling to 128ms) instead of spinning,
+//!   metered as [`ServerStats::accept_errors`]; the listener is
+//!   deregistered for the backoff window so the poller stays quiet.
+//! * A connection idle past [`ServerConfig::read_timeout`] is closed
+//!   silently *only if no bytes of a request have arrived*; a
+//!   half-received request is answered `408 Request Timeout` and
+//!   metered as [`ServerStats::request_timeouts`].
+//!
+//! ## Shutdown
+//!
+//! [`Server::shutdown`] stops accepting and *drains*: every request
+//! already fully received — whether inside a handler or still queued
+//! for the pool — finishes and flushes before the call returns
+//! (bounded by the drain timeout). Only connections idle between
+//! requests, or with a request still partially received, are cut off.
 
-use std::io::{BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::request::{Limits, Request};
+use crate::poller::Poller;
+use crate::request::{Limits, Parser, Request};
 use crate::response::{write_response, ChunkedWriter};
 
 /// Handler invoked once per parsed request.
@@ -29,13 +67,21 @@ pub struct ServerConfig {
     /// Parser limits applied to every request.
     pub limits: Limits,
     /// Requests served per connection before the server closes it
-    /// (bounds how long one peer can pin a thread).
+    /// (bounds how long one peer can pin a connection slot).
     pub keep_alive_requests: usize,
-    /// Socket read timeout; an idle keep-alive connection is dropped
-    /// silently when it expires.
+    /// Idle cutoff: a connection with no request bytes for this long is
+    /// closed silently; one with a *partial* request gets a `408`.
     pub read_timeout: Duration,
-    /// How long [`Server::shutdown`] waits for in-flight connections.
+    /// How long [`Server::shutdown`] waits for in-flight requests.
     pub drain_timeout: Duration,
+    /// Connection cap: connects beyond it are answered `503` +
+    /// `Connection: close` and dropped without entering the reactor.
+    pub max_connections: usize,
+    /// Handler pool size — the only per-request concurrency knob; the
+    /// reactor itself is always one thread.
+    pub handler_threads: usize,
+    /// Socket write timeout applied while a handler owns the response.
+    pub write_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -45,6 +91,9 @@ impl Default for ServerConfig {
             keep_alive_requests: 1024,
             read_timeout: Duration::from_secs(30),
             drain_timeout: Duration::from_secs(10),
+            max_connections: 1024,
+            handler_threads: 4,
+            write_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -69,10 +118,7 @@ impl Responder<'_> {
         headers: &[(&str, &str)],
         body: &[u8],
     ) -> std::io::Result<()> {
-        let mut all: Vec<(&str, &str)> = headers.to_vec();
-        if self.close {
-            all.push(("Connection", "close"));
-        }
+        let all = self.merge_connection_header(headers);
         self.responded = true;
         write_response(self.stream, status, &all, body)
     }
@@ -83,12 +129,33 @@ impl Responder<'_> {
         status: u16,
         headers: &[(&str, &str)],
     ) -> std::io::Result<ChunkedWriter<'_, TcpStream>> {
-        let mut all: Vec<(&str, &str)> = headers.to_vec();
+        let all = self.merge_connection_header(headers);
+        self.responded = true;
+        ChunkedWriter::start(self.stream, status, &all)
+    }
+
+    /// Collapse `Connection` headers to exactly one, server-side state
+    /// winning: a handler may opt *into* closing (its `close` upgrades
+    /// ours) but cannot veto a server-side close (cap, keep-alive
+    /// budget, shutdown) — any other handler-supplied value is dropped.
+    fn merge_connection_header<'h>(
+        &mut self,
+        headers: &[(&'h str, &'h str)],
+    ) -> Vec<(&'h str, &'h str)> {
+        let mut all: Vec<(&str, &str)> = Vec::with_capacity(headers.len() + 1);
+        for &(name, value) in headers {
+            if name.eq_ignore_ascii_case("connection") {
+                if value.eq_ignore_ascii_case("close") {
+                    self.close = true;
+                }
+                continue;
+            }
+            all.push((name, value));
+        }
         if self.close {
             all.push(("Connection", "close"));
         }
-        self.responded = true;
-        ChunkedWriter::start(self.stream, status, &all)
+        all
     }
 
     /// Whether a response (or at least its head) has been written.
@@ -106,25 +173,14 @@ impl Responder<'_> {
 
 struct Shared {
     stopping: AtomicBool,
+    /// Hard stop: the reactor exits its loop even with busy connections.
+    kill: AtomicBool,
     active: AtomicUsize,
     total: AtomicU64,
     parse_errors: AtomicU64,
-    next_conn_id: AtomicU64,
-    /// Socket handle + "mid-request" flag per live connection, so
-    /// shutdown can close *idle* connections (parked in a blocking read
-    /// between keep-alive requests) while letting busy ones finish.
-    conns: std::sync::Mutex<std::collections::HashMap<u64, (TcpStream, Arc<AtomicBool>)>>,
-}
-
-impl Shared {
-    fn lock_conns(
-        &self,
-    ) -> std::sync::MutexGuard<'_, std::collections::HashMap<u64, (TcpStream, Arc<AtomicBool>)>>
-    {
-        self.conns
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
+    accept_errors: AtomicU64,
+    rejected_over_cap: AtomicU64,
+    request_timeouts: AtomicU64,
 }
 
 /// Cloneable view of a server's connection counters (see
@@ -141,7 +197,8 @@ impl ServerStats {
         self.shared.active.load(Ordering::Relaxed)
     }
 
-    /// Connections accepted since startup.
+    /// Connections accepted since startup (over-cap rejects included —
+    /// they were accepted at the socket layer to say `503`).
     #[must_use]
     pub fn total_connections(&self) -> u64 {
         self.shared.total.load(Ordering::Relaxed)
@@ -152,40 +209,139 @@ impl ServerStats {
     pub fn parse_errors(&self) -> u64 {
         self.shared.parse_errors.load(Ordering::Relaxed)
     }
+
+    /// Transient `accept()` failures since startup (each also arms the
+    /// accept backoff).
+    #[must_use]
+    pub fn accept_errors(&self) -> u64 {
+        self.shared.accept_errors.load(Ordering::Relaxed)
+    }
+
+    /// Connects answered `503` because `max_connections` was reached.
+    #[must_use]
+    pub fn rejected_over_cap(&self) -> u64 {
+        self.shared.rejected_over_cap.load(Ordering::Relaxed)
+    }
+
+    /// Half-received requests answered `408` on read timeout.
+    #[must_use]
+    pub fn request_timeouts(&self) -> u64 {
+        self.shared.request_timeouts.load(Ordering::Relaxed)
+    }
 }
 
 /// A running HTTP server. Dropping it without calling
-/// [`Server::shutdown`] aborts the accept loop without draining.
+/// [`Server::shutdown`] aborts the reactor without draining.
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    poller: Arc<Poller>,
+    reactor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
     drain_timeout: Duration,
 }
 
+/// Poller token reserved for the listener socket. Connection ids count
+/// up from zero and never reach it (the poller reserves `u64::MAX - 1`
+/// for its own waker).
+const LISTENER_TOKEN: u64 = u64::MAX;
+
+/// Reactor loop tick: upper bound on readiness-wait blocking, which is
+/// also the granularity of timeout sweeps and backoff deadlines.
+const TICK: Duration = Duration::from_millis(25);
+
+/// Cap on the accept-error backoff.
+const MAX_ACCEPT_BACKOFF: Duration = Duration::from_millis(128);
+
+/// Next accept backoff after another error: 1ms, doubling to the cap.
+fn next_backoff(current: Duration) -> Duration {
+    if current.is_zero() {
+        Duration::from_millis(1)
+    } else {
+        (current * 2).min(MAX_ACCEPT_BACKOFF)
+    }
+}
+
+/// A fully-parsed request travelling to the handler pool.
+struct Job {
+    conn_id: u64,
+    stream: TcpStream,
+    request: Request,
+    close: bool,
+}
+
+/// Worker-to-reactor control traffic.
+enum Control {
+    /// Handler finished: resume watching the connection (or close it).
+    Rearm { conn_id: u64, close: bool },
+}
+
 impl Server {
-    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
-    /// accepting connections, dispatching every request to `handler`.
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port), start the
+    /// reactor and handler pool, and dispatch every request to `handler`.
     pub fn bind(addr: &str, cfg: ServerConfig, handler: Arc<Handler>) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared {
             stopping: AtomicBool::new(false),
+            kill: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             total: AtomicU64::new(0),
             parse_errors: AtomicU64::new(0),
-            next_conn_id: AtomicU64::new(0),
-            conns: std::sync::Mutex::new(std::collections::HashMap::new()),
+            accept_errors: AtomicU64::new(0),
+            rejected_over_cap: AtomicU64::new(0),
+            request_timeouts: AtomicU64::new(0),
         });
-        let accept_shared = Arc::clone(&shared);
+        let poller = Arc::new(Poller::new());
+        poller.add(listener.as_raw_fd(), LISTENER_TOKEN)?;
+
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let (ctrl_tx, ctrl_rx) = mpsc::channel::<Control>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+
+        let mut workers = Vec::with_capacity(cfg.handler_threads.max(1));
+        for i in 0..cfg.handler_threads.max(1) {
+            let job_rx = Arc::clone(&job_rx);
+            let ctrl_tx = ctrl_tx.clone();
+            let handler = Arc::clone(&handler);
+            let poller_w = Arc::clone(&poller);
+            let write_timeout = cfg.write_timeout;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("ft-net-worker-{i}"))
+                    .spawn(move || {
+                        worker_loop(&job_rx, &handler, &ctrl_tx, &poller_w, write_timeout)
+                    })?,
+            );
+        }
+        drop(ctrl_tx);
+
         let drain_timeout = cfg.drain_timeout;
-        let accept_thread = std::thread::Builder::new()
-            .name("ft-net-accept".into())
-            .spawn(move || accept_loop(&listener, &cfg, &handler, &accept_shared))?;
+        let reactor = Reactor {
+            listener: Some(listener),
+            listener_registered: true,
+            poller: Arc::clone(&poller),
+            cfg,
+            shared: Arc::clone(&shared),
+            conns: HashMap::new(),
+            next_id: 0,
+            job_tx,
+            ctrl_rx,
+            accept_backoff: Duration::ZERO,
+            accept_resume: None,
+            draining: false,
+        };
+        let reactor = std::thread::Builder::new()
+            .name("ft-net-reactor".into())
+            .spawn(move || reactor.run())?;
+
         Ok(Server {
             addr: local,
             shared,
-            accept_thread: Some(accept_thread),
+            poller,
+            reactor: Some(reactor),
+            workers,
             drain_timeout,
         })
     }
@@ -214,6 +370,24 @@ impl Server {
         self.shared.parse_errors.load(Ordering::Relaxed)
     }
 
+    /// Transient `accept()` failures since startup.
+    #[must_use]
+    pub fn accept_errors(&self) -> u64 {
+        self.shared.accept_errors.load(Ordering::Relaxed)
+    }
+
+    /// Connects answered `503` because `max_connections` was reached.
+    #[must_use]
+    pub fn rejected_over_cap(&self) -> u64 {
+        self.shared.rejected_over_cap.load(Ordering::Relaxed)
+    }
+
+    /// Half-received requests answered `408` on read timeout.
+    #[must_use]
+    pub fn request_timeouts(&self) -> u64 {
+        self.shared.request_timeouts.load(Ordering::Relaxed)
+    }
+
     /// A cloneable probe for this server's connection counters, usable
     /// from inside a handler (which cannot borrow the [`Server`] that
     /// was created after it). The probe stays valid — frozen at its
@@ -226,160 +400,553 @@ impl Server {
     }
 
     /// Stop accepting, drain in-flight requests (up to the drain
-    /// timeout), and join the accept thread.
+    /// timeout), and join the reactor and handler pool.
     ///
-    /// "In flight" means a fully parsed request inside its handler:
-    /// those finish and their responses flush. Idle keep-alive
-    /// connections (parked between requests) are closed immediately —
-    /// a request not yet fully received when shutdown starts is cut
-    /// off. Returns the number of connections still active when the
-    /// drain window closed (0 on a clean drain; stragglers keep their
-    /// detached threads and fail on their own once the process tears
-    /// down what they talk to).
+    /// "In flight" means a fully *received* request: inside a handler,
+    /// or parsed and queued for the pool — both finish and their
+    /// responses flush. Idle keep-alive connections and half-received
+    /// requests are closed immediately. Returns the number of
+    /// connections still active when the drain window closed (0 on a
+    /// clean drain; stragglers keep their pool workers, which are left
+    /// detached and fail on their own once the process tears down what
+    /// they talk to).
     pub fn shutdown(mut self) -> usize {
         self.shared.stopping.store(true, Ordering::SeqCst);
-        // The accept loop is blocked in `accept`; poke it awake.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
+        self.poller.wake();
         let deadline = Instant::now() + self.drain_timeout;
-        loop {
-            // Close every idle connection so its blocked read returns
-            // EOF; re-scan each pass — busy connections go idle as
-            // their handlers complete.
-            for (stream, busy) in self.shared.lock_conns().values() {
-                if !busy.load(Ordering::Acquire) {
-                    let _ = stream.shutdown(std::net::Shutdown::Both);
-                }
-            }
-            if self.shared.active.load(Ordering::Acquire) == 0 || Instant::now() >= deadline {
-                break;
-            }
+        while self.shared.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(1));
         }
-        self.shared.active.load(Ordering::Acquire)
+        let leftover = self.shared.active.load(Ordering::Acquire);
+        self.shared.kill.store(true, Ordering::SeqCst);
+        self.poller.wake();
+        if let Some(t) = self.reactor.take() {
+            let _ = t.join();
+        }
+        // The reactor's exit dropped the job sender, so idle workers are
+        // unblocking now. Join them only on a clean drain — a straggler
+        // stuck in a handler must not hang shutdown.
+        let workers = std::mem::take(&mut self.workers);
+        if leftover == 0 {
+            for w in workers {
+                let _ = w.join();
+            }
+        }
+        leftover
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.reactor.take() {
             self.shared.stopping.store(true, Ordering::SeqCst);
-            let _ = TcpStream::connect(self.addr);
+            self.shared.kill.store(true, Ordering::SeqCst);
+            self.poller.wake();
             let _ = t.join();
         }
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    cfg: &ServerConfig,
+/// Handler pool worker: pull a parsed request, answer it with the
+/// socket temporarily in blocking mode, hand the connection back.
+fn worker_loop(
+    job_rx: &Mutex<mpsc::Receiver<Job>>,
     handler: &Arc<Handler>,
-    shared: &Arc<Shared>,
+    ctrl_tx: &mpsc::Sender<Control>,
+    poller: &Poller,
+    write_timeout: Duration,
 ) {
-    for stream in listener.incoming() {
-        if shared.stopping.load(Ordering::SeqCst) {
-            break;
+    loop {
+        let job = {
+            let rx = job_rx
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            rx.recv()
+        };
+        let Ok(Job {
+            conn_id,
+            mut stream,
+            request,
+            close,
+        }) = job
+        else {
+            return; // reactor gone
+        };
+        // The reactor never touches a busy connection, so flipping the
+        // shared open file description to blocking is race-free here.
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_write_timeout(Some(write_timeout));
+        let (handled, responded, close) = {
+            let mut responder = Responder {
+                stream: &mut stream,
+                close,
+                responded: false,
+            };
+            let handled = handler(&request, &mut responder);
+            (handled.is_ok(), responder.responded, responder.close)
+        };
+        let mut close = close || !handled;
+        if !responded {
+            // A handler that forgot to respond still owes the peer an
+            // answer before we hang up.
+            let _ = write_response(
+                &mut stream,
+                500,
+                &[("Connection", "close")],
+                b"handler produced no response\n",
+            );
+            close = true;
         }
-        let Ok(stream) = stream else { continue };
-        shared.total.fetch_add(1, Ordering::Relaxed);
-        shared.active.fetch_add(1, Ordering::AcqRel);
-        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
-        let busy = Arc::new(AtomicBool::new(false));
-        if let Ok(registry_handle) = stream.try_clone() {
-            shared
-                .lock_conns()
-                .insert(conn_id, (registry_handle, Arc::clone(&busy)));
+        let _ = stream.flush();
+        let _ = stream.set_nonblocking(true);
+        drop(stream);
+        if ctrl_tx.send(Control::Rearm { conn_id, close }).is_err() {
+            return;
         }
-        let cfg = cfg.clone();
-        let handler = Arc::clone(handler);
-        let conn_shared = Arc::clone(shared);
-        let spawned = std::thread::Builder::new()
-            .name("ft-net-conn".into())
-            .spawn(move || {
-                serve_connection(stream, &cfg, &handler, &conn_shared, &busy);
-                conn_shared.lock_conns().remove(&conn_id);
-                conn_shared.active.fetch_sub(1, Ordering::AcqRel);
-            });
-        if spawned.is_err() {
-            shared.lock_conns().remove(&conn_id);
-            shared.active.fetch_sub(1, Ordering::AcqRel);
-        }
+        poller.wake();
     }
 }
 
-fn serve_connection(
+/// Per-connection reactor state.
+struct Conn {
     stream: TcpStream,
-    cfg: &ServerConfig,
-    handler: &Arc<Handler>,
-    shared: &Arc<Shared>,
-    busy: &AtomicBool,
-) {
-    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut write_half = stream;
-    for served in 1..=cfg.keep_alive_requests {
-        match Request::read_from(&mut reader, &cfg.limits) {
-            Ok(None) => break, // peer closed between requests
-            Ok(Some(req)) => {
-                busy.store(true, Ordering::Release);
-                let close = req.wants_close()
-                    || served == cfg.keep_alive_requests
-                    || shared.stopping.load(Ordering::SeqCst);
-                let mut responder = Responder {
-                    stream: &mut write_half,
-                    close,
-                    responded: false,
-                };
-                let handled = handler(&req, &mut responder);
-                busy.store(false, Ordering::Release);
-                if handled.is_err() {
-                    break; // peer went away mid-response
-                }
-                if !responder.responded {
-                    // A handler that forgot to respond still owes the
-                    // peer an answer before we hang up.
-                    let _ = write_response(
-                        &mut write_half,
-                        500,
-                        &[("Connection", "close")],
-                        b"handler produced no response\n",
-                    );
-                    break;
-                }
-                if close {
-                    break;
-                }
+    parser: Parser,
+    /// Bytes read but not yet consumed by the parser (pipelined tail
+    /// after a completed request).
+    pending: Vec<u8>,
+    served: usize,
+    /// Request handed to the pool; the reactor keeps hands off until
+    /// the worker's rearm message.
+    busy: bool,
+    last_activity: Instant,
+    /// Currently registered with the poller.
+    registered: bool,
+}
+
+/// What `pump`'s parse stage decided while the connection was borrowed.
+enum ParseStep {
+    /// Nothing buffered (or no complete request yet): go read.
+    NeedRead,
+    /// A request completed; hand it to the pool.
+    Dispatch(Request),
+    /// Parse error: answer `status` (if any) and close.
+    Reject(Option<u16>, String),
+}
+
+/// What `pump`'s read stage decided.
+enum ReadStep {
+    /// Got bytes; run the parser again.
+    Parse,
+    /// `EWOULDBLOCK`: wait for readiness.
+    Wait,
+    /// EOF or socket error: drop the connection.
+    Close,
+}
+
+struct Reactor {
+    /// `None` once draining begins (the socket is closed to refuse new
+    /// connects at the kernel).
+    listener: Option<TcpListener>,
+    listener_registered: bool,
+    poller: Arc<Poller>,
+    cfg: ServerConfig,
+    shared: Arc<Shared>,
+    conns: HashMap<u64, Conn>,
+    next_id: u64,
+    job_tx: mpsc::Sender<Job>,
+    ctrl_rx: mpsc::Receiver<Control>,
+    accept_backoff: Duration,
+    /// When set, accepting is paused (listener deregistered) until then.
+    accept_resume: Option<Instant>,
+    draining: bool,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut tokens: Vec<u64> = Vec::with_capacity(64);
+        loop {
+            while let Ok(Control::Rearm { conn_id, close }) = self.ctrl_rx.try_recv() {
+                self.rearm(conn_id, close);
             }
-            Err(err) => {
-                if let Some(status) = err.status_hint() {
-                    shared.parse_errors.fetch_add(1, Ordering::Relaxed);
-                    let body = format!("{err}\n");
-                    let _ = write_response(
-                        &mut write_half,
-                        status,
-                        &[("Content-Type", "text/plain"), ("Connection", "close")],
-                        body.as_bytes(),
-                    );
-                }
+            if self.shared.kill.load(Ordering::SeqCst) {
                 break;
             }
+            if self.shared.stopping.load(Ordering::SeqCst) {
+                self.begin_drain();
+                if self.conns.is_empty() {
+                    break; // fully drained
+                }
+            }
+            self.maybe_resume_accept();
+            self.sweep_timeouts();
+            tokens.clear();
+            self.poller.wait(&mut tokens, TICK);
+            for &token in &tokens {
+                if token == LISTENER_TOKEN {
+                    self.accept_ready();
+                } else {
+                    self.pump(token);
+                }
+            }
         }
-        let _ = write_half.flush();
     }
+
+    /// Accept until the backlog is empty, rejecting over-cap connects
+    /// and arming the backoff on socket errors.
+    fn accept_ready(&mut self) {
+        loop {
+            if self.accept_resume.is_some() {
+                return; // backing off
+            }
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    self.accept_backoff = Duration::ZERO;
+                    self.shared.total.fetch_add(1, Ordering::Relaxed);
+                    if self.conns.len() >= self.cfg.max_connections {
+                        self.shared
+                            .rejected_over_cap
+                            .fetch_add(1, Ordering::Relaxed);
+                        reject_over_cap(stream);
+                        continue;
+                    }
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.conns.insert(
+                        id,
+                        Conn {
+                            stream,
+                            parser: Parser::new(self.cfg.limits.clone()),
+                            pending: Vec::new(),
+                            served: 0,
+                            busy: false,
+                            last_activity: Instant::now(),
+                            registered: false,
+                        },
+                    );
+                    self.shared
+                        .active
+                        .store(self.conns.len(), Ordering::Release);
+                    // The first bytes may already be here; pump registers
+                    // with the poller once the socket runs dry.
+                    self.pump(id);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // EMFILE/ENFILE/ECONNABORTED bursts: meter, pause the
+                    // listener (so a level-triggered poller doesn't spin),
+                    // and retry after a bounded exponential backoff.
+                    self.shared.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    if self.listener_registered {
+                        self.poller.del(listener.as_raw_fd(), LISTENER_TOKEN);
+                        self.listener_registered = false;
+                    }
+                    self.accept_backoff = next_backoff(self.accept_backoff);
+                    self.accept_resume = Some(Instant::now() + self.accept_backoff);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Re-register the listener once an accept backoff window passes.
+    fn maybe_resume_accept(&mut self) {
+        let Some(resume_at) = self.accept_resume else {
+            return;
+        };
+        if Instant::now() < resume_at {
+            return;
+        }
+        self.accept_resume = None;
+        if let Some(listener) = self.listener.as_ref() {
+            if !self.listener_registered
+                && self
+                    .poller
+                    .add(listener.as_raw_fd(), LISTENER_TOKEN)
+                    .is_ok()
+            {
+                self.listener_registered = true;
+            }
+        }
+        // Drain whatever queued while paused.
+        self.accept_ready();
+    }
+
+    /// Read + parse a connection until it blocks, errors, or completes
+    /// a request (which is dispatched, marking the connection busy).
+    fn pump(&mut self, id: u64) {
+        let mut scratch = [0u8; 8192];
+        loop {
+            let step = {
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    return;
+                };
+                if conn.busy {
+                    return; // stale token; worker owns the socket
+                }
+                if conn.pending.is_empty() {
+                    ParseStep::NeedRead
+                } else {
+                    match conn.parser.feed(&conn.pending) {
+                        Ok((n, done)) => {
+                            conn.pending.drain(..n);
+                            match done {
+                                Some(req) => ParseStep::Dispatch(req),
+                                None => ParseStep::NeedRead,
+                            }
+                        }
+                        Err(err) => ParseStep::Reject(err.status_hint(), format!("{err}\n")),
+                    }
+                }
+            };
+            match step {
+                ParseStep::Dispatch(req) => {
+                    self.dispatch(id, req);
+                    return;
+                }
+                ParseStep::Reject(status, body) => {
+                    if let Some(status) = status {
+                        self.shared.parse_errors.fetch_add(1, Ordering::Relaxed);
+                        self.answer_and_close(id, status, &body);
+                    } else {
+                        self.close_conn(id);
+                    }
+                    return;
+                }
+                ParseStep::NeedRead => {}
+            }
+            let step = {
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    return;
+                };
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => ReadStep::Close,
+                    Ok(n) => {
+                        conn.last_activity = Instant::now();
+                        conn.pending.extend_from_slice(&scratch[..n]);
+                        ReadStep::Parse
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => ReadStep::Wait,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => ReadStep::Parse,
+                    Err(_) => ReadStep::Close,
+                }
+            };
+            match step {
+                ReadStep::Parse => {}
+                ReadStep::Wait => {
+                    self.register(id);
+                    return;
+                }
+                ReadStep::Close => {
+                    self.close_conn(id);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Mark the connection busy, deregister it, and queue the request
+    /// for the handler pool. This happens in the same reactor step that
+    /// completed the parse, so shutdown can never observe a
+    /// fully-received request on a non-busy connection.
+    fn dispatch(&mut self, id: u64, request: Request) {
+        let stopping = self.shared.stopping.load(Ordering::SeqCst);
+        let clone = {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            conn.served += 1;
+            conn.busy = true;
+            conn.last_activity = Instant::now();
+            if conn.registered {
+                self.poller.del(conn.stream.as_raw_fd(), id);
+                conn.registered = false;
+            }
+            conn.stream.try_clone().map(|s| {
+                let close = request.wants_close()
+                    || conn.served >= self.cfg.keep_alive_requests
+                    || stopping;
+                (s, close)
+            })
+        };
+        match clone {
+            Ok((stream, close)) => {
+                let _ = self.job_tx.send(Job {
+                    conn_id: id,
+                    stream,
+                    request,
+                    close,
+                });
+            }
+            Err(_) => self.close_conn(id),
+        }
+    }
+
+    /// A worker finished with a connection: close it or resume watching
+    /// (pipelined bytes may already be buffered, so pump immediately).
+    fn rearm(&mut self, id: u64, close: bool) {
+        let stopping = self.shared.stopping.load(Ordering::SeqCst);
+        {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            conn.busy = false;
+            conn.last_activity = Instant::now();
+        }
+        if close || stopping {
+            self.close_conn(id);
+        } else {
+            self.pump(id);
+        }
+    }
+
+    /// Close idle connections past the read timeout: silently when no
+    /// request bytes arrived, with a `408` when a request is
+    /// half-received.
+    fn sweep_timeouts(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                !c.busy && now.duration_since(c.last_activity) >= self.cfg.read_timeout
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            let idle = self
+                .conns
+                .get(&id)
+                .is_none_or(|c| c.parser.is_idle() && c.pending.is_empty());
+            if idle {
+                self.close_conn(id);
+            } else {
+                self.shared.request_timeouts.fetch_add(1, Ordering::Relaxed);
+                self.answer_and_close(id, 408, "request timed out\n");
+            }
+        }
+    }
+
+    /// One-time transition into drain: refuse new connects at the
+    /// kernel, give every non-busy connection one last pump (a fully
+    /// received request dispatches and will drain), then cut off the
+    /// rest. Busy connections close via their rearm message.
+    fn begin_drain(&mut self) {
+        if self.draining {
+            return;
+        }
+        self.draining = true;
+        if let Some(listener) = self.listener.take() {
+            if self.listener_registered {
+                self.poller.del(listener.as_raw_fd(), LISTENER_TOKEN);
+                self.listener_registered = false;
+            }
+        }
+        let ids: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| !c.busy)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            self.pump(id);
+        }
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| !c.busy)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in idle {
+            self.close_conn(id);
+        }
+    }
+
+    /// Best-effort write of a terminal error response, then close. The
+    /// connection is done either way, so the socket is flipped to
+    /// blocking with a short timeout for the write.
+    fn answer_and_close(&mut self, id: u64, status: u16, body: &str) {
+        if let Some(conn) = self.conns.get_mut(&id) {
+            let _ = conn.stream.set_nonblocking(false);
+            let _ = conn
+                .stream
+                .set_write_timeout(Some(Duration::from_millis(500)));
+            let _ = write_response(
+                &mut conn.stream,
+                status,
+                &[("Content-Type", "text/plain"), ("Connection", "close")],
+                body.as_bytes(),
+            );
+        }
+        self.close_conn(id);
+    }
+
+    fn register(&mut self, id: u64) {
+        let poller = &self.poller;
+        let failed = {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            if conn.registered {
+                false
+            } else if poller.add(conn.stream.as_raw_fd(), id).is_ok() {
+                conn.registered = true;
+                false
+            } else {
+                true
+            }
+        };
+        if failed {
+            self.close_conn(id);
+        }
+    }
+
+    fn close_conn(&mut self, id: u64) {
+        if let Some(conn) = self.conns.remove(&id) {
+            if conn.registered {
+                self.poller.del(conn.stream.as_raw_fd(), id);
+            }
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        self.shared
+            .active
+            .store(self.conns.len(), Ordering::Release);
+    }
+}
+
+/// Answer a connect that arrived over the connection cap: an immediate
+/// `503` + `Connection: close`, written with a short timeout so a slow
+/// peer cannot stall the reactor, then drop.
+fn reject_over_cap(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = write_response(
+        &mut stream,
+        503,
+        &[
+            ("Content-Type", "text/plain"),
+            ("Connection", "close"),
+            ("Retry-After", "1"),
+        ],
+        b"server at connection capacity\n",
+    );
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::{BufRead, Read};
+    use std::io::{BufRead, BufReader, Read};
 
     fn echo_server() -> Server {
+        echo_server_with(ServerConfig::default())
+    }
+
+    fn echo_server_with(cfg: ServerConfig) -> Server {
         let handler: Arc<Handler> = Arc::new(|req, resp| {
             if req.path() == "/echo" {
                 resp.send(200, "application/octet-stream", &req.body)
@@ -387,7 +954,7 @@ mod tests {
                 resp.send(404, "text/plain", b"nope\n")
             }
         });
-        Server::bind("127.0.0.1:0", ServerConfig::default(), handler).unwrap()
+        Server::bind("127.0.0.1:0", cfg, handler).unwrap()
     }
 
     fn roundtrip(stream: &mut TcpStream, request: &[u8]) -> (u16, Vec<u8>) {
@@ -411,6 +978,13 @@ mod tests {
         let mut body = vec![0u8; content_length];
         reader.read_exact(&mut body).unwrap();
         (status, body)
+    }
+
+    /// Read a whole raw response (until EOF) as text.
+    fn read_to_string(stream: &mut TcpStream) -> String {
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        out
     }
 
     #[test]
@@ -463,5 +1037,219 @@ mod tests {
         let (status, body) = client.join().unwrap();
         assert_eq!(status, 200);
         assert_eq!(body, b"slow\n");
+    }
+
+    #[test]
+    fn shutdown_drains_parsed_but_unstarted_request() {
+        // Regression: a fully-received request sitting in the handler
+        // queue (the pool is saturated, so it is not yet inside a
+        // handler) must survive shutdown, not be cut off by the idle
+        // sweep. One worker + a gated handler makes the window
+        // deterministic.
+        let gate = Arc::new(AtomicBool::new(false));
+        let handler_gate = Arc::clone(&gate);
+        let handler: Arc<Handler> = Arc::new(move |req, resp| {
+            if req.path() == "/slow" {
+                while !handler_gate.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+            resp.send(200, "text/plain", b"ok\n")
+        });
+        let cfg = ServerConfig {
+            handler_threads: 1,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", cfg, handler).unwrap();
+        let addr = server.local_addr();
+
+        // Conn A occupies the only worker.
+        let a = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            roundtrip(&mut stream, b"GET /slow HTTP/1.1\r\n\r\n")
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        // Conn B's request is fully received and queued, but no worker
+        // is free to mark it in-handler.
+        let b = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            roundtrip(&mut stream, b"GET /fast HTTP/1.1\r\n\r\n")
+        });
+        std::thread::sleep(Duration::from_millis(50));
+
+        let shutdown = std::thread::spawn(move || server.shutdown());
+        std::thread::sleep(Duration::from_millis(50));
+        gate.store(true, Ordering::Release);
+
+        assert_eq!(a.join().unwrap().0, 200, "in-handler request drained");
+        assert_eq!(b.join().unwrap().0, 200, "queued request drained");
+        assert_eq!(shutdown.join().unwrap(), 0, "drain completed cleanly");
+    }
+
+    #[test]
+    fn mid_request_timeout_answers_408() {
+        let cfg = ServerConfig {
+            read_timeout: Duration::from_millis(150),
+            ..ServerConfig::default()
+        };
+        let server = echo_server_with(cfg);
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Half a request line, then silence.
+        stream.write_all(b"GET /echo HT").unwrap();
+        let raw = read_to_string(&mut stream);
+        assert!(
+            raw.starts_with("HTTP/1.1 408 "),
+            "expected 408 for a half-received request, got: {raw:?}"
+        );
+        assert!(raw.contains("Connection: close\r\n"));
+        assert_eq!(server.request_timeouts(), 1);
+        assert_eq!(server.shutdown(), 0);
+    }
+
+    #[test]
+    fn idle_keep_alive_timeout_closes_silently() {
+        let cfg = ServerConfig {
+            read_timeout: Duration::from_millis(150),
+            ..ServerConfig::default()
+        };
+        let server = echo_server_with(cfg);
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // One full request so the connection is a real keep-alive peer.
+        let (status, _) = roundtrip(&mut stream, b"GET /echo HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        // Then idle: the close must be silent — EOF, no 408 bytes.
+        let raw = read_to_string(&mut stream);
+        assert_eq!(raw, "", "idle close must not write a response");
+        assert_eq!(server.request_timeouts(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_header_is_deduplicated() {
+        // Handler supplies its own Connection: close on a keep-alive
+        // request: exactly one Connection header goes out, and the
+        // server honors the close.
+        let handler: Arc<Handler> = Arc::new(|_req, resp| {
+            resp.send_with(
+                200,
+                &[("Connection", "close"), ("X-Extra", "kept")],
+                b"bye\n",
+            )
+        });
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default(), handler).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"GET /x HTTP/1.1\r\n\r\n").unwrap();
+        let raw = read_to_string(&mut stream); // EOF proves the close happened
+        let connection_headers = raw
+            .lines()
+            .filter(|l| l.to_ascii_lowercase().starts_with("connection:"))
+            .count();
+        assert_eq!(
+            connection_headers, 1,
+            "duplicate Connection header: {raw:?}"
+        );
+        assert!(raw.contains("Connection: close\r"));
+        assert!(raw.contains("X-Extra: kept\r"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_side_close_wins_over_handler_keep_alive() {
+        // keep_alive_requests = 1 forces a server-side close; a handler
+        // trying to veto it with Connection: keep-alive is overridden.
+        let handler: Arc<Handler> =
+            Arc::new(|_req, resp| resp.send_with(200, &[("Connection", "keep-alive")], b"ok\n"));
+        let cfg = ServerConfig {
+            keep_alive_requests: 1,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", cfg, handler).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"GET /x HTTP/1.1\r\n\r\n").unwrap();
+        let raw = read_to_string(&mut stream);
+        let connection_lines: Vec<&str> = raw
+            .lines()
+            .filter(|l| l.to_ascii_lowercase().starts_with("connection:"))
+            .collect();
+        assert_eq!(connection_lines, vec!["Connection: close"], "{raw:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn over_cap_connects_get_503_and_close() {
+        let cfg = ServerConfig {
+            max_connections: 2,
+            ..ServerConfig::default()
+        };
+        let server = echo_server_with(cfg);
+        let addr = server.local_addr();
+        // Fill the cap with two established, verified connections.
+        let mut a = TcpStream::connect(addr).unwrap();
+        let mut b = TcpStream::connect(addr).unwrap();
+        assert_eq!(roundtrip(&mut a, b"GET /echo HTTP/1.1\r\n\r\n").0, 200);
+        assert_eq!(roundtrip(&mut b, b"GET /echo HTTP/1.1\r\n\r\n").0, 200);
+        // The third connect is rejected immediately with a 503.
+        let mut c = TcpStream::connect(addr).unwrap();
+        let raw = read_to_string(&mut c);
+        assert!(raw.starts_with("HTTP/1.1 503 "), "{raw:?}");
+        assert!(raw.contains("Connection: close\r\n"));
+        assert_eq!(server.rejected_over_cap(), 1);
+        // Freeing a slot readmits new connections.
+        drop(a);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while server.active_connections() >= 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut d = TcpStream::connect(addr).unwrap();
+        assert_eq!(roundtrip(&mut d, b"GET /echo HTTP/1.1\r\n\r\n").0, 200);
+        assert_eq!(server.rejected_over_cap(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_on_one_connection_all_answer() {
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Two requests in one write: the parser must stop at the first
+        // boundary and the reactor must resume the tail after rearm.
+        stream
+            .write_all(b"GET /echo HTTP/1.1\r\n\r\nGET /echo HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for _ in 0..2 {
+            let mut status_line = String::new();
+            reader.read_line(&mut status_line).unwrap();
+            assert!(status_line.starts_with("HTTP/1.1 200"), "{status_line:?}");
+            let mut content_length = 0usize;
+            loop {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                if line.trim_end().is_empty() {
+                    break;
+                }
+                if let Some(v) = line
+                    .trim_end()
+                    .to_ascii_lowercase()
+                    .strip_prefix("content-length:")
+                {
+                    content_length = v.trim().parse().unwrap();
+                }
+            }
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body).unwrap();
+        }
+        assert_eq!(server.total_connections(), 1);
+        assert_eq!(server.shutdown(), 0);
+    }
+
+    #[test]
+    fn accept_backoff_is_bounded_exponential() {
+        let mut d = Duration::ZERO;
+        let mut seen = Vec::new();
+        for _ in 0..10 {
+            d = next_backoff(d);
+            seen.push(d.as_millis());
+        }
+        assert_eq!(seen, vec![1, 2, 4, 8, 16, 32, 64, 128, 128, 128]);
     }
 }

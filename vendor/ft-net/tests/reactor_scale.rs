@@ -1,0 +1,109 @@
+//! Acceptance gate for the evented server: many idle keep-alive
+//! connections must be served by a *bounded* thread count (one reactor
+//! plus the handler pool), not a thread per connection.
+//!
+//! Lives in its own integration-test binary so the process's thread
+//! count — read from `/proc/self/task` — is not polluted by other
+//! tests running concurrently in the same process.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ft_net::{Handler, Server, ServerConfig};
+
+/// Threads currently in this process, per the kernel.
+fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .map(|entries| entries.count())
+        .unwrap_or(0)
+}
+
+fn roundtrip(stream: &mut TcpStream, request: &[u8]) -> u16 {
+    stream.write_all(request).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line.split(' ').nth(1).unwrap().parse().unwrap();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap();
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    status
+}
+
+#[test]
+fn idle_keep_alive_connections_use_bounded_threads() {
+    const CONNS: usize = 256;
+    const HANDLER_THREADS: usize = 4;
+
+    let before_bind = thread_count();
+    let handler: Arc<Handler> = Arc::new(|_req, resp| resp.send(200, "text/plain", b"ok\n"));
+    let cfg = ServerConfig {
+        max_connections: CONNS + 16,
+        handler_threads: HANDLER_THREADS,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg, handler).unwrap();
+    let addr = server.local_addr();
+
+    let after_bind = thread_count();
+    // Everything the server will ever spawn exists at bind time:
+    // 1 reactor + the handler pool.
+    assert_eq!(
+        after_bind - before_bind,
+        1 + HANDLER_THREADS,
+        "bind spawned an unexpected number of threads"
+    );
+
+    // Establish CONNS keep-alive connections, each proven live by a
+    // served request, then left idle.
+    let mut conns = Vec::with_capacity(CONNS);
+    for i in 0..CONNS {
+        let mut stream =
+            TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect #{i} failed: {e}"));
+        assert_eq!(roundtrip(&mut stream, b"GET /ping HTTP/1.1\r\n\r\n"), 200);
+        conns.push(stream);
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.active_connections() < CONNS && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.active_connections(), CONNS);
+
+    // The whole point: connection count moved 0 → 256, thread count
+    // moved not at all.
+    let with_idle_conns = thread_count();
+    assert_eq!(
+        with_idle_conns, after_bind,
+        "{CONNS} idle connections grew the thread count \
+         ({after_bind} -> {with_idle_conns}) — reactor is leaking threads"
+    );
+
+    // All connections still answer after idling together.
+    for (i, stream) in conns.iter_mut().enumerate() {
+        assert_eq!(
+            roundtrip(stream, b"GET /ping HTTP/1.1\r\n\r\n"),
+            200,
+            "conn #{i} died while idle"
+        );
+    }
+    assert_eq!(server.total_connections(), CONNS as u64);
+    drop(conns);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.active_connections() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.shutdown(), 0);
+}

@@ -1,0 +1,58 @@
+//! The portable sleep-poll fallback must serve real traffic, not just
+//! compile: `FT_NET_POLLER=sleep` forces it even where epoll exists.
+//!
+//! Own integration-test binary (= own process) so the env var is set
+//! before any server builds a poller and cannot leak into other tests.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use ft_net::poller::Poller;
+use ft_net::{Handler, Server, ServerConfig};
+
+fn roundtrip(stream: &mut TcpStream, request: &[u8]) -> (u16, Vec<u8>) {
+    stream.write_all(request).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line.split(' ').nth(1).unwrap().parse().unwrap();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap();
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    (status, body)
+}
+
+#[test]
+fn sleep_poller_serves_keep_alive_traffic() {
+    std::env::set_var("FT_NET_POLLER", "sleep");
+    assert_eq!(Poller::new().kind(), "sleep", "env override ignored");
+
+    let handler: Arc<Handler> =
+        Arc::new(|req, resp| resp.send(200, "application/octet-stream", &req.body));
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default(), handler).unwrap();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    for i in 0..3 {
+        let body = format!("fallback-{i}");
+        let req = format!(
+            "POST /echo HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let (status, echoed) = roundtrip(&mut stream, req.as_bytes());
+        assert_eq!(status, 200);
+        assert_eq!(echoed, body.as_bytes());
+    }
+    assert_eq!(server.total_connections(), 1);
+    assert_eq!(server.shutdown(), 0);
+}
