@@ -23,6 +23,7 @@ use rand::SeedableRng;
 
 const SEEDS: [u64; 3] = [42, 1337, 2024];
 const BUDGETS: [u64; 5] = [1, 2, 3, 4, 8];
+const PERIODS: [u64; 2] = [1, 4];
 const BATCH: u64 = 6;
 
 fn batch(n: u64, seed: u64) -> (Vec<(BigInt, BigInt)>, Vec<BigInt>) {
@@ -40,7 +41,7 @@ fn batch(n: u64, seed: u64) -> (Vec<(BigInt, BigInt)>, Vec<BigInt>) {
     (pairs, want)
 }
 
-fn run_cell(deadline_budget: u64, seed: u64) -> ft_service::MetricsSnapshot {
+fn run_cell(deadline_budget: u64, heartbeat_period: u64, seed: u64) -> ft_service::MetricsSnapshot {
     let config = ServiceConfig {
         kernel_policy: KernelPolicy {
             schoolbook_max_bits: 2_000,
@@ -60,6 +61,7 @@ fn run_cell(deadline_budget: u64, seed: u64) -> ft_service::MetricsSnapshot {
             faulty_attempts: 1,
             deadline_budget,
             straggler_factor: 0,
+            heartbeat_period,
             ..DistributedConfig::default()
         },
         ..ServiceConfig::default()
@@ -97,30 +99,36 @@ fn main() {
     }));
     println!("# Heartbeat deadline_budget vs detection latency (f = 1, one hard fault per run)\n");
     println!(
-        "| {:<6} | {:>6} | {:>10} | {:>9} | {:>12} | {:>16} |",
-        "budget", "seed", "recoveries", "missed", "false_pos", "max_detect_ticks"
+        "| {:<6} | {:>6} | {:>6} | {:>10} | {:>9} | {:>12} | {:>16} |",
+        "budget", "period", "seed", "recoveries", "missed", "false_pos", "max_detect_ticks"
     );
-    println!("|--------|--------|------------|-----------|--------------|------------------|");
-    for budget in BUDGETS {
-        for seed in SEEDS {
-            let m = run_cell(budget, seed);
-            let d = &m.distributed;
-            // A missed detection shows up as a supervised retry: the
-            // undetected dead column poisons interpolation, the attempt
-            // panics, and the (clean) retry serves the product.
-            println!(
-                "| {budget:<6} | {seed:>6} | {:>10} | {:>9} | {:>12} | {:>16} |",
-                d.recoveries, m.retries, d.false_positives, d.max_detect_latency_ticks
-            );
+    println!(
+        "|--------|--------|--------|------------|-----------|--------------|------------------|"
+    );
+    for period in PERIODS {
+        for budget in BUDGETS {
+            for seed in SEEDS {
+                let m = run_cell(budget, period, seed);
+                let d = &m.distributed;
+                // A missed detection shows up as a supervised retry: the
+                // undetected dead column poisons interpolation, the attempt
+                // panics, and the (clean) retry serves the product.
+                println!(
+                    "| {budget:<6} | {period:>6} | {seed:>6} | {:>10} | {:>9} | {:>12} | {:>16} |",
+                    d.recoveries, m.retries, d.false_positives, d.max_detect_latency_ticks
+                );
+            }
         }
     }
     println!();
     println!("A rank is declared dead only once its heartbeat lag reaches `deadline_budget`");
-    println!("collective steps — so the budget is bounded above by the heartbeat cadence:");
-    println!("this run shape posts exactly one heartbeat between the fault point and the");
-    println!("detection round, so budget 1 detects every death at 1 tick of latency and any");
-    println!("larger budget misses it outright (`recursion_detect` adds a second fault");
-    println!("point + round, widening that window). A missed detection is not a wrong");
+    println!("collective steps — so the budget is bounded above by the heartbeat cadence.");
+    println!("At heartbeat_period 1 this run shape posts exactly one heartbeat between the");
+    println!("fault point and the detection round: budget 1 detects every death at 1 tick");
+    println!("of latency and any larger budget misses it outright — the cadence cliff.");
+    println!("heartbeat_period h densifies the schedule (h heartbeats per fault window,");
+    println!("still zero extra messages: heartbeats are local state), so a death costs h");
+    println!("lag and budgets up to h keep detecting. A missed detection is not a wrong");
     println!("product: the run fails with a diagnosis, the supervisor retries, and the");
     println!("retry serves bit-exact results — the whole matrix verifies. False positives");
     println!("stay at zero: the budget only delays or forfeits verdicts, never invents them.");

@@ -90,8 +90,12 @@ impl BigInt {
                 }
             }
             16 | 2 => {
-                let bits_per = if radix == 16 { 4 } else { 1 };
-                let mut seen = false;
+                // Power-of-two digits map straight to bit positions, so the
+                // magnitude assembles in one linear pass over the text — no
+                // per-digit bignum shift (which would be quadratic and
+                // dominates request parsing for megabit operands).
+                let bits_per = if radix == 16 { 4u32 } else { 1 };
+                let mut digits: Vec<u8> = Vec::with_capacity(body.len());
                 for c in body.chars() {
                     if c == '_' {
                         continue;
@@ -99,15 +103,24 @@ impl BigInt {
                     let d = c.to_digit(radix).ok_or(ParseBigIntError {
                         kind: ParseErrorKind::InvalidDigit(c),
                     })?;
-                    seen = true;
-                    mag = ops::shl_bits(&mag, bits_per);
-                    mag = ops::add_slices(&mag, &[d as Limb]);
+                    digits.push(d as u8);
                 }
-                if !seen {
+                if digits.is_empty() {
                     return Err(ParseBigIntError {
                         kind: ParseErrorKind::Empty,
                     });
                 }
+                // Digits are most-significant-first; `rchunks` walks groups
+                // from the low end, yielding little-endian limbs directly.
+                let per_limb = (Limb::BITS / bits_per) as usize;
+                mag = digits
+                    .rchunks(per_limb)
+                    .map(|chunk| {
+                        chunk
+                            .iter()
+                            .fold(0 as Limb, |acc, &d| (acc << bits_per) | Limb::from(d))
+                    })
+                    .collect();
             }
             _ => unreachable!(),
         }
@@ -249,6 +262,29 @@ mod tests {
     fn parse_binary() {
         let v = BigInt::from_str_radix("101101", 2).unwrap();
         assert_eq!(v, BigInt::from(45u64));
+    }
+
+    #[test]
+    fn parse_hex_leading_zeros_and_zero() {
+        assert_eq!(BigInt::from_str_radix("000", 16).unwrap(), BigInt::zero());
+        assert_eq!(BigInt::from_str_radix("-000", 16).unwrap(), BigInt::zero());
+        let v = BigInt::from_str_radix("0000deadbeef", 16).unwrap();
+        assert_eq!(v, BigInt::from(0xdead_beefu64));
+        // Separators may split a limb boundary.
+        let v = BigInt::from_str_radix("a_0000000000000001", 16).unwrap();
+        assert_eq!(v, BigInt::from_limbs(vec![0x1, 0xa]));
+    }
+
+    #[test]
+    fn parse_hex_roundtrip_large() {
+        // Exercise the chunked limb-assembly path on a multi-limb value
+        // whose digit count is not a multiple of 16.
+        let mut s = String::from("1");
+        for i in 0..997u32 {
+            s.push(char::from_digit(i % 16, 16).unwrap());
+        }
+        let v = BigInt::from_str_radix(&s, 16).unwrap();
+        assert_eq!(format!("{v:x}"), s);
     }
 
     #[test]

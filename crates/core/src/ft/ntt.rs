@@ -251,7 +251,10 @@ pub fn run_ntt_ft_with(
         drop(digits_a);
         drop(digits_b);
 
-        // ---- Fault point + one global heartbeat round.
+        // ---- Fault point + one global heartbeat round. Denser
+        // heartbeat schedules (period h) post h − 1 extra beats first so
+        // budgets up to h still detect a death here (see ft::poly).
+        env.post_heartbeats(opts.detector.heartbeat_period.saturating_sub(1));
         let reborn = env.fault_point("ntt-halt") == Fate::Reborn;
         if reborn {
             coded.clear();

@@ -369,6 +369,10 @@ pub fn run_poly_ft_with(
         // Every rank passes the fault point, then one global heartbeat
         // round yields the identical verdict everywhere; the halted-column
         // set comes from the verdict, never from the plan.
+        // A heartbeat period of h posts h − 1 extra beats while still
+        // alive, so a death at the fault point shows up as h missed
+        // heartbeats — deadline budgets up to h keep detecting it.
+        env.post_heartbeats(opts.detector.heartbeat_period.saturating_sub(1));
         let reborn = env.fault_point("poly-halt") == Fate::Reborn;
         if reborn {
             next_a.clear();
@@ -404,6 +408,7 @@ pub fn run_poly_ft_with(
         // ---- Optional second wave: deaths during the recursion phase
         // are caught by a second global round before the up phase.
         if opts.recursion_detect {
+            env.post_heartbeats(opts.detector.heartbeat_period.saturating_sub(1));
             if env.fault_point("poly-rec-halt") == Fate::Reborn {
                 sub_prod.clear();
             }

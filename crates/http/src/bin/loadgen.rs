@@ -22,7 +22,7 @@
 use ft_http::client::Client;
 use ft_http::{HttpConfig, HttpServer};
 use ft_service::json::{obj, Json};
-use ft_service::{BatchingConfig, ServiceConfig};
+use ft_service::{BatchingConfig, ServiceConfig, ShardConfig};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
@@ -34,6 +34,7 @@ struct Args {
     batch_every: usize,
     batch_size: usize,
     addr: Option<SocketAddr>,
+    shards: usize,
     seed: u64,
     out: Option<String>,
     quick: bool,
@@ -51,6 +52,7 @@ impl Default for Args {
             batch_every: 8,
             batch_size: 4,
             addr: None,
+            shards: 1,
             seed: 42,
             out: Some("BENCH_http.json".to_string()),
             quick: false,
@@ -64,7 +66,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--threads N] [--requests N-per-thread] [--mix bits:bits:...]\n\
          \x20              [--rate RPS-per-thread] [--batch-every N] [--batch-size N]\n\
-         \x20              [--addr HOST:PORT] [--seed N] [--out FILE] [--quick]\n\
+         \x20              [--addr HOST:PORT] [--shards N] [--seed N] [--out FILE] [--quick]\n\
          \x20              [--sweep [--steps RPS:RPS:...]]\n\
          --sweep runs the admission-control experiment: an in-process server\n\
          with a small async queue and a tight connection cap, stepped through\n\
@@ -99,6 +101,12 @@ fn parse_args() -> Args {
                 args.batch_size = value("--batch-size").parse().unwrap_or_else(|_| usage());
             }
             "--addr" => args.addr = Some(value("--addr").parse().unwrap_or_else(|_| usage())),
+            "--shards" => {
+                args.shards = value("--shards").parse().unwrap_or_else(|_| usage());
+                if args.shards == 0 {
+                    usage();
+                }
+            }
             "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--out" => args.out = Some(value("--out")),
             "--sweep" => args.sweep = true,
@@ -490,9 +498,21 @@ fn main() {
     let pool = Pool::build(args.seed, &args.mix, 8);
 
     // In-process server unless --addr points elsewhere; either way the
-    // traffic crosses real TCP sockets.
+    // traffic crosses real TCP sockets. `--shards N` puts the router's
+    // sharded topology behind the same front door.
     let server = if args.addr.is_none() {
-        Some(HttpServer::start(&HttpConfig::default(), ServiceConfig::default()).expect("server"))
+        let server = if args.shards > 1 {
+            HttpServer::start_sharded(
+                &HttpConfig::default(),
+                ShardConfig {
+                    shards: args.shards,
+                    ..ShardConfig::default()
+                },
+            )
+        } else {
+            HttpServer::start(&HttpConfig::default(), ServiceConfig::default())
+        };
+        Some(server.expect("server"))
     } else {
         None
     };
@@ -529,11 +549,16 @@ fn main() {
         .unwrap_or_default();
 
     println!(
-        "loadgen: {} threads x {} exchanges ({} products verified) in {:.2}s",
+        "loadgen: {} threads x {} exchanges ({} products verified) in {:.2}s{}",
         args.threads,
         args.requests,
         verified,
-        elapsed.as_secs_f64()
+        elapsed.as_secs_f64(),
+        if args.shards > 1 {
+            format!(" across {} shards", args.shards)
+        } else {
+            String::new()
+        }
     );
     println!(
         "  rps {rps:.1}  p50 {}us  p90 {}us  p99 {}us  max {}us",

@@ -7,11 +7,12 @@
 //! ```
 
 use ft_http::{HttpConfig, HttpServer};
-use ft_service::ServiceConfig;
+use ft_service::{ServiceConfig, ShardConfig};
 
 fn main() {
     let mut addr = "127.0.0.1:8080".to_string();
     let mut net = ft_net::ServerConfig::default();
+    let mut shards = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -28,10 +29,19 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--handler-threads needs a positive integer");
             }
+            "--shards" => {
+                shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--shards needs a positive integer");
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: serve [--addr HOST:PORT] [--max-conns N] [--handler-threads N]\n\
-                     defaults: 127.0.0.1:8080, max-conns {}, handler-threads {}",
+                    "usage: serve [--addr HOST:PORT] [--max-conns N] [--handler-threads N] [--shards N]\n\
+                     defaults: 127.0.0.1:8080, max-conns {}, handler-threads {}, shards 1\n\
+                     --shards N > 1 runs N service shards behind the rendezvous router\n\
+                     (heartbeat liveness, failover, work stealing; see GET /v1/topology)",
                     net.max_connections, net.handler_threads
                 );
                 return;
@@ -43,7 +53,18 @@ fn main() {
         }
     }
     let http = HttpConfig { addr, net };
-    let server = match HttpServer::start(&http, ServiceConfig::default()) {
+    let started = if shards > 1 {
+        HttpServer::start_sharded(
+            &http,
+            ShardConfig {
+                shards,
+                ..ShardConfig::default()
+            },
+        )
+    } else {
+        HttpServer::start(&http, ServiceConfig::default())
+    };
+    let server = match started {
         Ok(server) => server,
         Err(err) => {
             eprintln!("serve: bind {} failed: {err}", http.addr);
@@ -52,12 +73,15 @@ fn main() {
     };
     println!("ft-http serving on http://{}", server.local_addr());
     println!(
-        "routes: POST /v1/mul, POST /v1/mul/batch, GET /v1/config, /v1/metrics, /metrics, /healthz"
+        "routes: POST /v1/mul, POST /v1/mul/batch, GET /v1/config, /v1/topology, /v1/metrics, /metrics, /healthz"
     );
     println!(
         "admission: max {} connections, {} handler threads (over-cap connects get an immediate 503)",
         http.net.max_connections, http.net.handler_threads
     );
+    if shards > 1 {
+        println!("topology: {shards} shards behind the rendezvous router (GET /v1/topology)");
+    }
     // No signal handling in the offline toolchain: run until the process
     // is killed. In-flight work is bounded by per-request deadlines.
     loop {

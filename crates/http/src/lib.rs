@@ -8,8 +8,9 @@
 //! |----------------------|--------|--------------------------------------------------|
 //! | `/v1/mul`            | POST   | one multiplication, JSON in/out                  |
 //! | `/v1/mul/batch`      | POST   | bulk submission, NDJSON streamed over chunked TE |
-//! | `/v1/config`         | GET    | the service's effective configuration            |
-//! | `/v1/metrics`        | GET    | the service metrics snapshot as JSON             |
+//! | `/v1/config`         | GET    | the per-shard service configuration              |
+//! | `/v1/topology`       | GET    | shard count, heartbeat cadence, live/dead states |
+//! | `/v1/metrics`        | GET    | merged metrics snapshot (all shards) as JSON     |
 //! | `/metrics`           | GET    | Prometheus text exposition (service + HTTP)      |
 //! | `/healthz`           | GET    | liveness probe                                   |
 //!
@@ -30,7 +31,8 @@ pub mod prom;
 use ft_bigint::BigInt;
 use ft_service::json::{obj, Json};
 use ft_service::{
-    BatchingConfig, MetricsSnapshot, MulError, MulService, ServiceConfig, SubmitError,
+    BatchingConfig, MetricsSnapshot, MulError, MulService, Router, ServiceConfig, ShardConfig,
+    SubmitError,
 };
 use metrics::HttpMetrics;
 use std::net::SocketAddr;
@@ -56,29 +58,43 @@ impl Default for HttpConfig {
 }
 
 struct AppState {
-    service: MulService,
+    router: Router,
     http_metrics: HttpMetrics,
     net_stats: OnceLock<ft_net::ServerStats>,
 }
 
 /// A running HTTP front door. Owns both the socket server and the
-/// wrapped [`MulService`]; [`HttpServer::shutdown`] drains them in
-/// order (connections first, then the service).
+/// sharded [`Router`] behind it (a single unsharded [`MulService`] is
+/// served as a one-shard topology); [`HttpServer::shutdown`] drains
+/// them in order (connections first, then the shards).
 pub struct HttpServer {
     net: ft_net::Server,
     state: Arc<AppState>,
 }
 
 impl HttpServer {
-    /// Start a fresh [`MulService`] with `service_config` and serve it.
+    /// Start a fresh [`MulService`] with `service_config` and serve it
+    /// as a single-shard topology.
     pub fn start(http: &HttpConfig, service_config: ServiceConfig) -> std::io::Result<HttpServer> {
         HttpServer::start_with(http, MulService::start(service_config))
     }
 
-    /// Serve an already-running service.
+    /// Serve an already-running service (wrapped as one shard).
     pub fn start_with(http: &HttpConfig, service: MulService) -> std::io::Result<HttpServer> {
+        HttpServer::start_router(http, Router::single(service))
+    }
+
+    /// Start a sharded topology — `topology.shards` services behind
+    /// rendezvous placement, heartbeat failover, and work stealing —
+    /// and serve it.
+    pub fn start_sharded(http: &HttpConfig, topology: ShardConfig) -> std::io::Result<HttpServer> {
+        HttpServer::start_router(http, Router::start(topology))
+    }
+
+    /// Serve an already-running router.
+    pub fn start_router(http: &HttpConfig, router: Router) -> std::io::Result<HttpServer> {
         let state = Arc::new(AppState {
-            service,
+            router,
             http_metrics: HttpMetrics::default(),
             net_stats: OnceLock::new(),
         });
@@ -101,10 +117,11 @@ impl HttpServer {
         self.net.local_addr()
     }
 
-    /// The wrapped service (e.g. to submit work in-process).
+    /// The router behind the front door (e.g. to submit work
+    /// in-process or to kill/stall shards in chaos tests).
     #[must_use]
-    pub fn service(&self) -> &MulService {
-        &self.state.service
+    pub fn router(&self) -> &Router {
+        &self.state.router
     }
 
     /// HTTP-layer counters.
@@ -142,7 +159,7 @@ impl HttpServer {
         let mut state = state;
         for _ in 0..2_000 {
             match Arc::try_unwrap(state) {
-                Ok(inner) => return (inner.service.shutdown(), leftover),
+                Ok(inner) => return (inner.router.shutdown(), leftover),
                 Err(again) => {
                     state = again;
                     std::thread::sleep(Duration::from_millis(1));
@@ -150,8 +167,8 @@ impl HttpServer {
             }
         }
         // A straggler connection outlived the drain window and still
-        // pins the state; report metrics without stopping the service.
-        (state.service.metrics(), leftover)
+        // pins the state; report metrics without stopping the shards.
+        (state.router.metrics(), leftover)
     }
 }
 
@@ -166,12 +183,42 @@ fn dispatch(
         ("POST", "/v1/mul") => handle_mul(state, req, rsp).map(|s| ("mul", s)),
         ("POST", "/v1/mul/batch") => handle_batch(state, req, rsp).map(|s| ("mul_batch", s)),
         ("GET", "/v1/config") => {
-            let body = state.service.config().to_json();
+            let body = state.router.service_config().to_json();
             rsp.send(200, "application/json", body.as_bytes())?;
             Ok(("config", 200))
         }
+        ("GET", "/v1/topology") => {
+            let states: Vec<Json> = state
+                .router
+                .shard_states()
+                .iter()
+                .map(|s| {
+                    Json::Str(
+                        match s {
+                            ft_service::ShardState::Live => "live",
+                            ft_service::ShardState::Suspect => "suspect",
+                            ft_service::ShardState::Dead => "dead",
+                        }
+                        .to_string(),
+                    )
+                })
+                .collect();
+            let cfg = state.router.config();
+            let body = obj([
+                ("shards", Json::Num(i128::from(cfg.shards as u64))),
+                ("heartbeat_ms", Json::Num(i128::from(cfg.heartbeat_ms))),
+                (
+                    "deadline_budget",
+                    Json::Num(i128::from(cfg.deadline_budget)),
+                ),
+                ("states", Json::Arr(states)),
+            ])
+            .dump();
+            rsp.send(200, "application/json", body.as_bytes())?;
+            Ok(("topology", 200))
+        }
         ("GET", "/v1/metrics") => {
-            let body = state.service.metrics().to_json();
+            let body = state.router.metrics().to_json();
             rsp.send(200, "application/json", body.as_bytes())?;
             Ok(("metrics_json", 200))
         }
@@ -189,7 +236,7 @@ fn dispatch(
                 })
                 .unwrap_or_default();
             let body = prom::render(
-                &state.service.metrics(),
+                &state.router.metrics(),
                 &state.http_metrics.snapshot(),
                 &net,
             );
@@ -204,7 +251,7 @@ fn dispatch(
             send_error(rsp, 405, "method_not_allowed", "use POST")?;
             Ok(("other", 405))
         }
-        (_, "/v1/config" | "/v1/metrics" | "/metrics" | "/healthz") => {
+        (_, "/v1/config" | "/v1/topology" | "/v1/metrics" | "/metrics" | "/healthz") => {
             send_error(rsp, 405, "method_not_allowed", "use GET")?;
             Ok(("other", 405))
         }
@@ -237,8 +284,8 @@ fn handle_mul(
         Err(detail) => return send_error(rsp, 400, "bad_deadline", &detail).map(|()| 400),
     };
     let submitted = match deadline {
-        Some(d) => state.service.submit_async_with_deadline(a, b, d),
-        None => state.service.submit_async(a, b),
+        Some(d) => state.router.submit_with_deadline(a, b, d),
+        None => state.router.submit(a, b),
     };
     let handle = match submitted {
         Ok(handle) => handle,
@@ -297,8 +344,8 @@ fn handle_batch(
         Err(detail) => return send_error(rsp, 400, "bad_deadline", &detail).map(|()| 400),
     };
     let submitted = match deadline {
-        Some(d) => state.service.submit_many_with_deadline(pairs, d),
-        None => state.service.submit_many(pairs),
+        Some(d) => state.router.submit_many_with_deadline(pairs, d),
+        None => state.router.submit_many(pairs),
     };
     let handle = match submitted {
         Ok(handle) => handle,
@@ -407,9 +454,11 @@ fn send_submit_error(
         SubmitError::QueueFull { capacity } => {
             // The queue was full a moment ago; the live depth (it may
             // already be draining) bounds the wait better than the
-            // capacity does.
-            let depth = state.service.queue_depth().min(*capacity).max(1);
-            let retry_after = derive_retry_after(&state.service.config().batching, depth);
+            // capacity does. `Router::queue_depth` is the *minimum*
+            // across live shards — a retry lands on the shallowest
+            // survivor, never on a dead shard's abandoned backlog.
+            let depth = state.router.queue_depth().min(*capacity).max(1);
+            let retry_after = derive_retry_after(&state.router.service_config().batching, depth);
             let body = obj([
                 ("error", Json::Str("queue_full".to_string())),
                 ("detail", Json::Str(e.to_string())),

@@ -354,6 +354,51 @@ pub fn render(service: &MetricsSnapshot, http: &HttpSnapshot, net: &NetStats) ->
         d.max_detect_latency_ticks,
     );
 
+    // --- Router (sharded topology) -----------------------------------
+    let r = &service.router;
+    gauge(
+        &mut out,
+        "ftsvc_router_shards",
+        "Shards in the topology.",
+        r.shards,
+    );
+    gauge(
+        &mut out,
+        "ftsvc_router_shards_live",
+        "Shards currently routable (not declared dead).",
+        r.live,
+    );
+    counter(
+        &mut out,
+        "ftsvc_router_shard_deaths_total",
+        "Shards declared dead by the heartbeat verdict.",
+        r.shard_deaths,
+    );
+    counter(
+        &mut out,
+        "ftsvc_router_failovers_total",
+        "Requests re-routed to a survivor after their shard died.",
+        r.failovers,
+    );
+    counter(
+        &mut out,
+        "ftsvc_router_steals_total",
+        "Requests stolen from a hot shard by an idle sibling.",
+        r.steals,
+    );
+    counter(
+        &mut out,
+        "ftsvc_router_rejoins_total",
+        "Dead shards re-admitted after their heartbeats resumed.",
+        r.rejoins,
+    );
+    counter(
+        &mut out,
+        "ftsvc_router_monitor_rounds_total",
+        "Service-level heartbeat detection rounds executed.",
+        r.monitor_rounds,
+    );
+
     // --- HTTP layer ---------------------------------------------------
     header(
         &mut out,
@@ -488,6 +533,11 @@ mod tests {
         assert!(text.contains("ftsvc_verify_failures_total{rung=\"recompute\"} 0"));
         assert!(text.contains("ftsvc_verify_cost_us_total{rung=\"dual\"} 0"));
         assert!(text.contains("ftsvc_verify_escalations_total 0"));
+        assert!(text.contains("ftsvc_router_shards 0"));
+        assert!(text.contains("ftsvc_router_shard_deaths_total 0"));
+        assert!(text.contains("ftsvc_router_failovers_total 0"));
+        assert!(text.contains("ftsvc_router_steals_total 0"));
+        assert!(text.contains("ftsvc_router_rejoins_total 0"));
         assert!(text.contains("http_requests_total{route=\"mul\",code=\"200\"} 1"));
         assert!(text.contains("http_request_duration_us_count{route=\"mul\"} 1"));
         assert!(text.contains("http_connections_total 3"));

@@ -44,6 +44,17 @@ pub struct DetectorConfig {
     /// participant median is flagged as a straggler. `0` disables
     /// straggler detection.
     pub straggler_factor: u64,
+    /// Heartbeats posted per fault point (density of the heartbeat
+    /// schedule). The default of 1 posts exactly one heartbeat at each
+    /// fault point, which caps the usable `deadline_budget` at the fault
+    /// points between detection rounds (the EXPERIMENTS.md S7 cadence
+    /// cliff). A period of `h` posts `h − 1` extra heartbeats while the
+    /// rank is still alive just before each fault point, so a victim
+    /// dies with lag `h` and every budget `≤ h` still detects it —
+    /// denser schedules widen the usable budget band without changing
+    /// the protocol's message pattern (heartbeats are local state; only
+    /// the detection round moves them).
+    pub heartbeat_period: u64,
 }
 
 impl Default for DetectorConfig {
@@ -51,6 +62,7 @@ impl Default for DetectorConfig {
         DetectorConfig {
             deadline_budget: 1,
             straggler_factor: 0,
+            heartbeat_period: 1,
         }
     }
 }
@@ -342,11 +354,35 @@ mod tests {
             3,
             DetectorConfig {
                 deadline_budget: 3,
-                straggler_factor: 0,
+                ..DetectorConfig::default()
             },
         );
         for verdict in &report.results {
             assert!(verdict.dead.is_empty(), "lag 1 < budget 3");
+        }
+    }
+
+    #[test]
+    fn denser_heartbeat_schedule_outruns_a_lax_budget() {
+        // Same lax budget as above, but the program posts 3 heartbeats
+        // per fault point (period 3): the victim dies with lag 3, so
+        // budget 3 now detects the death the single-beat schedule missed.
+        let cfg = DetectorConfig {
+            deadline_budget: 3,
+            straggler_factor: 0,
+            heartbeat_period: 3,
+        };
+        let machine =
+            Machine::new(MachineConfig::new(3).with_faults(FaultPlan::none().kill(1, "work")));
+        let participants: Vec<usize> = (0..3).collect();
+        let report = machine.run(move |env| {
+            env.post_heartbeats(cfg.heartbeat_period - 1);
+            let _ = env.fault_point("work");
+            detection_round(env, &participants, 900_000, &cfg)
+        });
+        for verdict in &report.results {
+            assert_eq!(verdict.dead, vec![1], "lag 3 >= budget 3");
+            assert_eq!(verdict.max_missed, 3);
         }
     }
 
@@ -390,6 +426,7 @@ mod tests {
                 &DetectorConfig {
                     deadline_budget: 1,
                     straggler_factor: 8,
+                    heartbeat_period: 1,
                 },
             )
         });

@@ -591,6 +591,19 @@ impl<'a> Env<'a> {
         }
     }
 
+    /// Post `n` extra heartbeats while alive: both the phase stamp and
+    /// the surviving watermark advance. Models a denser heartbeat
+    /// schedule (`DetectorConfig::heartbeat_period`): a program that
+    /// posts `h − 1` extra heartbeats just before each fault point makes
+    /// a death there cost `h` missed heartbeats of lag, so deadline
+    /// budgets up to `h` still detect it at the next round. Heartbeats
+    /// are local state — posting them moves no messages; only the
+    /// detection round's gather/scatter is charged traffic.
+    pub fn post_heartbeats(&self, n: u64) {
+        self.hb_total.set(self.hb_total.get() + n);
+        self.hb_live.set(self.hb_live.get() + n);
+    }
+
     /// This rank's heartbeat counters: `(phase stamp, surviving
     /// watermark)`. A healthy or fully re-integrated rank has equal
     /// counters; the difference is its heartbeat lag.

@@ -27,8 +27,11 @@ use std::time::Duration;
 /// quiet panic hook recognise injected panics by this marker.
 pub const INJECTED_PANIC_MSG: &str = "chaos-injected worker panic";
 
-/// The three injectable fault kinds (see the module docs for the mapping
-/// to the paper's hard/delay/soft fault model).
+/// The injectable fault kinds (see the module docs for the mapping to
+/// the paper's hard/delay/soft fault model). The first three target one
+/// request attempt inside a worker; the shard kinds target a whole
+/// [`crate::shard::Shard`] and are drawn by the router's monitor via
+/// [`ChaosConfig::decide_shard`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
     /// Hard fault: the kernel panics mid-request.
@@ -37,11 +40,26 @@ pub enum FaultKind {
     Straggle,
     /// Soft fault: one limb of the product is silently bit-flipped.
     Corrupt,
+    /// Shard-level fail-stop: the whole shard dies — heartbeats stop and
+    /// queued work resolves as `ServiceStopped` for the router to fail
+    /// over. Maps to the paper's detected fail-stop processor, one level
+    /// up the topology.
+    ShardKill,
+    /// Shard-level stall: heartbeats pause for `stall_rounds` monitor
+    /// rounds while the shard keeps serving — the detector declares it
+    /// dead, then re-admits it when beats resume (rejoin path).
+    ShardStall,
 }
 
 impl FaultKind {
     /// All kinds, in metrics order.
-    pub const ALL: [FaultKind; 3] = [FaultKind::Panic, FaultKind::Straggle, FaultKind::Corrupt];
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Panic,
+        FaultKind::Straggle,
+        FaultKind::Corrupt,
+        FaultKind::ShardKill,
+        FaultKind::ShardStall,
+    ];
 
     /// Stable name used as the metrics / JSON key.
     #[must_use]
@@ -50,7 +68,16 @@ impl FaultKind {
             FaultKind::Panic => "panic",
             FaultKind::Straggle => "straggle",
             FaultKind::Corrupt => "corrupt",
+            FaultKind::ShardKill => "shard_kill",
+            FaultKind::ShardStall => "shard_stall",
         }
+    }
+
+    /// `true` for the kinds that target a whole shard rather than one
+    /// request attempt.
+    #[must_use]
+    pub fn is_shard_fault(self) -> bool {
+        matches!(self, FaultKind::ShardKill | FaultKind::ShardStall)
     }
 
     fn from_name(name: &str) -> Option<FaultKind> {
@@ -121,6 +148,17 @@ pub struct ChaosConfig {
     /// Forced faults `(request index, kind)`, fired on the first attempt
     /// regardless of the probabilistic rates.
     pub force: Vec<(u64, FaultKind)>,
+    /// Shard-kill rate per 10 000 (shard, monitor round) draws.
+    pub shard_kill_per_10k: u32,
+    /// Shard-stall rate per 10 000 (shard, monitor round) draws.
+    pub shard_stall_per_10k: u32,
+    /// How many monitor rounds a stalled shard withholds heartbeats
+    /// before beats resume and the shard rejoins.
+    pub stall_rounds: u64,
+    /// Forced shard faults `(shard index, monitor round, kind)`, fired at
+    /// exactly that round regardless of the probabilistic rates. Kinds
+    /// must be shard-level (`shard_kill` / `shard_stall`).
+    pub force_shard: Vec<(usize, u64, FaultKind)>,
 }
 
 impl Default for ChaosConfig {
@@ -135,6 +173,10 @@ impl Default for ChaosConfig {
             max_faulty_attempts: 1,
             escalate_panics: false,
             force: Vec::new(),
+            shard_kill_per_10k: 0,
+            shard_stall_per_10k: 0,
+            stall_rounds: 4,
+            force_shard: Vec::new(),
         }
     }
 }
@@ -181,6 +223,45 @@ impl ChaosConfig {
             Some(FaultKind::Straggle)
         } else if draw < p + s + c {
             Some(FaultKind::Corrupt)
+        } else {
+            None
+        }
+    }
+
+    /// `true` when this plan can fault whole shards (router-level chaos).
+    #[must_use]
+    pub fn shard_chaos_active(&self) -> bool {
+        self.shard_kill_per_10k + self.shard_stall_per_10k > 0 || !self.force_shard.is_empty()
+    }
+
+    /// The shard fault (if any) the router's monitor should apply to
+    /// `shard` at monitor round `round`. Deterministic over
+    /// `(seed, shard, round)` only, so a chaos run kills the same shards
+    /// at the same rounds regardless of request traffic.
+    #[must_use]
+    pub fn decide_shard(&self, shard: usize, round: u64) -> Option<FaultKind> {
+        if let Some(&(_, _, kind)) = self
+            .force_shard
+            .iter()
+            .find(|&&(s, r, _)| s == shard && r == round)
+        {
+            return Some(kind);
+        }
+        let (k, s) = (self.shard_kill_per_10k, self.shard_stall_per_10k);
+        if k + s == 0 {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                ^ (shard as u64).wrapping_mul(0xd605_bbb5_8c8a_bc03)
+                ^ round.wrapping_mul(0x2545_f491_4f6c_dd1d),
+        );
+        #[allow(clippy::cast_possible_truncation)] // draw < 10_000
+        let draw = rng.random_range(0..10_000) as u32;
+        if draw < k {
+            Some(FaultKind::ShardKill)
+        } else if draw < k + s {
+            Some(FaultKind::ShardStall)
         } else {
             None
         }
@@ -284,11 +365,43 @@ impl ChaosConfig {
                         }
                         _ => return Err(invalid_force()),
                     };
+                    if kind.is_shard_fault() {
+                        return Err(invalid_force());
+                    }
                     out.push((index, kind));
                 }
                 out
             }
             Some(_) => return Err(invalid_force()),
+        };
+        let force_shard = match json.get("force_shard") {
+            None => d.force_shard.clone(),
+            Some(Json::Arr(items)) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    let shard = item
+                        .get("shard")
+                        .and_then(Json::as_u64)
+                        .and_then(|v| usize::try_from(v).ok())
+                        .ok_or_else(invalid_force_shard)?;
+                    let round = item
+                        .get("round")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(invalid_force_shard)?;
+                    let kind = match item.get("kind") {
+                        Some(Json::Str(name)) => {
+                            FaultKind::from_name(name).ok_or_else(invalid_force_shard)?
+                        }
+                        _ => return Err(invalid_force_shard()),
+                    };
+                    if !kind.is_shard_fault() {
+                        return Err(invalid_force_shard());
+                    }
+                    out.push((shard, round, kind));
+                }
+                out
+            }
+            Some(_) => return Err(invalid_force_shard()),
         };
         let cfg = ChaosConfig {
             seed: get_u64("seed", d.seed)?,
@@ -300,10 +413,19 @@ impl ChaosConfig {
             max_faulty_attempts: get_u32("max_faulty_attempts", d.max_faulty_attempts)?,
             escalate_panics,
             force,
+            shard_kill_per_10k: get_u32("shard_kill_per_10k", d.shard_kill_per_10k)?,
+            shard_stall_per_10k: get_u32("shard_stall_per_10k", d.shard_stall_per_10k)?,
+            stall_rounds: get_u64("stall_rounds", d.stall_rounds)?,
+            force_shard,
         };
         if cfg.panic_per_10k + cfg.straggle_per_10k + cfg.corrupt_per_10k > 10_000 {
             return Err(ConfigError::Invalid(
                 "chaos fault rates must sum to at most 10000 per 10k".to_string(),
+            ));
+        }
+        if cfg.shard_kill_per_10k + cfg.shard_stall_per_10k > 10_000 {
+            return Err(ConfigError::Invalid(
+                "chaos shard fault rates must sum to at most 10000 per 10k".to_string(),
             ));
         }
         Ok(cfg)
@@ -342,6 +464,30 @@ impl ChaosConfig {
                         .collect(),
                 ),
             ),
+            (
+                "shard_kill_per_10k",
+                Json::Num(i128::from(self.shard_kill_per_10k)),
+            ),
+            (
+                "shard_stall_per_10k",
+                Json::Num(i128::from(self.shard_stall_per_10k)),
+            ),
+            ("stall_rounds", Json::Num(i128::from(self.stall_rounds))),
+            (
+                "force_shard",
+                Json::Arr(
+                    self.force_shard
+                        .iter()
+                        .map(|&(shard, round, kind)| {
+                            obj([
+                                ("shard", Json::Num(shard as i128)),
+                                ("round", Json::Num(i128::from(round))),
+                                ("kind", Json::Str(kind.name().to_string())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -349,6 +495,14 @@ impl ChaosConfig {
 fn invalid_force() -> ConfigError {
     ConfigError::Invalid(
         "chaos.force must be an array of {\"index\": N, \"kind\": \"panic|straggle|corrupt\"}"
+            .to_string(),
+    )
+}
+
+fn invalid_force_shard() -> ConfigError {
+    ConfigError::Invalid(
+        "chaos.force_shard must be an array of \
+         {\"shard\": N, \"round\": R, \"kind\": \"shard_kill|shard_stall\"}"
             .to_string(),
     )
 }
@@ -404,6 +558,7 @@ mod tests {
             let first = chaos.decide(request, 0);
             assert_eq!(first, chaos.decide(request, 0), "request {request}");
             if let Some(kind) = first {
+                assert!(!kind.is_shard_fault(), "decide() never yields shard kinds");
                 counts[kind as usize] += 1;
             }
             // Attempts at or past max_faulty_attempts are always clean.
@@ -471,6 +626,39 @@ mod tests {
     }
 
     #[test]
+    fn shard_decisions_are_deterministic_and_forced_rounds_fire() {
+        let chaos = ChaosConfig {
+            seed: 7,
+            shard_kill_per_10k: 400,
+            shard_stall_per_10k: 400,
+            force_shard: vec![(1, 5, FaultKind::ShardKill)],
+            ..ChaosConfig::default()
+        };
+        assert!(chaos.shard_chaos_active());
+        assert_eq!(chaos.decide_shard(1, 5), Some(FaultKind::ShardKill));
+        let mut kills = 0u32;
+        let mut stalls = 0u32;
+        for shard in 0..3usize {
+            for round in 0..2_000u64 {
+                let fault = chaos.decide_shard(shard, round);
+                assert_eq!(fault, chaos.decide_shard(shard, round));
+                match fault {
+                    Some(FaultKind::ShardKill) => kills += 1,
+                    Some(FaultKind::ShardStall) => stalls += 1,
+                    Some(other) => panic!("non-shard fault {other:?}"),
+                    None => {}
+                }
+            }
+        }
+        // 8% nominal rate over 6000 draws: expect roughly 240 per kind.
+        assert!((100..500).contains(&kills), "kills {kills}");
+        assert!((100..500).contains(&stalls), "stalls {stalls}");
+        // The default plan never touches shards.
+        assert!(!ChaosConfig::default().shard_chaos_active());
+        assert_eq!(ChaosConfig::default().decide_shard(0, 0), None);
+    }
+
+    #[test]
     fn json_round_trip() {
         let cfg = ChaosConfig {
             seed: 42,
@@ -482,6 +670,10 @@ mod tests {
             max_faulty_attempts: 2,
             escalate_panics: true,
             force: vec![(3, FaultKind::Panic), (9, FaultKind::Straggle)],
+            shard_kill_per_10k: 10,
+            shard_stall_per_10k: 20,
+            stall_rounds: 6,
+            force_shard: vec![(2, 11, FaultKind::ShardStall), (0, 4, FaultKind::ShardKill)],
         };
         let text = cfg.to_json_value().dump();
         let parsed = ChaosConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
@@ -500,5 +692,12 @@ mod tests {
         assert!(ChaosConfig::from_json(&Json::parse(bad_corruption).unwrap()).is_err());
         let bad_corruption_type = r#"{"corruption": 7}"#;
         assert!(ChaosConfig::from_json(&Json::parse(bad_corruption_type).unwrap()).is_err());
+        // Shard kinds are rejected in request-level force, and vice versa.
+        let shard_in_force = r#"{"force": [{"index": 1, "kind": "shard_kill"}]}"#;
+        assert!(ChaosConfig::from_json(&Json::parse(shard_in_force).unwrap()).is_err());
+        let req_in_shard = r#"{"force_shard": [{"shard": 0, "round": 1, "kind": "panic"}]}"#;
+        assert!(ChaosConfig::from_json(&Json::parse(req_in_shard).unwrap()).is_err());
+        let over_shard = r#"{"shard_kill_per_10k": 9000, "shard_stall_per_10k": 2000}"#;
+        assert!(ChaosConfig::from_json(&Json::parse(over_shard).unwrap()).is_err());
     }
 }

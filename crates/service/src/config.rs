@@ -160,6 +160,12 @@ pub struct DistributedConfig {
     pub deadline_budget: u64,
     /// Straggler factor of the in-machine detector (0 disables flagging).
     pub straggler_factor: u64,
+    /// Heartbeats posted per fault point inside the machine (density of
+    /// the heartbeat schedule). `1` is the classic one-beat-per-point
+    /// cadence, which caps the usable `deadline_budget` at 1 between
+    /// rounds (the EXPERIMENTS.md S7 cliff); a period of `h` makes every
+    /// budget `≤ h` detect a fresh death.
+    pub heartbeat_period: u64,
     /// Run a second in-machine detection round after the nested
     /// recursion: first-wave victims re-integrate via `ack_recovery` and
     /// keep serving the protocol, and injected hard faults alternate
@@ -184,6 +190,7 @@ impl Default for DistributedConfig {
             faulty_attempts: 1,
             deadline_budget: 1,
             straggler_factor: 0,
+            heartbeat_period: 1,
             recursion_detect: false,
         }
     }
@@ -215,6 +222,7 @@ impl DistributedConfig {
             faulty_attempts: field_u32(json, "faulty_attempts", d.faulty_attempts)?,
             deadline_budget: field_u64(json, "deadline_budget", d.deadline_budget)?,
             straggler_factor: field_u64(json, "straggler_factor", d.straggler_factor)?,
+            heartbeat_period: field_u64(json, "heartbeat_period", d.heartbeat_period)?,
             recursion_detect: match json.get("recursion_detect") {
                 None => d.recursion_detect,
                 Some(v) => v.as_bool().ok_or_else(|| {
@@ -249,6 +257,11 @@ impl DistributedConfig {
                 "distributed.delay_factor must be >= 1".to_string(),
             ));
         }
+        if cfg.heartbeat_period == 0 {
+            return Err(ConfigError::Invalid(
+                "distributed.heartbeat_period must be >= 1".to_string(),
+            ));
+        }
         Ok(cfg)
     }
 
@@ -279,6 +292,10 @@ impl DistributedConfig {
             (
                 "straggler_factor",
                 Json::Num(i128::from(self.straggler_factor)),
+            ),
+            (
+                "heartbeat_period",
+                Json::Num(i128::from(self.heartbeat_period)),
             ),
             ("recursion_detect", Json::Bool(self.recursion_detect)),
         ])
@@ -417,6 +434,125 @@ impl Default for ServiceConfig {
             tuner: TunerConfig::default(),
             distributed: DistributedConfig::default(),
         }
+    }
+}
+
+/// The sharded topology: N [`crate::MulService`] shards behind a
+/// [`crate::Router`] with rendezvous-hash placement on (kernel,
+/// size-class), per-shard heartbeat liveness, failover re-routing, and
+/// cross-shard work stealing. Every shard runs the same
+/// [`ServiceConfig`] template; the chaos injector inside that template
+/// also drives shard-level faults (`shard_kill` / `shard_stall`),
+/// decided deterministically per (seed, shard, monitor round).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardConfig {
+    /// Number of service shards behind the router.
+    pub shards: usize,
+    /// Per-shard service configuration template.
+    pub service: ServiceConfig,
+    /// Monitor cadence: each shard posts one heartbeat per period of
+    /// this many milliseconds, and the router's monitor samples all
+    /// watermarks and derives one liveness verdict per period.
+    pub heartbeat_ms: u64,
+    /// Monitor rounds a shard's watermark may lag before the verdict
+    /// declares it dead (service-level `deadline_budget`; the shard
+    /// passes through *suspect* after one missed beat). The default of
+    /// 3 tolerates scheduling jitter between the beat and monitor
+    /// threads without flapping.
+    pub deadline_budget: u64,
+    /// Work stealing: when a request's owner shard has more than this
+    /// many requests queued, the router looks for an idle sibling.
+    pub hot_watermark: usize,
+    /// …and steals to a live sibling whose queue depth is at or below
+    /// this.
+    pub idle_watermark: usize,
+    /// Most times one request may be failed over to another shard after
+    /// its current shard dies under it, before the error surfaces to
+    /// the caller.
+    pub max_failovers: u32,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig {
+            shards: 3,
+            service: ServiceConfig::default(),
+            heartbeat_ms: 20,
+            deadline_budget: 3,
+            hot_watermark: 32,
+            idle_watermark: 2,
+            max_failovers: 3,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Parse a topology config from JSON text; absent fields keep their
+    /// defaults.
+    ///
+    /// ```
+    /// use ft_service::ShardConfig;
+    /// let cfg = ShardConfig::from_json(
+    ///     r#"{"shards": 4, "deadline_budget": 2, "service": {"workers": 1}}"#,
+    /// ).unwrap();
+    /// assert_eq!(cfg.shards, 4);
+    /// assert_eq!(cfg.service.workers, 1);
+    /// assert_eq!(cfg.heartbeat_ms, ShardConfig::default().heartbeat_ms);
+    /// ```
+    pub fn from_json(text: &str) -> Result<ShardConfig, ConfigError> {
+        let json = Json::parse(text).map_err(ConfigError::Parse)?;
+        let d = ShardConfig::default();
+        let service = match json.get("service") {
+            None => d.service.clone(),
+            Some(v) => ServiceConfig::from_json(&v.dump())?,
+        };
+        let cfg = ShardConfig {
+            shards: field_usize(&json, "shards", d.shards)?,
+            service,
+            heartbeat_ms: field_u64(&json, "heartbeat_ms", d.heartbeat_ms)?,
+            deadline_budget: field_u64(&json, "deadline_budget", d.deadline_budget)?,
+            hot_watermark: field_usize(&json, "hot_watermark", d.hot_watermark)?,
+            idle_watermark: field_usize(&json, "idle_watermark", d.idle_watermark)?,
+            max_failovers: field_u32(&json, "max_failovers", d.max_failovers)?,
+        };
+        if cfg.shards == 0 {
+            return Err(ConfigError::Invalid("shards must be >= 1".to_string()));
+        }
+        if cfg.heartbeat_ms == 0 {
+            return Err(ConfigError::Invalid(
+                "heartbeat_ms must be >= 1".to_string(),
+            ));
+        }
+        if cfg.deadline_budget == 0 {
+            return Err(ConfigError::Invalid(
+                "deadline_budget must be >= 1".to_string(),
+            ));
+        }
+        if cfg.idle_watermark > cfg.hot_watermark {
+            return Err(ConfigError::Invalid(
+                "idle_watermark must not exceed hot_watermark".to_string(),
+            ));
+        }
+        Ok(cfg)
+    }
+
+    /// Serialize to compact JSON (round-trips through [`Self::from_json`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let service = Json::parse(&self.service.to_json()).expect("service config JSON");
+        obj([
+            ("shards", Json::Num(self.shards as i128)),
+            ("service", service),
+            ("heartbeat_ms", Json::Num(i128::from(self.heartbeat_ms))),
+            (
+                "deadline_budget",
+                Json::Num(i128::from(self.deadline_budget)),
+            ),
+            ("hot_watermark", Json::Num(self.hot_watermark as i128)),
+            ("idle_watermark", Json::Num(self.idle_watermark as i128)),
+            ("max_failovers", Json::Num(i128::from(self.max_failovers))),
+        ])
+        .dump()
     }
 }
 
@@ -750,7 +886,7 @@ mod tests {
                                 "fault_seed": 7, "hard_faults_per_run": 2,
                                 "delay_ranks": 1, "delay_factor": 8,
                                 "faulty_attempts": 2, "deadline_budget": 3,
-                                "straggler_factor": 4}
+                                "straggler_factor": 4, "heartbeat_period": 4}
             }"#,
         )
         .unwrap();
@@ -760,6 +896,7 @@ mod tests {
         assert_eq!(cfg.distributed.min_group, 3);
         assert_eq!(cfg.distributed.hard_faults_per_run, 2);
         assert_eq!(cfg.distributed.deadline_budget, 3);
+        assert_eq!(cfg.distributed.heartbeat_period, 4);
         let again = ServiceConfig::from_json(&cfg.to_json()).unwrap();
         assert_eq!(again, cfg);
         // Absent section keeps the disabled default.
@@ -776,11 +913,53 @@ mod tests {
             r#"{"distributed": {"min_group": 0}}"#,
             r#"{"distributed": {"min_bits": 10, "max_bits": 5}}"#,
             r#"{"distributed": {"delay_factor": 0}}"#,
+            r#"{"distributed": {"heartbeat_period": 0}}"#,
             r#"{"distributed": {"enabled": 1}}"#,
             r#"{"distributed": {"faulty_attempts": 4294967296}}"#,
         ] {
             assert!(
                 matches!(ServiceConfig::from_json(bad), Err(ConfigError::Invalid(_))),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_config_round_trips() {
+        let cfg = ShardConfig::from_json(
+            r#"{
+                "shards": 5, "heartbeat_ms": 10, "deadline_budget": 2,
+                "hot_watermark": 16, "idle_watermark": 1, "max_failovers": 2,
+                "service": {"workers": 2, "batching": {"queue_capacity": 8}}
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.shards, 5);
+        assert_eq!(cfg.heartbeat_ms, 10);
+        assert_eq!(cfg.deadline_budget, 2);
+        assert_eq!(cfg.hot_watermark, 16);
+        assert_eq!(cfg.idle_watermark, 1);
+        assert_eq!(cfg.max_failovers, 2);
+        assert_eq!(cfg.service.workers, 2);
+        assert_eq!(cfg.service.batching.queue_capacity, 8);
+        let again = ShardConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(cfg, again);
+        // Absent fields keep defaults, including the service template.
+        let plain = ShardConfig::from_json("{}").unwrap();
+        assert_eq!(plain, ShardConfig::default());
+    }
+
+    #[test]
+    fn rejects_invalid_shard_values() {
+        for bad in [
+            r#"{"shards": 0}"#,
+            r#"{"heartbeat_ms": 0}"#,
+            r#"{"deadline_budget": 0}"#,
+            r#"{"hot_watermark": 1, "idle_watermark": 2}"#,
+            r#"{"service": {"workers": 0}}"#,
+        ] {
+            assert!(
+                matches!(ShardConfig::from_json(bad), Err(ConfigError::Invalid(_))),
                 "{bad}"
             );
         }

@@ -151,6 +151,7 @@ impl DistributedBackend {
             detector: DetectorConfig {
                 deadline_budget: self.cfg.deadline_budget,
                 straggler_factor: self.cfg.straggler_factor,
+                heartbeat_period: self.cfg.heartbeat_period.max(1),
             },
             recursion_detect: self.cfg.recursion_detect,
         };

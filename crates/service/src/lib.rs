@@ -17,17 +17,25 @@ pub mod json;
 pub mod kernel;
 pub mod metrics;
 pub mod plan_cache;
+pub mod router;
 pub mod service;
+pub mod shard;
 pub mod supervisor;
+pub mod transport;
 pub(crate) mod tuner;
 pub mod verify;
 
 pub use chaos::{install_quiet_panic_hook, ChaosConfig, CorruptionKind, FaultKind};
-pub use config::{BatchingConfig, DistributedConfig, KernelPolicy, ServiceConfig, TunerConfig};
+pub use config::{
+    BatchingConfig, DistributedConfig, KernelPolicy, ServiceConfig, ShardConfig, TunerConfig,
+};
 pub use distributed::DistributedBackend;
 pub use error::{MulError, SubmitError};
 pub use kernel::Kernel;
-pub use metrics::{DistributedSnapshot, MetricsSnapshot, VerifySnapshot};
+pub use metrics::{DistributedSnapshot, MetricsSnapshot, RouterSnapshot, VerifySnapshot};
+pub use router::{Router, ShardState};
 pub use service::{BatchHandle, BatchResults, MulService, ResponseHandle};
+pub use shard::Shard;
 pub use supervisor::{BreakerPolicy, RetryPolicy};
+pub use transport::{ChannelTransport, Command, MachineTransport, Reply, ShardId, Transport};
 pub use verify::VerifyPolicy;

@@ -92,7 +92,7 @@ pub(crate) struct Metrics {
     verify_escalations: AtomicU64,
     breaker_opens: AtomicU64,
     breaker_closes: AtomicU64,
-    injected_faults: [AtomicU64; 3],
+    injected_faults: [AtomicU64; 5],
     distributed_runs: AtomicU64,
     distributed_recoveries: AtomicU64,
     distributed_unrecoverable: AtomicU64,
@@ -347,6 +347,7 @@ impl Metrics {
                     .distributed_max_detect_latency
                     .load(Ordering::Relaxed),
             },
+            router: RouterSnapshot::default(),
         }
     }
 }
@@ -444,10 +445,14 @@ pub struct MetricsSnapshot {
     pub breaker_closes: u64,
     /// Chaos-injected faults by kind, keyed by
     /// [`crate::chaos::FaultKind::name`].
-    pub injected_faults: [(&'static str, u64); 3],
+    pub injected_faults: [(&'static str, u64); 5],
     /// Robustness counters of the distributed backend (the simulated
     /// coded machine with heartbeat failure detection).
     pub distributed: DistributedSnapshot,
+    /// Topology counters of the sharded router (zero when the service
+    /// runs unsharded). Filled in by [`crate::router::Router`] when it
+    /// merges per-shard snapshots.
+    pub router: RouterSnapshot,
 }
 
 /// Per-rung counters of the verification ladder (see `crate::verify`):
@@ -506,7 +511,118 @@ pub struct DistributedSnapshot {
     pub max_detect_latency_ticks: u64,
 }
 
+/// Topology counters of the sharded service router: shard liveness as
+/// seen by the service-level heartbeat detector, plus the failover and
+/// work-stealing traffic it generated. All-zero when unsharded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct RouterSnapshot {
+    /// Shards in the topology.
+    pub shards: u64,
+    /// Shards the heartbeat detector currently considers live.
+    pub live: u64,
+    /// Shard deaths declared by the heartbeat verdict (kills and stalls
+    /// past the deadline budget both count).
+    pub shard_deaths: u64,
+    /// Requests re-routed from a dead shard to a survivor.
+    pub failovers: u64,
+    /// Requests redirected from a hot shard's queue to an idle sibling.
+    pub steals: u64,
+    /// Dead shards whose heartbeats resumed and were re-admitted.
+    pub rejoins: u64,
+    /// Heartbeat monitor rounds executed.
+    pub monitor_rounds: u64,
+}
+
 impl MetricsSnapshot {
+    /// Fold another shard's snapshot into this one: counters and
+    /// histograms sum, high-water marks take the max, per-cell kernel
+    /// stats merge by (kernel, class). `served` stays the bucket sum by
+    /// construction. The `router` section is left untouched — the router
+    /// owns it and stamps it after merging its shards.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.rejected_queue_full += other.rejected_queue_full;
+        self.timed_out += other.timed_out;
+        self.shed += other.shed;
+        for (i, &(name, count)) in other.per_kernel.iter().enumerate() {
+            if self.per_kernel[i].0.is_empty() {
+                self.per_kernel[i].0 = name;
+            }
+            self.per_kernel[i].1 += count;
+        }
+        self.queue_depth += other.queue_depth;
+        self.queue_depth_high_water = self
+            .queue_depth_high_water
+            .max(other.queue_depth_high_water);
+        for (i, &count) in other.latency_buckets.iter().enumerate() {
+            self.latency_buckets[i] += count;
+        }
+        self.served = self.latency_buckets.iter().sum();
+        self.latency_total_us = self.latency_total_us.saturating_add(other.latency_total_us);
+        for row in &other.kernel_classes {
+            match self
+                .kernel_classes
+                .iter_mut()
+                .find(|r| r.kernel == row.kernel && r.class_bits == row.class_bits)
+            {
+                Some(cell) => {
+                    cell.served += row.served;
+                    cell.total_us = cell.total_us.saturating_add(row.total_us);
+                }
+                None => self.kernel_classes.push(row.clone()),
+            }
+        }
+        self.batches += other.batches;
+        self.batched_requests += other.batched_requests;
+        self.batch_size_high_water = self.batch_size_high_water.max(other.batch_size_high_water);
+        self.batch_faults += other.batch_faults;
+        self.batch_element_retries += other.batch_element_retries;
+        self.tuner_retunes += other.tuner_retunes;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
+        self.retries += other.retries;
+        self.fallbacks += other.fallbacks;
+        self.worker_faults += other.worker_faults;
+        self.residue_checks += other.residue_checks;
+        self.verification_failures += other.verification_failures;
+        self.verify.residue_checks += other.verify.residue_checks;
+        self.verify.residue_failures += other.verify.residue_failures;
+        self.verify.residue_cost_us = self
+            .verify
+            .residue_cost_us
+            .saturating_add(other.verify.residue_cost_us);
+        self.verify.dual_checks += other.verify.dual_checks;
+        self.verify.dual_failures += other.verify.dual_failures;
+        self.verify.dual_cost_us = self
+            .verify
+            .dual_cost_us
+            .saturating_add(other.verify.dual_cost_us);
+        self.verify.recompute_checks += other.verify.recompute_checks;
+        self.verify.recompute_failures += other.verify.recompute_failures;
+        self.verify.recompute_cost_us = self
+            .verify
+            .recompute_cost_us
+            .saturating_add(other.verify.recompute_cost_us);
+        self.verify.escalations += other.verify.escalations;
+        self.breaker_opens += other.breaker_opens;
+        self.breaker_closes += other.breaker_closes;
+        for (i, &(name, count)) in other.injected_faults.iter().enumerate() {
+            if self.injected_faults[i].0.is_empty() {
+                self.injected_faults[i].0 = name;
+            }
+            self.injected_faults[i].1 += count;
+        }
+        self.distributed.runs += other.distributed.runs;
+        self.distributed.recoveries += other.distributed.recoveries;
+        self.distributed.unrecoverable += other.distributed.unrecoverable;
+        self.distributed.false_positives += other.distributed.false_positives;
+        self.distributed.detect_rounds += other.distributed.detect_rounds;
+        self.distributed.stragglers_flagged += other.distributed.stragglers_flagged;
+        self.distributed.max_detect_latency_ticks = self
+            .distributed
+            .max_detect_latency_ticks
+            .max(other.distributed.max_detect_latency_ticks);
+    }
+
     /// Mean completion latency in µs (0 when nothing was served).
     #[must_use]
     pub fn mean_latency_us(&self) -> u64 {
@@ -760,6 +876,24 @@ impl MetricsSnapshot {
                     ),
                 ]),
             ),
+            (
+                "router",
+                obj([
+                    ("shards", Json::Num(i128::from(self.router.shards))),
+                    ("live", Json::Num(i128::from(self.router.live))),
+                    (
+                        "shard_deaths",
+                        Json::Num(i128::from(self.router.shard_deaths)),
+                    ),
+                    ("failovers", Json::Num(i128::from(self.router.failovers))),
+                    ("steals", Json::Num(i128::from(self.router.steals))),
+                    ("rejoins", Json::Num(i128::from(self.router.rejoins))),
+                    (
+                        "monitor_rounds",
+                        Json::Num(i128::from(self.router.monitor_rounds)),
+                    ),
+                ]),
+            ),
         ])
         .dump()
     }
@@ -864,6 +998,61 @@ mod tests {
                 },
             ]
         );
+    }
+
+    #[test]
+    fn merged_snapshots_sum_counters_and_stay_self_consistent() {
+        let a = Metrics::default();
+        a.record_served(Kernel::Schoolbook, 2_000, Duration::from_micros(80));
+        a.record_served(Kernel::ParToom, 200_000, Duration::from_millis(3));
+        a.record_queue_full();
+        a.record_retry();
+        a.observe_queue_depth(5);
+        a.record_injected(FaultKind::ShardKill);
+        let b = Metrics::default();
+        b.record_served(Kernel::Schoolbook, 2_000, Duration::from_micros(90));
+        b.record_residue_verify(3, false);
+        b.observe_queue_depth(9);
+        b.record_distributed_run(1, 2, 0, 0, 7);
+        let mut merged = a.snapshot(2, (4, 1));
+        merged.merge(&b.snapshot(3, (0, 2)));
+        assert_eq!(merged.served, 3);
+        assert_eq!(
+            merged.served,
+            merged.latency_buckets.iter().sum::<u64>(),
+            "merge must preserve the served == bucket-sum invariant"
+        );
+        assert_eq!(merged.rejected_queue_full, 1);
+        assert_eq!(merged.retries, 1);
+        assert_eq!(merged.queue_depth, 5, "queue depths sum");
+        assert_eq!(merged.queue_depth_high_water, 9, "high waters take max");
+        assert_eq!(merged.plan_cache_hits, 4);
+        assert_eq!(merged.plan_cache_misses, 3);
+        assert_eq!(merged.verify.residue_failures, 1);
+        assert_eq!(merged.verification_failures, 1);
+        assert_eq!(merged.distributed.recoveries, 1);
+        assert_eq!(merged.distributed.max_detect_latency_ticks, 7);
+        assert_eq!(
+            merged.injected_faults[FaultKind::ShardKill as usize],
+            ("shard_kill", 1)
+        );
+        // The shared (schoolbook, 2^10) cell merged; par_toom kept its own.
+        let school = merged
+            .kernel_classes
+            .iter()
+            .find(|r| r.kernel == "schoolbook")
+            .unwrap();
+        assert_eq!(school.served, 2);
+        assert_eq!(school.total_us, 170);
+        assert_eq!(merged.kernel_classes.len(), 2);
+        assert_eq!(merged.per_kernel[0], ("schoolbook", 2));
+        // Merging into a Default (all-zero, label-less) accumulator
+        // inherits the labels.
+        let mut acc = MetricsSnapshot::default();
+        acc.merge(&merged);
+        assert_eq!(acc.per_kernel[0], ("schoolbook", 2));
+        assert_eq!(acc.injected_faults[3], ("shard_kill", 1));
+        assert_eq!(acc.served, 3);
     }
 
     #[test]

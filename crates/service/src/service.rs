@@ -593,6 +593,11 @@ pub(crate) struct Shared {
     /// `config.kernel_policy`; the adaptive tuner republishes it from
     /// live latency data.
     pub(crate) live_policy: parking_lot::RwLock<crate::config::KernelPolicy>,
+    /// Simulated fail-stop flag (see [`MulService::kill`]): when set, the
+    /// admission gate resolves every not-yet-started request as
+    /// `ServiceStopped` instead of executing it, so a sharded router can
+    /// observe the loss and fail the work over to a survivor.
+    pub(crate) killed: AtomicBool,
 }
 
 impl Shared {
@@ -667,6 +672,7 @@ impl MulService {
                     .then(|| DistributedBackend::new(&config.distributed)),
             ),
             live_policy: parking_lot::RwLock::new(config.kernel_policy.clone()),
+            killed: AtomicBool::new(false),
             config,
         });
         // Resolve both Toom plans up front: the first coalesced batch
@@ -959,6 +965,25 @@ impl MulService {
         self.shared.policy()
     }
 
+    /// Simulated fail-stop: refuse new submissions and resolve every
+    /// accepted-but-unstarted request as [`MulError::ServiceStopped`]
+    /// the moment a worker dequeues it. Requests already executing
+    /// complete (and verify) normally — a fail-stop processor finishes
+    /// nothing *new*, but this in-process simulation keeps its promises
+    /// resolvable so no waiter ever hangs. The worker threads stay up to
+    /// drain the surrendered queue; [`Self::shutdown`] still works
+    /// afterwards and returns the final metrics.
+    pub fn kill(&self) {
+        self.shutting_down.store(true, Ordering::Release);
+        self.shared.killed.store(true, Ordering::Release);
+    }
+
+    /// Whether [`Self::kill`] was called.
+    #[must_use]
+    pub fn is_killed(&self) -> bool {
+        self.shared.killed.load(Ordering::Acquire)
+    }
+
     /// Stop accepting work, drain every accepted request, join the
     /// workers, and return the final metrics.
     pub fn shutdown(mut self) -> MetricsSnapshot {
@@ -992,6 +1017,42 @@ impl Drop for MulService {
     }
 }
 
+/// A fresh client handle / write capability pair over one new
+/// [`Completion`] — the router's building block: it hands the handle to
+/// the client once, keeps the guard, and moves the guard between shards
+/// as it fails work over.
+pub(crate) fn completion_pair() -> (ResponseHandle, CompletionGuard) {
+    let completion = Arc::new(Completion::default());
+    let guard = CompletionGuard {
+        completion: completion.clone(),
+        fulfilled: false,
+    };
+    (ResponseHandle { completion }, guard)
+}
+
+/// A batch handle plus its per-slot write capabilities, detached from
+/// any queue — the router resolves each slot through its own routed
+/// (and possibly re-routed) sub-request.
+pub(crate) fn batch_pair(len: usize) -> (BatchHandle, Vec<BatchSlotGuard>) {
+    let completion = Arc::new(BatchCompletion::new(len));
+    let slots = (0..len)
+        .map(|slot| BatchSlotGuard {
+            completion: completion.clone(),
+            slot,
+            fulfilled: false,
+        })
+        .collect();
+    (BatchHandle { completion }, slots)
+}
+
+/// A handle that is already resolved — synchronous transports (the
+/// simulated coded machine) compute inline and wrap the result.
+pub(crate) fn resolved_handle(result: Result<BigInt, MulError>) -> ResponseHandle {
+    let completion = Arc::new(Completion::default());
+    completion.fill(result);
+    ResponseHandle { completion }
+}
+
 fn worker_loop(rx: &Receiver<MulRequest>, shared: &Shared) {
     let mut batch = Vec::with_capacity(shared.config.batch_max);
     // recv keeps returning queued requests after disconnect until the
@@ -1018,6 +1079,12 @@ fn worker_loop(rx: &Receiver<MulRequest>, shared: &Shared) {
 /// the caller (once per dequeued batch, not per element — clock reads
 /// are a measurable cost at coalesced-round sizes).
 pub(crate) fn gate(request: MulRequest, now: Instant, shared: &Shared) -> Option<MulRequest> {
+    if shared.killed.load(Ordering::Acquire) {
+        // Simulated fail-stop: unstarted work is surrendered, not served.
+        // The router's completion callback re-routes it to a live shard.
+        request.done.fulfill(Err(MulError::ServiceStopped));
+        return None;
+    }
     let waited = now.saturating_duration_since(request.enqueued_at);
     if request.deadline.expired(now) {
         shared.metrics.record_timed_out();
@@ -1088,6 +1155,40 @@ mod tests {
             schoolbook_max_bits: u64::MAX,
             ..KernelPolicy::default()
         }
+    }
+
+    #[test]
+    fn kill_surrenders_queued_work_and_refuses_new_submits() {
+        // One worker pinned by a slow schoolbook blocker; everything
+        // queued behind it must resolve ServiceStopped after kill(), and
+        // the blocker itself (already started) must complete normally.
+        let service = MulService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 16,
+            kernel_policy: blocker_policy(),
+            verify_residues: false,
+            ..ServiceConfig::default()
+        });
+        let mut rng = rng(77);
+        let a = BigInt::random_signed_bits(&mut rng, 400_000);
+        let b = BigInt::random_signed_bits(&mut rng, 400_000);
+        let blocker = service.submit(a.clone(), b.clone()).unwrap();
+        std::thread::sleep(Duration::from_millis(30)); // let it start
+        let queued: Vec<_> = (0..4)
+            .map(|_| service.submit(a.clone(), b.clone()).unwrap())
+            .collect();
+        service.kill();
+        assert!(service.is_killed());
+        assert!(matches!(
+            service.submit(a.clone(), b.clone()),
+            Err(SubmitError::ShuttingDown)
+        ));
+        for handle in queued {
+            assert_eq!(handle.wait(), Err(MulError::ServiceStopped));
+        }
+        assert_eq!(blocker.wait().unwrap(), a.mul_schoolbook(&b));
+        let snap = service.shutdown();
+        assert_eq!(snap.served, 1, "only the started request completed");
     }
 
     #[test]

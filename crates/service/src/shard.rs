@@ -1,0 +1,234 @@
+//! One shard of the sharded topology: a full [`MulService`] plus the
+//! service-level heartbeat the router's monitor samples.
+//!
+//! The heartbeat is a lazily-computed monotone counter: while the shard
+//! is live it advances once per `heartbeat_ms` of wall clock. A *kill*
+//! freezes it forever (fail-stop); a *stall* freezes it for a bounded
+//! window while the shard keeps serving — the monitor's detector
+//! declares the shard dead either way (that is the point: the paper's
+//! detected fail-stop model distinguishes nothing finer at the
+//! observer), and a stalled shard whose beats resume is re-admitted as a
+//! rejoin.
+
+use crate::config::ServiceConfig;
+use crate::error::SubmitError;
+use crate::metrics::MetricsSnapshot;
+use crate::service::{MulService, ResponseHandle};
+use crate::transport::ShardId;
+use ft_bigint::BigInt;
+use std::time::{Duration, Instant};
+
+struct BeatState {
+    /// Beat value the counter froze at (`None` while advancing).
+    frozen: Option<u64>,
+    /// Frozen until this instant (`None` = forever, i.e. killed).
+    until: Option<Instant>,
+}
+
+/// A [`MulService`] with a shard identity and a heartbeat.
+pub struct Shard {
+    id: ShardId,
+    service: parking_lot::RwLock<Option<MulService>>,
+    started_at: Instant,
+    heartbeat: Duration,
+    beat_state: parking_lot::Mutex<BeatState>,
+}
+
+impl Shard {
+    /// Start a fresh shard: a new service plus a beating heart.
+    #[must_use]
+    pub fn start(id: ShardId, config: ServiceConfig, heartbeat_ms: u64) -> Shard {
+        Shard::from_service(id, MulService::start(config), heartbeat_ms)
+    }
+
+    /// Wrap an already-running service (the single-shard compatibility
+    /// path: an unsharded `MulService` becomes a one-shard topology).
+    #[must_use]
+    pub fn from_service(id: ShardId, service: MulService, heartbeat_ms: u64) -> Shard {
+        Shard {
+            id,
+            service: parking_lot::RwLock::new(Some(service)),
+            started_at: Instant::now(),
+            heartbeat: Duration::from_millis(heartbeat_ms.max(1)),
+            beat_state: parking_lot::Mutex::new(BeatState {
+                frozen: None,
+                until: None,
+            }),
+        }
+    }
+
+    /// This shard's identity.
+    #[must_use]
+    pub fn id(&self) -> ShardId {
+        self.id
+    }
+
+    /// Beats elapsed on the wall clock since the shard started.
+    fn wall_beats(&self) -> u64 {
+        let elapsed = self.started_at.elapsed();
+        (elapsed.as_nanos() / self.heartbeat.as_nanos().max(1)) as u64
+    }
+
+    /// The heartbeat counter: monotone while live, frozen while stalled,
+    /// frozen forever once killed.
+    #[must_use]
+    pub fn beats(&self) -> u64 {
+        let mut state = self.beat_state.lock();
+        match state.frozen {
+            None => self.wall_beats(),
+            Some(frozen) => match state.until {
+                // Killed: silent forever.
+                None => frozen,
+                Some(until) if Instant::now() < until => frozen,
+                // Stall window over: thaw and resume the wall clock.
+                Some(_) => {
+                    state.frozen = None;
+                    state.until = None;
+                    self.wall_beats().max(frozen)
+                }
+            },
+        }
+    }
+
+    /// Fail-stop the shard: freeze the heartbeat forever and surrender
+    /// unstarted work (see [`MulService::kill`]). Idempotent; a kill
+    /// overrides any stall in progress.
+    pub fn kill(&self) {
+        {
+            let mut state = self.beat_state.lock();
+            let frozen = state.frozen.unwrap_or_else(|| self.wall_beats());
+            state.frozen = Some(frozen);
+            state.until = None;
+        }
+        if let Some(service) = self.service.read().as_ref() {
+            service.kill();
+        }
+    }
+
+    /// Withhold heartbeats for `rounds` beat periods while the shard
+    /// keeps serving. A kill in progress is not downgraded.
+    pub fn stall(&self, rounds: u64) {
+        let mut state = self.beat_state.lock();
+        if state.frozen.is_some() && state.until.is_none() {
+            return; // killed: stays dead
+        }
+        let frozen = state.frozen.unwrap_or_else(|| self.wall_beats());
+        state.frozen = Some(frozen);
+        state.until =
+            Some(Instant::now() + self.heartbeat * u32::try_from(rounds).unwrap_or(u32::MAX));
+    }
+
+    /// Whether the shard was fail-stopped.
+    #[must_use]
+    pub fn is_killed(&self) -> bool {
+        let state = self.beat_state.lock();
+        state.frozen.is_some() && state.until.is_none()
+    }
+
+    /// Submit one multiplication on the shard's coalescing async path.
+    pub fn submit(
+        &self,
+        a: BigInt,
+        b: BigInt,
+        deadline: Option<Duration>,
+    ) -> Result<ResponseHandle, SubmitError> {
+        match self.service.read().as_ref() {
+            None => Err(SubmitError::ShuttingDown),
+            Some(service) => match deadline {
+                None => service.submit_async(a, b),
+                Some(d) => service.submit_async_with_deadline(a, b, d),
+            },
+        }
+    }
+
+    /// Current queue depth (saturated = at or past the async queue
+    /// capacity).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.service
+            .read()
+            .as_ref()
+            .map_or(usize::MAX, MulService::queue_depth)
+    }
+
+    /// Point-in-time metrics of the underlying service.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.service
+            .read()
+            .as_ref()
+            .map_or_else(MetricsSnapshot::default, MulService::metrics)
+    }
+
+    /// The service configuration this shard runs.
+    #[must_use]
+    pub fn config(&self) -> ServiceConfig {
+        self.service
+            .read()
+            .as_ref()
+            .map(|s| s.config().clone())
+            .unwrap_or_default()
+    }
+
+    /// Drain accepted work, stop the service, and return final metrics.
+    /// Idempotent: a second call returns an empty snapshot.
+    #[must_use]
+    pub fn shutdown(&self) -> MetricsSnapshot {
+        let service = self.service.write().take();
+        service.map_or_else(MetricsSnapshot::default, MulService::shutdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ServiceConfig {
+        ServiceConfig {
+            workers: 1,
+            verify_residues: false,
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn beats_advance_then_freeze_on_kill() {
+        let shard = Shard::start(0, tiny_config(), 5);
+        assert_eq!(shard.id(), 0);
+        let first = shard.beats();
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(shard.beats() > first, "live shard beats advance");
+        shard.kill();
+        assert!(shard.is_killed());
+        let frozen = shard.beats();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(shard.beats(), frozen, "killed shard is silent forever");
+        assert!(matches!(
+            shard.submit(BigInt::one(), BigInt::one(), None),
+            Err(SubmitError::ShuttingDown)
+        ));
+        let _ = shard.shutdown();
+    }
+
+    #[test]
+    fn stalled_beats_resume_and_jump_forward() {
+        let shard = Shard::start(1, tiny_config(), 5);
+        shard.stall(3); // ~15 ms of silence
+        let frozen = shard.beats();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(shard.beats(), frozen, "stalled shard is silent");
+        // The shard still serves while silent.
+        let a: BigInt = "12345678901234567890".parse().unwrap();
+        let b: BigInt = "98765432109876543210".parse().unwrap();
+        let handle = shard.submit(a.clone(), b.clone(), None).unwrap();
+        assert_eq!(handle.wait().unwrap(), a.mul_schoolbook(&b));
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(shard.beats() > frozen, "beats resume after the window");
+        assert!(!shard.is_killed());
+        let snap = shard.shutdown();
+        assert_eq!(snap.served, 1);
+        // Idempotent shutdown.
+        assert_eq!(shard.shutdown().served, 0);
+        assert_eq!(shard.queue_depth(), usize::MAX, "stopped shard reads full");
+    }
+}

@@ -315,6 +315,7 @@ mod tests {
             ),
             live_policy: parking_lot::RwLock::new(config.kernel_policy.clone()),
             config,
+            killed: std::sync::atomic::AtomicBool::new(false),
         });
         // Class 12 evidence: schoolbook 4× faster than seq toom.
         for _ in 0..20 {

@@ -53,6 +53,7 @@ fn distributed(hard_faults: u32, faulty_attempts: u32) -> DistributedConfig {
         faulty_attempts,
         deadline_budget: 1,
         straggler_factor: 0,
+        heartbeat_period: 1,
         recursion_detect: false,
     }
 }

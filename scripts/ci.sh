@@ -39,6 +39,20 @@ echo "== HTTP connection-cap e2e (over-cap 503s, readmission) =="
 # hangs), the reject counter is exact, and a freed slot re-admits.
 cargo test -p ft-http --test admission -q
 
+echo "== shard-failover e2e (3 shards, kill mid-load, zero lost) =="
+# A 3-shard router behind the real front door: one shard is killed while
+# open-loop requests are queued behind its busy worker. The heartbeat
+# monitor must declare the death, stranded work must fail over to the
+# survivors, every in-flight request must complete bit-exact, and the
+# topology/metrics endpoints must report the death and the failovers.
+cargo test -p ft-http --test shard_failover -q
+
+echo "== sharded router suite (placement, stealing, stall/rejoin) =="
+# Service-level topology tests: rendezvous stability proptests, chaos
+# shard kills, hot-shard work stealing, saturation-only shedding, and
+# the stall -> dead -> rejoin lifecycle.
+cargo test -p ft-service --test router -q
+
 echo "== HTTP load generator smoke (--quick, closed + open loop) =="
 # Reduced loadgen runs: 2 client threads over real keep-alive
 # connections, every response verified, graceful drain asserted — once
@@ -47,6 +61,8 @@ echo "== HTTP load generator smoke (--quick, closed + open loop) =="
 # BENCH_http.json.
 cargo run --release -q -p ft-http --bin loadgen -- --quick
 cargo run --release -q -p ft-http --bin loadgen -- --quick --rate 120
+# Same smoke against a 3-shard topology behind the front door.
+cargo run --release -q -p ft-http --bin loadgen -- --quick --shards 3
 
 echo "== verify-ladder bench smoke (--quick) =="
 # Reduced run of the per-rung cost bench: asserts the dual rung's

@@ -37,6 +37,7 @@ fn options(deadline_budget: u64) -> PolyRunOptions {
         detector: DetectorConfig {
             deadline_budget,
             straggler_factor: 0,
+            heartbeat_period: 1,
         },
         ..PolyRunOptions::default()
     }

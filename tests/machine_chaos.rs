@@ -49,6 +49,7 @@ fn options(
         detector: DetectorConfig {
             deadline_budget: 1,
             straggler_factor,
+            heartbeat_period: 1,
         },
         recursion_detect: false,
     }
@@ -206,6 +207,7 @@ fn coded_ntt_unplanned_deaths_are_detected_and_recovered() {
             detector: DetectorConfig {
                 deadline_budget: 1,
                 straggler_factor: 0,
+                heartbeat_period: 1,
             },
         };
         let out = run_ntt_ft_with(&a, &b, &cfg, FaultPlan::none(), &opts);
